@@ -1,0 +1,76 @@
+//! Ablation benches (DESIGN.md §5): FOR reference choice, the model
+//! hierarchy's decompression costs, and the run-aware join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::{locally_tight_column, runs_column, trending_column};
+use lcdc_core::parse_scheme;
+use lcdc_store::{CompressionPolicy, Segment};
+use std::hint::black_box;
+
+fn bench_ref_choice(c: &mut Criterion) {
+    let col = locally_tight_column(1 << 20, 128, 256);
+    let mut group = c.benchmark_group("a1/for_reference_choice");
+    group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+    for (label, expr) in [
+        ("min_ref", "for(l=128)[offsets=ns]"),
+        ("first_ref", "for(l=128,first=1)[offsets=ns_zz]"),
+    ] {
+        let scheme = parse_scheme(expr).unwrap();
+        let compressed = scheme.compress(&col).unwrap();
+        group.bench_function(BenchmarkId::new("decompress", label), |b| {
+            b.iter(|| scheme.decompress(black_box(&compressed)).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("compress", label), |b| {
+            b.iter(|| scheme.compress(black_box(&col)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_hierarchy(c: &mut Criterion) {
+    let col = trending_column(1 << 20, 7, 16);
+    let mut group = c.benchmark_group("a1/model_hierarchy_decompress");
+    group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+    for (label, expr) in [
+        ("pstep", "pstep(l=128)"),
+        ("for", "for(l=128)[offsets=ns]"),
+        ("linear", "linear(l=128)[residuals=ns]"),
+        ("poly2", "poly2(l=128)[residuals=ns]"),
+    ] {
+        let scheme = parse_scheme(expr).unwrap();
+        let compressed = scheme.compress(&col).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| scheme.decompress(black_box(&compressed)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let a = runs_column(1 << 18, 64);
+    let b = runs_column(1 << 17, 64);
+    let build = |col| {
+        vec![Segment::build(
+            col,
+            &CompressionPolicy::Fixed("rle[values=ns,lengths=ns]".into()),
+        )
+        .unwrap()]
+    };
+    let sa = build(&a);
+    let sb = build(&b);
+    assert_eq!(
+        lcdc_store::join_count_naive(&sa, &sb).unwrap(),
+        lcdc_store::join_count_compressed(&sa, &sb).unwrap()
+    );
+    let mut group = c.benchmark_group("a1/equi_join_cardinality");
+    group.bench_function("decompress_then_hash", |bch| {
+        bch.iter(|| lcdc_store::join_count_naive(black_box(&sa), black_box(&sb)).unwrap())
+    });
+    group.bench_function("per_run_hash", |bch| {
+        bch.iter(|| lcdc_store::join_count_compressed(black_box(&sa), black_box(&sb)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ref_choice, bench_model_hierarchy, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! A2 — ablations over the §II-B generalisation program: the new model
+//! families (VSTEP's adaptive frames, DFOR's restarted deltas, SPARSE's
+//! constant-plus-patches) against the fixed-ℓ schemes they generalise.
+//!
+//! Three questions, one group each:
+//!
+//! * `a2/adaptive_step` — on plateaus whose lengths fixed segments
+//!   straddle, does VSTEP's data-aligned segmentation keep decompression
+//!   cheap relative to FOR? (Ratios are in the report binary §A2.)
+//! * `a2/delta_restart` — what does DFOR's per-segment restart cost in
+//!   sequential decompression, and what does it buy in random access
+//!   over global DELTA's integrate-everything?
+//! * `a2/sparse` — on default-heavy data, SPARSE's scatter-based
+//!   reconstruction against RLE and DICT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::SEED;
+use lcdc_core::schemes::dfor;
+use lcdc_core::{access, parse_scheme, ColumnData};
+use std::hint::black_box;
+
+fn plateaus(n: usize, mean_len: usize) -> ColumnData {
+    ColumnData::U64(lcdc_datagen::uneven_plateaus(n, mean_len, 1 << 40, 12, SEED))
+}
+
+fn sparse_col(n: usize, rate: f64) -> ColumnData {
+    ColumnData::U64(lcdc_datagen::default_heavy(n, 0, rate, 1 << 40, SEED))
+}
+
+fn bench_adaptive_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2/adaptive_step");
+    for mean_len in [48usize, 200, 1000] {
+        let col = plateaus(1 << 20, mean_len);
+        group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+        for expr in ["for(l=128)[offsets=ns]", "vstep(w=4)[offsets=ns]"] {
+            let scheme = parse_scheme(expr).unwrap();
+            let compressed = scheme.compress(&col).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(expr.split('(').next().unwrap(), mean_len),
+                &mean_len,
+                |b, _| b.iter(|| scheme.decompress(black_box(&compressed)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_delta_restart(c: &mut Criterion) {
+    let col = ColumnData::U64(lcdc_datagen::steps::bounded_walk(1 << 20, 1 << 30, 48, SEED));
+    let delta = parse_scheme("delta[deltas=ns_zz]").unwrap();
+    let dfor_scheme = parse_scheme("dfor(l=128)").unwrap();
+    let c_delta = delta.compress(&col).unwrap();
+    let c_dfor = dfor_scheme.compress(&col).unwrap();
+
+    let mut group = c.benchmark_group("a2/delta_restart/decompress");
+    group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+    group.bench_function("delta_global", |b| {
+        b.iter(|| delta.decompress(black_box(&c_delta)).unwrap())
+    });
+    group.bench_function("dfor_l128", |b| {
+        b.iter(|| dfor_scheme.decompress(black_box(&c_dfor)).unwrap())
+    });
+    group.finish();
+
+    // Random access: DFOR integrates <= l deltas; global DELTA has no
+    // sub-linear path and must decompress.
+    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 7919) % col.len() as u64).collect();
+    let mut group = c.benchmark_group("a2/delta_restart/random_access_1024_probes");
+    group.bench_function("dfor_segment_integrate", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &probes {
+                acc ^= dfor::value_at(black_box(&c_dfor), p).unwrap();
+            }
+            acc
+        })
+    });
+    group.bench_function("delta_decompress_then_index", |b| {
+        b.iter(|| {
+            let plain = delta.decompress(black_box(&c_delta)).unwrap();
+            let mut acc = 0u64;
+            for &p in &probes {
+                acc ^= plain.get_transport(p as usize).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2/sparse_decompress");
+    for rate_pm in [1u64, 10, 50] {
+        let col = sparse_col(1 << 20, rate_pm as f64 / 1000.0);
+        group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+        for expr in ["sparse", "rle[values=ns,lengths=ns]", "dict[codes=ns]"] {
+            let scheme = parse_scheme(expr).unwrap();
+            let compressed = scheme.compress(&col).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(expr.split('[').next().unwrap(), rate_pm),
+                &rate_pm,
+                |b, _| b.iter(|| scheme.decompress(black_box(&compressed)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+
+    // Point lookups on sparse: O(log e) against full reconstruction.
+    let col = sparse_col(1 << 20, 0.005);
+    let scheme = parse_scheme("sparse").unwrap();
+    let compressed = scheme.compress(&col).unwrap();
+    let probes: Vec<usize> = (0..1024usize).map(|i| (i * 7919) % col.len()).collect();
+    let mut group = c.benchmark_group("a2/sparse_random_access_1024_probes");
+    group.bench_function("sparse_exception_search", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &probes {
+                acc ^= access::value_at(black_box(&compressed), p).unwrap().unwrap();
+            }
+            acc
+        })
+    });
+    group.bench_function("sparse_decompress_then_index", |b| {
+        b.iter(|| {
+            let plain = scheme.decompress(black_box(&compressed)).unwrap();
+            let mut acc = 0u64;
+            for &p in &probes {
+                acc ^= plain.get_transport(p).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_step, bench_delta_restart, bench_sparse);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! A3 — morphing: transcoding between compressed forms along the
+//! paper's decomposition identities versus decompress-then-recompress.
+//!
+//! The structural routes never materialise the plain column: RLE→RPE is
+//! one `PrefixSum` over the (short) lengths column; FOR→PFOR re-buckets
+//! the residual half while the model half passes through untouched. The
+//! `via_plain` baselines pay the full decompress + compress round trip
+//! for the identical result.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lcdc_bench::{outlier_column, runs_column};
+use lcdc_core::morph::{morph, MorphPath};
+use lcdc_core::schemes::{For, PatchedFor, Rle, Rpe};
+use lcdc_core::Scheme;
+use std::hint::black_box;
+
+fn bench_rle_to_rpe(c: &mut Criterion) {
+    let col = runs_column(1 << 20, 64);
+    let c_rle = Rle.compress(&col).unwrap();
+    let mut group = c.benchmark_group("a3/rle_to_rpe");
+    group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+    group.bench_function("structural", |b| {
+        b.iter(|| {
+            let (out, path) = morph(&Rle, black_box(&c_rle), &Rpe).unwrap();
+            debug_assert_eq!(path, MorphPath::Structural);
+            out
+        })
+    });
+    group.bench_function("via_plain", |b| {
+        b.iter(|| {
+            let plain = Rle.decompress(black_box(&c_rle)).unwrap();
+            Rpe.compress(&plain).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_for_to_pfor(c: &mut Criterion) {
+    let col = outlier_column(1 << 20, 0.005);
+    let source = For::new(128);
+    let target = PatchedFor::new(128, 990);
+    let c_for = source.compress(&col).unwrap();
+    let mut group = c.benchmark_group("a3/for_to_pfor");
+    group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+    group.bench_function("structural", |b| {
+        b.iter(|| {
+            let (out, path) = morph(&source, black_box(&c_for), &target).unwrap();
+            debug_assert_eq!(path, MorphPath::Structural);
+            out
+        })
+    });
+    group.bench_function("via_plain", |b| {
+        b.iter(|| {
+            let plain = source.decompress(black_box(&c_for)).unwrap();
+            target.compress(&plain).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_concat(c: &mut Criterion) {
+    use lcdc_core::concat::{concat, ConcatPath};
+    let a_col = runs_column(1 << 19, 64);
+    let b_col = runs_column(1 << 19, 64);
+    let a = Rle.compress(&a_col).unwrap();
+    let b = Rle.compress(&b_col).unwrap();
+    let mut group = c.benchmark_group("a3/concat_rle");
+    group.throughput(Throughput::Bytes(
+        (a_col.uncompressed_bytes() + b_col.uncompressed_bytes()) as u64,
+    ));
+    group.bench_function("structural", |bch| {
+        bch.iter(|| {
+            let (out, path) = concat(&Rle, black_box(&a), black_box(&b)).unwrap();
+            debug_assert_eq!(path, ConcatPath::Structural);
+            out
+        })
+    });
+    group.bench_function("via_plain", |bch| {
+        bch.iter(|| {
+            let mut plain = Rle.decompress(black_box(&a)).unwrap().to_transport();
+            plain.extend(Rle.decompress(black_box(&b)).unwrap().to_transport());
+            Rle.compress(&lcdc_core::ColumnData::U64(plain)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rle_to_rpe, bench_for_to_pfor, bench_concat);
+criterion_main!(benches);

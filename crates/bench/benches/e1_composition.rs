@@ -1,0 +1,48 @@
+//! E1 — §I composition: compression + decompression throughput of the
+//! single schemes vs the `rle[values=delta]` composite on the
+//! shipped-orders date column. Ratios are printed by the `report` binary;
+//! here Criterion measures the work rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::dates_column;
+use lcdc_core::parse_scheme;
+use std::hint::black_box;
+
+const SCHEMES: &[&str] = &[
+    "ns",
+    "delta[deltas=ns_zz]",
+    "rle[values=ns,lengths=ns]",
+    "rle[values=delta[deltas=ns_zz],lengths=ns]",
+];
+
+fn bench_compress(c: &mut Criterion) {
+    let col = dates_column(1000, 50);
+    let bytes = col.uncompressed_bytes() as u64;
+    let mut group = c.benchmark_group("e1/compress");
+    group.throughput(Throughput::Bytes(bytes));
+    for expr in SCHEMES {
+        let scheme = parse_scheme(expr).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(expr), expr, |b, _| {
+            b.iter(|| scheme.compress(black_box(&col)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let col = dates_column(1000, 50);
+    let bytes = col.uncompressed_bytes() as u64;
+    let mut group = c.benchmark_group("e1/decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    for expr in SCHEMES {
+        let scheme = parse_scheme(expr).unwrap();
+        let compressed = scheme.compress(&col).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(expr), expr, |b, _| {
+            b.iter(|| scheme.decompress(black_box(&compressed)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

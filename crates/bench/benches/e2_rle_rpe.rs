@@ -1,0 +1,75 @@
+//! E2 — the RLE/RPE trade-off: RPE decompression omits Algorithm 1's
+//! first `PrefixSum` and supports binary-search random access; RLE
+//! compresses no worse. Swept over mean run length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::runs_column;
+use lcdc_core::rewrite::rle_to_rpe;
+use lcdc_core::schemes::{rpe, Rle, Rpe};
+use lcdc_core::Scheme;
+use std::hint::black_box;
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/decompress");
+    for mean_run in [8usize, 64, 512] {
+        let col = runs_column(1 << 20, mean_run);
+        group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+        let c_rle = Rle.compress(&col).unwrap();
+        let c_rpe = rle_to_rpe(&c_rle).unwrap();
+        group.bench_with_input(BenchmarkId::new("rle", mean_run), &mean_run, |b, _| {
+            b.iter(|| Rle.decompress(black_box(&c_rle)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rpe", mean_run), &mean_run, |b, _| {
+            b.iter(|| Rpe.decompress(black_box(&c_rpe)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    // Positional access: RPE binary-searches its sorted positions; RLE
+    // must reconstruct positions (here: decompress) first.
+    let col = runs_column(1 << 20, 64);
+    let c_rle = Rle.compress(&col).unwrap();
+    let c_rpe = rle_to_rpe(&c_rle).unwrap();
+    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 7919) % col.len() as u64).collect();
+    let mut group = c.benchmark_group("e2/random_access_1024_probes");
+    group.bench_function("rpe_binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &probes {
+                acc ^= rpe::value_at(black_box(&c_rpe), p).unwrap();
+            }
+            acc
+        })
+    });
+    group.bench_function("rle_decompress_then_index", |b| {
+        b.iter(|| {
+            let plain = Rle.decompress(black_box(&c_rle)).unwrap();
+            let mut acc = 0u64;
+            for &p in &probes {
+                acc ^= plain.get_transport(p as usize).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    // The decomposition itself: RLE -> RPE is one PrefixSum over the
+    // (short) lengths column — partial decompression, not full.
+    let col = runs_column(1 << 20, 64);
+    let c_rle = Rle.compress(&col).unwrap();
+    let mut group = c.benchmark_group("e2/partial_decompression");
+    group.bench_function("rle_to_rpe_rewrite", |b| {
+        b.iter(|| rle_to_rpe(black_box(&c_rle)).unwrap())
+    });
+    group.bench_function("rle_full_decompress", |b| {
+        b.iter(|| Rle.decompress(black_box(&c_rle)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompress, bench_random_access, bench_rewrite);
+criterion_main!(benches);

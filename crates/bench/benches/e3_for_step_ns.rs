@@ -1,0 +1,49 @@
+//! E3 — FOR ≡ STEPFUNCTION + NS: fused decompression vs the
+//! Algorithm-2 operator DAG, and the model/residual split itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::locally_tight_column;
+use lcdc_core::scheme::decompress_via_plan;
+use lcdc_core::schemes::For;
+use lcdc_core::{rewrite, Scheme};
+use std::hint::black_box;
+
+fn bench_fused_vs_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/decompress");
+    for seg_len in [128usize, 1024] {
+        let col = locally_tight_column(1 << 20, seg_len, 256);
+        group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+        let cascade = For::with_ns(seg_len);
+        let compressed = cascade.compress(&col).unwrap();
+        group.bench_with_input(BenchmarkId::new("fused", seg_len), &seg_len, |b, _| {
+            b.iter(|| cascade.decompress(black_box(&compressed)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2_plan", seg_len), &seg_len, |b, _| {
+            b.iter(|| decompress_via_plan(&cascade, black_box(&compressed)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    // Splitting FOR into model+residual vs decompressing it: the split
+    // never touches the n rows.
+    let col = locally_tight_column(1 << 20, 128, 256);
+    let f = For::new(128);
+    let compressed = f.compress(&col).unwrap();
+    let mut group = c.benchmark_group("e3/decomposition");
+    group.bench_function("for_to_step_plus_ns", |b| {
+        b.iter(|| rewrite::for_to_step_plus_ns(black_box(&compressed)).unwrap())
+    });
+    group.bench_function("for_full_decompress", |b| {
+        b.iter(|| f.decompress(black_box(&compressed)).unwrap())
+    });
+    let mr = rewrite::for_to_step_plus_ns(&compressed).unwrap();
+    group.bench_function("model_only_evaluation", |b| {
+        b.iter(|| black_box(&mr).model_only().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_plan, bench_decomposition);
+criterion_main!(benches);

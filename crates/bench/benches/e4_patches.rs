@@ -1,0 +1,43 @@
+//! E4 — patched FOR under outliers: decompression throughput of
+//! `pfor` (narrow payload + exception scatter) vs `for[offsets=ns]`
+//! (payload widened by the outliers), swept over the outlier fraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::outlier_column;
+use lcdc_core::parse_scheme;
+use std::hint::black_box;
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/decompress");
+    for fraction_pct in [0u32, 2, 10] {
+        let col = outlier_column(1 << 20, fraction_pct as f64 / 100.0);
+        group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+        for expr in ["for(l=128)[offsets=ns]", "pfor(l=128,keep=990)"] {
+            let scheme = parse_scheme(expr).unwrap();
+            let compressed = scheme.compress(&col).unwrap();
+            let label = if expr.starts_with("pfor") { "pfor" } else { "for" };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{fraction_pct}pct")),
+                &fraction_pct,
+                |b, _| b.iter(|| scheme.decompress(black_box(&compressed)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let col = outlier_column(1 << 20, 0.02);
+    let mut group = c.benchmark_group("e4/compress");
+    group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+    for expr in ["for(l=128)[offsets=ns]", "pfor(l=128,keep=990)"] {
+        let scheme = parse_scheme(expr).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(expr), expr, |b, _| {
+            b.iter(|| scheme.compress(black_box(&col)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompress, bench_compress);
+criterion_main!(benches);

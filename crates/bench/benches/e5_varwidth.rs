@@ -1,0 +1,28 @@
+//! E5 — variable-width NS vs flat NS under width skew: unpack
+//! throughput and (in the report) compression ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::skewed_width_column;
+use lcdc_core::parse_scheme;
+use std::hint::black_box;
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/decompress");
+    for wide_pct in [0u32, 5, 25] {
+        let col = skewed_width_column(1 << 20, wide_pct as f64 / 100.0);
+        group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+        for expr in ["ns", "varwidth"] {
+            let scheme = parse_scheme(expr).unwrap();
+            let compressed = scheme.compress(&col).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(expr.to_string(), format!("{wide_pct}pct_wide")),
+                &wide_pct,
+                |b, _| b.iter(|| scheme.decompress(black_box(&compressed)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompress);
+criterion_main!(benches);

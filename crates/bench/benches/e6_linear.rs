@@ -1,0 +1,44 @@
+//! E6 — piecewise-linear frames vs FOR on trending data: decompression
+//! throughput of both model families at the same segment length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcdc_bench::trending_column;
+use lcdc_core::parse_scheme;
+use std::hint::black_box;
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/decompress");
+    for slope in [0u64, 7, 50] {
+        let col = trending_column(1 << 20, slope, 16);
+        group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+        for expr in ["for(l=128)[offsets=ns]", "linear(l=128)[residuals=ns]"] {
+            let scheme = parse_scheme(expr).unwrap();
+            let compressed = scheme.compress(&col).unwrap();
+            let label = if expr.starts_with("linear") { "linear" } else { "for" };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("slope{slope}")),
+                &slope,
+                |b, _| b.iter(|| scheme.decompress(black_box(&compressed)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    // The paper: "this makes compression more of a challenge" — measure
+    // exactly that cost.
+    let col = trending_column(1 << 20, 7, 16);
+    let mut group = c.benchmark_group("e6/compress");
+    group.throughput(Throughput::Bytes(col.uncompressed_bytes() as u64));
+    for expr in ["for(l=128)[offsets=ns]", "linear(l=128)[residuals=ns]"] {
+        let scheme = parse_scheme(expr).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(expr), expr, |b, _| {
+            b.iter(|| scheme.compress(black_box(&col)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompress, bench_compress);
+criterion_main!(benches);

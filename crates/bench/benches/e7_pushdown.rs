@@ -1,0 +1,49 @@
+//! E7 — selection pushdown: naive decompress-then-filter vs zone-map /
+//! run-granularity pushdown, across selectivities on the lineitem-like
+//! table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcdc_bench::lineitem;
+use lcdc_core::{ColumnData, DType};
+use lcdc_store::{CompressionPolicy, Predicate, Query, Table, TableSchema};
+use std::hint::black_box;
+
+fn build_table() -> Table {
+    let t = lineitem(400, 250);
+    let schema = TableSchema::new(&[("shipdate", DType::U64), ("price", DType::U64)]);
+    Table::build(
+        schema,
+        &[ColumnData::U64(t.shipdate), ColumnData::U64(t.extendedprice)],
+        &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+        8192,
+    )
+    .unwrap()
+}
+
+fn bench_query(c: &mut Criterion) {
+    let table = build_table();
+    let d0 = 19_920_101u64;
+    let mut group = c.benchmark_group("e7/filtered_sum");
+    for days in [4u64, 40, 400] {
+        let q = Query::new(
+            "shipdate",
+            Predicate::Range { lo: d0 as i128, hi: (d0 + days - 1) as i128 },
+            "price",
+        );
+        // Answers must agree before we time anything.
+        assert_eq!(
+            q.run_naive(&table).unwrap().agg,
+            q.run_pushdown(&table).unwrap().agg
+        );
+        group.bench_with_input(BenchmarkId::new("naive", days), &days, |b, _| {
+            b.iter(|| q.run_naive(black_box(&table)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pushdown", days), &days, |b, _| {
+            b.iter(|| q.run_pushdown(black_box(&table)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! K1 — throughput of the columnar operator kernels themselves.
+//!
+//! The paper's Lessons 1 rests on decompression being "the same columnar
+//! operations which show up in query execution plans"; this bench pins
+//! down what each of those operators costs per byte on this machine, so
+//! the per-scheme numbers in E2/E3 can be read as sums of kernel costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lcdc_bench::SEED;
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn bench_kernels(c: &mut Criterion) {
+    let data = lcdc_datagen::uniform(N, 1 << 40, SEED);
+    let small = lcdc_datagen::uniform(N, 1 << 10, SEED ^ 1);
+    let indices: Vec<u64> = lcdc_datagen::uniform(N, N as u64, SEED ^ 2);
+    let sorted_positions: Vec<u64> = {
+        let mut p = lcdc_datagen::sorted_unique(N / 64, 0, 128, SEED ^ 3);
+        p.retain(|&x| x < N as u64);
+        p
+    };
+
+    let mut group = c.benchmark_group("k1/kernels");
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    group.bench_function("prefix_sum_inclusive", |b| {
+        b.iter(|| lcdc_colops::prefix_sum_inclusive(black_box(&data)))
+    });
+    group.bench_function("prefix_sum_segmented_l128", |b| {
+        b.iter(|| lcdc_colops::prefix_sum_segmented(black_box(&data), 128).unwrap())
+    });
+    group.bench_function("adjacent_diff", |b| {
+        b.iter(|| lcdc_colops::prefix_sum::adjacent_diff(black_box(&data)))
+    });
+    group.bench_function("gather_random", |b| {
+        b.iter(|| lcdc_colops::gather(black_box(&data), black_box(&indices)).unwrap())
+    });
+    group.bench_function("scatter_sparse", |b| {
+        b.iter(|| {
+            lcdc_colops::scatter(
+                black_box(&vec![1u64; sorted_positions.len()]),
+                black_box(&sorted_positions),
+                N,
+                0u64,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("elementwise_add", |b| {
+        b.iter(|| {
+            lcdc_colops::binary(lcdc_colops::BinOpKind::Add, black_box(&data), black_box(&small))
+                .unwrap()
+        })
+    });
+    group.bench_function("constant_fill", |b| {
+        b.iter(|| lcdc_colops::constant(black_box(7u64), N))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("k1/bitpack");
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    for width in [4u32, 13, 32] {
+        let narrow: Vec<u64> = small.iter().map(|&v| v & ((1 << width) - 1)).collect();
+        let packed = lcdc_bitpack::Packed::pack(&narrow, width).unwrap();
+        group.bench_function(format!("pack_w{width}"), |b| {
+            b.iter(|| lcdc_bitpack::Packed::pack(black_box(&narrow), width).unwrap())
+        });
+        group.bench_function(format!("unpack_w{width}"), |b| {
+            b.iter(|| black_box(&packed).unpack())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Mini-block packing with a per-block width.
+//!
+//! This is the backend of the paper's "variable-width encoding for the
+//! offsets column" (§II-B, the per-element-bit-metric generalisation of
+//! FOR). Instead of one global width, values are grouped into fixed-size
+//! blocks of [`BLOCK_LEN`] and each block is packed at the smallest width
+//! covering its own values. Locally-narrow regions then cost few bits even
+//! when other regions are wide.
+
+use crate::pack::Packed;
+use crate::width::max_width;
+use crate::{Error, Result};
+
+/// Number of values per mini-block. 128 matches common practice
+/// (cache-line multiples, Parquet/PFor-style miniblocks).
+pub const BLOCK_LEN: usize = 128;
+
+/// A column packed block-by-block, each block at its own width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPacked {
+    /// One width per block (`widths.len() == ceil(len / BLOCK_LEN)`).
+    widths: Vec<u8>,
+    /// Concatenated per-block payloads.
+    blocks: Vec<Packed>,
+    len: usize,
+}
+
+impl BlockPacked {
+    /// Pack `values`, choosing each block's width independently.
+    pub fn pack(values: &[u64]) -> Self {
+        let mut widths = Vec::with_capacity(values.len().div_ceil(BLOCK_LEN));
+        let mut blocks = Vec::with_capacity(widths.capacity());
+        for chunk in values.chunks(BLOCK_LEN) {
+            let w = max_width(chunk);
+            widths.push(w as u8);
+            // The width was just measured over the chunk, so pack cannot
+            // fail.
+            blocks.push(Packed::pack(chunk, w).expect("measured width must fit"));
+        }
+        BlockPacked { widths, blocks, len: values.len() }
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-block widths.
+    pub fn widths(&self) -> &[u8] {
+        &self.widths
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total size in bytes: payload plus one byte per block for its width.
+    pub fn total_bytes(&self) -> usize {
+        self.blocks.iter().map(Packed::payload_bytes).sum::<usize>() + self.widths.len()
+    }
+
+    /// Random access to the value at `i`.
+    pub fn get(&self, i: usize) -> Option<u64> {
+        if i >= self.len {
+            return None;
+        }
+        self.blocks[i / BLOCK_LEN].get(i % BLOCK_LEN)
+    }
+
+    /// Unpack the whole buffer.
+    pub fn unpack(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.len];
+        self.unpack_into(&mut out);
+        out
+    }
+
+    /// Unpack into a caller-provided slice of exactly `len()` elements.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn unpack_into(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.len, "output slice length mismatch");
+        for (block, chunk) in self.blocks.iter().zip(out.chunks_mut(BLOCK_LEN)) {
+            block.unpack_into(chunk);
+        }
+    }
+
+    /// Validate internal consistency (block count, per-block lengths).
+    pub fn validate(&self) -> Result<()> {
+        if self.widths.len() != self.blocks.len() {
+            return Err(Error::Corrupt("widths/blocks count mismatch"));
+        }
+        if self.blocks.len() != self.len.div_ceil(BLOCK_LEN) {
+            return Err(Error::Corrupt("block count does not match len"));
+        }
+        let mut remaining = self.len;
+        for block in &self.blocks {
+            let expect = remaining.min(BLOCK_LEN);
+            if block.len() != expect {
+                return Err(Error::Corrupt("block length mismatch"));
+            }
+            remaining -= expect;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let b = BlockPacked::pack(&[]);
+        assert!(b.is_empty());
+        assert_eq!(b.num_blocks(), 0);
+        assert_eq!(b.unpack(), Vec::<u64>::new());
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn single_partial_block() {
+        let values: Vec<u64> = (0..10).collect();
+        let b = BlockPacked::pack(&values);
+        assert_eq!(b.num_blocks(), 1);
+        assert_eq!(b.widths(), &[4]);
+        assert_eq!(b.unpack(), values);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        let values: Vec<u64> = (0..BLOCK_LEN as u64 * 2).collect();
+        let b = BlockPacked::pack(&values);
+        assert_eq!(b.num_blocks(), 2);
+        assert_eq!(b.unpack(), values);
+    }
+
+    #[test]
+    fn per_block_widths_differ() {
+        // First block tiny values, second block huge: per-block widths
+        // must reflect that, and total size must beat global-width packing.
+        let mut values = vec![1u64; BLOCK_LEN];
+        values.extend(std::iter::repeat_n(u64::MAX / 2, BLOCK_LEN));
+        let b = BlockPacked::pack(&values);
+        assert_eq!(b.widths()[0], 1);
+        assert_eq!(b.widths()[1], 63);
+        let global = Packed::pack(&values, 63).unwrap();
+        assert!(b.total_bytes() < global.payload_bytes());
+    }
+
+    #[test]
+    fn random_access() {
+        let values: Vec<u64> = (0..300).map(|i| i * i % 1000).collect();
+        let b = BlockPacked::pack(&values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(b.get(i), Some(v), "index {i}");
+        }
+        assert_eq!(b.get(300), None);
+    }
+
+    #[test]
+    fn unpack_into_partial_tail() {
+        let values: Vec<u64> = (0..BLOCK_LEN as u64 + 17).collect();
+        let b = BlockPacked::pack(&values);
+        let mut out = vec![0u64; values.len()];
+        b.unpack_into(&mut out);
+        assert_eq!(out, values);
+    }
+}

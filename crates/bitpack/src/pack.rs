@@ -1,0 +1,280 @@
+//! Flat bit packing: the whole column at one width.
+//!
+//! Values are laid out LSB-first in a dense stream of 64-bit words:
+//! value `i` occupies bits `i*w .. (i+1)*w` of the stream. Width 0 packs
+//! any number of zeros into zero words; width 64 is a plain copy.
+
+use crate::{Error, Result};
+
+/// A bit-packed buffer: `len` values of `width` bits each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packed {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl Packed {
+    /// Pack `values` at `width` bits each.
+    ///
+    /// Errors with [`Error::ValueTooWide`] if any value needs more than
+    /// `width` bits, and [`Error::WidthOutOfRange`] if `width > 64`.
+    pub fn pack(values: &[u64], width: u32) -> Result<Self> {
+        if width > 64 {
+            return Err(Error::WidthOutOfRange(width));
+        }
+        if width == 0 {
+            if let Some(index) = values.iter().position(|&v| v != 0) {
+                return Err(Error::ValueTooWide { index, value: values[index], width });
+            }
+            return Ok(Packed { words: Vec::new(), width, len: values.len() });
+        }
+        if width == 64 {
+            return Ok(Packed { words: values.to_vec(), width, len: values.len() });
+        }
+        let mask = (1u64 << width) - 1;
+        if let Some(index) = values.iter().position(|&v| v & !mask != 0) {
+            return Err(Error::ValueTooWide { index, value: values[index], width });
+        }
+        let total_bits = values.len() as u128 * width as u128;
+        let n_words = total_bits.div_ceil(64) as usize;
+        let mut words = vec![0u64; n_words];
+        let mut bit_pos = 0usize;
+        for &v in values {
+            let word = bit_pos >> 6;
+            let offset = (bit_pos & 63) as u32;
+            words[word] |= v << offset;
+            if offset + width > 64 {
+                words[word + 1] |= v >> (64 - offset);
+            }
+            bit_pos += width as usize;
+        }
+        Ok(Packed { words, width, len: values.len() })
+    }
+
+    /// Reconstruct a `Packed` from raw parts (e.g. after deserialisation).
+    ///
+    /// Validates the word count against `len * width`.
+    pub fn from_raw_parts(words: Vec<u64>, width: u32, len: usize) -> Result<Self> {
+        if width > 64 {
+            return Err(Error::WidthOutOfRange(width));
+        }
+        let expected = (len as u128 * width as u128).div_ceil(64) as usize;
+        if words.len() != expected {
+            return Err(Error::Corrupt("word count does not match len*width"));
+        }
+        Ok(Packed { words, width, len })
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-value bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Payload size in bytes (words only, excluding struct metadata).
+    pub fn payload_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Random access: the value at index `i`, or `None` out of bounds.
+    ///
+    /// This is the NS scheme's O(1) positional access — one of the
+    /// operational advantages lightweight schemes keep over heavyweight
+    /// ones.
+    pub fn get(&self, i: usize) -> Option<u64> {
+        if i >= self.len {
+            return None;
+        }
+        if self.width == 0 {
+            return Some(0);
+        }
+        if self.width == 64 {
+            return Some(self.words[i]);
+        }
+        let bit_pos = i * self.width as usize;
+        let word = bit_pos >> 6;
+        let offset = (bit_pos & 63) as u32;
+        let mask = (1u64 << self.width) - 1;
+        let mut v = self.words[word] >> offset;
+        if offset + self.width > 64 {
+            v |= self.words[word + 1] << (64 - offset);
+        }
+        Some(v & mask)
+    }
+
+    /// Unpack the whole buffer into a fresh vector.
+    pub fn unpack(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.len];
+        self.unpack_into(&mut out);
+        out
+    }
+
+    /// Unpack into a caller-provided slice of exactly `len()` elements.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn unpack_into(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.len, "output slice length mismatch");
+        match self.width {
+            0 => out.fill(0),
+            64 => out.copy_from_slice(&self.words),
+            w => unpack_generic(&self.words, w, out),
+        }
+    }
+
+    /// Iterate over the packed values without materialising them.
+    pub fn iter(&self) -> PackedIter<'_> {
+        PackedIter { packed: self, idx: 0 }
+    }
+}
+
+/// Iterator over the values of a [`Packed`] buffer.
+pub struct PackedIter<'a> {
+    packed: &'a Packed,
+    idx: usize,
+}
+
+impl Iterator for PackedIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let v = self.packed.get(self.idx)?;
+        self.idx += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.packed.len - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PackedIter<'_> {}
+
+fn unpack_generic(words: &[u64], width: u32, out: &mut [u64]) {
+    let mask = (1u64 << width) - 1;
+    let mut bit_pos = 0usize;
+    for slot in out.iter_mut() {
+        let word = bit_pos >> 6;
+        let offset = (bit_pos & 63) as u32;
+        let mut v = words[word] >> offset;
+        if offset + width > 64 {
+            v |= words[word + 1] << (64 - offset);
+        }
+        *slot = v & mask;
+        bit_pos += width as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_any_width() {
+        for w in [0, 1, 13, 64] {
+            let p = Packed::pack(&[], w).unwrap();
+            assert_eq!(p.len(), 0);
+            assert!(p.is_empty());
+            assert_eq!(p.unpack(), Vec::<u64>::new());
+        }
+    }
+
+    #[test]
+    fn width_zero_packs_zeros_only() {
+        let p = Packed::pack(&[0, 0, 0], 0).unwrap();
+        assert_eq!(p.payload_bytes(), 0);
+        assert_eq!(p.unpack(), vec![0, 0, 0]);
+        assert_eq!(
+            Packed::pack(&[0, 1], 0),
+            Err(Error::ValueTooWide { index: 1, value: 1, width: 0 })
+        );
+    }
+
+    #[test]
+    fn width_65_rejected() {
+        assert_eq!(Packed::pack(&[1], 65), Err(Error::WidthOutOfRange(65)));
+    }
+
+    #[test]
+    fn too_wide_value_rejected() {
+        assert_eq!(
+            Packed::pack(&[7, 8], 3),
+            Err(Error::ValueTooWide { index: 1, value: 8, width: 3 })
+        );
+    }
+
+    #[test]
+    fn round_trip_every_width() {
+        for width in 1..=64u32 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = (0..200u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask)
+                .collect();
+            let p = Packed::pack(&values, width).unwrap();
+            assert_eq!(p.unpack(), values, "width {width}");
+        }
+    }
+
+    #[test]
+    fn random_access_matches_unpack() {
+        let values: Vec<u64> = (0..100).map(|i| i * 37 % 8192).collect();
+        let p = Packed::pack(&values, 13).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(p.get(i), Some(v));
+        }
+        assert_eq!(p.get(values.len()), None);
+    }
+
+    #[test]
+    fn iterator_yields_all_values() {
+        let values: Vec<u64> = (0..67).collect();
+        let p = Packed::pack(&values, 7).unwrap();
+        let collected: Vec<u64> = p.iter().collect();
+        assert_eq!(collected, values);
+        assert_eq!(p.iter().len(), 67);
+    }
+
+    #[test]
+    fn word_boundary_straddling() {
+        // Width 13 straddles 64-bit boundaries regularly; check the exact
+        // values around the first boundary.
+        let values: Vec<u64> = (0..10).map(|i| 0x1000 + i).collect();
+        let p = Packed::pack(&values, 13).unwrap();
+        assert_eq!(p.unpack(), values);
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        let p = Packed::pack(&[1, 2, 3], 2).unwrap();
+        let rebuilt = Packed::from_raw_parts(p.words().to_vec(), 2, 3).unwrap();
+        assert_eq!(rebuilt.unpack(), vec![1, 2, 3]);
+        assert!(Packed::from_raw_parts(vec![], 2, 3).is_err());
+        assert!(Packed::from_raw_parts(vec![0; 10], 2, 3).is_err());
+        assert!(Packed::from_raw_parts(vec![], 65, 0).is_err());
+    }
+
+    #[test]
+    fn payload_bytes_matches_width_module() {
+        for (n, w) in [(100usize, 13u32), (64, 1), (1, 64), (0, 7)] {
+            let values = vec![0u64; n];
+            let p = Packed::pack(&values, w).unwrap();
+            assert_eq!(p.payload_bytes(), crate::width::packed_bytes(n, w));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Zigzag mapping between signed and unsigned integers.
+//!
+//! DELTA deltas and model residuals (paper §II-B: the frame need not be
+//! below the data) are small in magnitude but signed. Zigzag interleaves
+//! positive and negative values — `0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`
+//! — so that small-magnitude signed values become small unsigned values
+//! and NS can pack them narrowly.
+
+/// Map a signed value to its zigzag unsigned form.
+#[inline]
+pub fn zigzag_encode_i64(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode_i64`].
+#[inline]
+pub fn zigzag_decode_i64(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode a slice of signed values into a fresh vector.
+pub fn zigzag_encode_slice(values: &[i64]) -> Vec<u64> {
+    values.iter().map(|&v| zigzag_encode_i64(v)).collect()
+}
+
+/// Decode a slice of zigzag values into a fresh vector.
+pub fn zigzag_decode_slice(values: &[u64]) -> Vec<i64> {
+    values.iter().map(|&v| zigzag_decode_i64(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_interleave() {
+        assert_eq!(zigzag_encode_i64(0), 0);
+        assert_eq!(zigzag_encode_i64(-1), 1);
+        assert_eq!(zigzag_encode_i64(1), 2);
+        assert_eq!(zigzag_encode_i64(-2), 3);
+        assert_eq!(zigzag_encode_i64(2), 4);
+    }
+
+    #[test]
+    fn extremes_round_trip() {
+        for v in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX] {
+            assert_eq!(zigzag_decode_i64(zigzag_encode_i64(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let values = vec![-5i64, 0, 3, i64::MIN, i64::MAX, 42, -42];
+        let encoded = zigzag_encode_slice(&values);
+        assert_eq!(zigzag_decode_slice(&encoded), values);
+    }
+
+    #[test]
+    fn magnitude_is_preserved_in_width() {
+        // |v| <= 2^(k-1) implies zigzag(v) < 2^k: width grows by exactly
+        // one bit, which is what makes zigzag+NS effective for residuals.
+        for k in 1..63 {
+            let bound = 1i64 << (k - 1);
+            for v in [-bound, bound - 1, bound] {
+                let enc = zigzag_encode_i64(v);
+                assert!(
+                    crate::width::bits_needed_u64(enc) <= k + 1,
+                    "v={v} k={k} enc={enc}"
+                );
+            }
+        }
+    }
+}

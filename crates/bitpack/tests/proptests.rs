@@ -1,0 +1,95 @@
+//! Property-based round-trip tests for the packing kernels.
+
+use lcdc_bitpack::pack::Packed;
+use lcdc_bitpack::width::{bits_needed_u64, max_width, width_percentile};
+use lcdc_bitpack::zigzag::{zigzag_decode_i64, zigzag_encode_i64};
+use lcdc_bitpack::BlockPacked;
+use proptest::prelude::*;
+
+fn values_at_width(width: u32, max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    let mask = if width == 0 {
+        0
+    } else if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    prop::collection::vec(any::<u64>().prop_map(move |v| v & mask), 0..max_len)
+}
+
+proptest! {
+    #[test]
+    fn flat_pack_round_trips(width in 0u32..=64, seed in any::<u64>()) {
+        let mut rng = seed;
+        let mask = if width == 0 { 0 } else if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let values: Vec<u64> = (0..257).map(|_| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng & mask
+        }).collect();
+        let packed = Packed::pack(&values, width).unwrap();
+        prop_assert_eq!(packed.unpack(), values);
+    }
+
+    #[test]
+    fn flat_pack_arbitrary_values(values in values_at_width(17, 500)) {
+        let packed = Packed::pack(&values, 17).unwrap();
+        prop_assert_eq!(packed.unpack(), values.clone());
+        // Random access agrees with bulk unpack.
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), Some(v));
+        }
+    }
+
+    #[test]
+    fn minimal_width_is_tight(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let w = max_width(&values);
+        // Everything fits at w...
+        prop_assert!(Packed::pack(&values, w).is_ok());
+        // ...and at least one value fails at w-1 (when w > 0).
+        if w > 0 {
+            prop_assert!(Packed::pack(&values, w - 1).is_err());
+        }
+    }
+
+    #[test]
+    fn block_pack_round_trips(values in prop::collection::vec(any::<u64>(), 0..700)) {
+        let b = BlockPacked::pack(&values);
+        b.validate().unwrap();
+        prop_assert_eq!(b.unpack(), values.clone());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(b.get(i), Some(v));
+        }
+    }
+
+    #[test]
+    fn block_never_beaten_by_flat_on_payload(values in prop::collection::vec(any::<u64>(), 1..700)) {
+        // Per-block widths are at most the global width, so the per-block
+        // *payload* (excluding the 1-byte/block header) never exceeds the
+        // flat payload.
+        let b = BlockPacked::pack(&values);
+        let flat = Packed::pack(&values, max_width(&values)).unwrap();
+        let block_payload = b.total_bytes() - b.num_blocks();
+        // Rounding to whole words per block can cost up to 7 bytes/block.
+        prop_assert!(block_payload <= flat.payload_bytes() + 8 * b.num_blocks());
+    }
+
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(zigzag_decode_i64(zigzag_encode_i64(v)), v);
+    }
+
+    #[test]
+    fn zigzag_is_monotone_in_magnitude(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        if a.unsigned_abs() < b.unsigned_abs() {
+            prop_assert!(zigzag_encode_i64(a) < 2 * zigzag_encode_i64(b).max(1));
+        }
+    }
+
+    #[test]
+    fn percentile_width_covers_fraction(values in prop::collection::vec(any::<u64>(), 1..300), num in 0u32..=100) {
+        let fraction = num as f64 / 100.0;
+        let w = width_percentile(&values, fraction);
+        let fitting = values.iter().filter(|&&v| bits_needed_u64(v) <= w).count();
+        prop_assert!(fitting as f64 >= fraction * values.len() as f64 - 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! The `Constant` operator: materialise a column of `n` copies of a value.
+//!
+//! Appears in both of the paper's decompression algorithms (Alg. 1 lines
+//! 4–5, Alg. 2 lines 1 and 3).
+
+use crate::scalar::Scalar;
+
+/// Produce a column of `n` copies of `value`.
+pub fn constant<T: Scalar>(value: T, n: usize) -> Vec<T> {
+    vec![value; n]
+}
+
+/// Fill an existing buffer with `value` (allocation-free variant for
+/// engines that recycle vectors).
+pub fn constant_into<T: Scalar>(value: T, out: &mut [T]) {
+    out.fill(value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialises_n_copies() {
+        assert_eq!(constant(7u32, 4), vec![7, 7, 7, 7]);
+        assert_eq!(constant(-3i64, 2), vec![-3, -3]);
+        assert_eq!(constant(0u64, 0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn fills_in_place() {
+        let mut buf = vec![1u32, 2, 3];
+        constant_into(9, &mut buf);
+        assert_eq!(buf, vec![9, 9, 9]);
+    }
+}

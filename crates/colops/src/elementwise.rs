@@ -1,0 +1,186 @@
+//! The `Elementwise` operator family.
+//!
+//! Algorithm 2 uses two instances: integer division (segment indices from
+//! element ids) and addition (references plus offsets). The kernels come
+//! in closure form (for fused engine code) and in [`BinOpKind`] enum form
+//! (for the dynamically-interpreted decompression plans of `lcdc-core`).
+
+use crate::scalar::Scalar;
+use crate::{ColOpsError, Result};
+
+/// Dynamically-dispatchable binary operations, the vocabulary available
+/// to decompression plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOpKind {
+    /// Wrapping addition (Alg. 2 line 6).
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (linear frames: slope × position).
+    Mul,
+    /// Checked integer division (Alg. 2 line 4).
+    Div,
+    /// Checked remainder.
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+impl BinOpKind {
+    /// Apply the operation to a pair of scalars.
+    pub fn apply<T: Scalar>(self, a: T, b: T) -> Result<T> {
+        Ok(match self {
+            BinOpKind::Add => a.wadd(b),
+            BinOpKind::Sub => a.wsub(b),
+            BinOpKind::Mul => a.wmul(b),
+            BinOpKind::Div => a.cdiv(b).ok_or(ColOpsError::DivisionByZero)?,
+            BinOpKind::Rem => a.crem(b).ok_or(ColOpsError::DivisionByZero)?,
+            BinOpKind::Min => a.min(b),
+            BinOpKind::Max => a.max(b),
+            BinOpKind::And => a.band(b),
+            BinOpKind::Or => a.bor(b),
+            BinOpKind::Xor => a.bxor(b),
+        })
+    }
+
+    /// Operator symbol for plan pretty-printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOpKind::Add => "+",
+            BinOpKind::Sub => "-",
+            BinOpKind::Mul => "*",
+            BinOpKind::Div => "÷",
+            BinOpKind::Rem => "%",
+            BinOpKind::Min => "min",
+            BinOpKind::Max => "max",
+            BinOpKind::And => "&",
+            BinOpKind::Or => "|",
+            BinOpKind::Xor => "^",
+        }
+    }
+}
+
+/// Column ⊕ column, checked lengths.
+pub fn binary<T: Scalar>(op: BinOpKind, lhs: &[T], rhs: &[T]) -> Result<Vec<T>> {
+    if lhs.len() != rhs.len() {
+        return Err(ColOpsError::LengthMismatch { left: lhs.len(), right: rhs.len() });
+    }
+    lhs.iter().zip(rhs).map(|(&a, &b)| op.apply(a, b)).collect()
+}
+
+/// Column ⊕ broadcast scalar.
+pub fn binary_scalar<T: Scalar>(op: BinOpKind, lhs: &[T], rhs: T) -> Result<Vec<T>> {
+    lhs.iter().map(|&a| op.apply(a, rhs)).collect()
+}
+
+/// Arbitrary unary map (closure form, for fused code).
+pub fn unary<T: Scalar, U: Scalar>(input: &[T], f: impl Fn(T) -> U) -> Vec<U> {
+    input.iter().map(|&v| f(v)).collect()
+}
+
+/// Fused column+column addition into a pre-allocated output, the hot path
+/// of FOR decompression in the fused (non-interpreted) engine.
+pub fn add_into<T: Scalar>(lhs: &[T], rhs: &[T], out: &mut [T]) -> Result<()> {
+    if lhs.len() != rhs.len() || lhs.len() != out.len() {
+        return Err(ColOpsError::LengthMismatch { left: lhs.len(), right: rhs.len() });
+    }
+    for ((o, &a), &b) in out.iter_mut().zip(lhs).zip(rhs) {
+        *o = a.wadd(b);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_columns() {
+        assert_eq!(binary(BinOpKind::Add, &[1u32, 2], &[10, 20]).unwrap(), vec![11, 22]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert_eq!(
+            binary(BinOpKind::Add, &[1u32], &[1, 2]),
+            Err(ColOpsError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn division_for_segment_indices() {
+        // Algorithm 2 line 4: element ids ÷ segment length.
+        let ids = [0u64, 1, 2, 3, 4, 5];
+        assert_eq!(binary_scalar(BinOpKind::Div, &ids, 2).unwrap(), vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn division_by_zero_rejected() {
+        assert_eq!(binary_scalar(BinOpKind::Div, &[1u32], 0), Err(ColOpsError::DivisionByZero));
+        assert_eq!(binary(BinOpKind::Rem, &[1i64], &[0]), Err(ColOpsError::DivisionByZero));
+    }
+
+    #[test]
+    fn signed_division_overflow_rejected() {
+        assert_eq!(
+            binary_scalar(BinOpKind::Div, &[i32::MIN], -1),
+            Err(ColOpsError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        assert_eq!(binary_scalar(BinOpKind::Add, &[u32::MAX], 1).unwrap(), vec![0]);
+        assert_eq!(binary_scalar(BinOpKind::Mul, &[1u64 << 63], 2).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn min_max_and_bitwise() {
+        assert_eq!(binary(BinOpKind::Min, &[3u32, 9], &[5, 2]).unwrap(), vec![3, 2]);
+        assert_eq!(binary(BinOpKind::Max, &[3u32, 9], &[5, 2]).unwrap(), vec![5, 9]);
+        assert_eq!(binary_scalar(BinOpKind::And, &[0b1100u32], 0b1010).unwrap(), vec![0b1000]);
+        assert_eq!(binary_scalar(BinOpKind::Or, &[0b1100u32], 0b1010).unwrap(), vec![0b1110]);
+        assert_eq!(binary_scalar(BinOpKind::Xor, &[0b1100u32], 0b1010).unwrap(), vec![0b0110]);
+    }
+
+    #[test]
+    fn unary_maps_types() {
+        let doubled: Vec<u64> = unary(&[1u32, 2, 3], |v| (v as u64) * 2);
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn fused_add_into() {
+        let mut out = vec![0u32; 3];
+        add_into(&[1, 2, 3], &[10, 20, 30], &mut out).unwrap();
+        assert_eq!(out, vec![11, 22, 33]);
+        assert!(add_into(&[1u32], &[1, 2], &mut out).is_err());
+    }
+
+    #[test]
+    fn symbols_unique() {
+        use std::collections::HashSet;
+        let ops = [
+            BinOpKind::Add,
+            BinOpKind::Sub,
+            BinOpKind::Mul,
+            BinOpKind::Div,
+            BinOpKind::Rem,
+            BinOpKind::Min,
+            BinOpKind::Max,
+            BinOpKind::And,
+            BinOpKind::Or,
+            BinOpKind::Xor,
+        ];
+        let symbols: HashSet<_> = ops.iter().map(|o| o.symbol()).collect();
+        assert_eq!(symbols.len(), ops.len());
+    }
+}

@@ -1,0 +1,78 @@
+//! The `Gather` operator: `out[i] = values[indices[i]]`.
+//!
+//! The final step of both decompression algorithms in the paper: Alg. 1
+//! gathers run values by computed run index; Alg. 2 gathers segment
+//! references ("replicated") by segment index.
+
+use crate::scalar::{IndexScalar, Scalar};
+use crate::{ColOpsError, Result};
+
+/// Gather `values` at `indices`: `out[i] = values[indices[i]]`.
+///
+/// Errors with [`ColOpsError::IndexOutOfBounds`] on the first offending
+/// index and [`ColOpsError::BadIndexValue`] for negative indices.
+pub fn gather<T: Scalar, I: IndexScalar>(values: &[T], indices: &[I]) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(indices.len());
+    for &raw in indices {
+        let idx = raw.to_index().ok_or(ColOpsError::BadIndexValue)?;
+        let v = values
+            .get(idx)
+            .copied()
+            .ok_or(ColOpsError::IndexOutOfBounds { index: idx, len: values.len() })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Gather with `usize` indices, the common internal case.
+pub fn gather_usize<T: Scalar>(values: &[T], indices: &[usize]) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        let v = values
+            .get(idx)
+            .copied()
+            .ok_or(ColOpsError::IndexOutOfBounds { index: idx, len: values.len() })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_gather() {
+        let values = [10u32, 20, 30];
+        let indices = [2u64, 0, 1, 1];
+        assert_eq!(gather(&values, &indices).unwrap(), vec![30, 10, 20, 20]);
+    }
+
+    #[test]
+    fn empty_indices_yield_empty() {
+        let values = [1u32, 2];
+        assert_eq!(gather::<u32, u64>(&values, &[]).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let values = [1u32];
+        assert_eq!(
+            gather(&values, &[0u64, 5]),
+            Err(ColOpsError::IndexOutOfBounds { index: 5, len: 1 })
+        );
+    }
+
+    #[test]
+    fn negative_index_rejected() {
+        let values = [1u32, 2];
+        assert_eq!(gather(&values, &[-1i64]), Err(ColOpsError::BadIndexValue));
+    }
+
+    #[test]
+    fn usize_variant_matches() {
+        let values = [5i64, 6, 7];
+        assert_eq!(gather_usize(&values, &[2, 2, 0]).unwrap(), vec![7, 7, 5]);
+        assert!(gather_usize(&values, &[3]).is_err());
+    }
+}

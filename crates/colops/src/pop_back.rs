@@ -1,0 +1,39 @@
+//! The `PopBack` operator: drop a column's final element.
+//!
+//! Algorithm 1, line 3: the run-position column's last entry is the total
+//! uncompressed length `n`; decompression pops it off before scattering
+//! boundary markers (there is no run *starting* at position `n`).
+
+use crate::{ColOpsError, Result};
+
+/// Return the column minus its final element, together with that element.
+///
+/// Errors with [`ColOpsError::EmptyInput`] on an empty column.
+pub fn pop_back<T: Copy>(input: &[T]) -> Result<(Vec<T>, T)> {
+    let (&last, rest) = input.split_last().ok_or(ColOpsError::EmptyInput("PopBack"))?;
+    Ok((rest.to_vec(), last))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_off_last() {
+        let (rest, last) = pop_back(&[1u32, 2, 3]).unwrap();
+        assert_eq!(rest, vec![1, 2]);
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    fn single_element() {
+        let (rest, last) = pop_back(&[42i64]).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(last, 42);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(pop_back::<u32>(&[]), Err(ColOpsError::EmptyInput("PopBack")));
+    }
+}

@@ -1,0 +1,184 @@
+//! The `PrefixSum` operator.
+//!
+//! The workhorse of Algorithm 1 (twice: run positions from lengths, run
+//! indices from scattered ones) and of DELTA decompression. Sums are
+//! *wrapping*: DELTA stores differences with wrapping subtraction, so a
+//! wrapping prefix sum reconstructs the original bit-exactly even when
+//! intermediate sums overflow.
+
+use crate::scalar::Scalar;
+
+/// Inclusive prefix sum: `out[i] = in[0] + … + in[i]` (wrapping).
+pub fn prefix_sum_inclusive<T: Scalar>(input: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = T::zero();
+    for &v in input {
+        acc = acc.wadd(v);
+        out.push(acc);
+    }
+    out
+}
+
+/// Exclusive prefix sum: `out[i] = in[0] + … + in[i-1]`, `out[0] = 0`
+/// (wrapping).
+pub fn prefix_sum_exclusive<T: Scalar>(input: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = T::zero();
+    for &v in input {
+        out.push(acc);
+        acc = acc.wadd(v);
+    }
+    out
+}
+
+/// In-place inclusive prefix sum.
+pub fn prefix_sum_inclusive_in_place<T: Scalar>(data: &mut [T]) {
+    let mut acc = T::zero();
+    for v in data.iter_mut() {
+        acc = acc.wadd(*v);
+        *v = acc;
+    }
+}
+
+/// Inverse of the inclusive prefix sum: adjacent differences (wrapping).
+/// `out[0] = in[0]`, `out[i] = in[i] - in[i-1]`.
+///
+/// This *is* DELTA compression viewed as an operator — the inverse pair
+/// underlying the paper's `RLE ≡ (ID, DELTA) ∘ RPE` identity.
+pub fn adjacent_diff<T: Scalar>(input: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut prev = T::zero();
+    for &v in input {
+        out.push(v.wsub(prev));
+        prev = v;
+    }
+    out
+}
+
+/// Inclusive prefix sum that restarts its accumulator at every multiple
+/// of `seg_len` (wrapping). The segmented counterpart of
+/// [`prefix_sum_inclusive`]: DFOR — DELTA with per-segment restart —
+/// decompresses with this single operator plus the per-segment base
+/// replication of Algorithm 2.
+pub fn prefix_sum_segmented<T: Scalar>(input: &[T], seg_len: usize) -> crate::Result<Vec<T>> {
+    if seg_len == 0 {
+        return Err(crate::ColOpsError::EmptyInput(
+            "prefix_sum_segmented: zero segment length",
+        ));
+    }
+    let mut out = Vec::with_capacity(input.len());
+    for chunk in input.chunks(seg_len) {
+        let mut acc = T::zero();
+        for &v in chunk {
+            acc = acc.wadd(v);
+            out.push(acc);
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`prefix_sum_segmented`]: adjacent differences restarting
+/// at every multiple of `seg_len` — DFOR compression as an operator.
+pub fn adjacent_diff_segmented<T: Scalar>(input: &[T], seg_len: usize) -> crate::Result<Vec<T>> {
+    if seg_len == 0 {
+        return Err(crate::ColOpsError::EmptyInput(
+            "adjacent_diff_segmented: zero segment length",
+        ));
+    }
+    let mut out = Vec::with_capacity(input.len());
+    for chunk in input.chunks(seg_len) {
+        let mut prev = T::zero();
+        for &v in chunk {
+            out.push(v.wsub(prev));
+            prev = v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_basic() {
+        assert_eq!(prefix_sum_inclusive(&[1u32, 2, 3, 4]), vec![1, 3, 6, 10]);
+        assert_eq!(prefix_sum_inclusive::<u32>(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn exclusive_basic() {
+        assert_eq!(prefix_sum_exclusive(&[1u32, 2, 3, 4]), vec![0, 1, 3, 6]);
+        assert_eq!(prefix_sum_exclusive(&[5i64]), vec![0]);
+    }
+
+    #[test]
+    fn wrapping_overflow_round_trips() {
+        let data = vec![u32::MAX, 1, u32::MAX, 7];
+        let summed = prefix_sum_inclusive(&data);
+        assert_eq!(adjacent_diff(&summed), data);
+    }
+
+    #[test]
+    fn diff_then_sum_is_identity() {
+        let data = vec![10i32, -5, 3, 3, 100, i32::MIN, i32::MAX];
+        assert_eq!(prefix_sum_inclusive(&adjacent_diff(&data)), data);
+    }
+
+    #[test]
+    fn in_place_matches_allocating() {
+        let data = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let mut in_place = data.clone();
+        prefix_sum_inclusive_in_place(&mut in_place);
+        assert_eq!(in_place, prefix_sum_inclusive(&data));
+    }
+
+    #[test]
+    fn run_positions_from_lengths() {
+        // Algorithm 1, line 1: lengths -> run end positions.
+        let lengths = [2u64, 3, 1];
+        assert_eq!(prefix_sum_inclusive(&lengths), vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn segmented_restarts_at_boundaries() {
+        let data = [1u32, 1, 1, 1, 1, 1, 1];
+        assert_eq!(
+            prefix_sum_segmented(&data, 3).unwrap(),
+            vec![1, 2, 3, 1, 2, 3, 1]
+        );
+    }
+
+    #[test]
+    fn segmented_diff_then_sum_is_identity() {
+        let data = vec![10i32, -5, 3, 3, 100, i32::MIN, i32::MAX];
+        for seg_len in [1, 2, 3, 7, 100] {
+            let diffs = adjacent_diff_segmented(&data, seg_len).unwrap();
+            assert_eq!(prefix_sum_segmented(&diffs, seg_len).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn segmented_full_segment_matches_global() {
+        let data = vec![3u64, 1, 4, 1, 5];
+        assert_eq!(
+            prefix_sum_segmented(&data, 5).unwrap(),
+            prefix_sum_inclusive(&data)
+        );
+        assert_eq!(
+            adjacent_diff_segmented(&data, 100).unwrap(),
+            adjacent_diff(&data)
+        );
+    }
+
+    #[test]
+    fn segmented_rejects_zero_segment_length() {
+        assert!(prefix_sum_segmented(&[1u32], 0).is_err());
+        assert!(adjacent_diff_segmented(&[1u32], 0).is_err());
+    }
+
+    #[test]
+    fn segmented_empty() {
+        assert_eq!(prefix_sum_segmented::<u64>(&[], 4).unwrap(), Vec::<u64>::new());
+    }
+}

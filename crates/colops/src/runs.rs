@@ -1,0 +1,110 @@
+//! Run detection and expansion: the compression-side kernels behind RLE
+//! and RPE.
+//!
+//! `runs_encode` is the inverse of Algorithm 1; `runs_expand` is the
+//! direct (fused) decompression against which the operator-DAG form is
+//! compared in experiment E8.
+
+use crate::scalar::Scalar;
+use crate::{ColOpsError, Result};
+
+/// Collapse a column into `(values, lengths)` of its maximal runs.
+///
+/// `values[i]` repeated `lengths[i]` times, concatenated, reproduces the
+/// input. Empty input produces empty outputs.
+pub fn runs_encode<T: Scalar>(col: &[T]) -> (Vec<T>, Vec<u64>) {
+    let mut values = Vec::new();
+    let mut lengths = Vec::new();
+    let mut iter = col.iter();
+    let Some(&first) = iter.next() else {
+        return (values, lengths);
+    };
+    let mut current = first;
+    let mut run_len = 1u64;
+    for &v in iter {
+        if v == current {
+            run_len += 1;
+        } else {
+            values.push(current);
+            lengths.push(run_len);
+            current = v;
+            run_len = 1;
+        }
+    }
+    values.push(current);
+    lengths.push(run_len);
+    (values, lengths)
+}
+
+/// Expand `(values, lengths)` runs back into a flat column (the fused
+/// RLE decompression loop).
+///
+/// Errors with [`ColOpsError::LengthMismatch`] if the two part columns
+/// disagree in length.
+pub fn runs_expand<T: Scalar>(values: &[T], lengths: &[u64]) -> Result<Vec<T>> {
+    if values.len() != lengths.len() {
+        return Err(ColOpsError::LengthMismatch { left: values.len(), right: lengths.len() });
+    }
+    let total: u64 = lengths.iter().sum();
+    let mut out = Vec::with_capacity(total as usize);
+    for (&v, &len) in values.iter().zip(lengths) {
+        out.extend(std::iter::repeat_n(v, len as usize));
+    }
+    Ok(out)
+}
+
+/// Number of maximal runs in a column (a cheap statistic for the cost
+/// model; avoids materialising the run columns).
+pub fn count_runs<T: Scalar>(col: &[T]) -> usize {
+    if col.is_empty() {
+        return 0;
+    }
+    1 + col.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_basic() {
+        let (values, lengths) = runs_encode(&[5u32, 5, 5, 7, 7, 5]);
+        assert_eq!(values, vec![5, 7, 5]);
+        assert_eq!(lengths, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn encode_empty_and_single() {
+        let (v, l) = runs_encode::<u32>(&[]);
+        assert!(v.is_empty() && l.is_empty());
+        let (v, l) = runs_encode(&[9i64]);
+        assert_eq!((v, l), (vec![9], vec![1]));
+    }
+
+    #[test]
+    fn expand_inverts_encode() {
+        let col = vec![1u32, 1, 2, 3, 3, 3, 1];
+        let (values, lengths) = runs_encode(&col);
+        assert_eq!(runs_expand(&values, &lengths).unwrap(), col);
+    }
+
+    #[test]
+    fn expand_rejects_mismatch() {
+        assert!(matches!(
+            runs_expand(&[1u32, 2], &[3]),
+            Err(ColOpsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_runs_expand_to_nothing() {
+        assert_eq!(runs_expand(&[1u32, 2], &[0, 2]).unwrap(), vec![2, 2]);
+    }
+
+    #[test]
+    fn count_matches_encode() {
+        let col = vec![1u32, 1, 2, 2, 2, 3, 1, 1];
+        assert_eq!(count_runs(&col), runs_encode(&col).0.len());
+        assert_eq!(count_runs::<u64>(&[]), 0);
+    }
+}

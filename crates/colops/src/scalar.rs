@@ -1,0 +1,220 @@
+//! The element types columnar kernels operate on.
+//!
+//! Lightweight compression concerns fixed-width integers (the paper's
+//! schemes are all integer schemes; strings enter via DICT codes). The
+//! [`Scalar`] trait abstracts exactly the operations the kernels need —
+//! wrapping arithmetic (so DELTA round-trips even across overflow),
+//! checked division (FOR's segment-index computation), and a lossless
+//! widening to `u64`/`i64` for dynamic dispatch in plan interpreters.
+
+/// A fixed-width integer element type.
+pub trait Scalar:
+    Copy + PartialEq + Eq + PartialOrd + Ord + std::fmt::Debug + std::fmt::Display + Default + 'static
+{
+    /// Human-readable type name ("u32", "i64", ...).
+    const NAME: &'static str;
+    /// Bit width of the type.
+    const BITS: u32;
+    /// Whether the type is signed.
+    const SIGNED: bool;
+
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Smallest representable value.
+    fn min_value() -> Self;
+    /// Largest representable value.
+    fn max_value() -> Self;
+
+    /// Wrapping addition.
+    fn wadd(self, other: Self) -> Self;
+    /// Wrapping subtraction.
+    fn wsub(self, other: Self) -> Self;
+    /// Wrapping multiplication.
+    fn wmul(self, other: Self) -> Self;
+    /// Checked division (`None` on zero divisor or signed overflow).
+    fn cdiv(self, other: Self) -> Option<Self>;
+    /// Checked remainder (`None` on zero divisor or signed overflow).
+    fn crem(self, other: Self) -> Option<Self>;
+
+    /// Bitwise AND.
+    fn band(self, other: Self) -> Self;
+    /// Bitwise OR.
+    fn bor(self, other: Self) -> Self;
+    /// Bitwise XOR.
+    fn bxor(self, other: Self) -> Self;
+
+    /// Widen to `i64` preserving the numeric value.
+    ///
+    /// `u64` values above `i64::MAX` wrap; use [`Scalar::to_u64`] for
+    /// bit-preserving transport of unsigned types.
+    fn to_i64(self) -> i64;
+    /// Reinterpret/truncate from `i64` (inverse of [`Scalar::to_i64`] for
+    /// in-range values).
+    fn from_i64(v: i64) -> Self;
+    /// Widen to `u64` bit-preservingly (sign-extended for signed types).
+    fn to_u64(self) -> u64;
+    /// Truncate from `u64` (inverse of [`Scalar::to_u64`]).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $name:literal, $signed:literal) => {
+        impl Scalar for $t {
+            const NAME: &'static str = $name;
+            const BITS: u32 = <$t>::BITS;
+            const SIGNED: bool = $signed;
+
+            #[inline]
+            fn zero() -> Self {
+                0
+            }
+            #[inline]
+            fn one() -> Self {
+                1
+            }
+            #[inline]
+            fn min_value() -> Self {
+                <$t>::MIN
+            }
+            #[inline]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+            #[inline]
+            fn wadd(self, other: Self) -> Self {
+                self.wrapping_add(other)
+            }
+            #[inline]
+            fn wsub(self, other: Self) -> Self {
+                self.wrapping_sub(other)
+            }
+            #[inline]
+            fn wmul(self, other: Self) -> Self {
+                self.wrapping_mul(other)
+            }
+            #[inline]
+            fn cdiv(self, other: Self) -> Option<Self> {
+                self.checked_div(other)
+            }
+            #[inline]
+            fn crem(self, other: Self) -> Option<Self> {
+                self.checked_rem(other)
+            }
+            #[inline]
+            fn band(self, other: Self) -> Self {
+                self & other
+            }
+            #[inline]
+            fn bor(self, other: Self) -> Self {
+                self | other
+            }
+            #[inline]
+            fn bxor(self, other: Self) -> Self {
+                self ^ other
+            }
+            #[inline]
+            fn to_i64(self) -> i64 {
+                self as i64
+            }
+            #[inline]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, "u8", false);
+impl_scalar!(u16, "u16", false);
+impl_scalar!(u32, "u32", false);
+impl_scalar!(u64, "u64", false);
+impl_scalar!(i32, "i32", true);
+impl_scalar!(i64, "i64", true);
+
+/// A scalar usable as a positional index (gather/scatter index columns).
+pub trait IndexScalar: Scalar {
+    /// Convert to `usize`, `None` if negative or too large.
+    fn to_index(self) -> Option<usize>;
+    /// Convert from `usize`, `None` if unrepresentable.
+    fn from_index(i: usize) -> Option<Self>;
+}
+
+macro_rules! impl_index_scalar {
+    ($t:ty) => {
+        impl IndexScalar for $t {
+            #[inline]
+            fn to_index(self) -> Option<usize> {
+                usize::try_from(self).ok()
+            }
+            #[inline]
+            fn from_index(i: usize) -> Option<Self> {
+                <$t>::try_from(i).ok()
+            }
+        }
+    };
+}
+
+impl_index_scalar!(u32);
+impl_index_scalar!(u64);
+impl_index_scalar!(i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_arithmetic_wraps() {
+        assert_eq!(u32::MAX.wadd(1), 0);
+        assert_eq!(0u32.wsub(1), u32::MAX);
+        assert_eq!(i32::MIN.wsub(1), i32::MAX);
+        assert_eq!(i64::MAX.wadd(1), i64::MIN);
+    }
+
+    #[test]
+    fn checked_division() {
+        assert_eq!(10u32.cdiv(3), Some(3));
+        assert_eq!(10u32.cdiv(0), None);
+        assert_eq!(i32::MIN.cdiv(-1), None);
+        assert_eq!(10i64.crem(0), None);
+        assert_eq!(10u64.crem(3), Some(1));
+    }
+
+    #[test]
+    fn u64_transport_is_bit_preserving() {
+        assert_eq!(i32::from_u64((-5i32).to_u64()), -5);
+        assert_eq!(i64::from_u64((-5i64).to_u64()), -5);
+        assert_eq!(u64::from_u64(u64::MAX.to_u64()), u64::MAX);
+        assert_eq!(u32::from_u64(u32::MAX.to_u64()), u32::MAX);
+    }
+
+    #[test]
+    fn index_conversion_rejects_bad_values() {
+        assert_eq!((-1i64).to_index(), None);
+        assert_eq!(5u32.to_index(), Some(5));
+        assert_eq!(u32::from_index(usize::MAX), None);
+        assert_eq!(u64::from_index(17), Some(17u64));
+    }
+
+    #[test]
+    fn metadata_constants() {
+        assert_eq!(u32::NAME, "u32");
+        assert_eq!(i64::BITS, 64);
+        // Read through a function so the values aren't compile-time
+        // constants from clippy's perspective.
+        fn signed<T: Scalar>() -> bool {
+            T::SIGNED
+        }
+        assert!(signed::<i32>());
+        assert!(!signed::<u64>());
+    }
+}

@@ -1,0 +1,78 @@
+//! Binary search on sorted columns.
+//!
+//! Run-*position* encoding keeps the cumulative end positions of runs,
+//! which are sorted — so positional random access into an RPE-compressed
+//! column is a single `upper_bound`, whereas RLE must first prefix-sum its
+//! lengths. This is the concrete "ease of decompression" RPE buys with
+//! the compression ratio it gives up (paper, Lessons 1).
+
+use crate::scalar::Scalar;
+
+/// First index `i` with `col[i] >= key` (length of `col` if none).
+///
+/// `col` must be sorted ascending; on unsorted input the result is
+/// unspecified but the function does not panic.
+pub fn lower_bound<T: Scalar>(col: &[T], key: T) -> usize {
+    col.partition_point(|&v| v < key)
+}
+
+/// First index `i` with `col[i] > key` (length of `col` if none).
+pub fn upper_bound<T: Scalar>(col: &[T], key: T) -> usize {
+    col.partition_point(|&v| v <= key)
+}
+
+/// Locate which run a row position falls into, given the sorted exclusive
+/// run *end* positions of an RPE column. Returns `None` for positions at
+/// or past the total length.
+pub fn run_of_position(end_positions: &[u64], pos: u64) -> Option<usize> {
+    let run = upper_bound(end_positions, pos);
+    // `pos` is inside run `run` iff it is before that run's end; the
+    // upper bound already guarantees pos >= end of run-1.
+    if run < end_positions.len() {
+        Some(run)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_on_distinct() {
+        let col = [10u32, 20, 30];
+        assert_eq!(lower_bound(&col, 5), 0);
+        assert_eq!(lower_bound(&col, 20), 1);
+        assert_eq!(lower_bound(&col, 25), 2);
+        assert_eq!(lower_bound(&col, 35), 3);
+        assert_eq!(upper_bound(&col, 20), 2);
+        assert_eq!(upper_bound(&col, 9), 0);
+    }
+
+    #[test]
+    fn bounds_with_duplicates() {
+        let col = [1u64, 2, 2, 2, 3];
+        assert_eq!(lower_bound(&col, 2), 1);
+        assert_eq!(upper_bound(&col, 2), 4);
+    }
+
+    #[test]
+    fn run_lookup() {
+        // runs of lengths [2,3,1] -> end positions [2,5,6]
+        let ends = [2u64, 5, 6];
+        assert_eq!(run_of_position(&ends, 0), Some(0));
+        assert_eq!(run_of_position(&ends, 1), Some(0));
+        assert_eq!(run_of_position(&ends, 2), Some(1));
+        assert_eq!(run_of_position(&ends, 4), Some(1));
+        assert_eq!(run_of_position(&ends, 5), Some(2));
+        assert_eq!(run_of_position(&ends, 6), None);
+        assert_eq!(run_of_position(&[], 0), None);
+    }
+
+    #[test]
+    fn empty_column() {
+        assert_eq!(lower_bound::<u32>(&[], 1), 0);
+        assert_eq!(upper_bound::<u32>(&[], 1), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Selection kernels: apply bitmaps and selection vectors to columns.
+
+use crate::bitmap::Bitmap;
+use crate::scalar::Scalar;
+use crate::{ColOpsError, Result};
+
+/// Keep the elements whose bit is set.
+///
+/// Errors with [`ColOpsError::LengthMismatch`] if the bitmap and column
+/// lengths differ.
+pub fn filter_by_bitmap<T: Scalar>(col: &[T], mask: &Bitmap) -> Result<Vec<T>> {
+    if col.len() != mask.len() {
+        return Err(ColOpsError::LengthMismatch { left: col.len(), right: mask.len() });
+    }
+    Ok(mask.iter_ones().map(|i| col[i]).collect())
+}
+
+/// Keep the elements at the given (sorted or unsorted) positions.
+pub fn take<T: Scalar>(col: &[T], positions: &[usize]) -> Result<Vec<T>> {
+    crate::gather::gather_usize(col, positions)
+}
+
+/// Count elements satisfying a predicate (no materialisation).
+pub fn count_where<T: Scalar>(col: &[T], pred: impl Fn(T) -> bool) -> usize {
+    col.iter().filter(|&&v| pred(v)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_keeps_set_bits() {
+        let col = [10u32, 20, 30, 40];
+        let mask = Bitmap::from_bools(&[true, false, false, true]);
+        assert_eq!(filter_by_bitmap(&col, &mask).unwrap(), vec![10, 40]);
+    }
+
+    #[test]
+    fn filter_rejects_mismatch() {
+        let mask = Bitmap::new_zeroed(3);
+        assert!(filter_by_bitmap(&[1u32], &mask).is_err());
+    }
+
+    #[test]
+    fn take_positions() {
+        assert_eq!(take(&[5u32, 6, 7], &[2, 0]).unwrap(), vec![7, 5]);
+        assert!(take(&[5u32], &[9]).is_err());
+    }
+
+    #[test]
+    fn count_where_counts() {
+        assert_eq!(count_where(&[1u32, 5, 9, 13], |v| v > 4), 3);
+        assert_eq!(count_where::<u32>(&[], |_| true), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Algebraic laws of the columnar kernels, property-tested: these are
+//! the invariants the paper's decompression-as-query-plan argument
+//! leans on.
+
+use lcdc_colops::prefix_sum::{adjacent_diff, prefix_sum_inclusive};
+use lcdc_colops::{
+    gather, pop_back, prefix_sum_exclusive, runs_encode, runs_expand, scatter, Bitmap,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// PrefixSum and adjacent-diff are mutually inverse (wrapping), in
+    /// both orders — the law behind RLE ≡ (ID, DELTA) ∘ RPE.
+    #[test]
+    fn prefix_sum_diff_inverse(values in prop::collection::vec(any::<u64>(), 0..500)) {
+        prop_assert_eq!(adjacent_diff(&prefix_sum_inclusive(&values)), values.clone());
+        prop_assert_eq!(prefix_sum_inclusive(&adjacent_diff(&values)), values);
+    }
+
+    /// Exclusive prefix sum = inclusive shifted by one.
+    #[test]
+    fn exclusive_is_shifted_inclusive(values in prop::collection::vec(any::<u32>(), 1..300)) {
+        let incl = prefix_sum_inclusive(&values);
+        let excl = prefix_sum_exclusive(&values);
+        prop_assert_eq!(excl[0], 0);
+        for i in 1..values.len() {
+            prop_assert_eq!(excl[i], incl[i - 1]);
+        }
+    }
+
+    /// Gather after scatter at distinct positions restores the source.
+    #[test]
+    fn scatter_then_gather_restores(
+        src in prop::collection::vec(any::<u64>(), 1..100),
+        seed in any::<u64>(),
+    ) {
+        // Build distinct positions by shuffling 0..2n deterministically.
+        let n = src.len();
+        let mut positions: Vec<u64> = (0..2 * n as u64).collect();
+        let mut state = seed;
+        for i in (1..positions.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            positions.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        positions.truncate(n);
+        let scattered = scatter(&src, &positions, 2 * n, 0u64).unwrap();
+        let back = gather(&scattered, &positions).unwrap();
+        prop_assert_eq!(back, src);
+    }
+
+    /// Run encode/expand are mutually inverse and canonical (no empty
+    /// or mergeable runs come out of encode).
+    #[test]
+    fn runs_canonical_inverse(values in prop::collection::vec(0u32..6, 0..400)) {
+        let (rv, rl) = runs_encode(&values);
+        prop_assert_eq!(runs_expand(&rv, &rl).unwrap(), values);
+        prop_assert!(rl.iter().all(|&l| l > 0));
+        prop_assert!(rv.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    /// PopBack is concatenation's inverse.
+    #[test]
+    fn pop_back_splits(values in prop::collection::vec(any::<i64>(), 1..200)) {
+        let (rest, last) = pop_back(&values).unwrap();
+        let mut rebuilt = rest;
+        rebuilt.push(last);
+        prop_assert_eq!(rebuilt, values);
+    }
+
+    /// Bitmap boolean algebra: De Morgan, idempotence, counts.
+    #[test]
+    fn bitmap_algebra(bools_a in prop::collection::vec(any::<bool>(), 0..300), seed in any::<u64>()) {
+        let n = bools_a.len();
+        let bools_b: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let a = Bitmap::from_bools(&bools_a);
+        let b = Bitmap::from_bools(&bools_b);
+        // De Morgan.
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+        // Idempotence and involution.
+        prop_assert_eq!(a.and(&a), a.clone());
+        prop_assert_eq!(a.not().not(), a.clone());
+        // Inclusion–exclusion on counts.
+        prop_assert_eq!(
+            a.count_ones() + b.count_ones(),
+            a.and(&b).count_ones() + a.or(&b).count_ones()
+        );
+    }
+
+    /// set_range agrees with bit-by-bit setting.
+    #[test]
+    fn set_range_matches_loop(n in 1usize..300, lo in 0usize..300, width in 0usize..100) {
+        let lo = lo % n;
+        let hi = (lo + width).min(n);
+        let mut fast = Bitmap::new_zeroed(n);
+        fast.set_range(lo, hi);
+        let mut slow = Bitmap::new_zeroed(n);
+        for i in lo..hi {
+            slow.set(i);
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Selection vectors round-trip through iter_ones.
+    #[test]
+    fn selection_vector_faithful(bools in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bitmap = Bitmap::from_bools(&bools);
+        let sv = bitmap.to_selection_vector();
+        prop_assert_eq!(sv.len(), bitmap.count_ones());
+        let expected: Vec<usize> =
+            bools.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(sv, expected);
+    }
+
+    /// Segmented diff/sum are mutually inverse at every restart interval,
+    /// including wrapping values.
+    #[test]
+    fn segmented_prefix_inverse(
+        data in prop::collection::vec(any::<u64>(), 0..300),
+        seg_len in 1usize..50,
+    ) {
+        let diffs = lcdc_colops::adjacent_diff_segmented(&data, seg_len).unwrap();
+        prop_assert_eq!(
+            lcdc_colops::prefix_sum_segmented(&diffs, seg_len).unwrap(),
+            data.clone()
+        );
+        let sums = lcdc_colops::prefix_sum_segmented(&data, seg_len).unwrap();
+        prop_assert_eq!(
+            lcdc_colops::adjacent_diff_segmented(&sums, seg_len).unwrap(),
+            data
+        );
+    }
+
+    /// A segmented prefix sum with the segment length >= n is the global
+    /// prefix sum.
+    #[test]
+    fn segmented_degenerates_to_global(data in prop::collection::vec(any::<u64>(), 0..200)) {
+        let n = data.len().max(1);
+        prop_assert_eq!(
+            lcdc_colops::prefix_sum_segmented(&data, n).unwrap(),
+            lcdc_colops::prefix_sum_inclusive(&data)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by the scheme algebra.
+
+use crate::column::DType;
+
+/// Errors from compression, decompression, planning and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A columnar kernel failed (propagated from `lcdc-colops`).
+    ColOps(lcdc_colops::ColOpsError),
+    /// A packing kernel failed (propagated from `lcdc-bitpack`).
+    Bits(lcdc_bitpack::Error),
+    /// The scheme cannot represent this column (e.g. STEPFUNCTION on a
+    /// column that is not a step function, NS on negative values).
+    NotRepresentable(String),
+    /// A compressed value was handed to the wrong scheme.
+    SchemeMismatch {
+        /// Scheme the caller used.
+        expected: String,
+        /// Scheme recorded in the compressed form.
+        found: String,
+    },
+    /// A required part column is absent from the compressed form.
+    MissingPart(&'static str),
+    /// The part columns are mutually inconsistent (corruption).
+    CorruptParts(String),
+    /// The scheme does not support this element type.
+    DTypeUnsupported {
+        /// Scheme name.
+        scheme: String,
+        /// Offending element type.
+        dtype: DType,
+    },
+    /// A scheme expression failed to parse.
+    Parse(String),
+    /// The scheme has no operator-DAG decompression plan.
+    PlanUnsupported(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::ColOps(e) => write!(f, "columnar kernel: {e}"),
+            CoreError::Bits(e) => write!(f, "packing kernel: {e}"),
+            CoreError::NotRepresentable(msg) => write!(f, "not representable: {msg}"),
+            CoreError::SchemeMismatch { expected, found } => {
+                write!(f, "scheme mismatch: compressed with {found}, decompressing as {expected}")
+            }
+            CoreError::MissingPart(role) => write!(f, "missing part column {role:?}"),
+            CoreError::CorruptParts(msg) => write!(f, "corrupt compressed form: {msg}"),
+            CoreError::DTypeUnsupported { scheme, dtype } => {
+                write!(f, "scheme {scheme} does not support element type {dtype:?}")
+            }
+            CoreError::Parse(msg) => write!(f, "scheme expression parse error: {msg}"),
+            CoreError::PlanUnsupported(name) => {
+                write!(f, "scheme {name} has no operator-DAG plan")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<lcdc_colops::ColOpsError> for CoreError {
+    fn from(e: lcdc_colops::ColOpsError) -> Self {
+        CoreError::ColOps(e)
+    }
+}
+
+impl From<lcdc_bitpack::Error> for CoreError {
+    fn from(e: lcdc_bitpack::Error) -> Self {
+        CoreError::Bits(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,390 @@
+//! Decompression as an operator DAG.
+//!
+//! The paper's Lessons 1: *"Decompression can often be implemented using
+//! the same columnar operations which show up in query execution plans
+//! [...] there is no clear distinction between decompression and analytic
+//! query execution."* A [`Plan`] makes that literal: a list of
+//! [`Node`]s over the kernel vocabulary of `lcdc-colops`, interpreted
+//! over `u64` transport vectors (see `crate::column` for why transport
+//! arithmetic is exact).
+//!
+//! Plans are interpretive and operator-at-a-time — intentionally so:
+//! experiment E3/E8 compares them against the fused decompression loops
+//! to quantify what an engine pays (or doesn't) for the composable view.
+
+use crate::error::{CoreError, Result};
+use lcdc_colops::BinOpKind;
+
+/// Identifier of a node within its plan (index into `Plan::nodes`).
+pub type NodeId = usize;
+
+/// One columnar operator application.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A resolved part column (input `parts[idx]`).
+    Part(usize),
+    /// `Constant(value, len)` — Alg. 1 lines 4–5, Alg. 2 lines 1, 3.
+    Const {
+        /// The constant value (transport form).
+        value: u64,
+        /// Column length to materialise.
+        len: usize,
+    },
+    /// `0, 1, …, len-1` — the element-id column. Not emitted by scheme
+    /// plans directly; the optimiser strength-reduces Algorithm 2's
+    /// `PrefixSumExcl(Constant(1, n))` idiom to it.
+    Iota {
+        /// Column length to materialise.
+        len: usize,
+    },
+    /// Inclusive wrapping prefix sum — Alg. 1 lines 1, 7.
+    PrefixSum(NodeId),
+    /// Inclusive wrapping prefix sum restarting every `seg_len` elements
+    /// — the segmented-operator generalisation (cf. Voodoo \[6]) behind
+    /// DFOR's per-segment delta chains.
+    PrefixSumSegmented {
+        /// Node producing the summed column.
+        input: NodeId,
+        /// Restart interval.
+        seg_len: usize,
+    },
+    /// Exclusive wrapping prefix sum — Alg. 2 line 2's element ids
+    /// (`PrefixSum(ones)` taken 0-based, as the ÷-by-ℓ step requires).
+    PrefixSumExclusive(NodeId),
+    /// Drop the final element — Alg. 1 line 3.
+    PopBack(NodeId),
+    /// `out[i] = values[indices[i]]` — Alg. 1 line 8, Alg. 2 line 5.
+    Gather {
+        /// Node producing the value column.
+        values: NodeId,
+        /// Node producing the index column.
+        indices: NodeId,
+    },
+    /// Scatter `src` at `positions` into a zeroed column of length `len`
+    /// — Alg. 1 line 6.
+    Scatter {
+        /// Node producing the scattered values.
+        src: NodeId,
+        /// Node producing the target positions.
+        positions: NodeId,
+        /// Output length.
+        len: usize,
+    },
+    /// Scatter `src` at `positions` *over a copy of* `base` — the patch
+    /// application step of exception-based schemes (§II-B, L0 metric).
+    ScatterOver {
+        /// Node producing the column to patch.
+        base: NodeId,
+        /// Node producing the patch values.
+        src: NodeId,
+        /// Node producing the patch positions.
+        positions: NodeId,
+    },
+    /// Elementwise column ⊕ column — Alg. 2 line 6.
+    Binary {
+        /// The operation.
+        op: BinOpKind,
+        /// Left operand node.
+        lhs: NodeId,
+        /// Right operand node.
+        rhs: NodeId,
+    },
+    /// Elementwise column ⊕ broadcast scalar — Alg. 2 line 4 (÷ ℓ).
+    BinaryScalar {
+        /// The operation.
+        op: BinOpKind,
+        /// Left operand node.
+        lhs: NodeId,
+        /// Broadcast right operand (transport form).
+        rhs: u64,
+    },
+    /// Zigzag-decode then reinterpret as transport (signed residuals).
+    ZigzagDecode(NodeId),
+    /// Concatenate two columns (`first` then `rest`). Used to prepend a
+    /// scalar parameter, e.g. DELTA's first value, to a part column.
+    Concat {
+        /// Node producing the leading column.
+        first: NodeId,
+        /// Node producing the trailing column.
+        rest: NodeId,
+    },
+}
+
+/// A decompression plan: nodes in topological order plus the output node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    nodes: Vec<Node>,
+    output: NodeId,
+}
+
+impl Plan {
+    /// Build a plan. `nodes` must be topologically ordered (each node may
+    /// only reference earlier nodes) and `output` must be a valid id;
+    /// violations are reported as [`CoreError::CorruptParts`].
+    pub fn new(nodes: Vec<Node>, output: NodeId) -> Result<Self> {
+        for (id, node) in nodes.iter().enumerate() {
+            for dep in node_deps(node) {
+                if dep >= id {
+                    return Err(CoreError::CorruptParts(format!(
+                        "plan node {id} references node {dep} (not topologically ordered)"
+                    )));
+                }
+            }
+        }
+        if output >= nodes.len() {
+            return Err(CoreError::CorruptParts(format!(
+                "plan output {output} out of range ({} nodes)",
+                nodes.len()
+            )));
+        }
+        Ok(Plan { nodes, output })
+    }
+
+    /// Number of operator nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The output node's id.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// Execute the plan over resolved part columns (transport form).
+    pub fn execute(&self, parts: &[Vec<u64>]) -> Result<Vec<u64>> {
+        let mut results: Vec<Vec<u64>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let value = match node {
+                Node::Part(idx) => parts
+                    .get(*idx)
+                    .cloned()
+                    .ok_or(CoreError::CorruptParts(format!("plan needs part {idx}")))?,
+                Node::Const { value, len } => lcdc_colops::constant(*value, *len),
+                Node::Iota { len } => (0..*len as u64).collect(),
+                Node::PrefixSum(input) => {
+                    lcdc_colops::prefix_sum_inclusive(&results[*input])
+                }
+                Node::PrefixSumSegmented { input, seg_len } => {
+                    lcdc_colops::prefix_sum_segmented(&results[*input], *seg_len)?
+                }
+                Node::PrefixSumExclusive(input) => {
+                    lcdc_colops::prefix_sum_exclusive(&results[*input])
+                }
+                Node::PopBack(input) => lcdc_colops::pop_back(&results[*input])?.0,
+                Node::Gather { values, indices } => {
+                    lcdc_colops::gather(&results[*values], &results[*indices])?
+                }
+                Node::Scatter { src, positions, len } => {
+                    lcdc_colops::scatter(&results[*src], &results[*positions], *len, 0u64)?
+                }
+                Node::ScatterOver { base, src, positions } => {
+                    let mut out = results[*base].clone();
+                    lcdc_colops::scatter_into(&results[*src], &results[*positions], &mut out)?;
+                    out
+                }
+                Node::Binary { op, lhs, rhs } => {
+                    lcdc_colops::binary(*op, &results[*lhs], &results[*rhs])?
+                }
+                Node::BinaryScalar { op, lhs, rhs } => {
+                    lcdc_colops::binary_scalar(*op, &results[*lhs], *rhs)?
+                }
+                Node::ZigzagDecode(input) => results[*input]
+                    .iter()
+                    .map(|&v| lcdc_bitpack::zigzag_decode_i64(v) as u64)
+                    .collect(),
+                Node::Concat { first, rest } => {
+                    let mut out = Vec::with_capacity(
+                        results[*first].len() + results[*rest].len(),
+                    );
+                    out.extend_from_slice(&results[*first]);
+                    out.extend_from_slice(&results[*rest]);
+                    out
+                }
+            };
+            results.push(value);
+        }
+        Ok(results.swap_remove(self.output))
+    }
+
+    /// Human-readable rendering, one operator per line.
+    pub fn display(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let line = match node {
+                Node::Part(idx) => format!("%{id} = Part({idx})"),
+                Node::Const { value, len } => format!("%{id} = Constant({value}, {len})"),
+                Node::Iota { len } => format!("%{id} = Iota({len})"),
+                Node::PrefixSum(i) => format!("%{id} = PrefixSum(%{i})"),
+                Node::PrefixSumSegmented { input, seg_len } => {
+                    format!("%{id} = PrefixSumSeg(%{input}, l={seg_len})")
+                }
+                Node::PrefixSumExclusive(i) => format!("%{id} = PrefixSumExcl(%{i})"),
+                Node::PopBack(i) => format!("%{id} = PopBack(%{i})"),
+                Node::Gather { values, indices } => {
+                    format!("%{id} = Gather(%{values}, %{indices})")
+                }
+                Node::Scatter { src, positions, len } => {
+                    format!("%{id} = Scatter(%{src} at %{positions}, len={len})")
+                }
+                Node::ScatterOver { base, src, positions } => {
+                    format!("%{id} = ScatterOver(%{base} <- %{src} at %{positions})")
+                }
+                Node::Binary { op, lhs, rhs } => {
+                    format!("%{id} = Elementwise({}, %{lhs}, %{rhs})", op.symbol())
+                }
+                Node::BinaryScalar { op, lhs, rhs } => {
+                    format!("%{id} = Elementwise({}, %{lhs}, {rhs})", op.symbol())
+                }
+                Node::ZigzagDecode(i) => format!("%{id} = ZigzagDecode(%{i})"),
+                Node::Concat { first, rest } => format!("%{id} = Concat(%{first}, %{rest})"),
+            };
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, "return %{}", self.output);
+        out
+    }
+}
+
+fn node_deps(node: &Node) -> Vec<NodeId> {
+    match node {
+        Node::Part(_) | Node::Const { .. } | Node::Iota { .. } => vec![],
+        Node::PrefixSum(i)
+        | Node::PrefixSumExclusive(i)
+        | Node::PopBack(i)
+        | Node::ZigzagDecode(i) => vec![*i],
+        Node::PrefixSumSegmented { input, .. } => vec![*input],
+        Node::Gather { values, indices } => vec![*values, *indices],
+        Node::Concat { first, rest } => vec![*first, *rest],
+        Node::Scatter { src, positions, .. } => vec![*src, *positions],
+        Node::ScatterOver { base, src, positions } => vec![*base, *src, *positions],
+        Node::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
+        Node::BinaryScalar { lhs, .. } => vec![*lhs],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_forward_references() {
+        let bad = Plan::new(vec![Node::PrefixSum(0)], 0);
+        assert!(bad.is_err());
+        let bad = Plan::new(vec![Node::Part(0), Node::PrefixSum(2)], 1);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn rejects_bad_output() {
+        assert!(Plan::new(vec![Node::Part(0)], 3).is_err());
+    }
+
+    #[test]
+    fn executes_algorithm_one_shape() {
+        // RLE with lengths [2,3,1], values [7,8,9] -> [7,7,8,8,8,9].
+        let lengths = vec![2u64, 3, 1];
+        let values = vec![7u64, 8, 9];
+        let n = 6;
+        let plan = Plan::new(
+            vec![
+                Node::Part(1),                                        // lengths
+                Node::PrefixSum(0),                                   // run ends
+                Node::PopBack(1),                                     // boundaries
+                Node::Const { value: 1, len: 2 },                     // ones
+                Node::Scatter { src: 3, positions: 2, len: n },       // pos deltas
+                Node::PrefixSum(4),                                   // run index
+                Node::Part(0),                                        // values
+                Node::Gather { values: 6, indices: 5 },
+            ],
+            7,
+        )
+        .unwrap();
+        let out = plan.execute(&[values, lengths]).unwrap();
+        assert_eq!(out, vec![7, 7, 8, 8, 8, 9]);
+    }
+
+    #[test]
+    fn executes_algorithm_two_shape() {
+        // FOR with l=2, refs [10,20], offsets [0,1,2,3] -> [10,11,22,23].
+        let refs = vec![10u64, 20];
+        let offsets = vec![0u64, 1, 2, 3];
+        let plan = Plan::new(
+            vec![
+                Node::Const { value: 1, len: 4 },
+                Node::PrefixSumExclusive(0),
+                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: 2 },
+                Node::Part(0),
+                Node::Gather { values: 3, indices: 2 },
+                Node::Part(1),
+                Node::Binary { op: BinOpKind::Add, lhs: 4, rhs: 5 },
+            ],
+            6,
+        )
+        .unwrap();
+        let out = plan.execute(&[refs, offsets]).unwrap();
+        assert_eq!(out, vec![10, 11, 22, 23]);
+    }
+
+    #[test]
+    fn missing_part_reported() {
+        let plan = Plan::new(vec![Node::Part(2)], 0).unwrap();
+        assert!(plan.execute(&[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn scatter_over_patches() {
+        let plan = Plan::new(
+            vec![
+                Node::Part(0),
+                Node::Part(1),
+                Node::Part(2),
+                Node::ScatterOver { base: 0, src: 1, positions: 2 },
+            ],
+            3,
+        )
+        .unwrap();
+        let out = plan
+            .execute(&[vec![1, 2, 3, 4], vec![99], vec![2]])
+            .unwrap();
+        assert_eq!(out, vec![1, 2, 99, 4]);
+    }
+
+    #[test]
+    fn segmented_prefix_sum_node() {
+        let plan = Plan::new(
+            vec![Node::Part(0), Node::PrefixSumSegmented { input: 0, seg_len: 3 }],
+            1,
+        )
+        .unwrap();
+        let out = plan.execute(&[vec![1u64, 1, 1, 1, 1]]).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 1, 2]);
+        assert!(plan.display().contains("PrefixSumSeg(%0, l=3)"));
+    }
+
+    #[test]
+    fn zigzag_node_decodes() {
+        let plan = Plan::new(vec![Node::Part(0), Node::ZigzagDecode(0)], 1).unwrap();
+        let out = plan.execute(&[vec![0, 1, 2, 3]]).unwrap();
+        assert_eq!(out, vec![0, (-1i64) as u64, 1, (-2i64) as u64]);
+    }
+
+    #[test]
+    fn display_mentions_every_node() {
+        let plan = Plan::new(
+            vec![Node::Part(0), Node::PrefixSum(0)],
+            1,
+        )
+        .unwrap();
+        let text = plan.display();
+        assert!(text.contains("%0 = Part(0)"));
+        assert!(text.contains("%1 = PrefixSum(%0)"));
+        assert!(text.contains("return %1"));
+        assert_eq!(plan.num_nodes(), 2);
+    }
+}

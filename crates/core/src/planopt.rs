@@ -1,0 +1,299 @@
+//! Optimisation passes over decompression plans.
+//!
+//! If decompression really is "the same columnar operations which show
+//! up in query execution plans" (Lessons 1), then it should be subject
+//! to the same *optimiser*. This module applies three classic rewrite
+//! passes to a [`Plan`]:
+//!
+//! 1. **Strength reduction** — Algorithm 2 materialises element ids as
+//!    `PrefixSumExcl(Constant(1, n))`, faithfully to the paper's
+//!    operator vocabulary; an engine would emit the id column directly
+//!    (`Iota`), skipping one full-column materialisation.
+//! 2. **Common-subexpression elimination** — composed plans repeat
+//!    structure (e.g. two schemes in a cascade both build the id
+//!    column); structurally identical nodes are merged.
+//! 3. **Dead-code elimination** — nodes unreachable from the output are
+//!    dropped and ids compacted.
+//!
+//! [`optimize`] is semantics-preserving by construction: every pass
+//! maps each surviving node to a node computing the same column, and
+//! the test suite executes optimised and original plans side by side
+//! over every scheme's forms.
+
+use crate::plan::{Node, NodeId, Plan};
+use crate::Result;
+
+/// Statistics of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Nodes in the input plan.
+    pub nodes_before: usize,
+    /// Nodes in the optimised plan.
+    pub nodes_after: usize,
+    /// Strength reductions applied.
+    pub strength_reduced: usize,
+    /// Nodes merged by CSE.
+    pub cse_merged: usize,
+    /// Unreachable nodes removed.
+    pub dce_removed: usize,
+}
+
+/// Optimise a plan. The result computes exactly the same output column
+/// for every input; only the operator count and shape change.
+pub fn optimize(plan: &Plan) -> Result<(Plan, OptStats)> {
+    let mut stats = OptStats {
+        nodes_before: plan.num_nodes(),
+        ..OptStats::default()
+    };
+
+    // Pass 1 + 2 in one forward walk: rewrite each node (with operands
+    // remapped), strength-reduce, then CSE against everything emitted so
+    // far. `remap[old] = new` tracks where each original node went.
+    let mut out_nodes: Vec<Node> = Vec::with_capacity(plan.num_nodes());
+    let mut remap: Vec<NodeId> = Vec::with_capacity(plan.num_nodes());
+    for node in plan.nodes() {
+        let mut rewritten = remap_node(node, &remap);
+        // Strength reduction: PrefixSumExcl(Const(1, n)) -> Iota(n).
+        if let Node::PrefixSumExclusive(input) = rewritten {
+            if let Node::Const { value: 1, len } = out_nodes[input] {
+                rewritten = Node::Iota { len };
+                stats.strength_reduced += 1;
+            }
+        }
+        // Inclusive over ones is the 1-based id column: Iota + 1.
+        if let Node::PrefixSum(input) = rewritten {
+            if let Node::Const { value: 1, len } = out_nodes[input] {
+                // Keep it as two cheap nodes; the Const operand becomes
+                // dead if nothing else uses it and DCE collects it.
+                let iota = push_cse(&mut out_nodes, Node::Iota { len }, &mut stats);
+                rewritten = Node::BinaryScalar {
+                    op: lcdc_colops::BinOpKind::Add,
+                    lhs: iota,
+                    rhs: 1,
+                };
+                stats.strength_reduced += 1;
+            }
+        }
+        let id = push_cse(&mut out_nodes, rewritten, &mut stats);
+        remap.push(id);
+    }
+    let output = remap[plan.output()];
+
+    // Pass 3: DCE — keep only nodes reachable from the output.
+    let mut live = vec![false; out_nodes.len()];
+    mark_live(&out_nodes, output, &mut live);
+    let mut compact: Vec<NodeId> = vec![usize::MAX; out_nodes.len()];
+    let mut final_nodes: Vec<Node> = Vec::with_capacity(out_nodes.len());
+    for (id, node) in out_nodes.iter().enumerate() {
+        if live[id] {
+            compact[id] = final_nodes.len();
+            final_nodes.push(remap_node(node, &compact));
+        } else {
+            stats.dce_removed += 1;
+        }
+    }
+    stats.nodes_after = final_nodes.len();
+    let plan = Plan::new(final_nodes, compact[output])?;
+    Ok((plan, stats))
+}
+
+/// Emit `node` unless an identical node already exists; returns its id.
+fn push_cse(nodes: &mut Vec<Node>, node: Node, stats: &mut OptStats) -> NodeId {
+    // Plans are tiny (≤ ~12 nodes); linear search beats hashing here and
+    // keeps Node free of interior-mutability concerns.
+    if let Some(existing) = nodes.iter().position(|n| *n == node) {
+        stats.cse_merged += 1;
+        return existing;
+    }
+    nodes.push(node);
+    nodes.len() - 1
+}
+
+/// Clone `node` with every operand id passed through `map`.
+fn remap_node(node: &Node, map: &[NodeId]) -> Node {
+    match *node {
+        Node::Part(i) => Node::Part(i),
+        Node::Const { value, len } => Node::Const { value, len },
+        Node::Iota { len } => Node::Iota { len },
+        Node::PrefixSum(i) => Node::PrefixSum(map[i]),
+        Node::PrefixSumSegmented { input, seg_len } => {
+            Node::PrefixSumSegmented { input: map[input], seg_len }
+        }
+        Node::PrefixSumExclusive(i) => Node::PrefixSumExclusive(map[i]),
+        Node::PopBack(i) => Node::PopBack(map[i]),
+        Node::Gather { values, indices } => {
+            Node::Gather { values: map[values], indices: map[indices] }
+        }
+        Node::Scatter { src, positions, len } => {
+            Node::Scatter { src: map[src], positions: map[positions], len }
+        }
+        Node::ScatterOver { base, src, positions } => Node::ScatterOver {
+            base: map[base],
+            src: map[src],
+            positions: map[positions],
+        },
+        Node::Binary { op, lhs, rhs } => Node::Binary { op, lhs: map[lhs], rhs: map[rhs] },
+        Node::BinaryScalar { op, lhs, rhs } => {
+            Node::BinaryScalar { op, lhs: map[lhs], rhs }
+        }
+        Node::ZigzagDecode(i) => Node::ZigzagDecode(map[i]),
+        Node::Concat { first, rest } => Node::Concat { first: map[first], rest: map[rest] },
+    }
+}
+
+fn mark_live(nodes: &[Node], root: NodeId, live: &mut [bool]) {
+    if live[root] {
+        return;
+    }
+    live[root] = true;
+    for dep in deps_of(&nodes[root]) {
+        mark_live(nodes, dep, live);
+    }
+}
+
+fn deps_of(node: &Node) -> Vec<NodeId> {
+    match *node {
+        Node::Part(_) | Node::Const { .. } | Node::Iota { .. } => vec![],
+        Node::PrefixSum(i)
+        | Node::PrefixSumExclusive(i)
+        | Node::PopBack(i)
+        | Node::ZigzagDecode(i) => vec![i],
+        Node::PrefixSumSegmented { input, .. } => vec![input],
+        Node::Gather { values, indices } => vec![values, indices],
+        Node::Concat { first, rest } => vec![first, rest],
+        Node::Scatter { src, positions, .. } => vec![src, positions],
+        Node::ScatterOver { base, src, positions } => vec![base, src, positions],
+        Node::Binary { lhs, rhs, .. } => vec![lhs, rhs],
+        Node::BinaryScalar { lhs, .. } => vec![lhs],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnData;
+    use crate::expr::parse_scheme;
+    use lcdc_colops::BinOpKind;
+
+    fn for_like_plan() -> Plan {
+        // Algorithm 2's shape, as For::plan emits it.
+        Plan::new(
+            vec![
+                Node::Const { value: 1, len: 8 },
+                Node::PrefixSumExclusive(0),
+                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: 4 },
+                Node::Part(0),
+                Node::Gather { values: 3, indices: 2 },
+                Node::Part(1),
+                Node::Binary { op: BinOpKind::Add, lhs: 4, rhs: 5 },
+            ],
+            6,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strength_reduces_the_id_idiom() {
+        let (opt, stats) = optimize(&for_like_plan()).unwrap();
+        assert_eq!(stats.strength_reduced, 1);
+        assert!(opt.nodes().iter().any(|n| matches!(n, Node::Iota { len: 8 })));
+        // The ones column is now dead and collected.
+        assert!(stats.dce_removed >= 1);
+        assert!(stats.nodes_after < stats.nodes_before);
+    }
+
+    #[test]
+    fn optimized_plan_computes_the_same_column() {
+        let plan = for_like_plan();
+        let (opt, _) = optimize(&plan).unwrap();
+        let refs = vec![100u64, 200];
+        let offsets = vec![0u64, 1, 2, 3, 0, 1, 2, 3];
+        let parts = [refs, offsets];
+        assert_eq!(opt.execute(&parts).unwrap(), plan.execute(&parts).unwrap());
+    }
+
+    #[test]
+    fn cse_merges_duplicate_subtrees() {
+        let plan = Plan::new(
+            vec![
+                Node::Const { value: 5, len: 4 },
+                Node::Const { value: 5, len: 4 },
+                Node::Binary { op: BinOpKind::Add, lhs: 0, rhs: 1 },
+            ],
+            2,
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&plan).unwrap();
+        assert_eq!(stats.cse_merged, 1);
+        assert_eq!(opt.num_nodes(), 2);
+        assert_eq!(opt.execute(&[]).unwrap(), vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn dce_drops_unreachable_nodes() {
+        let plan = Plan::new(
+            vec![
+                Node::Part(0),
+                Node::Const { value: 9, len: 3 }, // dead
+                Node::PrefixSum(0),
+            ],
+            2,
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&plan).unwrap();
+        assert_eq!(stats.dce_removed, 1);
+        assert_eq!(opt.num_nodes(), 2);
+        assert_eq!(opt.execute(&[vec![1, 2, 3]]).unwrap(), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn inclusive_ones_becomes_iota_plus_one() {
+        let plan = Plan::new(
+            vec![Node::Const { value: 1, len: 5 }, Node::PrefixSum(0)],
+            1,
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&plan).unwrap();
+        assert_eq!(stats.strength_reduced, 1);
+        assert_eq!(opt.execute(&[]).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn every_scheme_plan_optimizes_soundly() {
+        let col = ColumnData::U64((0..500u64).map(|i| 1000 + (i / 9) * 3 + i % 4).collect());
+        for expr in [
+            "rle",
+            "rpe",
+            "for(l=64)",
+            "pfor(l=64,keep=950)",
+            "step(l=1)",
+            "dfor(l=64)",
+            "vstep(w=6)",
+            "sparse",
+            "const",
+            "delta",
+            "ns",
+            "rle[values=delta,lengths=ns]",
+        ] {
+            let scheme = parse_scheme(expr).unwrap();
+            let Ok(c) = scheme.compress(&col) else { continue };
+            let Ok(plan) = scheme.plan(&c) else { continue };
+            let parts = scheme.resolve_parts(&c).unwrap();
+            let (opt, stats) = optimize(&plan).unwrap();
+            assert_eq!(
+                opt.execute(&parts).unwrap(),
+                plan.execute(&parts).unwrap(),
+                "{expr}: optimised plan diverged"
+            );
+            assert!(stats.nodes_after <= stats.nodes_before, "{expr}");
+        }
+    }
+
+    #[test]
+    fn optimizing_twice_is_idempotent() {
+        let (once, _) = optimize(&for_like_plan()).unwrap();
+        let (twice, stats) = optimize(&once).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(stats.nodes_before, stats.nodes_after);
+    }
+}

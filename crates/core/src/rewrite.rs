@@ -1,0 +1,296 @@
+//! The paper's decomposition identities, as executable rewrites on
+//! compressed forms.
+//!
+//! These are *partial decompressions*: each rewrite applies a prefix (or
+//! carve-out) of one scheme's decompression DAG and lands on another
+//! scheme's compressed form, without ever materialising the plain column.
+//! That is the operational content of the paper's Lessons 1: "partial
+//! decompression of the compressed form of one scheme often itself
+//! corresponds to another compression scheme, which trades away some of
+//! the potential compression ratio of the composite scheme for ease of
+//! decompression."
+
+use crate::column::ColumnData;
+use crate::error::{CoreError, Result};
+use crate::scheme::{Compressed, Scheme};
+use crate::schemes::{for_, ns, rle, rpe, step, Ns, StepFunction};
+
+/// `RLE → RPE`: apply Algorithm 1's first operator (the `PrefixSum` of
+/// the lengths) and nothing else. The result is exactly the RPE
+/// compressed form — "we could reproduce the uncompressed column by
+/// applying Algorithm 1, sans its first operation" (§II-A).
+pub fn rle_to_rpe(c: &Compressed) -> Result<Compressed> {
+    c.check_scheme("rle")?;
+    let lengths = match c.plain_part(rle::ROLE_LENGTHS)? {
+        ColumnData::U64(l) => l,
+        _ => return Err(CoreError::CorruptParts("lengths part must be u64".into())),
+    };
+    let positions = lcdc_colops::prefix_sum_inclusive(lengths);
+    let mut out = c.clone();
+    out.scheme_id = "rpe".into();
+    for part in &mut out.parts {
+        if part.role == rle::ROLE_LENGTHS {
+            part.role = rpe::ROLE_POSITIONS;
+            part.data = crate::scheme::PartData::Plain(ColumnData::U64(positions.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// `RPE → RLE`: re-integrate the run lengths — i.e. DELTA-*compress* the
+/// positions column (adjacent differences). The inverse direction of the
+/// identity `RLE ≡ (ID for values, DELTA for run_positions) ∘ RPE`.
+pub fn rpe_to_rle(c: &Compressed) -> Result<Compressed> {
+    c.check_scheme("rpe")?;
+    let positions = match c.plain_part(rpe::ROLE_POSITIONS)? {
+        ColumnData::U64(p) => p,
+        _ => return Err(CoreError::CorruptParts("positions part must be u64".into())),
+    };
+    if positions.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(CoreError::CorruptParts("run positions not strictly increasing".into()));
+    }
+    let lengths = lcdc_colops::prefix_sum::adjacent_diff(positions);
+    let mut out = c.clone();
+    out.scheme_id = "rle".into();
+    for part in &mut out.parts {
+        if part.role == rpe::ROLE_POSITIONS {
+            part.role = rle::ROLE_LENGTHS;
+            part.data = crate::scheme::PartData::Plain(ColumnData::U64(lengths.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// A column split into a low-dimensional *model* and a *residual* — the
+/// paper's reading of FOR: "some compression schemes separate a simpler,
+/// coarser, inaccurate representation of the data from finer, local,
+/// noise-like complementary features" (§II-B, Lessons 2).
+#[derive(Debug, Clone)]
+pub struct ModelResidual {
+    /// The model half: a STEPFUNCTION compressed form over the original
+    /// element type.
+    pub model: Compressed,
+    /// The residual half: an NS compressed form of the (u64) offsets.
+    pub residual: Compressed,
+}
+
+impl ModelResidual {
+    /// Reconstruct the original column: evaluate the model, add the
+    /// residual. (`Elementwise(+)` — Algorithm 2's final line.)
+    pub fn reconstruct(&self) -> Result<ColumnData> {
+        let seg_len = self.model.params.require("l")? as usize;
+        let model_col = StepFunction::new(seg_len).decompress(&self.model)?;
+        let residual_col = Ns::plain().decompress(&self.residual)?;
+        if model_col.len() != residual_col.len() {
+            return Err(CoreError::CorruptParts(
+                "model and residual lengths disagree".into(),
+            ));
+        }
+        let sum = lcdc_colops::binary(
+            lcdc_colops::BinOpKind::Add,
+            &model_col.to_transport(),
+            &residual_col.to_transport(),
+        )?;
+        Ok(ColumnData::from_transport(model_col.dtype(), sum))
+    }
+
+    /// Evaluate only the model half — the coarse approximation, for
+    /// approximate / gradual-refinement processing (§II-B).
+    pub fn model_only(&self) -> Result<ColumnData> {
+        let seg_len = self.model.params.require("l")? as usize;
+        StepFunction::new(seg_len).decompress(&self.model)
+    }
+
+    /// The L∞ approximation error bound of the model half: the widest
+    /// residual, i.e. `2^width - 1` of the NS part.
+    pub fn error_bound(&self) -> Result<u64> {
+        let width = self.residual.params.require("width")? as u32;
+        Ok(if width == 0 { 0 } else { (1u64 << width.min(63)) - 1 })
+    }
+}
+
+/// `FOR ≡ STEPFUNCTION + NS` (§II-B): split a FOR compressed form into
+/// the step-function model (its refs) and the NS-packed residual (its
+/// offsets). No decompression of the data itself happens.
+pub fn for_to_step_plus_ns(c: &Compressed) -> Result<ModelResidual> {
+    let seg_len = c.params.require("l")? as usize;
+    c.check_scheme(&format!("for(l={seg_len})"))?;
+    let refs = c.plain_part(for_::ROLE_REFS)?.clone();
+    let offsets = c.plain_part(for_::ROLE_OFFSETS)?.clone();
+
+    let model = Compressed {
+        scheme_id: format!("step(l={seg_len})"),
+        n: c.n,
+        dtype: c.dtype,
+        params: crate::scheme::Params::new().with("l", seg_len as i64),
+        parts: vec![crate::scheme::Part {
+            role: step::ROLE_REFS,
+            data: crate::scheme::PartData::Plain(refs),
+        }],
+    };
+    let residual = Ns::plain().compress(&offsets)?;
+    Ok(ModelResidual { model, residual })
+}
+
+/// The inverse composition: rebuild the FOR compressed form from its
+/// model and residual halves.
+pub fn step_plus_ns_to_for(mr: &ModelResidual) -> Result<Compressed> {
+    let seg_len = mr.model.params.require("l")? as usize;
+    mr.model.check_scheme(&format!("step(l={seg_len})"))?;
+    let refs = mr.model.plain_part(step::ROLE_REFS)?.clone();
+    let offsets = Ns::plain().decompress(&mr.residual)?;
+    if offsets.dtype() != crate::column::DType::U64 {
+        return Err(CoreError::CorruptParts("offsets must be u64".into()));
+    }
+    Ok(Compressed {
+        scheme_id: format!("for(l={seg_len})"),
+        n: mr.model.n,
+        dtype: mr.model.dtype,
+        params: crate::scheme::Params::new().with("l", seg_len as i64),
+        parts: vec![
+            crate::scheme::Part {
+                role: for_::ROLE_REFS,
+                data: crate::scheme::PartData::Plain(refs),
+            },
+            crate::scheme::Part {
+                role: for_::ROLE_OFFSETS,
+                data: crate::scheme::PartData::Plain(offsets),
+            },
+        ],
+    })
+}
+
+/// Per-segment `(min, max)` bounds read *directly off* a FOR compressed
+/// form: `refs[i] .. refs[i] + (2^width - 1)` — the paper's "rough
+/// correspondence of the column data to a simple model can be used to
+/// speed up selections". Bounds are sound (may overestimate the max).
+pub fn for_segment_bounds(c: &Compressed) -> Result<Vec<(i128, i128)>> {
+    let seg_len = c.params.require("l")? as usize;
+    c.check_scheme(&format!("for(l={seg_len})"))?;
+    let refs = c.plain_part(for_::ROLE_REFS)?;
+    let offsets = c.plain_part(for_::ROLE_OFFSETS)?;
+    let offsets = match offsets {
+        ColumnData::U64(o) => o,
+        _ => return Err(CoreError::CorruptParts("offsets must be u64".into())),
+    };
+    let mut bounds = Vec::with_capacity(refs.len());
+    for seg in 0..refs.len() {
+        let lo = refs.get_numeric(seg).expect("in range");
+        let seg_offsets = &offsets[seg * seg_len..((seg + 1) * seg_len).min(offsets.len())];
+        let max_off = seg_offsets.iter().copied().max().unwrap_or(0);
+        bounds.push((lo, lo + max_off as i128));
+    }
+    Ok(bounds)
+}
+
+/// Sanity: does an NS compressed form carry its width parameter? Used by
+/// [`ModelResidual::error_bound`]; exposed for the store's pruning path.
+pub fn ns_width(c: &Compressed) -> Result<u32> {
+    c.check_scheme(&ns::Ns::plain().name())
+        .or_else(|_| c.check_scheme(&ns::Ns::zz().name()))?;
+    Ok(c.params.require("width")? as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{For, Rle, Rpe};
+
+    fn runs_col() -> ColumnData {
+        ColumnData::U32(vec![7, 7, 7, 9, 9, 4, 4, 4, 4, 2])
+    }
+
+    #[test]
+    fn rle_rpe_identity_round_trips() {
+        let c_rle = Rle.compress(&runs_col()).unwrap();
+        let c_rpe = rle_to_rpe(&c_rle).unwrap();
+        // The rewritten form is a *bona fide* RPE form: RPE decompresses it.
+        assert_eq!(Rpe.decompress(&c_rpe).unwrap(), runs_col());
+        // And the inverse rewrite returns the exact original.
+        let back = rpe_to_rle(&c_rpe).unwrap();
+        assert_eq!(back, c_rle);
+    }
+
+    #[test]
+    fn rewrite_equals_fresh_compression() {
+        // Rewriting RLE->RPE gives bit-identical parts to compressing
+        // with RPE directly.
+        let via_rewrite = rle_to_rpe(&Rle.compress(&runs_col()).unwrap()).unwrap();
+        let direct = Rpe.compress(&runs_col()).unwrap();
+        assert_eq!(via_rewrite, direct);
+    }
+
+    #[test]
+    fn rewrites_check_scheme() {
+        let c = Rpe.compress(&runs_col()).unwrap();
+        assert!(rle_to_rpe(&c).is_err());
+        let c = Rle.compress(&runs_col()).unwrap();
+        assert!(rpe_to_rle(&c).is_err());
+    }
+
+    #[test]
+    fn rpe_to_rle_validates_monotonicity() {
+        let mut c = Rpe.compress(&runs_col()).unwrap();
+        c.parts[1].data =
+            crate::scheme::PartData::Plain(ColumnData::U64(vec![5, 3, 10]));
+        assert!(matches!(rpe_to_rle(&c), Err(CoreError::CorruptParts(_))));
+    }
+
+    fn locally_tight() -> ColumnData {
+        ColumnData::U64(
+            (0..512u64).map(|i| (i / 128) * 1_000_000 + (i * 7) % 13).collect(),
+        )
+    }
+
+    #[test]
+    fn for_decomposes_into_step_plus_ns() {
+        let f = For::new(128);
+        let c = f.compress(&locally_tight()).unwrap();
+        let mr = for_to_step_plus_ns(&c).unwrap();
+        assert_eq!(mr.reconstruct().unwrap(), locally_tight());
+        // Round trip through the inverse composition.
+        let rebuilt = step_plus_ns_to_for(&mr).unwrap();
+        assert_eq!(f.decompress(&rebuilt).unwrap(), locally_tight());
+    }
+
+    #[test]
+    fn model_half_is_coarse_approximation() {
+        let f = For::new(128);
+        let c = f.compress(&locally_tight()).unwrap();
+        let mr = for_to_step_plus_ns(&c).unwrap();
+        let approx = mr.model_only().unwrap();
+        let bound = mr.error_bound().unwrap();
+        assert!(bound < 16, "offsets were < 13, bound {bound}");
+        // Every element within the L-infinity bound of the model.
+        let exact = locally_tight();
+        for i in 0..exact.len() {
+            let diff = exact.get_numeric(i).unwrap() - approx.get_numeric(i).unwrap();
+            assert!((0..=bound as i128).contains(&diff), "element {i}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn segment_bounds_are_sound() {
+        let f = For::new(128);
+        let col = locally_tight();
+        let c = f.compress(&col).unwrap();
+        let bounds = for_segment_bounds(&c).unwrap();
+        assert_eq!(bounds.len(), 4);
+        for (seg, &(lo, hi)) in bounds.iter().enumerate() {
+            for i in seg * 128..((seg + 1) * 128).min(col.len()) {
+                let v = col.get_numeric(i).unwrap();
+                assert!(v >= lo && v <= hi, "segment {seg}, element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_zero_for_exact_model() {
+        // A true step function has all-zero offsets: error bound 0.
+        let col = ColumnData::U64(vec![5; 256]);
+        let c = For::new(128).compress(&col).unwrap();
+        let mr = for_to_step_plus_ns(&c).unwrap();
+        assert_eq!(mr.error_bound().unwrap(), 0);
+        assert_eq!(mr.model_only().unwrap(), col);
+    }
+}

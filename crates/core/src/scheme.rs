@@ -1,0 +1,362 @@
+//! The [`Scheme`] trait and the columnar compressed form.
+//!
+//! A [`Compressed`] value is the paper's "pure columns" view of a
+//! compressed column: a set of named part columns plus scalar
+//! parameters — no blocks, headers or padding. Parts are either plain
+//! columns, bit-packed payloads (NS), per-block packed payloads
+//! (variable-width NS), or — for *composed* schemes — recursively
+//! compressed columns.
+
+use crate::column::{ColumnData, DType};
+use crate::error::{CoreError, Result};
+use crate::plan::Plan;
+use crate::stats::ColumnStats;
+
+// `DType` is used by the default `decompress_part` implementation.
+
+/// A named part of a compressed form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    /// Role of the part within its scheme ("values", "lengths",
+    /// "offsets", ...). Roles are how cascades select sub-columns.
+    pub role: &'static str,
+    /// The part's payload.
+    pub data: PartData,
+}
+
+/// Payload of a part.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartData {
+    /// A plain column.
+    Plain(ColumnData),
+    /// A bit-packed buffer (NS payload, one global width).
+    Bits(lcdc_bitpack::Packed),
+    /// A per-block packed buffer (variable-width NS payload).
+    Blocks(lcdc_bitpack::BlockPacked),
+    /// A recursively compressed column (result of a cascade).
+    Nested(Box<Compressed>),
+}
+
+impl PartData {
+    /// Payload size in bytes under the uniform size model: plain columns
+    /// at element width, packed buffers at their packed size (plus one
+    /// byte per block for per-block widths), nested parts recursively.
+    pub fn bytes(&self) -> usize {
+        match self {
+            PartData::Plain(c) => c.uncompressed_bytes(),
+            PartData::Bits(p) => p.payload_bytes(),
+            PartData::Blocks(b) => b.total_bytes(),
+            PartData::Nested(c) => c.compressed_bytes(),
+        }
+    }
+
+    /// Number of logical elements in the part.
+    pub fn len(&self) -> usize {
+        match self {
+            PartData::Plain(c) => c.len(),
+            PartData::Bits(p) => p.len(),
+            PartData::Blocks(b) => b.len(),
+            PartData::Nested(c) => c.n,
+        }
+    }
+
+    /// Whether the part holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Scalar parameters of a compressed form (segment length, widths, ...).
+///
+/// A small association list: schemes have at most a handful of
+/// parameters, and deterministic ordering keeps displays stable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Params(Vec<(&'static str, i64)>);
+
+impl Params {
+    /// Empty parameter set.
+    pub fn new() -> Self {
+        Params(Vec::new())
+    }
+
+    /// Add or replace a parameter.
+    pub fn set(&mut self, key: &'static str, value: i64) {
+        if let Some(slot) = self.0.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.0.push((key, value));
+        }
+    }
+
+    /// Builder-style [`Params::set`].
+    pub fn with(mut self, key: &'static str, value: i64) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Read a parameter.
+    pub fn get(&self, key: &'static str) -> Option<i64> {
+        self.0.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// Read a required parameter, with a corruption error if absent.
+    pub fn require(&self, key: &'static str) -> Result<i64> {
+        self.get(key)
+            .ok_or_else(|| CoreError::CorruptParts(format!("missing parameter {key:?}")))
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A compressed column in the paper's columnar view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compressed {
+    /// Name of the scheme that produced this form (e.g. `"rle"`,
+    /// `"for(l=128)"`); checked on decompression.
+    pub scheme_id: String,
+    /// Uncompressed element count.
+    pub n: usize,
+    /// Uncompressed element type.
+    pub dtype: DType,
+    /// Scalar parameters.
+    pub params: Params,
+    /// The part columns.
+    pub parts: Vec<Part>,
+}
+
+impl Compressed {
+    /// Find a part by role.
+    pub fn part(&self, role: &'static str) -> Result<&Part> {
+        self.parts
+            .iter()
+            .find(|p| p.role == role)
+            .ok_or(CoreError::MissingPart(role))
+    }
+
+    /// Find a part by role, requiring it to be a plain column.
+    pub fn plain_part(&self, role: &'static str) -> Result<&ColumnData> {
+        match &self.part(role)?.data {
+            PartData::Plain(c) => Ok(c),
+            other => Err(CoreError::CorruptParts(format!(
+                "part {role:?} expected plain, found {}",
+                part_kind(other)
+            ))),
+        }
+    }
+
+    /// Find a part by role, requiring a bit-packed payload.
+    pub fn bits_part(&self, role: &'static str) -> Result<&lcdc_bitpack::Packed> {
+        match &self.part(role)?.data {
+            PartData::Bits(p) => Ok(p),
+            other => Err(CoreError::CorruptParts(format!(
+                "part {role:?} expected packed bits, found {}",
+                part_kind(other)
+            ))),
+        }
+    }
+
+    /// Total compressed size in bytes: part payloads plus 8 bytes per
+    /// scalar parameter. The same model is applied to every scheme, so
+    /// ratios are comparable.
+    pub fn compressed_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.data.bytes()).sum::<usize>() + 8 * self.params.len()
+    }
+
+    /// Size of the column this decompresses to.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.n * self.dtype.bytes()
+    }
+
+    /// Compression ratio (uncompressed / compressed); `inf`-free: returns
+    /// `None` when the compressed size is zero.
+    pub fn ratio(&self) -> Option<f64> {
+        let cb = self.compressed_bytes();
+        (cb > 0).then(|| self.uncompressed_bytes() as f64 / cb as f64)
+    }
+
+    /// Verify the recorded scheme id matches the decompressing scheme.
+    pub fn check_scheme(&self, expected: &str) -> Result<()> {
+        if self.scheme_id == expected {
+            Ok(())
+        } else {
+            Err(CoreError::SchemeMismatch {
+                expected: expected.to_string(),
+                found: self.scheme_id.clone(),
+            })
+        }
+    }
+}
+
+fn part_kind(data: &PartData) -> &'static str {
+    match data {
+        PartData::Plain(_) => "plain",
+        PartData::Bits(_) => "bits",
+        PartData::Blocks(_) => "blocks",
+        PartData::Nested(_) => "nested",
+    }
+}
+
+/// A lightweight compression scheme: a pair of total maps between plain
+/// columns and columnar compressed forms, with optional extras (an
+/// operator-DAG decompression plan, a size estimate for the chooser).
+pub trait Scheme: std::fmt::Debug {
+    /// Canonical name, including parameters (e.g. `"for(l=128)"`).
+    fn name(&self) -> String;
+
+    /// Compress a plain column.
+    ///
+    /// Errors with [`CoreError::NotRepresentable`] when the scheme cannot
+    /// encode the column (lossy fits are never silently accepted).
+    fn compress(&self, col: &ColumnData) -> Result<Compressed>;
+
+    /// Decompress — must be the exact inverse of [`Scheme::compress`].
+    fn decompress(&self, c: &Compressed) -> Result<ColumnData>;
+
+    /// The decompression expressed as a DAG of columnar operators
+    /// (Algorithms 1 and 2 of the paper). Schemes whose decompression is
+    /// not naturally columnar may return [`CoreError::PlanUnsupported`].
+    fn plan(&self, c: &Compressed) -> Result<Plan> {
+        let _ = c;
+        Err(CoreError::PlanUnsupported(self.name()))
+    }
+
+    /// Resolve part columns into `u64` transport vectors for the plan
+    /// interpreter. The default handles plain/packed parts; cascades
+    /// override it to decompress nested parts first.
+    fn resolve_parts(&self, c: &Compressed) -> Result<Vec<Vec<u64>>> {
+        c.parts
+            .iter()
+            .map(|p| match &p.data {
+                PartData::Plain(col) => Ok(col.to_transport()),
+                PartData::Bits(packed) => Ok(packed.unpack()),
+                PartData::Blocks(blocks) => Ok(blocks.unpack()),
+                PartData::Nested(_) => Err(CoreError::CorruptParts(format!(
+                    "part {:?} is nested; resolve_parts must be overridden",
+                    p.role
+                ))),
+            })
+            .collect()
+    }
+
+    /// Predicted compressed size in bytes from column statistics, for
+    /// the scheme chooser. `None` when the scheme has no estimator or
+    /// cannot encode columns with these statistics.
+    fn estimate(&self, stats: &ColumnStats) -> Option<usize> {
+        let _ = stats;
+        None
+    }
+
+    /// *Partial decompression*: materialise one part column as plain data
+    /// without touching the rest of the compressed form. For RLE this
+    /// yields e.g. just the run values — the handle that lets query
+    /// operators work per-run instead of per-row (paper, Lessons 1). The
+    /// default handles plain and packed parts; cascades override it to
+    /// decompress nested parts with their inner scheme.
+    fn decompress_part(&self, c: &Compressed, role: &'static str) -> Result<ColumnData> {
+        match &c.part(role)?.data {
+            PartData::Plain(col) => Ok(col.clone()),
+            PartData::Bits(packed) => {
+                Ok(ColumnData::from_transport(DType::U64, packed.unpack()))
+            }
+            PartData::Blocks(blocks) => {
+                Ok(ColumnData::from_transport(DType::U64, blocks.unpack()))
+            }
+            PartData::Nested(_) => Err(CoreError::CorruptParts(format!(
+                "part {role:?} is nested; decompress_part must be overridden"
+            ))),
+        }
+    }
+}
+
+/// Decompress by building the operator-DAG plan and interpreting it —
+/// the paper's "decompression as query execution" path, used by tests to
+/// prove plan ≡ direct decompression.
+pub fn decompress_via_plan(scheme: &dyn Scheme, c: &Compressed) -> Result<ColumnData> {
+    let plan = scheme.plan(c)?;
+    let parts = scheme.resolve_parts(c)?;
+    let out = plan.execute(&parts)?;
+    Ok(ColumnData::from_transport(c.dtype, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_compressed() -> Compressed {
+        Compressed {
+            scheme_id: "dummy".into(),
+            n: 4,
+            dtype: DType::U32,
+            params: Params::new().with("l", 2),
+            parts: vec![Part {
+                role: "values",
+                data: PartData::Plain(ColumnData::U32(vec![1, 2])),
+            }],
+        }
+    }
+
+    #[test]
+    fn part_lookup() {
+        let c = dummy_compressed();
+        assert!(c.part("values").is_ok());
+        assert_eq!(c.part("nope"), Err(CoreError::MissingPart("nope")));
+        assert!(c.plain_part("values").is_ok());
+        assert!(c.bits_part("values").is_err());
+    }
+
+    #[test]
+    fn size_model() {
+        let c = dummy_compressed();
+        // 2×u32 payload + one 8-byte param.
+        assert_eq!(c.compressed_bytes(), 8 + 8);
+        assert_eq!(c.uncompressed_bytes(), 16);
+        assert_eq!(c.ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn scheme_check() {
+        let c = dummy_compressed();
+        assert!(c.check_scheme("dummy").is_ok());
+        assert!(matches!(
+            c.check_scheme("rle"),
+            Err(CoreError::SchemeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn params_set_get() {
+        let mut p = Params::new();
+        p.set("a", 1);
+        p.set("b", 2);
+        p.set("a", 3);
+        assert_eq!(p.get("a"), Some(3));
+        assert_eq!(p.len(), 2);
+        assert!(p.require("c").is_err());
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs, vec![("a", 3), ("b", 2)]);
+    }
+
+    #[test]
+    fn part_data_lens() {
+        let plain = PartData::Plain(ColumnData::U64(vec![1, 2, 3]));
+        assert_eq!(plain.len(), 3);
+        assert_eq!(plain.bytes(), 24);
+        let bits = PartData::Bits(lcdc_bitpack::Packed::pack(&[1, 2, 3], 2).unwrap());
+        assert_eq!(bits.len(), 3);
+        assert_eq!(bits.bytes(), 8);
+        assert!(!bits.is_empty());
+    }
+}

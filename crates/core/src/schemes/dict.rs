@@ -1,0 +1,163 @@
+//! DICT — dictionary encoding: "using small dictionaries" (paper §I).
+//!
+//! The dictionary is the sorted distinct values; codes are positions in
+//! it. Sorted dictionaries are the standard engineering choice because
+//! they make the code mapping order-preserving, which lets range
+//! predicates be evaluated directly on codes — another instance of the
+//! paper's "no clear distinction between decompression and query
+//! execution".
+
+use crate::column::ColumnData;
+use crate::error::{CoreError, Result};
+use crate::plan::{Node, Plan};
+use crate::scheme::{Compressed, Params, Part, PartData, Scheme};
+use crate::stats::ColumnStats;
+use crate::with_column;
+
+/// The dictionary-encoding scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dict;
+
+/// Role of the sorted-distinct-values part.
+pub const ROLE_DICT: &str = "dict";
+/// Role of the code part (u64 positions into the dictionary).
+pub const ROLE_CODES: &str = "codes";
+
+impl Scheme for Dict {
+    fn name(&self) -> String {
+        "dict".to_string()
+    }
+
+    fn compress(&self, col: &ColumnData) -> Result<Compressed> {
+        let (dict, codes) = with_column!(col, |v| {
+            let mut dict: Vec<_> = v.clone();
+            dict.sort_unstable();
+            dict.dedup();
+            let codes: Vec<u64> = v
+                .iter()
+                .map(|x| dict.binary_search(x).expect("present by construction") as u64)
+                .collect();
+            (
+                ColumnData::from_transport(
+                    col.dtype(),
+                    dict.iter().map(|&x| lcdc_colops::Scalar::to_u64(x)).collect(),
+                ),
+                codes,
+            )
+        });
+        Ok(Compressed {
+            scheme_id: self.name(),
+            n: col.len(),
+            dtype: col.dtype(),
+            params: Params::new(),
+            parts: vec![
+                Part { role: ROLE_DICT, data: PartData::Plain(dict) },
+                Part { role: ROLE_CODES, data: PartData::Plain(ColumnData::U64(codes)) },
+            ],
+        })
+    }
+
+    fn decompress(&self, c: &Compressed) -> Result<ColumnData> {
+        c.check_scheme("dict")?;
+        let dict = c.plain_part(ROLE_DICT)?.to_transport();
+        let codes = c.plain_part(ROLE_CODES)?;
+        if codes.len() != c.n {
+            return Err(CoreError::CorruptParts(format!(
+                "codes column holds {} values, expected {}",
+                codes.len(),
+                c.n
+            )));
+        }
+        let gathered = lcdc_colops::gather(&dict, &codes.to_transport())?;
+        Ok(ColumnData::from_transport(c.dtype, gathered))
+    }
+
+    fn plan(&self, _c: &Compressed) -> Result<Plan> {
+        // Parts order: 0 = dict, 1 = codes.
+        Plan::new(
+            vec![
+                Node::Part(0),
+                Node::Part(1),
+                Node::Gather { values: 0, indices: 1 },
+            ],
+            2,
+        )
+    }
+
+    fn estimate(&self, stats: &ColumnStats) -> Option<usize> {
+        Some(stats.distinct * stats.dtype.bytes() + stats.n * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::Cascade;
+    use crate::scheme::decompress_via_plan;
+    use crate::schemes::ns::Ns;
+
+    #[test]
+    fn round_trip() {
+        let col = ColumnData::I64(vec![30, -10, 20, -10, 30, 30]);
+        let c = Dict.compress(&col).unwrap();
+        assert_eq!(
+            c.plain_part(ROLE_DICT).unwrap(),
+            &ColumnData::I64(vec![-10, 20, 30])
+        );
+        assert_eq!(
+            c.plain_part(ROLE_CODES).unwrap(),
+            &ColumnData::U64(vec![2, 0, 1, 0, 2, 2])
+        );
+        assert_eq!(Dict.decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn plan_is_a_single_gather() {
+        let col = ColumnData::U32(vec![9, 9, 3]);
+        let c = Dict.compress(&col).unwrap();
+        assert_eq!(Dict.plan(&c).unwrap().num_nodes(), 3);
+        assert_eq!(decompress_via_plan(&Dict, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn dictionary_is_order_preserving() {
+        let col = ColumnData::I32(vec![5, -5, 0]);
+        let c = Dict.compress(&col).unwrap();
+        let dict = c.plain_part(ROLE_DICT).unwrap().to_numeric();
+        assert!(dict.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn codes_cascade_with_ns() {
+        // 8 distinct values in 100k rows: codes pack into 3 bits.
+        let col = ColumnData::U64((0..100_000).map(|i| (i * i) % 8 * 1_000_000).collect());
+        let cascade = Cascade::new(Box::new(Dict), vec![(ROLE_CODES, Box::new(Ns::plain()))]);
+        // 3 bits vs 64 bits/value: ratio near 21.
+        let c = cascade.compress(&col).unwrap();
+        assert!(c.ratio().unwrap() > 15.0, "ratio {:?}", c.ratio());
+        assert_eq!(cascade.decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = ColumnData::U32(vec![]);
+        let c = Dict.compress(&col).unwrap();
+        assert_eq!(Dict.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&Dict, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn corrupt_code_detected() {
+        let col = ColumnData::U32(vec![5, 6]);
+        let mut c = Dict.compress(&col).unwrap();
+        c.parts[1].data = PartData::Plain(ColumnData::U64(vec![0, 9]));
+        assert!(Dict.decompress(&c).is_err());
+    }
+
+    #[test]
+    fn estimate_shape() {
+        let col = ColumnData::U32(vec![1, 1, 2, 2, 2]);
+        let stats = ColumnStats::collect(&col);
+        assert_eq!(Dict.estimate(&stats), Some(2 * 4 + 5 * 8));
+    }
+}

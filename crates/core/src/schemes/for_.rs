@@ -1,0 +1,276 @@
+//! FOR — frame of reference (paper §II-B, Algorithm 2).
+//!
+//! Per length-ℓ segment, a reference value (we use the segment minimum,
+//! so offsets are non-negative; the paper notes the reference "need not
+//! necessarily be the first column element") plus per-element offsets.
+//! The offsets column is kept *plain* here: in the paper's algebra the
+//! narrowing belongs to the NS subscheme, so the practical configuration
+//! is the cascade `for(l=ℓ)[offsets=ns]` — and the decomposition
+//! `FOR ≡ STEPFUNCTION + NS` is literal code in [`crate::rewrite`].
+
+use crate::column::ColumnData;
+use crate::error::{CoreError, Result};
+use crate::plan::{Node, Plan};
+use crate::scheme::{Compressed, Params, Part, PartData, Scheme};
+use crate::stats::ColumnStats;
+use crate::with_column;
+use lcdc_bitpack::width::packed_bytes;
+use lcdc_colops::BinOpKind;
+use lcdc_colops::Scalar;
+
+/// The frame-of-reference scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct For {
+    /// Segment length ℓ.
+    pub seg_len: usize,
+    /// Use the segment's *first* element as the reference instead of its
+    /// minimum. The paper notes the reference "need not necessarily be
+    /// the first column element" — this flag is the ablation between the
+    /// two classic choices: min-reference keeps offsets non-negative
+    /// (plain NS); first-reference makes compression cheaper (no min
+    /// scan) at the price of signed offsets (zigzag NS, ~1 extra bit).
+    pub ref_first: bool,
+}
+
+impl For {
+    /// Construct with the given segment length (clamped to ≥ 1) and the
+    /// minimum as reference.
+    pub fn new(seg_len: usize) -> Self {
+        For { seg_len: seg_len.max(1), ref_first: false }
+    }
+
+    /// Construct with the segment's first element as reference.
+    pub fn new_first_ref(seg_len: usize) -> Self {
+        For { seg_len: seg_len.max(1), ref_first: true }
+    }
+
+    /// The practical first-reference configuration: zigzagged NS offsets.
+    pub fn first_ref_with_ns(seg_len: usize) -> crate::compose::Cascade {
+        crate::compose::Cascade::new(
+            Box::new(For::new_first_ref(seg_len)),
+            vec![(ROLE_OFFSETS, Box::new(crate::schemes::ns::Ns::zz()))],
+        )
+    }
+
+    /// The practical configuration: FOR with NS-packed offsets.
+    pub fn with_ns(seg_len: usize) -> crate::compose::Cascade {
+        crate::compose::Cascade::new(
+            Box::new(For::new(seg_len)),
+            vec![(ROLE_OFFSETS, Box::new(crate::schemes::ns::Ns::plain()))],
+        )
+    }
+}
+
+/// Role of the per-segment reference part (native dtype).
+pub const ROLE_REFS: &str = "refs";
+/// Role of the per-element offset part (u64, non-negative).
+pub const ROLE_OFFSETS: &str = "offsets";
+
+impl Scheme for For {
+    fn name(&self) -> String {
+        if self.ref_first {
+            format!("for(l={},first=1)", self.seg_len)
+        } else {
+            format!("for(l={})", self.seg_len)
+        }
+    }
+
+    fn compress(&self, col: &ColumnData) -> Result<Compressed> {
+        // Reference = segment minimum in *native* order (or the first
+        // element under `ref_first`); offsets are wrapping transport
+        // differences, which for v >= ref equal the exact non-negative
+        // numeric differences. First-reference offsets are signed and
+        // stored as i64 so the zigzag-NS cascade packs them narrowly.
+        let (refs, offsets) = with_column!(col, |v| {
+            let mut refs_t = Vec::with_capacity(v.len().div_ceil(self.seg_len));
+            let mut offsets = Vec::with_capacity(v.len());
+            for chunk in v.chunks(self.seg_len) {
+                let r = if self.ref_first {
+                    chunk[0]
+                } else {
+                    *chunk.iter().min().expect("non-empty chunk")
+                };
+                let r_t = r.to_u64();
+                refs_t.push(r_t);
+                offsets.extend(chunk.iter().map(|x| x.to_u64().wrapping_sub(r_t)));
+            }
+            (ColumnData::from_transport(col.dtype(), refs_t), offsets)
+        });
+        let offsets_col = if self.ref_first {
+            ColumnData::from_transport(crate::column::DType::I64, offsets)
+        } else {
+            ColumnData::U64(offsets)
+        };
+        Ok(Compressed {
+            scheme_id: self.name(),
+            n: col.len(),
+            dtype: col.dtype(),
+            params: Params::new().with("l", self.seg_len as i64),
+            parts: vec![
+                Part { role: ROLE_REFS, data: PartData::Plain(refs) },
+                Part { role: ROLE_OFFSETS, data: PartData::Plain(offsets_col) },
+            ],
+        })
+    }
+
+    fn decompress(&self, c: &Compressed) -> Result<ColumnData> {
+        c.check_scheme(&self.name())?;
+        let refs = c.plain_part(ROLE_REFS)?.to_transport();
+        let offsets_part = c.plain_part(ROLE_OFFSETS)?;
+        let expected_dtype = if self.ref_first {
+            crate::column::DType::I64
+        } else {
+            crate::column::DType::U64
+        };
+        if offsets_part.dtype() != expected_dtype {
+            return Err(CoreError::CorruptParts(format!(
+                "offsets part must be {}, found {}",
+                expected_dtype.name(),
+                offsets_part.dtype().name()
+            )));
+        }
+        let offsets = offsets_part.to_transport();
+        if offsets.len() != c.n {
+            return Err(CoreError::CorruptParts(format!(
+                "offsets column holds {} values, expected {}",
+                offsets.len(),
+                c.n
+            )));
+        }
+        // Fused decompression: replicate + add, no id/÷ materialisation.
+        let replicated = lcdc_colops::segment::replicate_segments(&refs, self.seg_len, c.n)?;
+        let mut out = vec![0u64; c.n];
+        lcdc_colops::elementwise::add_into(&replicated, &offsets, &mut out)?;
+        Ok(ColumnData::from_transport(c.dtype, out))
+    }
+
+    /// Algorithm 2, literally:
+    ///
+    /// ```text
+    /// ones        <- Constant(1, |offsets|)
+    /// id          <- PrefixSum(ones)            // 0-based (exclusive)
+    /// ref_indices <- Elementwise(÷, id, ℓ)
+    /// replicated  <- Gather(refs, ref_indices)
+    /// return Elementwise(+, replicated, offsets)
+    /// ```
+    fn plan(&self, c: &Compressed) -> Result<Plan> {
+        Plan::new(
+            vec![
+                Node::Const { value: 1, len: c.n },                                // %0 ones
+                Node::PrefixSumExclusive(0),                                       // %1 id
+                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: self.seg_len as u64 },
+                Node::Part(0),                                                     // %3 refs
+                Node::Gather { values: 3, indices: 2 },                            // %4 replicated
+                Node::Part(1),                                                     // %5 offsets
+                Node::Binary { op: BinOpKind::Add, lhs: 4, rhs: 5 },               // %6
+            ],
+            6,
+        )
+    }
+
+    fn estimate(&self, stats: &ColumnStats) -> Option<usize> {
+        // With plain offsets FOR never wins; estimate the practical
+        // NS-cascaded size so the chooser ranks it fairly.
+        let refs = stats.n.div_ceil(self.seg_len) * stats.dtype.bytes();
+        let width = if stats.seg_len == self.seg_len {
+            stats.for_offset_width
+        } else {
+            // Statistics at another segment length: fall back to the
+            // collected one as an approximation.
+            stats.for_offset_width
+        };
+        Some(refs + packed_bytes(stats.n, width) + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::decompress_via_plan;
+
+    #[test]
+    fn round_trip_unsigned() {
+        let col = ColumnData::U32(vec![100, 103, 101, 999, 1001, 998]);
+        let f = For::new(3);
+        let c = f.compress(&col).unwrap();
+        assert_eq!(c.plain_part(ROLE_REFS).unwrap(), &ColumnData::U32(vec![100, 998]));
+        assert_eq!(
+            c.plain_part(ROLE_OFFSETS).unwrap(),
+            &ColumnData::U64(vec![0, 3, 1, 1, 3, 0])
+        );
+        assert_eq!(f.decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn round_trip_signed_with_negatives() {
+        let col = ColumnData::I32(vec![-100, -97, -99, 50, 53]);
+        let f = For::new(3);
+        let c = f.compress(&col).unwrap();
+        assert_eq!(f.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&f, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn extreme_ranges_round_trip() {
+        let col = ColumnData::I64(vec![i64::MIN, i64::MAX, 0]);
+        let f = For::new(2);
+        let c = f.compress(&col).unwrap();
+        assert_eq!(f.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&f, &c).unwrap(), col);
+
+        let col = ColumnData::U64(vec![0, u64::MAX]);
+        let c = f.compress(&col).unwrap();
+        assert_eq!(f.decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn plan_is_algorithm_two() {
+        let col = ColumnData::U32(vec![10, 11, 22, 23]);
+        let f = For::new(2);
+        let c = f.compress(&col).unwrap();
+        let plan = f.plan(&c).unwrap();
+        assert_eq!(plan.num_nodes(), 7);
+        assert!(plan.display().contains("÷"));
+        assert_eq!(decompress_via_plan(&f, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn ns_cascade_narrows_offsets() {
+        // Locally tight, globally wide: classic FOR win.
+        let col = ColumnData::U64(
+            (0..128u64).flat_map(|s| (0..128u64).map(move |i| s * 1_000_000 + i % 7)).collect(),
+        );
+        let cascade = For::with_ns(128);
+        let c = cascade.compress(&col).unwrap();
+        assert!(c.ratio().unwrap() > 10.0, "ratio {:?}", c.ratio());
+        assert_eq!(cascade.decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = ColumnData::U32(vec![]);
+        let f = For::new(8);
+        let c = f.compress(&col).unwrap();
+        assert_eq!(f.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&f, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn corrupt_offsets_detected() {
+        let col = ColumnData::U32(vec![1, 2, 3]);
+        let f = For::new(2);
+        let mut c = f.compress(&col).unwrap();
+        c.parts[1].data = PartData::Plain(ColumnData::U64(vec![0]));
+        assert!(matches!(f.decompress(&c), Err(CoreError::CorruptParts(_))));
+    }
+
+    #[test]
+    fn estimate_tracks_actual_cascade() {
+        let col = ColumnData::U64((0..4096u64).map(|i| 1_000_000 + i % 50).collect());
+        let stats = ColumnStats::collect(&col);
+        let est = For::new(128).estimate(&stats).unwrap();
+        let actual = For::with_ns(128).compress(&col).unwrap().compressed_bytes();
+        let ratio = est as f64 / actual as f64;
+        assert!((0.5..2.0).contains(&ratio), "est {est} vs actual {actual}");
+    }
+}

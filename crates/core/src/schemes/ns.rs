@@ -1,0 +1,203 @@
+//! NS — null suppression, i.e. bit packing: "discarding redundant bits"
+//! (paper §I).
+//!
+//! The width is chosen as the smallest covering every value. For signed
+//! data (or the signed deltas/residuals other schemes cascade into NS)
+//! the zigzag variant maps small-magnitude values to small codes first.
+//!
+//! In the paper's algebra NS is the canonical *residual* scheme: FOR is
+//! `STEPFUNCTION + NS`, and its generalisations swap this subscheme for
+//! the variable-width or patched variants.
+
+use crate::column::ColumnData;
+use crate::error::{CoreError, Result};
+use crate::plan::{Node, Plan};
+use crate::scheme::{Compressed, Params, Part, PartData, Scheme};
+use crate::stats::ColumnStats;
+use lcdc_bitpack::width::packed_bytes;
+use lcdc_bitpack::{max_width, Packed};
+
+/// The null-suppression scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ns {
+    /// Zigzag-map values before packing (for signed payloads).
+    pub zigzag: bool,
+}
+
+impl Ns {
+    /// Plain NS (values must be non-negative).
+    pub fn plain() -> Self {
+        Ns { zigzag: false }
+    }
+
+    /// Zigzagged NS (any signed values).
+    pub fn zz() -> Self {
+        Ns { zigzag: true }
+    }
+}
+
+/// Role of the packed payload part.
+pub const ROLE_PACKED: &str = "packed";
+
+impl Scheme for Ns {
+    fn name(&self) -> String {
+        if self.zigzag { "ns_zz".to_string() } else { "ns".to_string() }
+    }
+
+    fn compress(&self, col: &ColumnData) -> Result<Compressed> {
+        let transport = col.to_transport();
+        let to_pack: Vec<u64> = if self.zigzag {
+            transport.iter().map(|&v| lcdc_bitpack::zigzag_encode_i64(v as i64)).collect()
+        } else {
+            // Non-negativity: for signed dtypes a negative value
+            // sign-extends to a transport with the top bit set; unsigned
+            // transports are the values themselves. Either way the data
+            // must be numerically non-negative for plain NS.
+            if let Some((min, _)) = col.min_max_numeric() {
+                if min < 0 {
+                    return Err(CoreError::NotRepresentable(format!(
+                        "plain NS requires non-negative values (min = {min}); use ns_zz"
+                    )));
+                }
+            }
+            transport
+        };
+        let width = max_width(&to_pack);
+        let packed = Packed::pack(&to_pack, width)?;
+        Ok(Compressed {
+            scheme_id: self.name(),
+            n: col.len(),
+            dtype: col.dtype(),
+            params: Params::new()
+                .with("width", width as i64)
+                .with("zigzag", self.zigzag as i64),
+            parts: vec![Part { role: ROLE_PACKED, data: PartData::Bits(packed) }],
+        })
+    }
+
+    fn decompress(&self, c: &Compressed) -> Result<ColumnData> {
+        c.check_scheme(&self.name())?;
+        let packed = c.bits_part(ROLE_PACKED)?;
+        if packed.len() != c.n {
+            return Err(CoreError::CorruptParts(format!(
+                "NS payload holds {} values, expected {}",
+                packed.len(),
+                c.n
+            )));
+        }
+        let mut values = packed.unpack();
+        if self.zigzag {
+            for v in &mut values {
+                *v = lcdc_bitpack::zigzag_decode_i64(*v) as u64;
+            }
+        }
+        Ok(ColumnData::from_transport(c.dtype, values))
+    }
+
+    fn plan(&self, _c: &Compressed) -> Result<Plan> {
+        // Part resolution unpacks the bits; the plan is the identity
+        // (plus the zigzag decode for the signed variant).
+        if self.zigzag {
+            Plan::new(vec![Node::Part(0), Node::ZigzagDecode(0)], 1)
+        } else {
+            Plan::new(vec![Node::Part(0)], 0)
+        }
+    }
+
+    fn estimate(&self, stats: &ColumnStats) -> Option<usize> {
+        if self.zigzag {
+            // Zigzag widens by at most one bit over the magnitude width;
+            // estimate from the value range.
+            let lo = stats.min?;
+            let hi = stats.max?;
+            let mag = lo.unsigned_abs().max(hi.unsigned_abs());
+            let width = (128 - mag.leading_zeros() + 1).min(64);
+            Some(packed_bytes(stats.n, width) + 16)
+        } else {
+            stats.ns_width.map(|w| packed_bytes(stats.n, w) + 16)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::decompress_via_plan;
+
+    #[test]
+    fn round_trip_unsigned() {
+        let col = ColumnData::U32(vec![0, 1, 1000, 65535]);
+        let c = Ns::plain().compress(&col).unwrap();
+        assert_eq!(c.params.get("width"), Some(16));
+        assert_eq!(Ns::plain().decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn rejects_negative_without_zigzag() {
+        let col = ColumnData::I32(vec![1, -2]);
+        assert!(matches!(
+            Ns::plain().compress(&col),
+            Err(CoreError::NotRepresentable(_))
+        ));
+    }
+
+    #[test]
+    fn zigzag_handles_signed() {
+        let col = ColumnData::I64(vec![-3, 0, 3, i64::MIN, i64::MAX]);
+        let c = Ns::zz().compress(&col).unwrap();
+        assert_eq!(Ns::zz().decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_narrow() {
+        let col = ColumnData::I32(vec![-2, -1, 0, 1, 2]);
+        let c = Ns::zz().compress(&col).unwrap();
+        assert_eq!(c.params.get("width"), Some(3));
+    }
+
+    #[test]
+    fn compression_shrinks_narrow_columns() {
+        let col = ColumnData::U64((0..1000).map(|i| i % 16).collect());
+        let c = Ns::plain().compress(&col).unwrap();
+        // 4 bits/value vs 64: ratio near 16 (minus param overhead).
+        assert!(c.ratio().unwrap() > 12.0);
+    }
+
+    #[test]
+    fn plan_matches_direct_both_variants() {
+        let col = ColumnData::U32(vec![5, 9, 13]);
+        let c = Ns::plain().compress(&col).unwrap();
+        assert_eq!(decompress_via_plan(&Ns::plain(), &c).unwrap(), col);
+
+        let col = ColumnData::I32(vec![-5, 9, -13]);
+        let c = Ns::zz().compress(&col).unwrap();
+        assert_eq!(decompress_via_plan(&Ns::zz(), &c).unwrap(), col);
+    }
+
+    #[test]
+    fn corrupt_length_detected() {
+        let col = ColumnData::U32(vec![1, 2, 3]);
+        let mut c = Ns::plain().compress(&col).unwrap();
+        c.n = 5;
+        assert!(matches!(
+            Ns::plain().decompress(&c),
+            Err(CoreError::CorruptParts(_))
+        ));
+    }
+
+    #[test]
+    fn estimate_close_to_actual() {
+        let col = ColumnData::U64((0..500).map(|i| i % 1024).collect());
+        let stats = ColumnStats::collect(&col);
+        let est = Ns::plain().estimate(&stats).unwrap();
+        let actual = Ns::plain().compress(&col).unwrap().compressed_bytes();
+        assert!(est.abs_diff(actual) <= 16, "est {est} vs actual {actual}");
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = ColumnData::U32(vec![]);
+        let c = Ns::plain().compress(&col).unwrap();
+        assert_eq!(Ns::plain().decompress(&c).unwrap(), col);
+    }
+}

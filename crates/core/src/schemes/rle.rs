@@ -1,0 +1,193 @@
+//! RLE — run-length encoding (paper §II-A, Algorithm 1).
+//!
+//! "A single column `col` of values is compressed into a pair of
+//! corresponding columns, `lengths` and `values`, whose length is the
+//! number of runs in `col`."
+//!
+//! The operator-DAG plan is Algorithm 1 verbatim, with two pedantic
+//! corrections preserved in comments: the zeroed scatter target (the
+//! paper's line 5 reads `Constant(1, n)`, an evident typo for 0), and
+//! 0-based element ids.
+
+use crate::column::ColumnData;
+use crate::error::{CoreError, Result};
+use crate::plan::{Node, Plan};
+use crate::scheme::{Compressed, Params, Part, PartData, Scheme};
+use crate::stats::ColumnStats;
+use crate::with_column;
+use lcdc_colops::{runs_encode, runs_expand};
+
+/// The run-length encoding scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rle;
+
+/// Role of the run-value part.
+pub const ROLE_VALUES: &str = "values";
+/// Role of the run-length part (u64 counts).
+pub const ROLE_LENGTHS: &str = "lengths";
+
+impl Scheme for Rle {
+    fn name(&self) -> String {
+        "rle".to_string()
+    }
+
+    fn compress(&self, col: &ColumnData) -> Result<Compressed> {
+        let (values, lengths) = with_column!(col, |v| {
+            let (values, lengths) = runs_encode(v);
+            (
+                ColumnData::from_transport(
+                    col.dtype(),
+                    values.iter().map(|&x| lcdc_colops::Scalar::to_u64(x)).collect(),
+                ),
+                lengths,
+            )
+        });
+        Ok(Compressed {
+            scheme_id: self.name(),
+            n: col.len(),
+            dtype: col.dtype(),
+            params: Params::new(),
+            parts: vec![
+                Part { role: ROLE_VALUES, data: PartData::Plain(values) },
+                Part { role: ROLE_LENGTHS, data: PartData::Plain(ColumnData::U64(lengths)) },
+            ],
+        })
+    }
+
+    fn decompress(&self, c: &Compressed) -> Result<ColumnData> {
+        c.check_scheme("rle")?;
+        let values = c.plain_part(ROLE_VALUES)?;
+        let lengths = match c.plain_part(ROLE_LENGTHS)? {
+            ColumnData::U64(l) => l,
+            other => {
+                return Err(CoreError::CorruptParts(format!(
+                    "lengths part must be u64, found {}",
+                    other.dtype().name()
+                )))
+            }
+        };
+        let expanded = runs_expand(&values.to_transport(), lengths)?;
+        if expanded.len() != c.n {
+            return Err(CoreError::CorruptParts(format!(
+                "runs expand to {} values, expected {}",
+                expanded.len(),
+                c.n
+            )));
+        }
+        Ok(ColumnData::from_transport(c.dtype, expanded))
+    }
+
+    /// Algorithm 1, literally:
+    ///
+    /// ```text
+    /// run_positions  <- PrefixSum(lengths)
+    /// run_positions' <- PopBack(run_positions)
+    /// ones           <- Constant(1, |run_positions'|)
+    /// zeros          <- Constant(0, n)            // paper's line 5 says 1; typo
+    /// pos_delta      <- Scatter(ones, run_positions')
+    /// positions      <- PrefixSum(pos_delta)
+    /// return Gather(values, positions)
+    /// ```
+    fn plan(&self, c: &Compressed) -> Result<Plan> {
+        let num_runs = c.part(ROLE_VALUES)?.data.len();
+        if c.n == 0 || num_runs == 0 {
+            return Plan::new(vec![Node::Const { value: 0, len: 0 }], 0);
+        }
+        // Parts order: 0 = values, 1 = lengths (as produced by compress).
+        Plan::new(
+            vec![
+                Node::Part(1),                                        // %0 lengths
+                Node::PrefixSum(0),                                   // %1 run_positions
+                Node::PopBack(1),                                     // %2 run_positions'
+                Node::Const { value: 1, len: num_runs - 1 },          // %3 ones
+                Node::Scatter { src: 3, positions: 2, len: c.n },     // %4 pos_delta
+                Node::PrefixSum(4),                                   // %5 positions
+                Node::Part(0),                                        // %6 values
+                Node::Gather { values: 6, indices: 5 },               // %7
+            ],
+            7,
+        )
+    }
+
+    fn estimate(&self, stats: &ColumnStats) -> Option<usize> {
+        Some(stats.runs * (stats.dtype.bytes() + 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::decompress_via_plan;
+
+    #[test]
+    fn round_trip() {
+        let col = ColumnData::U32(vec![7, 7, 8, 8, 8, 9]);
+        let c = Rle.compress(&col).unwrap();
+        assert_eq!(c.part(ROLE_VALUES).unwrap().data.len(), 3);
+        assert_eq!(Rle.decompress(&c).unwrap(), col);
+    }
+
+    #[test]
+    fn plan_is_algorithm_one() {
+        let col = ColumnData::U32(vec![7, 7, 8, 8, 8, 9]);
+        let c = Rle.compress(&col).unwrap();
+        let plan = Rle.plan(&c).unwrap();
+        assert_eq!(plan.num_nodes(), 8);
+        assert_eq!(decompress_via_plan(&Rle, &c).unwrap(), col);
+        let text = plan.display();
+        assert!(text.contains("PrefixSum"));
+        assert!(text.contains("PopBack"));
+        assert!(text.contains("Scatter"));
+        assert!(text.contains("Gather"));
+    }
+
+    #[test]
+    fn single_run_column() {
+        let col = ColumnData::I64(vec![-4; 100]);
+        let c = Rle.compress(&col).unwrap();
+        assert_eq!(c.compressed_bytes(), 16); // one value + one length
+        assert_eq!(Rle.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&Rle, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = ColumnData::U32(vec![]);
+        let c = Rle.compress(&col).unwrap();
+        assert_eq!(Rle.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&Rle, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn no_runs_worst_case() {
+        let col = ColumnData::U32((0..50).collect());
+        let c = Rle.compress(&col).unwrap();
+        // 50 runs of 1: compressed is *larger* than plain (values + lengths).
+        assert!(c.compressed_bytes() > col.uncompressed_bytes());
+        assert_eq!(Rle.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&Rle, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn signed_values() {
+        let col = ColumnData::I32(vec![-1, -1, 5, 5, 5, -9]);
+        let c = Rle.compress(&col).unwrap();
+        assert_eq!(Rle.decompress(&c).unwrap(), col);
+        assert_eq!(decompress_via_plan(&Rle, &c).unwrap(), col);
+    }
+
+    #[test]
+    fn estimate_matches_shape() {
+        let col = ColumnData::U64(vec![1, 1, 1, 2, 2, 3]);
+        let stats = ColumnStats::collect(&col);
+        assert_eq!(Rle.estimate(&stats), Some(3 * 16));
+    }
+
+    #[test]
+    fn corrupt_total_detected() {
+        let col = ColumnData::U32(vec![5, 5, 6]);
+        let mut c = Rle.compress(&col).unwrap();
+        c.n = 7;
+        assert!(matches!(Rle.decompress(&c), Err(CoreError::CorruptParts(_))));
+    }
+}

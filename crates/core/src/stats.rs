@@ -1,0 +1,223 @@
+//! Column statistics for the scheme chooser's cost model.
+//!
+//! One pass over a column collects every statistic the per-scheme size
+//! estimators need: range (NS/FOR widths), run structure (RLE/RPE),
+//! distinct count (DICT), delta widths (DELTA cascades), per-segment
+//! ranges and residual widths (FOR / linear frames), and a width
+//! percentile (patched schemes).
+
+use crate::column::{ColumnData, DType};
+use lcdc_bitpack::width::bits_needed_u64;
+
+/// Statistics over one column, at a fixed reference segment length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Element count.
+    pub n: usize,
+    /// Element type.
+    pub dtype: DType,
+    /// Numeric minimum (`None` when empty).
+    pub min: Option<i128>,
+    /// Numeric maximum (`None` when empty).
+    pub max: Option<i128>,
+    /// Number of maximal runs.
+    pub runs: usize,
+    /// Exact distinct-value count.
+    pub distinct: usize,
+    /// Occurrence count of the most frequent value (0 when empty): the
+    /// SPARSE scheme's base-value coverage.
+    pub mode_freq: usize,
+    /// Bits to store any value as-is (non-negative columns only, else
+    /// `None`): the NS width.
+    pub ns_width: Option<u32>,
+    /// Bits for the widest zigzagged adjacent delta: the DELTA+NS width.
+    pub delta_zz_width: u32,
+    /// Segment length the segment statistics below were computed at.
+    pub seg_len: usize,
+    /// Bits for the widest `value - segment_min` offset: the FOR width.
+    pub for_offset_width: u32,
+    /// Width covering 99% of FOR offsets: the patched-FOR payload width.
+    pub for_offset_width_p99: u32,
+    /// Fraction of offsets wider than the p99 width (the exception rate).
+    pub exception_rate: f64,
+}
+
+/// Default segment length used by FOR-family schemes and the chooser.
+pub const DEFAULT_SEG_LEN: usize = 128;
+
+impl ColumnStats {
+    /// Collect statistics with the default segment length.
+    pub fn collect(col: &ColumnData) -> Self {
+        Self::collect_with_seg_len(col, DEFAULT_SEG_LEN)
+    }
+
+    /// Collect statistics with an explicit segment length.
+    pub fn collect_with_seg_len(col: &ColumnData, seg_len: usize) -> Self {
+        let seg_len = seg_len.max(1);
+        let n = col.len();
+        let dtype = col.dtype();
+        let (min, max) = match col.min_max_numeric() {
+            Some((lo, hi)) => (Some(lo), Some(hi)),
+            None => (None, None),
+        };
+
+        // Single numeric pass: runs, distinct, delta widths.
+        let numeric: Vec<i128> = (0..n).map(|i| col.get_numeric(i).expect("in range")).collect();
+        let runs = if n == 0 {
+            0
+        } else {
+            1 + numeric.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        let (distinct, mode_freq) = {
+            let mut sorted = numeric.clone();
+            sorted.sort_unstable();
+            let mut distinct = 0usize;
+            let mut mode_freq = 0usize;
+            let mut i = 0;
+            while i < sorted.len() {
+                let mut j = i + 1;
+                while j < sorted.len() && sorted[j] == sorted[i] {
+                    j += 1;
+                }
+                distinct += 1;
+                mode_freq = mode_freq.max(j - i);
+                i = j;
+            }
+            (distinct, mode_freq)
+        };
+        let ns_width = match min {
+            Some(lo) if lo >= 0 => Some(bits_needed_u64(max.unwrap_or(0).max(0) as u64)),
+            Some(_) => None,
+            None => Some(0),
+        };
+        let delta_zz_width = numeric
+            .windows(2)
+            .map(|w| {
+                let d = w[1] - w[0]; // |d| < 2^64, fits i128 exactly
+                zigzag_width_i128(d)
+            })
+            .max()
+            .unwrap_or(0);
+
+        // Per-segment offsets for the FOR family.
+        let mut offsets: Vec<u64> = Vec::with_capacity(n);
+        for chunk in numeric.chunks(seg_len) {
+            let lo = chunk.iter().copied().min().expect("non-empty chunk");
+            offsets.extend(chunk.iter().map(|&v| (v - lo) as u64));
+        }
+        let for_offset_width = lcdc_bitpack::max_width(&offsets);
+        let for_offset_width_p99 = lcdc_bitpack::width_percentile(&offsets, 0.99);
+        let exceptions = offsets
+            .iter()
+            .filter(|&&o| bits_needed_u64(o) > for_offset_width_p99)
+            .count();
+        let exception_rate = if n == 0 { 0.0 } else { exceptions as f64 / n as f64 };
+
+        ColumnStats {
+            n,
+            dtype,
+            min,
+            max,
+            runs,
+            distinct,
+            mode_freq,
+            ns_width,
+            delta_zz_width,
+            seg_len,
+            for_offset_width,
+            for_offset_width_p99,
+            exception_rate,
+        }
+    }
+
+    /// Mean run length (`n / runs`, 0 for empty columns).
+    pub fn mean_run_len(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.n as f64 / self.runs as f64
+        }
+    }
+}
+
+fn zigzag_width_i128(d: i128) -> u32 {
+    // Deltas of i64/u64 columns fit in i128; their zigzag form fits u128
+    // but in practice u65 — width capped at 65 to signal "wider than one
+    // word" to estimators.
+    let zz = ((d << 1) ^ (d >> 127)) as u128;
+    (128 - zz.leading_zeros()).min(65)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_column() {
+        let s = ColumnStats::collect(&ColumnData::U32(vec![]));
+        assert_eq!(s.n, 0);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.mode_freq, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.ns_width, Some(0));
+        assert_eq!(s.mean_run_len(), 0.0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = ColumnStats::collect(&ColumnData::U32(vec![5, 5, 5, 9, 9, 5]));
+        assert_eq!(s.n, 6);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.mode_freq, 4);
+        assert_eq!((s.min, s.max), (Some(5), Some(9)));
+        assert_eq!(s.ns_width, Some(4));
+        assert!((s.mean_run_len() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_columns_have_no_ns_width() {
+        let s = ColumnStats::collect(&ColumnData::I32(vec![-1, 2]));
+        assert_eq!(s.ns_width, None);
+    }
+
+    #[test]
+    fn delta_width_tracks_gaps() {
+        // Constant deltas of +1 -> zigzag 2 -> width 2.
+        let s = ColumnStats::collect(&ColumnData::U64((0..100).collect()));
+        assert_eq!(s.delta_zz_width, 2);
+        // A single big jump dominates.
+        let s = ColumnStats::collect(&ColumnData::U64(vec![0, 1, 1 << 40]));
+        assert!(s.delta_zz_width > 40);
+    }
+
+    #[test]
+    fn for_widths_respect_segments() {
+        // Two segments with tiny internal spread but far-apart levels:
+        // per-segment offsets stay narrow.
+        let mut data = vec![1_000_000u64; 128];
+        data.extend(vec![5u64; 128]);
+        for (i, v) in data.iter_mut().enumerate() {
+            *v += (i % 4) as u64;
+        }
+        let s = ColumnStats::collect_with_seg_len(&ColumnData::U64(data), 128);
+        assert_eq!(s.for_offset_width, 2);
+    }
+
+    #[test]
+    fn exception_rate_sees_outliers() {
+        let mut data = vec![10u64; 1000];
+        data[500] = 1 << 40;
+        let s = ColumnStats::collect(&ColumnData::U64(data));
+        assert!(s.exception_rate > 0.0 && s.exception_rate < 0.01);
+        assert!(s.for_offset_width >= 40);
+        assert_eq!(s.for_offset_width_p99, 0);
+    }
+
+    #[test]
+    fn extreme_deltas_cap_at_65() {
+        let s = ColumnStats::collect(&ColumnData::I64(vec![i64::MIN, i64::MAX]));
+        assert_eq!(s.delta_zz_width, 65);
+    }
+}

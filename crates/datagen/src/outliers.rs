@@ -1,0 +1,98 @@
+//! Locally-regular columns contaminated with rare, arbitrary outliers —
+//! the L0-metric scenario of §II-B: "data \[that] is 'really' a step
+//! function, but with the occasional divergent arbitrary-value element".
+//!
+//! Patched schemes keep a narrow width for the bulk and store the
+//! divergent elements as exceptions; plain FOR must widen every offset to
+//! cover the worst outlier.
+
+use rand::Rng;
+
+/// A step-function baseline (segments of `seg_len`, levels below
+/// `level_bound`, per-element spread below `spread`) where each element
+/// is independently replaced, with probability `outlier_fraction`, by an
+/// arbitrary value below `outlier_bound`.
+pub fn locally_varying_with_outliers(
+    n: usize,
+    seg_len: usize,
+    level_bound: u64,
+    spread: u64,
+    outlier_fraction: f64,
+    outlier_bound: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let seg_len = seg_len.max(1);
+    let fraction = outlier_fraction.clamp(0.0, 1.0);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let level = r.random_range(0..level_bound.max(1));
+        let take = seg_len.min(n - out.len());
+        for _ in 0..take {
+            if fraction > 0.0 && r.random_bool(fraction) {
+                out.push(r.random_range(0..outlier_bound.max(1)));
+            } else {
+                out.push(level + r.random_range(0..spread.max(1)));
+            }
+        }
+    }
+    out
+}
+
+/// Count how many elements of `col` deviate from their segment minimum by
+/// at least `threshold` — a quick outlier-rate probe used in tests and
+/// the report binary.
+pub fn outlier_rate(col: &[u64], seg_len: usize, threshold: u64) -> f64 {
+    if col.is_empty() {
+        return 0.0;
+    }
+    let seg_len = seg_len.max(1);
+    let mut outliers = 0usize;
+    for chunk in col.chunks(seg_len) {
+        let lo = *chunk.iter().min().expect("chunks are non-empty");
+        outliers += chunk.iter().filter(|&&v| v - lo >= threshold).count();
+    }
+    outliers as f64 / col.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fraction_is_pure_steps() {
+        let col = locally_varying_with_outliers(200, 20, 100, 4, 0.0, 1 << 40, 1);
+        for chunk in col.chunks(20) {
+            let lo = chunk.iter().min().unwrap();
+            let hi = chunk.iter().max().unwrap();
+            assert!(hi - lo < 4);
+        }
+    }
+
+    #[test]
+    fn fraction_roughly_respected() {
+        let col = locally_varying_with_outliers(100_000, 100, 100, 4, 0.05, 1 << 40, 2);
+        let rate = outlier_rate(&col, 100, 1 << 20);
+        assert!((0.03..0.07).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        // Fractions outside 0..=1 must not panic.
+        let _ = locally_varying_with_outliers(100, 10, 10, 2, -0.5, 100, 3);
+        let col = locally_varying_with_outliers(100, 10, 10, 2, 1.5, 100, 3);
+        assert_eq!(col.len(), 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = locally_varying_with_outliers(500, 32, 1000, 8, 0.02, 1 << 30, 7);
+        let b = locally_varying_with_outliers(500, 32, 1000, 8, 0.02, 1 << 30, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_on_empty() {
+        assert_eq!(outlier_rate(&[], 10, 5), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Run-structured columns: the paper's §I motivating example.
+//!
+//! "A table holds shipped order details, with a date column. Data accrues
+//! over time, so the dates form a monotone-increasing sequence with long
+//! runs for the orders shipped every day."
+
+use rand::Rng;
+
+/// A shipped-orders date column: `days` consecutive dates starting at
+/// `start_date` (any integer date encoding, e.g. `20180101`), each
+/// repeated for a random number of orders in `1..=2*mean_orders_per_day`.
+///
+/// Monotone increasing, long runs, delta of run values == 1: the ideal
+/// input for the `DELTA ∘ RLE` composition.
+pub fn shipped_order_dates(
+    days: usize,
+    mean_orders_per_day: usize,
+    start_date: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let mean = mean_orders_per_day.max(1);
+    let mut out = Vec::with_capacity(days * mean);
+    for day in 0..days as u64 {
+        let orders = r.random_range(1..=2 * mean);
+        out.extend(std::iter::repeat_n(start_date + day, orders));
+    }
+    out
+}
+
+/// A column of runs over a small value domain (e.g. status codes in an
+/// append-mostly table): run lengths geometric-ish with the given mean,
+/// run values uniform in `0..domain`.
+pub fn runs_over_domain(n: usize, mean_run_len: usize, domain: u64, seed: u64) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let mean = mean_run_len.max(1);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let len = r.random_range(1..=2 * mean).min(n - out.len());
+        let v = r.random_range(0..domain.max(1));
+        out.extend(std::iter::repeat_n(v, len));
+    }
+    out
+}
+
+/// Exactly `num_runs` runs of exactly `run_len` elements each, values
+/// `0, 1, 2, …` — a fully deterministic run workload for sweeps where the
+/// run count must be controlled precisely.
+pub fn fixed_runs(num_runs: usize, run_len: usize) -> Vec<u64> {
+    (0..num_runs as u64).flat_map(|v| std::iter::repeat_n(v, run_len)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdc_support_test::count_runs;
+
+    // Tiny local helper so this crate stays dependency-free.
+    mod lcdc_support_test {
+        pub fn count_runs(col: &[u64]) -> usize {
+            if col.is_empty() {
+                return 0;
+            }
+            1 + col.windows(2).filter(|w| w[0] != w[1]).count()
+        }
+    }
+
+    #[test]
+    fn dates_are_monotone_with_runs() {
+        let col = shipped_order_dates(100, 20, 20180101, 42);
+        assert!(col.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(count_runs(&col), 100);
+        assert_eq!(col[0], 20180101);
+        assert_eq!(*col.last().unwrap(), 20180101 + 99);
+    }
+
+    #[test]
+    fn dates_deterministic_per_seed() {
+        assert_eq!(
+            shipped_order_dates(50, 10, 0, 9),
+            shipped_order_dates(50, 10, 0, 9)
+        );
+    }
+
+    #[test]
+    fn domain_runs_have_expected_scale() {
+        let col = runs_over_domain(10_000, 50, 8, 1);
+        assert_eq!(col.len(), 10_000);
+        assert!(col.iter().all(|&v| v < 8));
+        let runs = count_runs(&col);
+        // mean run length ~50 (halved when adjacent runs collide on the
+        // same value) -> run count within a loose factor.
+        assert!(runs > 100 && runs < 1000, "runs = {runs}");
+    }
+
+    #[test]
+    fn fixed_runs_exact() {
+        let col = fixed_runs(3, 4);
+        assert_eq!(col, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(fixed_runs(0, 5), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mean_zero_clamped() {
+        let col = shipped_order_dates(5, 0, 0, 1);
+        assert!(!col.is_empty());
+    }
+}

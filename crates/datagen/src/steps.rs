@@ -1,0 +1,170 @@
+//! Step-structured columns: data that is (approximately) the evaluation
+//! of a step function — FOR/STEPFUNCTION's home turf (paper §II-B).
+
+use rand::Rng;
+
+/// A column of `n` values whose baseline is a step function with steps of
+/// `seg_len` elements: each segment's level is drawn uniformly from
+/// `0..level_bound`, and each element deviates from its level by a
+/// uniform offset in `0..spread`.
+///
+/// With `spread == 1` the column *is* a step function (STEPFUNCTION
+/// compresses it exactly); larger spreads make the NS offsets of
+/// `FOR ≡ STEPFUNCTION + NS` wider.
+pub fn step_column(n: usize, seg_len: usize, level_bound: u64, spread: u64, seed: u64) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let seg_len = seg_len.max(1);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let level = r.random_range(0..level_bound.max(1));
+        let take = seg_len.min(n - out.len());
+        for _ in 0..take {
+            out.push(level + r.random_range(0..spread.max(1)));
+        }
+    }
+    out
+}
+
+/// A column whose baseline is a step function with *geometrically
+/// distributed* plateau lengths (mean `mean_len`): the shape fixed-l
+/// FOR segments straddle badly and VSTEP's data-aligned frames fit
+/// exactly. Each plateau's level is uniform in `0..level_bound`; each
+/// element jitters above its level by a uniform offset in `0..spread`.
+pub fn uneven_plateaus(
+    n: usize,
+    mean_len: usize,
+    level_bound: u64,
+    spread: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let mean_len = mean_len.max(1);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Geometric via repeated coin flips, capped at 4 x mean.
+        let mut len = 1usize;
+        while len < mean_len * 4 && !r.random_bool(1.0 / mean_len as f64) {
+            len += 1;
+        }
+        let level = r.random_range(0..level_bound.max(1));
+        let take = len.min(n - out.len());
+        for _ in 0..take {
+            out.push(level + r.random_range(0..spread.max(1)));
+        }
+    }
+    out
+}
+
+/// A default-heavy ("sparse") column: every element is `base` except an
+/// `exception_rate` fraction, which are uniform in `0..value_bound` --
+/// the L0-metric-close-to-constant shape of SPARSE (paper SII-B).
+pub fn default_heavy(
+    n: usize,
+    base: u64,
+    exception_rate: f64,
+    value_bound: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let rate = exception_rate.clamp(0.0, 1.0);
+    (0..n)
+        .map(|_| {
+            if r.random_bool(rate) {
+                r.random_range(0..value_bound.max(1))
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// A random walk with bounded step size: levels drift instead of jumping,
+/// so FOR with *local* frames wins over a global frame by a factor that
+/// grows with `n`. `start` anchors the walk; values never go below zero.
+pub fn bounded_walk(n: usize, start: u64, max_step: u64, seed: u64) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let mut acc = start;
+    let max_step = max_step.max(1);
+    (0..n)
+        .map(|_| {
+            let up = r.random_bool(0.5);
+            let step = r.random_range(0..=max_step);
+            acc = if up { acc.saturating_add(step) } else { acc.saturating_sub(step) };
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_step_function_when_spread_one() {
+        let col = step_column(100, 10, 1000, 1, 5);
+        for chunk in col.chunks(10) {
+            assert!(chunk.iter().all(|&v| v == chunk[0]));
+        }
+    }
+
+    #[test]
+    fn spread_bounds_offsets() {
+        let col = step_column(200, 20, 1_000_000, 16, 5);
+        for chunk in col.chunks(20) {
+            let lo = chunk.iter().min().unwrap();
+            let hi = chunk.iter().max().unwrap();
+            assert!(hi - lo < 16, "segment range {}", hi - lo);
+        }
+    }
+
+    #[test]
+    fn walk_steps_bounded() {
+        let col = bounded_walk(1000, 1 << 20, 32, 7);
+        for w in col.windows(2) {
+            assert!(w[0].abs_diff(w[1]) <= 32);
+        }
+    }
+
+    #[test]
+    fn walk_never_negative() {
+        let col = bounded_walk(1000, 5, 100, 3);
+        // u64 can't be negative; the saturation just must not wrap.
+        assert!(col.iter().all(|&v| v < 1 << 30));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(step_column(50, 5, 10, 3, 2), step_column(50, 5, 10, 3, 2));
+        assert_eq!(bounded_walk(50, 0, 5, 2), bounded_walk(50, 0, 5, 2));
+        assert_eq!(
+            uneven_plateaus(50, 8, 100, 4, 2),
+            uneven_plateaus(50, 8, 100, 4, 2)
+        );
+        assert_eq!(
+            default_heavy(50, 7, 0.1, 100, 2),
+            default_heavy(50, 7, 0.1, 100, 2)
+        );
+    }
+
+    #[test]
+    fn plateaus_cover_exactly_n() {
+        let col = uneven_plateaus(1234, 40, 1 << 20, 8, 11);
+        assert_eq!(col.len(), 1234);
+        // Jitter stays under the spread within any plateau: adjacent
+        // equal-baseline elements differ by < 8... verified indirectly:
+        // the number of maximal runs of "level zone" changes is far
+        // smaller than n.
+        let coarse: Vec<u64> = col.iter().map(|&v| v >> 3 << 3).collect();
+        let changes = coarse.windows(2).filter(|w| w[0].abs_diff(w[1]) > 8).count();
+        assert!(changes < 1234 / 10, "{changes} plateau changes");
+    }
+
+    #[test]
+    fn default_heavy_rate_respected() {
+        let col = default_heavy(10_000, 42, 0.01, 1 << 30, 9);
+        let exceptions = col.iter().filter(|&&v| v != 42).count();
+        assert!(exceptions > 40 && exceptions < 250, "{exceptions}");
+        // Rate 0 and 1 edge cases.
+        assert!(default_heavy(100, 5, 0.0, 10, 1).iter().all(|&v| v == 5));
+    }
+}

@@ -1,0 +1,90 @@
+//! A TPC-H-flavoured `lineitem`-like table: the multi-column workload
+//! for the store-level experiments (E7, E8). Shapes follow the TPC-H
+//! spec's distributions (without the licensed generator): shipdate is
+//! monotone-with-runs as orders accrue, quantity is uniform 1..=50,
+//! discount 0..=10, extended price is locally varying.
+
+use rand::Rng;
+
+/// One generated lineitem-like table, columns of equal length.
+#[derive(Debug, Clone)]
+pub struct LineitemLike {
+    /// Integer-coded ship date: monotone, long daily runs.
+    pub shipdate: Vec<u64>,
+    /// Quantity, uniform in `1..=50`.
+    pub quantity: Vec<u64>,
+    /// Discount percentage, uniform in `0..=10`.
+    pub discount: Vec<u64>,
+    /// Extended price in cents: locally varying around a per-day base.
+    pub extendedprice: Vec<u64>,
+}
+
+impl LineitemLike {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.shipdate.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.shipdate.is_empty()
+    }
+}
+
+/// Generate `days` days of orders at roughly `rows_per_day` each.
+pub fn lineitem_like(days: usize, rows_per_day: usize, seed: u64) -> LineitemLike {
+    let mut r = crate::rng(seed);
+    let mean = rows_per_day.max(1);
+    let mut shipdate = Vec::new();
+    let mut quantity = Vec::new();
+    let mut discount = Vec::new();
+    let mut extendedprice = Vec::new();
+    for day in 0..days as u64 {
+        let rows = r.random_range(mean / 2 + 1..=mean * 3 / 2 + 1);
+        let day_base_price = r.random_range(90_000..110_000u64);
+        for _ in 0..rows {
+            shipdate.push(19_920_101 + day);
+            quantity.push(r.random_range(1..=50));
+            discount.push(r.random_range(0..=10));
+            extendedprice.push(day_base_price + r.random_range(0..5_000));
+        }
+    }
+    LineitemLike { shipdate, quantity, discount, extendedprice }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let t = lineitem_like(30, 100, 1);
+        assert_eq!(t.quantity.len(), t.len());
+        assert_eq!(t.discount.len(), t.len());
+        assert_eq!(t.extendedprice.len(), t.len());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn value_domains() {
+        let t = lineitem_like(10, 50, 2);
+        assert!(t.quantity.iter().all(|&q| (1..=50).contains(&q)));
+        assert!(t.discount.iter().all(|&d| d <= 10));
+        assert!(t.shipdate.windows(2).all(|w| w[0] <= w[1]));
+        assert!(t.extendedprice.iter().all(|&p| (90_000..115_000).contains(&p)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = lineitem_like(5, 20, 3);
+        let b = lineitem_like(5, 20, 3);
+        assert_eq!(a.shipdate, b.shipdate);
+        assert_eq!(a.extendedprice, b.extendedprice);
+    }
+
+    #[test]
+    fn row_count_scales_with_days() {
+        let t = lineitem_like(100, 10, 4);
+        assert!(t.len() >= 100 * 6 && t.len() <= 100 * 16 + 100, "len {}", t.len());
+    }
+}

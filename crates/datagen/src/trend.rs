@@ -1,0 +1,78 @@
+//! Trending columns: data close to a line, where the paper's
+//! piecewise-linear generalisation of FOR (§II-B) shines and plain FOR
+//! does not — within a segment the values climb, so FOR's offsets are as
+//! wide as the climb while linear-frame residuals stay narrow.
+
+use rand::Rng;
+
+/// `base + slope·i + noise`, with noise uniform in `0..noise_bound`.
+pub fn noisy_linear(n: usize, base: u64, slope: u64, noise_bound: u64, seed: u64) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    (0..n as u64)
+        .map(|i| base + slope * i + r.random_range(0..noise_bound.max(1)))
+        .collect()
+}
+
+/// Piecewise-linear sawtooth: within each `period`, values climb at
+/// `slope` from a per-period random base (plus noise). Stresses
+/// *segmented* linear frames rather than one global line.
+pub fn sawtooth_trend(
+    n: usize,
+    period: usize,
+    slope: u64,
+    base_bound: u64,
+    noise_bound: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let mut r = crate::rng(seed);
+    let period = period.max(1);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let base = r.random_range(0..base_bound.max(1));
+        let take = period.min(n - out.len());
+        for i in 0..take as u64 {
+            out.push(base + slope * i + r.random_range(0..noise_bound.max(1)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_trend_shape() {
+        let col = noisy_linear(100, 1000, 7, 3, 1);
+        for (i, &v) in col.iter().enumerate() {
+            let pred = 1000 + 7 * i as u64;
+            assert!(v >= pred && v < pred + 3, "i={i} v={v}");
+        }
+    }
+
+    #[test]
+    fn sawtooth_resets_each_period() {
+        let col = sawtooth_trend(60, 20, 5, 100, 1, 2);
+        // Within a period the climb dominates the base range: check the
+        // last element of each period is near slope*(period-1).
+        for chunk in col.chunks(20) {
+            let climb = chunk[19] - chunk[0];
+            assert!((90..=105).contains(&climb), "climb={climb}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(noisy_linear(30, 0, 2, 5, 9), noisy_linear(30, 0, 2, 5, 9));
+        assert_eq!(
+            sawtooth_trend(30, 7, 2, 5, 3, 9),
+            sawtooth_trend(30, 7, 2, 5, 3, 9)
+        );
+    }
+
+    #[test]
+    fn noise_bound_zero_clamped() {
+        let col = noisy_linear(10, 5, 1, 0, 1);
+        assert_eq!(col, (5..15).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,78 @@
+//! Zipf-distributed dictionary codes: the skewed categorical columns
+//! (cities, products, status strings) DICT targets, with a frequency
+//! skew parameter `s`.
+
+use rand::Rng;
+
+/// `n` codes drawn from `0..domain` under a Zipf(s) distribution
+/// (code 0 most frequent). `s == 0` degenerates to uniform.
+///
+/// Uses inverse-CDF sampling over the precomputed harmonic weights:
+/// exact, O(domain) setup, O(log domain) per draw.
+pub fn zipf_codes(n: usize, domain: usize, s: f64, seed: u64) -> Vec<u64> {
+    let domain = domain.max(1);
+    let mut cdf = Vec::with_capacity(domain);
+    let mut acc = 0.0f64;
+    for k in 1..=domain {
+        acc += 1.0 / (k as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut r = crate::rng(seed);
+    (0..n)
+        .map(|_| {
+            let u = r.random_range(0.0..total);
+            cdf.partition_point(|&c| c < u) as u64
+        })
+        .collect()
+}
+
+/// Empirical frequency of each code (for tests and reports).
+pub fn frequencies(codes: &[u64], domain: usize) -> Vec<usize> {
+    let mut freq = vec![0usize; domain];
+    for &c in codes {
+        if (c as usize) < domain {
+            freq[c as usize] += 1;
+        }
+    }
+    freq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_in_domain() {
+        let codes = zipf_codes(10_000, 64, 1.1, 1);
+        assert!(codes.iter().all(|&c| c < 64));
+        assert_eq!(codes.len(), 10_000);
+    }
+
+    #[test]
+    fn skew_orders_frequencies() {
+        let codes = zipf_codes(50_000, 32, 1.2, 2);
+        let freq = frequencies(&codes, 32);
+        // Code 0 clearly dominates code 16 under s = 1.2.
+        assert!(freq[0] > 4 * freq[16].max(1), "freq0={} freq16={}", freq[0], freq[16]);
+    }
+
+    #[test]
+    fn s_zero_is_roughly_uniform() {
+        let codes = zipf_codes(64_000, 8, 0.0, 3);
+        let freq = frequencies(&codes, 8);
+        for &f in &freq {
+            assert!((6000..10_000).contains(&f), "freq {f}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(zipf_codes(100, 16, 1.0, 9), zipf_codes(100, 16, 1.0, 9));
+    }
+
+    #[test]
+    fn domain_one_is_constant() {
+        assert!(zipf_codes(100, 1, 1.0, 1).iter().all(|&c| c == 0));
+    }
+}

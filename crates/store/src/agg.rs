@@ -1,0 +1,253 @@
+//! Aggregation, naive and compression-aware.
+//!
+//! The compression-aware paths execute *on the compressed form*:
+//!
+//! * RLE/RPE: `SUM = Σ value·run_length`, `MIN/MAX` over run values —
+//!   one operation per run instead of per row;
+//! * FOR: `SUM = Σ refs·segment_size + Σ offsets` — the reference
+//!   replication and the elementwise add of Algorithm 2 are never
+//!   materialised.
+//!
+//! Both are instances of the paper's Lessons 1: once decompression is a
+//! DAG of query operators, the aggregation can be algebraically pushed
+//! through it.
+
+use crate::segment::Segment;
+use crate::Result;
+use lcdc_core::schemes::{for_, rle, rpe};
+use lcdc_core::ColumnData;
+use lcdc_colops::Bitmap;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Sum of values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Row count.
+    Count,
+}
+
+/// An aggregate's running state / final value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AggResult {
+    /// Sum (valid for `Sum`).
+    pub sum: i128,
+    /// Minimum (valid for `Min`; `None` over zero rows).
+    pub min: Option<i128>,
+    /// Maximum (valid for `Max`; `None` over zero rows).
+    pub max: Option<i128>,
+    /// Rows aggregated.
+    pub count: usize,
+}
+
+impl AggResult {
+    /// Fold one value in.
+    pub fn push(&mut self, v: i128) {
+        self.sum += v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        self.count += 1;
+    }
+
+    /// Fold `v` in `weight` times (run-granularity path).
+    pub fn push_weighted(&mut self, v: i128, weight: usize) {
+        if weight == 0 {
+            return;
+        }
+        self.sum += v * weight as i128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        self.count += weight;
+    }
+
+    /// Merge another partial result in.
+    pub fn merge(&mut self, other: &AggResult) {
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.count += other.count;
+    }
+}
+
+/// Aggregate a plain column (the naive path), optionally under a
+/// selection bitmap.
+pub fn aggregate_plain(col: &ColumnData, selection: Option<&Bitmap>) -> AggResult {
+    let mut acc = AggResult::default();
+    match selection {
+        None => {
+            for i in 0..col.len() {
+                acc.push(col.get_numeric(i).expect("in range"));
+            }
+        }
+        Some(bitmap) => {
+            for i in bitmap.iter_ones() {
+                acc.push(col.get_numeric(i).expect("in range"));
+            }
+        }
+    }
+    acc
+}
+
+/// Aggregate a compressed segment without materialising it, when its
+/// scheme permits; falls back to decompress-then-fold. Selections force
+/// the fallback (run-selection interaction is handled a level up by
+/// masking materialised columns).
+pub fn aggregate_segment(segment: &Segment, selection: Option<&Bitmap>) -> Result<AggResult> {
+    if let Some(bitmap) = selection {
+        return Ok(aggregate_plain(&segment.decompress()?, Some(bitmap)));
+    }
+    let scheme_id = segment.compressed.scheme_id.as_str();
+    if scheme_id == "rle" || scheme_id.starts_with("rle[") {
+        let scheme = segment.scheme()?;
+        let values = scheme.decompress_part(&segment.compressed, rle::ROLE_VALUES)?;
+        let lengths = scheme.decompress_part(&segment.compressed, rle::ROLE_LENGTHS)?;
+        let mut acc = AggResult::default();
+        for run in 0..values.len() {
+            acc.push_weighted(
+                values.get_numeric(run).expect("in range"),
+                lengths.get_numeric(run).expect("in range") as usize,
+            );
+        }
+        return Ok(acc);
+    }
+    if scheme_id == "rpe" || scheme_id.starts_with("rpe[") {
+        let scheme = segment.scheme()?;
+        let values = scheme.decompress_part(&segment.compressed, rpe::ROLE_VALUES)?;
+        let positions = scheme.decompress_part(&segment.compressed, rpe::ROLE_POSITIONS)?;
+        let mut acc = AggResult::default();
+        let mut start = 0i128;
+        for run in 0..values.len() {
+            let end = positions.get_numeric(run).expect("in range");
+            acc.push_weighted(values.get_numeric(run).expect("in range"), (end - start) as usize);
+            start = end;
+        }
+        return Ok(acc);
+    }
+    if scheme_id.starts_with("for(") {
+        // SUM distributes over Algorithm 2's final Elementwise(+):
+        // sum = Σ_seg refs[seg]·|seg| + Σ offsets. MIN/MAX need the
+        // per-segment offset extrema; computed on the offsets part alone.
+        let scheme = segment.scheme()?;
+        let seg_len = segment.compressed.params.require("l")? as usize;
+        let refs = scheme.decompress_part(&segment.compressed, for_::ROLE_REFS)?;
+        let offsets = scheme.decompress_part(&segment.compressed, for_::ROLE_OFFSETS)?;
+        let n = segment.num_rows();
+        let mut acc = AggResult::default();
+        for seg in 0..refs.len() {
+            let base = refs.get_numeric(seg).expect("in range");
+            let lo = seg * seg_len;
+            let hi = ((seg + 1) * seg_len).min(n);
+            let mut seg_min = i128::MAX;
+            let mut seg_max = i128::MIN;
+            let mut seg_sum = 0i128;
+            for i in lo..hi {
+                let off = offsets.get_numeric(i).expect("in range");
+                seg_sum += off;
+                seg_min = seg_min.min(off);
+                seg_max = seg_max.max(off);
+            }
+            if hi > lo {
+                acc.sum += base * (hi - lo) as i128 + seg_sum;
+                acc.min = Some(acc.min.map_or(base + seg_min, |m| m.min(base + seg_min)));
+                acc.max = Some(acc.max.map_or(base + seg_max, |m| m.max(base + seg_max)));
+                acc.count += hi - lo;
+            }
+        }
+        return Ok(acc);
+    }
+    Ok(aggregate_plain(&segment.decompress()?, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::CompressionPolicy;
+
+    fn check_against_plain(col: ColumnData, expr: &str) {
+        let segment =
+            Segment::build(&col, &CompressionPolicy::Fixed(expr.to_string())).unwrap();
+        let fast = aggregate_segment(&segment, None).unwrap();
+        let naive = aggregate_plain(&col, None);
+        assert_eq!(fast, naive, "{expr}");
+    }
+
+    #[test]
+    fn rle_aggregation_matches() {
+        check_against_plain(
+            ColumnData::U64(vec![7, 7, 7, 9, 9, 4, 4, 4, 4, 2]),
+            "rle[values=ns,lengths=ns]",
+        );
+    }
+
+    #[test]
+    fn rpe_aggregation_matches() {
+        check_against_plain(
+            ColumnData::I64(vec![-7, -7, 9, 9, 9, -4]),
+            "rpe[values=id,positions=ns]",
+        );
+    }
+
+    #[test]
+    fn for_aggregation_matches() {
+        check_against_plain(
+            ColumnData::U64((0..500u64).map(|i| 1000 * (i / 128) + i % 17).collect()),
+            "for(l=128)[offsets=ns]",
+        );
+    }
+
+    #[test]
+    fn fallback_matches() {
+        check_against_plain(ColumnData::U32((0..100).collect()), "ns");
+    }
+
+    #[test]
+    fn selection_masks_rows() {
+        let col = ColumnData::U64(vec![10, 20, 30, 40]);
+        let segment = Segment::build(&col, &CompressionPolicy::None).unwrap();
+        let mask = Bitmap::from_bools(&[true, false, false, true]);
+        let r = aggregate_segment(&segment, Some(&mask)).unwrap();
+        assert_eq!(r.sum, 50);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.min, Some(10));
+        assert_eq!(r.max, Some(40));
+    }
+
+    #[test]
+    fn empty_aggregate() {
+        let r = aggregate_plain(&ColumnData::U32(vec![]), None);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.min, None);
+        assert_eq!(r.sum, 0);
+    }
+
+    #[test]
+    fn merge_partials() {
+        let mut a = AggResult::default();
+        a.push(5);
+        let mut b = AggResult::default();
+        b.push(-3);
+        b.push(10);
+        a.merge(&b);
+        assert_eq!(a.sum, 12);
+        assert_eq!(a.min, Some(-3));
+        assert_eq!(a.max, Some(10));
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn weighted_push_zero_weight_is_noop() {
+        let mut a = AggResult::default();
+        a.push_weighted(100, 0);
+        assert_eq!(a, AggResult::default());
+    }
+}

@@ -1,0 +1,244 @@
+//! Query execution: the naive and pushdown pipelines side by side.
+//!
+//! A [`Query`] is a filter on one column plus an aggregate over another
+//! (the canonical analytic scan shape, e.g. "total quantity shipped in
+//! this date range"). Two executors answer it:
+//!
+//! * [`Query::run_naive`] — decompress every touched segment fully,
+//!   filter row-at-a-time, aggregate; the baseline every engine without
+//!   compression-aware operators runs.
+//! * [`Query::run_pushdown`] — zone-map pruning, run-granularity
+//!   predicate evaluation, run-/segment-granularity aggregation where no
+//!   selection survived (see [`crate::predicate`] and [`crate::agg`]).
+//!
+//! Both return the same answer (asserted across the test suite); E7/E8
+//! benchmark their separation.
+
+use crate::agg::{aggregate_plain, aggregate_segment, AggResult};
+use crate::predicate::{Predicate, PushdownStats};
+use crate::table::Table;
+use crate::Result;
+
+/// A filtered aggregate over one table.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Column the predicate applies to.
+    pub filter_column: String,
+    /// The predicate.
+    pub predicate: Predicate,
+    /// Column to aggregate.
+    pub agg_column: String,
+}
+
+/// The answer plus execution accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// The aggregate over the selected rows.
+    pub agg: AggResult,
+    /// Execution counters.
+    pub stats: QueryStats,
+}
+
+/// Counters describing how a query executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Segments touched.
+    pub segments: usize,
+    /// Rows materialised (decompressed into plain vectors).
+    pub rows_materialized: usize,
+    /// Pushdown tier counters (zero for the naive path).
+    pub pushdown: PushdownStats,
+}
+
+impl Query {
+    /// Construct a filtered-aggregate query.
+    pub fn new(filter_column: &str, predicate: Predicate, agg_column: &str) -> Self {
+        Query {
+            filter_column: filter_column.to_string(),
+            predicate,
+            agg_column: agg_column.to_string(),
+        }
+    }
+
+    /// Decompress-everything baseline.
+    pub fn run_naive(&self, table: &Table) -> Result<QueryOutput> {
+        let filter_segments = table.column_segments(&self.filter_column)?;
+        let agg_segments = table.column_segments(&self.agg_column)?;
+        let mut agg = AggResult::default();
+        let mut stats = QueryStats::default();
+        for (fseg, aseg) in filter_segments.iter().zip(agg_segments) {
+            stats.segments += 1;
+            let filter_col = fseg.decompress()?;
+            let agg_col = aseg.decompress()?;
+            stats.rows_materialized += filter_col.len() + agg_col.len();
+            let mask = self.predicate.eval_plain(&filter_col);
+            agg.merge(&aggregate_plain(&agg_col, Some(&mask)));
+        }
+        Ok(QueryOutput { agg, stats })
+    }
+
+    /// Compression-aware execution.
+    pub fn run_pushdown(&self, table: &Table) -> Result<QueryOutput> {
+        let filter_segments = table.column_segments(&self.filter_column)?;
+        let agg_segments = table.column_segments(&self.agg_column)?;
+        let mut agg = AggResult::default();
+        let mut stats = QueryStats::default();
+        for (fseg, aseg) in filter_segments.iter().zip(agg_segments) {
+            let (part, part_stats) = self.pushdown_segment(fseg, aseg)?;
+            agg.merge(&part);
+            stats.absorb(&part_stats);
+        }
+        Ok(QueryOutput { agg, stats })
+    }
+
+    /// One segment's worth of the pushdown pipeline — the unit both the
+    /// sequential and the parallel executors ([`crate::par`]) run.
+    pub(crate) fn pushdown_segment(
+        &self,
+        fseg: &crate::segment::Segment,
+        aseg: &crate::segment::Segment,
+    ) -> Result<(AggResult, QueryStats)> {
+        let mut agg = AggResult::default();
+        let mut stats = QueryStats { segments: 1, ..QueryStats::default() };
+        let n = fseg.num_rows();
+        // Zone-map short-circuits avoid touching the filter column.
+        if let Some((lo, hi)) = self.predicate.bounds() {
+            if fseg.prunable(lo, hi) {
+                stats.pushdown.zonemap_hits += 1;
+                return Ok((agg, stats));
+            }
+            if fseg.fully_inside(lo, hi) {
+                stats.pushdown.zonemap_hits += 1;
+                // Whole segment selected: aggregate on the compressed
+                // form, never materialising either column.
+                agg.merge(&aggregate_segment(aseg, None)?);
+                return Ok((agg, stats));
+            }
+        } else {
+            stats.pushdown.zonemap_hits += 1;
+            agg.merge(&aggregate_segment(aseg, None)?);
+            return Ok((agg, stats));
+        }
+        // Partial overlap: evaluate the predicate at the best
+        // granularity the filter segment's scheme offers.
+        let mask = self.predicate.eval_segment(fseg, Some(&mut stats.pushdown))?;
+        let selected = mask.count_ones();
+        if selected == 0 {
+            return Ok((agg, stats));
+        }
+        if selected == n {
+            agg.merge(&aggregate_segment(aseg, None)?);
+            return Ok((agg, stats));
+        }
+        let agg_col = aseg.decompress()?;
+        stats.rows_materialized += agg_col.len();
+        agg.merge(&aggregate_plain(&agg_col, Some(&mask)));
+        Ok((agg, stats))
+    }
+}
+
+impl QueryStats {
+    /// Merge another stats record into this one (parallel partials).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.segments += other.segments;
+        self.rows_materialized += other.rows_materialized;
+        self.pushdown.absorb(&other.pushdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::segment::CompressionPolicy;
+    use lcdc_core::{ColumnData, DType};
+
+    fn orders_table(policy: CompressionPolicy) -> Table {
+        // 100 days x 100 orders; quantity cycles 1..=50.
+        let schema = TableSchema::new(&[("date", DType::U64), ("qty", DType::U64)]);
+        let date = ColumnData::U64((0..10_000u64).map(|i| 20_180_101 + i / 100).collect());
+        let qty = ColumnData::U64((0..10_000u64).map(|i| 1 + i % 50).collect());
+        Table::build(schema, &[date, qty], &[policy.clone(), policy], 1000).unwrap()
+    }
+
+    fn range_query(lo: u64, hi: u64) -> Query {
+        Query::new("date", Predicate::Range { lo: lo as i128, hi: hi as i128 }, "qty")
+    }
+
+    #[test]
+    fn naive_and_pushdown_agree() {
+        let table = orders_table(CompressionPolicy::Auto);
+        for (lo, hi) in [
+            (20_180_101, 20_180_200),   // all
+            (20_180_110, 20_180_115),   // narrow
+            (20_190_101, 20_190_102),   // none
+            (20_180_105, 20_180_105),   // single day
+        ] {
+            let q = range_query(lo, hi);
+            let naive = q.run_naive(&table).unwrap();
+            let push = q.run_pushdown(&table).unwrap();
+            assert_eq!(naive.agg, push.agg, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn pushdown_materializes_fewer_rows() {
+        let table = orders_table(CompressionPolicy::Auto);
+        let q = range_query(20_180_110, 20_180_115);
+        let naive = q.run_naive(&table).unwrap();
+        let push = q.run_pushdown(&table).unwrap();
+        assert!(
+            push.stats.rows_materialized * 2 < naive.stats.rows_materialized,
+            "pushdown {} vs naive {}",
+            push.stats.rows_materialized,
+            naive.stats.rows_materialized
+        );
+        assert!(push.stats.pushdown.zonemap_hits > 0);
+    }
+
+    #[test]
+    fn all_predicate_never_materializes() {
+        let table = orders_table(CompressionPolicy::Auto);
+        let q = Query::new("date", Predicate::All, "qty");
+        let push = q.run_pushdown(&table).unwrap();
+        assert_eq!(push.stats.rows_materialized, 0);
+        let naive = q.run_naive(&table).unwrap();
+        assert_eq!(naive.agg, push.agg);
+    }
+
+    #[test]
+    fn empty_selection_sums_to_zero() {
+        let table = orders_table(CompressionPolicy::Auto);
+        let q = range_query(1, 2);
+        let out = q.run_pushdown(&table).unwrap();
+        assert_eq!(out.agg.count, 0);
+        assert_eq!(out.agg.sum, 0);
+        assert_eq!(out.stats.rows_materialized, 0);
+    }
+
+    #[test]
+    fn works_on_uncompressed_tables_too() {
+        let table = orders_table(CompressionPolicy::None);
+        let q = range_query(20_180_110, 20_180_120);
+        let naive = q.run_naive(&table).unwrap();
+        let push = q.run_pushdown(&table).unwrap();
+        assert_eq!(naive.agg, push.agg);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let table = orders_table(CompressionPolicy::None);
+        assert!(Query::new("nope", Predicate::All, "qty").run_naive(&table).is_err());
+        assert!(Query::new("date", Predicate::All, "nope").run_pushdown(&table).is_err());
+    }
+
+    #[test]
+    fn eq_predicate_on_single_day() {
+        let table = orders_table(CompressionPolicy::Auto);
+        let q = Query::new("date", Predicate::Eq(20_180_105), "qty");
+        let naive = q.run_naive(&table).unwrap();
+        let push = q.run_pushdown(&table).unwrap();
+        assert_eq!(naive.agg, push.agg);
+        assert_eq!(naive.agg.count, 100);
+    }
+}

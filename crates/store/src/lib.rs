@@ -1,0 +1,90 @@
+//! # lcdc-store — a miniature column store
+//!
+//! The substrate for the paper's "why it matters" claims: a vectorised
+//! column store whose segments are compressed with per-segment scheme
+//! choice, and whose scan/filter/aggregate operators can run **on the
+//! compressed form** — zone-map pruning from FOR/STEP model metadata,
+//! run-granularity predicate evaluation on RLE/RPE, run-weighted
+//! aggregation — next to a naive decompress-everything baseline for the
+//! pushdown/fusion experiments (E7, E8).
+//!
+//! Deliberately small: one table = a schema plus, per column, a list of
+//! compressed segments. No transactions, no buffer manager, no SQL — the
+//! paper's claims are about scans over compressed columns, and that is
+//! what is here, built on the same `lcdc-colops` kernels the
+//! decompression plans use.
+
+pub mod agg;
+pub mod approx;
+pub mod distinct;
+pub mod exec;
+pub mod file;
+pub mod par;
+pub mod groupby;
+pub mod join;
+pub mod predicate;
+pub mod schema;
+pub mod segment;
+pub mod selvec;
+pub mod sort;
+pub mod table;
+pub mod topk;
+
+pub use agg::{AggKind, AggResult};
+pub use approx::{approximate_aggregate, AggInterval, GradualAggregate};
+pub use exec::{Query, QueryOutput, QueryStats};
+pub use file::{load_table, read_segment, save_table};
+pub use par::{par_materialize, run_pushdown_parallel};
+pub use join::{join_count_compressed, join_count_naive};
+pub use predicate::Predicate;
+pub use schema::{ColumnSchema, TableSchema};
+pub use distinct::{distinct_compressed, distinct_naive, DistinctStats};
+pub use selvec::{gather_early, gather_late, select, select_and, GatherStats, SelVec};
+pub use sort::{sort_column_compressed, sort_column_naive, SortStats};
+pub use topk::{top_k_naive, top_k_pruned, TopKStats};
+pub use segment::{CompressionPolicy, Segment};
+pub use table::Table;
+
+/// Errors produced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A core-layer operation failed.
+    Core(lcdc_core::CoreError),
+    /// A named column does not exist.
+    NoSuchColumn(String),
+    /// Input columns of unequal length, or segment bookkeeping broken.
+    Shape(String),
+    /// Filesystem I/O failed (persistence layer).
+    Io(std::io::Error),
+    /// A persisted file is malformed or fails its checksum.
+    CorruptFile(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Core(e) => write!(f, "core: {e}"),
+            StoreError::NoSuchColumn(name) => write!(f, "no such column {name:?}"),
+            StoreError::Shape(msg) => write!(f, "shape error: {msg}"),
+            StoreError::Io(e) => write!(f, "io: {e}"),
+            StoreError::CorruptFile(msg) => write!(f, "corrupt file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<lcdc_core::CoreError> for StoreError {
+    fn from(e: lcdc_core::CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,354 @@
+//! Predicates and their compression-aware evaluation.
+//!
+//! Three evaluation tiers per segment, in decreasing order of savings:
+//!
+//! 1. **Zone map**: the segment's `[min, max]` proves all-match or
+//!    no-match — nothing is decompressed. For FOR/STEP segments this is
+//!    precisely the paper's "the rough correspondence of the column data
+//!    to a simple model can be used to speed up selections".
+//! 2. **Run granularity**: RLE/RPE segments are evaluated per *run*
+//!    using partial decompression of the run values; the result bitmap
+//!    is painted with `set_range`, touching each run once instead of
+//!    each row once.
+//! 3. **Code granularity**: DICT segments rewrite range predicates into
+//!    code ranges against the order-preserving dictionary and test the
+//!    codes directly.
+//! 4. **Row granularity**: decompress and test.
+
+use crate::segment::Segment;
+use crate::Result;
+use lcdc_core::schemes::{rle, rpe};
+use lcdc_core::ColumnData;
+use lcdc_colops::Bitmap;
+
+/// A selection predicate over one column's numeric values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// Everything matches.
+    All,
+    /// `lo <= v && v <= hi` (inclusive range).
+    Range {
+        /// Inclusive lower bound.
+        lo: i128,
+        /// Inclusive upper bound.
+        hi: i128,
+    },
+    /// `v == value`.
+    Eq(i128),
+}
+
+impl Predicate {
+    /// Inclusive bounds of the predicate, if it has them.
+    pub fn bounds(&self) -> Option<(i128, i128)> {
+        match *self {
+            Predicate::All => None,
+            Predicate::Range { lo, hi } => Some((lo, hi)),
+            Predicate::Eq(v) => Some((v, v)),
+        }
+    }
+
+    /// Test one value.
+    pub fn test(&self, v: i128) -> bool {
+        match *self {
+            Predicate::All => true,
+            Predicate::Range { lo, hi } => lo <= v && v <= hi,
+            Predicate::Eq(value) => v == value,
+        }
+    }
+
+    /// Evaluate over a plain column (row granularity).
+    pub fn eval_plain(&self, col: &ColumnData) -> Bitmap {
+        let mut bitmap = Bitmap::new_zeroed(col.len());
+        if matches!(self, Predicate::All) {
+            return Bitmap::new_ones(col.len());
+        }
+        for i in 0..col.len() {
+            if self.test(col.get_numeric(i).expect("in range")) {
+                bitmap.set(i);
+            }
+        }
+        bitmap
+    }
+
+    /// Evaluate over a compressed segment with every pushdown tier
+    /// available. `stats`, when given, counts which tier fired.
+    pub fn eval_segment(
+        &self,
+        segment: &Segment,
+        stats: Option<&mut PushdownStats>,
+    ) -> Result<Bitmap> {
+        let n = segment.num_rows();
+        let mut local_stats = PushdownStats::default();
+        let result = self.eval_segment_inner(segment, n, &mut local_stats)?;
+        if let Some(s) = stats {
+            s.absorb(&local_stats);
+        }
+        Ok(result)
+    }
+
+    fn eval_segment_inner(
+        &self,
+        segment: &Segment,
+        n: usize,
+        stats: &mut PushdownStats,
+    ) -> Result<Bitmap> {
+        if matches!(self, Predicate::All) {
+            stats.zonemap_hits += 1;
+            return Ok(Bitmap::new_ones(n));
+        }
+        // Tier 1: zone map.
+        if let Some((lo, hi)) = self.bounds() {
+            if segment.prunable(lo, hi) {
+                stats.zonemap_hits += 1;
+                return Ok(Bitmap::new_zeroed(n));
+            }
+            if segment.fully_inside(lo, hi) {
+                stats.zonemap_hits += 1;
+                return Ok(Bitmap::new_ones(n));
+            }
+        }
+        // Tier 2: run granularity for the RLE family.
+        let scheme_id = segment.compressed.scheme_id.as_str();
+        if scheme_id == "rle" || scheme_id.starts_with("rle[") {
+            stats.run_granularity += 1;
+            let scheme = segment.scheme()?;
+            let values = scheme.decompress_part(&segment.compressed, rle::ROLE_VALUES)?;
+            let lengths = scheme.decompress_part(&segment.compressed, rle::ROLE_LENGTHS)?;
+            let ends = lcdc_colops::prefix_sum_inclusive(&match lengths {
+                ColumnData::U64(l) => l,
+                other => other.to_transport(),
+            });
+            return Ok(self.paint_runs(&values, &ends, n));
+        }
+        if scheme_id == "rpe" || scheme_id.starts_with("rpe[") {
+            stats.run_granularity += 1;
+            let scheme = segment.scheme()?;
+            let values = scheme.decompress_part(&segment.compressed, rpe::ROLE_VALUES)?;
+            let positions = scheme.decompress_part(&segment.compressed, rpe::ROLE_POSITIONS)?;
+            let ends = match positions {
+                ColumnData::U64(p) => p,
+                other => other.to_transport(),
+            };
+            return Ok(self.paint_runs(&values, &ends, n));
+        }
+        // Tier 2b: order-preserving dictionaries — rewrite the value
+        // range into a *code* range and test codes directly, never
+        // materialising the gathered values (the classic dictionary
+        // pushdown; another face of "executing on the compressed form").
+        if scheme_id == "dict" || scheme_id.starts_with("dict[") {
+            if let Some((lo, hi)) = self.bounds() {
+                stats.code_granularity += 1;
+                let scheme = segment.scheme()?;
+                let dict =
+                    scheme.decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_DICT)?;
+                let dict_numeric = dict.to_numeric();
+                let code_lo = dict_numeric.partition_point(|&v| v < lo) as u64;
+                let code_hi = dict_numeric.partition_point(|&v| v <= hi) as u64; // exclusive
+                if code_lo >= code_hi {
+                    return Ok(Bitmap::new_zeroed(n));
+                }
+                let codes =
+                    scheme.decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_CODES)?;
+                let codes = codes.to_transport();
+                let mut bitmap = Bitmap::new_zeroed(n);
+                for (i, &code) in codes.iter().enumerate() {
+                    if (code_lo..code_hi).contains(&code) {
+                        bitmap.set(i);
+                    }
+                }
+                return Ok(bitmap);
+            }
+        }
+        // Tier 3: decompress and test.
+        stats.row_granularity += 1;
+        Ok(self.eval_plain(&segment.decompress()?))
+    }
+
+    fn paint_runs(&self, values: &ColumnData, ends: &[u64], n: usize) -> Bitmap {
+        let mut bitmap = Bitmap::new_zeroed(n);
+        let mut start = 0usize;
+        for run in 0..values.len() {
+            let end = ends.get(run).copied().unwrap_or(n as u64) as usize;
+            if self.test(values.get_numeric(run).expect("in range")) {
+                bitmap.set_range(start, end.min(n));
+            }
+            start = end.min(n);
+        }
+        bitmap
+    }
+}
+
+/// Counters for which pushdown tier handled each segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushdownStats {
+    /// Segments answered from the zone map alone.
+    pub zonemap_hits: usize,
+    /// Segments evaluated per run.
+    pub run_granularity: usize,
+    /// Segments evaluated on dictionary codes.
+    pub code_granularity: usize,
+    /// Segments that had to be fully decompressed.
+    pub row_granularity: usize,
+}
+
+impl PushdownStats {
+    /// Add another counter set into this one.
+    pub fn absorb(&mut self, other: &PushdownStats) {
+        self.zonemap_hits += other.zonemap_hits;
+        self.run_granularity += other.run_granularity;
+        self.code_granularity += other.code_granularity;
+        self.row_granularity += other.row_granularity;
+    }
+
+    /// Total segments inspected.
+    pub fn total(&self) -> usize {
+        self.zonemap_hits + self.run_granularity + self.code_granularity + self.row_granularity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::CompressionPolicy;
+
+    fn runs_segment() -> Segment {
+        let col = ColumnData::U64(vec![7, 7, 7, 9, 9, 4, 4, 4, 4, 2]);
+        Segment::build(
+            &col,
+            &CompressionPolicy::Fixed("rle[values=ns,lengths=ns]".into()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn predicate_bounds_and_test() {
+        assert_eq!(Predicate::Eq(5).bounds(), Some((5, 5)));
+        assert_eq!(Predicate::All.bounds(), None);
+        assert!(Predicate::Range { lo: 2, hi: 4 }.test(3));
+        assert!(!Predicate::Range { lo: 2, hi: 4 }.test(5));
+    }
+
+    #[test]
+    fn plain_eval() {
+        let col = ColumnData::I64(vec![-5, 0, 5, 10]);
+        let b = Predicate::Range { lo: 0, hi: 5 }.eval_plain(&col);
+        assert_eq!(b.to_selection_vector(), vec![1, 2]);
+        assert_eq!(Predicate::All.eval_plain(&col).count_ones(), 4);
+    }
+
+    #[test]
+    fn run_granularity_matches_plain() {
+        let segment = runs_segment();
+        let plain = segment.decompress().unwrap();
+        for pred in [
+            Predicate::Eq(4),
+            Predicate::Eq(7),
+            Predicate::Range { lo: 4, hi: 8 },
+            Predicate::Range { lo: 100, hi: 200 },
+        ] {
+            let mut stats = PushdownStats::default();
+            let fast = pred.eval_segment(&segment, Some(&mut stats)).unwrap();
+            assert_eq!(fast, pred.eval_plain(&plain), "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn run_granularity_tier_fires() {
+        let segment = runs_segment();
+        let mut stats = PushdownStats::default();
+        let _ = Predicate::Eq(4).eval_segment(&segment, Some(&mut stats)).unwrap();
+        assert_eq!(stats.run_granularity, 1);
+        assert_eq!(stats.row_granularity, 0);
+    }
+
+    #[test]
+    fn zonemap_tier_fires_on_disjoint_range() {
+        let segment = runs_segment();
+        let mut stats = PushdownStats::default();
+        let b = Predicate::Range { lo: 100, hi: 200 }
+            .eval_segment(&segment, Some(&mut stats))
+            .unwrap();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(stats.zonemap_hits, 1);
+        assert_eq!(stats.run_granularity, 0);
+    }
+
+    #[test]
+    fn zonemap_tier_fires_on_containing_range() {
+        let segment = runs_segment();
+        let mut stats = PushdownStats::default();
+        let b = Predicate::Range { lo: 0, hi: 100 }
+            .eval_segment(&segment, Some(&mut stats))
+            .unwrap();
+        assert_eq!(b.count_ones(), 10);
+        assert_eq!(stats.zonemap_hits, 1);
+    }
+
+    #[test]
+    fn row_granularity_fallback() {
+        let col = ColumnData::U64((0..100).map(|i| i * 7 % 13).collect());
+        let segment = Segment::build(&col, &CompressionPolicy::Fixed("ns".into())).unwrap();
+        let mut stats = PushdownStats::default();
+        let b = Predicate::Eq(0).eval_segment(&segment, Some(&mut stats)).unwrap();
+        assert_eq!(stats.row_granularity, 1);
+        assert_eq!(b, Predicate::Eq(0).eval_plain(&col));
+    }
+
+    #[test]
+    fn dict_code_granularity_matches_plain() {
+        // Values chosen so the zone map cannot decide and the dictionary
+        // pushdown must do the work.
+        let col = ColumnData::I64(vec![-30, 10, 500, 10, -30, 77, 500, 10]);
+        let segment = Segment::build(
+            &col,
+            &CompressionPolicy::Fixed("dict[codes=ns]".into()),
+        )
+        .unwrap();
+        for pred in [
+            Predicate::Range { lo: -30, hi: 10 },
+            Predicate::Range { lo: 11, hi: 499 },
+            Predicate::Eq(77),
+            Predicate::Eq(78),
+        ] {
+            let mut stats = PushdownStats::default();
+            let fast = pred.eval_segment(&segment, Some(&mut stats)).unwrap();
+            assert_eq!(fast, pred.eval_plain(&col), "{pred:?}");
+            assert_eq!(stats.code_granularity, 1, "{pred:?}");
+            assert_eq!(stats.row_granularity, 0, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn dict_empty_code_range_short_circuits() {
+        let col = ColumnData::U64(vec![10, 20, 30, 20]);
+        let segment = Segment::build(
+            &col,
+            &CompressionPolicy::Fixed("dict[codes=ns]".into()),
+        )
+        .unwrap();
+        let mut stats = PushdownStats::default();
+        // Within the zone range but between dictionary entries.
+        let b = Predicate::Range { lo: 21, hi: 29 }
+            .eval_segment(&segment, Some(&mut stats))
+            .unwrap();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(stats.code_granularity, 1);
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = PushdownStats {
+            zonemap_hits: 1,
+            run_granularity: 2,
+            code_granularity: 0,
+            row_granularity: 3,
+        };
+        a.absorb(&PushdownStats {
+            zonemap_hits: 10,
+            run_granularity: 0,
+            code_granularity: 4,
+            row_granularity: 1,
+        });
+        assert_eq!(a.total(), 21);
+    }
+}

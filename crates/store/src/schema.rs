@@ -1,0 +1,71 @@
+//! Table schemas.
+
+use lcdc_core::DType;
+
+/// One column's declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSchema {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl ColumnSchema {
+    /// Construct a column declaration.
+    pub fn new(name: &str, dtype: DType) -> Self {
+        ColumnSchema { name: name.to_string(), dtype }
+    }
+}
+
+/// A table's declaration: ordered named columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableSchema {
+    /// The columns in declaration order.
+    pub columns: Vec<ColumnSchema>,
+}
+
+impl TableSchema {
+    /// Build from `(name, dtype)` pairs.
+    pub fn new(columns: &[(&str, DType)]) -> Self {
+        TableSchema {
+            columns: columns.iter().map(|&(n, t)| ColumnSchema::new(n, t)).collect(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Element type of a column by name.
+    pub fn dtype_of(&self, name: &str) -> crate::Result<DType> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.dtype)
+            .ok_or_else(|| crate::StoreError::NoSuchColumn(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = TableSchema::new(&[("a", DType::U64), ("b", DType::I32)]);
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("c"), None);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.columns[1].dtype, DType::I32);
+        assert_eq!(s.dtype_of("b").unwrap(), DType::I32);
+        assert!(s.dtype_of("c").is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Compressed column segments.
+//!
+//! A segment is the unit of compression choice and of scan pruning: it
+//! carries its compressed form, the scheme expression that produced it,
+//! and a zone map (numeric min/max) — which for FOR-family schemes is
+//! exactly the model metadata the paper says can "speed up selections".
+
+use crate::{Result, StoreError};
+use lcdc_core::chooser;
+use lcdc_core::expr::parse_scheme;
+use lcdc_core::{ColumnData, Compressed, Scheme};
+
+/// How a table compresses its segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressionPolicy {
+    /// Leave everything plain (`id`) — the uncompressed baseline.
+    None,
+    /// One fixed scheme expression for every segment.
+    Fixed(String),
+    /// Per-segment choice by the core chooser ([`chooser::choose_best`]).
+    Auto,
+}
+
+/// One compressed segment of one column.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// The compressed rows.
+    pub compressed: Compressed,
+    /// The scheme expression that produced `compressed` (parseable).
+    pub expr: String,
+    /// Numeric minimum over the segment (zone map).
+    pub min: i128,
+    /// Numeric maximum over the segment (zone map).
+    pub max: i128,
+}
+
+impl Segment {
+    /// Compress `rows` under `policy`.
+    pub fn build(rows: &ColumnData, policy: &CompressionPolicy) -> Result<Segment> {
+        let (min, max) = rows.min_max_numeric().unwrap_or((0, -1));
+        let (expr, compressed) = match policy {
+            CompressionPolicy::None => {
+                ("id".to_string(), parse_scheme("id")?.compress(rows)?)
+            }
+            CompressionPolicy::Fixed(text) => {
+                (text.clone(), parse_scheme(text)?.compress(rows)?)
+            }
+            CompressionPolicy::Auto => {
+                let choice = chooser::choose_best(rows)?;
+                (choice.expr, choice.compressed)
+            }
+        };
+        Ok(Segment { compressed, expr, min, max })
+    }
+
+    /// Number of rows in the segment.
+    pub fn num_rows(&self) -> usize {
+        self.compressed.n
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.compressed.compressed_bytes()
+    }
+
+    /// Rebuild the scheme object for this segment.
+    pub fn scheme(&self) -> Result<Box<dyn Scheme>> {
+        Ok(parse_scheme(&self.expr)?)
+    }
+
+    /// Fully decompress the segment.
+    pub fn decompress(&self) -> Result<ColumnData> {
+        Ok(self.scheme()?.decompress(&self.compressed)?)
+    }
+
+    /// Whether the zone map proves the segment disjoint from `[lo, hi]`.
+    pub fn prunable(&self, lo: i128, hi: i128) -> bool {
+        self.num_rows() == 0 || hi < self.min || lo > self.max
+    }
+
+    /// Whether the zone map proves every row inside `[lo, hi]`.
+    pub fn fully_inside(&self, lo: i128, hi: i128) -> bool {
+        self.num_rows() > 0 && lo <= self.min && self.max <= hi
+    }
+
+    /// Internal consistency check used by table assembly.
+    pub fn check_rows(&self, expected: usize) -> Result<()> {
+        if self.num_rows() == expected {
+            Ok(())
+        } else {
+            Err(StoreError::Shape(format!(
+                "segment holds {} rows, expected {expected}",
+                self.num_rows()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> ColumnData {
+        ColumnData::U64((0..500u64).map(|i| 1000 + i % 40).collect())
+    }
+
+    #[test]
+    fn fixed_policy_round_trips() {
+        let s = Segment::build(&rows(), &CompressionPolicy::Fixed("for(l=128)[offsets=ns]".into()))
+            .unwrap();
+        assert_eq!(s.decompress().unwrap(), rows());
+        assert_eq!(s.num_rows(), 500);
+        assert!(s.compressed_bytes() < rows().uncompressed_bytes());
+    }
+
+    #[test]
+    fn auto_policy_picks_something_small() {
+        let s = Segment::build(&rows(), &CompressionPolicy::Auto).unwrap();
+        assert!(s.compressed_bytes() * 4 < rows().uncompressed_bytes(), "{}", s.expr);
+        assert_eq!(s.decompress().unwrap(), rows());
+    }
+
+    #[test]
+    fn none_policy_is_id() {
+        let s = Segment::build(&rows(), &CompressionPolicy::None).unwrap();
+        assert_eq!(s.expr, "id");
+        assert_eq!(s.compressed_bytes(), rows().uncompressed_bytes());
+    }
+
+    #[test]
+    fn zone_map_pruning() {
+        let s = Segment::build(&rows(), &CompressionPolicy::Auto).unwrap();
+        assert_eq!((s.min, s.max), (1000, 1039));
+        assert!(s.prunable(0, 999));
+        assert!(s.prunable(1040, 99999));
+        assert!(!s.prunable(1039, 1039));
+        assert!(s.fully_inside(1000, 1039));
+        assert!(!s.fully_inside(1001, 1039));
+    }
+
+    #[test]
+    fn empty_segment_always_prunable() {
+        let s = Segment::build(&ColumnData::U64(vec![]), &CompressionPolicy::None).unwrap();
+        assert!(s.prunable(i128::MIN, i128::MAX));
+        assert!(!s.fully_inside(i128::MIN, i128::MAX));
+    }
+
+    #[test]
+    fn bad_fixed_expression_fails() {
+        assert!(Segment::build(&rows(), &CompressionPolicy::Fixed("zstd".into())).is_err());
+    }
+
+    #[test]
+    fn check_rows_detects_mismatch() {
+        let s = Segment::build(&rows(), &CompressionPolicy::None).unwrap();
+        assert!(s.check_rows(500).is_ok());
+        assert!(s.check_rows(501).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Tables: per-column lists of compressed segments.
+
+use crate::schema::TableSchema;
+use crate::segment::{CompressionPolicy, Segment};
+use crate::{Result, StoreError};
+use lcdc_core::ColumnData;
+
+/// Default rows per segment (matches common vector/block sizes).
+pub const DEFAULT_SEG_ROWS: usize = 16_384;
+
+/// A columnar table: a schema plus, per column, equal-height compressed
+/// segments.
+#[derive(Debug)]
+pub struct Table {
+    schema: TableSchema,
+    /// `segments[col][seg]`.
+    segments: Vec<Vec<Segment>>,
+    num_rows: usize,
+    seg_rows: usize,
+}
+
+impl Table {
+    /// Build a table from whole columns, compressing each column's
+    /// segments under its own policy. All columns must have equal length;
+    /// `policies` must align with `schema.columns`.
+    pub fn build(
+        schema: TableSchema,
+        columns: &[ColumnData],
+        policies: &[CompressionPolicy],
+        seg_rows: usize,
+    ) -> Result<Table> {
+        if columns.len() != schema.width() || policies.len() != schema.width() {
+            return Err(StoreError::Shape(format!(
+                "{} columns, {} schemas, {} policies",
+                columns.len(),
+                schema.width(),
+                policies.len()
+            )));
+        }
+        let seg_rows = seg_rows.max(1);
+        let num_rows = columns.first().map_or(0, ColumnData::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != num_rows {
+                return Err(StoreError::Shape(format!(
+                    "column {} has {} rows, expected {num_rows}",
+                    schema.columns[i].name,
+                    col.len()
+                )));
+            }
+            if col.dtype() != schema.columns[i].dtype {
+                return Err(StoreError::Shape(format!(
+                    "column {} is {:?}, schema says {:?}",
+                    schema.columns[i].name,
+                    col.dtype(),
+                    schema.columns[i].dtype
+                )));
+            }
+        }
+        let mut segments = Vec::with_capacity(columns.len());
+        for (col, policy) in columns.iter().zip(policies) {
+            let mut col_segments = Vec::with_capacity(num_rows.div_ceil(seg_rows));
+            for start in (0..num_rows).step_by(seg_rows) {
+                let end = (start + seg_rows).min(num_rows);
+                let chunk = slice_column(col, start, end);
+                let segment = Segment::build(&chunk, policy)?;
+                segment.check_rows(end - start)?;
+                col_segments.push(segment);
+            }
+            segments.push(col_segments);
+        }
+        Ok(Table { schema, segments, num_rows, seg_rows })
+    }
+
+    /// Assemble a table from already-compressed segments (the
+    /// persistence layer's load path). Validates that every column has
+    /// the same total row count and that non-final segments are exactly
+    /// `seg_rows` tall.
+    pub fn from_segments(
+        schema: TableSchema,
+        segments: Vec<Vec<Segment>>,
+        seg_rows: usize,
+    ) -> Result<Table> {
+        if segments.len() != schema.width() {
+            return Err(StoreError::Shape(format!(
+                "{} segment columns, {} schema columns",
+                segments.len(),
+                schema.width()
+            )));
+        }
+        let seg_rows = seg_rows.max(1);
+        let num_rows = segments
+            .first()
+            .map_or(0, |col| col.iter().map(Segment::num_rows).sum());
+        for (i, col) in segments.iter().enumerate() {
+            let total: usize = col.iter().map(Segment::num_rows).sum();
+            if total != num_rows {
+                return Err(StoreError::Shape(format!(
+                    "column {} holds {total} rows, expected {num_rows}",
+                    schema.columns[i].name
+                )));
+            }
+            for (j, seg) in col.iter().enumerate() {
+                let expected = if j + 1 < col.len() {
+                    seg_rows
+                } else {
+                    num_rows - seg_rows * (col.len() - 1)
+                };
+                seg.check_rows(expected)?;
+                if seg.compressed.dtype != schema.columns[i].dtype {
+                    return Err(StoreError::Shape(format!(
+                        "column {} segment {j} is {:?}, schema says {:?}",
+                        schema.columns[i].name,
+                        seg.compressed.dtype,
+                        schema.columns[i].dtype
+                    )));
+                }
+            }
+        }
+        Ok(Table { schema, segments, num_rows, seg_rows })
+    }
+
+    /// Convenience: build with one shared policy and default segment
+    /// height.
+    pub fn build_uniform(
+        schema: TableSchema,
+        columns: &[ColumnData],
+        policy: CompressionPolicy,
+    ) -> Result<Table> {
+        let policies = vec![policy; schema.width()];
+        Table::build(schema, columns, &policies, DEFAULT_SEG_ROWS)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Total rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Rows per segment (last segment may be shorter).
+    pub fn seg_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Number of segments per column.
+    pub fn num_segments(&self) -> usize {
+        self.segments.first().map_or(0, Vec::len)
+    }
+
+    /// The segments of a named column.
+    pub fn column_segments(&self, name: &str) -> Result<&[Segment]> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StoreError::NoSuchColumn(name.to_string()))?;
+        Ok(&self.segments[idx])
+    }
+
+    /// Fully decompress a named column.
+    pub fn materialize(&self, name: &str) -> Result<ColumnData> {
+        let segments = self.column_segments(name)?;
+        let dtype = self.schema.columns[self.schema.index_of(name).expect("checked")].dtype;
+        let mut transport = Vec::with_capacity(self.num_rows);
+        for segment in segments {
+            transport.extend(segment.decompress()?.to_transport());
+        }
+        Ok(ColumnData::from_transport(dtype, transport))
+    }
+
+    /// Total compressed bytes of a column.
+    pub fn column_compressed_bytes(&self, name: &str) -> Result<usize> {
+        Ok(self.column_segments(name)?.iter().map(Segment::compressed_bytes).sum())
+    }
+
+    /// Total compressed bytes of the table.
+    pub fn compressed_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .flat_map(|col| col.iter().map(Segment::compressed_bytes))
+            .sum()
+    }
+
+    /// Total plain bytes of the table.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.schema
+            .columns
+            .iter()
+            .map(|c| self.num_rows * c.dtype.bytes())
+            .sum()
+    }
+}
+
+fn slice_column(col: &ColumnData, start: usize, end: usize) -> ColumnData {
+    match col {
+        ColumnData::U32(v) => ColumnData::U32(v[start..end].to_vec()),
+        ColumnData::U64(v) => ColumnData::U64(v[start..end].to_vec()),
+        ColumnData::I32(v) => ColumnData::I32(v[start..end].to_vec()),
+        ColumnData::I64(v) => ColumnData::I64(v[start..end].to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdc_core::DType;
+
+    fn small_table() -> Table {
+        let schema = TableSchema::new(&[("date", DType::U64), ("qty", DType::U64)]);
+        let date = ColumnData::U64((0..1000u64).map(|i| 20180101 + i / 100).collect());
+        let qty = ColumnData::U64((0..1000u64).map(|i| 1 + i % 50).collect());
+        Table::build(
+            schema,
+            &[date, qty],
+            &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+            256,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_materialize() {
+        let t = small_table();
+        assert_eq!(t.num_rows(), 1000);
+        assert_eq!(t.num_segments(), 4);
+        let date = t.materialize("date").unwrap();
+        assert_eq!(date.len(), 1000);
+        assert_eq!(date.get_numeric(999), Some(20180110));
+    }
+
+    #[test]
+    fn compression_actually_happens() {
+        let t = small_table();
+        assert!(t.compressed_bytes() * 4 < t.uncompressed_bytes());
+        let date_bytes = t.column_compressed_bytes("date").unwrap();
+        assert!(date_bytes * 20 < 8000, "dates are runs; got {date_bytes}");
+    }
+
+    #[test]
+    fn shape_errors() {
+        let schema = TableSchema::new(&[("a", DType::U32), ("b", DType::U32)]);
+        let a = ColumnData::U32(vec![1, 2, 3]);
+        let b_short = ColumnData::U32(vec![1]);
+        assert!(Table::build_uniform(schema.clone(), &[a.clone(), b_short], CompressionPolicy::None)
+            .is_err());
+        let b_wrong_type = ColumnData::I64(vec![1, 2, 3]);
+        assert!(Table::build_uniform(schema.clone(), &[a.clone(), b_wrong_type], CompressionPolicy::None)
+            .is_err());
+        assert!(Table::build_uniform(schema, &[a], CompressionPolicy::None).is_err());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = small_table();
+        assert!(t.materialize("nope").is_err());
+        assert!(t.column_segments("nope").is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let schema = TableSchema::new(&[("a", DType::U32)]);
+        let t = Table::build_uniform(schema, &[ColumnData::U32(vec![])], CompressionPolicy::None)
+            .unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_segments(), 0);
+        assert_eq!(t.materialize("a").unwrap(), ColumnData::U32(vec![]));
+    }
+
+    #[test]
+    fn per_column_policies() {
+        let schema = TableSchema::new(&[("a", DType::U64), ("b", DType::U64)]);
+        let a = ColumnData::U64(vec![5; 100]);
+        let b = ColumnData::U64((0..100).collect());
+        let t = Table::build(
+            schema,
+            &[a, b],
+            &[
+                CompressionPolicy::Fixed("rle[values=ns,lengths=ns]".into()),
+                CompressionPolicy::Fixed("delta[deltas=ns_zz]".into()),
+            ],
+            64,
+        )
+        .unwrap();
+        assert!(t.column_segments("a").unwrap().iter().all(|s| s.expr.starts_with("rle")));
+        assert!(t.column_segments("b").unwrap().iter().all(|s| s.expr.starts_with("delta")));
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's two decomposition identities, executed:
+//!
+//! * `RLE ≡ (ID for values, DELTA for run_positions) ∘ RPE`  (§II-A)
+//! * `FOR ≡ STEPFUNCTION + NS`                               (§II-B)
+//!
+//! ```text
+//! cargo run --release --example decompose_identities
+//! ```
+
+use lcdc::core::schemes::{For, Rle, Rpe};
+use lcdc::core::{rewrite, ColumnData, Scheme};
+
+fn main() {
+    // ---- Identity 1: RLE <-> RPE ------------------------------------
+    let col = ColumnData::U64(lcdc::datagen::shipped_order_dates(50, 30, 20_180_101, 3));
+    println!("RLE ≡ (ID, DELTA) ∘ RPE on a {}-row date column", col.len());
+
+    let c_rle = Rle.compress(&col).expect("compresses");
+    // Partial decompression: one PrefixSum over the (short) lengths
+    // column turns the RLE form into a bona fide RPE form.
+    let c_rpe = rewrite::rle_to_rpe(&c_rle).expect("rewrite applies");
+    assert_eq!(c_rpe, Rpe.compress(&col).expect("fresh RPE"));
+    println!("  rle_to_rpe(compress_rle(col)) == compress_rpe(col)  ✓ (bit-identical)");
+
+    // And back: DELTA-compressing the positions recovers the lengths.
+    let back = rewrite::rpe_to_rle(&c_rpe).expect("inverse applies");
+    assert_eq!(back, c_rle);
+    println!("  rpe_to_rle is the exact inverse                     ✓");
+
+    // Both forms decompress to the same rows — RPE via one operator less.
+    let rle_ops = Rle.plan(&c_rle).expect("plan").num_nodes();
+    let rpe_ops = Rpe.plan(&c_rpe).expect("plan").num_nodes();
+    println!("  Algorithm-1 plan: RLE {rle_ops} operators, RPE {rpe_ops} operators\n");
+
+    // ---- Identity 2: FOR = STEPFUNCTION + NS ------------------------
+    let col = ColumnData::U64(lcdc::datagen::step_column(100_000, 128, 1 << 30, 200, 3));
+    println!("FOR ≡ STEPFUNCTION + NS on a {}-row locally-tight column", col.len());
+    let f = For::new(128);
+    let c_for = f.compress(&col).expect("compresses");
+    let mr = rewrite::for_to_step_plus_ns(&c_for).expect("split applies");
+    println!(
+        "  model (step fn) {} bytes + residual (ns) {} bytes",
+        mr.model.compressed_bytes(),
+        mr.residual.compressed_bytes()
+    );
+
+    // The model alone is an approximate answer with a certified L∞ bound.
+    let approx = mr.model_only().expect("model evaluates");
+    let bound = mr.error_bound().expect("bound known");
+    let worst = (0..col.len())
+        .map(|i| col.get_numeric(i).unwrap() - approx.get_numeric(i).unwrap())
+        .max()
+        .unwrap();
+    println!("  model-only evaluation: certified L∞ bound {bound}, observed worst {worst}");
+    assert!((worst as u64) <= bound);
+
+    // Adding the residual reconstructs exactly.
+    assert_eq!(mr.reconstruct().expect("reconstructs"), col);
+    println!("  model + residual == original                         ✓");
+
+    // And the split composes back into the FOR form.
+    let rebuilt = rewrite::step_plus_ns_to_for(&mr).expect("re-compose");
+    assert_eq!(f.decompress(&rebuilt).expect("decompresses"), col);
+    println!("  step_plus_ns_to_for round-trips                      ✓");
+}

@@ -1,0 +1,338 @@
+//! `lcdc` — command-line compression tool over the scheme algebra.
+//!
+//! Columns are raw little-endian binaries of a fixed element type;
+//! compressed files are the `lcdc_core::bytes` wire format (self-
+//! describing: the scheme expression travels in the frame).
+//!
+//! ```text
+//! lcdc compress   <in.bin> -o <out.lcdc> --dtype u64 [--scheme EXPR]
+//! lcdc decompress <in.lcdc> -o <out.bin>
+//! lcdc info       <in.lcdc>
+//! lcdc choose     <in.bin> --dtype u64
+//! ```
+//!
+//! Without `--scheme`, `compress` runs the chooser and records its pick.
+
+use lcdc::core::{bytes, chooser, parse_scheme, ColumnData, DType};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("lcdc: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  lcdc compress   <in.bin> -o <out.lcdc> --dtype <u32|u64|i32|i64> [--scheme EXPR]
+  lcdc decompress <in.lcdc> -o <out.bin>
+  lcdc info       <in.lcdc>
+  lcdc choose     <in.bin> --dtype <u32|u64|i32|i64>
+
+scheme expressions: e.g. 'rle[values=delta[deltas=ns_zz],lengths=ns]',
+'for(l=128)[offsets=ns]', 'vstep(w=8)[offsets=ns]', 'sparse', ...";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "compress" => compress(rest),
+        "decompress" => decompress(rest),
+        "info" => info(rest),
+        "choose" => choose(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Minimal flag parser: one positional input plus `--flag value` pairs.
+struct Opts {
+    input: String,
+    output: Option<String>,
+    dtype: Option<DType>,
+    scheme: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut input = None;
+    let mut output = None;
+    let mut dtype = None;
+    let mut scheme = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--dtype" => {
+                dtype = Some(parse_dtype(it.next().ok_or("--dtype needs a type")?)?);
+            }
+            "--scheme" => {
+                scheme = Some(it.next().ok_or("--scheme needs an expression")?.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            positional => {
+                if input.replace(positional.to_string()).is_some() {
+                    return Err("more than one input file given".into());
+                }
+            }
+        }
+    }
+    Ok(Opts {
+        input: input.ok_or("missing input file")?,
+        output,
+        dtype,
+        scheme,
+    })
+}
+
+fn parse_dtype(s: &str) -> Result<DType, String> {
+    Ok(match s {
+        "u32" => DType::U32,
+        "u64" => DType::U64,
+        "i32" => DType::I32,
+        "i64" => DType::I64,
+        other => return Err(format!("unknown dtype {other:?} (u32|u64|i32|i64)")),
+    })
+}
+
+fn read_raw_column(path: &str, dtype: DType) -> Result<ColumnData, String> {
+    let raw = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let width = dtype.bytes();
+    if raw.len() % width != 0 {
+        return Err(format!(
+            "{path}: {} bytes is not a multiple of the {width}-byte element size",
+            raw.len()
+        ));
+    }
+    let n = raw.len() / width;
+    let col = match dtype {
+        DType::U32 => ColumnData::U32(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        ),
+        DType::U64 => ColumnData::U64(
+            raw.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect(),
+        ),
+        DType::I32 => ColumnData::I32(
+            raw.chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        ),
+        DType::I64 => ColumnData::I64(
+            raw.chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect(),
+        ),
+    };
+    debug_assert_eq!(col.len(), n);
+    Ok(col)
+}
+
+fn write_raw_column(path: &str, col: &ColumnData) -> Result<(), String> {
+    let mut out = Vec::with_capacity(col.uncompressed_bytes());
+    match col {
+        ColumnData::U32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::U64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::I32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::I64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+    }
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+fn compress(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let dtype = opts.dtype.ok_or("compress requires --dtype")?;
+    let output = opts.output.ok_or("compress requires -o <out.lcdc>")?;
+    let col = read_raw_column(&opts.input, dtype)?;
+
+    let (expr, compressed) = match &opts.scheme {
+        Some(expr) => {
+            let scheme = parse_scheme(expr).map_err(|e| e.to_string())?;
+            let c = scheme.compress(&col).map_err(|e| e.to_string())?;
+            (expr.clone(), c)
+        }
+        None => {
+            let choice = chooser::choose_best(&col).map_err(|e| e.to_string())?;
+            (choice.expr, choice.compressed)
+        }
+    };
+    let frame = bytes::to_bytes(&compressed);
+    std::fs::write(&output, &frame).map_err(|e| format!("{output}: {e}"))?;
+    eprintln!(
+        "{} rows, {} -> {} bytes ({:.2}x) with {}",
+        col.len(),
+        col.uncompressed_bytes(),
+        frame.len(),
+        col.uncompressed_bytes() as f64 / frame.len().max(1) as f64,
+        expr
+    );
+    Ok(())
+}
+
+fn decompress(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let output = opts.output.ok_or("decompress requires -o <out.bin>")?;
+    let frame = std::fs::read(&opts.input).map_err(|e| format!("{}: {e}", opts.input))?;
+    let compressed = bytes::from_bytes(&frame).map_err(|e| e.to_string())?;
+    let scheme = parse_scheme(&compressed.scheme_id).map_err(|e| e.to_string())?;
+    let col = scheme.decompress(&compressed).map_err(|e| e.to_string())?;
+    write_raw_column(&output, &col)?;
+    eprintln!(
+        "{} rows of {} restored from {}",
+        col.len(),
+        col.dtype().name(),
+        compressed.scheme_id
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let frame = std::fs::read(&opts.input).map_err(|e| format!("{}: {e}", opts.input))?;
+    let c = bytes::from_bytes(&frame).map_err(|e| e.to_string())?;
+    println!("scheme : {}", c.scheme_id);
+    println!("dtype  : {}", c.dtype.name());
+    println!("rows   : {}", c.n);
+    println!(
+        "size   : {} compressed / {} plain ({:.2}x)",
+        c.compressed_bytes(),
+        c.uncompressed_bytes(),
+        c.ratio().unwrap_or(0.0)
+    );
+    if !c.params.is_empty() {
+        let params: Vec<String> = c.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("params : {}", params.join(", "));
+    }
+    println!("parts  :");
+    for part in &c.parts {
+        println!(
+            "  {:<14} {:>8} elements {:>10} bytes",
+            part.role,
+            part.data.len(),
+            part.data.bytes()
+        );
+    }
+    // Show the decompression DAG where the scheme has one.
+    let scheme = parse_scheme(&c.scheme_id).map_err(|e| e.to_string())?;
+    if let Ok(plan) = scheme.plan(&c) {
+        println!("plan   :");
+        for line in plan.display().lines() {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}
+
+fn choose(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let dtype = opts.dtype.ok_or("choose requires --dtype")?;
+    let col = read_raw_column(&opts.input, dtype)?;
+    let choice = chooser::choose_best(&col).map_err(|e| e.to_string())?;
+    println!(
+        "{:<52} {:>12} {:>8}",
+        "scheme", "bytes", "ratio"
+    );
+    for (expr, size) in &choice.ranking {
+        println!(
+            "{:<52} {:>12} {:>7.2}x",
+            expr,
+            size,
+            col.uncompressed_bytes() as f64 / (*size).max(1) as f64
+        );
+    }
+    println!("\nwinner: {}", choice.expr);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_parsing() {
+        assert_eq!(parse_dtype("u64").unwrap(), DType::U64);
+        assert!(parse_dtype("f32").is_err());
+    }
+
+    #[test]
+    fn opts_parsing() {
+        let args: Vec<String> = ["in.bin", "-o", "out.lcdc", "--dtype", "i32", "--scheme", "rle"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert_eq!(opts.input, "in.bin");
+        assert_eq!(opts.output.as_deref(), Some("out.lcdc"));
+        assert_eq!(opts.dtype, Some(DType::I32));
+        assert_eq!(opts.scheme.as_deref(), Some("rle"));
+        assert!(parse_opts(&["a".into(), "b".into()]).is_err());
+        assert!(parse_opts(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn raw_column_round_trip() {
+        let dir = std::env::temp_dir().join(format!("lcdc_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("col.bin");
+        let col = ColumnData::I64(vec![-5, 0, 1 << 40, i64::MIN]);
+        write_raw_column(path.to_str().unwrap(), &col).unwrap();
+        let back = read_raw_column(path.to_str().unwrap(), DType::I64).unwrap();
+        assert_eq!(back, col);
+        // Misaligned length rejected.
+        std::fs::write(&path, [0u8; 7]).unwrap();
+        assert!(read_raw_column(path.to_str().unwrap(), DType::U64).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_compress_decompress() {
+        let dir = std::env::temp_dir().join(format!("lcdc_cli_e2e_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("in.bin");
+        let packed = dir.join("out.lcdc");
+        let restored = dir.join("back.bin");
+        let col = ColumnData::U64((0..5000u64).map(|i| 20_180_101 + i / 40).collect());
+        write_raw_column(raw.to_str().unwrap(), &col).unwrap();
+
+        let s = |p: &std::path::Path| p.to_str().unwrap().to_string();
+        run(&[
+            "compress".into(),
+            s(&raw),
+            "-o".into(),
+            s(&packed),
+            "--dtype".into(),
+            "u64".into(),
+        ])
+        .unwrap();
+        assert!(std::fs::metadata(&packed).unwrap().len() < 5000 * 8 / 10);
+        run(&["info".into(), s(&packed)]).unwrap();
+        run(&["decompress".into(), s(&packed), "-o".into(), s(&restored)]).unwrap();
+        assert_eq!(
+            read_raw_column(restored.to_str().unwrap(), DType::U64).unwrap(),
+            col
+        );
+        run(&["choose".into(), s(&raw), "--dtype".into(), "u64".into()]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_commands_error() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&["compress".into(), "nope.bin".into()]).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Workspace-level properties of positional access on compressed forms
+//! (`lcdc::core::access`): wherever a scheme offers an access path, it
+//! must agree with the decompressed column, across element types and
+//! generated workloads.
+
+use lcdc::core::{access, parse_scheme, ColumnData};
+use proptest::prelude::*;
+
+const ACCESS_SCHEMES: &[&str] = &[
+    "id",
+    "ns",
+    "varwidth",
+    "dict",
+    "rpe",
+    "step(l=1)",
+    "for(l=24)",
+    "for(l=24,first=1)",
+    "pfor(l=24,keep=900)",
+    "pstep(l=24)",
+    "linear(l=24)",
+    "poly2(l=24)",
+    "sparse",
+    "dfor(l=24)",
+    "vstep(w=8)",
+    "vstep(w=64)",
+];
+
+fn check(col: &ColumnData) {
+    for expr in ACCESS_SCHEMES {
+        let scheme = parse_scheme(expr).unwrap();
+        let Ok(c) = scheme.compress(col) else { continue };
+        for pos in 0..col.len() {
+            match access::value_at(&c, pos).unwrap_or_else(|e| panic!("{expr} at {pos}: {e}")) {
+                Some(v) => assert_eq!(Some(v), col.get_transport(pos), "{expr} at {pos}"),
+                None => panic!("{expr} lost its access path"),
+            }
+        }
+    }
+}
+
+#[test]
+fn access_on_generated_workloads() {
+    check(&ColumnData::U64(lcdc::datagen::shipped_order_dates(30, 10, 20_180_101, 1)));
+    check(&ColumnData::U64(lcdc::datagen::step_column(500, 24, 1 << 20, 16, 2)));
+    check(&ColumnData::U64(lcdc::datagen::locally_varying_with_outliers(
+        500, 24, 1 << 16, 8, 0.05, 1 << 40, 3,
+    )));
+}
+
+#[test]
+fn access_on_extremes() {
+    check(&ColumnData::I64(vec![i64::MIN, -1, 0, 1, i64::MAX]));
+    check(&ColumnData::U32(vec![u32::MAX; 30]));
+    check(&ColumnData::U32(vec![7]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn access_matches_decompression(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        check(&ColumnData::U64(values));
+    }
+
+    #[test]
+    fn access_matches_on_signed(values in prop::collection::vec(any::<i32>(), 1..200)) {
+        check(&ColumnData::I32(values));
+    }
+}

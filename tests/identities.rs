@@ -1,0 +1,189 @@
+//! The paper's algebraic identities, property-tested across generated
+//! data: `RLE ≡ (ID, DELTA) ∘ RPE`, `FOR ≡ STEPFUNCTION + NS`, and plan
+//! ≡ fused decompression for every planned scheme.
+
+use lcdc::core::schemes::{For, Rle, Rpe};
+use lcdc::core::{parse_scheme, rewrite, ColumnData, Scheme};
+use proptest::prelude::*;
+
+fn runny_column(lens: &[usize], domain: u64) -> ColumnData {
+    let mut v = Vec::new();
+    for (i, len) in lens.iter().enumerate() {
+        v.extend(std::iter::repeat_n((i as u64).wrapping_mul(2654435761) % domain, *len));
+    }
+    ColumnData::U64(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// §II-A: rewriting RLE's compressed form by one PrefixSum yields
+    /// exactly RPE's compressed form, in both directions.
+    #[test]
+    fn rle_rpe_rewrites_are_inverse_bijections(
+        lens in prop::collection::vec(1usize..30, 0..50),
+        domain in 1u64..100,
+    ) {
+        let col = runny_column(&lens, domain);
+        let c_rle = Rle.compress(&col).unwrap();
+        let c_rpe = rewrite::rle_to_rpe(&c_rle).unwrap();
+        prop_assert_eq!(&c_rpe, &Rpe.compress(&col).unwrap());
+        prop_assert_eq!(&rewrite::rpe_to_rle(&c_rpe).unwrap(), &c_rle);
+        prop_assert_eq!(Rpe.decompress(&c_rpe).unwrap(), col);
+    }
+
+    /// §II-A as scheme composition: `rpe[positions=delta]`'s nested
+    /// deltas column equals RLE's lengths column.
+    #[test]
+    fn rpe_with_delta_positions_encodes_rle_lengths(
+        lens in prop::collection::vec(1usize..30, 1..50),
+    ) {
+        let col = runny_column(&lens, 50);
+        let composed = parse_scheme("rpe[values=id,positions=delta]").unwrap();
+        let c = composed.compress(&col).unwrap();
+        let c_rle = Rle.compress(&col).unwrap();
+
+        // Dig out the nested delta form of the positions part.
+        let nested = match &c.part("positions").unwrap().data {
+            lcdc::core::PartData::Nested(n) => n,
+            other => panic!("expected nested, got {other:?}"),
+        };
+        // DELTA stores first=lengths[0] and deltas[i]=lengths[i+1] shape:
+        // positions[0]=lengths[0], positions[i]-positions[i-1]=lengths[i].
+        let rle_lengths = c_rle.plain_part("lengths").unwrap().to_transport();
+        let first = nested.params.get("first").unwrap() as u64;
+        let deltas = nested.plain_part("deltas").unwrap().to_transport();
+        let mut reconstructed_lengths = vec![first];
+        reconstructed_lengths.extend(deltas);
+        prop_assert_eq!(reconstructed_lengths, rle_lengths);
+        prop_assert_eq!(composed.decompress(&c).unwrap(), col);
+    }
+
+    /// §II-B: the FOR form splits losslessly into STEPFUNCTION + NS and
+    /// composes back.
+    #[test]
+    fn for_step_ns_identity(
+        values in prop::collection::vec(0u64..1_000_000, 1..400),
+        seg_len in 1usize..40,
+    ) {
+        let col = ColumnData::U64(values);
+        let f = For::new(seg_len);
+        let c = f.compress(&col).unwrap();
+        let mr = rewrite::for_to_step_plus_ns(&c).unwrap();
+        prop_assert_eq!(mr.reconstruct().unwrap(), col.clone());
+        let rebuilt = rewrite::step_plus_ns_to_for(&mr).unwrap();
+        prop_assert_eq!(f.decompress(&rebuilt).unwrap(), col);
+    }
+
+    /// The model half's certified L∞ error bound is sound.
+    #[test]
+    fn model_error_bound_is_sound(
+        values in prop::collection::vec(0u64..1_000_000, 1..300),
+        seg_len in 1usize..40,
+    ) {
+        let col = ColumnData::U64(values);
+        let c = For::new(seg_len).compress(&col).unwrap();
+        let mr = rewrite::for_to_step_plus_ns(&c).unwrap();
+        let approx = mr.model_only().unwrap();
+        let bound = mr.error_bound().unwrap() as i128;
+        for i in 0..col.len() {
+            let diff = col.get_numeric(i).unwrap() - approx.get_numeric(i).unwrap();
+            prop_assert!((0..=bound).contains(&diff), "element {i}: diff {diff} bound {bound}");
+        }
+    }
+
+    /// Zone bounds read off the FOR form are sound for every element.
+    #[test]
+    fn for_segment_bounds_sound(
+        values in prop::collection::vec(any::<i64>(), 1..300),
+        seg_len in 1usize..50,
+    ) {
+        let col = ColumnData::I64(values);
+        let c = For::new(seg_len).compress(&col).unwrap();
+        let bounds = rewrite::for_segment_bounds(&c).unwrap();
+        for i in 0..col.len() {
+            let (lo, hi) = bounds[i / seg_len];
+            let v = col.get_numeric(i).unwrap();
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    /// Plan-interpreted decompression agrees with the fused path for
+    /// every planned scheme, on arbitrary non-negative data.
+    #[test]
+    fn plans_agree_with_fused_paths(values in prop::collection::vec(0u64..1_000_000, 0..300)) {
+        let col = ColumnData::U64(values);
+        for expr in [
+            "id", "ns", "delta", "rle", "rpe", "dict",
+            "for(l=16)", "pfor(l=16,keep=900)", "varwidth", "linear(l=16)",
+            "rle[values=delta[deltas=ns_zz],lengths=ns]",
+        ] {
+            let scheme = parse_scheme(expr).unwrap();
+            let c = scheme.compress(&col).unwrap();
+            let fused = scheme.decompress(&c).unwrap();
+            let planned = lcdc::core::scheme::decompress_via_plan(scheme.as_ref(), &c).unwrap();
+            prop_assert_eq!(&fused, &planned, "{}", expr);
+            prop_assert_eq!(&fused, &col, "{}", expr);
+        }
+    }
+}
+
+#[test]
+fn rpe_plan_is_rle_plan_minus_one_operator() {
+    // The literal sentence of §II-A, checked structurally.
+    let col = runny_column(&[3, 4, 1, 7], 10);
+    let c_rle = Rle.compress(&col).unwrap();
+    let c_rpe = Rpe.compress(&col).unwrap();
+    let rle_plan = Rle.plan(&c_rle).unwrap();
+    let rpe_plan = Rpe.plan(&c_rpe).unwrap();
+    assert_eq!(rle_plan.num_nodes(), rpe_plan.num_nodes() + 1);
+    // And the dropped operator is the PrefixSum of the lengths: RLE's
+    // plan mentions two PrefixSums, RPE's only one.
+    let count = |p: &lcdc::core::Plan| p.display().matches("= PrefixSum").count();
+    assert_eq!(count(&rle_plan), 2);
+    assert_eq!(count(&rpe_plan), 1);
+}
+
+#[test]
+fn vstep_on_run_data_degenerates_to_rle_structure() {
+    // With the tightest width budget (w=1, offsets < 2) and run values
+    // further than the budget apart, VSTEP's frames are exactly the
+    // runs: its positions column equals RPE's positions, its refs equal
+    // the run values — the re-composed scheme contains the decomposed
+    // pair.
+    let col = ColumnData::U64(
+        [(5usize, 10u64), (2, 50), (9, 10), (3, 90), (6, 30)]
+            .iter()
+            .flat_map(|&(len, v)| std::iter::repeat_n(v, len))
+            .collect(),
+    );
+    let c_vstep = parse_scheme("vstep(w=1)").unwrap().compress(&col).unwrap();
+    let c_rpe = Rpe.compress(&col).unwrap();
+    assert_eq!(
+        c_vstep.plain_part("positions").unwrap(),
+        c_rpe.plain_part("positions").unwrap()
+    );
+    assert_eq!(
+        c_vstep.plain_part("refs").unwrap(),
+        c_rpe.plain_part("values").unwrap()
+    );
+    // And all offsets are zero.
+    let offsets = c_vstep.plain_part("offsets").unwrap().to_transport();
+    assert!(offsets.iter().all(|&o| o == 0));
+}
+
+#[test]
+fn dfor_with_whole_column_segment_is_anchored_delta() {
+    // With l >= n, DFOR is DELTA with the first value as an explicit
+    // base: its delta column equals DELTA's with the leading value
+    // replaced by zero.
+    let col = ColumnData::I64(vec![100, 103, 99, 99, 150, -7]);
+    let c_dfor = parse_scheme("dfor(l=100)").unwrap().compress(&col).unwrap();
+    let c_delta = parse_scheme("delta").unwrap().compress(&col).unwrap();
+    let dfor_deltas = c_dfor.plain_part("deltas").unwrap().to_transport();
+    let delta_deltas = c_delta.plain_part("deltas").unwrap().to_transport();
+    // DELTA stores n-1 adjacent differences (the first value is a
+    // parameter); DFOR stores n with a leading 0 per segment.
+    assert_eq!(dfor_deltas[0], 0);
+    assert_eq!(&dfor_deltas[1..], &delta_deltas[..]);
+}

@@ -1,0 +1,151 @@
+//! Cross-crate round-trip properties: every scheme expression in the
+//! chooser's candidate set must either refuse a column
+//! (`NotRepresentable`) or reproduce it bit-exactly — across element
+//! types, adversarial values, and every generated workload.
+
+use lcdc::core::scheme::decompress_via_plan;
+use lcdc::core::{chooser, parse_scheme, ColumnData, CoreError};
+use proptest::prelude::*;
+
+fn all_exprs() -> Vec<&'static str> {
+    let mut v = chooser::default_candidates();
+    v.extend([
+        "ns_zz",
+        "varwidth_zz",
+        "delta",
+        "rle",
+        "rpe",
+        "dict",
+        "step(l=4)",
+        "for(l=4)",
+        "for(l=1)",
+        "pfor(l=64,keep=900)",
+        "linear(l=32)",
+        "rle[values=delta,lengths=delta[deltas=ns_zz]]",
+        "rpe[values=id,positions=delta[deltas=ns_zz]]",
+        "dict[codes=rle[values=ns,lengths=ns]]",
+        "const",
+        "sparse[exc_positions=ns,exc_values=ns]",
+        "dfor(l=1)",
+        "dfor(l=4)[deltas=ns_zz]",
+        "vstep(w=1)[offsets=ns]",
+        "vstep(w=64)",
+        "vstep(w=6)[offsets=ns,refs=delta[deltas=ns_zz]]",
+        "for(l=16)[offsets=varwidth]",
+    ]);
+    v
+}
+
+fn check_round_trip(col: &ColumnData) {
+    for expr in all_exprs() {
+        let scheme = parse_scheme(expr).unwrap_or_else(|e| panic!("{expr}: {e}"));
+        match scheme.compress(col) {
+            Ok(c) => {
+                let restored = scheme
+                    .decompress(&c)
+                    .unwrap_or_else(|e| panic!("{expr} failed to decompress: {e}"));
+                assert_eq!(&restored, col, "{expr} round-trip");
+                // Where a plan exists it must agree with the fused path.
+                if let Ok(via_plan) = decompress_via_plan(scheme.as_ref(), &c) {
+                    assert_eq!(&via_plan, col, "{expr} plan path");
+                }
+            }
+            Err(CoreError::NotRepresentable(_)) => {} // legitimate refusal
+            Err(other) => panic!("{expr} failed unexpectedly: {other}"),
+        }
+    }
+}
+
+#[test]
+fn empty_columns_round_trip_everywhere() {
+    check_round_trip(&ColumnData::U32(vec![]));
+    check_round_trip(&ColumnData::I64(vec![]));
+}
+
+#[test]
+fn single_element_columns() {
+    check_round_trip(&ColumnData::U64(vec![u64::MAX]));
+    check_round_trip(&ColumnData::I32(vec![i32::MIN]));
+    check_round_trip(&ColumnData::U32(vec![0]));
+}
+
+#[test]
+fn adversarial_extremes() {
+    check_round_trip(&ColumnData::I64(vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MIN]));
+    check_round_trip(&ColumnData::U64(vec![u64::MAX, 0, u64::MAX / 2, 1]));
+    check_round_trip(&ColumnData::I32(vec![i32::MIN; 10]));
+}
+
+#[test]
+fn generated_workloads_round_trip() {
+    let workloads: Vec<ColumnData> = vec![
+        ColumnData::U64(lcdc::datagen::shipped_order_dates(200, 20, 20_180_101, 1)),
+        ColumnData::U64(lcdc::datagen::runs::runs_over_domain(5000, 30, 50, 2)),
+        ColumnData::U64(lcdc::datagen::step_column(5000, 64, 1 << 30, 100, 3)),
+        ColumnData::U64(lcdc::datagen::sawtooth_trend(5000, 512, 9, 1 << 16, 32, 4)),
+        ColumnData::U64(lcdc::datagen::locally_varying_with_outliers(
+            5000, 64, 1 << 16, 8, 0.02, 1 << 40, 5,
+        )),
+        ColumnData::U64(lcdc::datagen::zipf_codes(5000, 32, 1.1, 6)),
+        ColumnData::U64(lcdc::datagen::uniform(5000, 1 << 44, 7)),
+        ColumnData::U64(lcdc::datagen::sorted_unique(5000, 99, 17, 8)),
+    ];
+    for col in &workloads {
+        check_round_trip(col);
+    }
+}
+
+#[test]
+fn chooser_output_always_round_trips() {
+    for seed in 0..5u64 {
+        let col = ColumnData::U64(lcdc::datagen::runs::runs_over_domain(
+            3000,
+            1 + (seed as usize * 17) % 100,
+            1 + (seed * 13) % 1000,
+            seed,
+        ));
+        let choice = chooser::choose_best(&col).expect("chooser runs");
+        let scheme = parse_scheme(&choice.expr).expect("winner parses");
+        assert_eq!(scheme.decompress(&choice.compressed).expect("decompresses"), col);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_u32_columns(values in prop::collection::vec(any::<u32>(), 0..400)) {
+        check_round_trip(&ColumnData::U32(values));
+    }
+
+    #[test]
+    fn arbitrary_i64_columns(values in prop::collection::vec(any::<i64>(), 0..400)) {
+        check_round_trip(&ColumnData::I64(values));
+    }
+
+    #[test]
+    fn runny_u64_columns(
+        lens in prop::collection::vec(1usize..20, 1..40),
+        domain in 1u64..1000,
+    ) {
+        let mut v = Vec::new();
+        for (i, len) in lens.iter().enumerate() {
+            v.extend(std::iter::repeat_n((i as u64 * 7919) % domain, *len));
+        }
+        check_round_trip(&ColumnData::U64(v));
+    }
+
+    #[test]
+    fn compressed_size_model_is_consistent(values in prop::collection::vec(any::<u16>(), 1..300)) {
+        // compressed_bytes is the sum of part bytes + param overhead for
+        // every scheme; ratio is positive and finite.
+        let col = ColumnData::U32(values.iter().map(|&v| v as u32).collect());
+        for expr in ["ns", "rle[values=ns,lengths=ns]", "for(l=16)[offsets=ns]"] {
+            let scheme = parse_scheme(expr).unwrap();
+            let c = scheme.compress(&col).unwrap();
+            let parts_sum: usize = c.parts.iter().map(|p| p.data.bytes()).sum();
+            prop_assert_eq!(c.compressed_bytes(), parts_sum + 8 * c.params.len());
+            prop_assert!(c.ratio().unwrap() > 0.0);
+        }
+    }
+}
