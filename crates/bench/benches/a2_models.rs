@@ -20,7 +20,13 @@ use lcdc_core::{access, parse_scheme, ColumnData};
 use std::hint::black_box;
 
 fn plateaus(n: usize, mean_len: usize) -> ColumnData {
-    ColumnData::U64(lcdc_datagen::uneven_plateaus(n, mean_len, 1 << 40, 12, SEED))
+    ColumnData::U64(lcdc_datagen::uneven_plateaus(
+        n,
+        mean_len,
+        1 << 40,
+        12,
+        SEED,
+    ))
 }
 
 fn sparse_col(n: usize, rate: f64) -> ColumnData {
@@ -46,7 +52,12 @@ fn bench_adaptive_step(c: &mut Criterion) {
 }
 
 fn bench_delta_restart(c: &mut Criterion) {
-    let col = ColumnData::U64(lcdc_datagen::steps::bounded_walk(1 << 20, 1 << 30, 48, SEED));
+    let col = ColumnData::U64(lcdc_datagen::steps::bounded_walk(
+        1 << 20,
+        1 << 30,
+        48,
+        SEED,
+    ));
     let delta = parse_scheme("delta[deltas=ns_zz]").unwrap();
     let dfor_scheme = parse_scheme("dfor(l=128)").unwrap();
     let c_delta = delta.compress(&col).unwrap();
@@ -64,7 +75,9 @@ fn bench_delta_restart(c: &mut Criterion) {
 
     // Random access: DFOR integrates <= l deltas; global DELTA has no
     // sub-linear path and must decompress.
-    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 7919) % col.len() as u64).collect();
+    let probes: Vec<u64> = (0..1024u64)
+        .map(|i| (i * 7919) % col.len() as u64)
+        .collect();
     let mut group = c.benchmark_group("a2/delta_restart/random_access_1024_probes");
     group.bench_function("dfor_segment_integrate", |b| {
         b.iter(|| {
@@ -115,7 +128,9 @@ fn bench_sparse(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for &p in &probes {
-                acc ^= access::value_at(black_box(&compressed), p).unwrap().unwrap();
+                acc ^= access::value_at(black_box(&compressed), p)
+                    .unwrap()
+                    .unwrap();
             }
             acc
         })
@@ -133,5 +148,10 @@ fn bench_sparse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_adaptive_step, bench_delta_restart, bench_sparse);
+criterion_group!(
+    benches,
+    bench_adaptive_step,
+    bench_delta_restart,
+    bench_sparse
+);
 criterion_main!(benches);

@@ -32,7 +32,9 @@ fn bench_random_access(c: &mut Criterion) {
     let col = runs_column(1 << 20, 64);
     let c_rle = Rle.compress(&col).unwrap();
     let c_rpe = rle_to_rpe(&c_rle).unwrap();
-    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 7919) % col.len() as u64).collect();
+    let probes: Vec<u64> = (0..1024u64)
+        .map(|i| (i * 7919) % col.len() as u64)
+        .collect();
     let mut group = c.benchmark_group("e2/random_access_1024_probes");
     group.bench_function("rpe_binary_search", |b| {
         b.iter(|| {
@@ -71,5 +73,10 @@ fn bench_rewrite(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decompress, bench_random_access, bench_rewrite);
+criterion_group!(
+    benches,
+    bench_decompress,
+    bench_random_access,
+    bench_rewrite
+);
 criterion_main!(benches);

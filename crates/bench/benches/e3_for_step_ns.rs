@@ -18,9 +18,11 @@ fn bench_fused_vs_plan(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fused", seg_len), &seg_len, |b, _| {
             b.iter(|| cascade.decompress(black_box(&compressed)).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("algorithm2_plan", seg_len), &seg_len, |b, _| {
-            b.iter(|| decompress_via_plan(&cascade, black_box(&compressed)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_plan", seg_len),
+            &seg_len,
+            |b, _| b.iter(|| decompress_via_plan(&cascade, black_box(&compressed)).unwrap()),
+        );
     }
     group.finish();
 }

@@ -15,7 +15,11 @@ fn bench_decompress(c: &mut Criterion) {
         for expr in ["for(l=128)[offsets=ns]", "pfor(l=128,keep=990)"] {
             let scheme = parse_scheme(expr).unwrap();
             let compressed = scheme.compress(&col).unwrap();
-            let label = if expr.starts_with("pfor") { "pfor" } else { "for" };
+            let label = if expr.starts_with("pfor") {
+                "pfor"
+            } else {
+                "for"
+            };
             group.bench_with_input(
                 BenchmarkId::new(label, format!("{fraction_pct}pct")),
                 &fraction_pct,

@@ -14,7 +14,11 @@ fn bench_decompress(c: &mut Criterion) {
         for expr in ["for(l=128)[offsets=ns]", "linear(l=128)[residuals=ns]"] {
             let scheme = parse_scheme(expr).unwrap();
             let compressed = scheme.compress(&col).unwrap();
-            let label = if expr.starts_with("linear") { "linear" } else { "for" };
+            let label = if expr.starts_with("linear") {
+                "linear"
+            } else {
+                "for"
+            };
             group.bench_with_input(
                 BenchmarkId::new(label, format!("slope{slope}")),
                 &slope,

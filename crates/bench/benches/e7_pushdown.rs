@@ -13,7 +13,10 @@ fn build_table() -> Table {
     let schema = TableSchema::new(&[("shipdate", DType::U64), ("price", DType::U64)]);
     Table::build(
         schema,
-        &[ColumnData::U64(t.shipdate), ColumnData::U64(t.extendedprice)],
+        &[
+            ColumnData::U64(t.shipdate),
+            ColumnData::U64(t.extendedprice),
+        ],
         &[CompressionPolicy::Auto, CompressionPolicy::Auto],
         8192,
     )
@@ -27,7 +30,10 @@ fn bench_query(c: &mut Criterion) {
     for days in [4u64, 40, 400] {
         let q = Query::new(
             "shipdate",
-            Predicate::Range { lo: d0 as i128, hi: (d0 + days - 1) as i128 },
+            Predicate::Range {
+                lo: d0 as i128,
+                hi: (d0 + days - 1) as i128,
+            },
             "price",
         );
         // Answers must agree before we time anything.

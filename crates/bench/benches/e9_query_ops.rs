@@ -18,7 +18,9 @@ use lcdc_store::{
 use std::hint::black_box;
 
 fn runs_table(n: usize, mean_run: usize) -> Table {
-    let col = ColumnData::U64(lcdc_datagen::runs::runs_over_domain(n, mean_run, 1000, SEED));
+    let col = ColumnData::U64(lcdc_datagen::runs::runs_over_domain(
+        n, mean_run, 1000, SEED,
+    ));
     let schema = TableSchema::new(&[("v", DType::U64)]);
     Table::build(
         schema,
@@ -103,17 +105,21 @@ fn bench_materialization(c: &mut Criterion) {
     // Selectivity sweep: 0.1%, 1%, 10% of groups.
     for permille in [1u64, 10, 100] {
         let hi = (n_groups * permille / 1000).max(1) - 1;
-        let (sel, _) = select(&table, "f", &Predicate::Range { lo: 0, hi: hi as i128 }).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("late", permille),
-            &permille,
-            |b, _| b.iter(|| gather_late(black_box(&table), "p", black_box(&sel)).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("early", permille),
-            &permille,
-            |b, _| b.iter(|| gather_early(black_box(&table), "p", black_box(&sel)).unwrap()),
-        );
+        let (sel, _) = select(
+            &table,
+            "f",
+            &Predicate::Range {
+                lo: 0,
+                hi: hi as i128,
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("late", permille), &permille, |b, _| {
+            b.iter(|| gather_late(black_box(&table), "p", black_box(&sel)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("early", permille), &permille, |b, _| {
+            b.iter(|| gather_early(black_box(&table), "p", black_box(&sel)).unwrap())
+        });
     }
     group.finish();
 }

@@ -48,8 +48,12 @@ fn bench_kernels(c: &mut Criterion) {
     });
     group.bench_function("elementwise_add", |b| {
         b.iter(|| {
-            lcdc_colops::binary(lcdc_colops::BinOpKind::Add, black_box(&data), black_box(&small))
-                .unwrap()
+            lcdc_colops::binary(
+                lcdc_colops::BinOpKind::Add,
+                black_box(&data),
+                black_box(&small),
+            )
+            .unwrap()
         })
     });
     group.bench_function("constant_fill", |b| {

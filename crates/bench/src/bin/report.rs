@@ -47,7 +47,11 @@ fn header(title: &str) {
 fn e1_composition() {
     header("E1  Composition on shipped-order dates (1000 days × ~50 orders)");
     let col = dates_column(1000, 50);
-    println!("rows = {}, plain bytes = {}", col.len(), col.uncompressed_bytes());
+    println!(
+        "rows = {}, plain bytes = {}",
+        col.len(),
+        col.uncompressed_bytes()
+    );
     println!("{:<48} {:>12}", "scheme", "ratio");
     for expr in [
         "id",
@@ -79,7 +83,10 @@ fn e2_rle_rpe() {
         let rpe_scheme = parse_scheme("rpe[values=ns,positions=ns]").unwrap();
         let c_rle = rle_scheme.compress(&col).unwrap();
         let c_rpe = rpe_scheme.compress(&col).unwrap();
-        assert_eq!(rle_scheme.decompress(&c_rle).unwrap(), rpe_scheme.decompress(&c_rpe).unwrap());
+        assert_eq!(
+            rle_scheme.decompress(&c_rle).unwrap(),
+            rpe_scheme.decompress(&c_rpe).unwrap()
+        );
 
         // Plain-part forms for the plan path and random access; the plan
         // timings expose "Algorithm 1 minus its first operation" directly.
@@ -132,7 +139,10 @@ fn e3_for_step_ns() {
         let raw_plan = cascade.plan(&c_ns).unwrap();
         let (opt_plan, opt_stats) = lcdc_core::planopt::optimize(&raw_plan).unwrap();
         let parts = cascade.resolve_parts(&c_ns).unwrap();
-        assert_eq!(opt_plan.execute(&parts).unwrap(), raw_plan.execute(&parts).unwrap());
+        assert_eq!(
+            opt_plan.execute(&parts).unwrap(),
+            raw_plan.execute(&parts).unwrap()
+        );
         let opt = time_median(REPS, || opt_plan.execute(&parts).unwrap());
         println!(
             "{:>8} {:>9.1}x {:>12.3} {:>12.3} {:>12.3} {:>5}->{:<4}",
@@ -177,7 +187,10 @@ fn e4_patches() {
 fn e5_varwidth() {
     header("E5  Variable-width offsets: varwidth vs flat ns under width skew");
     let n = 1 << 20;
-    println!("{:>12} {:>10} {:>14}", "wide_tail_%", "ns_ratio", "varwidth_ratio");
+    println!(
+        "{:>12} {:>10} {:>14}",
+        "wide_tail_%", "ns_ratio", "varwidth_ratio"
+    );
     for wide_fraction in [0.0, 0.01, 0.05, 0.25, 1.0] {
         let col = skewed_width_column(n, wide_fraction);
         println!(
@@ -216,7 +229,9 @@ fn e6_linear() {
         let c = scheme.compress(&col).unwrap();
         assert_eq!(scheme.decompress(&c).unwrap(), col);
     }
-    println!("(FOR's offsets span the in-segment climb slope*l; linear/poly residuals only the noise)");
+    println!(
+        "(FOR's offsets span the in-segment climb slope*l; linear/poly residuals only the noise)"
+    );
 }
 
 /// E7 — selection pushdown vs decompress-then-filter across
@@ -236,7 +251,11 @@ fn e7_pushdown() {
             ColumnData::U64(t.quantity.clone()),
             ColumnData::U64(t.extendedprice.clone()),
         ],
-        &[CompressionPolicy::Auto, CompressionPolicy::Auto, CompressionPolicy::Auto],
+        &[
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+        ],
         16_384,
     )
     .unwrap();
@@ -255,7 +274,10 @@ fn e7_pushdown() {
     for days in [1u64, 20, 200, 1000, 2000] {
         let q = Query::new(
             "shipdate",
-            Predicate::Range { lo: d0 as i128, hi: (d0 + days - 1) as i128 },
+            Predicate::Range {
+                lo: d0 as i128,
+                hi: (d0 + days - 1) as i128,
+            },
             "price",
         );
         let naive = q.run_naive(&table).unwrap();
@@ -279,7 +301,10 @@ fn e7_pushdown() {
     // workers (store::par). Answers asserted equal.
     let q = Query::new(
         "shipdate",
-        Predicate::Range { lo: d0 as i128, hi: (d0 + 1998) as i128 },
+        Predicate::Range {
+            lo: d0 as i128,
+            hi: (d0 + 1998) as i128,
+        },
         "price",
     );
     let sequential = q.run_pushdown(&table).unwrap();
@@ -288,7 +313,9 @@ fn e7_pushdown() {
         assert_eq!(parallel.agg, sequential.agg);
     }
     let seq_t = time_median(5, || q.run_pushdown(&table).unwrap());
-    let par_t = time_median(5, || lcdc_store::run_pushdown_parallel(&q, &table, 4).unwrap());
+    let par_t = time_median(5, || {
+        lcdc_store::run_pushdown_parallel(&q, &table, 4).unwrap()
+    });
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "parallel scan (~100% selectivity, 4 workers on {cores} core(s)): {:.2} ms vs {:.2} ms sequential ({:.1}x)",
@@ -313,7 +340,9 @@ fn e8_fusion() {
     let naive_agg = time_median(REPS, || {
         lcdc_store::agg::aggregate_plain(&seg.decompress().unwrap(), None)
     });
-    let fused_agg = time_median(REPS, || lcdc_store::agg::aggregate_segment(&seg, None).unwrap());
+    let fused_agg = time_median(REPS, || {
+        lcdc_store::agg::aggregate_segment(&seg, None).unwrap()
+    });
     assert_eq!(
         lcdc_store::agg::aggregate_segment(&seg, None).unwrap(),
         lcdc_store::agg::aggregate_plain(&seg.decompress().unwrap(), None)
@@ -340,7 +369,10 @@ fn e8_fusion() {
     let col4 = outlier_column(1 << 18, 0.02);
     let p = PatchedFor::new(128, 990);
     let cp = p.compress(&col4).unwrap();
-    assert_eq!(decompress_via_plan(&p, &cp).unwrap(), p.decompress(&cp).unwrap());
+    assert_eq!(
+        decompress_via_plan(&p, &cp).unwrap(),
+        p.decompress(&cp).unwrap()
+    );
 }
 
 /// E9 — joins on the compressed form: run-granularity equi-join
@@ -393,7 +425,10 @@ fn e10_gradual() {
     .unwrap();
     let exact: i128 = lcdc_store::agg::aggregate_plain(&col, None).sum;
     println!("exact SUM = {exact}; {} segments", table.num_segments());
-    println!("{:>12} {:>18} {:>10}", "tolerance", "interval_width", "segments_read");
+    println!(
+        "{:>12} {:>18} {:>10}",
+        "tolerance", "interval_width", "segments_read"
+    );
     for tolerance in [f64::INFINITY, 4e-6, 2e-6, 1e-6, 0.0] {
         let mut g = lcdc_store::GradualAggregate::new(&table, "v").unwrap();
         let refined = if tolerance.is_finite() {
@@ -402,7 +437,10 @@ fn e10_gradual() {
             0
         };
         let interval = g.interval();
-        assert!(interval.contains_sum(exact), "certified interval must contain the truth");
+        assert!(
+            interval.contains_sum(exact),
+            "certified interval must contain the truth"
+        );
         let label = if tolerance.is_infinite() {
             "zone-map".to_string()
         } else {
@@ -418,9 +456,17 @@ fn e10_gradual() {
 fn e11_query_ops() {
     header("E11 Query operators: run-aware sort, pruned top-k, late materialisation");
     // Sort: comparisons over runs instead of rows.
-    println!("{:>10} {:>10} {:>12} {:>14} {:>9}", "mean_run", "runs", "naive_ms", "run_aware_ms", "speedup");
+    println!(
+        "{:>10} {:>10} {:>12} {:>14} {:>9}",
+        "mean_run", "runs", "naive_ms", "run_aware_ms", "speedup"
+    );
     for mean_run in [16usize, 128, 1024] {
-        let col = ColumnData::U64(lcdc_datagen::runs::runs_over_domain(1 << 20, mean_run, 1000, SEED));
+        let col = ColumnData::U64(lcdc_datagen::runs::runs_over_domain(
+            1 << 20,
+            mean_run,
+            1000,
+            SEED,
+        ));
         let schema = TableSchema::new(&[("v", lcdc_core::DType::U64)]);
         let table = Table::build(
             schema,
@@ -433,10 +479,16 @@ fn e11_query_ops() {
         let (fast, stats) = lcdc_store::sort_column_compressed(&table, "v").unwrap();
         assert_eq!(naive, fast, "sorts must agree");
         let naive_t = time_median(3, || lcdc_store::sort_column_naive(&table, "v").unwrap());
-        let fast_t = time_median(3, || lcdc_store::sort_column_compressed(&table, "v").unwrap());
+        let fast_t = time_median(3, || {
+            lcdc_store::sort_column_compressed(&table, "v").unwrap()
+        });
         println!(
             "{:>10} {:>10} {:>12.2} {:>14.2} {:>8.1}x",
-            mean_run, stats.runs_sorted, naive_t * 1e3, fast_t * 1e3, naive_t / fast_t
+            mean_run,
+            stats.runs_sorted,
+            naive_t * 1e3,
+            fast_t * 1e3,
+            naive_t / fast_t
         );
     }
 
@@ -456,7 +508,10 @@ fn e11_query_ops() {
         1 << 13,
     )
     .unwrap();
-    println!("\n{:>8} {:>14} {:>14} {:>12} {:>12} {:>9}", "k", "segs_pruned", "rows_touched", "naive_ms", "pruned_ms", "speedup");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>12} {:>12} {:>9}",
+        "k", "segs_pruned", "rows_touched", "naive_ms", "pruned_ms", "speedup"
+    );
     for k in [10usize, 100, 10_000] {
         let naive = lcdc_store::top_k_naive(&table, "v", k).unwrap();
         let (pruned, stats) = lcdc_store::top_k_pruned(&table, "v", k).unwrap();
@@ -491,15 +546,28 @@ fn e11_query_ops() {
     )
     .unwrap();
     let groups = n as u64 / 512;
-    println!("\n{:>12} {:>10} {:>11} {:>10} {:>9}", "selectivity", "sel_rows", "early_ms", "late_ms", "speedup");
+    println!(
+        "\n{:>12} {:>10} {:>11} {:>10} {:>9}",
+        "selectivity", "sel_rows", "early_ms", "late_ms", "speedup"
+    );
     for permille in [1u64, 10, 100] {
         let hi = (groups * permille / 1000).max(1) - 1;
-        let (sel, _) =
-            lcdc_store::select(&table, "f", &Predicate::Range { lo: 0, hi: hi as i128 }).unwrap();
+        let (sel, _) = lcdc_store::select(
+            &table,
+            "f",
+            &Predicate::Range {
+                lo: 0,
+                hi: hi as i128,
+            },
+        )
+        .unwrap();
         let early = lcdc_store::gather_early(&table, "p", &sel).unwrap();
         let (late, stats) = lcdc_store::gather_late(&table, "p", &sel).unwrap();
         assert_eq!(early, late, "materialisation paths must agree");
-        assert_eq!(stats.segments_decompressed, 0, "FOR payload has an access path");
+        assert_eq!(
+            stats.segments_decompressed, 0,
+            "FOR payload has an access path"
+        );
         let early_t = time_median(3, || lcdc_store::gather_early(&table, "p", &sel).unwrap());
         let late_t = time_median(3, || lcdc_store::gather_late(&table, "p", &sel).unwrap());
         println!(
@@ -514,12 +582,19 @@ fn e11_query_ops() {
     println!("(late answers each selected row off the compressed form; early decompresses all)");
 
     // DISTINCT and GROUP BY: answered from part columns.
-    let col = ColumnData::U64(lcdc_datagen::runs::runs_over_domain(1 << 20, 100, 200, SEED));
+    let col = ColumnData::U64(lcdc_datagen::runs::runs_over_domain(
+        1 << 20,
+        100,
+        200,
+        SEED,
+    ));
     let schema = TableSchema::new(&[("v", lcdc_core::DType::U64)]);
     let table = Table::build(
         schema,
         std::slice::from_ref(&col),
-        &[CompressionPolicy::Fixed("dict[codes=rle[values=ns,lengths=ns]]".into())],
+        &[CompressionPolicy::Fixed(
+            "dict[codes=rle[values=ns,lengths=ns]]".into(),
+        )],
         1 << 16,
     )
     .unwrap();
@@ -544,7 +619,8 @@ fn e11_query_ops() {
     )
     .unwrap();
     let values_col = ColumnData::U64(lcdc_datagen::uniform(1 << 20, 1000, SEED ^ 9));
-    let values = lcdc_store::Segment::build(&values_col, &CompressionPolicy::Fixed("ns".into())).unwrap();
+    let values =
+        lcdc_store::Segment::build(&values_col, &CompressionPolicy::Fixed("ns".into())).unwrap();
     let gn = lcdc_store::groupby::group_agg_naive(
         std::slice::from_ref(&keys),
         std::slice::from_ref(&values),
@@ -584,9 +660,18 @@ fn e11_query_ops() {
 fn a2_new_models() {
     header("A2  New models: vstep / dfor / sparse vs the schemes they generalise");
     // Adaptive step frames on uneven plateaus.
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "mean_len", "for_l64", "for_l512", "vstep_w4", "vstep+delta");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "mean_len", "for_l64", "for_l512", "vstep_w4", "vstep+delta"
+    );
     for mean_len in [48usize, 200, 1000] {
-        let col = ColumnData::U64(lcdc_datagen::uneven_plateaus(1 << 20, mean_len, 1 << 40, 12, SEED));
+        let col = ColumnData::U64(lcdc_datagen::uneven_plateaus(
+            1 << 20,
+            mean_len,
+            1 << 40,
+            12,
+            SEED,
+        ));
         println!(
             "{:>10} {:>11.1}x {:>11.1}x {:>11.1}x {:>11.1}x",
             mean_len,
@@ -599,13 +684,20 @@ fn a2_new_models() {
     println!("(fixed-l FOR straddles plateau boundaries; vstep frames end where the data jumps)");
 
     // Delta restart: ratio cost, access gain.
-    let col = ColumnData::U64(lcdc_datagen::steps::bounded_walk(1 << 20, 1 << 30, 48, SEED));
+    let col = ColumnData::U64(lcdc_datagen::steps::bounded_walk(
+        1 << 20,
+        1 << 30,
+        48,
+        SEED,
+    ));
     let delta = parse_scheme("delta[deltas=ns_zz]").unwrap();
     let dfor = parse_scheme("dfor(l=128)[deltas=ns_zz]").unwrap();
     let c_delta = delta.compress(&col).unwrap();
     let c_dfor = dfor.compress(&col).unwrap();
     let c_dfor_plain = parse_scheme("dfor(l=128)").unwrap().compress(&col).unwrap();
-    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 7919) % col.len() as u64).collect();
+    let probes: Vec<u64> = (0..1024u64)
+        .map(|i| (i * 7919) % col.len() as u64)
+        .collect();
     let dfor_access = time_median(REPS, || {
         let mut acc = 0u64;
         for &p in &probes {
@@ -676,11 +768,17 @@ fn a3_morphing() {
     let c_for = source.compress(&col).unwrap();
     let structural = time_median(REPS, || morph(&source, &c_for, &target).unwrap());
     let via_plain = time_median(REPS, || {
-        target.compress(&source.decompress(&c_for).unwrap()).unwrap()
+        target
+            .compress(&source.decompress(&c_for).unwrap())
+            .unwrap()
     });
     let (out, path) = morph(&source, &c_for, &target).unwrap();
     assert_eq!(path, MorphPath::Structural);
-    assert_eq!(out, target.compress(&col).unwrap(), "morph must be bit-exact");
+    assert_eq!(
+        out,
+        target.compress(&col).unwrap(),
+        "morph must be bit-exact"
+    );
     println!(
         "for->pfor: structural {:.3} ms vs via-plain {:.3} ms ({:.0}x); bit-exact",
         structural * 1e3,
@@ -724,16 +822,27 @@ fn ablations() {
     let auto = Table::build(
         schema.clone(),
         &columns,
-        &[CompressionPolicy::Auto, CompressionPolicy::Auto, CompressionPolicy::Auto],
+        &[
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+        ],
         16_384,
     )
     .unwrap();
     let mut best_global = ("none", usize::MAX);
-    for expr in ["ns", "for(l=128)[offsets=ns]", "rle[values=delta[deltas=ns_zz],lengths=ns]"] {
+    for expr in [
+        "ns",
+        "for(l=128)[offsets=ns]",
+        "rle[values=delta[deltas=ns_zz],lengths=ns]",
+    ] {
         let policy = CompressionPolicy::Fixed(expr.to_string());
-        if let Ok(table) =
-            Table::build(schema.clone(), &columns, &[policy.clone(), policy.clone(), policy], 16_384)
-        {
+        if let Ok(table) = Table::build(
+            schema.clone(),
+            &columns,
+            &[policy.clone(), policy.clone(), policy],
+            16_384,
+        ) {
             if table.compressed_bytes() < best_global.1 {
                 best_global = (expr, table.compressed_bytes());
             }

@@ -12,13 +12,23 @@ pub const SEED: u64 = 0x1CDE_2018;
 
 /// E1/E2/E8 workload: the §I shipped-orders date column.
 pub fn dates_column(days: usize, orders_per_day: usize) -> ColumnData {
-    ColumnData::U64(lcdc_datagen::shipped_order_dates(days, orders_per_day, 20_180_101, SEED))
+    ColumnData::U64(lcdc_datagen::shipped_order_dates(
+        days,
+        orders_per_day,
+        20_180_101,
+        SEED,
+    ))
 }
 
 /// E2 run-length sweep workload: runs over a small domain with a
 /// controlled mean run length.
 pub fn runs_column(n: usize, mean_run_len: usize) -> ColumnData {
-    ColumnData::U64(lcdc_datagen::runs::runs_over_domain(n, mean_run_len, 1000, SEED))
+    ColumnData::U64(lcdc_datagen::runs::runs_over_domain(
+        n,
+        mean_run_len,
+        1000,
+        SEED,
+    ))
 }
 
 /// E3 workload: locally-tight values (FOR's home turf).
@@ -52,7 +62,14 @@ pub fn skewed_width_column(n: usize, wide_fraction: f64) -> ColumnData {
 
 /// E6 workload: piecewise-linear trend with noise.
 pub fn trending_column(n: usize, slope: u64, noise: u64) -> ColumnData {
-    ColumnData::U64(lcdc_datagen::sawtooth_trend(n, 4096, slope, 1 << 20, noise, SEED))
+    ColumnData::U64(lcdc_datagen::sawtooth_trend(
+        n,
+        4096,
+        slope,
+        1 << 20,
+        noise,
+        SEED,
+    ))
 }
 
 /// E10 workload: a drifting random walk — per-segment ranges vary, so

@@ -37,7 +37,11 @@ impl BlockPacked {
             // fail.
             blocks.push(Packed::pack(chunk, w).expect("measured width must fit"));
         }
-        BlockPacked { widths, blocks, len: values.len() }
+        BlockPacked {
+            widths,
+            blocks,
+            len: values.len(),
+        }
     }
 
     /// Number of packed values.

@@ -50,8 +50,15 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::WidthOutOfRange(w) => write!(f, "bit width {w} outside 0..=64"),
-            Error::ValueTooWide { index, value, width } => {
-                write!(f, "value {value} at index {index} does not fit in {width} bits")
+            Error::ValueTooWide {
+                index,
+                value,
+                width,
+            } => {
+                write!(
+                    f,
+                    "value {value} at index {index} does not fit in {width} bits"
+                )
             }
             Error::Corrupt(msg) => write!(f, "corrupt packed buffer: {msg}"),
         }

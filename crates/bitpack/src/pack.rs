@@ -25,16 +25,32 @@ impl Packed {
         }
         if width == 0 {
             if let Some(index) = values.iter().position(|&v| v != 0) {
-                return Err(Error::ValueTooWide { index, value: values[index], width });
+                return Err(Error::ValueTooWide {
+                    index,
+                    value: values[index],
+                    width,
+                });
             }
-            return Ok(Packed { words: Vec::new(), width, len: values.len() });
+            return Ok(Packed {
+                words: Vec::new(),
+                width,
+                len: values.len(),
+            });
         }
         if width == 64 {
-            return Ok(Packed { words: values.to_vec(), width, len: values.len() });
+            return Ok(Packed {
+                words: values.to_vec(),
+                width,
+                len: values.len(),
+            });
         }
         let mask = (1u64 << width) - 1;
         if let Some(index) = values.iter().position(|&v| v & !mask != 0) {
-            return Err(Error::ValueTooWide { index, value: values[index], width });
+            return Err(Error::ValueTooWide {
+                index,
+                value: values[index],
+                width,
+            });
         }
         let total_bits = values.len() as u128 * width as u128;
         let n_words = total_bits.div_ceil(64) as usize;
@@ -49,7 +65,11 @@ impl Packed {
             }
             bit_pos += width as usize;
         }
-        Ok(Packed { words, width, len: values.len() })
+        Ok(Packed {
+            words,
+            width,
+            len: values.len(),
+        })
     }
 
     /// Reconstruct a `Packed` from raw parts (e.g. after deserialisation).
@@ -139,7 +159,10 @@ impl Packed {
 
     /// Iterate over the packed values without materialising them.
     pub fn iter(&self) -> PackedIter<'_> {
-        PackedIter { packed: self, idx: 0 }
+        PackedIter {
+            packed: self,
+            idx: 0,
+        }
     }
 }
 
@@ -202,7 +225,11 @@ mod tests {
         assert_eq!(p.unpack(), vec![0, 0, 0]);
         assert_eq!(
             Packed::pack(&[0, 1], 0),
-            Err(Error::ValueTooWide { index: 1, value: 1, width: 0 })
+            Err(Error::ValueTooWide {
+                index: 1,
+                value: 1,
+                width: 0
+            })
         );
     }
 
@@ -215,14 +242,22 @@ mod tests {
     fn too_wide_value_rejected() {
         assert_eq!(
             Packed::pack(&[7, 8], 3),
-            Err(Error::ValueTooWide { index: 1, value: 8, width: 3 })
+            Err(Error::ValueTooWide {
+                index: 1,
+                value: 8,
+                width: 3
+            })
         );
     }
 
     #[test]
     fn round_trip_every_width() {
         for width in 1..=64u32 {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let values: Vec<u64> = (0..200u64)
                 .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask)
                 .collect();

@@ -14,12 +14,18 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zeros bitmap of `len` bits.
     pub fn new_zeroed(len: usize) -> Self {
-        Bitmap { words: vec![0u64; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-ones bitmap of `len` bits.
     pub fn new_ones(len: usize) -> Self {
-        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         b.clear_tail();
         b
     }
@@ -114,8 +120,16 @@ impl Bitmap {
     /// Panics on length mismatch.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
-        Bitmap { words, len: self.len }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
     }
 
     /// Bitwise OR with another bitmap of the same length.
@@ -124,14 +138,24 @@ impl Bitmap {
     /// Panics on length mismatch.
     pub fn or(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
-        Bitmap { words, len: self.len }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
     }
 
     /// Bitwise NOT (within `len`).
     pub fn not(&self) -> Bitmap {
-        let mut b =
-            Bitmap { words: self.words.iter().map(|w| !w).collect(), len: self.len };
+        let mut b = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
         b.clear_tail();
         b
     }

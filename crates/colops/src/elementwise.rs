@@ -71,7 +71,10 @@ impl BinOpKind {
 /// Column ⊕ column, checked lengths.
 pub fn binary<T: Scalar>(op: BinOpKind, lhs: &[T], rhs: &[T]) -> Result<Vec<T>> {
     if lhs.len() != rhs.len() {
-        return Err(ColOpsError::LengthMismatch { left: lhs.len(), right: rhs.len() });
+        return Err(ColOpsError::LengthMismatch {
+            left: lhs.len(),
+            right: rhs.len(),
+        });
     }
     lhs.iter().zip(rhs).map(|(&a, &b)| op.apply(a, b)).collect()
 }
@@ -90,7 +93,10 @@ pub fn unary<T: Scalar, U: Scalar>(input: &[T], f: impl Fn(T) -> U) -> Vec<U> {
 /// of FOR decompression in the fused (non-interpreted) engine.
 pub fn add_into<T: Scalar>(lhs: &[T], rhs: &[T], out: &mut [T]) -> Result<()> {
     if lhs.len() != rhs.len() || lhs.len() != out.len() {
-        return Err(ColOpsError::LengthMismatch { left: lhs.len(), right: rhs.len() });
+        return Err(ColOpsError::LengthMismatch {
+            left: lhs.len(),
+            right: rhs.len(),
+        });
     }
     for ((o, &a), &b) in out.iter_mut().zip(lhs).zip(rhs) {
         *o = a.wadd(b);
@@ -104,7 +110,10 @@ mod tests {
 
     #[test]
     fn add_columns() {
-        assert_eq!(binary(BinOpKind::Add, &[1u32, 2], &[10, 20]).unwrap(), vec![11, 22]);
+        assert_eq!(
+            binary(BinOpKind::Add, &[1u32, 2], &[10, 20]).unwrap(),
+            vec![11, 22]
+        );
     }
 
     #[test]
@@ -119,13 +128,22 @@ mod tests {
     fn division_for_segment_indices() {
         // Algorithm 2 line 4: element ids ÷ segment length.
         let ids = [0u64, 1, 2, 3, 4, 5];
-        assert_eq!(binary_scalar(BinOpKind::Div, &ids, 2).unwrap(), vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(
+            binary_scalar(BinOpKind::Div, &ids, 2).unwrap(),
+            vec![0, 0, 1, 1, 2, 2]
+        );
     }
 
     #[test]
     fn division_by_zero_rejected() {
-        assert_eq!(binary_scalar(BinOpKind::Div, &[1u32], 0), Err(ColOpsError::DivisionByZero));
-        assert_eq!(binary(BinOpKind::Rem, &[1i64], &[0]), Err(ColOpsError::DivisionByZero));
+        assert_eq!(
+            binary_scalar(BinOpKind::Div, &[1u32], 0),
+            Err(ColOpsError::DivisionByZero)
+        );
+        assert_eq!(
+            binary(BinOpKind::Rem, &[1i64], &[0]),
+            Err(ColOpsError::DivisionByZero)
+        );
     }
 
     #[test]
@@ -138,17 +156,38 @@ mod tests {
 
     #[test]
     fn wrapping_semantics() {
-        assert_eq!(binary_scalar(BinOpKind::Add, &[u32::MAX], 1).unwrap(), vec![0]);
-        assert_eq!(binary_scalar(BinOpKind::Mul, &[1u64 << 63], 2).unwrap(), vec![0]);
+        assert_eq!(
+            binary_scalar(BinOpKind::Add, &[u32::MAX], 1).unwrap(),
+            vec![0]
+        );
+        assert_eq!(
+            binary_scalar(BinOpKind::Mul, &[1u64 << 63], 2).unwrap(),
+            vec![0]
+        );
     }
 
     #[test]
     fn min_max_and_bitwise() {
-        assert_eq!(binary(BinOpKind::Min, &[3u32, 9], &[5, 2]).unwrap(), vec![3, 2]);
-        assert_eq!(binary(BinOpKind::Max, &[3u32, 9], &[5, 2]).unwrap(), vec![5, 9]);
-        assert_eq!(binary_scalar(BinOpKind::And, &[0b1100u32], 0b1010).unwrap(), vec![0b1000]);
-        assert_eq!(binary_scalar(BinOpKind::Or, &[0b1100u32], 0b1010).unwrap(), vec![0b1110]);
-        assert_eq!(binary_scalar(BinOpKind::Xor, &[0b1100u32], 0b1010).unwrap(), vec![0b0110]);
+        assert_eq!(
+            binary(BinOpKind::Min, &[3u32, 9], &[5, 2]).unwrap(),
+            vec![3, 2]
+        );
+        assert_eq!(
+            binary(BinOpKind::Max, &[3u32, 9], &[5, 2]).unwrap(),
+            vec![5, 9]
+        );
+        assert_eq!(
+            binary_scalar(BinOpKind::And, &[0b1100u32], 0b1010).unwrap(),
+            vec![0b1000]
+        );
+        assert_eq!(
+            binary_scalar(BinOpKind::Or, &[0b1100u32], 0b1010).unwrap(),
+            vec![0b1110]
+        );
+        assert_eq!(
+            binary_scalar(BinOpKind::Xor, &[0b1100u32], 0b1010).unwrap(),
+            vec![0b0110]
+        );
     }
 
     #[test]

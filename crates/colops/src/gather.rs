@@ -18,7 +18,10 @@ pub fn gather<T: Scalar, I: IndexScalar>(values: &[T], indices: &[I]) -> Result<
         let v = values
             .get(idx)
             .copied()
-            .ok_or(ColOpsError::IndexOutOfBounds { index: idx, len: values.len() })?;
+            .ok_or(ColOpsError::IndexOutOfBounds {
+                index: idx,
+                len: values.len(),
+            })?;
         out.push(v);
     }
     Ok(out)
@@ -31,7 +34,10 @@ pub fn gather_usize<T: Scalar>(values: &[T], indices: &[usize]) -> Result<Vec<T>
         let v = values
             .get(idx)
             .copied()
-            .ok_or(ColOpsError::IndexOutOfBounds { index: idx, len: values.len() })?;
+            .ok_or(ColOpsError::IndexOutOfBounds {
+                index: idx,
+                len: values.len(),
+            })?;
         out.push(v);
     }
     Ok(out)

@@ -10,7 +10,9 @@ use crate::{ColOpsError, Result};
 ///
 /// Errors with [`ColOpsError::EmptyInput`] on an empty column.
 pub fn pop_back<T: Copy>(input: &[T]) -> Result<(Vec<T>, T)> {
-    let (&last, rest) = input.split_last().ok_or(ColOpsError::EmptyInput("PopBack"))?;
+    let (&last, rest) = input
+        .split_last()
+        .ok_or(ColOpsError::EmptyInput("PopBack"))?;
     Ok((rest.to_vec(), last))
 }
 
@@ -34,6 +36,9 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(pop_back::<u32>(&[]), Err(ColOpsError::EmptyInput("PopBack")));
+        assert_eq!(
+            pop_back::<u32>(&[]),
+            Err(ColOpsError::EmptyInput("PopBack"))
+        );
     }
 }

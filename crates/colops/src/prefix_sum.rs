@@ -179,6 +179,9 @@ mod tests {
 
     #[test]
     fn segmented_empty() {
-        assert_eq!(prefix_sum_segmented::<u64>(&[], 4).unwrap(), Vec::<u64>::new());
+        assert_eq!(
+            prefix_sum_segmented::<u64>(&[], 4).unwrap(),
+            Vec::<u64>::new()
+        );
     }
 }

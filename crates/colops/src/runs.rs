@@ -43,7 +43,10 @@ pub fn runs_encode<T: Scalar>(col: &[T]) -> (Vec<T>, Vec<u64>) {
 /// disagree in length.
 pub fn runs_expand<T: Scalar>(values: &[T], lengths: &[u64]) -> Result<Vec<T>> {
     if values.len() != lengths.len() {
-        return Err(ColOpsError::LengthMismatch { left: values.len(), right: lengths.len() });
+        return Err(ColOpsError::LengthMismatch {
+            left: values.len(),
+            right: lengths.len(),
+        });
     }
     let total: u64 = lengths.iter().sum();
     let mut out = Vec::with_capacity(total as usize);

@@ -33,13 +33,17 @@ pub fn scatter_into<T: Scalar, I: IndexScalar>(
     out: &mut [T],
 ) -> Result<()> {
     if src.len() != positions.len() {
-        return Err(ColOpsError::LengthMismatch { left: src.len(), right: positions.len() });
+        return Err(ColOpsError::LengthMismatch {
+            left: src.len(),
+            right: positions.len(),
+        });
     }
     for (&v, &raw) in src.iter().zip(positions) {
         let idx = raw.to_index().ok_or(ColOpsError::BadIndexValue)?;
-        let slot = out
-            .get_mut(idx)
-            .ok_or(ColOpsError::IndexOutOfBounds { index: idx, len: positions.len() })?;
+        let slot = out.get_mut(idx).ok_or(ColOpsError::IndexOutOfBounds {
+            index: idx,
+            len: positions.len(),
+        })?;
         *slot = v;
     }
     Ok(())
@@ -53,13 +57,17 @@ pub fn scatter_add_into<T: Scalar, I: IndexScalar>(
     out: &mut [T],
 ) -> Result<()> {
     if src.len() != positions.len() {
-        return Err(ColOpsError::LengthMismatch { left: src.len(), right: positions.len() });
+        return Err(ColOpsError::LengthMismatch {
+            left: src.len(),
+            right: positions.len(),
+        });
     }
     for (&v, &raw) in src.iter().zip(positions) {
         let idx = raw.to_index().ok_or(ColOpsError::BadIndexValue)?;
-        let slot = out
-            .get_mut(idx)
-            .ok_or(ColOpsError::IndexOutOfBounds { index: idx, len: positions.len() })?;
+        let slot = out.get_mut(idx).ok_or(ColOpsError::IndexOutOfBounds {
+            index: idx,
+            len: positions.len(),
+        })?;
         *slot = slot.wadd(v);
     }
     Ok(())

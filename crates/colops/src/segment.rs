@@ -22,7 +22,9 @@ pub fn segment_reduce<T: Scalar>(
     f: impl Fn(T, T) -> T,
 ) -> Result<Vec<T>> {
     if seg_len == 0 {
-        return Err(ColOpsError::EmptyInput("segment_reduce: zero segment length"));
+        return Err(ColOpsError::EmptyInput(
+            "segment_reduce: zero segment length",
+        ));
     }
     Ok(col
         .chunks(seg_len)
@@ -40,11 +42,16 @@ pub fn segment_reduce<T: Scalar>(
 /// the fused form of Alg. 2's `Gather(refs, id ÷ ℓ)` step.
 pub fn replicate_segments<T: Scalar>(refs: &[T], seg_len: usize, n: usize) -> Result<Vec<T>> {
     if seg_len == 0 {
-        return Err(ColOpsError::EmptyInput("replicate_segments: zero segment length"));
+        return Err(ColOpsError::EmptyInput(
+            "replicate_segments: zero segment length",
+        ));
     }
     let needed = n.div_ceil(seg_len);
     if refs.len() < needed {
-        return Err(ColOpsError::IndexOutOfBounds { index: needed - 1, len: refs.len() });
+        return Err(ColOpsError::IndexOutOfBounds {
+            index: needed - 1,
+            len: refs.len(),
+        });
     }
     let mut out = Vec::with_capacity(n);
     let mut remaining = n;
@@ -99,13 +106,19 @@ mod tests {
     #[test]
     fn empty_column() {
         assert_eq!(segment_min::<u32>(&[], 4).unwrap(), Vec::<u32>::new());
-        assert_eq!(replicate_segments::<u32>(&[], 4, 0).unwrap(), Vec::<u32>::new());
+        assert_eq!(
+            replicate_segments::<u32>(&[], 4, 0).unwrap(),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]
     fn replicate_round_trips_with_min() {
         let refs = [10u32, 20];
-        assert_eq!(replicate_segments(&refs, 3, 5).unwrap(), vec![10, 10, 10, 20, 20]);
+        assert_eq!(
+            replicate_segments(&refs, 3, 5).unwrap(),
+            vec![10, 10, 10, 20, 20]
+        );
     }
 
     #[test]

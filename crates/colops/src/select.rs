@@ -10,7 +10,10 @@ use crate::{ColOpsError, Result};
 /// lengths differ.
 pub fn filter_by_bitmap<T: Scalar>(col: &[T], mask: &Bitmap) -> Result<Vec<T>> {
     if col.len() != mask.len() {
-        return Err(ColOpsError::LengthMismatch { left: col.len(), right: mask.len() });
+        return Err(ColOpsError::LengthMismatch {
+            left: col.len(),
+            right: mask.len(),
+        });
     }
     Ok(mask.iter_ones().map(|i| col[i]).collect())
 }

@@ -34,14 +34,19 @@ use crate::schemes;
 /// Out-of-range positions are an error, matching the columnar kernels.
 pub fn value_at(c: &Compressed, pos: usize) -> Result<Option<u64>> {
     if pos >= c.n {
-        return Err(CoreError::ColOps(lcdc_colops::ColOpsError::IndexOutOfBounds {
-            index: pos,
-            len: c.n,
-        }));
+        return Err(CoreError::ColOps(
+            lcdc_colops::ColOpsError::IndexOutOfBounds {
+                index: pos,
+                len: c.n,
+            },
+        ));
     }
     // Cascaded forms carry nested payloads; answering a point lookup
     // would mean decompressing the nested part — not a sub-linear path.
-    if c.parts.iter().any(|p| matches!(p.data, PartData::Nested(_))) {
+    if c.parts
+        .iter()
+        .any(|p| matches!(p.data, PartData::Nested(_)))
+    {
         return Ok(None);
     }
     let base = base_name(&c.scheme_id);
@@ -61,7 +66,11 @@ pub fn value_at(c: &Compressed, pos: usize) -> Result<Option<u64>> {
         "varwidth" | "varwidth_zz" => {
             let blocks = match &c.part(schemes::varwidth::ROLE_BLOCKS)?.data {
                 PartData::Blocks(b) => b,
-                _ => return Err(CoreError::CorruptParts("blocks part must be block-packed".into())),
+                _ => {
+                    return Err(CoreError::CorruptParts(
+                        "blocks part must be block-packed".into(),
+                    ))
+                }
             };
             let raw = blocks.get(pos);
             Ok(raw.map(|v| {
@@ -79,7 +88,9 @@ pub fn value_at(c: &Compressed, pos: usize) -> Result<Option<u64>> {
             };
             match c.plain_part(schemes::dict::ROLE_DICT)?.get_transport(code) {
                 Some(v) => Ok(Some(v)),
-                None => Err(CoreError::CorruptParts(format!("code {code} past dictionary"))),
+                None => Err(CoreError::CorruptParts(format!(
+                    "code {code} past dictionary"
+                ))),
             }
         }
         "rpe" => Ok(Some(schemes::rpe::value_at(c, pos as u64)?)),
@@ -169,10 +180,7 @@ pub fn value_at(c: &Compressed, pos: usize) -> Result<Option<u64>> {
 }
 
 fn base_name(scheme_id: &str) -> &str {
-    scheme_id
-        .split(['(', '['])
-        .next()
-        .unwrap_or(scheme_id)
+    scheme_id.split(['(', '[']).next().unwrap_or(scheme_id)
 }
 
 fn plain_get(c: &Compressed, role: &'static str, idx: usize) -> Option<u64> {
@@ -205,11 +213,7 @@ mod tests {
             match value_at(&c, pos).unwrap_or_else(|e| panic!("{expr} at {pos}: {e}")) {
                 Some(v) => {
                     any = true;
-                    assert_eq!(
-                        Some(v),
-                        col.get_transport(pos),
-                        "{expr} at {pos}"
-                    );
+                    assert_eq!(Some(v), col.get_transport(pos), "{expr} at {pos}");
                 }
                 None => assert!(!expect_path, "{expr} should have an access path"),
             }
@@ -226,7 +230,16 @@ mod tests {
     #[test]
     fn constant_time_schemes() {
         let col = workload();
-        for expr in ["id", "ns", "varwidth", "dict", "step(l=1)", "for(l=16)", "linear(l=16)", "poly2(l=16)"] {
+        for expr in [
+            "id",
+            "ns",
+            "varwidth",
+            "dict",
+            "step(l=1)",
+            "for(l=16)",
+            "linear(l=16)",
+            "poly2(l=16)",
+        ] {
             check_access(expr, &col, true);
         }
     }
@@ -234,7 +247,14 @@ mod tests {
     #[test]
     fn signed_access() {
         let col = ColumnData::I64(vec![-5, -5, 9, i64::MIN, i64::MAX]);
-        for expr in ["id", "ns_zz", "varwidth_zz", "dict", "for(l=2)", "pstep(l=2)"] {
+        for expr in [
+            "id",
+            "ns_zz",
+            "varwidth_zz",
+            "dict",
+            "for(l=2)",
+            "pstep(l=2)",
+        ] {
             check_access(expr, &col, true);
         }
     }

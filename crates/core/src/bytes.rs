@@ -49,7 +49,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Compressed> {
     }
     let version = r.u16()?;
     if version != VERSION {
-        return Err(CoreError::CorruptParts(format!("unsupported version {version}")));
+        return Err(CoreError::CorruptParts(format!(
+            "unsupported version {version}"
+        )));
     }
     let c = read_compressed(&mut r)?;
     if r.pos != bytes.len() {
@@ -134,21 +136,52 @@ fn read_compressed(r: &mut Reader<'_>) -> Result<Compressed> {
             }
             KIND_NESTED => PartData::Nested(Box::new(read_compressed(r)?)),
             other => {
-                return Err(CoreError::CorruptParts(format!("unknown part kind {other}")))
+                return Err(CoreError::CorruptParts(format!(
+                    "unknown part kind {other}"
+                )))
             }
         };
         parts.push(Part { role, data });
     }
-    Ok(Compressed { scheme_id, n, dtype, params, parts })
+    Ok(Compressed {
+        scheme_id,
+        n,
+        dtype,
+        params,
+        parts,
+    })
 }
 
 /// Roles and parameter keys are `&'static str` in the in-memory form;
 /// map deserialised strings back onto the crate's known set.
 fn intern_key(s: &str) -> Result<&'static str> {
     const KNOWN: &[&str] = &[
-        "values", "lengths", "positions", "deltas", "packed", "blocks", "dict", "codes",
-        "refs", "offsets", "exc_positions", "exc_offsets", "exc_values", "bases", "slopes",
-        "residuals", "c0", "c1", "c2", "l", "keep", "width", "zigzag", "first", "value", "w",
+        "values",
+        "lengths",
+        "positions",
+        "deltas",
+        "packed",
+        "blocks",
+        "dict",
+        "codes",
+        "refs",
+        "offsets",
+        "exc_positions",
+        "exc_offsets",
+        "exc_values",
+        "bases",
+        "slopes",
+        "residuals",
+        "c0",
+        "c1",
+        "c2",
+        "l",
+        "keep",
+        "width",
+        "zigzag",
+        "first",
+        "value",
+        "w",
     ];
     KNOWN
         .iter()
@@ -172,7 +205,11 @@ fn dtype_from_tag(tag: u8) -> Result<DType> {
         1 => DType::U64,
         2 => DType::I32,
         3 => DType::I64,
-        other => return Err(CoreError::CorruptParts(format!("unknown dtype tag {other}"))),
+        other => {
+            return Err(CoreError::CorruptParts(format!(
+                "unknown dtype tag {other}"
+            )))
+        }
     })
 }
 
@@ -180,10 +217,18 @@ fn write_column(out: &mut Vec<u8>, col: &ColumnData) {
     out.push(dtype_tag(col.dtype()));
     write_u64(out, col.len() as u64);
     match col {
-        ColumnData::U32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-        ColumnData::U64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-        ColumnData::I32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-        ColumnData::I64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::U32(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::U64(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::I32(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::I64(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
     }
 }
 
@@ -194,19 +239,21 @@ fn read_column(r: &mut Reader<'_>) -> Result<ColumnData> {
         DType::U32 => {
             let raw = r.take(len.checked_mul(4).ok_or_else(len_overflow)?)?;
             ColumnData::U32(
-                raw.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().expect("4"))).collect(),
+                raw.chunks_exact(4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4")))
+                    .collect(),
             )
         }
         DType::U64 => ColumnData::U64(r.words(len)?),
         DType::I32 => {
             let raw = r.take(len.checked_mul(4).ok_or_else(len_overflow)?)?;
             ColumnData::I32(
-                raw.chunks_exact(4).map(|b| i32::from_le_bytes(b.try_into().expect("4"))).collect(),
+                raw.chunks_exact(4)
+                    .map(|b| i32::from_le_bytes(b.try_into().expect("4")))
+                    .collect(),
             )
         }
-        DType::I64 => {
-            ColumnData::I64(r.words(len)?.into_iter().map(|w| w as i64).collect())
-        }
+        DType::I64 => ColumnData::I64(r.words(len)?.into_iter().map(|w| w as i64).collect()),
     })
 }
 
@@ -255,16 +302,23 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn words(&mut self, n: usize) -> Result<Vec<u64>> {
         let raw = self.take(n.checked_mul(8).ok_or_else(len_overflow)?)?;
-        Ok(raw.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().expect("8"))).collect())
+        Ok(raw
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8")))
+            .collect())
     }
 
     fn string(&mut self) -> Result<String> {
@@ -342,7 +396,10 @@ mod tests {
     #[test]
     fn rejects_truncation_everywhere() {
         let col = ColumnData::U64((0..100u64).collect());
-        let c = parse_scheme("rle[values=ns,lengths=ns]").unwrap().compress(&col).unwrap();
+        let c = parse_scheme("rle[values=ns,lengths=ns]")
+            .unwrap()
+            .compress(&col)
+            .unwrap();
         let bytes = to_bytes(&c);
         // Any prefix must fail cleanly, never panic.
         for cut in 0..bytes.len() {

@@ -133,11 +133,19 @@ pub fn estimate_expr(expr: &SchemeExpr, stats: &ColumnStats) -> Option<usize> {
         }
         "rle" => {
             // values + lengths, both roughly narrow if cascaded.
-            let per_run = if expr.subs.is_empty() { stats.dtype.bytes() + 8 } else { 8 };
+            let per_run = if expr.subs.is_empty() {
+                stats.dtype.bytes() + 8
+            } else {
+                8
+            };
             Some(stats.runs * per_run + 16)
         }
         "rpe" => {
-            let per_run = if expr.subs.is_empty() { stats.dtype.bytes() + 8 } else { 10 };
+            let per_run = if expr.subs.is_empty() {
+                stats.dtype.bytes() + 8
+            } else {
+                10
+            };
             Some(stats.runs * per_run + 16)
         }
         "dict" => {
@@ -145,12 +153,20 @@ pub fn estimate_expr(expr: &SchemeExpr, stats: &ColumnStats) -> Option<usize> {
             Some(stats.distinct * stats.dtype.bytes() + packed_bytes(stats.n, code_width) + 16)
         }
         "for" => {
-            let l = expr.params.iter().find(|(k, _)| k == "l").map(|&(_, v)| v as usize)?;
+            let l = expr
+                .params
+                .iter()
+                .find(|(k, _)| k == "l")
+                .map(|&(_, v)| v as usize)?;
             let refs = stats.n.div_ceil(l.max(1)) * stats.dtype.bytes();
             Some(refs + packed_bytes(stats.n, stats.for_offset_width) + 16)
         }
         "pfor" => {
-            let l = expr.params.iter().find(|(k, _)| k == "l").map(|&(_, v)| v as usize)?;
+            let l = expr
+                .params
+                .iter()
+                .find(|(k, _)| k == "l")
+                .map(|&(_, v)| v as usize)?;
             let refs = stats.n.div_ceil(l.max(1)) * stats.dtype.bytes();
             let exceptions = (stats.exception_rate * stats.n as f64) as usize * 16;
             Some(refs + packed_bytes(stats.n, stats.for_offset_width_p99) + exceptions + 24)
@@ -187,7 +203,9 @@ mod tests {
     fn picks_dict_for_few_heavy_values() {
         // 4 distinct huge values, randomly ordered (no runs, no locality).
         let col = ColumnData::U64(
-            (0..10_000u64).map(|i| ((i * 2654435761) % 4) * (1 << 50)).collect(),
+            (0..10_000u64)
+                .map(|i| ((i * 2654435761) % 4) * (1 << 50))
+                .collect(),
         );
         let choice = choose_best(&col).unwrap();
         assert_eq!(choice.expr, "dict[codes=ns]");
@@ -196,7 +214,9 @@ mod tests {
     #[test]
     fn picks_for_family_on_locally_tight_data() {
         let col = ColumnData::U64(
-            (0..4096u64).map(|i| (i / 128) * 1_000_000_000 + (i * 7919) % 17).collect(),
+            (0..4096u64)
+                .map(|i| (i / 128) * 1_000_000_000 + (i * 7919) % 17)
+                .collect(),
         );
         let choice = choose_best(&col).unwrap();
         assert!(

@@ -212,7 +212,9 @@ impl ColumnData {
 
     /// Whole column as exact numeric values.
     pub fn to_numeric(&self) -> Vec<i128> {
-        (0..self.len()).map(|i| self.get_numeric(i).expect("in range")).collect()
+        (0..self.len())
+            .map(|i| self.get_numeric(i).expect("in range"))
+            .collect()
     }
 
     /// Check that a numeric value fits the column's element type.
@@ -273,7 +275,10 @@ mod tests {
 
     #[test]
     fn numeric_min_max() {
-        assert_eq!(ColumnData::I64(vec![3, -7, 5]).min_max_numeric(), Some((-7, 5)));
+        assert_eq!(
+            ColumnData::I64(vec![3, -7, 5]).min_max_numeric(),
+            Some((-7, 5))
+        );
         assert_eq!(
             ColumnData::U64(vec![u64::MAX, 1]).min_max_numeric(),
             Some((1, u64::MAX as i128))

@@ -27,10 +27,7 @@ impl Cascade {
     ///
     /// Roles not present in the outer scheme's output surface as
     /// [`CoreError::MissingPart`] at compression time.
-    pub fn new<R: Into<String>>(
-        outer: Box<dyn Scheme>,
-        inner: Vec<(R, Box<dyn Scheme>)>,
-    ) -> Self {
+    pub fn new<R: Into<String>>(outer: Box<dyn Scheme>, inner: Vec<(R, Box<dyn Scheme>)>) -> Self {
         Cascade {
             outer,
             inner: inner.into_iter().map(|(r, s)| (r.into(), s)).collect(),
@@ -93,10 +90,12 @@ impl Scheme for Cascade {
                 .parts
                 .iter_mut()
                 .find(|p| p.role == role.as_str())
-                .ok_or_else(|| CoreError::CorruptParts(format!(
-                    "scheme {} produced no part named {role:?}",
-                    self.outer.name()
-                )))?;
+                .ok_or_else(|| {
+                    CoreError::CorruptParts(format!(
+                        "scheme {} produced no part named {role:?}",
+                        self.outer.name()
+                    ))
+                })?;
             let plain = match &part.data {
                 PartData::Plain(col) => col,
                 _ => {
@@ -204,7 +203,10 @@ mod tests {
 
     #[test]
     fn cascade_name_is_expression() {
-        let scheme = Cascade::new(Box::new(Rle), vec![("values", Box::new(Delta) as Box<dyn Scheme>)]);
+        let scheme = Cascade::new(
+            Box::new(Rle),
+            vec![("values", Box::new(Delta) as Box<dyn Scheme>)],
+        );
         assert_eq!(scheme.name(), "rle[values=delta]");
     }
 
@@ -220,7 +222,10 @@ mod tests {
 
     #[test]
     fn unknown_role_rejected() {
-        let scheme = Cascade::new(Box::new(Rle), vec![("nope", Box::new(Delta) as Box<dyn Scheme>)]);
+        let scheme = Cascade::new(
+            Box::new(Rle),
+            vec![("nope", Box::new(Delta) as Box<dyn Scheme>)],
+        );
         assert!(matches!(
             scheme.compress(&dates()),
             Err(CoreError::CorruptParts(_))
@@ -229,10 +234,19 @@ mod tests {
 
     #[test]
     fn wrong_scheme_rejected() {
-        let a = Cascade::new(Box::new(Rle), vec![("values", Box::new(Delta) as Box<dyn Scheme>)]);
-        let b = Cascade::new(Box::new(Rpe), vec![("values", Box::new(Delta) as Box<dyn Scheme>)]);
+        let a = Cascade::new(
+            Box::new(Rle),
+            vec![("values", Box::new(Delta) as Box<dyn Scheme>)],
+        );
+        let b = Cascade::new(
+            Box::new(Rpe),
+            vec![("values", Box::new(Delta) as Box<dyn Scheme>)],
+        );
         let c = a.compress(&dates()).unwrap();
-        assert!(matches!(b.decompress(&c), Err(CoreError::SchemeMismatch { .. })));
+        assert!(matches!(
+            b.decompress(&c),
+            Err(CoreError::SchemeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -275,9 +289,18 @@ mod tests {
         let col = dates();
         let composite_bytes = composite.compress(&col).unwrap().compressed_bytes();
         let rle_bytes = Rle.compress(&col).unwrap().compressed_bytes();
-        let delta_ns = Cascade::new(Box::new(Delta), vec![("deltas", Box::new(Ns::zz()) as Box<dyn Scheme>)]);
+        let delta_ns = Cascade::new(
+            Box::new(Delta),
+            vec![("deltas", Box::new(Ns::zz()) as Box<dyn Scheme>)],
+        );
         let delta_bytes = delta_ns.compress(&col).unwrap().compressed_bytes();
-        assert!(composite_bytes * 4 < rle_bytes, "{composite_bytes} vs rle {rle_bytes}");
-        assert!(composite_bytes * 4 < delta_bytes, "{composite_bytes} vs delta {delta_bytes}");
+        assert!(
+            composite_bytes * 4 < rle_bytes,
+            "{composite_bytes} vs rle {rle_bytes}"
+        );
+        assert!(
+            composite_bytes * 4 < delta_bytes,
+            "{composite_bytes} vs delta {delta_bytes}"
+        );
     }
 }

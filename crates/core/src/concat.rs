@@ -61,7 +61,11 @@ pub fn concat(
 
 fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
     // Cascaded forms carry nested payloads; take the generic route.
-    let nested = |c: &Compressed| c.parts.iter().any(|p| matches!(p.data, PartData::Nested(_)));
+    let nested = |c: &Compressed| {
+        c.parts
+            .iter()
+            .any(|p| matches!(p.data, PartData::Nested(_)))
+    };
     if nested(a) || nested(b) {
         return Ok(None);
     }
@@ -70,11 +74,18 @@ fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
     };
     match expr.name.as_str() {
         "id" => {
-            let values = concat_plain(a.plain_part(id::ROLE_VALUES)?, b.plain_part(id::ROLE_VALUES)?);
-            Ok(Some(rebuild(a, b, vec![Part {
-                role: id::ROLE_VALUES,
-                data: PartData::Plain(values),
-            }])))
+            let values = concat_plain(
+                a.plain_part(id::ROLE_VALUES)?,
+                b.plain_part(id::ROLE_VALUES)?,
+            );
+            Ok(Some(rebuild(
+                a,
+                b,
+                vec![Part {
+                    role: id::ROLE_VALUES,
+                    data: PartData::Plain(values),
+                }],
+            )))
         }
         "rle" => {
             let mut values = a.plain_part(rle::ROLE_VALUES)?.to_transport();
@@ -90,16 +101,20 @@ fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
                 values.extend(&b_values);
                 lengths.extend(b_lengths);
             }
-            Ok(Some(rebuild(a, b, vec![
-                Part {
-                    role: rle::ROLE_VALUES,
-                    data: PartData::Plain(ColumnData::from_transport(a.dtype, values)),
-                },
-                Part {
-                    role: rle::ROLE_LENGTHS,
-                    data: PartData::Plain(ColumnData::U64(lengths)),
-                },
-            ])))
+            Ok(Some(rebuild(
+                a,
+                b,
+                vec![
+                    Part {
+                        role: rle::ROLE_VALUES,
+                        data: PartData::Plain(ColumnData::from_transport(a.dtype, values)),
+                    },
+                    Part {
+                        role: rle::ROLE_LENGTHS,
+                        data: PartData::Plain(ColumnData::U64(lengths)),
+                    },
+                ],
+            )))
         }
         "rpe" => {
             let mut values = a.plain_part(rpe::ROLE_VALUES)?.to_transport();
@@ -113,7 +128,15 @@ fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
                 values.pop();
                 positions.pop();
             }
-            Ok(Some(rpe_finish(a, b, values, positions, b_values, b_positions, shift)))
+            Ok(Some(rpe_finish(
+                a,
+                b,
+                values,
+                positions,
+                b_values,
+                b_positions,
+                shift,
+            )))
         }
         "dict" => {
             let a_dict = a.plain_part(dict::ROLE_DICT)?.to_numeric();
@@ -122,7 +145,10 @@ fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
             let b_codes = plain_u64(b, dict::ROLE_CODES)?;
             // Merge the two sorted dictionaries; build remap tables.
             let mut merged: Vec<i128> = Vec::with_capacity(a_dict.len() + b_dict.len());
-            let (mut ra, mut rb) = (Vec::with_capacity(a_dict.len()), Vec::with_capacity(b_dict.len()));
+            let (mut ra, mut rb) = (
+                Vec::with_capacity(a_dict.len()),
+                Vec::with_capacity(b_dict.len()),
+            );
             let (mut i, mut j) = (0usize, 0usize);
             while i < a_dict.len() || j < b_dict.len() {
                 let next = match (a_dict.get(i), b_dict.get(j)) {
@@ -170,10 +196,20 @@ fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
             let mut codes = remap(a_codes, &ra)?;
             codes.extend(remap(b_codes, &rb)?);
             let merged_col = ColumnData::from_numeric(a.dtype, &merged)?;
-            Ok(Some(rebuild(a, b, vec![
-                Part { role: dict::ROLE_DICT, data: PartData::Plain(merged_col) },
-                Part { role: dict::ROLE_CODES, data: PartData::Plain(ColumnData::U64(codes)) },
-            ])))
+            Ok(Some(rebuild(
+                a,
+                b,
+                vec![
+                    Part {
+                        role: dict::ROLE_DICT,
+                        data: PartData::Plain(merged_col),
+                    },
+                    Part {
+                        role: dict::ROLE_CODES,
+                        data: PartData::Plain(ColumnData::U64(codes)),
+                    },
+                ],
+            )))
         }
         "ns" | "ns_zz" => {
             let zz_a = a.params.get("zigzag").unwrap_or(0);
@@ -187,10 +223,14 @@ fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
             let mut raw = pa.unpack();
             raw.extend(pb.unpack());
             let packed = Packed::pack(&raw, width)?;
-            let mut out = rebuild(a, b, vec![Part {
-                role: ns::ROLE_PACKED,
-                data: PartData::Bits(packed),
-            }]);
+            let mut out = rebuild(
+                a,
+                b,
+                vec![Part {
+                    role: ns::ROLE_PACKED,
+                    data: PartData::Bits(packed),
+                }],
+            );
             out.params.set("width", width as i64);
             Ok(Some(out))
         }
@@ -204,19 +244,33 @@ fn structural(a: &Compressed, b: &Compressed) -> Result<Option<Compressed>> {
                 return Ok(None); // different bases: recompress
             }
             let mut positions = plain_u64(a, sparse::ROLE_EXC_POSITIONS)?.clone();
-            positions.extend(plain_u64(b, sparse::ROLE_EXC_POSITIONS)?.iter().map(|&p| p + a.n as u64));
+            positions.extend(
+                plain_u64(b, sparse::ROLE_EXC_POSITIONS)?
+                    .iter()
+                    .map(|&p| p + a.n as u64),
+            );
             let values = concat_plain(
                 a.plain_part(sparse::ROLE_EXC_VALUES)?,
                 b.plain_part(sparse::ROLE_EXC_VALUES)?,
             );
-            Ok(Some(rebuild(a, b, vec![
-                Part { role: sparse::ROLE_VALUE, data: PartData::Plain(base_a.clone()) },
-                Part {
-                    role: sparse::ROLE_EXC_POSITIONS,
-                    data: PartData::Plain(ColumnData::U64(positions)),
-                },
-                Part { role: sparse::ROLE_EXC_VALUES, data: PartData::Plain(values) },
-            ])))
+            Ok(Some(rebuild(
+                a,
+                b,
+                vec![
+                    Part {
+                        role: sparse::ROLE_VALUE,
+                        data: PartData::Plain(base_a.clone()),
+                    },
+                    Part {
+                        role: sparse::ROLE_EXC_POSITIONS,
+                        data: PartData::Plain(ColumnData::U64(positions)),
+                    },
+                    Part {
+                        role: sparse::ROLE_EXC_VALUES,
+                        data: PartData::Plain(values),
+                    },
+                ],
+            )))
         }
         _ => Ok(None),
     }
@@ -234,16 +288,20 @@ fn rpe_finish(
 ) -> Compressed {
     values.extend(&b_values);
     positions.extend(b_positions.iter().map(|&p| p + shift));
-    rebuild(a, b, vec![
-        Part {
-            role: rpe::ROLE_VALUES,
-            data: PartData::Plain(ColumnData::from_transport(a.dtype, values)),
-        },
-        Part {
-            role: rpe::ROLE_POSITIONS,
-            data: PartData::Plain(ColumnData::U64(positions)),
-        },
-    ])
+    rebuild(
+        a,
+        b,
+        vec![
+            Part {
+                role: rpe::ROLE_VALUES,
+                data: PartData::Plain(ColumnData::from_transport(a.dtype, values)),
+            },
+            Part {
+                role: rpe::ROLE_POSITIONS,
+                data: PartData::Plain(ColumnData::U64(positions)),
+            },
+        ],
+    )
 }
 
 fn rebuild(a: &Compressed, b: &Compressed, parts: Vec<Part>) -> Compressed {
@@ -288,7 +346,11 @@ mod tests {
         let expect = ColumnData::from_transport(a_col.dtype(), expect);
         assert_eq!(scheme.decompress(&joined).unwrap(), expect, "{expr}");
         if bit_exact {
-            assert_eq!(joined, scheme.compress(&expect).unwrap(), "{expr} canonical");
+            assert_eq!(
+                joined,
+                scheme.compress(&expect).unwrap(),
+                "{expr} canonical"
+            );
         }
     }
 
@@ -323,8 +385,12 @@ mod tests {
         let b = ColumnData::U64(vec![1000, 2000]); // width 11
         check_structural("ns", &a, &b, true);
         let s = parse_scheme("ns").unwrap();
-        let (joined, _) =
-            concat(s.as_ref(), &s.compress(&a).unwrap(), &s.compress(&b).unwrap()).unwrap();
+        let (joined, _) = concat(
+            s.as_ref(),
+            &s.compress(&a).unwrap(),
+            &s.compress(&b).unwrap(),
+        )
+        .unwrap();
         assert_eq!(joined.params.get("width"), Some(11));
     }
 
@@ -358,8 +424,12 @@ mod tests {
         let a = ColumnData::U64(vec![1; 100]);
         let b = ColumnData::U64(vec![2; 100]);
         let s = parse_scheme("sparse").unwrap();
-        let (joined, path) =
-            concat(s.as_ref(), &s.compress(&a).unwrap(), &s.compress(&b).unwrap()).unwrap();
+        let (joined, path) = concat(
+            s.as_ref(),
+            &s.compress(&a).unwrap(),
+            &s.compress(&b).unwrap(),
+        )
+        .unwrap();
         assert_eq!(path, ConcatPath::ViaPlain);
         let mut expect = a.to_transport();
         expect.extend(b.to_transport());
@@ -375,8 +445,12 @@ mod tests {
         let b = ColumnData::U64((0..128u64).map(|i| 900 + i % 5).collect());
         for expr in ["for(l=64)", "rle[lengths=ns]", "dfor(l=32)", "vstep(w=4)"] {
             let s = parse_scheme(expr).unwrap();
-            let (joined, path) =
-                concat(s.as_ref(), &s.compress(&a).unwrap(), &s.compress(&b).unwrap()).unwrap();
+            let (joined, path) = concat(
+                s.as_ref(),
+                &s.compress(&a).unwrap(),
+                &s.compress(&b).unwrap(),
+            )
+            .unwrap();
             assert_eq!(path, ConcatPath::ViaPlain, "{expr}");
             let mut expect = a.to_transport();
             expect.extend(b.to_transport());

@@ -43,7 +43,10 @@ impl std::fmt::Display for CoreError {
             CoreError::Bits(e) => write!(f, "packing kernel: {e}"),
             CoreError::NotRepresentable(msg) => write!(f, "not representable: {msg}"),
             CoreError::SchemeMismatch { expected, found } => {
-                write!(f, "scheme mismatch: compressed with {found}, decompressing as {expected}")
+                write!(
+                    f,
+                    "scheme mismatch: compressed with {found}, decompressing as {expected}"
+                )
             }
             CoreError::MissingPart(role) => write!(f, "missing part column {role:?}"),
             CoreError::CorruptParts(msg) => write!(f, "corrupt compressed form: {msg}"),

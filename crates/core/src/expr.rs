@@ -26,8 +26,8 @@ use crate::compose::Cascade;
 use crate::error::{CoreError, Result};
 use crate::scheme::Scheme;
 use crate::schemes::{
-    Const, Delta, DeltaFor, Dict, For, Id, LinearFor, Ns, PatchedFor, PatchedStep, PolyFor,
-    Rle, Rpe, Sparse, StepFunction, VarStep, VarWidthNs,
+    Const, Delta, DeltaFor, Dict, For, Id, LinearFor, Ns, PatchedFor, PatchedStep, PolyFor, Rle,
+    Rpe, Sparse, StepFunction, VarStep, VarWidthNs,
 };
 use std::fmt;
 
@@ -46,7 +46,11 @@ pub struct SchemeExpr {
 impl SchemeExpr {
     /// A bare scheme with no parameters or subs.
     pub fn bare(name: &str) -> Self {
-        SchemeExpr { name: name.to_string(), params: Vec::new(), subs: Vec::new() }
+        SchemeExpr {
+            name: name.to_string(),
+            params: Vec::new(),
+            subs: Vec::new(),
+        }
     }
 
     fn param(&self, key: &str) -> Option<i64> {
@@ -82,9 +86,9 @@ impl SchemeExpr {
             }
             "dfor" => Box::new(DeltaFor::new(self.require_len()?)),
             "vstep" => {
-                let w = self.param("w").ok_or_else(|| {
-                    CoreError::Parse("scheme vstep requires w=...".into())
-                })?;
+                let w = self
+                    .param("w")
+                    .ok_or_else(|| CoreError::Parse("scheme vstep requires w=...".into()))?;
                 if !(1..=64).contains(&w) {
                     return Err(CoreError::Parse(format!("vstep w={w} outside 1..=64")));
                 }
@@ -103,9 +107,7 @@ impl SchemeExpr {
                 }
                 Box::new(PatchedFor::new(l, keep as u32))
             }
-            other => {
-                return Err(CoreError::Parse(format!("unknown scheme name {other:?}")))
-            }
+            other => return Err(CoreError::Parse(format!("unknown scheme name {other:?}"))),
         };
         if self.subs.is_empty() {
             return Ok(base);
@@ -122,7 +124,9 @@ impl SchemeExpr {
             .param("l")
             .ok_or_else(|| CoreError::Parse(format!("scheme {} requires l=...", self.name)))?;
         if l < 1 {
-            return Err(CoreError::Parse(format!("segment length l={l} must be >= 1")));
+            return Err(CoreError::Parse(format!(
+                "segment length l={l} must be >= 1"
+            )));
         }
         Ok(l as usize)
     }
@@ -132,13 +136,15 @@ impl fmt::Display for SchemeExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name)?;
         if !self.params.is_empty() {
-            let params: Vec<String> =
-                self.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let params: Vec<String> = self
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
             write!(f, "({})", params.join(","))?;
         }
         if !self.subs.is_empty() {
-            let subs: Vec<String> =
-                self.subs.iter().map(|(r, e)| format!("{r}={e}")).collect();
+            let subs: Vec<String> = self.subs.iter().map(|(r, e)| format!("{r}={e}")).collect();
             write!(f, "[{}]", subs.join(","))?;
         }
         Ok(())
@@ -152,7 +158,10 @@ pub fn parse_scheme(input: &str) -> Result<Box<dyn Scheme>> {
 
 /// Parse a scheme expression without instantiating it.
 pub fn parse_expr(input: &str) -> Result<SchemeExpr> {
-    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     let expr = parser.expr()?;
     parser.skip_ws();
     if parser.pos != parser.input.len() {
@@ -205,7 +214,9 @@ impl Parser<'_> {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(CoreError::Parse(format!("expected identifier at byte {start}")));
+            return Err(CoreError::Parse(format!(
+                "expected identifier at byte {start}"
+            )));
         }
         Ok(std::str::from_utf8(&self.input[start..self.pos])
             .expect("ascii subset")
@@ -242,7 +253,12 @@ impl Parser<'_> {
                         self.eat(b')')?;
                         break;
                     }
-                    _ => return Err(CoreError::Parse(format!("expected , or ) at byte {}", self.pos))),
+                    _ => {
+                        return Err(CoreError::Parse(format!(
+                            "expected , or ) at byte {}",
+                            self.pos
+                        )))
+                    }
                 }
             }
         }
@@ -259,7 +275,12 @@ impl Parser<'_> {
                         self.eat(b']')?;
                         break;
                     }
-                    _ => return Err(CoreError::Parse(format!("expected , or ] at byte {}", self.pos))),
+                    _ => {
+                        return Err(CoreError::Parse(format!(
+                            "expected , or ] at byte {}",
+                            self.pos
+                        )))
+                    }
                 }
             }
         }
@@ -358,7 +379,9 @@ mod tests {
             "vstep(w=6)[offsets=ns,refs=delta[deltas=ns_zz]]",
         ] {
             let scheme = parse_scheme(text).unwrap();
-            let c = scheme.compress(&col).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let c = scheme
+                .compress(&col)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
             assert_eq!(scheme.decompress(&c).unwrap(), col, "{text}");
         }
     }

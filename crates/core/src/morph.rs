@@ -79,14 +79,26 @@ fn structural_path(c: &Compressed, to_name: &str) -> Result<Option<Compressed>> 
     };
     // Structural paths apply only to bare (non-cascaded) source and
     // target forms: cascaded parts are nested payloads.
-    if !target.subs.is_empty() || c.parts.iter().any(|p| matches!(p.data, PartData::Nested(_))) {
+    if !target.subs.is_empty()
+        || c.parts
+            .iter()
+            .any(|p| matches!(p.data, PartData::Nested(_)))
+    {
         return Ok(None);
     }
     let Ok(source) = parse_expr(&c.scheme_id) else {
         return Ok(None);
     };
-    let src_l = source.params.iter().find(|(k, _)| k == "l").map(|&(_, v)| v);
-    let dst_l = target.params.iter().find(|(k, _)| k == "l").map(|&(_, v)| v);
+    let src_l = source
+        .params
+        .iter()
+        .find(|(k, _)| k == "l")
+        .map(|&(_, v)| v);
+    let dst_l = target
+        .params
+        .iter()
+        .find(|(k, _)| k == "l")
+        .map(|&(_, v)| v);
     match (source.name.as_str(), target.name.as_str()) {
         ("rle", "rpe") => Ok(Some(rewrite::rle_to_rpe(c)?)),
         ("rpe", "rle") => Ok(Some(rewrite::rpe_to_rle(c)?)),
@@ -150,8 +162,14 @@ fn for_to_pfor(c: &Compressed, to_name: &str, keep: u32) -> Result<Compressed> {
             .with("keep", keep as i64)
             .with("width", width as i64),
         parts: vec![
-            Part { role: patch::ROLE_REFS, data: PartData::Plain(refs) },
-            Part { role: patch::ROLE_OFFSETS, data: PartData::Bits(packed) },
+            Part {
+                role: patch::ROLE_REFS,
+                data: PartData::Plain(refs),
+            },
+            Part {
+                role: patch::ROLE_OFFSETS,
+                data: PartData::Bits(packed),
+            },
             Part {
                 role: patch::ROLE_EXC_POSITIONS,
                 data: PartData::Plain(ColumnData::U64(exc_positions)),
@@ -172,11 +190,19 @@ fn pfor_to_for(c: &Compressed, to_name: &str) -> Result<Compressed> {
     let mut offsets = packed.unpack();
     let exc_positions = match c.plain_part(patch::ROLE_EXC_POSITIONS)? {
         ColumnData::U64(p) => p,
-        _ => return Err(CoreError::CorruptParts("exception positions must be u64".into())),
+        _ => {
+            return Err(CoreError::CorruptParts(
+                "exception positions must be u64".into(),
+            ))
+        }
     };
     let exc_offsets = match c.plain_part(patch::ROLE_EXC_OFFSETS)? {
         ColumnData::U64(o) => o,
-        _ => return Err(CoreError::CorruptParts("exception offsets must be u64".into())),
+        _ => {
+            return Err(CoreError::CorruptParts(
+                "exception offsets must be u64".into(),
+            ))
+        }
     };
     lcdc_colops::scatter_into(exc_offsets, exc_positions, &mut offsets)?;
     Ok(Compressed {
@@ -185,7 +211,10 @@ fn pfor_to_for(c: &Compressed, to_name: &str) -> Result<Compressed> {
         dtype: c.dtype,
         params: Params::new().with("l", c.params.require("l")?),
         parts: vec![
-            Part { role: for_::ROLE_REFS, data: PartData::Plain(refs) },
+            Part {
+                role: for_::ROLE_REFS,
+                data: PartData::Plain(refs),
+            },
             Part {
                 role: for_::ROLE_OFFSETS,
                 data: PartData::Plain(ColumnData::U64(offsets)),
@@ -286,7 +315,10 @@ fn rle_to_vstep(
                 role: vstep::ROLE_POSITIONS,
                 data: PartData::Plain(ColumnData::U64(positions)),
             },
-            Part { role: vstep::ROLE_REFS, data: PartData::Plain(values) },
+            Part {
+                role: vstep::ROLE_REFS,
+                data: PartData::Plain(values),
+            },
             Part {
                 role: vstep::ROLE_OFFSETS,
                 data: PartData::Plain(ColumnData::U64(vec![0; c.n])),

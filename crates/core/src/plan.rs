@@ -166,9 +166,7 @@ impl Plan {
                     .ok_or(CoreError::CorruptParts(format!("plan needs part {idx}")))?,
                 Node::Const { value, len } => lcdc_colops::constant(*value, *len),
                 Node::Iota { len } => (0..*len as u64).collect(),
-                Node::PrefixSum(input) => {
-                    lcdc_colops::prefix_sum_inclusive(&results[*input])
-                }
+                Node::PrefixSum(input) => lcdc_colops::prefix_sum_inclusive(&results[*input]),
                 Node::PrefixSumSegmented { input, seg_len } => {
                     lcdc_colops::prefix_sum_segmented(&results[*input], *seg_len)?
                 }
@@ -179,10 +177,16 @@ impl Plan {
                 Node::Gather { values, indices } => {
                     lcdc_colops::gather(&results[*values], &results[*indices])?
                 }
-                Node::Scatter { src, positions, len } => {
-                    lcdc_colops::scatter(&results[*src], &results[*positions], *len, 0u64)?
-                }
-                Node::ScatterOver { base, src, positions } => {
+                Node::Scatter {
+                    src,
+                    positions,
+                    len,
+                } => lcdc_colops::scatter(&results[*src], &results[*positions], *len, 0u64)?,
+                Node::ScatterOver {
+                    base,
+                    src,
+                    positions,
+                } => {
                     let mut out = results[*base].clone();
                     lcdc_colops::scatter_into(&results[*src], &results[*positions], &mut out)?;
                     out
@@ -198,9 +202,7 @@ impl Plan {
                     .map(|&v| lcdc_bitpack::zigzag_decode_i64(v) as u64)
                     .collect(),
                 Node::Concat { first, rest } => {
-                    let mut out = Vec::with_capacity(
-                        results[*first].len() + results[*rest].len(),
-                    );
+                    let mut out = Vec::with_capacity(results[*first].len() + results[*rest].len());
                     out.extend_from_slice(&results[*first]);
                     out.extend_from_slice(&results[*rest]);
                     out
@@ -229,10 +231,18 @@ impl Plan {
                 Node::Gather { values, indices } => {
                     format!("%{id} = Gather(%{values}, %{indices})")
                 }
-                Node::Scatter { src, positions, len } => {
+                Node::Scatter {
+                    src,
+                    positions,
+                    len,
+                } => {
                     format!("%{id} = Scatter(%{src} at %{positions}, len={len})")
                 }
-                Node::ScatterOver { base, src, positions } => {
+                Node::ScatterOver {
+                    base,
+                    src,
+                    positions,
+                } => {
                     format!("%{id} = ScatterOver(%{base} <- %{src} at %{positions})")
                 }
                 Node::Binary { op, lhs, rhs } => {
@@ -262,7 +272,11 @@ fn node_deps(node: &Node) -> Vec<NodeId> {
         Node::Gather { values, indices } => vec![*values, *indices],
         Node::Concat { first, rest } => vec![*first, *rest],
         Node::Scatter { src, positions, .. } => vec![*src, *positions],
-        Node::ScatterOver { base, src, positions } => vec![*base, *src, *positions],
+        Node::ScatterOver {
+            base,
+            src,
+            positions,
+        } => vec![*base, *src, *positions],
         Node::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
         Node::BinaryScalar { lhs, .. } => vec![*lhs],
     }
@@ -293,14 +307,21 @@ mod tests {
         let n = 6;
         let plan = Plan::new(
             vec![
-                Node::Part(1),                                        // lengths
-                Node::PrefixSum(0),                                   // run ends
-                Node::PopBack(1),                                     // boundaries
-                Node::Const { value: 1, len: 2 },                     // ones
-                Node::Scatter { src: 3, positions: 2, len: n },       // pos deltas
-                Node::PrefixSum(4),                                   // run index
-                Node::Part(0),                                        // values
-                Node::Gather { values: 6, indices: 5 },
+                Node::Part(1),                    // lengths
+                Node::PrefixSum(0),               // run ends
+                Node::PopBack(1),                 // boundaries
+                Node::Const { value: 1, len: 2 }, // ones
+                Node::Scatter {
+                    src: 3,
+                    positions: 2,
+                    len: n,
+                }, // pos deltas
+                Node::PrefixSum(4),               // run index
+                Node::Part(0),                    // values
+                Node::Gather {
+                    values: 6,
+                    indices: 5,
+                },
             ],
             7,
         )
@@ -318,11 +339,22 @@ mod tests {
             vec![
                 Node::Const { value: 1, len: 4 },
                 Node::PrefixSumExclusive(0),
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: 2 },
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 1,
+                    rhs: 2,
+                },
                 Node::Part(0),
-                Node::Gather { values: 3, indices: 2 },
+                Node::Gather {
+                    values: 3,
+                    indices: 2,
+                },
                 Node::Part(1),
-                Node::Binary { op: BinOpKind::Add, lhs: 4, rhs: 5 },
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 4,
+                    rhs: 5,
+                },
             ],
             6,
         )
@@ -344,7 +376,11 @@ mod tests {
                 Node::Part(0),
                 Node::Part(1),
                 Node::Part(2),
-                Node::ScatterOver { base: 0, src: 1, positions: 2 },
+                Node::ScatterOver {
+                    base: 0,
+                    src: 1,
+                    positions: 2,
+                },
             ],
             3,
         )
@@ -358,7 +394,13 @@ mod tests {
     #[test]
     fn segmented_prefix_sum_node() {
         let plan = Plan::new(
-            vec![Node::Part(0), Node::PrefixSumSegmented { input: 0, seg_len: 3 }],
+            vec![
+                Node::Part(0),
+                Node::PrefixSumSegmented {
+                    input: 0,
+                    seg_len: 3,
+                },
+            ],
             1,
         )
         .unwrap();
@@ -376,11 +418,7 @@ mod tests {
 
     #[test]
     fn display_mentions_every_node() {
-        let plan = Plan::new(
-            vec![Node::Part(0), Node::PrefixSum(0)],
-            1,
-        )
-        .unwrap();
+        let plan = Plan::new(vec![Node::Part(0), Node::PrefixSum(0)], 1).unwrap();
         let text = plan.display();
         assert!(text.contains("%0 = Part(0)"));
         assert!(text.contains("%1 = PrefixSum(%0)"));

@@ -116,28 +116,49 @@ fn remap_node(node: &Node, map: &[NodeId]) -> Node {
         Node::Const { value, len } => Node::Const { value, len },
         Node::Iota { len } => Node::Iota { len },
         Node::PrefixSum(i) => Node::PrefixSum(map[i]),
-        Node::PrefixSumSegmented { input, seg_len } => {
-            Node::PrefixSumSegmented { input: map[input], seg_len }
-        }
+        Node::PrefixSumSegmented { input, seg_len } => Node::PrefixSumSegmented {
+            input: map[input],
+            seg_len,
+        },
         Node::PrefixSumExclusive(i) => Node::PrefixSumExclusive(map[i]),
         Node::PopBack(i) => Node::PopBack(map[i]),
-        Node::Gather { values, indices } => {
-            Node::Gather { values: map[values], indices: map[indices] }
-        }
-        Node::Scatter { src, positions, len } => {
-            Node::Scatter { src: map[src], positions: map[positions], len }
-        }
-        Node::ScatterOver { base, src, positions } => Node::ScatterOver {
+        Node::Gather { values, indices } => Node::Gather {
+            values: map[values],
+            indices: map[indices],
+        },
+        Node::Scatter {
+            src,
+            positions,
+            len,
+        } => Node::Scatter {
+            src: map[src],
+            positions: map[positions],
+            len,
+        },
+        Node::ScatterOver {
+            base,
+            src,
+            positions,
+        } => Node::ScatterOver {
             base: map[base],
             src: map[src],
             positions: map[positions],
         },
-        Node::Binary { op, lhs, rhs } => Node::Binary { op, lhs: map[lhs], rhs: map[rhs] },
-        Node::BinaryScalar { op, lhs, rhs } => {
-            Node::BinaryScalar { op, lhs: map[lhs], rhs }
-        }
+        Node::Binary { op, lhs, rhs } => Node::Binary {
+            op,
+            lhs: map[lhs],
+            rhs: map[rhs],
+        },
+        Node::BinaryScalar { op, lhs, rhs } => Node::BinaryScalar {
+            op,
+            lhs: map[lhs],
+            rhs,
+        },
         Node::ZigzagDecode(i) => Node::ZigzagDecode(map[i]),
-        Node::Concat { first, rest } => Node::Concat { first: map[first], rest: map[rest] },
+        Node::Concat { first, rest } => Node::Concat {
+            first: map[first],
+            rest: map[rest],
+        },
     }
 }
 
@@ -162,7 +183,11 @@ fn deps_of(node: &Node) -> Vec<NodeId> {
         Node::Gather { values, indices } => vec![values, indices],
         Node::Concat { first, rest } => vec![first, rest],
         Node::Scatter { src, positions, .. } => vec![src, positions],
-        Node::ScatterOver { base, src, positions } => vec![base, src, positions],
+        Node::ScatterOver {
+            base,
+            src,
+            positions,
+        } => vec![base, src, positions],
         Node::Binary { lhs, rhs, .. } => vec![lhs, rhs],
         Node::BinaryScalar { lhs, .. } => vec![lhs],
     }
@@ -181,11 +206,22 @@ mod tests {
             vec![
                 Node::Const { value: 1, len: 8 },
                 Node::PrefixSumExclusive(0),
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: 4 },
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 1,
+                    rhs: 4,
+                },
                 Node::Part(0),
-                Node::Gather { values: 3, indices: 2 },
+                Node::Gather {
+                    values: 3,
+                    indices: 2,
+                },
                 Node::Part(1),
-                Node::Binary { op: BinOpKind::Add, lhs: 4, rhs: 5 },
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 4,
+                    rhs: 5,
+                },
             ],
             6,
         )
@@ -196,7 +232,10 @@ mod tests {
     fn strength_reduces_the_id_idiom() {
         let (opt, stats) = optimize(&for_like_plan()).unwrap();
         assert_eq!(stats.strength_reduced, 1);
-        assert!(opt.nodes().iter().any(|n| matches!(n, Node::Iota { len: 8 })));
+        assert!(opt
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, Node::Iota { len: 8 })));
         // The ones column is now dead and collected.
         assert!(stats.dce_removed >= 1);
         assert!(stats.nodes_after < stats.nodes_before);
@@ -218,7 +257,11 @@ mod tests {
             vec![
                 Node::Const { value: 5, len: 4 },
                 Node::Const { value: 5, len: 4 },
-                Node::Binary { op: BinOpKind::Add, lhs: 0, rhs: 1 },
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 0,
+                    rhs: 1,
+                },
             ],
             2,
         )
@@ -276,7 +319,9 @@ mod tests {
             "rle[values=delta,lengths=ns]",
         ] {
             let scheme = parse_scheme(expr).unwrap();
-            let Ok(c) = scheme.compress(&col) else { continue };
+            let Ok(c) = scheme.compress(&col) else {
+                continue;
+            };
             let Ok(plan) = scheme.plan(&c) else { continue };
             let parts = scheme.resolve_parts(&c).unwrap();
             let (opt, stats) = optimize(&plan).unwrap();

@@ -47,7 +47,9 @@ pub fn rpe_to_rle(c: &Compressed) -> Result<Compressed> {
         _ => return Err(CoreError::CorruptParts("positions part must be u64".into())),
     };
     if positions.windows(2).any(|w| w[0] >= w[1]) {
-        return Err(CoreError::CorruptParts("run positions not strictly increasing".into()));
+        return Err(CoreError::CorruptParts(
+            "run positions not strictly increasing".into(),
+        ));
     }
     let lengths = lcdc_colops::prefix_sum::adjacent_diff(positions);
     let mut out = c.clone();
@@ -105,7 +107,11 @@ impl ModelResidual {
     /// residual, i.e. `2^width - 1` of the NS part.
     pub fn error_bound(&self) -> Result<u64> {
         let width = self.residual.params.require("width")? as u32;
-        Ok(if width == 0 { 0 } else { (1u64 << width.min(63)) - 1 })
+        Ok(if width == 0 {
+            0
+        } else {
+            (1u64 << width.min(63)) - 1
+        })
     }
 }
 
@@ -231,14 +237,15 @@ mod tests {
     #[test]
     fn rpe_to_rle_validates_monotonicity() {
         let mut c = Rpe.compress(&runs_col()).unwrap();
-        c.parts[1].data =
-            crate::scheme::PartData::Plain(ColumnData::U64(vec![5, 3, 10]));
+        c.parts[1].data = crate::scheme::PartData::Plain(ColumnData::U64(vec![5, 3, 10]));
         assert!(matches!(rpe_to_rle(&c), Err(CoreError::CorruptParts(_))));
     }
 
     fn locally_tight() -> ColumnData {
         ColumnData::U64(
-            (0..512u64).map(|i| (i / 128) * 1_000_000 + (i * 7) % 13).collect(),
+            (0..512u64)
+                .map(|i| (i / 128) * 1_000_000 + (i * 7) % 13)
+                .collect(),
         )
     }
 
@@ -265,7 +272,10 @@ mod tests {
         let exact = locally_tight();
         for i in 0..exact.len() {
             let diff = exact.get_numeric(i).unwrap() - approx.get_numeric(i).unwrap();
-            assert!((0..=bound as i128).contains(&diff), "element {i}: diff {diff}");
+            assert!(
+                (0..=bound as i128).contains(&diff),
+                "element {i}: diff {diff}"
+            );
         }
     }
 

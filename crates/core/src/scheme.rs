@@ -268,12 +268,8 @@ pub trait Scheme: std::fmt::Debug {
     fn decompress_part(&self, c: &Compressed, role: &'static str) -> Result<ColumnData> {
         match &c.part(role)?.data {
             PartData::Plain(col) => Ok(col.clone()),
-            PartData::Bits(packed) => {
-                Ok(ColumnData::from_transport(DType::U64, packed.unpack()))
-            }
-            PartData::Blocks(blocks) => {
-                Ok(ColumnData::from_transport(DType::U64, blocks.unpack()))
-            }
+            PartData::Bits(packed) => Ok(ColumnData::from_transport(DType::U64, packed.unpack())),
+            PartData::Blocks(blocks) => Ok(ColumnData::from_transport(DType::U64, blocks.unpack())),
             PartData::Nested(_) => Err(CoreError::CorruptParts(format!(
                 "part {role:?} is nested; decompress_part must be overridden"
             ))),

@@ -50,7 +50,10 @@ impl Scheme for Const {
             n: col.len(),
             dtype: col.dtype(),
             params: Params::new(),
-            parts: vec![Part { role: ROLE_VALUE, data: PartData::Plain(value) }],
+            parts: vec![Part {
+                role: ROLE_VALUE,
+                data: PartData::Plain(value),
+            }],
         })
     }
 
@@ -63,7 +66,10 @@ impl Scheme for Const {
         let v = value.get_transport(0).ok_or_else(|| {
             CoreError::CorruptParts("non-empty const form with empty value part".into())
         })?;
-        Ok(ColumnData::from_transport(c.dtype, lcdc_colops::constant(v, c.n)))
+        Ok(ColumnData::from_transport(
+            c.dtype,
+            lcdc_colops::constant(v, c.n),
+        ))
     }
 
     /// A single `Constant` operator — the shortest decompression DAG of
@@ -140,6 +146,9 @@ mod tests {
     fn corrupted_empty_value_part_reported() {
         let mut c = Const.compress(&ColumnData::U32(vec![9; 4])).unwrap();
         c.parts[0].data = PartData::Plain(ColumnData::empty(crate::column::DType::U32));
-        assert!(matches!(Const.decompress(&c), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Const.decompress(&c),
+            Err(CoreError::CorruptParts(_))
+        ));
     }
 }

@@ -49,7 +49,10 @@ impl Scheme for Delta {
         // signed type.
         let transport = col.to_transport();
         let first = transport.first().copied().unwrap_or(0);
-        let deltas: Vec<u64> = transport.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect();
+        let deltas: Vec<u64> = transport
+            .windows(2)
+            .map(|w| w[1].wrapping_sub(w[0]))
+            .collect();
         let delta_dtype = signed_counterpart(col.dtype());
         Ok(Compressed {
             scheme_id: self.name(),
@@ -94,10 +97,13 @@ impl Scheme for Delta {
         let first = c.params.require("first")? as u64;
         Plan::new(
             vec![
-                Node::Const { value: first, len: 1 }, // %0 first value
-                Node::Part(0),                        // %1 deltas
-                Node::Concat { first: 0, rest: 1 },   // %2
-                Node::PrefixSum(2),                   // %3
+                Node::Const {
+                    value: first,
+                    len: 1,
+                }, // %0 first value
+                Node::Part(0),                      // %1 deltas
+                Node::Concat { first: 0, rest: 1 }, // %2
+                Node::PrefixSum(2),                 // %3
             ],
             3,
         )
@@ -174,7 +180,10 @@ mod tests {
         // Sorted with constant gap 3: zigzag deltas fit 3 bits regardless
         // of the (large) starting value.
         let col = ColumnData::U64((0..1000u64).map(|i| 20_180_101 + i * 3).collect());
-        let cascade = Cascade::new(Box::new(Delta), vec![(ROLE_DELTAS, Box::new(Ns::zz()) as Box<dyn Scheme>)]);
+        let cascade = Cascade::new(
+            Box::new(Delta),
+            vec![(ROLE_DELTAS, Box::new(Ns::zz()) as Box<dyn Scheme>)],
+        );
         let c = cascade.compress(&col).unwrap();
         assert!(c.ratio().unwrap() > 15.0, "ratio {:?}", c.ratio());
         assert_eq!(cascade.decompress(&c).unwrap(), col);
@@ -185,7 +194,10 @@ mod tests {
         let col = ColumnData::U32(vec![1, 2]);
         let mut c = Delta.compress(&col).unwrap();
         c.n = 3;
-        assert!(matches!(Delta.decompress(&c), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Delta.decompress(&c),
+            Err(CoreError::CorruptParts(_))
+        ));
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub struct DeltaFor {
 impl DeltaFor {
     /// Construct with the given segment length (clamped to ≥ 1).
     pub fn new(seg_len: usize) -> Self {
-        DeltaFor { seg_len: seg_len.max(1) }
+        DeltaFor {
+            seg_len: seg_len.max(1),
+        }
     }
 }
 
@@ -95,8 +97,7 @@ impl Scheme for DeltaFor {
             )));
         }
         let summed = lcdc_colops::prefix_sum_segmented(&deltas, self.seg_len)?;
-        let replicated =
-            lcdc_colops::segment::replicate_segments(&bases, self.seg_len, c.n)?;
+        let replicated = lcdc_colops::segment::replicate_segments(&bases, self.seg_len, c.n)?;
         let out = lcdc_colops::binary(BinOpKind::Add, &replicated, &summed)?;
         Ok(ColumnData::from_transport(c.dtype, out))
     }
@@ -108,14 +109,28 @@ impl Scheme for DeltaFor {
         // Parts order: 0 = bases, 1 = deltas.
         Plan::new(
             vec![
-                Node::Part(1),                                                      // %0 deltas
-                Node::PrefixSumSegmented { input: 0, seg_len: self.seg_len },       // %1
-                Node::Const { value: 1, len: c.n },                                 // %2 ones
-                Node::PrefixSumExclusive(2),                                        // %3 id
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 3, rhs: self.seg_len as u64 },
-                Node::Part(0),                                                      // %5 bases
-                Node::Gather { values: 5, indices: 4 },                             // %6
-                Node::Binary { op: BinOpKind::Add, lhs: 6, rhs: 1 },                // %7
+                Node::Part(1), // %0 deltas
+                Node::PrefixSumSegmented {
+                    input: 0,
+                    seg_len: self.seg_len,
+                }, // %1
+                Node::Const { value: 1, len: c.n }, // %2 ones
+                Node::PrefixSumExclusive(2), // %3 id
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 3,
+                    rhs: self.seg_len as u64,
+                },
+                Node::Part(0), // %5 bases
+                Node::Gather {
+                    values: 5,
+                    indices: 4,
+                }, // %6
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 6,
+                    rhs: 1,
+                }, // %7
             ],
             7,
         )
@@ -124,11 +139,7 @@ impl Scheme for DeltaFor {
     fn estimate(&self, stats: &ColumnStats) -> Option<usize> {
         // Bare DFOR stores deltas at transport width; like DELTA it pays
         // off through its NS cascade (see `estimate_with_ns`).
-        Some(
-            stats.n.div_ceil(self.seg_len) * stats.dtype.bytes()
-                + stats.n * 8
-                + 8,
-        )
+        Some(stats.n.div_ceil(self.seg_len) * stats.dtype.bytes() + stats.n * 8 + 8)
     }
 }
 
@@ -146,22 +157,27 @@ pub fn value_at(c: &Compressed, pos: u64) -> Result<u64> {
     let seg_len = c.params.require("l")? as usize;
     DeltaFor::new(seg_len).check(c)?;
     if pos >= c.n as u64 {
-        return Err(CoreError::ColOps(lcdc_colops::ColOpsError::IndexOutOfBounds {
-            index: pos as usize,
-            len: c.n,
-        }));
+        return Err(CoreError::ColOps(
+            lcdc_colops::ColOpsError::IndexOutOfBounds {
+                index: pos as usize,
+                len: c.n,
+            },
+        ));
     }
     let seg = pos as usize / seg_len;
-    let base = c.plain_part(ROLE_BASES)?.get_transport(seg).ok_or_else(|| {
-        CoreError::CorruptParts(format!("segment {seg} past bases part"))
-    })?;
+    let base = c
+        .plain_part(ROLE_BASES)?
+        .get_transport(seg)
+        .ok_or_else(|| CoreError::CorruptParts(format!("segment {seg} past bases part")))?;
     let deltas = c.plain_part(ROLE_DELTAS)?;
     let mut acc = base;
     // deltas[seg_start] is 0 by construction; start past it.
     for i in seg * seg_len + 1..=pos as usize {
-        acc = acc.wrapping_add(deltas.get_transport(i).ok_or_else(|| {
-            CoreError::CorruptParts(format!("delta {i} past deltas part"))
-        })?);
+        acc = acc.wrapping_add(
+            deltas
+                .get_transport(i)
+                .ok_or_else(|| CoreError::CorruptParts(format!("delta {i} past deltas part")))?,
+        );
     }
     Ok(acc)
 }

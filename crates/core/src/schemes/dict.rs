@@ -40,7 +40,9 @@ impl Scheme for Dict {
             (
                 ColumnData::from_transport(
                     col.dtype(),
-                    dict.iter().map(|&x| lcdc_colops::Scalar::to_u64(x)).collect(),
+                    dict.iter()
+                        .map(|&x| lcdc_colops::Scalar::to_u64(x))
+                        .collect(),
                 ),
                 codes,
             )
@@ -51,8 +53,14 @@ impl Scheme for Dict {
             dtype: col.dtype(),
             params: Params::new(),
             parts: vec![
-                Part { role: ROLE_DICT, data: PartData::Plain(dict) },
-                Part { role: ROLE_CODES, data: PartData::Plain(ColumnData::U64(codes)) },
+                Part {
+                    role: ROLE_DICT,
+                    data: PartData::Plain(dict),
+                },
+                Part {
+                    role: ROLE_CODES,
+                    data: PartData::Plain(ColumnData::U64(codes)),
+                },
             ],
         })
     }
@@ -78,7 +86,10 @@ impl Scheme for Dict {
             vec![
                 Node::Part(0),
                 Node::Part(1),
-                Node::Gather { values: 0, indices: 1 },
+                Node::Gather {
+                    values: 0,
+                    indices: 1,
+                },
             ],
             2,
         )

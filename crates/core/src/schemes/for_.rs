@@ -36,12 +36,18 @@ impl For {
     /// Construct with the given segment length (clamped to ≥ 1) and the
     /// minimum as reference.
     pub fn new(seg_len: usize) -> Self {
-        For { seg_len: seg_len.max(1), ref_first: false }
+        For {
+            seg_len: seg_len.max(1),
+            ref_first: false,
+        }
     }
 
     /// Construct with the segment's first element as reference.
     pub fn new_first_ref(seg_len: usize) -> Self {
-        For { seg_len: seg_len.max(1), ref_first: true }
+        For {
+            seg_len: seg_len.max(1),
+            ref_first: true,
+        }
     }
 
     /// The practical first-reference configuration: zigzagged NS offsets.
@@ -107,8 +113,14 @@ impl Scheme for For {
             dtype: col.dtype(),
             params: Params::new().with("l", self.seg_len as i64),
             parts: vec![
-                Part { role: ROLE_REFS, data: PartData::Plain(refs) },
-                Part { role: ROLE_OFFSETS, data: PartData::Plain(offsets_col) },
+                Part {
+                    role: ROLE_REFS,
+                    data: PartData::Plain(refs),
+                },
+                Part {
+                    role: ROLE_OFFSETS,
+                    data: PartData::Plain(offsets_col),
+                },
             ],
         })
     }
@@ -156,13 +168,24 @@ impl Scheme for For {
     fn plan(&self, c: &Compressed) -> Result<Plan> {
         Plan::new(
             vec![
-                Node::Const { value: 1, len: c.n },                                // %0 ones
-                Node::PrefixSumExclusive(0),                                       // %1 id
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: self.seg_len as u64 },
-                Node::Part(0),                                                     // %3 refs
-                Node::Gather { values: 3, indices: 2 },                            // %4 replicated
-                Node::Part(1),                                                     // %5 offsets
-                Node::Binary { op: BinOpKind::Add, lhs: 4, rhs: 5 },               // %6
+                Node::Const { value: 1, len: c.n }, // %0 ones
+                Node::PrefixSumExclusive(0),        // %1 id
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 1,
+                    rhs: self.seg_len as u64,
+                },
+                Node::Part(0), // %3 refs
+                Node::Gather {
+                    values: 3,
+                    indices: 2,
+                }, // %4 replicated
+                Node::Part(1), // %5 offsets
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 4,
+                    rhs: 5,
+                }, // %6
             ],
             6,
         )
@@ -193,7 +216,10 @@ mod tests {
         let col = ColumnData::U32(vec![100, 103, 101, 999, 1001, 998]);
         let f = For::new(3);
         let c = f.compress(&col).unwrap();
-        assert_eq!(c.plain_part(ROLE_REFS).unwrap(), &ColumnData::U32(vec![100, 998]));
+        assert_eq!(
+            c.plain_part(ROLE_REFS).unwrap(),
+            &ColumnData::U32(vec![100, 998])
+        );
         assert_eq!(
             c.plain_part(ROLE_OFFSETS).unwrap(),
             &ColumnData::U64(vec![0, 3, 1, 1, 3, 0])
@@ -238,7 +264,9 @@ mod tests {
     fn ns_cascade_narrows_offsets() {
         // Locally tight, globally wide: classic FOR win.
         let col = ColumnData::U64(
-            (0..128u64).flat_map(|s| (0..128u64).map(move |i| s * 1_000_000 + i % 7)).collect(),
+            (0..128u64)
+                .flat_map(|s| (0..128u64).map(move |i| s * 1_000_000 + i % 7))
+                .collect(),
         );
         let cascade = For::with_ns(128);
         let c = cascade.compress(&col).unwrap();

@@ -27,7 +27,10 @@ impl Scheme for Id {
             n: col.len(),
             dtype: col.dtype(),
             params: Params::new(),
-            parts: vec![Part { role: ROLE_VALUES, data: PartData::Plain(col.clone()) }],
+            parts: vec![Part {
+                role: ROLE_VALUES,
+                data: PartData::Plain(col.clone()),
+            }],
         })
     }
 

@@ -29,7 +29,9 @@ pub struct LinearFor {
 impl LinearFor {
     /// Construct with the given segment length (clamped to ≥ 1).
     pub fn new(seg_len: usize) -> Self {
-        LinearFor { seg_len: seg_len.max(1) }
+        LinearFor {
+            seg_len: seg_len.max(1),
+        }
     }
 
     /// The practical configuration: linear frames with NS-packed
@@ -97,8 +99,14 @@ impl Scheme for LinearFor {
             dtype: col.dtype(),
             params: Params::new().with("l", self.seg_len as i64),
             parts: vec![
-                Part { role: ROLE_BASES, data: PartData::Plain(ColumnData::I64(bases)) },
-                Part { role: ROLE_SLOPES, data: PartData::Plain(ColumnData::I64(slopes)) },
+                Part {
+                    role: ROLE_BASES,
+                    data: PartData::Plain(ColumnData::I64(bases)),
+                },
+                Part {
+                    role: ROLE_SLOPES,
+                    data: PartData::Plain(ColumnData::I64(slopes)),
+                },
                 Part {
                     role: ROLE_RESIDUALS,
                     data: PartData::Plain(ColumnData::U64(residuals)),
@@ -129,7 +137,9 @@ impl Scheme for LinearFor {
             )));
         }
         if bases.len() != slopes.len() || bases.len() < c.n.div_ceil(self.seg_len) {
-            return Err(CoreError::CorruptParts("bases/slopes count mismatch".into()));
+            return Err(CoreError::CorruptParts(
+                "bases/slopes count mismatch".into(),
+            ));
         }
         // Fused reconstruction in transport arithmetic: congruent mod
         // 2^64, hence exact after truncation to the original dtype.
@@ -152,19 +162,45 @@ impl Scheme for LinearFor {
         let l = self.seg_len as u64;
         Plan::new(
             vec![
-                Node::Const { value: 1, len: c.n },                                  // %0 ones
-                Node::PrefixSumExclusive(0),                                         // %1 id
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: l },           // %2 seg idx
-                Node::BinaryScalar { op: BinOpKind::Rem, lhs: 1, rhs: l },           // %3 within
-                Node::Part(0),                                                       // %4 bases
-                Node::Gather { values: 4, indices: 2 },                              // %5 base rep
-                Node::Part(1),                                                       // %6 slopes
-                Node::Gather { values: 6, indices: 2 },                              // %7 slope rep
-                Node::Binary { op: BinOpKind::Mul, lhs: 7, rhs: 3 },                 // %8 slope·i
-                Node::Binary { op: BinOpKind::Add, lhs: 5, rhs: 8 },                 // %9 predicted
-                Node::Part(2),                                                       // %10 residuals
-                Node::ZigzagDecode(10),                                              // %11
-                Node::Binary { op: BinOpKind::Add, lhs: 9, rhs: 11 },                // %12
+                Node::Const { value: 1, len: c.n }, // %0 ones
+                Node::PrefixSumExclusive(0),        // %1 id
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 1,
+                    rhs: l,
+                }, // %2 seg idx
+                Node::BinaryScalar {
+                    op: BinOpKind::Rem,
+                    lhs: 1,
+                    rhs: l,
+                }, // %3 within
+                Node::Part(0),                      // %4 bases
+                Node::Gather {
+                    values: 4,
+                    indices: 2,
+                }, // %5 base rep
+                Node::Part(1),                      // %6 slopes
+                Node::Gather {
+                    values: 6,
+                    indices: 2,
+                }, // %7 slope rep
+                Node::Binary {
+                    op: BinOpKind::Mul,
+                    lhs: 7,
+                    rhs: 3,
+                }, // %8 slope·i
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 5,
+                    rhs: 8,
+                }, // %9 predicted
+                Node::Part(2),                      // %10 residuals
+                Node::ZigzagDecode(10),             // %11
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 9,
+                    rhs: 11,
+                }, // %12
             ],
             12,
         )

@@ -41,13 +41,20 @@ pub const ROLE_PACKED: &str = "packed";
 
 impl Scheme for Ns {
     fn name(&self) -> String {
-        if self.zigzag { "ns_zz".to_string() } else { "ns".to_string() }
+        if self.zigzag {
+            "ns_zz".to_string()
+        } else {
+            "ns".to_string()
+        }
     }
 
     fn compress(&self, col: &ColumnData) -> Result<Compressed> {
         let transport = col.to_transport();
         let to_pack: Vec<u64> = if self.zigzag {
-            transport.iter().map(|&v| lcdc_bitpack::zigzag_encode_i64(v as i64)).collect()
+            transport
+                .iter()
+                .map(|&v| lcdc_bitpack::zigzag_encode_i64(v as i64))
+                .collect()
         } else {
             // Non-negativity: for signed dtypes a negative value
             // sign-extends to a transport with the top bit set; unsigned
@@ -71,7 +78,10 @@ impl Scheme for Ns {
             params: Params::new()
                 .with("width", width as i64)
                 .with("zigzag", self.zigzag as i64),
-            parts: vec![Part { role: ROLE_PACKED, data: PartData::Bits(packed) }],
+            parts: vec![Part {
+                role: ROLE_PACKED,
+                data: PartData::Bits(packed),
+            }],
         })
     }
 

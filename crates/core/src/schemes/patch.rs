@@ -93,8 +93,14 @@ impl Scheme for PatchedFor {
                 .with("keep", self.keep_per_mille as i64)
                 .with("width", width as i64),
             parts: vec![
-                Part { role: ROLE_REFS, data: PartData::Plain(refs) },
-                Part { role: ROLE_OFFSETS, data: PartData::Bits(packed) },
+                Part {
+                    role: ROLE_REFS,
+                    data: PartData::Plain(refs),
+                },
+                Part {
+                    role: ROLE_OFFSETS,
+                    data: PartData::Bits(packed),
+                },
                 Part {
                     role: ROLE_EXC_POSITIONS,
                     data: PartData::Plain(ColumnData::U64(exc_positions)),
@@ -121,11 +127,19 @@ impl Scheme for PatchedFor {
         let mut offsets = packed.unpack();
         let exc_positions = match c.plain_part(ROLE_EXC_POSITIONS)? {
             ColumnData::U64(p) => p,
-            _ => return Err(CoreError::CorruptParts("exception positions must be u64".into())),
+            _ => {
+                return Err(CoreError::CorruptParts(
+                    "exception positions must be u64".into(),
+                ))
+            }
         };
         let exc_offsets = match c.plain_part(ROLE_EXC_OFFSETS)? {
             ColumnData::U64(o) => o,
-            _ => return Err(CoreError::CorruptParts("exception offsets must be u64".into())),
+            _ => {
+                return Err(CoreError::CorruptParts(
+                    "exception offsets must be u64".into(),
+                ))
+            }
         };
         lcdc_colops::scatter_into(exc_offsets, exc_positions, &mut offsets)?;
         let replicated = lcdc_colops::segment::replicate_segments(&refs, self.seg_len, c.n)?;
@@ -139,16 +153,31 @@ impl Scheme for PatchedFor {
     fn plan(&self, c: &Compressed) -> Result<Plan> {
         Plan::new(
             vec![
-                Node::Part(1),                                                     // %0 narrow offsets
-                Node::Part(3),                                                     // %1 exc offsets
-                Node::Part(2),                                                     // %2 exc positions
-                Node::ScatterOver { base: 0, src: 1, positions: 2 },               // %3 offsets
-                Node::Const { value: 1, len: c.n },                                // %4 ones
-                Node::PrefixSumExclusive(4),                                       // %5 id
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 5, rhs: self.seg_len as u64 },
-                Node::Part(0),                                                     // %7 refs
-                Node::Gather { values: 7, indices: 6 },                            // %8 replicated
-                Node::Binary { op: BinOpKind::Add, lhs: 8, rhs: 3 },               // %9
+                Node::Part(1), // %0 narrow offsets
+                Node::Part(3), // %1 exc offsets
+                Node::Part(2), // %2 exc positions
+                Node::ScatterOver {
+                    base: 0,
+                    src: 1,
+                    positions: 2,
+                }, // %3 offsets
+                Node::Const { value: 1, len: c.n }, // %4 ones
+                Node::PrefixSumExclusive(4), // %5 id
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 5,
+                    rhs: self.seg_len as u64,
+                },
+                Node::Part(0), // %7 refs
+                Node::Gather {
+                    values: 7,
+                    indices: 6,
+                }, // %8 replicated
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 8,
+                    rhs: 3,
+                }, // %9
             ],
             9,
         )
@@ -182,7 +211,10 @@ mod tests {
         let p = PatchedFor::new(128, 990);
         let c = p.compress(&outlier_column()).unwrap();
         let exc = c.plain_part(ROLE_EXC_POSITIONS).unwrap().len();
-        assert!(exc >= 5, "expected the outliers to be exceptions, got {exc}");
+        assert!(
+            exc >= 5,
+            "expected the outliers to be exceptions, got {exc}"
+        );
         assert_eq!(p.decompress(&c).unwrap(), outlier_column());
     }
 

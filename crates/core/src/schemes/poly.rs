@@ -26,7 +26,9 @@ pub struct PolyFor {
 impl PolyFor {
     /// Construct with the given segment length (clamped to ≥ 1).
     pub fn new(seg_len: usize) -> Self {
-        PolyFor { seg_len: seg_len.max(1) }
+        PolyFor {
+            seg_len: seg_len.max(1),
+        }
     }
 
     /// The practical configuration: quadratic frames with NS-packed
@@ -94,9 +96,8 @@ impl Scheme for PolyFor {
                 (chunk[0], 0, 0)
             };
             let to_i64 = |v: i128, what: &str| {
-                i64::try_from(v).map_err(|_| {
-                    CoreError::NotRepresentable(format!("{what} {v} exceeds i64"))
-                })
+                i64::try_from(v)
+                    .map_err(|_| CoreError::NotRepresentable(format!("{what} {v} exceeds i64")))
             };
             c0.push(to_i64(a, "coefficient c0")?);
             c1.push(to_i64(b, "coefficient c1")?);
@@ -114,9 +115,18 @@ impl Scheme for PolyFor {
             dtype: col.dtype(),
             params: Params::new().with("l", self.seg_len as i64),
             parts: vec![
-                Part { role: ROLE_C0, data: PartData::Plain(ColumnData::I64(c0)) },
-                Part { role: ROLE_C1, data: PartData::Plain(ColumnData::I64(c1)) },
-                Part { role: ROLE_C2, data: PartData::Plain(ColumnData::I64(c2)) },
+                Part {
+                    role: ROLE_C0,
+                    data: PartData::Plain(ColumnData::I64(c0)),
+                },
+                Part {
+                    role: ROLE_C1,
+                    data: PartData::Plain(ColumnData::I64(c1)),
+                },
+                Part {
+                    role: ROLE_C2,
+                    data: PartData::Plain(ColumnData::I64(c2)),
+                },
                 Part {
                     role: ROLE_RESIDUALS,
                     data: PartData::Plain(ColumnData::U64(residuals)),
@@ -147,7 +157,9 @@ impl Scheme for PolyFor {
         }
         let needed = c.n.div_ceil(self.seg_len);
         if c0.len() < needed || c1.len() != c0.len() || c2.len() != c0.len() {
-            return Err(CoreError::CorruptParts("coefficient counts mismatch".into()));
+            return Err(CoreError::CorruptParts(
+                "coefficient counts mismatch".into(),
+            ));
         }
         // Transport arithmetic: congruent mod 2^64, exact on truncation.
         let mut out = Vec::with_capacity(c.n);
@@ -155,8 +167,9 @@ impl Scheme for PolyFor {
             let (a, b, q) = (c0[seg] as u64, c1[seg] as u64, c2[seg] as u64);
             for (i, &zz) in chunk.iter().enumerate() {
                 let i = i as u64;
-                let predicted =
-                    a.wrapping_add(b.wrapping_mul(i)).wrapping_add(q.wrapping_mul(i.wrapping_mul(i)));
+                let predicted = a
+                    .wrapping_add(b.wrapping_mul(i))
+                    .wrapping_add(q.wrapping_mul(i.wrapping_mul(i)));
                 out.push(predicted.wrapping_add(zigzag_decode_i64(zz) as u64));
             }
         }
@@ -170,24 +183,65 @@ impl Scheme for PolyFor {
         let l = self.seg_len as u64;
         Plan::new(
             vec![
-                Node::Const { value: 1, len: c.n },                                  // %0 ones
-                Node::PrefixSumExclusive(0),                                         // %1 id
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: l },           // %2 seg
-                Node::BinaryScalar { op: BinOpKind::Rem, lhs: 1, rhs: l },           // %3 i
-                Node::Binary { op: BinOpKind::Mul, lhs: 3, rhs: 3 },                 // %4 i^2
-                Node::Part(0),                                                       // %5 c0
-                Node::Gather { values: 5, indices: 2 },                              // %6
-                Node::Part(1),                                                       // %7 c1
-                Node::Gather { values: 7, indices: 2 },                              // %8
-                Node::Part(2),                                                       // %9 c2
-                Node::Gather { values: 9, indices: 2 },                              // %10
-                Node::Binary { op: BinOpKind::Mul, lhs: 8, rhs: 3 },                 // %11 b·i
-                Node::Binary { op: BinOpKind::Mul, lhs: 10, rhs: 4 },                // %12 c·i²
-                Node::Binary { op: BinOpKind::Add, lhs: 6, rhs: 11 },                // %13
-                Node::Binary { op: BinOpKind::Add, lhs: 13, rhs: 12 },               // %14 predicted
-                Node::Part(3),                                                       // %15 residuals
-                Node::ZigzagDecode(15),                                              // %16
-                Node::Binary { op: BinOpKind::Add, lhs: 14, rhs: 16 },               // %17
+                Node::Const { value: 1, len: c.n }, // %0 ones
+                Node::PrefixSumExclusive(0),        // %1 id
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 1,
+                    rhs: l,
+                }, // %2 seg
+                Node::BinaryScalar {
+                    op: BinOpKind::Rem,
+                    lhs: 1,
+                    rhs: l,
+                }, // %3 i
+                Node::Binary {
+                    op: BinOpKind::Mul,
+                    lhs: 3,
+                    rhs: 3,
+                }, // %4 i^2
+                Node::Part(0),                      // %5 c0
+                Node::Gather {
+                    values: 5,
+                    indices: 2,
+                }, // %6
+                Node::Part(1),                      // %7 c1
+                Node::Gather {
+                    values: 7,
+                    indices: 2,
+                }, // %8
+                Node::Part(2),                      // %9 c2
+                Node::Gather {
+                    values: 9,
+                    indices: 2,
+                }, // %10
+                Node::Binary {
+                    op: BinOpKind::Mul,
+                    lhs: 8,
+                    rhs: 3,
+                }, // %11 b·i
+                Node::Binary {
+                    op: BinOpKind::Mul,
+                    lhs: 10,
+                    rhs: 4,
+                }, // %12 c·i²
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 6,
+                    rhs: 11,
+                }, // %13
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 13,
+                    rhs: 12,
+                }, // %14 predicted
+                Node::Part(3),                      // %15 residuals
+                Node::ZigzagDecode(15),             // %16
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 14,
+                    rhs: 16,
+                }, // %17
             ],
             17,
         )

@@ -27,7 +27,9 @@ pub struct PatchedStep {
 impl PatchedStep {
     /// Construct with the given segment length (clamped to ≥ 1).
     pub fn new(seg_len: usize) -> Self {
-        PatchedStep { seg_len: seg_len.max(1) }
+        PatchedStep {
+            seg_len: seg_len.max(1),
+        }
     }
 }
 
@@ -95,11 +97,19 @@ impl Scheme for PatchedStep {
         let refs = c.plain_part(ROLE_REFS)?.to_transport();
         let exc_positions = match c.plain_part(ROLE_EXC_POSITIONS)? {
             ColumnData::U64(p) => p,
-            _ => return Err(CoreError::CorruptParts("exception positions must be u64".into())),
+            _ => {
+                return Err(CoreError::CorruptParts(
+                    "exception positions must be u64".into(),
+                ))
+            }
         };
         let exc_values = match c.plain_part(ROLE_EXC_VALUES)? {
             ColumnData::U64(v) => v,
-            _ => return Err(CoreError::CorruptParts("exception values must be u64".into())),
+            _ => {
+                return Err(CoreError::CorruptParts(
+                    "exception values must be u64".into(),
+                ))
+            }
         };
         let mut out = lcdc_colops::segment::replicate_segments(&refs, self.seg_len, c.n)?;
         lcdc_colops::scatter_into(exc_values, exc_positions, &mut out)?;
@@ -110,14 +120,25 @@ impl Scheme for PatchedStep {
     fn plan(&self, c: &Compressed) -> Result<Plan> {
         Plan::new(
             vec![
-                Node::Const { value: 1, len: c.n },                                  // %0
-                Node::PrefixSumExclusive(0),                                         // %1 id
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: self.seg_len as u64 },
-                Node::Part(0),                                                       // %3 refs
-                Node::Gather { values: 3, indices: 2 },                              // %4 model
-                Node::Part(2),                                                       // %5 exc values
-                Node::Part(1),                                                       // %6 exc positions
-                Node::ScatterOver { base: 4, src: 5, positions: 6 },                 // %7
+                Node::Const { value: 1, len: c.n }, // %0
+                Node::PrefixSumExclusive(0),        // %1 id
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 1,
+                    rhs: self.seg_len as u64,
+                },
+                Node::Part(0), // %3 refs
+                Node::Gather {
+                    values: 3,
+                    indices: 2,
+                }, // %4 model
+                Node::Part(2), // %5 exc values
+                Node::Part(1), // %6 exc positions
+                Node::ScatterOver {
+                    base: 4,
+                    src: 5,
+                    positions: 6,
+                }, // %7
             ],
             7,
         )
@@ -165,7 +186,10 @@ mod tests {
         assert_eq!(c.plain_part(ROLE_EXC_POSITIONS).unwrap().len(), 0);
         // Matches the pure STEPFUNCTION size up to the exception columns.
         let pure = StepFunction::new(128).compress(&col).unwrap();
-        assert_eq!(c.plain_part(ROLE_REFS).unwrap(), pure.plain_part("refs").unwrap());
+        assert_eq!(
+            c.plain_part(ROLE_REFS).unwrap(),
+            pure.plain_part("refs").unwrap()
+        );
         assert_eq!(s.decompress(&c).unwrap(), col);
     }
 

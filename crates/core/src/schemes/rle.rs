@@ -37,7 +37,10 @@ impl Scheme for Rle {
             (
                 ColumnData::from_transport(
                     col.dtype(),
-                    values.iter().map(|&x| lcdc_colops::Scalar::to_u64(x)).collect(),
+                    values
+                        .iter()
+                        .map(|&x| lcdc_colops::Scalar::to_u64(x))
+                        .collect(),
                 ),
                 lengths,
             )
@@ -48,8 +51,14 @@ impl Scheme for Rle {
             dtype: col.dtype(),
             params: Params::new(),
             parts: vec![
-                Part { role: ROLE_VALUES, data: PartData::Plain(values) },
-                Part { role: ROLE_LENGTHS, data: PartData::Plain(ColumnData::U64(lengths)) },
+                Part {
+                    role: ROLE_VALUES,
+                    data: PartData::Plain(values),
+                },
+                Part {
+                    role: ROLE_LENGTHS,
+                    data: PartData::Plain(ColumnData::U64(lengths)),
+                },
             ],
         })
     }
@@ -96,14 +105,24 @@ impl Scheme for Rle {
         // Parts order: 0 = values, 1 = lengths (as produced by compress).
         Plan::new(
             vec![
-                Node::Part(1),                                        // %0 lengths
-                Node::PrefixSum(0),                                   // %1 run_positions
-                Node::PopBack(1),                                     // %2 run_positions'
-                Node::Const { value: 1, len: num_runs - 1 },          // %3 ones
-                Node::Scatter { src: 3, positions: 2, len: c.n },     // %4 pos_delta
-                Node::PrefixSum(4),                                   // %5 positions
-                Node::Part(0),                                        // %6 values
-                Node::Gather { values: 6, indices: 5 },               // %7
+                Node::Part(1),      // %0 lengths
+                Node::PrefixSum(0), // %1 run_positions
+                Node::PopBack(1),   // %2 run_positions'
+                Node::Const {
+                    value: 1,
+                    len: num_runs - 1,
+                }, // %3 ones
+                Node::Scatter {
+                    src: 3,
+                    positions: 2,
+                    len: c.n,
+                }, // %4 pos_delta
+                Node::PrefixSum(4), // %5 positions
+                Node::Part(0),      // %6 values
+                Node::Gather {
+                    values: 6,
+                    indices: 5,
+                }, // %7
             ],
             7,
         )
@@ -188,6 +207,9 @@ mod tests {
         let col = ColumnData::U32(vec![5, 5, 6]);
         let mut c = Rle.compress(&col).unwrap();
         c.n = 7;
-        assert!(matches!(Rle.decompress(&c), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Rle.decompress(&c),
+            Err(CoreError::CorruptParts(_))
+        ));
     }
 }

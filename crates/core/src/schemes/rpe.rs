@@ -46,7 +46,10 @@ impl Scheme for Rpe {
             (
                 ColumnData::from_transport(
                     col.dtype(),
-                    values.iter().map(|&x| lcdc_colops::Scalar::to_u64(x)).collect(),
+                    values
+                        .iter()
+                        .map(|&x| lcdc_colops::Scalar::to_u64(x))
+                        .collect(),
                 ),
                 lengths,
             )
@@ -58,7 +61,10 @@ impl Scheme for Rpe {
             dtype: col.dtype(),
             params: Params::new(),
             parts: vec![
-                Part { role: ROLE_VALUES, data: PartData::Plain(values) },
+                Part {
+                    role: ROLE_VALUES,
+                    data: PartData::Plain(values),
+                },
                 Part {
                     role: ROLE_POSITIONS,
                     data: PartData::Plain(ColumnData::U64(positions)),
@@ -90,13 +96,23 @@ impl Scheme for Rpe {
         // Parts order: 0 = values, 1 = positions.
         Plan::new(
             vec![
-                Node::Part(1),                                    // %0 run_positions
-                Node::PopBack(0),                                 // %1 run_positions'
-                Node::Const { value: 1, len: num_runs - 1 },      // %2 ones
-                Node::Scatter { src: 2, positions: 1, len: c.n }, // %3 pos_delta
-                Node::PrefixSum(3),                               // %4 positions
-                Node::Part(0),                                    // %5 values
-                Node::Gather { values: 5, indices: 4 },           // %6
+                Node::Part(1),    // %0 run_positions
+                Node::PopBack(0), // %1 run_positions'
+                Node::Const {
+                    value: 1,
+                    len: num_runs - 1,
+                }, // %2 ones
+                Node::Scatter {
+                    src: 2,
+                    positions: 1,
+                    len: c.n,
+                }, // %3 pos_delta
+                Node::PrefixSum(3), // %4 positions
+                Node::Part(0),    // %5 values
+                Node::Gather {
+                    values: 5,
+                    indices: 4,
+                }, // %6
             ],
             6,
         )
@@ -112,12 +128,12 @@ impl Scheme for Rpe {
 pub fn value_at(c: &Compressed, pos: u64) -> Result<u64> {
     c.check_scheme("rpe")?;
     let positions = positions_part(c)?;
-    let run = lcdc_colops::search::run_of_position(positions, pos).ok_or(
-        CoreError::ColOps(lcdc_colops::ColOpsError::IndexOutOfBounds {
+    let run = lcdc_colops::search::run_of_position(positions, pos).ok_or(CoreError::ColOps(
+        lcdc_colops::ColOpsError::IndexOutOfBounds {
             index: pos as usize,
             len: c.n,
-        }),
-    )?;
+        },
+    ))?;
     c.plain_part(ROLE_VALUES)?
         .get_transport(run)
         .ok_or_else(|| CoreError::CorruptParts("run index past values".into()))
@@ -141,7 +157,9 @@ fn validate_positions(positions: &[u64], n: usize, num_values: usize) -> Result<
         )));
     }
     if positions.windows(2).any(|w| w[0] >= w[1]) {
-        return Err(CoreError::CorruptParts("run positions not strictly increasing".into()));
+        return Err(CoreError::CorruptParts(
+            "run positions not strictly increasing".into(),
+        ));
     }
     match positions.last() {
         Some(&last) if last as usize != n => Err(CoreError::CorruptParts(format!(
@@ -205,17 +223,26 @@ mod tests {
         // Non-monotone positions.
         let mut bad = c.clone();
         bad.parts[1].data = PartData::Plain(ColumnData::U64(vec![5, 2, 6]));
-        assert!(matches!(Rpe.decompress(&bad), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Rpe.decompress(&bad),
+            Err(CoreError::CorruptParts(_))
+        ));
 
         // Wrong total.
         let mut bad = c.clone();
         bad.parts[1].data = PartData::Plain(ColumnData::U64(vec![2, 5, 7]));
-        assert!(matches!(Rpe.decompress(&bad), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Rpe.decompress(&bad),
+            Err(CoreError::CorruptParts(_))
+        ));
 
         // Count mismatch.
         let mut bad = c;
         bad.parts[1].data = PartData::Plain(ColumnData::U64(vec![6]));
-        assert!(matches!(Rpe.decompress(&bad), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Rpe.decompress(&bad),
+            Err(CoreError::CorruptParts(_))
+        ));
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl Scheme for Sparse {
             dtype: col.dtype(),
             params: Params::new(),
             parts: vec![
-                Part { role: ROLE_VALUE, data: PartData::Plain(value_part) },
+                Part {
+                    role: ROLE_VALUE,
+                    data: PartData::Plain(value_part),
+                },
                 Part {
                     role: ROLE_EXC_POSITIONS,
                     data: PartData::Plain(ColumnData::U64(positions)),
@@ -96,10 +99,17 @@ impl Scheme for Sparse {
         // Parts order: 0 = value, 1 = exc_positions, 2 = exc_values.
         Plan::new(
             vec![
-                Node::Const { value: base, len: c.n },                 // %0 model
-                Node::Part(2),                                         // %1 patch values
-                Node::Part(1),                                         // %2 patch positions
-                Node::ScatterOver { base: 0, src: 1, positions: 2 },   // %3
+                Node::Const {
+                    value: base,
+                    len: c.n,
+                }, // %0 model
+                Node::Part(2), // %1 patch values
+                Node::Part(1), // %2 patch positions
+                Node::ScatterOver {
+                    base: 0,
+                    src: 1,
+                    positions: 2,
+                }, // %3
             ],
             3,
         )
@@ -124,16 +134,19 @@ impl Sparse {
 pub fn value_at(c: &Compressed, pos: u64) -> Result<u64> {
     c.check_scheme("sparse")?;
     if pos >= c.n as u64 {
-        return Err(CoreError::ColOps(lcdc_colops::ColOpsError::IndexOutOfBounds {
-            index: pos as usize,
-            len: c.n,
-        }));
+        return Err(CoreError::ColOps(
+            lcdc_colops::ColOpsError::IndexOutOfBounds {
+                index: pos as usize,
+                len: c.n,
+            },
+        ));
     }
     let positions = exc_positions(c)?;
     match positions.binary_search(&pos) {
-        Ok(idx) => c.plain_part(ROLE_EXC_VALUES)?.get_transport(idx).ok_or_else(|| {
-            CoreError::CorruptParts("exception index past exception values".into())
-        }),
+        Ok(idx) => c
+            .plain_part(ROLE_EXC_VALUES)?
+            .get_transport(idx)
+            .ok_or_else(|| CoreError::CorruptParts("exception index past exception values".into())),
         Err(_) => Sparse.base_value(c),
     }
 }
@@ -222,10 +235,7 @@ mod tests {
         let col = ColumnData::U32(vec![7, 3, 7, 3]);
         let c = Sparse.compress(&col).unwrap();
         // Ties break toward the smaller value: base = 3.
-        assert_eq!(
-            c.plain_part(ROLE_VALUE).unwrap(),
-            &ColumnData::U32(vec![3])
-        );
+        assert_eq!(c.plain_part(ROLE_VALUE).unwrap(), &ColumnData::U32(vec![3]));
         assert_eq!(Sparse.decompress(&c).unwrap(), col);
     }
 
@@ -258,17 +268,26 @@ mod tests {
         let mut c = Sparse.compress(&col).unwrap();
         // Non-monotone positions.
         c.parts[1].data = PartData::Plain(ColumnData::U64(vec![400, 17, 999]));
-        assert!(matches!(Sparse.decompress(&c), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Sparse.decompress(&c),
+            Err(CoreError::CorruptParts(_))
+        ));
 
         let mut c = Sparse.compress(&col).unwrap();
         // Position past the end.
         c.parts[1].data = PartData::Plain(ColumnData::U64(vec![17, 400, 5000]));
-        assert!(matches!(Sparse.decompress(&c), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Sparse.decompress(&c),
+            Err(CoreError::CorruptParts(_))
+        ));
 
         let mut c = Sparse.compress(&col).unwrap();
         // Length mismatch between positions and values.
         c.parts[2].data = PartData::Plain(ColumnData::empty(DType::I64));
-        assert!(matches!(Sparse.decompress(&c), Err(CoreError::CorruptParts(_))));
+        assert!(matches!(
+            Sparse.decompress(&c),
+            Err(CoreError::CorruptParts(_))
+        ));
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub struct StepFunction {
 impl StepFunction {
     /// Construct with the given segment length (clamped to ≥ 1).
     pub fn new(seg_len: usize) -> Self {
-        StepFunction { seg_len: seg_len.max(1) }
+        StepFunction {
+            seg_len: seg_len.max(1),
+        }
     }
 }
 
@@ -55,7 +57,9 @@ impl Scheme for StepFunction {
             }
             ColumnData::from_transport(
                 col.dtype(),
-                refs.iter().map(|&x| lcdc_colops::Scalar::to_u64(x)).collect(),
+                refs.iter()
+                    .map(|&x| lcdc_colops::Scalar::to_u64(x))
+                    .collect(),
             )
         });
         Ok(Compressed {
@@ -63,7 +67,10 @@ impl Scheme for StepFunction {
             n: col.len(),
             dtype: col.dtype(),
             params: Params::new().with("l", self.seg_len as i64),
-            parts: vec![Part { role: ROLE_REFS, data: PartData::Plain(refs) }],
+            parts: vec![Part {
+                role: ROLE_REFS,
+                data: PartData::Plain(refs),
+            }],
         })
     }
 
@@ -79,11 +86,18 @@ impl Scheme for StepFunction {
     fn plan(&self, c: &Compressed) -> Result<Plan> {
         Plan::new(
             vec![
-                Node::Const { value: 1, len: c.n },                                // ones
-                Node::PrefixSumExclusive(0),                                       // id (0-based)
-                Node::BinaryScalar { op: BinOpKind::Div, lhs: 1, rhs: self.seg_len as u64 },
-                Node::Part(0),                                                     // refs
-                Node::Gather { values: 3, indices: 2 },                            // replicated
+                Node::Const { value: 1, len: c.n }, // ones
+                Node::PrefixSumExclusive(0),        // id (0-based)
+                Node::BinaryScalar {
+                    op: BinOpKind::Div,
+                    lhs: 1,
+                    rhs: self.seg_len as u64,
+                },
+                Node::Part(0), // refs
+                Node::Gather {
+                    values: 3,
+                    indices: 2,
+                }, // replicated
             ],
             4,
         )
@@ -106,7 +120,10 @@ mod tests {
         let col = ColumnData::U32(vec![5, 5, 5, 9, 9, 9, 2, 2]);
         let s = StepFunction::new(3);
         let c = s.compress(&col).unwrap();
-        assert_eq!(c.plain_part(ROLE_REFS).unwrap(), &ColumnData::U32(vec![5, 9, 2]));
+        assert_eq!(
+            c.plain_part(ROLE_REFS).unwrap(),
+            &ColumnData::U32(vec![5, 9, 2])
+        );
         assert_eq!(s.decompress(&c).unwrap(), col);
         assert_eq!(decompress_via_plan(&s, &c).unwrap(), col);
     }

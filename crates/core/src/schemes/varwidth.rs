@@ -40,13 +40,20 @@ pub const ROLE_BLOCKS: &str = "blocks";
 
 impl Scheme for VarWidthNs {
     fn name(&self) -> String {
-        if self.zigzag { "varwidth_zz".to_string() } else { "varwidth".to_string() }
+        if self.zigzag {
+            "varwidth_zz".to_string()
+        } else {
+            "varwidth".to_string()
+        }
     }
 
     fn compress(&self, col: &ColumnData) -> Result<Compressed> {
         let transport = col.to_transport();
         let to_pack: Vec<u64> = if self.zigzag {
-            transport.iter().map(|&v| lcdc_bitpack::zigzag_encode_i64(v as i64)).collect()
+            transport
+                .iter()
+                .map(|&v| lcdc_bitpack::zigzag_encode_i64(v as i64))
+                .collect()
         } else {
             if let Some((min, _)) = col.min_max_numeric() {
                 if min < 0 {
@@ -63,7 +70,10 @@ impl Scheme for VarWidthNs {
             n: col.len(),
             dtype: col.dtype(),
             params: Params::new().with("zigzag", self.zigzag as i64),
-            parts: vec![Part { role: ROLE_BLOCKS, data: PartData::Blocks(blocks) }],
+            parts: vec![Part {
+                role: ROLE_BLOCKS,
+                data: PartData::Blocks(blocks),
+            }],
         })
     }
 
@@ -71,7 +81,11 @@ impl Scheme for VarWidthNs {
         c.check_scheme(&self.name())?;
         let blocks = match &c.part(ROLE_BLOCKS)?.data {
             PartData::Blocks(b) => b,
-            _ => return Err(CoreError::CorruptParts("blocks part must be block-packed".into())),
+            _ => {
+                return Err(CoreError::CorruptParts(
+                    "blocks part must be block-packed".into(),
+                ))
+            }
         };
         if blocks.len() != c.n {
             return Err(CoreError::CorruptParts(format!(

@@ -34,7 +34,9 @@ pub struct VarStep {
 impl VarStep {
     /// Construct with the given width budget (clamped to 1..=64).
     pub fn new(width: u32) -> Self {
-        VarStep { width: width.clamp(1, 64) }
+        VarStep {
+            width: width.clamp(1, 64),
+        }
     }
 
     fn budget(&self) -> u128 {
@@ -105,7 +107,10 @@ impl Scheme for VarStep {
                     role: ROLE_POSITIONS,
                     data: PartData::Plain(ColumnData::U64(positions)),
                 },
-                Part { role: ROLE_REFS, data: PartData::Plain(refs) },
+                Part {
+                    role: ROLE_REFS,
+                    data: PartData::Plain(refs),
+                },
                 Part {
                     role: ROLE_OFFSETS,
                     data: PartData::Plain(ColumnData::U64(offsets)),
@@ -149,15 +154,29 @@ impl Scheme for VarStep {
         // Parts order: 0 = positions, 1 = refs, 2 = offsets.
         Plan::new(
             vec![
-                Node::Part(0),                                      // %0 positions
-                Node::PopBack(0),                                   // %1 interior boundaries
-                Node::Const { value: 1, len: num_frames - 1 },      // %2 ones
-                Node::Scatter { src: 2, positions: 1, len: c.n },   // %3 frame deltas
-                Node::PrefixSum(3),                                 // %4 frame ids
-                Node::Part(1),                                      // %5 refs
-                Node::Gather { values: 5, indices: 4 },             // %6 replicated refs
-                Node::Part(2),                                      // %7 offsets
-                Node::Binary { op: BinOpKind::Add, lhs: 6, rhs: 7 },
+                Node::Part(0),    // %0 positions
+                Node::PopBack(0), // %1 interior boundaries
+                Node::Const {
+                    value: 1,
+                    len: num_frames - 1,
+                }, // %2 ones
+                Node::Scatter {
+                    src: 2,
+                    positions: 1,
+                    len: c.n,
+                }, // %3 frame deltas
+                Node::PrefixSum(3), // %4 frame ids
+                Node::Part(1),    // %5 refs
+                Node::Gather {
+                    values: 5,
+                    indices: 4,
+                }, // %6 replicated refs
+                Node::Part(2),    // %7 offsets
+                Node::Binary {
+                    op: BinOpKind::Add,
+                    lhs: 6,
+                    rhs: 7,
+                },
             ],
             8,
         )
@@ -170,18 +189,20 @@ pub fn value_at(c: &Compressed, pos: u64) -> Result<u64> {
     let width = c.params.require("w")? as u32;
     c.check_scheme(&VarStep::new(width).name())?;
     let positions = positions_part(c)?;
-    let frame = lcdc_colops::search::run_of_position(positions, pos).ok_or(
-        CoreError::ColOps(lcdc_colops::ColOpsError::IndexOutOfBounds {
+    let frame = lcdc_colops::search::run_of_position(positions, pos).ok_or(CoreError::ColOps(
+        lcdc_colops::ColOpsError::IndexOutOfBounds {
             index: pos as usize,
             len: c.n,
-        }),
-    )?;
-    let r = c.plain_part(ROLE_REFS)?.get_transport(frame).ok_or_else(|| {
-        CoreError::CorruptParts("frame index past refs".into())
-    })?;
-    let off = c.plain_part(ROLE_OFFSETS)?.get_transport(pos as usize).ok_or_else(|| {
-        CoreError::CorruptParts("position past offsets".into())
-    })?;
+        },
+    ))?;
+    let r = c
+        .plain_part(ROLE_REFS)?
+        .get_transport(frame)
+        .ok_or_else(|| CoreError::CorruptParts("frame index past refs".into()))?;
+    let off = c
+        .plain_part(ROLE_OFFSETS)?
+        .get_transport(pos as usize)
+        .ok_or_else(|| CoreError::CorruptParts("position past offsets".into()))?;
     Ok(r.wrapping_add(off))
 }
 

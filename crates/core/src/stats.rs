@@ -62,7 +62,9 @@ impl ColumnStats {
         };
 
         // Single numeric pass: runs, distinct, delta widths.
-        let numeric: Vec<i128> = (0..n).map(|i| col.get_numeric(i).expect("in range")).collect();
+        let numeric: Vec<i128> = (0..n)
+            .map(|i| col.get_numeric(i).expect("in range"))
+            .collect();
         let runs = if n == 0 {
             0
         } else {
@@ -111,7 +113,11 @@ impl ColumnStats {
             .iter()
             .filter(|&&o| bits_needed_u64(o) > for_offset_width_p99)
             .count();
-        let exception_rate = if n == 0 { 0.0 } else { exceptions as f64 / n as f64 };
+        let exception_rate = if n == 0 {
+            0.0
+        } else {
+            exceptions as f64 / n as f64
+        };
 
         ColumnStats {
             n,

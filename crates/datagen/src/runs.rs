@@ -47,7 +47,9 @@ pub fn runs_over_domain(n: usize, mean_run_len: usize, domain: u64, seed: u64) -
 /// `0, 1, 2, …` — a fully deterministic run workload for sweeps where the
 /// run count must be controlled precisely.
 pub fn fixed_runs(num_runs: usize, run_len: usize) -> Vec<u64> {
-    (0..num_runs as u64).flat_map(|v| std::iter::repeat_n(v, run_len)).collect()
+    (0..num_runs as u64)
+        .flat_map(|v| std::iter::repeat_n(v, run_len))
+        .collect()
 }
 
 #[cfg(test)]

@@ -89,7 +89,11 @@ pub fn bounded_walk(n: usize, start: u64, max_step: u64, seed: u64) -> Vec<u64> 
         .map(|_| {
             let up = r.random_bool(0.5);
             let step = r.random_range(0..=max_step);
-            acc = if up { acc.saturating_add(step) } else { acc.saturating_sub(step) };
+            acc = if up {
+                acc.saturating_add(step)
+            } else {
+                acc.saturating_sub(step)
+            };
             acc
         })
         .collect()
@@ -155,7 +159,10 @@ mod tests {
         // the number of maximal runs of "level zone" changes is far
         // smaller than n.
         let coarse: Vec<u64> = col.iter().map(|&v| v >> 3 << 3).collect();
-        let changes = coarse.windows(2).filter(|w| w[0].abs_diff(w[1]) > 8).count();
+        let changes = coarse
+            .windows(2)
+            .filter(|w| w[0].abs_diff(w[1]) > 8)
+            .count();
         assert!(changes < 1234 / 10, "{changes} plateau changes");
     }
 

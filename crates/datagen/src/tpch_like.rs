@@ -49,7 +49,12 @@ pub fn lineitem_like(days: usize, rows_per_day: usize, seed: u64) -> LineitemLik
             extendedprice.push(day_base_price + r.random_range(0..5_000));
         }
     }
-    LineitemLike { shipdate, quantity, discount, extendedprice }
+    LineitemLike {
+        shipdate,
+        quantity,
+        discount,
+        extendedprice,
+    }
 }
 
 #[cfg(test)]
@@ -71,7 +76,10 @@ mod tests {
         assert!(t.quantity.iter().all(|&q| (1..=50).contains(&q)));
         assert!(t.discount.iter().all(|&d| d <= 10));
         assert!(t.shipdate.windows(2).all(|w| w[0] <= w[1]));
-        assert!(t.extendedprice.iter().all(|&p| (90_000..115_000).contains(&p)));
+        assert!(t
+            .extendedprice
+            .iter()
+            .all(|&p| (90_000..115_000).contains(&p)));
     }
 
     #[test]
@@ -85,6 +93,10 @@ mod tests {
     #[test]
     fn row_count_scales_with_days() {
         let t = lineitem_like(100, 10, 4);
-        assert!(t.len() >= 100 * 6 && t.len() <= 100 * 16 + 100, "len {}", t.len());
+        assert!(
+            t.len() >= 100 * 6 && t.len() <= 100 * 16 + 100,
+            "len {}",
+            t.len()
+        );
     }
 }

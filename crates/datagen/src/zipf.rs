@@ -54,7 +54,12 @@ mod tests {
         let codes = zipf_codes(50_000, 32, 1.2, 2);
         let freq = frequencies(&codes, 32);
         // Code 0 clearly dominates code 16 under s = 1.2.
-        assert!(freq[0] > 4 * freq[16].max(1), "freq0={} freq16={}", freq[0], freq[16]);
+        assert!(
+            freq[0] > 4 * freq[16].max(1),
+            "freq0={} freq16={}",
+            freq[0],
+            freq[16]
+        );
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Value-generation strategies: the composable core of the shim.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: values are either drawn from `self`
+    /// (the leaves) or from `recurse` applied to the level below, up to
+    /// `depth` levels. The `_desired_size` / `_expected_branch` hints of
+    /// real proptest are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Type erasure
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies
+
+/// Always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias lightly toward the extremes: boundary values find
+                // more bugs than the uniform interior does.
+                match rng.next_u64() % 16 {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        match rng.next_u64() % 16 {
+            0 => 0,
+            1 => i128::MAX,
+            2 => i128::MIN,
+            _ => ((rng.next_u64() as i128) << 64) | rng.next_u64() as i128,
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+fn below_u128(rng: &mut TestRng, bound: u128) -> u128 {
+    assert!(bound > 0);
+    match rng.next_u64() % 16 {
+        0 => 0,
+        1 => bound - 1,
+        _ => (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % bound,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + below_u128(rng, span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + below_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start + below_u128(rng, span) as i128
+    }
+}
+
+impl Strategy for RangeInclusive<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let span = hi.wrapping_sub(lo) as u128 + 1;
+        lo + below_u128(rng, span) as i128
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combinators
+
+/// A strategy mapped through a function.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among several strategies of one value type.
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from non-empty branches.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.branches.len() as u64) as usize;
+        self.branches[i].generate(rng)
+    }
+}
+
+/// Recursive strategy: leaves from `base`, interior levels from
+/// `recurse` applied to the level below.
+pub struct Recursive<T> {
+    pub(crate) base: BoxedStrategy<T>,
+    pub(crate) depth: u32,
+    pub(crate) recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(self.depth as u64 + 1) as u32;
+        let mut strat = self.base.clone();
+        for _ in 0..levels {
+            strat = (self.recurse)(strat);
+        }
+        strat.generate(rng)
+    }
+}
+
+/// One element of a fixed option list.
+#[derive(Clone)]
+pub struct Select<T: Clone> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// `Vec` of element-strategy draws with a sampled length.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize, // exclusive
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.lo < self.hi, "empty vec size range");
+        let len = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Length specifications accepted by [`crate::collection::vec`].
+pub trait SizeRange {
+    /// `(inclusive lower, exclusive upper)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+// Tuple strategies.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Character-class string patterns
+
+/// `&str` as a strategy: a small regex subset — one character class with
+/// a `{lo,hi}` repetition, e.g. `"[a-z0-9_]{0,60}"` — generating
+/// matching `String`s. Anything outside the subset panics loudly.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_char_class_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_char_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let bail = || -> ! {
+        panic!("string strategy shim supports only \"[class]{{lo,hi}}\" patterns, got {pattern:?}")
+    };
+    let mut chars = pattern.chars().peekable();
+    if chars.next() != Some('[') {
+        bail();
+    }
+    let mut alphabet = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => chars.next().unwrap_or_else(|| bail()),
+            Some(c) => c,
+            None => bail(),
+        };
+        // `a-z` range, unless '-' is the trailing literal.
+        if chars.peek() == Some(&'-') {
+            let mut look = chars.clone();
+            look.next();
+            match look.peek() {
+                Some(&']') | None => alphabet.push(c),
+                Some(&hi) => {
+                    chars = look;
+                    chars.next();
+                    for v in c as u32..=hi as u32 {
+                        alphabet.extend(char::from_u32(v));
+                    }
+                }
+            }
+        } else {
+            alphabet.push(c);
+        }
+    }
+    if alphabet.is_empty() {
+        bail();
+    }
+    let rest: String = chars.collect();
+    let (lo, hi) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| bail());
+        match inner.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().unwrap_or_else(|_| bail()),
+                b.trim().parse().unwrap_or_else(|_| bail()),
+            ),
+            None => {
+                let n = inner.trim().parse().unwrap_or_else(|_| bail());
+                (n, n)
+            }
+        }
+    };
+    (alphabet, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy::tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (5u64..10).generate(&mut r);
+            assert!((5..10).contains(&v));
+            let w = (-3i64..=3).generate(&mut r);
+            assert!((-3..=3).contains(&w));
+            let x = (19_920_000i128..19_921_000).generate(&mut r);
+            assert!((19_920_000..19_921_000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut r = rng();
+        let strat = crate::collection::vec(any::<u64>().prop_map(|v| v & 0xFF), 3..=5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((3..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x <= 0xFF));
+        }
+    }
+
+    #[test]
+    fn union_select_and_recursive() {
+        let mut r = rng();
+        let u = Union::new(vec![(0u64..5).boxed(), (100u64..105).boxed()]);
+        for _ in 0..100 {
+            let v = u.generate(&mut r);
+            assert!(v < 5 || (100..105).contains(&v));
+        }
+        let s = crate::sample::select(vec!["a", "b"]);
+        assert!(["a", "b"].contains(&s.generate(&mut r)));
+
+        // Depth-bounded recursion terminates and reaches depth > 0.
+        let rec = (0u64..10).prop_recursive(3, 16, 2, |inner| inner.prop_map(|v| v + 100));
+        let mut saw_deep = false;
+        for _ in 0..200 {
+            let v = rec.generate(&mut r);
+            assert!(v < 10 + 300);
+            saw_deep |= v >= 100;
+        }
+        assert!(saw_deep);
+    }
+
+    #[test]
+    fn char_class_pattern() {
+        let mut r = rng();
+        let pat = "[a-z0-9_=,\\[\\]() ]{0,60}";
+        for _ in 0..200 {
+            let s = pat.generate(&mut r);
+            assert!(s.chars().count() <= 60);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "_=,[]() ".contains(c),
+                    "{c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn just_yields_value() {
+        assert_eq!(Just(7u32).generate(&mut rng()), 7);
+    }
+}

@@ -14,9 +14,9 @@
 
 use crate::segment::Segment;
 use crate::Result;
-use lcdc_core::schemes::{for_, rle, rpe};
-use lcdc_core::ColumnData;
 use lcdc_colops::Bitmap;
+use lcdc_core::schemes::for_;
+use lcdc_core::ColumnData;
 
 /// Supported aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +98,21 @@ pub fn aggregate_plain(col: &ColumnData, selection: Option<&Bitmap>) -> AggResul
     acc
 }
 
+/// Fold run values weighted by their lengths — the run-granularity
+/// aggregation shared by [`aggregate_segment`] and the planner's
+/// aggregate sink. `ends` are exclusive run end positions over `n`
+/// rows, as produced by [`Segment::run_structure`].
+pub fn aggregate_runs(values: &ColumnData, ends: &[u64], n: usize) -> AggResult {
+    let mut acc = AggResult::default();
+    let mut start = 0usize;
+    for run in 0..values.len() {
+        let end = (ends.get(run).copied().unwrap_or(n as u64) as usize).min(n);
+        acc.push_weighted(values.get_numeric(run).expect("in range"), end - start);
+        start = end;
+    }
+    acc
+}
+
 /// Aggregate a compressed segment without materialising it, when its
 /// scheme permits; falls back to decompress-then-fold. Selections force
 /// the fallback (run-selection interaction is handled a level up by
@@ -106,33 +121,10 @@ pub fn aggregate_segment(segment: &Segment, selection: Option<&Bitmap>) -> Resul
     if let Some(bitmap) = selection {
         return Ok(aggregate_plain(&segment.decompress()?, Some(bitmap)));
     }
+    if let Some((values, ends)) = segment.run_structure()? {
+        return Ok(aggregate_runs(&values, &ends, segment.num_rows()));
+    }
     let scheme_id = segment.compressed.scheme_id.as_str();
-    if scheme_id == "rle" || scheme_id.starts_with("rle[") {
-        let scheme = segment.scheme()?;
-        let values = scheme.decompress_part(&segment.compressed, rle::ROLE_VALUES)?;
-        let lengths = scheme.decompress_part(&segment.compressed, rle::ROLE_LENGTHS)?;
-        let mut acc = AggResult::default();
-        for run in 0..values.len() {
-            acc.push_weighted(
-                values.get_numeric(run).expect("in range"),
-                lengths.get_numeric(run).expect("in range") as usize,
-            );
-        }
-        return Ok(acc);
-    }
-    if scheme_id == "rpe" || scheme_id.starts_with("rpe[") {
-        let scheme = segment.scheme()?;
-        let values = scheme.decompress_part(&segment.compressed, rpe::ROLE_VALUES)?;
-        let positions = scheme.decompress_part(&segment.compressed, rpe::ROLE_POSITIONS)?;
-        let mut acc = AggResult::default();
-        let mut start = 0i128;
-        for run in 0..values.len() {
-            let end = positions.get_numeric(run).expect("in range");
-            acc.push_weighted(values.get_numeric(run).expect("in range"), (end - start) as usize);
-            start = end;
-        }
-        return Ok(acc);
-    }
     if scheme_id.starts_with("for(") {
         // SUM distributes over Algorithm 2's final Elementwise(+):
         // sum = Σ_seg refs[seg]·|seg| + Σ offsets. MIN/MAX need the
@@ -174,8 +166,7 @@ mod tests {
     use crate::segment::CompressionPolicy;
 
     fn check_against_plain(col: ColumnData, expr: &str) {
-        let segment =
-            Segment::build(&col, &CompressionPolicy::Fixed(expr.to_string())).unwrap();
+        let segment = Segment::build(&col, &CompressionPolicy::Fixed(expr.to_string())).unwrap();
         let fast = aggregate_segment(&segment, None).unwrap();
         let naive = aggregate_plain(&col, None);
         assert_eq!(fast, naive, "{expr}");

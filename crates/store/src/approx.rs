@@ -100,7 +100,13 @@ impl<'a> GradualAggregate<'a> {
             min_lo = Some(min_lo.map_or(lo, |m| m.min(lo)));
             max_hi = Some(max_hi.map_or(hi, |m| m.max(hi)));
         }
-        AggInterval { sum_lo, sum_hi, min_lo, max_hi, count: self.count }
+        AggInterval {
+            sum_lo,
+            sum_hi,
+            min_lo,
+            max_hi,
+            count: self.count,
+        }
     }
 
     /// Segments not yet refined.
@@ -175,9 +181,7 @@ mod tests {
     use lcdc_core::{ColumnData, DType};
 
     fn table() -> (Table, ColumnData) {
-        let col = ColumnData::U64(
-            (0..20_000u64).map(|i| (i / 1000) * 100 + i % 17).collect(),
-        );
+        let col = ColumnData::U64((0..20_000u64).map(|i| (i / 1000) * 100 + i % 17).collect());
         let schema = TableSchema::new(&[("v", DType::U64)]);
         let t = Table::build(
             schema,
@@ -194,7 +198,11 @@ mod tests {
         let (t, col) = table();
         let exact = aggregate_plain(&col, None);
         let approx = approximate_aggregate(&t, "v").unwrap();
-        assert!(approx.contains_sum(exact.sum), "{approx:?} vs {}", exact.sum);
+        assert!(
+            approx.contains_sum(exact.sum),
+            "{approx:?} vs {}",
+            exact.sum
+        );
         assert!(approx.min_lo.unwrap() <= exact.min.unwrap());
         assert!(approx.max_hi.unwrap() >= exact.max.unwrap());
         assert_eq!(approx.count, exact.count);
@@ -228,7 +236,10 @@ mod tests {
         let exact = aggregate_plain(&col, None).sum;
         let mut g = GradualAggregate::new(&t, "v").unwrap();
         let refined = g.refine_to(0.05).unwrap();
-        assert!(refined < 20, "should not need every segment, used {refined}");
+        assert!(
+            refined < 20,
+            "should not need every segment, used {refined}"
+        );
         let interval = g.interval();
         assert!(interval.contains_sum(exact));
         assert!(interval.sum_width() as f64 <= 0.05 * exact as f64 + 1.0);

@@ -1,19 +1,18 @@
-//! DISTINCT / COUNT(DISTINCT) on the compressed form.
+//! DISTINCT / COUNT(DISTINCT), as a thin adapter over the planner.
 //!
 //! Several schemes *store* the distinct structure outright: a DICT
 //! segment's dictionary is its distinct set, an RLE/RPE segment's run
 //! values bound it (adjacent duplicates already collapsed), a SPARSE
 //! segment contributes its base plus its exception values, CONST exactly
-//! one value. Collecting distincts therefore never needs the rows —
-//! partial decompression of the right *part column* suffices, another
-//! dividend of the paper's "compressed form = plain columns" view.
+//! one value. The planner's distinct sink collects from the right *part
+//! column* wherever one exists — another dividend of the paper's
+//! "compressed form = plain columns" view. These free functions keep the
+//! original signatures; new code should use
+//! [`crate::QueryBuilder::distinct`], which also composes with filters.
 
-use crate::segment::Segment;
+use crate::query::QueryBuilder;
 use crate::table::Table;
 use crate::Result;
-use lcdc_core::schemes::{const_, dict, rle, rpe, sparse};
-use lcdc_core::ColumnData;
-use std::collections::HashSet;
 
 /// Execution counters for [`distinct_compressed`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,71 +28,21 @@ pub struct DistinctStats {
 
 /// Baseline: materialise the column, hash every row.
 pub fn distinct_naive(table: &Table, column: &str) -> Result<Vec<i128>> {
-    let col = table.materialize(column)?;
-    let mut set: HashSet<i128> = HashSet::new();
-    for i in 0..col.len() {
-        set.insert(col.get_numeric(i).expect("in range"));
-    }
-    let mut out: Vec<i128> = set.into_iter().collect();
-    out.sort_unstable();
-    Ok(out)
+    let result = QueryBuilder::scan(table).distinct(column).execute_naive()?;
+    Ok(result.distinct().expect("distinct plan").to_vec())
 }
 
 /// Distinct values off the compressed forms, sorted ascending.
 pub fn distinct_compressed(table: &Table, column: &str) -> Result<(Vec<i128>, DistinctStats)> {
-    let segments = table.column_segments(column)?;
-    let mut stats = DistinctStats::default();
-    let mut set: HashSet<i128> = HashSet::new();
-    for seg in segments {
-        collect_distinct(seg, &mut set, &mut stats)?;
-    }
-    let mut out: Vec<i128> = set.into_iter().collect();
-    out.sort_unstable();
-    Ok((out, stats))
-}
-
-fn collect_distinct(
-    seg: &Segment,
-    set: &mut HashSet<i128>,
-    stats: &mut DistinctStats,
-) -> Result<()> {
-    if seg.num_rows() == 0 {
-        return Ok(());
-    }
-    let scheme_id = seg.compressed.scheme_id.as_str();
-    let base = scheme_id.split(['(', '[']).next().unwrap_or(scheme_id);
-    // Which part column carries the candidate values, per scheme.
-    let structural_part: Option<Vec<&'static str>> = match base {
-        "dict" => Some(vec![dict::ROLE_DICT]),
-        "rle" => Some(vec![rle::ROLE_VALUES]),
-        "rpe" => Some(vec![rpe::ROLE_VALUES]),
-        "const" => Some(vec![const_::ROLE_VALUE]),
-        "sparse" => Some(vec![sparse::ROLE_VALUE, sparse::ROLE_EXC_VALUES]),
-        _ => None,
+    let result = QueryBuilder::scan(table).distinct(column).execute()?;
+    let stats = DistinctStats {
+        segments_structural: result.stats.segments_structural,
+        segments_decompressed: result.stats.segments
+            - result.stats.segments_pruned
+            - result.stats.segments_structural,
+        values_hashed: result.stats.values_processed,
     };
-    match structural_part {
-        Some(roles) => {
-            stats.segments_structural += 1;
-            let scheme = seg.scheme()?;
-            for role in roles {
-                let part = scheme.decompress_part(&seg.compressed, role)?;
-                push_all(&part, set, stats);
-            }
-        }
-        None => {
-            stats.segments_decompressed += 1;
-            let col = seg.decompress()?;
-            push_all(&col, set, stats);
-        }
-    }
-    Ok(())
-}
-
-fn push_all(col: &ColumnData, set: &mut HashSet<i128>, stats: &mut DistinctStats) {
-    for i in 0..col.len() {
-        set.insert(col.get_numeric(i).expect("in range"));
-        stats.values_hashed += 1;
-    }
+    Ok((result.distinct().expect("distinct plan").to_vec(), stats))
 }
 
 #[cfg(test)]
@@ -101,13 +50,11 @@ mod tests {
     use super::*;
     use crate::schema::TableSchema;
     use crate::segment::CompressionPolicy;
-    use lcdc_core::DType;
+    use lcdc_core::{ColumnData, DType};
 
     fn table(policy: &str) -> Table {
         // 40 distinct values over 8000 rows, run-heavy.
-        let col = ColumnData::I64(
-            (0..8000i64).map(|i| ((i / 50) * 31 % 40) - 20).collect(),
-        );
+        let col = ColumnData::I64((0..8000i64).map(|i| ((i / 50) * 31 % 40) - 20).collect());
         let schema = TableSchema::new(&[("v", DType::I64)]);
         Table::build(
             schema,

@@ -72,7 +72,11 @@ pub fn load_table(dir: &Path) -> Result<Table> {
     let mut segments = Vec::with_capacity(schema.width());
     for (col, &count) in schema.columns.iter().zip(&seg_counts) {
         let data = fs::read(dir.join(column_file(&col.name)))?;
-        let mut r = FileReader { bytes: &data, pos: 0, name: &col.name };
+        let mut r = FileReader {
+            bytes: &data,
+            pos: 0,
+            name: &col.name,
+        };
         let mut col_segments = Vec::with_capacity(count);
         for _ in 0..count {
             col_segments.push(r.segment()?);
@@ -123,13 +127,21 @@ pub fn read_segment(dir: &Path, column: &str, index: usize) -> Result<Segment> {
     }
     let mut rest = Vec::new();
     file.read_to_end(&mut rest)?;
-    let mut r = FileReader { bytes: &rest, pos: 0, name: column };
+    let mut r = FileReader {
+        bytes: &rest,
+        pos: 0,
+        name: column,
+    };
     r.segment()
 }
 
 fn read_manifest(dir: &Path) -> Result<(TableSchema, usize, usize, Vec<usize>)> {
     let data = fs::read(dir.join(MANIFEST))?;
-    let mut r = FileReader { bytes: &data, pos: 0, name: MANIFEST };
+    let mut r = FileReader {
+        bytes: &data,
+        pos: 0,
+        name: MANIFEST,
+    };
     if r.take(8)? != MAGIC {
         return Err(StoreError::CorruptFile("bad manifest magic".into()));
     }
@@ -160,7 +172,13 @@ fn column_file(name: &str) -> String {
     // Column names are identifiers in practice; escape anything else.
     let safe: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     format!("{safe}.col")
 }
@@ -191,7 +209,9 @@ fn dtype_from_tag(tag: u8) -> Result<DType> {
         2 => DType::I32,
         3 => DType::I64,
         other => {
-            return Err(StoreError::CorruptFile(format!("unknown dtype tag {other}")))
+            return Err(StoreError::CorruptFile(format!(
+                "unknown dtype tag {other}"
+            )))
         }
     })
 }
@@ -237,15 +257,21 @@ impl<'a> FileReader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn i128(&mut self) -> Result<i128> {
-        Ok(i128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+        Ok(i128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
+        ))
     }
 
     fn str(&mut self) -> Result<String> {
@@ -269,7 +295,12 @@ impl<'a> FileReader<'a> {
             )));
         }
         let compressed = bytes::from_bytes(frame)?;
-        Ok(Segment { compressed, expr, min, max })
+        Ok(Segment {
+            compressed,
+            expr,
+            min,
+            max,
+        })
     }
 }
 
@@ -341,7 +372,10 @@ mod tests {
         let loaded = load_table(&dir).unwrap();
         let q = crate::Query::new(
             "date",
-            crate::Predicate::Range { lo: 20_180_110, hi: 20_180_140 },
+            crate::Predicate::Range {
+                lo: 20_180_110,
+                hi: 20_180_140,
+            },
             "delta",
         );
         assert_eq!(

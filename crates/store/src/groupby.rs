@@ -1,17 +1,20 @@
-//! Grouped aggregation, naive and run-aware.
+//! Grouped aggregation over raw segment slices.
 //!
 //! `SELECT key, SUM(value) GROUP BY key` over a compressed key column:
 //! the naive path hashes every row; the run-aware path exploits the RLE
 //! family's structure — within a run the key is constant, so the hash
-//! table is probed once per *run* and the value sub-range is folded with
-//! a straight slice sum. Another instance of pushing query work through
-//! Algorithm 1's `Gather` instead of materialising it.
+//! table is probed once per *run* — through the same
+//! [`Segment::run_structure`] kernel the planner's
+//! group-by sink uses. These free functions keep the original
+//! segment-slice signatures (pairwise-aligned slices, no table needed,
+//! nothing cloned) for existing callers and benches; table-level code
+//! should use [`crate::QueryBuilder::group_by`], which adds filters,
+//! multiple aggregates, and parallel execution on top of the same
+//! kernel.
 
 use crate::agg::AggResult;
 use crate::segment::Segment;
 use crate::{Result, StoreError};
-use lcdc_core::schemes::{rle, rpe};
-use lcdc_core::ColumnData;
 use std::collections::HashMap;
 
 /// Grouped aggregates keyed by the group value.
@@ -22,14 +25,7 @@ pub fn group_agg_naive(keys: &[Segment], values: &[Segment]) -> Result<Groups> {
     check_alignment(keys, values)?;
     let mut groups = Groups::new();
     for (kseg, vseg) in keys.iter().zip(values) {
-        let k = kseg.decompress()?;
-        let v = vseg.decompress()?;
-        for i in 0..k.len() {
-            groups
-                .entry(k.get_numeric(i).expect("in range"))
-                .or_default()
-                .push(v.get_numeric(i).expect("in range"));
-        }
+        per_row(&kseg.decompress()?, &vseg.decompress()?, &mut groups);
     }
     Ok(groups)
 }
@@ -41,7 +37,7 @@ pub fn group_agg_compressed(keys: &[Segment], values: &[Segment]) -> Result<Grou
     check_alignment(keys, values)?;
     let mut groups = Groups::new();
     for (kseg, vseg) in keys.iter().zip(values) {
-        match run_structure(kseg)? {
+        match kseg.run_structure()? {
             Some((run_values, run_ends)) => {
                 let v = vseg.decompress()?;
                 let v_numeric = v.to_numeric();
@@ -57,39 +53,19 @@ pub fn group_agg_compressed(keys: &[Segment], values: &[Segment]) -> Result<Grou
                     start = end;
                 }
             }
-            None => {
-                let k = kseg.decompress()?;
-                let v = vseg.decompress()?;
-                for i in 0..k.len() {
-                    groups
-                        .entry(k.get_numeric(i).expect("in range"))
-                        .or_default()
-                        .push(v.get_numeric(i).expect("in range"));
-                }
-            }
+            None => per_row(&kseg.decompress()?, &vseg.decompress()?, &mut groups),
         }
     }
     Ok(groups)
 }
 
-/// Extract `(run values, exclusive run end positions)` from an RLE/RPE
-/// segment via partial decompression; `None` for other schemes.
-fn run_structure(segment: &Segment) -> Result<Option<(ColumnData, Vec<u64>)>> {
-    let scheme_id = segment.compressed.scheme_id.as_str();
-    if scheme_id == "rle" || scheme_id.starts_with("rle[") {
-        let scheme = segment.scheme()?;
-        let values = scheme.decompress_part(&segment.compressed, rle::ROLE_VALUES)?;
-        let lengths = scheme.decompress_part(&segment.compressed, rle::ROLE_LENGTHS)?;
-        let ends = lcdc_colops::prefix_sum_inclusive(&lengths.to_transport());
-        return Ok(Some((values, ends)));
+fn per_row(k: &lcdc_core::ColumnData, v: &lcdc_core::ColumnData, groups: &mut Groups) {
+    for i in 0..k.len() {
+        groups
+            .entry(k.get_numeric(i).expect("in range"))
+            .or_default()
+            .push(v.get_numeric(i).expect("in range"));
     }
-    if scheme_id == "rpe" || scheme_id.starts_with("rpe[") {
-        let scheme = segment.scheme()?;
-        let values = scheme.decompress_part(&segment.compressed, rpe::ROLE_VALUES)?;
-        let positions = scheme.decompress_part(&segment.compressed, rpe::ROLE_POSITIONS)?;
-        return Ok(Some((values, positions.to_transport())));
-    }
-    Ok(None)
 }
 
 fn check_alignment(keys: &[Segment], values: &[Segment]) -> Result<()> {
@@ -116,6 +92,7 @@ fn check_alignment(keys: &[Segment], values: &[Segment]) -> Result<()> {
 mod tests {
     use super::*;
     use crate::segment::CompressionPolicy;
+    use lcdc_core::ColumnData;
 
     fn segs(col: &ColumnData, expr: &str, seg_rows: usize) -> Vec<Segment> {
         let t = col.to_transport();
@@ -198,5 +175,31 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(group_agg_compressed(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ragged_but_aligned_segments_still_work() {
+        // The segment-slice API only requires *pairwise* height
+        // equality, not uniform heights — callers may hand over
+        // arbitrary aligned chunks.
+        let build = |col: &ColumnData, expr: &str| {
+            Segment::build(col, &CompressionPolicy::Fixed(expr.to_string())).unwrap()
+        };
+        let keys = vec![
+            build(&ColumnData::U64(vec![1; 100]), "rle[values=ns,lengths=ns]"),
+            build(&ColumnData::U64(vec![2; 70]), "rle[values=ns,lengths=ns]"),
+            build(&ColumnData::U64(vec![1; 100]), "rle[values=ns,lengths=ns]"),
+        ];
+        let values = vec![
+            build(&ColumnData::U64((0..100).collect()), "ns"),
+            build(&ColumnData::U64((0..70).collect()), "ns"),
+            build(&ColumnData::U64(vec![5; 100]), "ns"),
+        ];
+        let naive = group_agg_naive(&keys, &values).unwrap();
+        let fast = group_agg_compressed(&keys, &values).unwrap();
+        assert_eq!(naive, fast);
+        assert_eq!(naive[&1].count, 200);
+        assert_eq!(naive[&2].count, 70);
+        assert_eq!(naive[&1].sum, (0..100).sum::<i128>() + 500);
     }
 }

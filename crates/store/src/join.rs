@@ -36,8 +36,9 @@ pub fn histogram_segment(segment: &Segment) -> Result<Histogram> {
         let scheme = segment.scheme()?;
         let values = scheme.decompress_part(&segment.compressed, rle::ROLE_VALUES)?;
         let lengths = scheme.decompress_part(&segment.compressed, rle::ROLE_LENGTHS)?;
-        let weights: Vec<u64> =
-            (0..lengths.len()).map(|i| lengths.get_numeric(i).expect("in range") as u64).collect();
+        let weights: Vec<u64> = (0..lengths.len())
+            .map(|i| lengths.get_numeric(i).expect("in range") as u64)
+            .collect();
         Some((values, weights))
     } else if scheme_id == "rpe" || scheme_id.starts_with("rpe[") {
         let scheme = segment.scheme()?;
@@ -58,7 +59,8 @@ pub fn histogram_segment(segment: &Segment) -> Result<Histogram> {
         Some((values, weights)) => {
             let mut h = Histogram::with_capacity(values.len());
             for (i, &w) in weights.iter().enumerate() {
-                *h.entry(values.get_numeric(i).expect("in range")).or_insert(0) += w;
+                *h.entry(values.get_numeric(i).expect("in range"))
+                    .or_insert(0) += w;
             }
             Ok(h)
         }

@@ -1,12 +1,52 @@
-//! # lcdc-store — a miniature column store
+//! # lcdc-store — a miniature column store with a logical-plan query API
 //!
 //! The substrate for the paper's "why it matters" claims: a vectorised
 //! column store whose segments are compressed with per-segment scheme
-//! choice, and whose scan/filter/aggregate operators can run **on the
-//! compressed form** — zone-map pruning from FOR/STEP model metadata,
-//! run-granularity predicate evaluation on RLE/RPE, run-weighted
-//! aggregation — next to a naive decompress-everything baseline for the
-//! pushdown/fusion experiments (E7, E8).
+//! choice, and whose query operators can run **on the compressed form**.
+//!
+//! ## The query API
+//!
+//! Queries are built as **logical plans** and compiled to
+//! **compression-aware physical plans** (see [`crate::query`]):
+//!
+//! ```
+//! use lcdc_core::{ColumnData, DType};
+//! use lcdc_store::{Agg, CompressionPolicy, Predicate, QueryBuilder, Table, TableSchema};
+//!
+//! # let schema = TableSchema::new(&[("shipdate", DType::U64), ("qty", DType::U64)]);
+//! # let shipdate = ColumnData::U64((0..2000u64).map(|i| 19_920_101 + i / 40).collect());
+//! # let qty = ColumnData::U64((0..2000u64).map(|i| 1 + i % 50).collect());
+//! # let table = Table::build(
+//! #     schema,
+//! #     &[shipdate, qty],
+//! #     &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+//! #     256,
+//! # ).unwrap();
+//! let result = QueryBuilder::scan(&table)
+//!     .filter("shipdate", Predicate::Range { lo: 19_920_110, hi: 19_920_120 })
+//!     .group_by("shipdate")
+//!     .aggregate(&[Agg::Sum("qty"), Agg::Count])
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(result.groups().unwrap().len(), 11);
+//! ```
+//!
+//! The physical plan executes segment by segment, choosing the cheapest
+//! pushdown tier each segment's scheme offers — zone-map pruning from
+//! FOR/STEP model metadata, run-granularity predicates on RLE/RPE,
+//! code-granularity on DICT, run-weighted aggregation, part-column
+//! distinct — and materialises rows only as the last resort. The same
+//! per-segment pipeline drives [`QueryBuilder::execute_parallel`], so
+//! every operator parallelises, and a naive decompress-everything mode
+//! ([`QueryBuilder::execute_naive`]) keeps the pushdown/fusion
+//! experiments (E7-E9) honest. One [`QueryStats`] records the
+//! segment/row/tier accounting uniformly across operators.
+//!
+//! The pre-planner entry points — [`Query`] (filter + aggregate),
+//! [`groupby`](mod@groupby), [`topk`](mod@topk),
+//! [`distinct`](mod@distinct), [`run_pushdown_parallel`] — survive as
+//! thin adapters over the planner, so existing callers and benches keep
+//! working unchanged.
 //!
 //! Deliberately small: one table = a schema plus, per column, a list of
 //! compressed segments. No transactions, no buffer manager, no SQL — the
@@ -19,10 +59,11 @@ pub mod approx;
 pub mod distinct;
 pub mod exec;
 pub mod file;
-pub mod par;
 pub mod groupby;
 pub mod join;
+pub mod par;
 pub mod predicate;
+pub mod query;
 pub mod schema;
 pub mod segment;
 pub mod selvec;
@@ -32,18 +73,19 @@ pub mod topk;
 
 pub use agg::{AggKind, AggResult};
 pub use approx::{approximate_aggregate, AggInterval, GradualAggregate};
-pub use exec::{Query, QueryOutput, QueryStats};
-pub use file::{load_table, read_segment, save_table};
-pub use par::{par_materialize, run_pushdown_parallel};
-pub use join::{join_count_compressed, join_count_naive};
-pub use predicate::Predicate;
-pub use schema::{ColumnSchema, TableSchema};
 pub use distinct::{distinct_compressed, distinct_naive, DistinctStats};
+pub use exec::{Query, QueryOutput};
+pub use file::{load_table, read_segment, save_table};
+pub use join::{join_count_compressed, join_count_naive};
+pub use par::{par_materialize, run_pushdown_parallel};
+pub use predicate::{Predicate, PushdownStats};
+pub use query::{Agg, PhysicalPlan, QueryBuilder, QueryResult, QueryStats, Rows};
+pub use schema::{ColumnSchema, TableSchema};
+pub use segment::{CompressionPolicy, Segment};
 pub use selvec::{gather_early, gather_late, select, select_and, GatherStats, SelVec};
 pub use sort::{sort_column_compressed, sort_column_naive, SortStats};
-pub use topk::{top_k_naive, top_k_pruned, TopKStats};
-pub use segment::{CompressionPolicy, Segment};
 pub use table::Table;
+pub use topk::{top_k_naive, top_k_pruned, TopKStats};
 
 /// Errors produced by the store.
 #[derive(Debug)]

@@ -2,58 +2,24 @@
 //!
 //! Segments are independent — per-segment scheme choice made them the
 //! unit of compression, and the same boundary makes them the unit of
-//! parallelism: each worker runs the identical per-segment pushdown
-//! pipeline (`Query::pushdown_segment`) over a contiguous slice of
-//! segments and the partial aggregates merge associatively. Built on
+//! parallelism: each worker runs the identical per-segment physical-plan
+//! pipeline over a contiguous slice of the plan's segment visit order,
+//! and the partial sink states merge associatively. Because the planner
+//! executes *every* operator per segment, this parallelises filtered
+//! aggregates, group-bys, top-k, and distinct alike — see
+//! [`crate::QueryBuilder::execute_parallel`]. Built on
 //! `std::thread::scope`; no work stealing (segments are equal-height, so
 //! static partitioning balances except at the tail).
 
-use crate::agg::AggResult;
-use crate::exec::{Query, QueryOutput, QueryStats};
+use crate::exec::{Query, QueryOutput};
 use crate::table::Table;
 use crate::{Result, StoreError};
 use lcdc_core::ColumnData;
 
 /// Run the pushdown pipeline with `threads` workers. Produces exactly
 /// [`Query::run_pushdown`]'s answer and counters.
-pub fn run_pushdown_parallel(
-    query: &Query,
-    table: &Table,
-    threads: usize,
-) -> Result<QueryOutput> {
-    let filter_segments = table.column_segments(&query.filter_column)?;
-    let agg_segments = table.column_segments(&query.agg_column)?;
-    let threads = threads.clamp(1, filter_segments.len().max(1));
-    let chunk = filter_segments.len().div_ceil(threads);
-
-    let partials: Vec<Result<(AggResult, QueryStats)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (fchunk, achunk) in filter_segments.chunks(chunk).zip(agg_segments.chunks(chunk)) {
-            handles.push(scope.spawn(move || {
-                let mut agg = AggResult::default();
-                let mut stats = QueryStats::default();
-                for (fseg, aseg) in fchunk.iter().zip(achunk) {
-                    let (part, part_stats) = query.pushdown_segment(fseg, aseg)?;
-                    agg.merge(&part);
-                    stats.absorb(&part_stats);
-                }
-                Ok((agg, stats))
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker panicked"))
-            .collect()
-    });
-
-    let mut agg = AggResult::default();
-    let mut stats = QueryStats::default();
-    for partial in partials {
-        let (part, part_stats) = partial?;
-        agg.merge(&part);
-        stats.absorb(&part_stats);
-    }
-    Ok(QueryOutput { agg, stats })
+pub fn run_pushdown_parallel(query: &Query, table: &Table, threads: usize) -> Result<QueryOutput> {
+    query.run_parallel(table, threads)
 }
 
 /// Decompress a column with `threads` workers, one contiguous segment
@@ -129,7 +95,10 @@ mod tests {
         ] {
             let q = Query::new(
                 "date",
-                Predicate::Range { lo: lo as i128, hi: hi as i128 },
+                Predicate::Range {
+                    lo: lo as i128,
+                    hi: hi as i128,
+                },
                 "qty",
             );
             let sequential = q.run_pushdown(&t).unwrap();

@@ -17,9 +17,8 @@
 
 use crate::segment::Segment;
 use crate::Result;
-use lcdc_core::schemes::{rle, rpe};
-use lcdc_core::ColumnData;
 use lcdc_colops::Bitmap;
+use lcdc_core::ColumnData;
 
 /// A selection predicate over one column's numeric values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,9 +76,22 @@ impl Predicate {
         segment: &Segment,
         stats: Option<&mut PushdownStats>,
     ) -> Result<Bitmap> {
+        self.eval_segment_caching(segment, stats, &mut None)
+    }
+
+    /// Like [`Predicate::eval_segment`], but when the row-granularity
+    /// tier has to fully decompress the segment, the plain column is
+    /// handed back through `plain_out` so the caller can reuse it
+    /// instead of decompressing the same segment a second time.
+    pub fn eval_segment_caching(
+        &self,
+        segment: &Segment,
+        stats: Option<&mut PushdownStats>,
+        plain_out: &mut Option<ColumnData>,
+    ) -> Result<Bitmap> {
         let n = segment.num_rows();
         let mut local_stats = PushdownStats::default();
-        let result = self.eval_segment_inner(segment, n, &mut local_stats)?;
+        let result = self.eval_segment_inner(segment, n, &mut local_stats, plain_out)?;
         if let Some(s) = stats {
             s.absorb(&local_stats);
         }
@@ -91,6 +103,7 @@ impl Predicate {
         segment: &Segment,
         n: usize,
         stats: &mut PushdownStats,
+        plain_out: &mut Option<ColumnData>,
     ) -> Result<Bitmap> {
         if matches!(self, Predicate::All) {
             stats.zonemap_hits += 1;
@@ -107,30 +120,13 @@ impl Predicate {
                 return Ok(Bitmap::new_ones(n));
             }
         }
-        // Tier 2: run granularity for the RLE family.
+        // Tier 2: run granularity for the RLE family, via the shared
+        // [`Segment::run_structure`] kernel.
+        if let Some((values, ends)) = segment.run_structure()? {
+            stats.run_granularity += 1;
+            return Ok(self.paint_runs(&values, &ends, n));
+        }
         let scheme_id = segment.compressed.scheme_id.as_str();
-        if scheme_id == "rle" || scheme_id.starts_with("rle[") {
-            stats.run_granularity += 1;
-            let scheme = segment.scheme()?;
-            let values = scheme.decompress_part(&segment.compressed, rle::ROLE_VALUES)?;
-            let lengths = scheme.decompress_part(&segment.compressed, rle::ROLE_LENGTHS)?;
-            let ends = lcdc_colops::prefix_sum_inclusive(&match lengths {
-                ColumnData::U64(l) => l,
-                other => other.to_transport(),
-            });
-            return Ok(self.paint_runs(&values, &ends, n));
-        }
-        if scheme_id == "rpe" || scheme_id.starts_with("rpe[") {
-            stats.run_granularity += 1;
-            let scheme = segment.scheme()?;
-            let values = scheme.decompress_part(&segment.compressed, rpe::ROLE_VALUES)?;
-            let positions = scheme.decompress_part(&segment.compressed, rpe::ROLE_POSITIONS)?;
-            let ends = match positions {
-                ColumnData::U64(p) => p,
-                other => other.to_transport(),
-            };
-            return Ok(self.paint_runs(&values, &ends, n));
-        }
         // Tier 2b: order-preserving dictionaries — rewrite the value
         // range into a *code* range and test codes directly, never
         // materialising the gathered values (the classic dictionary
@@ -139,16 +135,16 @@ impl Predicate {
             if let Some((lo, hi)) = self.bounds() {
                 stats.code_granularity += 1;
                 let scheme = segment.scheme()?;
-                let dict =
-                    scheme.decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_DICT)?;
+                let dict = scheme
+                    .decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_DICT)?;
                 let dict_numeric = dict.to_numeric();
                 let code_lo = dict_numeric.partition_point(|&v| v < lo) as u64;
                 let code_hi = dict_numeric.partition_point(|&v| v <= hi) as u64; // exclusive
                 if code_lo >= code_hi {
                     return Ok(Bitmap::new_zeroed(n));
                 }
-                let codes =
-                    scheme.decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_CODES)?;
+                let codes = scheme
+                    .decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_CODES)?;
                 let codes = codes.to_transport();
                 let mut bitmap = Bitmap::new_zeroed(n);
                 for (i, &code) in codes.iter().enumerate() {
@@ -161,7 +157,10 @@ impl Predicate {
         }
         // Tier 3: decompress and test.
         stats.row_granularity += 1;
-        Ok(self.eval_plain(&segment.decompress()?))
+        let plain = segment.decompress()?;
+        let mask = self.eval_plain(&plain);
+        *plain_out = Some(plain);
+        Ok(mask)
     }
 
     fn paint_runs(&self, values: &ColumnData, ends: &[u64], n: usize) -> Bitmap {
@@ -256,7 +255,9 @@ mod tests {
     fn run_granularity_tier_fires() {
         let segment = runs_segment();
         let mut stats = PushdownStats::default();
-        let _ = Predicate::Eq(4).eval_segment(&segment, Some(&mut stats)).unwrap();
+        let _ = Predicate::Eq(4)
+            .eval_segment(&segment, Some(&mut stats))
+            .unwrap();
         assert_eq!(stats.run_granularity, 1);
         assert_eq!(stats.row_granularity, 0);
     }
@@ -289,7 +290,9 @@ mod tests {
         let col = ColumnData::U64((0..100).map(|i| i * 7 % 13).collect());
         let segment = Segment::build(&col, &CompressionPolicy::Fixed("ns".into())).unwrap();
         let mut stats = PushdownStats::default();
-        let b = Predicate::Eq(0).eval_segment(&segment, Some(&mut stats)).unwrap();
+        let b = Predicate::Eq(0)
+            .eval_segment(&segment, Some(&mut stats))
+            .unwrap();
         assert_eq!(stats.row_granularity, 1);
         assert_eq!(b, Predicate::Eq(0).eval_plain(&col));
     }
@@ -299,11 +302,8 @@ mod tests {
         // Values chosen so the zone map cannot decide and the dictionary
         // pushdown must do the work.
         let col = ColumnData::I64(vec![-30, 10, 500, 10, -30, 77, 500, 10]);
-        let segment = Segment::build(
-            &col,
-            &CompressionPolicy::Fixed("dict[codes=ns]".into()),
-        )
-        .unwrap();
+        let segment =
+            Segment::build(&col, &CompressionPolicy::Fixed("dict[codes=ns]".into())).unwrap();
         for pred in [
             Predicate::Range { lo: -30, hi: 10 },
             Predicate::Range { lo: 11, hi: 499 },
@@ -321,11 +321,8 @@ mod tests {
     #[test]
     fn dict_empty_code_range_short_circuits() {
         let col = ColumnData::U64(vec![10, 20, 30, 20]);
-        let segment = Segment::build(
-            &col,
-            &CompressionPolicy::Fixed("dict[codes=ns]".into()),
-        )
-        .unwrap();
+        let segment =
+            Segment::build(&col, &CompressionPolicy::Fixed("dict[codes=ns]".into())).unwrap();
         let mut stats = PushdownStats::default();
         // Within the zone range but between dictionary entries.
         let b = Predicate::Range { lo: 21, hi: 29 }

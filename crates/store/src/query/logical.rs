@@ -1,0 +1,234 @@
+//! The logical plan builder: what to compute, not how.
+
+use super::physical::{resolve, AggSpec, PhysicalPlan, Sink};
+use super::result::QueryResult;
+use crate::agg::AggKind;
+use crate::predicate::Predicate;
+use crate::table::Table;
+use crate::{Result, StoreError};
+
+/// One requested aggregate, named over the builder's borrowed strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg<'a> {
+    /// Sum of a column over the selected rows.
+    Sum(&'a str),
+    /// Minimum of a column over the selected rows.
+    Min(&'a str),
+    /// Maximum of a column over the selected rows.
+    Max(&'a str),
+    /// Number of selected rows.
+    Count,
+}
+
+impl Agg<'_> {
+    fn kind(&self) -> AggKind {
+        match self {
+            Agg::Sum(_) => AggKind::Sum,
+            Agg::Min(_) => AggKind::Min,
+            Agg::Max(_) => AggKind::Max,
+            Agg::Count => AggKind::Count,
+        }
+    }
+
+    fn column(&self) -> Option<&str> {
+        match self {
+            Agg::Sum(c) | Agg::Min(c) | Agg::Max(c) => Some(c),
+            Agg::Count => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OwnedAgg {
+    kind: AggKind,
+    column: Option<String>,
+}
+
+/// A logical query under construction: a scan, a conjunction of
+/// filters, and exactly one sink (`aggregate`, `group_by` + `aggregate`,
+/// `top_k`, or `distinct`).
+///
+/// Compilation ([`QueryBuilder::compile`]) resolves column names and
+/// picks the physical operators; nothing touches the data until one of
+/// the `execute*` methods runs the plan.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder<'t> {
+    table: &'t Table,
+    filters: Vec<(String, Predicate)>,
+    group_key: Option<String>,
+    aggs: Vec<OwnedAgg>,
+    top: Option<(String, usize)>,
+    distinct_col: Option<String>,
+}
+
+impl<'t> QueryBuilder<'t> {
+    /// Start a query over `table`.
+    pub fn scan(table: &'t Table) -> Self {
+        QueryBuilder {
+            table,
+            filters: Vec::new(),
+            group_key: None,
+            aggs: Vec::new(),
+            top: None,
+            distinct_col: None,
+        }
+    }
+
+    /// Add one conjunct: rows must satisfy `predicate` on `column`.
+    /// Filters are evaluated in the given order with per-segment
+    /// short-circuiting — put the most selective predicate first.
+    pub fn filter(mut self, column: &str, predicate: Predicate) -> Self {
+        self.filters.push((column.to_string(), predicate));
+        self
+    }
+
+    /// Group the selected rows by `column` (combine with
+    /// [`aggregate`](Self::aggregate); a bare `group_by` counts rows per
+    /// group).
+    pub fn group_by(mut self, column: &str) -> Self {
+        self.group_key = Some(column.to_string());
+        self
+    }
+
+    /// Request aggregates over the selected rows (or per group after
+    /// [`group_by`](Self::group_by)).
+    pub fn aggregate(mut self, aggs: &[Agg<'_>]) -> Self {
+        self.aggs.extend(aggs.iter().map(|a| OwnedAgg {
+            kind: a.kind(),
+            column: a.column().map(str::to_string),
+        }));
+        self
+    }
+
+    /// Keep the `k` largest selected values of `column` (descending).
+    pub fn top_k(mut self, column: &str, k: usize) -> Self {
+        self.top = Some((column.to_string(), k));
+        self
+    }
+
+    /// Collect the distinct selected values of `column` (ascending).
+    pub fn distinct(mut self, column: &str) -> Self {
+        self.distinct_col = Some(column.to_string());
+        self
+    }
+
+    /// Resolve names and operators into a [`PhysicalPlan`].
+    pub fn compile(&self) -> Result<PhysicalPlan<'t>> {
+        self.compile_mode(false)
+    }
+
+    /// Compile to the decompress-everything baseline plan.
+    pub fn compile_naive(&self) -> Result<PhysicalPlan<'t>> {
+        self.compile_mode(true)
+    }
+
+    /// Compile and run with every pushdown tier enabled.
+    pub fn execute(&self) -> Result<QueryResult> {
+        let plan = self.compile()?;
+        let (state, stats) = plan.run()?;
+        QueryResult::from_state(&plan, state, stats)
+    }
+
+    /// Compile and run the naive baseline (for comparisons and tests).
+    pub fn execute_naive(&self) -> Result<QueryResult> {
+        let plan = self.compile_naive()?;
+        let (state, stats) = plan.run()?;
+        QueryResult::from_state(&plan, state, stats)
+    }
+
+    /// Compile and run the pushdown plan with `threads` workers, one
+    /// contiguous slice of segments each. Answers are identical to
+    /// [`execute`](Self::execute); top-k prune counters may differ
+    /// (each worker tightens its own threshold).
+    pub fn execute_parallel(&self, threads: usize) -> Result<QueryResult> {
+        let plan = self.compile()?;
+        let (state, stats) = plan.run_parallel(threads)?;
+        QueryResult::from_state(&plan, state, stats)
+    }
+
+    /// The physical plan as text, one operator per line.
+    pub fn explain(&self) -> Result<String> {
+        Ok(self.compile()?.display())
+    }
+
+    fn compile_mode(&self, naive: bool) -> Result<PhysicalPlan<'t>> {
+        let mut filters = Vec::with_capacity(self.filters.len());
+        for (name, predicate) in &self.filters {
+            filters.push((resolve(self.table, name)?, name.clone(), *predicate));
+        }
+        let sink = self.compile_sink()?;
+        Ok(PhysicalPlan {
+            table: self.table,
+            filters,
+            sink,
+            naive,
+        })
+    }
+
+    fn compile_sink(&self) -> Result<Sink> {
+        let wants_agg = !self.aggs.is_empty() || self.group_key.is_some();
+        let sinks_requested = usize::from(wants_agg)
+            + usize::from(self.top.is_some())
+            + usize::from(self.distinct_col.is_some());
+        if sinks_requested > 1 {
+            return Err(StoreError::Shape(
+                "a query takes one sink: aggregate/group_by, top_k, or distinct".into(),
+            ));
+        }
+        if let Some((column, k)) = &self.top {
+            return Ok(Sink::TopK {
+                col: resolve(self.table, column)?,
+                k: *k,
+            });
+        }
+        if let Some(column) = &self.distinct_col {
+            return Ok(Sink::Distinct {
+                col: resolve(self.table, column)?,
+            });
+        }
+        if !wants_agg {
+            return Err(StoreError::Shape(
+                "a query needs a sink: aggregate(..), group_by(..), top_k(..), or distinct(..)"
+                    .into(),
+            ));
+        }
+        // Aggregate / group-by: resolve each agg column once, share slots.
+        let aggs: Vec<OwnedAgg> = if self.aggs.is_empty() {
+            vec![OwnedAgg {
+                kind: AggKind::Count,
+                column: None,
+            }]
+        } else {
+            self.aggs.clone()
+        };
+        let mut cols: Vec<usize> = Vec::new();
+        let mut specs = Vec::with_capacity(aggs.len());
+        for agg in &aggs {
+            let slot = match &agg.column {
+                None => None,
+                Some(name) => {
+                    let idx = resolve(self.table, name)?;
+                    Some(match cols.iter().position(|&c| c == idx) {
+                        Some(slot) => slot,
+                        None => {
+                            cols.push(idx);
+                            cols.len() - 1
+                        }
+                    })
+                }
+            };
+            specs.push(AggSpec {
+                kind: agg.kind,
+                slot,
+            });
+        }
+        match &self.group_key {
+            Some(key) => Ok(Sink::GroupBy {
+                key: resolve(self.table, key)?,
+                specs,
+                cols,
+            }),
+            None => Ok(Sink::Aggregate { specs, cols }),
+        }
+    }
+}

@@ -1,0 +1,828 @@
+//! Physical plans: segment-granular operators over compressed columns.
+//!
+//! A [`PhysicalPlan`] is the compiled form of a [`super::QueryBuilder`]
+//! logical plan: resolved column indices, an ordered conjunction of
+//! filter steps, and exactly one sink operator. Execution walks the
+//! table one segment at a time; for each segment the filter conjunction
+//! is evaluated at the cheapest granularity that decides it, and the
+//! sink consumes the surviving selection — structurally off the
+//! compressed form where the scheme allows, by materialising rows only
+//! as the last resort. Segments are independent, so the same per-segment
+//! pipeline drives both the sequential and the parallel executors.
+
+use crate::agg::{aggregate_plain, aggregate_segment, AggKind, AggResult};
+use crate::predicate::{Predicate, PushdownStats};
+use crate::segment::Segment;
+use crate::table::Table;
+use crate::{Result, StoreError};
+use lcdc_colops::Bitmap;
+use lcdc_core::schemes::{const_, dict, rle, rpe, sparse};
+use lcdc_core::ColumnData;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::rc::Rc;
+
+/// Counters describing how a query executed, unified across every
+/// operator the planner can run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Segments visited (pruned or not).
+    pub segments: usize,
+    /// Segments that contributed no rows: zone-map disjoint, emptied by
+    /// the filter conjunction (at whatever tier decided it), or outbid
+    /// by the running top-k threshold.
+    pub segments_pruned: usize,
+    /// Segments answered from part columns alone (run values, dictionary
+    /// entries, ...) with no row materialisation.
+    pub segments_structural: usize,
+    /// Rows decompressed to feed the sink — or, in naive mode, to
+    /// evaluate filters. Counted per *row*, once per segment, even when
+    /// several columns of that segment materialise. Decompression spent
+    /// deciding a predicate on the pushdown path is reported through
+    /// [`PushdownStats::row_granularity`] instead, not here.
+    pub rows_materialized: usize,
+    /// Values fed to the sink operator — run/dictionary/part entries on
+    /// the structural paths, decompressed rows otherwise.
+    pub values_processed: usize,
+    /// Which predicate-evaluation tier fired, per filter step.
+    pub pushdown: PushdownStats,
+}
+
+impl QueryStats {
+    /// Merge another stats record into this one (parallel partials).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.segments += other.segments;
+        self.segments_pruned += other.segments_pruned;
+        self.segments_structural += other.segments_structural;
+        self.rows_materialized += other.rows_materialized;
+        self.values_processed += other.values_processed;
+        self.pushdown.absorb(&other.pushdown);
+    }
+}
+
+/// One resolved aggregate: what to compute, over which column slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AggSpec {
+    /// The aggregate function.
+    pub kind: AggKind,
+    /// Index into the sink's agg-column list; `None` for `Count`.
+    pub slot: Option<usize>,
+}
+
+/// The terminal operator of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Sink {
+    /// Fold every selected row into one row of aggregates.
+    Aggregate {
+        /// Requested aggregates, in output order.
+        specs: Vec<AggSpec>,
+        /// Distinct aggregated columns (indices into the table).
+        cols: Vec<usize>,
+    },
+    /// Hash selected rows by a key column, aggregating per group.
+    GroupBy {
+        /// The key column.
+        key: usize,
+        /// Requested aggregates, in output order.
+        specs: Vec<AggSpec>,
+        /// Distinct aggregated columns (indices into the table).
+        cols: Vec<usize>,
+    },
+    /// Keep the `k` largest values of a column.
+    TopK {
+        /// The ranked column.
+        col: usize,
+        /// How many values to keep.
+        k: usize,
+    },
+    /// Collect the distinct values of a column.
+    Distinct {
+        /// The collected column.
+        col: usize,
+    },
+}
+
+/// Per-group accumulator: one [`AggResult`] per aggregated column plus
+/// the bare row count (for `Count` with no column).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct GroupAcc {
+    pub per_col: Vec<AggResult>,
+    pub rows: usize,
+}
+
+impl GroupAcc {
+    fn new(cols: usize) -> Self {
+        GroupAcc {
+            per_col: vec![AggResult::default(); cols],
+            rows: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &GroupAcc) {
+        for (a, b) in self.per_col.iter_mut().zip(&other.per_col) {
+            a.merge(b);
+        }
+        self.rows += other.rows;
+    }
+}
+
+/// Running sink state; merged associatively across parallel partials.
+#[derive(Debug, Clone)]
+pub(crate) enum SinkState {
+    Aggregate {
+        acc: GroupAcc,
+    },
+    Groups {
+        groups: HashMap<i128, GroupAcc>,
+        cols: usize,
+    },
+    TopK {
+        heap: BinaryHeap<Reverse<i128>>,
+        k: usize,
+    },
+    Distinct {
+        set: HashSet<i128>,
+    },
+}
+
+impl SinkState {
+    fn for_sink(sink: &Sink) -> SinkState {
+        match sink {
+            Sink::Aggregate { cols, .. } => SinkState::Aggregate {
+                acc: GroupAcc::new(cols.len()),
+            },
+            Sink::GroupBy { cols, .. } => SinkState::Groups {
+                groups: HashMap::new(),
+                cols: cols.len(),
+            },
+            Sink::TopK { k, .. } => SinkState::TopK {
+                heap: BinaryHeap::with_capacity(k + 1),
+                k: *k,
+            },
+            Sink::Distinct { .. } => SinkState::Distinct {
+                set: HashSet::new(),
+            },
+        }
+    }
+
+    fn merge(&mut self, other: SinkState) {
+        match (self, other) {
+            (SinkState::Aggregate { acc }, SinkState::Aggregate { acc: o }) => acc.merge(&o),
+            (SinkState::Groups { groups, cols }, SinkState::Groups { groups: o, .. }) => {
+                for (key, g) in o {
+                    groups
+                        .entry(key)
+                        .or_insert_with(|| GroupAcc::new(*cols))
+                        .merge(&g);
+                }
+            }
+            (SinkState::TopK { heap, k }, SinkState::TopK { heap: o, .. }) => {
+                for Reverse(v) in o {
+                    push_topk(heap, *k, v);
+                }
+            }
+            (SinkState::Distinct { set }, SinkState::Distinct { set: o }) => set.extend(o),
+            _ => unreachable!("mismatched sink states"),
+        }
+    }
+}
+
+fn push_topk(heap: &mut BinaryHeap<Reverse<i128>>, k: usize, v: i128) {
+    if k == 0 {
+        return;
+    }
+    if heap.len() < k {
+        heap.push(Reverse(v));
+    } else if v > heap.peek().expect("non-empty").0 {
+        heap.pop();
+        heap.push(Reverse(v));
+    }
+}
+
+/// What the filter conjunction decided for one segment.
+enum Selection {
+    /// Every row selected (proved without a bitmap where possible).
+    All,
+    /// The surviving rows.
+    Mask(Bitmap),
+}
+
+/// Decompresses columns for one segment *visit*, with two jobs:
+///
+/// * **Charge `rows_materialized` once per visit** — rows are counted
+///   per row, not per (column, row) pair, so a second column of the
+///   same segment does not re-count the same rows (the accounting fix
+///   over the old executors).
+/// * **Decompress each column at most once** — when the row-granularity
+///   predicate tier already decompressed a column, the sink reuses that
+///   plain form instead of decompressing the segment again. Filter-tier
+///   entries arrive uncharged (their cost is reported through
+///   [`PushdownStats::row_granularity`]); the charge lands when a sink
+///   first consumes a plain column.
+struct Materializer {
+    n: usize,
+    charged: bool,
+    /// `(column index, plain rows)` — a handful of entries at most.
+    cache: Vec<(usize, Rc<ColumnData>)>,
+}
+
+impl Materializer {
+    fn new(n: usize) -> Self {
+        Materializer {
+            n,
+            charged: false,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Stash a column the filter tier already decompressed (uncharged).
+    fn put(&mut self, col: usize, plain: ColumnData) {
+        if !self.cache.iter().any(|(c, _)| *c == col) {
+            self.cache.push((col, Rc::new(plain)));
+        }
+    }
+
+    /// A column already decompressed this visit, if any (uncharged).
+    fn get(&self, col: usize) -> Option<Rc<ColumnData>> {
+        self.cache
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, plain)| Rc::clone(plain))
+    }
+
+    /// A column's plain rows for the sink, decompressing only on a
+    /// cache miss and charging `rows_materialized` on first use.
+    fn decompress(
+        &mut self,
+        col: usize,
+        seg: &Segment,
+        stats: &mut QueryStats,
+    ) -> Result<Rc<ColumnData>> {
+        if !self.charged {
+            stats.rows_materialized += self.n;
+            self.charged = true;
+        }
+        if let Some((_, plain)) = self.cache.iter().find(|(c, _)| *c == col) {
+            return Ok(Rc::clone(plain));
+        }
+        let plain = Rc::new(seg.decompress()?);
+        self.cache.push((col, Rc::clone(&plain)));
+        Ok(plain)
+    }
+}
+
+/// A compiled query: resolved columns, filter conjunction, one sink.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan<'t> {
+    pub(crate) table: &'t Table,
+    /// `(column index, column name, predicate)` — evaluated in order,
+    /// short-circuiting per segment.
+    pub(crate) filters: Vec<(usize, String, Predicate)>,
+    pub(crate) sink: Sink,
+    /// Naive mode decompresses everything and evaluates row-at-a-time —
+    /// the baseline the pushdown tiers are measured against.
+    pub(crate) naive: bool,
+}
+
+impl<'t> PhysicalPlan<'t> {
+    /// Human-readable plan, one operator per line.
+    pub fn display(&self) -> String {
+        let mut out = format!(
+            "scan: {} columns x {} segments ({} rows){}",
+            self.table.schema().width(),
+            self.table.num_segments(),
+            self.table.num_rows(),
+            if self.naive {
+                " [naive: row-at-a-time baseline, pushdown tiers disabled]"
+            } else {
+                ""
+            },
+        );
+        for (_, name, pred) in &self.filters {
+            out.push_str(&format!(
+                "\n  filter {name}: {pred:?} (zone-map -> run/code granularity -> rows)"
+            ));
+        }
+        let col_name = |idx: usize| self.table.schema().columns[idx].name.clone();
+        let spec_text = |specs: &[AggSpec], cols: &[usize]| {
+            specs
+                .iter()
+                .map(|s| match s.slot {
+                    Some(slot) => format!("{:?}({})", s.kind, col_name(cols[slot])),
+                    None => "Count".to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&match &self.sink {
+            Sink::Aggregate { specs, cols } => {
+                format!("\n  aggregate: [{}]", spec_text(specs, cols))
+            }
+            Sink::GroupBy { key, specs, cols } => format!(
+                "\n  group-by {}: [{}]",
+                col_name(*key),
+                spec_text(specs, cols)
+            ),
+            Sink::TopK { col, k } => format!(
+                "\n  top-{k} {} (segments visited best-first, zone-map threshold pruning)",
+                col_name(*col)
+            ),
+            Sink::Distinct { col } => format!(
+                "\n  distinct {} (structural: dict/rle/rpe/const/sparse part columns)",
+                col_name(*col)
+            ),
+        });
+        out
+    }
+
+    /// Run sequentially and return the sink state plus counters.
+    pub(crate) fn run(&self) -> Result<(SinkState, QueryStats)> {
+        let mut state = SinkState::for_sink(&self.sink);
+        let mut stats = QueryStats::default();
+        for seg_idx in self.segment_order() {
+            self.execute_segment(seg_idx, &mut state, &mut stats)?;
+        }
+        Ok((state, stats))
+    }
+
+    /// Run with `threads` workers, each executing the identical
+    /// per-segment pipeline over a contiguous slice of the segment
+    /// visit order; partial sink states and counters merge
+    /// associatively.
+    pub(crate) fn run_parallel(&self, threads: usize) -> Result<(SinkState, QueryStats)> {
+        let order = self.segment_order();
+        let threads = threads.clamp(1, order.len().max(1));
+        let chunk = order.len().div_ceil(threads).max(1);
+
+        let partials: Vec<Result<(SinkState, QueryStats)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for piece in order.chunks(chunk) {
+                handles.push(scope.spawn(move || {
+                    let mut state = SinkState::for_sink(&self.sink);
+                    let mut stats = QueryStats::default();
+                    for &seg_idx in piece {
+                        self.execute_segment(seg_idx, &mut state, &mut stats)?;
+                    }
+                    Ok((state, stats))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("plan worker panicked"))
+                .collect()
+        });
+
+        let mut state = SinkState::for_sink(&self.sink);
+        let mut stats = QueryStats::default();
+        for partial in partials {
+            let (part_state, part_stats) = partial?;
+            state.merge(part_state);
+            stats.absorb(&part_stats);
+        }
+        Ok((state, stats))
+    }
+
+    /// The order segments are visited in. Top-k visits best-max first so
+    /// the prune threshold tightens as early as possible; everything
+    /// else scans in position order.
+    fn segment_order(&self) -> Vec<usize> {
+        let n = self.table.num_segments();
+        let mut order: Vec<usize> = (0..n).collect();
+        if let (false, Sink::TopK { col, .. }) = (self.naive, &self.sink) {
+            let segments = self.table.segments_at(*col);
+            order.sort_unstable_by_key(|&i| Reverse(segments[i].max));
+        }
+        order
+    }
+
+    // -- per-segment pipeline -----------------------------------------
+
+    fn execute_segment(
+        &self,
+        seg_idx: usize,
+        state: &mut SinkState,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        stats.segments += 1;
+        let n = self.any_segment(seg_idx).num_rows();
+        if n == 0 {
+            stats.segments_pruned += 1;
+            return Ok(());
+        }
+        // Top-k threshold pruning consults only the zone map — before
+        // the filters, before any decompression. The naive baseline
+        // scans everything.
+        if let (false, Sink::TopK { col, k }, SinkState::TopK { heap, .. }) =
+            (self.naive, &self.sink, &mut *state)
+        {
+            if *k == 0 {
+                stats.segments_pruned += 1;
+                return Ok(());
+            }
+            if heap.len() == *k {
+                let Reverse(threshold) = *heap.peek().expect("heap holds k values");
+                if self.table.segments_at(*col)[seg_idx].max <= threshold {
+                    stats.segments_pruned += 1;
+                    return Ok(());
+                }
+            }
+        }
+        let mut mat = Materializer::new(n);
+        let selection = if self.naive {
+            self.eval_filters_naive(seg_idx, n, &mut mat, stats)?
+        } else {
+            self.eval_filters_pushdown(seg_idx, n, &mut mat, stats)?
+        };
+        let Some(selection) = selection else {
+            stats.segments_pruned += 1;
+            return Ok(());
+        };
+        match (&self.sink, state) {
+            (Sink::Aggregate { cols, .. }, SinkState::Aggregate { acc }) => {
+                self.sink_aggregate(seg_idx, n, &selection, cols, acc, &mut mat, stats)
+            }
+            (Sink::GroupBy { key, cols, .. }, SinkState::Groups { groups, .. }) => {
+                self.sink_group_by(seg_idx, n, &selection, *key, cols, groups, &mut mat, stats)
+            }
+            (Sink::TopK { col, k }, SinkState::TopK { heap, .. }) => {
+                self.sink_top_k(seg_idx, &selection, *col, *k, heap, &mut mat, stats)
+            }
+            (Sink::Distinct { col }, SinkState::Distinct { set }) => {
+                self.sink_distinct(seg_idx, &selection, *col, set, &mut mat, stats)
+            }
+            _ => unreachable!("sink/state mismatch"),
+        }
+    }
+
+    /// Evaluate the filter conjunction with every pushdown tier.
+    /// `None` means the segment is out entirely.
+    fn eval_filters_pushdown(
+        &self,
+        seg_idx: usize,
+        n: usize,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<Option<Selection>> {
+        let mut mask: Option<Bitmap> = None;
+        for (col, _, predicate) in &self.filters {
+            let seg = &self.table.segments_at(*col)[seg_idx];
+            // Tier 1: the zone map may decide the whole segment.
+            match predicate.bounds() {
+                None => {
+                    stats.pushdown.zonemap_hits += 1;
+                    continue;
+                }
+                Some((lo, hi)) => {
+                    if seg.prunable(lo, hi) {
+                        stats.pushdown.zonemap_hits += 1;
+                        return Ok(None);
+                    }
+                    if seg.fully_inside(lo, hi) {
+                        stats.pushdown.zonemap_hits += 1;
+                        continue;
+                    }
+                }
+            }
+            // Tiers 2-4: run / code / row granularity, per the scheme.
+            // A column an earlier conjunct's row tier already
+            // decompressed this visit is tested on that plain form; a
+            // fresh row-tier decompression is kept for later conjuncts
+            // and the sink to reuse.
+            let step = match mat.get(*col) {
+                Some(plain) => predicate.eval_plain(&plain),
+                None => {
+                    let mut plain_out = None;
+                    let step = predicate.eval_segment_caching(
+                        seg,
+                        Some(&mut stats.pushdown),
+                        &mut plain_out,
+                    )?;
+                    if let Some(plain) = plain_out {
+                        mat.put(*col, plain);
+                    }
+                    step
+                }
+            };
+            let selected = step.count_ones();
+            if selected == 0 {
+                return Ok(None);
+            }
+            if selected == n {
+                continue;
+            }
+            mask = Some(match mask {
+                None => step,
+                Some(m) => {
+                    let combined = m.and(&step);
+                    if combined.count_ones() == 0 {
+                        return Ok(None);
+                    }
+                    combined
+                }
+            });
+        }
+        Ok(Some(match mask {
+            None => Selection::All,
+            Some(m) => Selection::Mask(m),
+        }))
+    }
+
+    /// The baseline: materialise every filter column, test row by row.
+    fn eval_filters_naive(
+        &self,
+        seg_idx: usize,
+        n: usize,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<Option<Selection>> {
+        if self.filters.is_empty() {
+            return Ok(Some(Selection::All));
+        }
+        let mut mask: Option<Bitmap> = None;
+        for (col, _, predicate) in &self.filters {
+            let seg = &self.table.segments_at(*col)[seg_idx];
+            let plain = mat.decompress(*col, seg, stats)?;
+            let step = predicate.eval_plain(&plain);
+            mask = Some(match mask {
+                None => step,
+                Some(m) => m.and(&step),
+            });
+        }
+        let mask = mask.expect("at least one filter");
+        if mask.count_ones() == 0 {
+            return Ok(None);
+        }
+        Ok(Some(if mask.count_ones() == n {
+            Selection::All
+        } else {
+            Selection::Mask(mask)
+        }))
+    }
+
+    // -- sinks --------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn sink_aggregate(
+        &self,
+        seg_idx: usize,
+        n: usize,
+        selection: &Selection,
+        cols: &[usize],
+        acc: &mut GroupAcc,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        match selection {
+            Selection::All if !self.naive => {
+                // Whole segment selected: aggregate on the compressed
+                // form, never materialising the column. A count with no
+                // agg columns is answered from the zone map alone —
+                // maximally structural, matching the group-by sink's
+                // convention for its no-value-columns case.
+                let mut structural = true;
+                for (slot, col) in cols.iter().enumerate() {
+                    let seg = &self.table.segments_at(*col)[seg_idx];
+                    let before = stats.rows_materialized;
+                    let part = self.aggregate_whole_segment(*col, seg, n, mat, stats)?;
+                    structural &= stats.rows_materialized == before;
+                    acc.per_col[slot].merge(&part);
+                }
+                if structural {
+                    stats.segments_structural += 1;
+                }
+                acc.rows += n;
+            }
+            Selection::All => {
+                for (slot, col) in cols.iter().enumerate() {
+                    let seg = &self.table.segments_at(*col)[seg_idx];
+                    let plain = mat.decompress(*col, seg, stats)?;
+                    stats.values_processed += plain.len();
+                    acc.per_col[slot].merge(&aggregate_plain(&plain, None));
+                }
+                acc.rows += n;
+            }
+            Selection::Mask(mask) => {
+                for (slot, col) in cols.iter().enumerate() {
+                    let seg = &self.table.segments_at(*col)[seg_idx];
+                    let plain = mat.decompress(*col, seg, stats)?;
+                    stats.values_processed += mask.count_ones();
+                    acc.per_col[slot].merge(&aggregate_plain(&plain, Some(mask)));
+                }
+                acc.rows += mask.count_ones();
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate one whole segment, structurally where the scheme
+    /// permits: RLE/RPE fold one weighted value per *run*
+    /// (`values_processed` counts runs, like the other structural
+    /// sinks), FOR uses the reference algebra over its part columns
+    /// (every offset is touched, so `values_processed` counts rows).
+    fn aggregate_whole_segment(
+        &self,
+        col: usize,
+        seg: &Segment,
+        n: usize,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<AggResult> {
+        if let Some((values, ends)) = seg.run_structure()? {
+            stats.values_processed += values.len();
+            return Ok(crate::agg::aggregate_runs(&values, &ends, n));
+        }
+        if seg.compressed.scheme_id.starts_with("for(") {
+            stats.values_processed += n;
+            return aggregate_segment(seg, None);
+        }
+        let plain = mat.decompress(col, seg, stats)?;
+        stats.values_processed += plain.len();
+        Ok(aggregate_plain(&plain, None))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sink_group_by(
+        &self,
+        seg_idx: usize,
+        n: usize,
+        selection: &Selection,
+        key: usize,
+        cols: &[usize],
+        groups: &mut HashMap<i128, GroupAcc>,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        let kseg = &self.table.segments_at(key)[seg_idx];
+        // Run-structured keys + full selection: probe the hash table
+        // once per run, not once per row.
+        if matches!(selection, Selection::All) && !self.naive {
+            if let Some((run_values, run_ends)) = kseg.run_structure()? {
+                stats.values_processed += run_values.len();
+                if cols.is_empty() {
+                    stats.segments_structural += 1;
+                }
+                let plains: Vec<Rc<ColumnData>> = cols
+                    .iter()
+                    .map(|col| mat.decompress(*col, &self.table.segments_at(*col)[seg_idx], stats))
+                    .collect::<Result<_>>()?;
+                let mut start = 0usize;
+                for (run, &run_end) in run_ends.iter().enumerate().take(run_values.len()) {
+                    let end = (run_end as usize).min(n);
+                    let acc = groups
+                        .entry(run_values.get_numeric(run).expect("in range"))
+                        .or_insert_with(|| GroupAcc::new(cols.len()));
+                    acc.rows += end - start;
+                    for (slot, plain) in plains.iter().enumerate() {
+                        for i in start..end {
+                            acc.per_col[slot].push(plain.get_numeric(i).expect("in range"));
+                        }
+                    }
+                    start = end;
+                }
+                return Ok(());
+            }
+        }
+        // Fallback: hash per selected row.
+        let keys = mat.decompress(key, kseg, stats)?;
+        let plains: Vec<Rc<ColumnData>> = cols
+            .iter()
+            .map(|col| mat.decompress(*col, &self.table.segments_at(*col)[seg_idx], stats))
+            .collect::<Result<_>>()?;
+        let mut fold = |i: usize| {
+            let acc = groups
+                .entry(keys.get_numeric(i).expect("in range"))
+                .or_insert_with(|| GroupAcc::new(cols.len()));
+            acc.rows += 1;
+            for (slot, plain) in plains.iter().enumerate() {
+                acc.per_col[slot].push(plain.get_numeric(i).expect("in range"));
+            }
+        };
+        match selection {
+            Selection::All => {
+                stats.values_processed += n;
+                (0..n).for_each(&mut fold);
+            }
+            Selection::Mask(mask) => {
+                stats.values_processed += mask.count_ones();
+                mask.iter_ones().for_each(&mut fold);
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sink_top_k(
+        &self,
+        seg_idx: usize,
+        selection: &Selection,
+        col: usize,
+        k: usize,
+        heap: &mut BinaryHeap<Reverse<i128>>,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        let seg = &self.table.segments_at(col)[seg_idx];
+        let n = seg.num_rows();
+        let plain = mat.decompress(col, seg, stats)?;
+        match selection {
+            Selection::All => {
+                stats.values_processed += n;
+                for i in 0..n {
+                    push_topk(heap, k, plain.get_numeric(i).expect("in range"));
+                }
+            }
+            Selection::Mask(mask) => {
+                stats.values_processed += mask.count_ones();
+                for i in mask.iter_ones() {
+                    push_topk(heap, k, plain.get_numeric(i).expect("in range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn sink_distinct(
+        &self,
+        seg_idx: usize,
+        selection: &Selection,
+        col: usize,
+        set: &mut HashSet<i128>,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        let seg = &self.table.segments_at(col)[seg_idx];
+        let n = seg.num_rows();
+        // Full selection: several schemes *store* the distinct structure
+        // outright — the part column suffices, no rows touched.
+        if matches!(selection, Selection::All) && !self.naive {
+            if let Some(roles) = distinct_part_roles(seg) {
+                stats.segments_structural += 1;
+                let scheme = seg.scheme()?;
+                for role in roles {
+                    let part = scheme.decompress_part(&seg.compressed, role)?;
+                    stats.values_processed += part.len();
+                    for i in 0..part.len() {
+                        set.insert(part.get_numeric(i).expect("in range"));
+                    }
+                }
+                return Ok(());
+            }
+        }
+        let plain = mat.decompress(col, seg, stats)?;
+        match selection {
+            Selection::All => {
+                stats.values_processed += n;
+                for i in 0..n {
+                    set.insert(plain.get_numeric(i).expect("in range"));
+                }
+            }
+            Selection::Mask(mask) => {
+                stats.values_processed += mask.count_ones();
+                for i in mask.iter_ones() {
+                    set.insert(plain.get_numeric(i).expect("in range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- helpers ------------------------------------------------------
+
+    fn any_segment(&self, seg_idx: usize) -> &Segment {
+        let col = match &self.sink {
+            Sink::Aggregate { .. } | Sink::GroupBy { .. } => self
+                .filters
+                .first()
+                .map(|(c, _, _)| *c)
+                .unwrap_or_else(|| match &self.sink {
+                    Sink::GroupBy { key, .. } => *key,
+                    Sink::Aggregate { cols, .. } => cols.first().copied().unwrap_or(0),
+                    _ => 0,
+                }),
+            Sink::TopK { col, .. } | Sink::Distinct { col } => *col,
+        };
+        &self.table.segments_at(col)[seg_idx]
+    }
+}
+
+/// Which part columns carry a segment's distinct candidates, per scheme.
+pub(crate) fn distinct_part_roles(seg: &Segment) -> Option<Vec<&'static str>> {
+    let scheme_id = seg.compressed.scheme_id.as_str();
+    let base = scheme_id.split(['(', '[']).next().unwrap_or(scheme_id);
+    match base {
+        "dict" => Some(vec![dict::ROLE_DICT]),
+        "rle" => Some(vec![rle::ROLE_VALUES]),
+        "rpe" => Some(vec![rpe::ROLE_VALUES]),
+        "const" => Some(vec![const_::ROLE_VALUE]),
+        "sparse" => Some(vec![sparse::ROLE_VALUE, sparse::ROLE_EXC_VALUES]),
+        _ => None,
+    }
+}
+
+/// Resolve a column name against a table.
+pub(crate) fn resolve(table: &Table, name: &str) -> Result<usize> {
+    table
+        .schema()
+        .index_of(name)
+        .ok_or_else(|| StoreError::NoSuchColumn(name.to_string()))
+}

@@ -1,0 +1,117 @@
+//! Query results: one shape per sink, plus the unified counters.
+
+use super::physical::{AggSpec, PhysicalPlan, QueryStats, Sink, SinkState};
+use crate::agg::AggKind;
+use crate::Result;
+
+/// One aggregate output value. `Min`/`Max` are `None` over zero rows;
+/// `Sum` and `Count` are always present (`0` over zero rows).
+pub type AggValue = Option<i128>;
+
+/// The rows a query produced, shaped by its sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rows {
+    /// One row of aggregates, in the order they were requested.
+    Aggregates(Vec<AggValue>),
+    /// `(group key, aggregates)` pairs, ascending by key.
+    Groups(Vec<(i128, Vec<AggValue>)>),
+    /// The k largest values, descending.
+    TopK(Vec<i128>),
+    /// Distinct values, ascending.
+    Distinct(Vec<i128>),
+}
+
+/// A finished query: rows plus execution accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// The produced rows.
+    pub rows: Rows,
+    /// How execution went, unified across every operator.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The aggregate row, if this was an `aggregate` query.
+    pub fn aggregates(&self) -> Option<&[AggValue]> {
+        match &self.rows {
+            Rows::Aggregates(values) => Some(values),
+            _ => None,
+        }
+    }
+
+    /// The group rows, if this was a `group_by` query.
+    pub fn groups(&self) -> Option<&[(i128, Vec<AggValue>)]> {
+        match &self.rows {
+            Rows::Groups(groups) => Some(groups),
+            _ => None,
+        }
+    }
+
+    /// The ranked values, if this was a `top_k` query.
+    pub fn top_k(&self) -> Option<&[i128]> {
+        match &self.rows {
+            Rows::TopK(values) => Some(values),
+            _ => None,
+        }
+    }
+
+    /// The distinct values, if this was a `distinct` query.
+    pub fn distinct(&self) -> Option<&[i128]> {
+        match &self.rows {
+            Rows::Distinct(values) => Some(values),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn from_state(
+        plan: &PhysicalPlan<'_>,
+        state: SinkState,
+        stats: QueryStats,
+    ) -> Result<QueryResult> {
+        let rows = match (state, &plan.sink) {
+            (SinkState::Aggregate { acc }, Sink::Aggregate { specs, .. }) => Rows::Aggregates(
+                specs
+                    .iter()
+                    .map(|spec| eval_spec(spec, &acc.per_col, acc.rows))
+                    .collect(),
+            ),
+            (SinkState::Groups { groups, .. }, Sink::GroupBy { specs, .. }) => {
+                let mut out: Vec<(i128, Vec<AggValue>)> = groups
+                    .into_iter()
+                    .map(|(key, acc)| {
+                        let values = specs
+                            .iter()
+                            .map(|spec| eval_spec(spec, &acc.per_col, acc.rows))
+                            .collect();
+                        (key, values)
+                    })
+                    .collect();
+                out.sort_unstable_by_key(|&(key, _)| key);
+                Rows::Groups(out)
+            }
+            (SinkState::TopK { heap, .. }, Sink::TopK { .. }) => {
+                let mut values: Vec<i128> =
+                    heap.into_iter().map(|std::cmp::Reverse(v)| v).collect();
+                values.sort_unstable_by(|a, b| b.cmp(a));
+                Rows::TopK(values)
+            }
+            (SinkState::Distinct { set }, Sink::Distinct { .. }) => {
+                let mut values: Vec<i128> = set.into_iter().collect();
+                values.sort_unstable();
+                Rows::Distinct(values)
+            }
+            _ => unreachable!("sink/state mismatch"),
+        };
+        Ok(QueryResult { rows, stats })
+    }
+}
+
+fn eval_spec(spec: &AggSpec, per_col: &[crate::agg::AggResult], rows: usize) -> AggValue {
+    match (spec.kind, spec.slot) {
+        (AggKind::Count, _) => Some(rows as i128),
+        (AggKind::Sum, Some(slot)) => Some(per_col[slot].sum),
+        (AggKind::Min, Some(slot)) => per_col[slot].min,
+        (AggKind::Max, Some(slot)) => per_col[slot].max,
+        (kind, None) => unreachable!("{kind:?} without a column"),
+    }
+}

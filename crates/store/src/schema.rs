@@ -14,7 +14,10 @@ pub struct ColumnSchema {
 impl ColumnSchema {
     /// Construct a column declaration.
     pub fn new(name: &str, dtype: DType) -> Self {
-        ColumnSchema { name: name.to_string(), dtype }
+        ColumnSchema {
+            name: name.to_string(),
+            dtype,
+        }
     }
 }
 
@@ -29,7 +32,10 @@ impl TableSchema {
     /// Build from `(name, dtype)` pairs.
     pub fn new(columns: &[(&str, DType)]) -> Self {
         TableSchema {
-            columns: columns.iter().map(|&(n, t)| ColumnSchema::new(n, t)).collect(),
+            columns: columns
+                .iter()
+                .map(|&(n, t)| ColumnSchema::new(n, t))
+                .collect(),
         }
     }
 

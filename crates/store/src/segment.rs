@@ -39,18 +39,19 @@ impl Segment {
     pub fn build(rows: &ColumnData, policy: &CompressionPolicy) -> Result<Segment> {
         let (min, max) = rows.min_max_numeric().unwrap_or((0, -1));
         let (expr, compressed) = match policy {
-            CompressionPolicy::None => {
-                ("id".to_string(), parse_scheme("id")?.compress(rows)?)
-            }
-            CompressionPolicy::Fixed(text) => {
-                (text.clone(), parse_scheme(text)?.compress(rows)?)
-            }
+            CompressionPolicy::None => ("id".to_string(), parse_scheme("id")?.compress(rows)?),
+            CompressionPolicy::Fixed(text) => (text.clone(), parse_scheme(text)?.compress(rows)?),
             CompressionPolicy::Auto => {
                 let choice = chooser::choose_best(rows)?;
                 (choice.expr, choice.compressed)
             }
         };
-        Ok(Segment { compressed, expr, min, max })
+        Ok(Segment {
+            compressed,
+            expr,
+            min,
+            max,
+        })
     }
 
     /// Number of rows in the segment.
@@ -71,6 +72,30 @@ impl Segment {
     /// Fully decompress the segment.
     pub fn decompress(&self) -> Result<ColumnData> {
         Ok(self.scheme()?.decompress(&self.compressed)?)
+    }
+
+    /// Extract `(run values, exclusive run end positions)` from an
+    /// RLE/RPE segment via partial decompression; `None` for other
+    /// schemes. The single home of the RLE-family part layout — the
+    /// predicate run tier, the run-weighted aggregation, and the
+    /// planner's group-by sink all build on it.
+    pub fn run_structure(&self) -> Result<Option<(ColumnData, Vec<u64>)>> {
+        use lcdc_core::schemes::{rle, rpe};
+        let scheme_id = self.compressed.scheme_id.as_str();
+        if scheme_id == "rle" || scheme_id.starts_with("rle[") {
+            let scheme = self.scheme()?;
+            let values = scheme.decompress_part(&self.compressed, rle::ROLE_VALUES)?;
+            let lengths = scheme.decompress_part(&self.compressed, rle::ROLE_LENGTHS)?;
+            let ends = lcdc_colops::prefix_sum_inclusive(&lengths.to_transport());
+            return Ok(Some((values, ends)));
+        }
+        if scheme_id == "rpe" || scheme_id.starts_with("rpe[") {
+            let scheme = self.scheme()?;
+            let values = scheme.decompress_part(&self.compressed, rpe::ROLE_VALUES)?;
+            let positions = scheme.decompress_part(&self.compressed, rpe::ROLE_POSITIONS)?;
+            return Ok(Some((values, positions.to_transport())));
+        }
+        Ok(None)
     }
 
     /// Whether the zone map proves the segment disjoint from `[lo, hi]`.
@@ -106,8 +131,11 @@ mod tests {
 
     #[test]
     fn fixed_policy_round_trips() {
-        let s = Segment::build(&rows(), &CompressionPolicy::Fixed("for(l=128)[offsets=ns]".into()))
-            .unwrap();
+        let s = Segment::build(
+            &rows(),
+            &CompressionPolicy::Fixed("for(l=128)[offsets=ns]".into()),
+        )
+        .unwrap();
         assert_eq!(s.decompress().unwrap(), rows());
         assert_eq!(s.num_rows(), 500);
         assert!(s.compressed_bytes() < rows().uncompressed_bytes());
@@ -116,7 +144,11 @@ mod tests {
     #[test]
     fn auto_policy_picks_something_small() {
         let s = Segment::build(&rows(), &CompressionPolicy::Auto).unwrap();
-        assert!(s.compressed_bytes() * 4 < rows().uncompressed_bytes(), "{}", s.expr);
+        assert!(
+            s.compressed_bytes() * 4 < rows().uncompressed_bytes(),
+            "{}",
+            s.expr
+        );
         assert_eq!(s.decompress().unwrap(), rows());
     }
 

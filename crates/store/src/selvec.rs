@@ -78,7 +78,13 @@ pub fn select(
         positions.extend(mask.iter_ones().map(|i| base + i as u64));
         base += seg.num_rows() as u64;
     }
-    Ok((SelVec { positions, total_rows: table.num_rows() }, stats))
+    Ok((
+        SelVec {
+            positions,
+            total_rows: table.num_rows(),
+        },
+        stats,
+    ))
 }
 
 /// Evaluate a conjunction of per-column predicates and collect the
@@ -115,7 +121,13 @@ pub fn select_and(
         positions.extend(mask.iter_ones().map(|i| base + i as u64));
         base += first.num_rows() as u64;
     }
-    Ok((SelVec { positions, total_rows: table.num_rows() }, stats))
+    Ok((
+        SelVec {
+            positions,
+            total_rows: table.num_rows(),
+        },
+        stats,
+    ))
 }
 
 /// Early materialisation: decompress every payload segment, index rows.
@@ -133,9 +145,10 @@ pub fn gather_early(table: &Table, column: &str, sel: &SelVec) -> Result<ColumnD
     for &pos in &sel.positions {
         let (seg_idx, off) = locate(pos, seg_rows);
         let col = cache[seg_idx].as_ref().expect("all segments decompressed");
-        numeric.push(col.get_numeric(off).ok_or_else(|| {
-            StoreError::Shape(format!("position {pos} out of segment range"))
-        })?);
+        numeric
+            .push(col.get_numeric(off).ok_or_else(|| {
+                StoreError::Shape(format!("position {pos} out of segment range"))
+            })?);
     }
     let dtype = table.schema().dtype_of(column)?;
     ColumnData::from_numeric(dtype, &numeric).map_err(StoreError::Core)
@@ -144,11 +157,7 @@ pub fn gather_early(table: &Table, column: &str, sel: &SelVec) -> Result<ColumnD
 /// Late materialisation: per selected position, answer from the
 /// compressed form where an access path exists; decompress a segment
 /// (once, cached) only when it does not.
-pub fn gather_late(
-    table: &Table,
-    column: &str,
-    sel: &SelVec,
-) -> Result<(ColumnData, GatherStats)> {
+pub fn gather_late(table: &Table, column: &str, sel: &SelVec) -> Result<(ColumnData, GatherStats)> {
     check_shape(table, sel)?;
     let segments = table.column_segments(column)?;
     let seg_rows = table.seg_rows();
@@ -157,9 +166,9 @@ pub fn gather_late(
     let mut cache: Vec<Option<ColumnData>> = vec![None; segments.len()];
     for &pos in &sel.positions {
         let (seg_idx, off) = locate(pos, seg_rows);
-        let seg = segments.get(seg_idx).ok_or_else(|| {
-            StoreError::Shape(format!("position {pos} past table end"))
-        })?;
+        let seg = segments
+            .get(seg_idx)
+            .ok_or_else(|| StoreError::Shape(format!("position {pos} past table end")))?;
         if let Some(plain) = &cache[seg_idx] {
             stats.via_decompress += 1;
             numeric.push(plain.get_numeric(off).ok_or_else(|| {
@@ -302,9 +311,15 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let t = table("ns_zz");
-        let bad = SelVec { positions: vec![0], total_rows: 999 };
+        let bad = SelVec {
+            positions: vec![0],
+            total_rows: 999,
+        };
         assert!(gather_late(&t, "p", &bad).is_err());
-        let bad = SelVec { positions: vec![99999], total_rows: t.num_rows() };
+        let bad = SelVec {
+            positions: vec![99999],
+            total_rows: t.num_rows(),
+        };
         assert!(gather_late(&t, "p", &bad).is_err());
         assert!(gather_early(&t, "p", &bad).is_err());
     }
@@ -317,15 +332,33 @@ mod tests {
             &t,
             &[
                 ("f", Predicate::Range { lo: 10, hi: 30 }),
-                ("p", Predicate::Range { lo: 0, hi: i64::MAX as i128 }),
+                (
+                    "p",
+                    Predicate::Range {
+                        lo: 0,
+                        hi: i64::MAX as i128,
+                    },
+                ),
             ],
         )
         .unwrap();
         let (a, _) = select(&t, "f", &Predicate::Range { lo: 10, hi: 30 }).unwrap();
-        let (b, _) = select(&t, "p", &Predicate::Range { lo: 0, hi: i64::MAX as i128 }).unwrap();
+        let (b, _) = select(
+            &t,
+            "p",
+            &Predicate::Range {
+                lo: 0,
+                hi: i64::MAX as i128,
+            },
+        )
+        .unwrap();
         let b_set: std::collections::HashSet<u64> = b.positions.iter().copied().collect();
-        let expect: Vec<u64> =
-            a.positions.iter().copied().filter(|p| b_set.contains(p)).collect();
+        let expect: Vec<u64> = a
+            .positions
+            .iter()
+            .copied()
+            .filter(|p| b_set.contains(p))
+            .collect();
         assert_eq!(sel_and.positions, expect);
         assert!(!sel_and.is_empty());
     }

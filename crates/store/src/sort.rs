@@ -121,9 +121,7 @@ mod tests {
 
     fn runs_table(policy: CompressionPolicy) -> Table {
         // Unsorted values with heavy runs, spanning several segments.
-        let col = ColumnData::I64(
-            (0..4000i64).map(|i| ((i / 40) * 7919 % 101) - 50).collect(),
-        );
+        let col = ColumnData::I64((0..4000i64).map(|i| ((i / 40) * 7919 % 101) - 50).collect());
         let schema = crate::schema::TableSchema::new(&[("v", lcdc_core::DType::I64)]);
         Table::build(schema, &[col], &[policy], 512).unwrap()
     }
@@ -169,8 +167,13 @@ mod tests {
     #[test]
     fn empty_table() {
         let schema = crate::schema::TableSchema::new(&[("v", DType::U32)]);
-        let t = Table::build(schema, &[ColumnData::empty(DType::U32)], &[CompressionPolicy::None], 64)
-            .unwrap();
+        let t = Table::build(
+            schema,
+            &[ColumnData::empty(DType::U32)],
+            &[CompressionPolicy::None],
+            64,
+        )
+        .unwrap();
         let (sorted, stats) = sort_column_compressed(&t, "v").unwrap();
         assert!(sorted.is_empty());
         assert_eq!(stats.rows, 0);

@@ -68,7 +68,12 @@ impl Table {
             }
             segments.push(col_segments);
         }
-        Ok(Table { schema, segments, num_rows, seg_rows })
+        Ok(Table {
+            schema,
+            segments,
+            num_rows,
+            seg_rows,
+        })
     }
 
     /// Assemble a table from already-compressed segments (the
@@ -109,14 +114,17 @@ impl Table {
                 if seg.compressed.dtype != schema.columns[i].dtype {
                     return Err(StoreError::Shape(format!(
                         "column {} segment {j} is {:?}, schema says {:?}",
-                        schema.columns[i].name,
-                        seg.compressed.dtype,
-                        schema.columns[i].dtype
+                        schema.columns[i].name, seg.compressed.dtype, schema.columns[i].dtype
                     )));
                 }
             }
         }
-        Ok(Table { schema, segments, num_rows, seg_rows })
+        Ok(Table {
+            schema,
+            segments,
+            num_rows,
+            seg_rows,
+        })
     }
 
     /// Convenience: build with one shared policy and default segment
@@ -150,6 +158,12 @@ impl Table {
         self.segments.first().map_or(0, Vec::len)
     }
 
+    /// The segments of a column by schema index (planner-internal: the
+    /// physical plan resolves names once, at compile time).
+    pub(crate) fn segments_at(&self, idx: usize) -> &[Segment] {
+        &self.segments[idx]
+    }
+
     /// The segments of a named column.
     pub fn column_segments(&self, name: &str) -> Result<&[Segment]> {
         let idx = self
@@ -172,7 +186,11 @@ impl Table {
 
     /// Total compressed bytes of a column.
     pub fn column_compressed_bytes(&self, name: &str) -> Result<usize> {
-        Ok(self.column_segments(name)?.iter().map(Segment::compressed_bytes).sum())
+        Ok(self
+            .column_segments(name)?
+            .iter()
+            .map(Segment::compressed_bytes)
+            .sum())
     }
 
     /// Total compressed bytes of the table.
@@ -243,11 +261,19 @@ mod tests {
         let schema = TableSchema::new(&[("a", DType::U32), ("b", DType::U32)]);
         let a = ColumnData::U32(vec![1, 2, 3]);
         let b_short = ColumnData::U32(vec![1]);
-        assert!(Table::build_uniform(schema.clone(), &[a.clone(), b_short], CompressionPolicy::None)
-            .is_err());
+        assert!(Table::build_uniform(
+            schema.clone(),
+            &[a.clone(), b_short],
+            CompressionPolicy::None
+        )
+        .is_err());
         let b_wrong_type = ColumnData::I64(vec![1, 2, 3]);
-        assert!(Table::build_uniform(schema.clone(), &[a.clone(), b_wrong_type], CompressionPolicy::None)
-            .is_err());
+        assert!(Table::build_uniform(
+            schema.clone(),
+            &[a.clone(), b_wrong_type],
+            CompressionPolicy::None
+        )
+        .is_err());
         assert!(Table::build_uniform(schema, &[a], CompressionPolicy::None).is_err());
     }
 
@@ -283,7 +309,15 @@ mod tests {
             64,
         )
         .unwrap();
-        assert!(t.column_segments("a").unwrap().iter().all(|s| s.expr.starts_with("rle")));
-        assert!(t.column_segments("b").unwrap().iter().all(|s| s.expr.starts_with("delta")));
+        assert!(t
+            .column_segments("a")
+            .unwrap()
+            .iter()
+            .all(|s| s.expr.starts_with("rle")));
+        assert!(t
+            .column_segments("b")
+            .unwrap()
+            .iter()
+            .all(|s| s.expr.starts_with("delta")));
     }
 }

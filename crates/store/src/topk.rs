@@ -1,17 +1,17 @@
-//! Top-k over compressed columns with model-metadata pruning.
+//! Top-k over compressed columns, as a thin adapter over the planner.
 //!
 //! The paper's §II-B: "the rough correspondence of the column data to a
 //! simple model can be used to speed up selections". Top-k is a
 //! selection whose predicate bound is *discovered during execution*: the
-//! running k-th largest value. Segment zone maps — which for FOR/STEP
-//! forms are the model metadata itself — let whole segments be skipped
-//! once their maximum cannot beat that bound, without decompressing a
-//! single row.
+//! running k-th largest value. The planner's top-k sink visits segments
+//! best-max first and skips — without decompressing a single row — every
+//! segment whose zone-map maximum cannot beat that bound. These free
+//! functions keep the original signatures; new code should use
+//! [`crate::QueryBuilder::top_k`], which also composes with filters.
 
+use crate::query::QueryBuilder;
 use crate::table::Table;
 use crate::Result;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Execution counters for [`top_k_pruned`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,61 +24,24 @@ pub struct TopKStats {
     pub rows_materialized: usize,
 }
 
-/// Baseline: materialise the whole column, sort, take the k largest.
+/// Baseline: materialise the whole column, take the k largest.
 /// Returned descending.
 pub fn top_k_naive(table: &Table, column: &str, k: usize) -> Result<Vec<i128>> {
-    let col = table.materialize(column)?;
-    let mut numeric = col.to_numeric();
-    numeric.sort_unstable_by(|a, b| b.cmp(a));
-    numeric.truncate(k);
-    Ok(numeric)
+    let result = QueryBuilder::scan(table).top_k(column, k).execute_naive()?;
+    Ok(result.top_k().expect("top-k plan").to_vec())
 }
 
 /// Zone-map-pruned top-k: visit segments in descending order of their
 /// maximum; once k values are held, skip every segment whose maximum is
 /// no better than the current k-th value. Returned descending.
 pub fn top_k_pruned(table: &Table, column: &str, k: usize) -> Result<(Vec<i128>, TopKStats)> {
-    let segments = table.column_segments(column)?;
-    let mut stats = TopKStats::default();
-    if k == 0 {
-        stats.segments_pruned = segments.len();
-        return Ok((Vec::new(), stats));
-    }
-    // Visit order: best possible value first, so the threshold tightens
-    // as early as possible.
-    let mut order: Vec<usize> = (0..segments.len()).collect();
-    order.sort_unstable_by_key(|&i| Reverse(segments[i].max));
-
-    let mut heap: BinaryHeap<Reverse<i128>> = BinaryHeap::with_capacity(k + 1);
-    for seg_idx in order {
-        let seg = &segments[seg_idx];
-        if seg.num_rows() == 0 {
-            stats.segments_pruned += 1;
-            continue;
-        }
-        if heap.len() == k {
-            let Reverse(threshold) = *heap.peek().expect("heap holds k values");
-            if seg.max <= threshold {
-                stats.segments_pruned += 1;
-                continue;
-            }
-        }
-        stats.segments_scanned += 1;
-        let col = seg.decompress()?;
-        stats.rows_materialized += col.len();
-        for i in 0..col.len() {
-            let v = col.get_numeric(i).expect("in range");
-            if heap.len() < k {
-                heap.push(Reverse(v));
-            } else if v > heap.peek().expect("non-empty").0 {
-                heap.pop();
-                heap.push(Reverse(v));
-            }
-        }
-    }
-    let mut out: Vec<i128> = heap.into_iter().map(|Reverse(v)| v).collect();
-    out.sort_unstable_by(|a, b| b.cmp(a));
-    Ok((out, stats))
+    let result = QueryBuilder::scan(table).top_k(column, k).execute()?;
+    let stats = TopKStats {
+        segments_scanned: result.stats.segments - result.stats.segments_pruned,
+        segments_pruned: result.stats.segments_pruned,
+        rows_materialized: result.stats.rows_materialized,
+    };
+    Ok((result.top_k().expect("top-k plan").to_vec(), stats))
 }
 
 #[cfg(test)]

@@ -1,19 +1,14 @@
-//! Compression-aware query operators: run-aware sort, pruned top-k,
-//! and late materialisation — the "no clear distinction between
-//! decompression and analytic query execution" lesson applied to three
-//! more operators.
+//! The logical-plan query API over compressed columns: one builder, four
+//! operator kinds, every one executing on the compressed form where the
+//! per-segment scheme allows — the "no clear distinction between
+//! decompression and analytic query execution" lesson as an API.
 //!
 //! ```text
 //! cargo run --release --example compressed_query_ops
 //! ```
 
 use lcdc::core::{ColumnData, DType};
-use lcdc::store::segment::CompressionPolicy;
-use lcdc::store::table::Table;
-use lcdc::store::{
-    gather_early, gather_late, select, sort_column_compressed, sort_column_naive, top_k_naive,
-    top_k_pruned, Predicate, TableSchema,
-};
+use lcdc::store::{Agg, CompressionPolicy, Predicate, QueryBuilder, Table, TableSchema};
 use std::time::Instant;
 
 fn main() {
@@ -39,61 +34,83 @@ fn main() {
         table.compressed_bytes()
     );
 
-    // 1. ORDER BY status: sort runs, not rows.
+    // 1. A filtered aggregate. The same logical plan compiles to a
+    //    pushdown plan (zone maps, run-granular predicates, run-weighted
+    //    sums) or a decompress-everything baseline.
+    let revenue = QueryBuilder::scan(&table)
+        .filter("status", Predicate::Range { lo: 10, hi: 19 })
+        .aggregate(&[Agg::Sum("amount"), Agg::Count]);
+    println!("plan:\n{}\n", revenue.explain().expect("explains"));
     let t = Instant::now();
-    let naive = sort_column_naive(&table, "status").expect("sorts");
+    let push = revenue.execute().expect("runs");
+    let push_t = t.elapsed();
+    let t = Instant::now();
+    let naive = revenue.execute_naive().expect("runs");
     let naive_t = t.elapsed();
-    let t = Instant::now();
-    let (fast, stats) = sort_column_compressed(&table, "status").expect("sorts");
-    let fast_t = t.elapsed();
-    assert_eq!(naive, fast);
+    assert_eq!(push.rows, naive.rows);
     println!(
-        "sort:   {} rows as {} runs — {:.1} ms run-aware vs {:.1} ms naive",
-        stats.rows,
-        stats.runs_sorted,
-        fast_t.as_secs_f64() * 1e3,
-        naive_t.as_secs_f64() * 1e3
+        "filter+agg: sum {} over {} rows — {:.1} ms pushdown ({} rows materialised) vs {:.1} ms naive ({})",
+        push.aggregates().unwrap()[0].unwrap(),
+        push.aggregates().unwrap()[1].unwrap(),
+        push_t.as_secs_f64() * 1e3,
+        push.stats.rows_materialized,
+        naive_t.as_secs_f64() * 1e3,
+        naive.stats.rows_materialized,
     );
 
-    // 2. TOP 10 amounts: zone maps prune segments that cannot compete.
+    // 2. GROUP BY status: RLE keys probe the hash table once per *run*.
+    let per_status = QueryBuilder::scan(&table)
+        .group_by("status")
+        .aggregate(&[Agg::Sum("amount"), Agg::Count]);
     let t = Instant::now();
-    let naive_top = top_k_naive(&table, "amount", 10).expect("top-k");
-    let naive_t = t.elapsed();
-    let t = Instant::now();
-    let (top, stats) = top_k_pruned(&table, "amount", 10).expect("top-k");
+    let groups = per_status.execute().expect("runs");
     let fast_t = t.elapsed();
-    assert_eq!(naive_top, top);
+    let t = Instant::now();
+    let baseline = per_status.execute_naive().expect("runs");
+    let naive_t = t.elapsed();
+    assert_eq!(groups.rows, baseline.rows);
     println!(
-        "top-10: pruned {} of {} segments, touched {} rows — {:.2} ms vs {:.1} ms naive",
-        stats.segments_pruned,
-        stats.segments_pruned + stats.segments_scanned,
-        stats.rows_materialized,
+        "group-by:   {} groups from {} run probes — {:.1} ms run-aware vs {:.1} ms naive",
+        groups.groups().unwrap().len(),
+        groups.stats.values_processed,
         fast_t.as_secs_f64() * 1e3,
-        naive_t.as_secs_f64() * 1e3
+        naive_t.as_secs_f64() * 1e3,
     );
 
-    // 3. SELECT amount WHERE status = 7: filter at run granularity,
-    //    fetch amounts by positional access on the compressed form.
-    let (sel, push) = select(&table, "status", &Predicate::Eq(7)).expect("selects");
-    println!(
-        "filter: {} rows selected ({:.2}% selectivity; pushdown tiers {:?})",
-        sel.len(),
-        sel.selectivity() * 100.0,
-        push
-    );
+    // 3. TOP 10 amounts: zone maps prune segments that cannot compete.
+    let top = QueryBuilder::scan(&table).top_k("amount", 10);
     let t = Instant::now();
-    let early = gather_early(&table, "amount", &sel).expect("gathers");
-    let early_t = t.elapsed();
+    let pruned = top.execute().expect("runs");
+    let fast_t = t.elapsed();
     let t = Instant::now();
-    let (late, gstats) = gather_late(&table, "amount", &sel).expect("gathers");
-    let late_t = t.elapsed();
-    assert_eq!(early, late);
+    let full = top.execute_naive().expect("runs");
+    let naive_t = t.elapsed();
+    assert_eq!(pruned.rows, full.rows);
     println!(
-        "gather: late-materialised {} values via compressed-form access ({} decompressed) — {:.2} ms vs {:.1} ms early",
-        gstats.via_access,
-        gstats.via_decompress,
-        late_t.as_secs_f64() * 1e3,
-        early_t.as_secs_f64() * 1e3
+        "top-10:     pruned {} of {} segments, touched {} rows — {:.2} ms vs {:.1} ms naive",
+        pruned.stats.segments_pruned,
+        pruned.stats.segments,
+        pruned.stats.rows_materialized,
+        fast_t.as_secs_f64() * 1e3,
+        naive_t.as_secs_f64() * 1e3,
     );
-    println!("\nall three operators agree with their naive baselines ✓");
+
+    // 4. DISTINCT status under a filter, and the same plan parallelised:
+    //    every operator runs per segment, so every operator scales out.
+    let distinct = QueryBuilder::scan(&table)
+        .filter("amount", Predicate::Range { lo: 0, hi: 1 << 39 })
+        .distinct("status");
+    let sequential = distinct.execute().expect("runs");
+    let t = Instant::now();
+    let parallel = distinct.execute_parallel(8).expect("runs");
+    let par_t = t.elapsed();
+    assert_eq!(sequential.rows, parallel.rows);
+    println!(
+        "distinct:   {} values ({} structural segments) — {:.1} ms on 8 threads",
+        parallel.distinct().unwrap().len(),
+        parallel.stats.segments_structural,
+        par_t.as_secs_f64() * 1e3,
+    );
+
+    println!("\nall four operators agree with their naive baselines ✓");
 }

@@ -34,7 +34,10 @@ fn main() {
 
     // ---- Identity 2: FOR = STEPFUNCTION + NS ------------------------
     let col = ColumnData::U64(lcdc::datagen::step_column(100_000, 128, 1 << 30, 200, 3));
-    println!("FOR ≡ STEPFUNCTION + NS on a {}-row locally-tight column", col.len());
+    println!(
+        "FOR ≡ STEPFUNCTION + NS on a {}-row locally-tight column",
+        col.len()
+    );
     let f = For::new(128);
     let c_for = f.compress(&col).expect("compresses");
     let mr = rewrite::for_to_step_plus_ns(&c_for).expect("split applies");

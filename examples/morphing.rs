@@ -69,10 +69,7 @@ fn main() {
     let c_for = source.compress(&col).expect("compresses");
     let (c_pfor, path) = morph(&source, &c_for, &target).expect("morphs");
     assert_eq!(path, MorphPath::Structural);
-    println!(
-        "for(l=128):            {} bytes",
-        c_for.compressed_bytes()
-    );
+    println!("for(l=128):            {} bytes", c_for.compressed_bytes());
     println!(
         "morphed pfor(keep=990): {} bytes — outliers became patches, {}x smaller",
         c_pfor.compressed_bytes(),

@@ -60,7 +60,10 @@ fn main() {
     let loaded = load_table(&dir).expect("loads");
     let q = Query::new(
         "date",
-        Predicate::Range { lo: 20_180_120, hi: 20_180_180 },
+        Predicate::Range {
+            lo: 20_180_120,
+            hi: 20_180_180,
+        },
         "price",
     );
     let before = q.run_pushdown(&table).expect("queries");

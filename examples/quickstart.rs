@@ -1,29 +1,41 @@
 //! Quickstart: compress a column, compose schemes, inspect the
-//! decompression plan.
+//! decompression plan — then query a compressed table through the
+//! logical-plan builder.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use lcdc::core::scheme::decompress_via_plan;
-use lcdc::core::{chooser, parse_scheme, ColumnData};
+use lcdc::core::{chooser, parse_scheme, ColumnData, DType};
+use lcdc::store::{Agg, CompressionPolicy, Predicate, QueryBuilder, Table, TableSchema};
 
 fn main() {
     // The paper's §I motivating column: shipped-order dates — a
     // monotone-increasing sequence with a run per day.
     let dates = ColumnData::U64(lcdc::datagen::shipped_order_dates(365, 40, 20_180_101, 7));
-    println!("column: {} rows, {} plain bytes\n", dates.len(), dates.uncompressed_bytes());
+    println!(
+        "column: {} rows, {} plain bytes\n",
+        dates.len(),
+        dates.uncompressed_bytes()
+    );
 
     // 1. A single scheme.
     let rle = parse_scheme("rle[values=ns,lengths=ns]").expect("valid expression");
     let c = rle.compress(&dates).expect("compresses");
-    println!("rle[values=ns,lengths=ns]          ratio {:>6.1}x", c.ratio().unwrap());
+    println!(
+        "rle[values=ns,lengths=ns]          ratio {:>6.1}x",
+        c.ratio().unwrap()
+    );
 
     // 2. The paper's composition: DELTA on the run values.
     let composite =
         parse_scheme("rle[values=delta[deltas=ns_zz],lengths=ns]").expect("valid expression");
     let c2 = composite.compress(&dates).expect("compresses");
-    println!("rle[values=delta[deltas=ns_zz],..] ratio {:>6.1}x", c2.ratio().unwrap());
+    println!(
+        "rle[values=delta[deltas=ns_zz],..] ratio {:>6.1}x",
+        c2.ratio().unwrap()
+    );
     assert_eq!(composite.decompress(&c2).expect("round-trips"), dates);
 
     // 3. Or let the chooser decide.
@@ -36,5 +48,45 @@ fn main() {
     println!("decompression plan (Algorithm 1):\n{}", plan.display());
     let via_plan = decompress_via_plan(composite.as_ref(), &c2).expect("plan executes");
     assert_eq!(via_plan, dates);
-    println!("plan output == fused decompression output == original column ✓");
+    println!("plan output == fused decompression output == original column ✓\n");
+
+    // 5. And the payoff: query operators run on the compressed form.
+    //    Build a two-column table (per-segment scheme choice is
+    //    automatic) and express a filtered grouped aggregate as a
+    //    logical plan; the planner picks the pushdown tier per segment.
+    let qty = ColumnData::U64((0..dates.len() as u64).map(|i| 1 + i % 50).collect());
+    let schema = TableSchema::new(&[("date", DType::U64), ("qty", DType::U64)]);
+    let table = Table::build(
+        schema,
+        &[dates, qty],
+        &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+        4096,
+    )
+    .expect("table builds");
+    let result = QueryBuilder::scan(&table)
+        .filter(
+            "date",
+            Predicate::Range {
+                lo: 20_180_110,
+                hi: 20_180_116,
+            },
+        )
+        .group_by("date")
+        .aggregate(&[Agg::Sum("qty"), Agg::Count])
+        .execute()
+        .expect("query runs");
+    println!("quantity shipped per day, one week in January:");
+    for (day, values) in result.groups().expect("grouped query") {
+        println!(
+            "  {day}: sum {:>6}  ({} orders)",
+            values[0].unwrap(),
+            values[1].unwrap()
+        );
+    }
+    println!(
+        "answered from {} of {} segments, {} rows materialised ✓",
+        result.stats.segments - result.stats.segments_pruned,
+        result.stats.segments,
+        result.stats.rows_materialized
+    );
 }

@@ -32,11 +32,16 @@ fn workload(name: &str) -> Option<ColumnData> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let expr = args.first().map(String::as_str).unwrap_or("rle[values=ns,lengths=ns]");
+    let expr = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("rle[values=ns,lengths=ns]");
     let wl_name = args.get(1).map(String::as_str).unwrap_or("dates");
 
     let Some(col) = workload(wl_name) else {
-        eprintln!("unknown workload {wl_name:?}; try dates/runs/steps/trend/outliers/zipf/uniform/sorted");
+        eprintln!(
+            "unknown workload {wl_name:?}; try dates/runs/steps/trend/outliers/zipf/uniform/sorted"
+        );
         std::process::exit(1);
     };
     let scheme = match parse_scheme(expr) {
@@ -47,7 +52,11 @@ fn main() {
         }
     };
 
-    println!("workload {wl_name:?}: {} rows, {} plain bytes", col.len(), col.uncompressed_bytes());
+    println!(
+        "workload {wl_name:?}: {} rows, {} plain bytes",
+        col.len(),
+        col.uncompressed_bytes()
+    );
     let compressed = match scheme.compress(&col) {
         Ok(c) => c,
         Err(e) => {
@@ -69,7 +78,12 @@ fn main() {
             PartData::Blocks(b) => format!("block-packed x{} ({} blocks)", b.len(), b.num_blocks()),
             PartData::Nested(n) => format!("nested {} (n={})", n.scheme_id, n.n),
         };
-        println!("  part {:<14} {:<34} {:>9} bytes", part.role, kind, part.data.bytes());
+        println!(
+            "  part {:<14} {:<34} {:>9} bytes",
+            part.role,
+            kind,
+            part.data.bytes()
+        );
     }
     for (key, value) in compressed.params.iter() {
         println!("  param {key} = {value}");

@@ -26,7 +26,11 @@ fn main() {
             ColumnData::U64(t.quantity),
             ColumnData::U64(t.extendedprice),
         ],
-        &[CompressionPolicy::Auto, CompressionPolicy::Auto, CompressionPolicy::Auto],
+        &[
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+        ],
         16_384,
     )
     .expect("table builds");
@@ -45,7 +49,10 @@ fn main() {
     // Q: total revenue for a 30-day window.
     let q = Query::new(
         "shipdate",
-        Predicate::Range { lo: 19_920_201, hi: 19_920_301 },
+        Predicate::Range {
+            lo: 19_920_201,
+            hi: 19_920_301,
+        },
         "extendedprice",
     );
 
@@ -60,8 +67,14 @@ fn main() {
     println!("\n30-day revenue query:");
     println!("  rows selected          {:>12}", push.agg.count);
     println!("  SUM(extendedprice)     {:>12}", push.agg.sum);
-    println!("  naive executor         {:>9.2?} ({} rows materialised)", naive_t, naive.stats.rows_materialized);
-    println!("  pushdown executor      {:>9.2?} ({} rows materialised)", push_t, push.stats.rows_materialized);
+    println!(
+        "  naive executor         {:>9.2?} ({} rows materialised)",
+        naive_t, naive.stats.rows_materialized
+    );
+    println!(
+        "  pushdown executor      {:>9.2?} ({} rows materialised)",
+        push_t, push.stats.rows_materialized
+    );
     println!(
         "  pushdown tiers: {} zone-map, {} run-granularity, {} row-granularity",
         push.stats.pushdown.zonemap_hits,

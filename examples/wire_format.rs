@@ -10,7 +10,9 @@ use lcdc::core::{access, bytes, chooser, parse_scheme, ColumnData};
 
 fn main() {
     // Node A: compress a price-like column with the chooser.
-    let col = ColumnData::U64(lcdc::datagen::step_column(500_000, 4096, 200_000, 5_000, 11));
+    let col = ColumnData::U64(lcdc::datagen::step_column(
+        500_000, 4096, 200_000, 5_000, 11,
+    ));
     let choice = chooser::choose_best(&col).expect("chooser runs");
     println!(
         "node A: {} rows compressed with {} -> {} bytes ({:.1}x)",
@@ -22,7 +24,11 @@ fn main() {
 
     // Serialise. The wire format is the columnar view, one-to-one.
     let wire = bytes::to_bytes(&choice.compressed);
-    println!("wire: {} bytes (model {} + headers)", wire.len(), choice.bytes);
+    println!(
+        "wire: {} bytes (model {} + headers)",
+        wire.len(),
+        choice.bytes
+    );
 
     // Node B: deserialise, rebuild the scheme from the self-describing
     // scheme id, and verify integrity end to end.

@@ -9,11 +9,17 @@
 //! lcdc decompress <in.lcdc> -o <out.bin>
 //! lcdc info       <in.lcdc>
 //! lcdc choose     <in.bin> --dtype u64
+//! lcdc query      <table-dir> [--filter c=lo..hi]... [--sum c] [--count]
+//!                 [--group-by c | --top-k c:k | --distinct c]
+//!                 [--naive] [--threads N] [--explain]
 //! ```
 //!
 //! Without `--scheme`, `compress` runs the chooser and records its pick.
+//! `query` runs a logical plan (see `lcdc::store::QueryBuilder`) against
+//! a table directory written by `lcdc::store::save_table`.
 
 use lcdc::core::{bytes, chooser, parse_scheme, ColumnData, DType};
+use lcdc::store::{load_table, Agg, Predicate, QueryBuilder, Rows};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,6 +41,10 @@ usage:
   lcdc decompress <in.lcdc> -o <out.bin>
   lcdc info       <in.lcdc>
   lcdc choose     <in.bin> --dtype <u32|u64|i32|i64>
+  lcdc query      <table-dir> [--filter col=lo..hi | --filter col=value]...
+                  [--sum col] [--min col] [--max col] [--count]
+                  [--group-by col | --top-k col:k | --distinct col]
+                  [--naive] [--threads N] [--explain]
 
 scheme expressions: e.g. 'rle[values=delta[deltas=ns_zz],lengths=ns]',
 'for(l=128)[offsets=ns]', 'vstep(w=8)[offsets=ns]', 'sparse', ...";
@@ -49,6 +59,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "decompress" => decompress(rest),
         "info" => info(rest),
         "choose" => choose(rest),
+        "query" => query(rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -145,10 +156,18 @@ fn read_raw_column(path: &str, dtype: DType) -> Result<ColumnData, String> {
 fn write_raw_column(path: &str, col: &ColumnData) -> Result<(), String> {
     let mut out = Vec::with_capacity(col.uncompressed_bytes());
     match col {
-        ColumnData::U32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-        ColumnData::U64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-        ColumnData::I32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-        ColumnData::I64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::U32(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::U64(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::I32(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        ColumnData::I64(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
     }
     std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
 }
@@ -237,15 +256,166 @@ fn info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One parsed aggregate request (owned; borrowed into `Agg` at build).
+enum CliAgg {
+    Sum(String),
+    Min(String),
+    Max(String),
+    Count,
+}
+
+fn parse_predicate(spec: &str) -> Result<(String, Predicate), String> {
+    let (column, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--filter wants col=lo..hi or col=value, got {spec:?}"))?;
+    let predicate = match rest.split_once("..") {
+        Some((lo, hi)) => Predicate::Range {
+            lo: lo.trim().parse().map_err(|_| format!("bad bound {lo:?}"))?,
+            hi: hi.trim().parse().map_err(|_| format!("bad bound {hi:?}"))?,
+        },
+        None => Predicate::Eq(
+            rest.trim()
+                .parse()
+                .map_err(|_| format!("bad value {rest:?}"))?,
+        ),
+    };
+    Ok((column.to_string(), predicate))
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let mut dir = None;
+    let mut filters: Vec<(String, Predicate)> = Vec::new();
+    let mut aggs: Vec<CliAgg> = Vec::new();
+    let mut group_by = None;
+    let mut top_k: Option<(String, usize)> = None;
+    let mut distinct = None;
+    let mut naive = false;
+    let mut explain = false;
+    let mut threads = 1usize;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--filter" => filters.push(parse_predicate(&value("--filter")?)?),
+            "--sum" => aggs.push(CliAgg::Sum(value("--sum")?)),
+            "--min" => aggs.push(CliAgg::Min(value("--min")?)),
+            "--max" => aggs.push(CliAgg::Max(value("--max")?)),
+            "--count" => aggs.push(CliAgg::Count),
+            "--group-by" => group_by = Some(value("--group-by")?),
+            "--distinct" => distinct = Some(value("--distinct")?),
+            "--top-k" => {
+                let spec = value("--top-k")?;
+                let (column, k) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--top-k wants col:k, got {spec:?}"))?;
+                top_k = Some((
+                    column.to_string(),
+                    k.parse().map_err(|_| format!("bad k {k:?}"))?,
+                ));
+            }
+            "--threads" => {
+                threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--naive" => naive = true,
+            "--explain" => explain = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if dir.replace(positional.to_string()).is_some() {
+                    return Err("more than one table directory given".into());
+                }
+            }
+        }
+    }
+    let dir = dir.ok_or("missing table directory")?;
+    let table = load_table(std::path::Path::new(&dir)).map_err(|e| e.to_string())?;
+
+    let mut builder = QueryBuilder::scan(&table);
+    for (column, predicate) in &filters {
+        builder = builder.filter(column, *predicate);
+    }
+    if let Some(column) = &group_by {
+        builder = builder.group_by(column);
+    }
+    if let Some((column, k)) = &top_k {
+        builder = builder.top_k(column, *k);
+    }
+    if let Some(column) = &distinct {
+        builder = builder.distinct(column);
+    }
+    let labels: Vec<String> = aggs
+        .iter()
+        .map(|a| match a {
+            CliAgg::Sum(c) => format!("sum({c})"),
+            CliAgg::Min(c) => format!("min({c})"),
+            CliAgg::Max(c) => format!("max({c})"),
+            CliAgg::Count => "count".to_string(),
+        })
+        .collect();
+    let borrowed: Vec<Agg<'_>> = aggs
+        .iter()
+        .map(|a| match a {
+            CliAgg::Sum(c) => Agg::Sum(c),
+            CliAgg::Min(c) => Agg::Min(c),
+            CliAgg::Max(c) => Agg::Max(c),
+            CliAgg::Count => Agg::Count,
+        })
+        .collect();
+    if !borrowed.is_empty() {
+        builder = builder.aggregate(&borrowed);
+    }
+
+    if explain {
+        println!("{}", builder.explain().map_err(|e| e.to_string())?);
+        println!();
+    }
+    let result = if naive {
+        builder.execute_naive()
+    } else if threads > 1 {
+        builder.execute_parallel(threads)
+    } else {
+        builder.execute()
+    }
+    .map_err(|e| e.to_string())?;
+
+    let show = |v: &Option<i128>| v.map_or("null".to_string(), |x| x.to_string());
+    match &result.rows {
+        Rows::Aggregates(values) => {
+            for (label, v) in labels.iter().zip(values) {
+                println!("{label:<16} {}", show(v));
+            }
+        }
+        Rows::Groups(groups) => {
+            println!("{:<16} {}", "group", labels.join("  "));
+            for (key, values) in groups {
+                let cells: Vec<String> = values.iter().map(&show).collect();
+                println!("{key:<16} {}", cells.join("  "));
+            }
+        }
+        Rows::TopK(values) | Rows::Distinct(values) => {
+            for v in values {
+                println!("{v}");
+            }
+        }
+    }
+    let s = &result.stats;
+    eprintln!(
+        "-- {} segments ({} pruned, {} structural), {} rows materialized, tiers {:?}",
+        s.segments, s.segments_pruned, s.segments_structural, s.rows_materialized, s.pushdown
+    );
+    Ok(())
+}
+
 fn choose(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let dtype = opts.dtype.ok_or("choose requires --dtype")?;
     let col = read_raw_column(&opts.input, dtype)?;
     let choice = chooser::choose_best(&col).map_err(|e| e.to_string())?;
-    println!(
-        "{:<52} {:>12} {:>8}",
-        "scheme", "bytes", "ratio"
-    );
+    println!("{:<52} {:>12} {:>8}", "scheme", "bytes", "ratio");
     for (expr, size) in &choice.ranking {
         println!(
             "{:<52} {:>12} {:>7.2}x",
@@ -270,10 +440,12 @@ mod tests {
 
     #[test]
     fn opts_parsing() {
-        let args: Vec<String> = ["in.bin", "-o", "out.lcdc", "--dtype", "i32", "--scheme", "rle"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "in.bin", "-o", "out.lcdc", "--dtype", "i32", "--scheme", "rle",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let opts = parse_opts(&args).unwrap();
         assert_eq!(opts.input, "in.bin");
         assert_eq!(opts.output.as_deref(), Some("out.lcdc"));
@@ -334,5 +506,64 @@ mod tests {
         assert!(run(&[]).is_err());
         assert!(run(&["frobnicate".into()]).is_err());
         assert!(run(&["compress".into(), "nope.bin".into()]).is_err());
+    }
+
+    #[test]
+    fn predicate_specs_parse() {
+        assert_eq!(
+            parse_predicate("day=5..9").unwrap(),
+            ("day".to_string(), Predicate::Range { lo: 5, hi: 9 })
+        );
+        assert_eq!(
+            parse_predicate("qty=-3").unwrap(),
+            ("qty".to_string(), Predicate::Eq(-3))
+        );
+        assert!(parse_predicate("no-equals").is_err());
+        assert!(parse_predicate("day=x..9").is_err());
+    }
+
+    #[test]
+    fn query_subcommand_end_to_end() {
+        use lcdc::store::{save_table, CompressionPolicy, Table, TableSchema};
+
+        let dir = std::env::temp_dir().join(format!("lcdc_cli_query_{}", std::process::id()));
+        let schema = TableSchema::new(&[("day", DType::U64), ("qty", DType::U64)]);
+        let day = ColumnData::U64((0..2000u64).map(|i| 1 + i / 100).collect());
+        let qty = ColumnData::U64((0..2000u64).map(|i| 1 + i % 7).collect());
+        let table = Table::build(
+            schema,
+            &[day, qty],
+            &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+            256,
+        )
+        .unwrap();
+        save_table(&table, &dir).unwrap();
+
+        let s = |t: &str| t.to_string();
+        let d = dir.to_str().unwrap().to_string();
+        // Filtered grouped aggregate, explained, sequential and parallel.
+        for extra in [vec![], vec![s("--naive")], vec![s("--threads"), s("4")]] {
+            let mut args = vec![
+                d.clone(),
+                s("--filter"),
+                s("day=3..7"),
+                s("--group-by"),
+                s("day"),
+                s("--sum"),
+                s("qty"),
+                s("--count"),
+                s("--explain"),
+            ];
+            args.extend(extra);
+            query(&args).unwrap();
+        }
+        // Top-k and distinct sinks.
+        query(&[d.clone(), s("--top-k"), s("qty:5")]).unwrap();
+        query(&[d.clone(), s("--distinct"), s("day")]).unwrap();
+        // Errors surface instead of panicking.
+        assert!(query(&[d.clone(), s("--sum"), s("nope")]).is_err());
+        assert!(query(std::slice::from_ref(&d)).is_err()); // no sink
+        assert!(query(&[s("--sum"), s("qty")]).is_err()); // no table dir
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

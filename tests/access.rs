@@ -28,7 +28,9 @@ const ACCESS_SCHEMES: &[&str] = &[
 fn check(col: &ColumnData) {
     for expr in ACCESS_SCHEMES {
         let scheme = parse_scheme(expr).unwrap();
-        let Ok(c) = scheme.compress(col) else { continue };
+        let Ok(c) = scheme.compress(col) else {
+            continue;
+        };
         for pos in 0..col.len() {
             match access::value_at(&c, pos).unwrap_or_else(|e| panic!("{expr} at {pos}: {e}")) {
                 Some(v) => assert_eq!(Some(v), col.get_transport(pos), "{expr} at {pos}"),
@@ -40,11 +42,19 @@ fn check(col: &ColumnData) {
 
 #[test]
 fn access_on_generated_workloads() {
-    check(&ColumnData::U64(lcdc::datagen::shipped_order_dates(30, 10, 20_180_101, 1)));
-    check(&ColumnData::U64(lcdc::datagen::step_column(500, 24, 1 << 20, 16, 2)));
-    check(&ColumnData::U64(lcdc::datagen::locally_varying_with_outliers(
-        500, 24, 1 << 16, 8, 0.05, 1 << 40, 3,
+    check(&ColumnData::U64(lcdc::datagen::shipped_order_dates(
+        30, 10, 20_180_101, 1,
     )));
+    check(&ColumnData::U64(lcdc::datagen::step_column(
+        500,
+        24,
+        1 << 20,
+        16,
+        2,
+    )));
+    check(&ColumnData::U64(
+        lcdc::datagen::locally_varying_with_outliers(500, 24, 1 << 16, 8, 0.05, 1 << 40, 3),
+    ));
 }
 
 #[test]

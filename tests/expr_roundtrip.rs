@@ -6,7 +6,17 @@ use lcdc::core::expr::{parse_expr, SchemeExpr};
 use proptest::prelude::*;
 
 fn leaf_names() -> Vec<&'static str> {
-    vec!["id", "ns", "ns_zz", "delta", "rle", "rpe", "dict", "varwidth", "varwidth_zz"]
+    vec![
+        "id",
+        "ns",
+        "ns_zz",
+        "delta",
+        "rle",
+        "rpe",
+        "dict",
+        "varwidth",
+        "varwidth_zz",
+    ]
 }
 
 fn param_names() -> Vec<&'static str> {

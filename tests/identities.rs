@@ -9,7 +9,10 @@ use proptest::prelude::*;
 fn runny_column(lens: &[usize], domain: u64) -> ColumnData {
     let mut v = Vec::new();
     for (i, len) in lens.iter().enumerate() {
-        v.extend(std::iter::repeat_n((i as u64).wrapping_mul(2654435761) % domain, *len));
+        v.extend(std::iter::repeat_n(
+            (i as u64).wrapping_mul(2654435761) % domain,
+            *len,
+        ));
     }
     ColumnData::U64(v)
 }

@@ -46,12 +46,18 @@ fn every_morph_route_preserves_the_column() {
         for &(from, to, structural) in MORPH_PAIRS {
             let from_scheme = parse_scheme(from).unwrap();
             let to_scheme = parse_scheme(to).unwrap();
-            let Ok(c) = from_scheme.compress(&col) else { continue };
-            let (morphed, path) = morph_expr(&c, from, to)
-                .unwrap_or_else(|e| panic!("{from} -> {to}: {e}"));
+            let Ok(c) = from_scheme.compress(&col) else {
+                continue;
+            };
+            let (morphed, path) =
+                morph_expr(&c, from, to).unwrap_or_else(|e| panic!("{from} -> {to}: {e}"));
             assert_eq!(
                 path,
-                if structural { MorphPath::Structural } else { MorphPath::ViaPlain },
+                if structural {
+                    MorphPath::Structural
+                } else {
+                    MorphPath::ViaPlain
+                },
                 "{from} -> {to} took the wrong route"
             );
             assert_eq!(
@@ -72,7 +78,9 @@ fn structural_morphs_match_fresh_compression_bit_for_bit() {
             }
             let from_scheme = parse_scheme(from).unwrap();
             let to_scheme = parse_scheme(to).unwrap();
-            let Ok(c) = from_scheme.compress(&col) else { continue };
+            let Ok(c) = from_scheme.compress(&col) else {
+                continue;
+            };
             let (morphed, _) = morph_expr(&c, from, to).unwrap();
             assert_eq!(
                 morphed,
@@ -121,7 +129,9 @@ fn sort_and_topk_agree_with_naive_across_policies() {
 fn late_materialisation_agrees_across_policies_and_predicates() {
     let filter = ColumnData::U64((0..6000u64).map(|i| i / 50).collect());
     let payload = ColumnData::I64(
-        (0..6000i64).map(|i| (i * 31) % 1009 - 500).collect::<Vec<_>>(),
+        (0..6000i64)
+            .map(|i| (i * 31) % 1009 - 500)
+            .collect::<Vec<_>>(),
     );
     for policy in policies() {
         let schema = TableSchema::new(&[("f", DType::U64), ("p", DType::I64)]);

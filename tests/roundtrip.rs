@@ -71,7 +71,14 @@ fn single_element_columns() {
 
 #[test]
 fn adversarial_extremes() {
-    check_round_trip(&ColumnData::I64(vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MIN]));
+    check_round_trip(&ColumnData::I64(vec![
+        i64::MIN,
+        i64::MAX,
+        0,
+        -1,
+        1,
+        i64::MIN,
+    ]));
     check_round_trip(&ColumnData::U64(vec![u64::MAX, 0, u64::MAX / 2, 1]));
     check_round_trip(&ColumnData::I32(vec![i32::MIN; 10]));
 }
@@ -84,7 +91,13 @@ fn generated_workloads_round_trip() {
         ColumnData::U64(lcdc::datagen::step_column(5000, 64, 1 << 30, 100, 3)),
         ColumnData::U64(lcdc::datagen::sawtooth_trend(5000, 512, 9, 1 << 16, 32, 4)),
         ColumnData::U64(lcdc::datagen::locally_varying_with_outliers(
-            5000, 64, 1 << 16, 8, 0.02, 1 << 40, 5,
+            5000,
+            64,
+            1 << 16,
+            8,
+            0.02,
+            1 << 40,
+            5,
         )),
         ColumnData::U64(lcdc::datagen::zipf_codes(5000, 32, 1.1, 6)),
         ColumnData::U64(lcdc::datagen::uniform(5000, 1 << 44, 7)),
@@ -106,7 +119,10 @@ fn chooser_output_always_round_trips() {
         ));
         let choice = chooser::choose_best(&col).expect("chooser runs");
         let scheme = parse_scheme(&choice.expr).expect("winner parses");
-        assert_eq!(scheme.decompress(&choice.compressed).expect("decompresses"), col);
+        assert_eq!(
+            scheme.decompress(&choice.compressed).expect("decompresses"),
+            col
+        );
     }
 }
 

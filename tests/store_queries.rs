@@ -39,7 +39,10 @@ fn executors_agree_across_policies() {
         for (filter, agg) in [("shipdate", "price"), ("qty", "price"), ("shipdate", "qty")] {
             for pred in [
                 Predicate::All,
-                Predicate::Range { lo: 19_920_110, hi: 19_920_150 },
+                Predicate::Range {
+                    lo: 19_920_110,
+                    hi: 19_920_150,
+                },
                 Predicate::Range { lo: 0, hi: 10 },
                 Predicate::Eq(19_920_120),
                 Predicate::Eq(25),
@@ -63,8 +66,8 @@ fn materialization_is_lossless_for_every_policy() {
         let t = lcdc::datagen::tpch_like::lineitem_like(100, 40, 5);
         let schema = TableSchema::new(&[("shipdate", DType::U64)]);
         let col = ColumnData::U64(t.shipdate);
-        let table =
-            Table::build(schema, std::slice::from_ref(&col), &[policy], 1000).expect("table builds");
+        let table = Table::build(schema, std::slice::from_ref(&col), &[policy], 1000)
+            .expect("table builds");
         assert_eq!(table.materialize("shipdate").expect("materializes"), col);
     }
 }
@@ -87,7 +90,10 @@ fn pushdown_tiers_engage_on_runny_filter_column() {
     let table = lineitem_table(CompressionPolicy::Auto, 2048);
     let q = Query::new(
         "shipdate",
-        Predicate::Range { lo: 19_920_120, hi: 19_920_125 },
+        Predicate::Range {
+            lo: 19_920_120,
+            hi: 19_920_125,
+        },
         "price",
     );
     let out = q.run_pushdown(&table).expect("runs");
@@ -99,7 +105,10 @@ fn pushdown_tiers_engage_on_runny_filter_column() {
 fn seg_rows_do_not_change_answers() {
     let q = Query::new(
         "shipdate",
-        Predicate::Range { lo: 19_920_115, hi: 19_920_140 },
+        Predicate::Range {
+            lo: 19_920_115,
+            hi: 19_920_140,
+        },
         "price",
     );
     let reference = q
@@ -108,7 +117,11 @@ fn seg_rows_do_not_change_answers() {
         .agg;
     for seg_rows in [128usize, 1000, 4096, 1 << 20] {
         let table = lineitem_table(CompressionPolicy::Auto, seg_rows);
-        assert_eq!(q.run_pushdown(&table).expect("runs").agg, reference, "seg_rows={seg_rows}");
+        assert_eq!(
+            q.run_pushdown(&table).expect("runs").agg,
+            reference,
+            "seg_rows={seg_rows}"
+        );
     }
 }
 

@@ -12,7 +12,10 @@ fn workloads() -> Vec<ColumnData> {
         ColumnData::U64(lcdc::datagen::sawtooth_trend(3000, 512, 9, 1 << 16, 32, 3)),
         ColumnData::U64(lcdc::datagen::zipf_codes(3000, 32, 1.1, 4)),
         ColumnData::I64(
-            lcdc::datagen::uniform(3000, 1 << 40, 5).into_iter().map(|v| v as i64 - (1 << 39)).collect(),
+            lcdc::datagen::uniform(3000, 1 << 40, 5)
+                .into_iter()
+                .map(|v| v as i64 - (1 << 39))
+                .collect(),
         ),
     ]
 }
@@ -35,7 +38,9 @@ fn every_candidate_survives_the_wire() {
     let col = ColumnData::U64((0..2000u64).map(|i| 500 + (i / 13) % 64).collect());
     for expr in chooser::default_candidates() {
         let scheme = parse_scheme(expr).unwrap();
-        let Ok(c) = scheme.compress(&col) else { continue };
+        let Ok(c) = scheme.compress(&col) else {
+            continue;
+        };
         let received = bytes::from_bytes(&bytes::to_bytes(&c)).expect(expr);
         assert_eq!(scheme.decompress(&received).unwrap(), col, "{expr}");
     }
