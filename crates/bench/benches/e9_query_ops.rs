@@ -79,6 +79,22 @@ fn bench_topk(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Run-structural top-k: on an RLE column the planner folds run
+    // values with min(run length, k) multiplicity — zero rows
+    // decompressed — vs the decompress-everything baseline.
+    let runs = runs_table(1 << 20, 128);
+    let mut group = c.benchmark_group("e9/topk_rle");
+    group.throughput(Throughput::Bytes((runs.num_rows() * 8) as u64));
+    for k in [10usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("run_structural", k), &k, |b, &k| {
+            b.iter(|| top_k_pruned(black_box(&runs), "v", k).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
+            b.iter(|| top_k_naive(black_box(&runs), "v", k).unwrap())
+        });
+    }
+    group.finish();
 }
 
 fn two_column_table(n: usize) -> Table {

@@ -21,6 +21,20 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // CRITERION_QUICK=1 collapses measurement to one short sample
+        // per benchmark — a smoke run that still executes every bench
+        // body (CI uses it to catch regressions without paying for
+        // stable numbers).
+        let quick = std::env::var("CRITERION_QUICK")
+            .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+            .unwrap_or(false);
+        if quick {
+            return Criterion {
+                warmup_iters: 1,
+                samples: 1,
+                target_sample_time: Duration::from_millis(1),
+            };
+        }
         Criterion {
             warmup_iters: 3,
             samples: 7,

@@ -67,14 +67,16 @@ impl<'a> GradualAggregate<'a> {
     /// (available immediately via [`GradualAggregate::interval`]) comes
     /// from zone maps only.
     pub fn new(table: &'a Table, column: &str) -> Result<Self> {
-        let segments = table.column_segments(column)?;
-        let mut pending = Vec::with_capacity(segments.len());
+        // Zone maps come from segment *metadata* — on a lazily-backed
+        // table the initial interval costs zero payload reads.
+        let source = table.source(column)?;
+        let mut pending = Vec::with_capacity(source.num_segments());
         let mut count = 0usize;
-        for (idx, seg) in segments.iter().enumerate() {
-            let rows = seg.num_rows();
-            count += rows;
-            if rows > 0 {
-                pending.push((idx, rows, seg.min, seg.max));
+        for idx in 0..source.num_segments() {
+            let meta = source.meta(idx);
+            count += meta.rows;
+            if meta.rows > 0 {
+                pending.push((idx, meta.rows, meta.min, meta.max));
             }
         }
         Ok(GradualAggregate {
@@ -127,8 +129,8 @@ impl<'a> GradualAggregate<'a> {
             return Ok(false);
         };
         let (seg_idx, _, _, _) = self.pending.swap_remove(widest);
-        let segment = &self.table.column_segments(&self.column)?[seg_idx];
-        let exact = aggregate_segment(segment, None)?;
+        let segment = self.table.source(&self.column)?.segment(seg_idx)?;
+        let exact = aggregate_segment(&segment, None)?;
         self.refined_sum += exact.sum;
         self.refined_min = match (self.refined_min, exact.min) {
             (Some(a), Some(b)) => Some(a.min(b)),

@@ -1,0 +1,714 @@
+//! The catalog: named tables, horizontal shards, versions, and a
+//! plan-keyed result cache.
+//!
+//! A [`Catalog`] is the multi-table face of the store:
+//!
+//! * **Registration** — tables are registered under names, singly or as
+//!   a [`ShardedTable`] (N tables with one schema). Every mutation —
+//!   register, replace, [`Catalog::add_shard`], drop — stamps the entry
+//!   with a fresh value of one catalog-wide monotonic version counter.
+//! * **Scan fan-in** — a [`crate::QuerySpec`] executed against a
+//!   sharded table runs the same compiled plan over every shard (shards
+//!   in parallel, each shard's segments optionally parallel too) and
+//!   merges the per-shard sink states and [`QueryStats`] associatively
+//!   — the same merge the intra-table parallel executor uses, one
+//!   level up.
+//! * **Result caching** — results are cached under
+//!   `(table name, plan fingerprint)` and validated against the entry's
+//!   version: a version bump silently invalidates every cached result
+//!   for that table. A hit is visible as
+//!   [`QueryStats::result_cache_hits`] `== 1` (a hit's other counters
+//!   are zero — nothing executed).
+//!
+//! Tables may mix backends freely: resident shards, lazily-backed
+//! shards ([`crate::file::open_table_lazy`]), or both.
+
+use crate::query::{QueryResult, QuerySpec, QueryStats, SinkState};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::{Result, StoreError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default number of cached query results per catalog.
+pub const DEFAULT_RESULT_CACHE: usize = 128;
+
+/// N tables sharing one schema, queried as one. Shards are typically
+/// row-disjoint horizontal partitions (see [`shard_table`]), but the
+/// catalog only requires schema agreement — each shard answers for its
+/// own rows and the fan-in merges.
+#[derive(Debug, Clone)]
+pub struct ShardedTable {
+    schema: TableSchema,
+    shards: Vec<Arc<Table>>,
+    num_rows: usize,
+}
+
+impl ShardedTable {
+    /// Assemble from at least one shard; all shards must share a schema.
+    pub fn new(shards: Vec<Table>) -> Result<ShardedTable> {
+        let mut iter = shards.into_iter();
+        let first = iter
+            .next()
+            .ok_or_else(|| StoreError::Shape("a sharded table needs at least one shard".into()))?;
+        let schema = first.schema().clone();
+        let mut arcs = vec![Arc::new(first)];
+        for (i, shard) in iter.enumerate() {
+            if shard.schema() != &schema {
+                return Err(StoreError::Shape(format!(
+                    "shard {} schema differs from shard 0",
+                    i + 1
+                )));
+            }
+            arcs.push(Arc::new(shard));
+        }
+        let num_rows = arcs.iter().map(|s| s.num_rows()).sum();
+        Ok(ShardedTable {
+            schema,
+            shards: arcs,
+            num_rows,
+        })
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The shards, in registration order.
+    pub fn shards(&self) -> &[Arc<Table>] {
+        &self.shards
+    }
+
+    /// Total rows across shards.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Payload fetches that hit a backing store so far, across shards.
+    pub fn io_reads(&self) -> usize {
+        self.shards.iter().map(|s| s.io_reads()).sum()
+    }
+
+    /// Run `spec` over every shard and merge — shards in parallel when
+    /// `threads > 1`. Each worker takes whole shards; once `threads`
+    /// reaches a whole multiple of the shard count the surplus
+    /// parallelises *within* shards (`threads / shards` workers each —
+    /// never oversubscribed). `QueryStats` are the sum over shards,
+    /// exactly as parallel partials merge within one table.
+    pub fn execute_parallel(&self, spec: &QuerySpec, threads: usize) -> Result<QueryResult> {
+        let threads = threads.max(1);
+        let workers = threads.clamp(1, self.shards.len());
+        let inner_threads = (threads / workers).max(1);
+
+        let (state, stats) = if workers == 1 {
+            // Sequential fan-in runs inline — no thread spawn on the
+            // hot single-threaded query path.
+            run_shards(&self.shards, spec, inner_threads)?
+                .ok_or_else(|| StoreError::Shape("a sharded table needs a shard".into()))?
+        } else {
+            let chunk = self.shards.len().div_ceil(workers);
+            let partials: Vec<Result<Option<(SinkState, QueryStats)>>> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(workers);
+                    for piece in self.shards.chunks(chunk) {
+                        handles.push(scope.spawn(move || run_shards(piece, spec, inner_threads)));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect()
+                });
+            let mut merged: Option<(SinkState, QueryStats)> = None;
+            for partial in partials {
+                merged = merge_partial(merged, partial?);
+            }
+            merged.expect("at least one shard")
+        };
+        // All shards share a schema, so any shard's compiled plan
+        // shapes the result identically.
+        let plan = spec.compile_mode(&self.shards[0], false)?;
+        QueryResult::from_state(&plan, state, stats)
+    }
+
+    /// Sequential [`Self::execute_parallel`].
+    pub fn execute(&self, spec: &QuerySpec) -> Result<QueryResult> {
+        self.execute_parallel(spec, 1)
+    }
+}
+
+/// Run `spec` over a slice of shards, merging sink states and stats.
+/// `None` only for an empty slice.
+fn run_shards(
+    shards: &[Arc<Table>],
+    spec: &QuerySpec,
+    inner_threads: usize,
+) -> Result<Option<(SinkState, QueryStats)>> {
+    let mut merged: Option<(SinkState, QueryStats)> = None;
+    for shard in shards {
+        let plan = spec.compile_mode(shard, false)?;
+        let partial = if inner_threads > 1 {
+            plan.run_parallel(inner_threads)?
+        } else {
+            plan.run()?
+        };
+        merged = merge_partial(merged, Some(partial));
+    }
+    Ok(merged)
+}
+
+/// Associatively fold one partial `(sink state, stats)` into another.
+fn merge_partial(
+    acc: Option<(SinkState, QueryStats)>,
+    partial: Option<(SinkState, QueryStats)>,
+) -> Option<(SinkState, QueryStats)> {
+    match (acc, partial) {
+        (acc, None) => acc,
+        (None, partial) => partial,
+        (Some((mut state, mut stats)), Some((s, st))) => {
+            state.merge(s);
+            stats.absorb(&st);
+            Some((state, stats))
+        }
+    }
+}
+
+/// Split a table into `shards` row-disjoint tables along contiguous
+/// segment ranges (segments are never split, so shard sizes differ by
+/// at most one segment). Shards *share* the original's segment payloads
+/// (`Arc` handles, zero copies). The inverse of registering the pieces
+/// as one [`ShardedTable`]: queries over the shards answer exactly like
+/// queries over `table`.
+pub fn shard_table(table: &Table, shards: usize) -> Result<Vec<Table>> {
+    let num_segments = table.num_segments();
+    let shards = shards.clamp(1, num_segments.max(1));
+    // Balanced split: the first `num_segments % shards` shards take one
+    // extra segment, so exactly `shards` shards come back and sizes
+    // differ by at most one.
+    let base = num_segments / shards;
+    let extra = num_segments % shards;
+    // Fetch every column's segments once (loads lazily-backed tables).
+    let mut columns: Vec<Vec<Arc<crate::segment::Segment>>> =
+        Vec::with_capacity(table.schema().width());
+    for col in &table.schema().columns {
+        columns.push(table.column_segments(&col.name)?);
+    }
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for shard_idx in 0..shards {
+        let end = start + base + usize::from(shard_idx < extra);
+        let sources: Vec<Arc<dyn crate::source::SegmentSource>> = columns
+            .iter()
+            .map(|col| {
+                Arc::new(crate::source::ResidentSource::from_arcs(
+                    col[start..end].to_vec(),
+                )) as Arc<dyn crate::source::SegmentSource>
+            })
+            .collect();
+        let rows: usize = columns
+            .first()
+            .map_or(0, |col| col[start..end].iter().map(|s| s.num_rows()).sum());
+        out.push(Table::from_sources(
+            table.schema().clone(),
+            sources,
+            rows,
+            table.seg_rows(),
+        )?);
+        start = end;
+    }
+    Ok(out)
+}
+
+/// A catalog entry's table, single or sharded.
+#[derive(Debug, Clone)]
+pub enum CatalogTable {
+    /// One table.
+    Single(Arc<Table>),
+    /// A horizontally sharded table.
+    Sharded(Arc<ShardedTable>),
+}
+
+impl CatalogTable {
+    /// The schema.
+    pub fn schema(&self) -> &TableSchema {
+        match self {
+            CatalogTable::Single(t) => t.schema(),
+            CatalogTable::Sharded(s) => s.schema(),
+        }
+    }
+
+    /// Total rows.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            CatalogTable::Single(t) => t.num_rows(),
+            CatalogTable::Sharded(s) => s.num_rows(),
+        }
+    }
+
+    /// Number of shards (1 for a single table).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            CatalogTable::Single(_) => 1,
+            CatalogTable::Sharded(s) => s.shards().len(),
+        }
+    }
+
+    /// Payload fetches that hit a backing store so far.
+    pub fn io_reads(&self) -> usize {
+        match self {
+            CatalogTable::Single(t) => t.io_reads(),
+            CatalogTable::Sharded(s) => s.io_reads(),
+        }
+    }
+
+    fn execute_parallel(&self, spec: &QuerySpec, threads: usize) -> Result<QueryResult> {
+        match self {
+            CatalogTable::Single(t) => {
+                let plan = spec.compile_mode(t, false)?;
+                let (state, stats) = if threads > 1 {
+                    plan.run_parallel(threads)?
+                } else {
+                    plan.run()?
+                };
+                QueryResult::from_state(&plan, state, stats)
+            }
+            CatalogTable::Sharded(s) => s.execute_parallel(spec, threads),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    table: CatalogTable,
+    version: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CachedResult {
+    version: u64,
+    /// The exact plan that produced `result`. The fingerprint indexes
+    /// the cache, but 64-bit FNV is not collision-free — a hit is only
+    /// served after this spec compares equal to the query's.
+    spec: QuerySpec,
+    result: QueryResult,
+}
+
+/// Result cache over the shared [`crate::source`] LRU, keyed
+/// `(table name, plan fingerprint)` and validated on hit against both
+/// the entry's table version and its full spec. Entries are behind an
+/// `Arc`, so a probe is an `Arc` bump — the (possibly large) rows are
+/// cloned only for validated hits.
+#[derive(Debug)]
+struct ResultCache {
+    lru: crate::source::LruCache<(String, u64), Arc<CachedResult>>,
+}
+
+impl ResultCache {
+    /// A validated entry, handed back as an `Arc` so the caller clones
+    /// the (possibly large) rows *after* releasing the cache lock.
+    fn get(
+        &mut self,
+        key: &(String, u64),
+        spec: &QuerySpec,
+        version: u64,
+    ) -> Option<Arc<CachedResult>> {
+        let cached = self.lru.get(key)?;
+        if cached.version != version {
+            // Stale: the table mutated since this was cached.
+            self.lru.remove(key);
+            return None;
+        }
+        if &cached.spec != spec {
+            // Fingerprint collision between distinct plans: never serve
+            // another query's rows (the newer plan will overwrite).
+            return None;
+        }
+        Some(cached)
+    }
+
+    fn put(&mut self, key: (String, u64), entry: Arc<CachedResult>) {
+        self.lru.put(key, entry);
+    }
+
+    fn purge_table(&mut self, name: &str) {
+        self.lru.retain(|(table, _)| table != name);
+    }
+}
+
+/// Named tables with versions and a result cache. All methods take
+/// `&self`: the catalog is internally synchronised and meant to be
+/// shared (`Arc<Catalog>`) across query threads.
+#[derive(Debug)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Entry>>,
+    cache: Mutex<ResultCache>,
+    cache_capacity: usize,
+    next_version: AtomicU64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog with the default result-cache capacity.
+    pub fn new() -> Catalog {
+        Catalog::with_cache_capacity(DEFAULT_RESULT_CACHE)
+    }
+
+    /// An empty catalog caching at most `capacity` query results
+    /// (0 disables result caching).
+    pub fn with_cache_capacity(capacity: usize) -> Catalog {
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            cache_capacity: capacity,
+            cache: Mutex::new(ResultCache {
+                lru: crate::source::LruCache::new(capacity),
+            }),
+            next_version: AtomicU64::new(1),
+        }
+    }
+
+    fn bump(&self) -> u64 {
+        self.next_version.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register (or replace) a single table under `name`. Returns the
+    /// entry's new version.
+    pub fn register(&self, name: &str, table: Table) -> u64 {
+        self.install(name, CatalogTable::Single(Arc::new(table)))
+    }
+
+    /// Register (or replace) a sharded table under `name`. Returns the
+    /// entry's new version.
+    pub fn register_sharded(&self, name: &str, shards: Vec<Table>) -> Result<u64> {
+        let sharded = ShardedTable::new(shards)?;
+        Ok(self.install(name, CatalogTable::Sharded(Arc::new(sharded))))
+    }
+
+    fn install(&self, name: &str, table: CatalogTable) -> u64 {
+        let version = self.bump();
+        self.tables
+            .write()
+            .expect("catalog lock")
+            .insert(name.to_string(), Entry { table, version });
+        self.cache.lock().expect("cache lock").purge_table(name);
+        version
+    }
+
+    /// Append one shard to `name` (a single table becomes a two-shard
+    /// table). The mutation bumps the version, so every cached result
+    /// for `name` stops being served. Returns the new version.
+    pub fn add_shard(&self, name: &str, shard: Table) -> Result<u64> {
+        let mut tables = self.tables.write().expect("catalog lock");
+        let entry = tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        let mut shards: Vec<Arc<Table>> = match &entry.table {
+            CatalogTable::Single(t) => vec![Arc::clone(t)],
+            CatalogTable::Sharded(s) => s.shards().to_vec(),
+        };
+        let schema = shards[0].schema().clone();
+        if shard.schema() != &schema {
+            return Err(StoreError::Shape(format!(
+                "new shard's schema differs from table {name}"
+            )));
+        }
+        shards.push(Arc::new(shard));
+        let num_rows = shards.iter().map(|s| s.num_rows()).sum();
+        entry.table = CatalogTable::Sharded(Arc::new(ShardedTable {
+            schema,
+            shards,
+            num_rows,
+        }));
+        entry.version = self.bump();
+        let version = entry.version;
+        drop(tables);
+        self.cache.lock().expect("cache lock").purge_table(name);
+        Ok(version)
+    }
+
+    /// Remove a table. Returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        let existed = self
+            .tables
+            .write()
+            .expect("catalog lock")
+            .remove(name)
+            .is_some();
+        if existed {
+            self.cache.lock().expect("cache lock").purge_table(name);
+        }
+        existed
+    }
+
+    /// The registered table and its version, if present.
+    pub fn get(&self, name: &str) -> Option<(CatalogTable, u64)> {
+        self.tables
+            .read()
+            .expect("catalog lock")
+            .get(name)
+            .map(|e| (e.table.clone(), e.version))
+    }
+
+    /// A table's current version, if present.
+    pub fn version(&self, name: &str) -> Option<u64> {
+        self.get(name).map(|(_, v)| v)
+    }
+
+    /// Registered table names, sorted.
+    pub fn tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .expect("catalog lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Execute `spec` against the named table, serving from the result
+    /// cache when an identical plan already ran against the same table
+    /// version. A cache hit returns the cached rows with fresh stats
+    /// whose only nonzero counter is `result_cache_hits == 1`.
+    pub fn execute(&self, name: &str, spec: &QuerySpec) -> Result<QueryResult> {
+        self.execute_parallel(name, spec, 1)
+    }
+
+    /// [`Self::execute`] with `threads` workers (shards fan out first;
+    /// leftover parallelism goes intra-shard).
+    pub fn execute_parallel(
+        &self,
+        name: &str,
+        spec: &QuerySpec,
+        threads: usize,
+    ) -> Result<QueryResult> {
+        let (table, version) = self
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        let key = (name.to_string(), spec.fingerprint());
+        // Hold the cache lock only for validation; clone the (possibly
+        // large) rows after releasing it so other queries never wait
+        // behind the copy.
+        let hit = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .get(&key, spec, version);
+        if let Some(cached) = hit {
+            return Ok(QueryResult {
+                rows: cached.result.rows.clone(),
+                stats: QueryStats {
+                    result_cache_hits: 1,
+                    ..QueryStats::default()
+                },
+            });
+        }
+        let result = table.execute_parallel(spec, threads)?;
+        if self.cache_capacity > 0 {
+            // Clones happen outside the lock too.
+            let entry = Arc::new(CachedResult {
+                version,
+                spec: spec.clone(),
+                result: result.clone(),
+            });
+            self.cache.lock().expect("cache lock").put(key, entry);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::query::{Agg, QueryBuilder};
+    use crate::segment::CompressionPolicy;
+    use lcdc_core::{ColumnData, DType};
+
+    fn orders(n: u64, day_offset: u64) -> Table {
+        let schema = TableSchema::new(&[("day", DType::U64), ("qty", DType::U64)]);
+        let day = ColumnData::U64((0..n).map(|i| day_offset + i / 100).collect());
+        let qty = ColumnData::U64((0..n).map(|i| 1 + i % 50).collect());
+        Table::build(
+            schema,
+            &[day, qty],
+            &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+            256,
+        )
+        .unwrap()
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new()
+            .filter("day", Predicate::Range { lo: 5, hi: 14 })
+            .aggregate(&[Agg::Sum("qty"), Agg::Count])
+    }
+
+    #[test]
+    fn sharded_execution_equals_single_table() {
+        let table = orders(6000, 1);
+        let want = spec().bind(&table).execute().unwrap();
+        for shards in [1usize, 2, 3, 7, 100] {
+            let pieces = shard_table(&table, shards).unwrap();
+            assert_eq!(pieces.len(), shards.min(table.num_segments()));
+            let sizes: Vec<usize> = pieces.iter().map(Table::num_segments).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "unbalanced split {sizes:?}");
+            let sharded = ShardedTable::new(pieces).unwrap();
+            assert_eq!(sharded.num_rows(), table.num_rows());
+            for threads in [1usize, 4] {
+                let got = sharded.execute_parallel(&spec(), threads).unwrap();
+                assert_eq!(got.rows, want.rows, "{shards} shards x{threads}");
+                assert_eq!(got.stats.segments, want.stats.segments, "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn every_sink_survives_sharding() {
+        let table = orders(5000, 1);
+        let pieces = shard_table(&table, 4).unwrap();
+        let sharded = ShardedTable::new(pieces).unwrap();
+        let specs = [
+            QuerySpec::new()
+                .group_by("day")
+                .aggregate(&[Agg::Sum("qty")]),
+            QuerySpec::new().top_k("qty", 7),
+            QuerySpec::new().distinct("day"),
+            QuerySpec::new()
+                .filter_any(&[
+                    ("day", Predicate::Range { lo: 2, hi: 9 }),
+                    ("qty", Predicate::Eq(50)),
+                ])
+                .aggregate(&[Agg::Count]),
+        ];
+        for (i, s) in specs.iter().enumerate() {
+            let single = s.bind(&table).execute().unwrap();
+            let fanned = sharded.execute(s).unwrap();
+            assert_eq!(fanned.rows, single.rows, "spec {i}");
+        }
+    }
+
+    #[test]
+    fn catalog_serves_repeat_queries_from_cache() {
+        let catalog = Catalog::new();
+        catalog.register("orders", orders(4000, 1));
+        let first = catalog.execute("orders", &spec()).unwrap();
+        assert_eq!(first.stats.result_cache_hits, 0);
+        assert!(first.stats.segments > 0);
+        let second = catalog.execute("orders", &spec()).unwrap();
+        assert_eq!(second.rows, first.rows);
+        assert_eq!(second.stats.result_cache_hits, 1, "{:?}", second.stats);
+        assert_eq!(second.stats.segments, 0, "a hit executes nothing");
+        // A different plan is a different key.
+        let other = QuerySpec::new().top_k("qty", 3);
+        assert_eq!(
+            catalog
+                .execute("orders", &other)
+                .unwrap()
+                .stats
+                .result_cache_hits,
+            0
+        );
+    }
+
+    #[test]
+    fn version_bump_invalidates_cached_results() {
+        let catalog = Catalog::new();
+        let v1 = catalog.register("orders", orders(4000, 1));
+        let first = catalog.execute("orders", &spec()).unwrap();
+        // Mutation: a new shard arrives with more rows in range.
+        let v2 = catalog.add_shard("orders", orders(2000, 1)).unwrap();
+        assert!(v2 > v1, "versions are monotonic");
+        let after = catalog.execute("orders", &spec()).unwrap();
+        assert_eq!(after.stats.result_cache_hits, 0, "stale result not served");
+        assert_ne!(after.rows, first.rows, "new shard contributes rows");
+        // And the new result caches under the new version.
+        assert_eq!(
+            catalog
+                .execute("orders", &spec())
+                .unwrap()
+                .stats
+                .result_cache_hits,
+            1
+        );
+    }
+
+    #[test]
+    fn replacing_a_table_invalidates_too() {
+        let catalog = Catalog::new();
+        catalog.register("t", orders(3000, 1));
+        let a = catalog.execute("t", &spec()).unwrap();
+        catalog.register("t", orders(3000, 1000)); // different days
+        let b = catalog.execute("t", &spec()).unwrap();
+        assert_eq!(b.stats.result_cache_hits, 0);
+        assert_ne!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let catalog = Catalog::with_cache_capacity(0);
+        catalog.register("t", orders(2000, 1));
+        catalog.execute("t", &spec()).unwrap();
+        assert_eq!(
+            catalog
+                .execute("t", &spec())
+                .unwrap()
+                .stats
+                .result_cache_hits,
+            0
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let catalog = Catalog::new();
+        catalog.register("t", orders(1000, 1));
+        let other_schema = Table::build(
+            TableSchema::new(&[("x", DType::U32)]),
+            &[ColumnData::U32(vec![1, 2, 3])],
+            &[CompressionPolicy::None],
+            64,
+        )
+        .unwrap();
+        assert!(catalog.add_shard("t", other_schema).is_err());
+        assert!(ShardedTable::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn drop_and_introspection() {
+        let catalog = Catalog::new();
+        catalog.register("a", orders(1000, 1));
+        catalog
+            .register_sharded("b", shard_table(&orders(2000, 1), 2).unwrap())
+            .unwrap();
+        assert_eq!(catalog.tables(), vec!["a".to_string(), "b".to_string()]);
+        let (b, _) = catalog.get("b").unwrap();
+        assert_eq!(b.shard_count(), 2);
+        assert_eq!(b.num_rows(), 2000);
+        assert!(catalog.drop_table("a"));
+        assert!(!catalog.drop_table("a"));
+        assert!(catalog.execute("a", &spec()).is_err());
+    }
+
+    #[test]
+    fn sharded_matches_builder_stats_shape() {
+        // Sharding must not change *what* is measured: the summed
+        // QueryStats over disjoint shards equals the single-table run.
+        let table = orders(4000, 1);
+        let sharded = ShardedTable::new(shard_table(&table, 4).unwrap()).unwrap();
+        let single = QueryBuilder::scan(&table)
+            .filter("day", Predicate::Range { lo: 5, hi: 14 })
+            .aggregate(&[Agg::Sum("qty"), Agg::Count])
+            .execute()
+            .unwrap();
+        let fanned = sharded.execute(&spec()).unwrap();
+        assert_eq!(fanned.stats, single.stats);
+    }
+}

@@ -51,7 +51,7 @@ impl Query {
     /// The equivalent logical plan.
     pub fn builder<'t>(&self, table: &'t Table) -> QueryBuilder<'t> {
         QueryBuilder::scan(table)
-            .filter(&self.filter_column, self.predicate)
+            .filter(&self.filter_column, self.predicate.clone())
             .aggregate(&[Agg::Sum(&self.agg_column)])
     }
 

@@ -7,35 +7,53 @@
 //!
 //! ```text
 //! <dir>/MANIFEST.lcdc    magic, version, seg_rows, num_rows,
-//!                        column count, { name, dtype, segment count }*
+//!                        column count, { name, dtype, segment count,
+//!                          { offset, record_len, payload_bytes, rows,
+//!                            min, max, expr }* }*
 //! <dir>/<name>.col       { frame_len: u64, checksum: u64,
 //!                          expr: str, min: i128, max: i128,
 //!                          frame: bytes }*        (one per segment)
 //! ```
 //!
-//! Frames are independently addressable: [`read_segment`] seeks through
-//! headers without decoding frames, so a scan that zone-map-prunes a
-//! segment never reads its payload — the I/O-level analogue of the
-//! §II-B pruning claim.
+//! Since manifest v2 the per-segment *planner metadata* — zone map,
+//! scheme expression, frame location — lives in the manifest, so a
+//! lazily-opened table ([`open_table_lazy`]) plans exactly like a
+//! resident one and only reads the frames its pushdown tiers touch:
+//! the I/O-level analogue of the §II-B pruning claim. Frames are
+//! independently addressable through the recorded offsets
+//! ([`read_segment`] reads exactly one).
 //!
 //! Checksums are FNV-1a 64 over the frame bytes — corruption
 //! *detection* (bit rot, truncation), not cryptographic integrity.
 
 use crate::schema::{ColumnSchema, TableSchema};
 use crate::segment::Segment;
+use crate::source::{FileSource, FrameLocation, SegmentMeta, SegmentSource};
 use crate::table::Table;
 use crate::{Result, StoreError};
 use lcdc_core::{bytes, DType};
 use std::fs;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
+use std::sync::Arc;
 
 const MANIFEST: &str = "MANIFEST.lcdc";
 const MAGIC: &[u8; 8] = b"LCDCTBL\0";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// Default decoded-segment cache capacity per column for
+/// [`open_table_lazy`].
+pub const DEFAULT_SEGMENT_CACHE: usize = 16;
+
+/// One column's manifest entry: declaration plus per-segment metadata.
+#[derive(Debug, Clone)]
+struct ColumnManifest {
+    schema: ColumnSchema,
+    metas: Vec<SegmentMeta>,
+    locations: Vec<FrameLocation>,
+}
 
 /// Write `table` into `dir` (created if absent; existing table files are
-/// overwritten).
+/// overwritten). Loads lazily-backed columns in full.
 pub fn save_table(table: &Table, dir: &Path) -> Result<()> {
     fs::create_dir_all(dir)?;
     let mut manifest = Vec::with_capacity(256);
@@ -51,7 +69,8 @@ pub fn save_table(table: &Table, dir: &Path) -> Result<()> {
         put_u64(&mut manifest, segments.len() as u64);
 
         let mut file = Vec::new();
-        for seg in segments {
+        for seg in &segments {
+            let offset = file.len() as u64;
             let frame = bytes::to_bytes(&seg.compressed);
             put_u64(&mut file, frame.len() as u64);
             put_u64(&mut file, fnv1a64(&frame));
@@ -59,113 +78,244 @@ pub fn save_table(table: &Table, dir: &Path) -> Result<()> {
             put_i128(&mut file, seg.min);
             put_i128(&mut file, seg.max);
             file.extend_from_slice(&frame);
+            // The segment's manifest record: where its frame sits plus
+            // everything the planner needs without reading it. Row
+            // counts are persisted, not inferred from seg_rows, so
+            // non-uniform segmentations survive a lazy reopen.
+            put_u64(&mut manifest, offset);
+            put_u64(&mut manifest, file.len() as u64 - offset);
+            put_u64(&mut manifest, seg.compressed_bytes() as u64);
+            put_u64(&mut manifest, seg.num_rows() as u64);
+            put_i128(&mut manifest, seg.min);
+            put_i128(&mut manifest, seg.max);
+            put_str(&mut manifest, &seg.expr);
         }
         fs::write(dir.join(column_file(&col.name)), file)?;
     }
+    // Trailing FNV-1a over the manifest body: zone maps steer lazy
+    // pruning without ever reading frames, so manifest corruption must
+    // be *detected*, not silently turned into wrong answers.
+    let checksum = fnv1a64(&manifest);
+    put_u64(&mut manifest, checksum);
     fs::write(dir.join(MANIFEST), manifest)?;
     Ok(())
 }
 
-/// Load a whole table from `dir`, verifying every frame checksum.
+/// Load a whole table from `dir` into memory, verifying every frame
+/// checksum (the eager path; see [`open_table_lazy`] for the lazy one).
 pub fn load_table(dir: &Path) -> Result<Table> {
-    let (schema, seg_rows, num_rows, seg_counts) = read_manifest(dir)?;
-    let mut segments = Vec::with_capacity(schema.width());
-    for (col, &count) in schema.columns.iter().zip(&seg_counts) {
-        let data = fs::read(dir.join(column_file(&col.name)))?;
+    let (columns, seg_rows, num_rows) = read_manifest(dir)?;
+    let mut sources: Vec<Arc<dyn SegmentSource>> = Vec::with_capacity(columns.len());
+    let mut schema_columns = Vec::with_capacity(columns.len());
+    for col in columns {
+        let data = fs::read(dir.join(column_file(&col.schema.name)))?;
         let mut r = FileReader {
             bytes: &data,
             pos: 0,
-            name: &col.name,
+            name: &col.schema.name,
         };
-        let mut col_segments = Vec::with_capacity(count);
-        for _ in 0..count {
-            col_segments.push(r.segment()?);
+        let mut col_segments = Vec::with_capacity(col.metas.len());
+        for meta in &col.metas {
+            let segment = r.segment()?;
+            // Heights come from the manifest, like the lazy path — the
+            // eager and lazy opens accept exactly the same directories
+            // (including non-uniform segmentations from_sources built).
+            segment.check_rows(meta.rows)?;
+            if segment.compressed.dtype != col.schema.dtype {
+                return Err(StoreError::Shape(format!(
+                    "column {} is {:?}, schema says {:?}",
+                    col.schema.name, segment.compressed.dtype, col.schema.dtype
+                )));
+            }
+            col_segments.push(segment);
         }
         if r.pos != data.len() {
             return Err(StoreError::CorruptFile(format!(
                 "{}: {} trailing bytes",
-                col.name,
+                col.schema.name,
                 data.len() - r.pos
             )));
         }
-        segments.push(col_segments);
+        sources.push(Arc::new(crate::source::ResidentSource::new(col_segments)));
+        schema_columns.push(col.schema);
     }
-    let table = Table::from_segments(schema, segments, seg_rows)?;
-    if table.num_rows() != num_rows {
-        return Err(StoreError::CorruptFile(format!(
-            "manifest says {num_rows} rows, segments hold {}",
-            table.num_rows()
-        )));
+    Table::from_sources(
+        TableSchema {
+            columns: schema_columns,
+        },
+        sources,
+        num_rows,
+        seg_rows,
+    )
+}
+
+/// Open a table from `dir` *lazily*: only the manifest is read now;
+/// each column becomes a [`FileSource`] that loads frames on demand
+/// (checksum-verified per read) behind an LRU cache of
+/// `cache_capacity` decoded segments. Planning consults manifest
+/// metadata only, so zone-map-pruned segments are never read from disk.
+pub fn open_table_lazy(dir: &Path, cache_capacity: usize) -> Result<Table> {
+    let (columns, seg_rows, num_rows) = read_manifest(dir)?;
+    let mut sources: Vec<Arc<dyn SegmentSource>> = Vec::with_capacity(columns.len());
+    let mut schema_columns = Vec::with_capacity(columns.len());
+    for col in columns {
+        let path = dir.join(column_file(&col.schema.name));
+        // FileSource::new bounds-checks every frame location against
+        // the file length before any fetch can allocate from it.
+        sources.push(Arc::new(FileSource::new(
+            path,
+            &col.schema.name,
+            col.schema.dtype,
+            col.metas,
+            col.locations,
+            cache_capacity,
+        )?));
+        schema_columns.push(col.schema);
     }
-    Ok(table)
+    Table::from_sources(
+        TableSchema {
+            columns: schema_columns,
+        },
+        sources,
+        num_rows,
+        seg_rows,
+    )
 }
 
 /// Read one segment of one column without touching any other frame:
-/// headers are skipped over with seeks, and only the requested frame's
-/// payload is read and checksum-verified.
+/// the manifest records each frame's offset, so exactly one record is
+/// read, checksum-verified, and cross-checked against its manifest
+/// metadata — the same guarded path `FileSource` fetches through.
 pub fn read_segment(dir: &Path, column: &str, index: usize) -> Result<Segment> {
-    let (schema, _, _, seg_counts) = read_manifest(dir)?;
-    let col_idx = schema
-        .index_of(column)
+    let (columns, _, _) = read_manifest(dir)?;
+    let col = columns
+        .into_iter()
+        .find(|c| c.schema.name == column)
         .ok_or_else(|| StoreError::NoSuchColumn(column.to_string()))?;
-    if index >= seg_counts[col_idx] {
+    if index >= col.locations.len() {
         return Err(StoreError::Shape(format!(
             "segment {index} requested, column {column} has {}",
-            seg_counts[col_idx]
+            col.locations.len()
         )));
     }
-    let mut file = fs::File::open(dir.join(column_file(column)))?;
-    for _ in 0..index {
-        let mut head = [0u8; 16];
-        file.read_exact(&mut head)?;
-        let frame_len = u64::from_le_bytes(head[0..8].try_into().expect("8 bytes"));
-        // Skip checksum (already consumed), expr, min/max, frame.
-        let mut len_buf = [0u8; 2];
-        file.read_exact(&mut len_buf)?;
-        let expr_len = u16::from_le_bytes(len_buf) as i64;
-        file.seek(SeekFrom::Current(expr_len + 32 + frame_len as i64))?;
-    }
-    let mut rest = Vec::new();
-    file.read_to_end(&mut rest)?;
-    let mut r = FileReader {
-        bytes: &rest,
-        pos: 0,
-        name: column,
-    };
-    r.segment()
+    let source = FileSource::new(
+        dir.join(column_file(column)),
+        column,
+        col.schema.dtype,
+        col.metas,
+        col.locations,
+        1,
+    )?;
+    let segment = source.segment(index)?;
+    // Drop the source (and its cache's Arc) so the unwrap moves the
+    // decoded segment out instead of deep-cloning it.
+    drop(source);
+    Ok(Arc::try_unwrap(segment).unwrap_or_else(|arc| (*arc).clone()))
 }
 
-fn read_manifest(dir: &Path) -> Result<(TableSchema, usize, usize, Vec<usize>)> {
-    let data = fs::read(dir.join(MANIFEST))?;
+/// Decode one `.col` segment record (header + frame), verifying the
+/// frame checksum. Shared with [`FileSource`].
+pub(crate) fn decode_segment_record(record: &[u8], name: &str) -> Result<Segment> {
     let mut r = FileReader {
-        bytes: &data,
+        bytes: record,
         pos: 0,
-        name: MANIFEST,
+        name,
     };
-    if r.take(8)? != MAGIC {
+    let segment = r.segment()?;
+    if r.pos != record.len() {
+        return Err(StoreError::CorruptFile(format!(
+            "{name}: {} trailing bytes after segment record",
+            record.len() - r.pos
+        )));
+    }
+    Ok(segment)
+}
+
+fn read_manifest(dir: &Path) -> Result<(Vec<ColumnManifest>, usize, usize)> {
+    let raw = fs::read(dir.join(MANIFEST))?;
+    // Magic and version first — every manifest version shares that
+    // prefix, so an old-format table reports "unsupported version",
+    // not a bogus checksum mismatch.
+    if raw.len() < 10 {
+        return Err(StoreError::CorruptFile("manifest too short".into()));
+    }
+    if &raw[0..8] != MAGIC {
         return Err(StoreError::CorruptFile("bad manifest magic".into()));
     }
-    let version = r.u16()?;
+    let version = u16::from_le_bytes(raw[8..10].try_into().expect("2 bytes"));
     if version != VERSION {
         return Err(StoreError::CorruptFile(format!(
             "unsupported table version {version}"
         )));
     }
+    // v2 carries a trailing FNV-1a over the body; verify it before
+    // believing any other field.
+    if raw.len() < 18 {
+        return Err(StoreError::CorruptFile("manifest too short".into()));
+    }
+    let (data, trailer) = raw.split_at(raw.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv1a64(data) != stored {
+        return Err(StoreError::CorruptFile("manifest checksum mismatch".into()));
+    }
+    let mut r = FileReader {
+        bytes: data,
+        pos: 10, // past magic + version, parsed above
+        name: MANIFEST,
+    };
     let seg_rows = r.u64()? as usize;
     let num_rows = r.u64()? as usize;
     let width = r.u16()? as usize;
     let mut columns = Vec::with_capacity(width);
-    let mut seg_counts = Vec::with_capacity(width);
     for _ in 0..width {
         let name = r.str()?;
         let dtype = dtype_from_tag(r.u8()?)?;
-        seg_counts.push(r.u64()? as usize);
-        columns.push(ColumnSchema::new(&name, dtype));
+        let count = r.u64()? as usize;
+        // Each segment record is at least 66 bytes (four u64s, two
+        // i128s, a u16 string length): a count the remaining manifest
+        // cannot possibly hold is corruption, caught *before* any
+        // count-sized allocation.
+        if count > (data.len() - r.pos) / 66 {
+            return Err(StoreError::CorruptFile(format!(
+                "{name}: implausible segment count {count}"
+            )));
+        }
+        let mut metas = Vec::with_capacity(count);
+        let mut locations = Vec::with_capacity(count);
+        let mut total_rows = 0usize;
+        for _ in 0..count {
+            let offset = r.u64()?;
+            let len = r.u64()?;
+            let payload_bytes = r.u64()? as usize;
+            let rows = r.u64()? as usize;
+            let min = r.i128()?;
+            let max = r.i128()?;
+            let expr = r.str()?;
+            total_rows = total_rows.saturating_add(rows);
+            metas.push(SegmentMeta {
+                rows,
+                min,
+                max,
+                bytes: payload_bytes,
+                expr,
+            });
+            locations.push(FrameLocation { offset, len });
+        }
+        if total_rows != num_rows {
+            return Err(StoreError::CorruptFile(format!(
+                "{name}: segments hold {total_rows} rows, manifest says {num_rows}"
+            )));
+        }
+        columns.push(ColumnManifest {
+            schema: ColumnSchema::new(&name, dtype),
+            metas,
+            locations,
+        });
     }
     if r.pos != data.len() {
         return Err(StoreError::CorruptFile("trailing manifest bytes".into()));
     }
-    Ok((TableSchema { columns }, seg_rows, num_rows, seg_counts))
+    Ok((columns, seg_rows, num_rows))
 }
 
 fn column_file(name: &str) -> String {
@@ -183,15 +333,7 @@ fn column_file(name: &str) -> String {
     format!("{safe}.col")
 }
 
-/// FNV-1a 64-bit.
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+use crate::fnv::fnv1a64;
 
 fn dtype_tag(dtype: DType) -> u8 {
     match dtype {
@@ -241,7 +383,12 @@ struct FileReader<'a> {
 
 impl<'a> FileReader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
+        // checked_add: a corrupt length must error, not wrap in release.
+        if self
+            .pos
+            .checked_add(n)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(StoreError::CorruptFile(format!(
                 "{}: truncated at byte {}",
                 self.name, self.pos
@@ -427,9 +574,152 @@ mod tests {
     }
 
     #[test]
+    fn non_uniform_segmentation_survives_lazy_reopen() {
+        // from_sources permits non-uniform segment heights (aligned
+        // across columns); persisted per-segment row counts mean a lazy
+        // reopen plans on the true heights, not a seg_rows inference.
+        use crate::source::{ResidentSource, SegmentSource};
+        use std::sync::Arc;
+        let dir = tmpdir("nonuniform");
+        let seg = |vals: Vec<u64>| {
+            Segment::build(&ColumnData::U64(vals), &CompressionPolicy::None).unwrap()
+        };
+        let table = Table::from_sources(
+            TableSchema::new(&[("a", DType::U64)]),
+            vec![Arc::new(ResidentSource::new(vec![
+                seg((0..10).collect()),
+                seg((10..30).collect()),
+            ])) as Arc<dyn SegmentSource>],
+            30,
+            20,
+        )
+        .unwrap();
+        save_table(&table, &dir).unwrap();
+        // Both open paths accept the non-uniform directory.
+        let eager = load_table(&dir).unwrap();
+        assert_eq!(
+            eager.materialize("a").unwrap(),
+            table.materialize("a").unwrap()
+        );
+        let lazy = open_table_lazy(&dir, 4).unwrap();
+        assert_eq!(
+            lazy.materialize("a").unwrap(),
+            table.materialize("a").unwrap()
+        );
+        // Values 0..=9 live only in the 10-row segment; the zone map
+        // decides it fully, so the count comes straight from metadata.
+        let result = crate::QueryBuilder::scan(&lazy)
+            .filter("a", crate::Predicate::Range { lo: 0, hi: 9 })
+            .aggregate(&[crate::Agg::Count])
+            .execute()
+            .unwrap();
+        assert_eq!(result.aggregates().unwrap(), &[Some(10)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_count_errors_without_allocating() {
+        let dir = tmpdir("badcount");
+        save_table(&sample_table(), &dir).unwrap();
+        let path = dir.join(MANIFEST);
+        let mut data = fs::read(&path).unwrap();
+        // The first column's segment-count u64 sits right after
+        // magic+version+seg_rows+num_rows+width+name("date")+dtype.
+        let count_at = 8 + 2 + 8 + 8 + 2 + (2 + 4) + 1;
+        data[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // Re-stamp the trailing checksum so the *count plausibility*
+        // guard is what fires, not the checksum.
+        let body_len = data.len() - 8;
+        let checksum = fnv1a64(&data[..body_len]);
+        data[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        fs::write(&path, data).unwrap();
+        assert!(matches!(load_table(&dir), Err(StoreError::CorruptFile(_))));
+        assert!(matches!(
+            open_table_lazy(&dir, 4),
+            Err(StoreError::CorruptFile(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_zone_map_tamper_detected() {
+        // Zone maps steer lazy pruning without frame reads, so a bit
+        // flip anywhere in the manifest must fail the checksum — never
+        // silently change which segments a query prunes.
+        let dir = tmpdir("zonemap");
+        save_table(&sample_table(), &dir).unwrap();
+        let path = dir.join(MANIFEST);
+        let mut data = fs::read(&path).unwrap();
+        let mid = data.len() / 2; // inside the per-segment records
+        data[mid] ^= 0x01;
+        fs::write(&path, data).unwrap();
+        assert!(matches!(
+            open_table_lazy(&dir, 4),
+            Err(StoreError::CorruptFile(_))
+        ));
+        assert!(matches!(load_table(&dir), Err(StoreError::CorruptFile(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn missing_directory_is_io_error() {
         let dir = tmpdir("missing");
         assert!(matches!(load_table(&dir), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn lazy_open_round_trips_and_counts_io() {
+        let dir = tmpdir("lazy");
+        let table = sample_table();
+        save_table(&table, &dir).unwrap();
+        let lazy = open_table_lazy(&dir, 4).unwrap();
+        assert_eq!(lazy.num_rows(), table.num_rows());
+        assert_eq!(lazy.schema(), table.schema());
+        assert_eq!(lazy.io_reads(), 0, "opening reads only the manifest");
+        // Metadata matches the resident table's exactly.
+        let resident = load_table(&dir).unwrap();
+        for col in ["date", "delta"] {
+            let a = lazy.source(col).unwrap();
+            let b = resident.source(col).unwrap();
+            assert_eq!(a.num_segments(), b.num_segments());
+            for i in 0..a.num_segments() {
+                assert_eq!(a.meta(i), b.meta(i), "{col} segment {i}");
+            }
+        }
+        assert_eq!(lazy.io_reads(), 0, "metadata access is not I/O");
+        assert_eq!(
+            lazy.materialize("date").unwrap(),
+            table.materialize("date").unwrap()
+        );
+        assert!(lazy.io_reads() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_segment_cache_hits_avoid_rereads() {
+        let dir = tmpdir("lazy_cache");
+        save_table(&sample_table(), &dir).unwrap();
+        let lazy = open_table_lazy(&dir, 16).unwrap();
+        let source = lazy.source("date").unwrap();
+        let first = source.segment(0).unwrap();
+        let again = source.segment(0).unwrap();
+        assert_eq!(first.compressed, again.compressed);
+        assert_eq!(source.io_reads(), 1, "second fetch is a cache hit");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_detects_corruption_on_fetch() {
+        let dir = tmpdir("lazy_rot");
+        save_table(&sample_table(), &dir).unwrap();
+        let path = dir.join("delta.col");
+        let mut data = fs::read(&path).unwrap();
+        let target = 120.min(data.len() - 1);
+        data[target] ^= 0x40;
+        fs::write(&path, data).unwrap();
+        let lazy = open_table_lazy(&dir, 4).unwrap(); // manifest is fine
+        assert!(lazy.source("delta").unwrap().segment(0).is_err());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! FNV-1a 64 — the store's one non-cryptographic hash, shared by the
+//! persistence layer's frame checksums and the logical plan
+//! fingerprint. Streaming, with tiny length-prefixed framing helpers
+//! so composite encodings stay injective.
+
+/// Streaming FNV-1a 64 state.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// A one-byte domain/variant tag.
+    pub(crate) fn tag(&mut self, b: u8) {
+        self.byte(b);
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        (v as u64).to_le_bytes().iter().for_each(|&b| self.byte(b));
+    }
+
+    pub(crate) fn i128(&mut self, v: i128) {
+        v.to_le_bytes().iter().for_each(|&b| self.byte(b));
+    }
+
+    /// Length-prefixed string, so adjacent strings cannot alias.
+    pub(crate) fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        s.bytes().for_each(|b| self.byte(b));
+    }
+
+    pub(crate) fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.tag(b'+');
+                self.str(s);
+            }
+            None => self.tag(b'-'),
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice (frame checksums).
+pub(crate) fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    data.iter().for_each(|&b| h.byte(b));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn framing_distinguishes_adjacent_strings() {
+        let mut a = Fnv::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = Fnv::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -42,23 +42,38 @@
 //! experiments (E7-E9) honest. One [`QueryStats`] records the
 //! segment/row/tier accounting uniformly across operators.
 //!
+//! ## The storage API
+//!
+//! A [`Table`] is a schema plus, per column, a [`SegmentSource`] handle
+//! — segments may be fully resident ([`Table::build`]) or lazily
+//! loaded from disk behind an LRU cache
+//! ([`file::open_table_lazy`]); the planner consults resident
+//! [`source::SegmentMeta`] (zone maps, scheme tags) for every pruning
+//! decision and fetches payloads only for segments a pushdown tier
+//! actually touches. The [`Catalog`] layers multi-table storage on
+//! top: named tables, horizontal sharding ([`ShardedTable`], scanned
+//! fan-in with merged [`QueryStats`]), monotonic versions stamped on
+//! every mutation, and a query-result cache keyed on
+//! `(plan fingerprint, table version)` via the stable
+//! [`QuerySpec::fingerprint`].
+//!
 //! The pre-planner entry points — [`Query`] (filter + aggregate),
 //! [`groupby`](mod@groupby), [`topk`](mod@topk),
 //! [`distinct`](mod@distinct), [`run_pushdown_parallel`] — survive as
 //! thin adapters over the planner, so existing callers and benches keep
 //! working unchanged.
 //!
-//! Deliberately small: one table = a schema plus, per column, a list of
-//! compressed segments. No transactions, no buffer manager, no SQL — the
-//! paper's claims are about scans over compressed columns, and that is
-//! what is here, built on the same `lcdc-colops` kernels the
-//! decompression plans use.
+//! Deliberately small: no transactions, no SQL — the paper's claims are
+//! about scans over compressed columns, and that is what is here, built
+//! on the same `lcdc-colops` kernels the decompression plans use.
 
 pub mod agg;
 pub mod approx;
+pub mod catalog;
 pub mod distinct;
 pub mod exec;
 pub mod file;
+pub(crate) mod fnv;
 pub mod groupby;
 pub mod join;
 pub mod par;
@@ -68,22 +83,25 @@ pub mod schema;
 pub mod segment;
 pub mod selvec;
 pub mod sort;
+pub mod source;
 pub mod table;
 pub mod topk;
 
 pub use agg::{AggKind, AggResult};
 pub use approx::{approximate_aggregate, AggInterval, GradualAggregate};
+pub use catalog::{shard_table, Catalog, CatalogTable, ShardedTable};
 pub use distinct::{distinct_compressed, distinct_naive, DistinctStats};
 pub use exec::{Query, QueryOutput};
-pub use file::{load_table, read_segment, save_table};
+pub use file::{load_table, open_table_lazy, read_segment, save_table};
 pub use join::{join_count_compressed, join_count_naive};
 pub use par::{par_materialize, run_pushdown_parallel};
-pub use predicate::{Predicate, PushdownStats};
-pub use query::{Agg, PhysicalPlan, QueryBuilder, QueryResult, QueryStats, Rows};
+pub use predicate::{InList, Predicate, PushdownStats};
+pub use query::{Agg, PhysicalPlan, QueryBuilder, QueryResult, QuerySpec, QueryStats, Rows};
 pub use schema::{ColumnSchema, TableSchema};
 pub use segment::{CompressionPolicy, Segment};
 pub use selvec::{gather_early, gather_late, select, select_and, GatherStats, SelVec};
 pub use sort::{sort_column_compressed, sort_column_naive, SortStats};
+pub use source::{FileSource, ResidentSource, SegmentMeta, SegmentSource};
 pub use table::Table;
 pub use topk::{top_k_naive, top_k_pruned, TopKStats};
 
@@ -94,6 +112,8 @@ pub enum StoreError {
     Core(lcdc_core::CoreError),
     /// A named column does not exist.
     NoSuchColumn(String),
+    /// A named catalog table does not exist.
+    NoSuchTable(String),
     /// Input columns of unequal length, or segment bookkeeping broken.
     Shape(String),
     /// Filesystem I/O failed (persistence layer).
@@ -107,6 +127,7 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Core(e) => write!(f, "core: {e}"),
             StoreError::NoSuchColumn(name) => write!(f, "no such column {name:?}"),
+            StoreError::NoSuchTable(name) => write!(f, "no such table {name:?}"),
             StoreError::Shape(msg) => write!(f, "shape error: {msg}"),
             StoreError::Io(e) => write!(f, "io: {e}"),
             StoreError::CorruptFile(msg) => write!(f, "corrupt file: {msg}"),

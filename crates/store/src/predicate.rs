@@ -19,9 +19,38 @@ use crate::segment::Segment;
 use crate::Result;
 use lcdc_colops::Bitmap;
 use lcdc_core::ColumnData;
+use std::sync::Arc;
+
+/// A sorted, deduplicated membership list for [`Predicate::In`]. The
+/// inner slice is private: every construction path goes through
+/// [`InList::new`], so binary searches, bounds, and zone decisions can
+/// rely on the ordering invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InList(Arc<[i128]>);
+
+impl InList {
+    /// Build from any value list (sorted and deduplicated here; an
+    /// empty list matches nothing).
+    pub fn new(values: &[i128]) -> InList {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        InList(sorted.into())
+    }
+}
+
+impl std::ops::Deref for InList {
+    type Target = [i128];
+
+    fn deref(&self) -> &[i128] {
+        &self.0
+    }
+}
 
 /// A selection predicate over one column's numeric values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Cloning is cheap: the `In` membership list is behind an [`Arc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Predicate {
     /// Everything matches.
     All,
@@ -34,24 +63,78 @@ pub enum Predicate {
     },
     /// `v == value`.
     Eq(i128),
+    /// `v ∈ values` — see [`Predicate::in_list`] / [`InList::new`].
+    In(InList),
 }
 
 impl Predicate {
-    /// Inclusive bounds of the predicate, if it has them.
+    /// An `In` predicate over `values`.
+    pub fn in_list(values: &[i128]) -> Predicate {
+        Predicate::In(InList::new(values))
+    }
+
+    /// Inclusive bounds of the predicate, if it has them. `None` for
+    /// `All` (unbounded) and for an empty `In` list (matches nothing).
     pub fn bounds(&self) -> Option<(i128, i128)> {
-        match *self {
+        match self {
             Predicate::All => None,
-            Predicate::Range { lo, hi } => Some((lo, hi)),
-            Predicate::Eq(v) => Some((v, v)),
+            Predicate::Range { lo, hi } => Some((*lo, *hi)),
+            Predicate::Eq(v) => Some((*v, *v)),
+            Predicate::In(values) => match (values.first(), values.last()) {
+                (Some(&lo), Some(&hi)) => Some((lo, hi)),
+                _ => None,
+            },
         }
     }
 
     /// Test one value.
     pub fn test(&self, v: i128) -> bool {
-        match *self {
+        match self {
             Predicate::All => true,
-            Predicate::Range { lo, hi } => lo <= v && v <= hi,
-            Predicate::Eq(value) => v == value,
+            Predicate::Range { lo, hi } => *lo <= v && v <= *hi,
+            Predicate::Eq(value) => v == *value,
+            Predicate::In(values) => values.binary_search(&v).is_ok(),
+        }
+    }
+
+    /// What a zone map `[min, max]` (over a non-empty segment) proves
+    /// about this predicate: `Some(true)` = every row matches,
+    /// `Some(false)` = no row matches, `None` = undecided. Unlike a raw
+    /// bounds check this is correct for non-convex predicates: an `In`
+    /// segment fully inside the list's bounds is *not* thereby
+    /// all-matching.
+    pub fn zone_decides(&self, min: i128, max: i128) -> Option<bool> {
+        match self {
+            Predicate::All => Some(true),
+            Predicate::Range { lo, hi } => {
+                if max < *lo || *hi < min {
+                    Some(false)
+                } else if *lo <= min && max <= *hi {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Predicate::Eq(v) => {
+                if max < *v || *v < min {
+                    Some(false)
+                } else if min == *v && max == *v {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Predicate::In(values) => {
+                // No list element inside [min, max] -> nothing matches.
+                let from = values.partition_point(|&v| v < min);
+                if from == values.len() || values[from] > max {
+                    return Some(false);
+                }
+                if min == max {
+                    return Some(true); // constant segment, value in list
+                }
+                None
+            }
         }
     }
 
@@ -105,20 +188,22 @@ impl Predicate {
         stats: &mut PushdownStats,
         plain_out: &mut Option<ColumnData>,
     ) -> Result<Bitmap> {
-        if matches!(self, Predicate::All) {
+        // Tier 1: zone map (`zone_decides` is predicate-shape-aware, so
+        // an `In` list is never wrongly proven all-matching).
+        if n == 0 {
             stats.zonemap_hits += 1;
-            return Ok(Bitmap::new_ones(n));
+            return Ok(Bitmap::new_zeroed(0));
         }
-        // Tier 1: zone map.
-        if let Some((lo, hi)) = self.bounds() {
-            if segment.prunable(lo, hi) {
-                stats.zonemap_hits += 1;
-                return Ok(Bitmap::new_zeroed(n));
-            }
-            if segment.fully_inside(lo, hi) {
+        match self.zone_decides(segment.min, segment.max) {
+            Some(true) => {
                 stats.zonemap_hits += 1;
                 return Ok(Bitmap::new_ones(n));
             }
+            Some(false) => {
+                stats.zonemap_hits += 1;
+                return Ok(Bitmap::new_zeroed(n));
+            }
+            None => {}
         }
         // Tier 2: run granularity for the RLE family, via the shared
         // [`Segment::run_structure`] kernel.
@@ -131,29 +216,48 @@ impl Predicate {
         // range into a *code* range and test codes directly, never
         // materialising the gathered values (the classic dictionary
         // pushdown; another face of "executing on the compressed form").
-        if scheme_id == "dict" || scheme_id.starts_with("dict[") {
-            if let Some((lo, hi)) = self.bounds() {
-                stats.code_granularity += 1;
-                let scheme = segment.scheme()?;
-                let dict = scheme
-                    .decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_DICT)?;
-                let dict_numeric = dict.to_numeric();
-                let code_lo = dict_numeric.partition_point(|&v| v < lo) as u64;
-                let code_hi = dict_numeric.partition_point(|&v| v <= hi) as u64; // exclusive
-                if code_lo >= code_hi {
-                    return Ok(Bitmap::new_zeroed(n));
+        if (scheme_id == "dict" || scheme_id.starts_with("dict[")) && self.bounds().is_some() {
+            stats.code_granularity += 1;
+            let scheme = segment.scheme()?;
+            let dict =
+                scheme.decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_DICT)?;
+            let dict_numeric = dict.to_numeric();
+            // Decide from the dictionary alone first — a predicate no
+            // dictionary entry satisfies empties the segment without
+            // ever decompressing the per-row codes.
+            let mut bitmap = Bitmap::new_zeroed(n);
+            if let Predicate::In(_) = self {
+                // Membership per *dictionary entry* (tiny vs rows),
+                // then test the codes against the marked entries.
+                let selected: Vec<bool> = dict_numeric.iter().map(|&v| self.test(v)).collect();
+                if !selected.iter().any(|&s| s) {
+                    return Ok(bitmap);
                 }
                 let codes = scheme
                     .decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_CODES)?;
-                let codes = codes.to_transport();
-                let mut bitmap = Bitmap::new_zeroed(n);
-                for (i, &code) in codes.iter().enumerate() {
-                    if (code_lo..code_hi).contains(&code) {
+                for (i, &code) in codes.to_transport().iter().enumerate() {
+                    if selected.get(code as usize).copied().unwrap_or(false) {
                         bitmap.set(i);
                     }
                 }
                 return Ok(bitmap);
             }
+            // Range/Eq: the dictionary is order-preserving, so the
+            // value range rewrites into one contiguous code range.
+            let (lo, hi) = self.bounds().expect("checked above");
+            let code_lo = dict_numeric.partition_point(|&v| v < lo) as u64;
+            let code_hi = dict_numeric.partition_point(|&v| v <= hi) as u64; // exclusive
+            if code_lo >= code_hi {
+                return Ok(bitmap);
+            }
+            let codes = scheme
+                .decompress_part(&segment.compressed, lcdc_core::schemes::dict::ROLE_CODES)?;
+            for (i, &code) in codes.to_transport().iter().enumerate() {
+                if (code_lo..code_hi).contains(&code) {
+                    bitmap.set(i);
+                }
+            }
+            return Ok(bitmap);
         }
         // Tier 3: decompress and test.
         stats.row_granularity += 1;
@@ -330,6 +434,50 @@ mod tests {
             .unwrap();
         assert_eq!(b.count_ones(), 0);
         assert_eq!(stats.code_granularity, 1);
+    }
+
+    #[test]
+    fn in_list_membership_and_zone_decisions() {
+        let p = Predicate::in_list(&[30, 10, 10, -5]);
+        assert_eq!(p.bounds(), Some((-5, 30)));
+        assert!(p.test(10) && p.test(-5) && !p.test(11));
+        // Fully inside the list's bounds but not constant: undecided.
+        assert_eq!(p.zone_decides(0, 20), None);
+        // Disjoint from the list: proven empty — including a gap
+        // *between* list elements, which a raw bounds check misses.
+        assert_eq!(p.zone_decides(40, 90), Some(false));
+        assert_eq!(p.zone_decides(11, 29), Some(false));
+        // Constant segment on a list element: proven full.
+        assert_eq!(p.zone_decides(10, 10), Some(true));
+        // Empty list matches nothing, anywhere.
+        let empty = Predicate::in_list(&[]);
+        assert_eq!(empty.bounds(), None);
+        assert_eq!(empty.zone_decides(0, 100), Some(false));
+    }
+
+    #[test]
+    fn in_on_runs_and_rows_matches_plain() {
+        let segment = runs_segment();
+        let plain = segment.decompress().unwrap();
+        let p = Predicate::in_list(&[2, 7, 99]);
+        let mut stats = PushdownStats::default();
+        let fast = p.eval_segment(&segment, Some(&mut stats)).unwrap();
+        assert_eq!(fast, p.eval_plain(&plain));
+        assert_eq!(stats.run_granularity, 1);
+    }
+
+    #[test]
+    fn dict_in_pushdown_matches_plain() {
+        let col = ColumnData::I64(vec![-30, 10, 500, 10, -30, 77, 500, 10]);
+        let segment =
+            Segment::build(&col, &CompressionPolicy::Fixed("dict[codes=ns]".into())).unwrap();
+        for values in [vec![10i128, 500], vec![-30, 78], vec![0, 1]] {
+            let p = Predicate::in_list(&values);
+            let mut stats = PushdownStats::default();
+            let fast = p.eval_segment(&segment, Some(&mut stats)).unwrap();
+            assert_eq!(fast, p.eval_plain(&col), "{values:?}");
+            assert_eq!(stats.row_granularity, 0, "{values:?}");
+        }
     }
 
     #[test]

@@ -1,8 +1,19 @@
-//! The logical plan builder: what to compute, not how.
+//! The logical plan: what to compute, not how — and not *where*.
+//!
+//! Two layers since the storage redesign:
+//!
+//! * [`QuerySpec`] — an owned, table-free logical plan: a CNF filter
+//!   (conjunction of disjunction clauses), and one sink. Because it
+//!   borrows nothing it can be stored, sent across threads, bound to
+//!   every shard of a sharded table, and *fingerprinted* — the stable
+//!   [`QuerySpec::fingerprint`] hash keys the catalog's result cache.
+//! * [`QueryBuilder`] — the familiar fluent builder: a `QuerySpec`
+//!   under construction plus the table it will run against.
 
 use super::physical::{resolve, AggSpec, PhysicalPlan, Sink};
 use super::result::QueryResult;
 use crate::agg::AggKind;
+use crate::fnv::Fnv;
 use crate::predicate::Predicate;
 use crate::table::Table;
 use crate::{Result, StoreError};
@@ -44,42 +55,55 @@ struct OwnedAgg {
     column: Option<String>,
 }
 
-/// A logical query under construction: a scan, a conjunction of
-/// filters, and exactly one sink (`aggregate`, `group_by` + `aggregate`,
-/// `top_k`, or `distinct`).
-///
-/// Compilation ([`QueryBuilder::compile`]) resolves column names and
-/// picks the physical operators; nothing touches the data until one of
-/// the `execute*` methods runs the plan.
-#[derive(Debug, Clone)]
-pub struct QueryBuilder<'t> {
-    table: &'t Table,
-    filters: Vec<(String, Predicate)>,
-    group_key: Option<String>,
+/// One CNF clause: a disjunction of `(column, predicate)` leaves. A
+/// single-leaf clause is the ordinary conjunct.
+pub(crate) type Clause = Vec<(String, Predicate)>;
+
+/// An owned, table-free logical query: a conjunction of (possibly
+/// disjunctive) filter clauses and exactly one sink. Bind it to a table
+/// with [`QuerySpec::bind`], or hand it to
+/// [`crate::Catalog::execute`] to run it against a registered —
+/// possibly sharded — table with result caching.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuerySpec {
+    pub(crate) clauses: Vec<Clause>,
+    pub(crate) group_key: Option<String>,
     aggs: Vec<OwnedAgg>,
-    top: Option<(String, usize)>,
-    distinct_col: Option<String>,
+    pub(crate) top: Option<(String, usize)>,
+    pub(crate) distinct_col: Option<String>,
 }
 
-impl<'t> QueryBuilder<'t> {
-    /// Start a query over `table`.
-    pub fn scan(table: &'t Table) -> Self {
-        QueryBuilder {
-            table,
-            filters: Vec::new(),
-            group_key: None,
-            aggs: Vec::new(),
-            top: None,
-            distinct_col: None,
-        }
+impl QuerySpec {
+    /// An empty spec (no filters, no sink yet).
+    pub fn new() -> Self {
+        QuerySpec::default()
     }
 
     /// Add one conjunct: rows must satisfy `predicate` on `column`.
-    /// Filters are evaluated in the given order with per-segment
-    /// short-circuiting — put the most selective predicate first.
+    /// Clauses are evaluated in the given order with per-segment
+    /// short-circuiting — put the most selective clause first.
     pub fn filter(mut self, column: &str, predicate: Predicate) -> Self {
-        self.filters.push((column.to_string(), predicate));
+        self.clauses.push(vec![(column.to_string(), predicate)]);
         self
+    }
+
+    /// Add one *disjunctive* conjunct: rows must satisfy at least one
+    /// of the `(column, predicate)` alternatives. With clauses this is
+    /// CNF — `filter(a).filter_any(&[b, c])` selects `a AND (b OR c)`.
+    pub fn filter_any(mut self, any_of: &[(&str, Predicate)]) -> Self {
+        self.clauses.push(
+            any_of
+                .iter()
+                .map(|(col, p)| (col.to_string(), p.clone()))
+                .collect(),
+        );
+        self
+    }
+
+    /// Add a membership conjunct: `column ∈ values` (see
+    /// [`Predicate::in_list`]).
+    pub fn filter_in(self, column: &str, values: &[i128]) -> Self {
+        self.filter(column, Predicate::in_list(values))
     }
 
     /// Group the selected rows by `column` (combine with
@@ -112,14 +136,258 @@ impl<'t> QueryBuilder<'t> {
         self
     }
 
+    /// Bind this spec to a table for execution.
+    pub fn bind<'t>(&self, table: &'t Table) -> QueryBuilder<'t> {
+        QueryBuilder {
+            table,
+            spec: self.clone(),
+        }
+    }
+
+    /// A stable 64-bit hash of the logical plan — identical across
+    /// processes and runs for equal plans (FNV-1a over a canonical
+    /// encoding, no process-seeded hasher). The catalog keys its
+    /// result cache on `(fingerprint, table version)`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.tag(b'F');
+        h.usize(self.clauses.len());
+        for clause in &self.clauses {
+            h.usize(clause.len());
+            for (column, predicate) in clause {
+                h.str(column);
+                match predicate {
+                    Predicate::All => h.tag(b'A'),
+                    Predicate::Range { lo, hi } => {
+                        h.tag(b'R');
+                        h.i128(*lo);
+                        h.i128(*hi);
+                    }
+                    Predicate::Eq(v) => {
+                        h.tag(b'E');
+                        h.i128(*v);
+                    }
+                    Predicate::In(values) => {
+                        h.tag(b'I');
+                        h.usize(values.len());
+                        for v in values.iter() {
+                            h.i128(*v);
+                        }
+                    }
+                }
+            }
+        }
+        h.tag(b'G');
+        h.opt_str(self.group_key.as_deref());
+        h.tag(b'a');
+        h.usize(self.aggs.len());
+        for agg in &self.aggs {
+            h.tag(match agg.kind {
+                AggKind::Sum => b's',
+                AggKind::Min => b'm',
+                AggKind::Max => b'M',
+                AggKind::Count => b'c',
+            });
+            h.opt_str(agg.column.as_deref());
+        }
+        h.tag(b'T');
+        match &self.top {
+            Some((column, k)) => {
+                h.tag(b'+');
+                h.str(column);
+                h.usize(*k);
+            }
+            None => h.tag(b'-'),
+        }
+        h.tag(b'D');
+        h.opt_str(self.distinct_col.as_deref());
+        h.finish()
+    }
+
+    /// Resolve names and operators against `table` into a
+    /// [`PhysicalPlan`].
+    pub(crate) fn compile_mode<'t>(
+        &self,
+        table: &'t Table,
+        naive: bool,
+    ) -> Result<PhysicalPlan<'t>> {
+        let mut clauses = Vec::with_capacity(self.clauses.len());
+        for clause in &self.clauses {
+            if clause.is_empty() {
+                return Err(StoreError::Shape(
+                    "a disjunction clause needs at least one alternative".into(),
+                ));
+            }
+            let mut leaves = Vec::with_capacity(clause.len());
+            for (name, predicate) in clause {
+                leaves.push((resolve(table, name)?, name.clone(), predicate.clone()));
+            }
+            clauses.push(leaves);
+        }
+        let sink = self.compile_sink(table)?;
+        Ok(PhysicalPlan {
+            table,
+            filters: clauses,
+            sink,
+            naive,
+        })
+    }
+
+    fn compile_sink(&self, table: &Table) -> Result<Sink> {
+        let wants_agg = !self.aggs.is_empty() || self.group_key.is_some();
+        let sinks_requested = usize::from(wants_agg)
+            + usize::from(self.top.is_some())
+            + usize::from(self.distinct_col.is_some());
+        if sinks_requested > 1 {
+            return Err(StoreError::Shape(
+                "a query takes one sink: aggregate/group_by, top_k, or distinct".into(),
+            ));
+        }
+        if let Some((column, k)) = &self.top {
+            return Ok(Sink::TopK {
+                col: resolve(table, column)?,
+                k: *k,
+            });
+        }
+        if let Some(column) = &self.distinct_col {
+            return Ok(Sink::Distinct {
+                col: resolve(table, column)?,
+            });
+        }
+        if !wants_agg {
+            return Err(StoreError::Shape(
+                "a query needs a sink: aggregate(..), group_by(..), top_k(..), or distinct(..)"
+                    .into(),
+            ));
+        }
+        // Aggregate / group-by: resolve each agg column once, share slots.
+        let aggs: Vec<OwnedAgg> = if self.aggs.is_empty() {
+            vec![OwnedAgg {
+                kind: AggKind::Count,
+                column: None,
+            }]
+        } else {
+            self.aggs.clone()
+        };
+        let mut cols: Vec<usize> = Vec::new();
+        let mut specs = Vec::with_capacity(aggs.len());
+        for agg in &aggs {
+            let slot = match &agg.column {
+                None => None,
+                Some(name) => {
+                    let idx = resolve(table, name)?;
+                    Some(match cols.iter().position(|&c| c == idx) {
+                        Some(slot) => slot,
+                        None => {
+                            cols.push(idx);
+                            cols.len() - 1
+                        }
+                    })
+                }
+            };
+            specs.push(AggSpec {
+                kind: agg.kind,
+                slot,
+            });
+        }
+        match &self.group_key {
+            Some(key) => Ok(Sink::GroupBy {
+                key: resolve(table, key)?,
+                specs,
+                cols,
+            }),
+            None => Ok(Sink::Aggregate { specs, cols }),
+        }
+    }
+}
+
+/// A logical query under construction against one table: a scan, a CNF
+/// of filters, and exactly one sink (`aggregate`, `group_by` +
+/// `aggregate`, `top_k`, or `distinct`).
+///
+/// Compilation ([`QueryBuilder::compile`]) resolves column names and
+/// picks the physical operators; nothing touches the data until one of
+/// the `execute*` methods runs the plan.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder<'t> {
+    table: &'t Table,
+    spec: QuerySpec,
+}
+
+impl<'t> QueryBuilder<'t> {
+    /// Start a query over `table`.
+    pub fn scan(table: &'t Table) -> Self {
+        QueryBuilder {
+            table,
+            spec: QuerySpec::new(),
+        }
+    }
+
+    /// Add one conjunct: rows must satisfy `predicate` on `column`.
+    /// Clauses are evaluated in the given order with per-segment
+    /// short-circuiting — put the most selective clause first.
+    pub fn filter(mut self, column: &str, predicate: Predicate) -> Self {
+        self.spec = self.spec.filter(column, predicate);
+        self
+    }
+
+    /// Add one disjunctive conjunct (see [`QuerySpec::filter_any`]).
+    pub fn filter_any(mut self, any_of: &[(&str, Predicate)]) -> Self {
+        self.spec = self.spec.filter_any(any_of);
+        self
+    }
+
+    /// Add a membership conjunct (see [`QuerySpec::filter_in`]).
+    pub fn filter_in(mut self, column: &str, values: &[i128]) -> Self {
+        self.spec = self.spec.filter_in(column, values);
+        self
+    }
+
+    /// Group the selected rows by `column` (combine with
+    /// [`aggregate`](Self::aggregate); a bare `group_by` counts rows per
+    /// group).
+    pub fn group_by(mut self, column: &str) -> Self {
+        self.spec = self.spec.group_by(column);
+        self
+    }
+
+    /// Request aggregates over the selected rows (or per group after
+    /// [`group_by`](Self::group_by)).
+    pub fn aggregate(mut self, aggs: &[Agg<'_>]) -> Self {
+        self.spec = self.spec.aggregate(aggs);
+        self
+    }
+
+    /// Keep the `k` largest selected values of `column` (descending).
+    pub fn top_k(mut self, column: &str, k: usize) -> Self {
+        self.spec = self.spec.top_k(column, k);
+        self
+    }
+
+    /// Collect the distinct selected values of `column` (ascending).
+    pub fn distinct(mut self, column: &str) -> Self {
+        self.spec = self.spec.distinct(column);
+        self
+    }
+
+    /// The table-free logical plan built so far.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Take the table-free logical plan out of the builder.
+    pub fn into_spec(self) -> QuerySpec {
+        self.spec
+    }
+
     /// Resolve names and operators into a [`PhysicalPlan`].
     pub fn compile(&self) -> Result<PhysicalPlan<'t>> {
-        self.compile_mode(false)
+        self.spec.compile_mode(self.table, false)
     }
 
     /// Compile to the decompress-everything baseline plan.
     pub fn compile_naive(&self) -> Result<PhysicalPlan<'t>> {
-        self.compile_mode(true)
+        self.spec.compile_mode(self.table, true)
     }
 
     /// Compile and run with every pushdown tier enabled.
@@ -150,85 +418,62 @@ impl<'t> QueryBuilder<'t> {
     pub fn explain(&self) -> Result<String> {
         Ok(self.compile()?.display())
     }
+}
 
-    fn compile_mode(&self, naive: bool) -> Result<PhysicalPlan<'t>> {
-        let mut filters = Vec::with_capacity(self.filters.len());
-        for (name, predicate) in &self.filters {
-            filters.push((resolve(self.table, name)?, name.clone(), *predicate));
-        }
-        let sink = self.compile_sink()?;
-        Ok(PhysicalPlan {
-            table: self.table,
-            filters,
-            sink,
-            naive,
-        })
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> QuerySpec {
+        QuerySpec::new()
+            .filter("day", Predicate::Range { lo: 1, hi: 9 })
+            .group_by("day")
+            .aggregate(&[Agg::Sum("qty"), Agg::Count])
     }
 
-    fn compile_sink(&self) -> Result<Sink> {
-        let wants_agg = !self.aggs.is_empty() || self.group_key.is_some();
-        let sinks_requested = usize::from(wants_agg)
-            + usize::from(self.top.is_some())
-            + usize::from(self.distinct_col.is_some());
-        if sinks_requested > 1 {
-            return Err(StoreError::Shape(
-                "a query takes one sink: aggregate/group_by, top_k, or distinct".into(),
-            ));
-        }
-        if let Some((column, k)) = &self.top {
-            return Ok(Sink::TopK {
-                col: resolve(self.table, column)?,
-                k: *k,
-            });
-        }
-        if let Some(column) = &self.distinct_col {
-            return Ok(Sink::Distinct {
-                col: resolve(self.table, column)?,
-            });
-        }
-        if !wants_agg {
-            return Err(StoreError::Shape(
-                "a query needs a sink: aggregate(..), group_by(..), top_k(..), or distinct(..)"
-                    .into(),
-            ));
-        }
-        // Aggregate / group-by: resolve each agg column once, share slots.
-        let aggs: Vec<OwnedAgg> = if self.aggs.is_empty() {
-            vec![OwnedAgg {
-                kind: AggKind::Count,
-                column: None,
-            }]
-        } else {
-            self.aggs.clone()
-        };
-        let mut cols: Vec<usize> = Vec::new();
-        let mut specs = Vec::with_capacity(aggs.len());
-        for agg in &aggs {
-            let slot = match &agg.column {
-                None => None,
-                Some(name) => {
-                    let idx = resolve(self.table, name)?;
-                    Some(match cols.iter().position(|&c| c == idx) {
-                        Some(slot) => slot,
-                        None => {
-                            cols.push(idx);
-                            cols.len() - 1
-                        }
-                    })
-                }
-            };
-            specs.push(AggSpec {
-                kind: agg.kind,
-                slot,
-            });
-        }
-        match &self.group_key {
-            Some(key) => Ok(Sink::GroupBy {
-                key: resolve(self.table, key)?,
-                specs,
-                cols,
-            }),
-            None => Ok(Sink::Aggregate { specs, cols }),
-        }
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        assert_eq!(base().fingerprint(), base().fingerprint());
+        let variants = [
+            QuerySpec::new()
+                .filter("day", Predicate::Range { lo: 1, hi: 9 })
+                .group_by("day")
+                .aggregate(&[Agg::Sum("qty")]),
+            base().filter("qty", Predicate::Eq(3)),
+            QuerySpec::new()
+                .filter("day", Predicate::Range { lo: 1, hi: 8 })
+                .group_by("day")
+                .aggregate(&[Agg::Sum("qty"), Agg::Count]),
+            QuerySpec::new()
+                .filter("day", Predicate::in_list(&[1, 9]))
+                .group_by("day")
+                .aggregate(&[Agg::Sum("qty"), Agg::Count]),
+            QuerySpec::new()
+                .filter_any(&[
+                    ("day", Predicate::Range { lo: 1, hi: 9 }),
+                    ("qty", Predicate::Eq(3)),
+                ])
+                .group_by("day")
+                .aggregate(&[Agg::Sum("qty"), Agg::Count]),
+            QuerySpec::new().top_k("day", 3),
+            QuerySpec::new().top_k("day", 4),
+            QuerySpec::new().distinct("day"),
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(QuerySpec::fingerprint).collect();
+        prints.push(base().fingerprint());
+        let unique: std::collections::HashSet<u64> = prints.iter().copied().collect();
+        assert_eq!(unique.len(), prints.len(), "{prints:?}");
+    }
+
+    #[test]
+    fn two_single_filters_differ_from_one_disjunction() {
+        let conj = QuerySpec::new()
+            .filter("a", Predicate::Eq(1))
+            .filter("b", Predicate::Eq(2))
+            .aggregate(&[Agg::Count]);
+        let disj = QuerySpec::new()
+            .filter_any(&[("a", Predicate::Eq(1)), ("b", Predicate::Eq(2))])
+            .aggregate(&[Agg::Count]);
+        assert_ne!(conj.fingerprint(), disj.fingerprint());
     }
 }

@@ -6,15 +6,20 @@
 //! compressed form. This module turns that from a set of disconnected
 //! entry points into one composable surface:
 //!
-//! * [`QueryBuilder`] — the **logical plan**: `scan(table)` plus any
-//!   conjunction of `.filter(column, predicate)` steps, closed by one
-//!   sink — `.aggregate(..)`, `.group_by(..).aggregate(..)`,
-//!   `.top_k(..)`, or `.distinct(..)`.
+//! * [`QuerySpec`] / [`QueryBuilder`] — the **logical plan**: a CNF of
+//!   filter clauses (`.filter(column, predicate)` conjuncts,
+//!   `.filter_any(..)` disjunctions, `.filter_in(..)` membership),
+//!   closed by one sink — `.aggregate(..)`,
+//!   `.group_by(..).aggregate(..)`, `.top_k(..)`, or `.distinct(..)`.
+//!   A `QuerySpec` is table-free and owned: bindable to any table or
+//!   shard, and stably hashable ([`QuerySpec::fingerprint`]) for the
+//!   catalog's result cache.
 //! * [`PhysicalPlan`] — the **physical plan** it compiles to: a list of
 //!   segment-granular operators, each choosing its pushdown tier *per
-//!   segment* (zone-map prune → run-granular predicate on RLE/RPE →
-//!   code-granular on DICT → segment-granular structural sink →
-//!   materialise as the last resort).
+//!   segment* (zone-map prune on resident metadata — no payload fetch
+//!   at all — → run-granular predicate on RLE/RPE → code-granular on
+//!   DICT → segment-granular structural sink → materialise as the last
+//!   resort).
 //!
 //! Execution is per segment end-to-end, which makes the segment the
 //! unit of parallelism for **every** operator
@@ -50,7 +55,7 @@ mod logical;
 mod physical;
 mod result;
 
-pub use logical::{Agg, QueryBuilder};
+pub use logical::{Agg, QueryBuilder, QuerySpec};
 pub use physical::{PhysicalPlan, QueryStats};
 pub use result::{QueryResult, Rows};
 
@@ -336,6 +341,111 @@ mod tests {
             .display();
         assert!(naive.contains("naive"), "{naive}");
         assert!(naive.contains("top-3"), "{naive}");
+    }
+
+    #[test]
+    fn disjunction_matches_hand_rolled_or() {
+        for policy in policies() {
+            let t = table(policy.clone(), 512);
+            let b = QueryBuilder::scan(&t)
+                .filter_any(&[
+                    ("day", Predicate::Range { lo: 3, hi: 7 }),
+                    ("qty", Predicate::Eq(49)),
+                ])
+                .aggregate(&[Agg::Count, Agg::Sum("price")]);
+            let push = b.execute().unwrap();
+            assert_eq!(push.rows, b.execute_naive().unwrap().rows, "{policy:?}");
+            // Reference on plain data.
+            let day = t.materialize("day").unwrap();
+            let qty = t.materialize("qty").unwrap();
+            let expected = (0..t.num_rows())
+                .filter(|&i| {
+                    let d = day.get_numeric(i).unwrap();
+                    let q = qty.get_numeric(i).unwrap();
+                    (3..=7).contains(&d) || q == 49
+                })
+                .count() as i128;
+            assert_eq!(push.aggregates().unwrap()[0], Some(expected), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn disjunction_composes_with_conjuncts() {
+        let t = table(CompressionPolicy::Auto, 512);
+        let b = QueryBuilder::scan(&t)
+            .filter("day", Predicate::Range { lo: 2, hi: 30 })
+            .filter_any(&[
+                ("qty", Predicate::Range { lo: 1, hi: 5 }),
+                ("price", Predicate::Range { lo: 500, hi: 600 }),
+            ])
+            .group_by("day")
+            .aggregate(&[Agg::Count]);
+        assert_eq!(b.execute().unwrap().rows, b.execute_naive().unwrap().rows);
+    }
+
+    #[test]
+    fn in_predicate_matches_naive_across_policies() {
+        for policy in policies() {
+            let t = table(policy.clone(), 512);
+            let b = QueryBuilder::scan(&t)
+                .filter_in("qty", &[1, 7, 13, 50, 999])
+                .aggregate(&[Agg::Count, Agg::Min("price")]);
+            assert_eq!(
+                b.execute().unwrap().rows,
+                b.execute_naive().unwrap().rows,
+                "{policy:?}"
+            );
+        }
+        // Dictionary pushdown specifically: small-domain column.
+        let schema = TableSchema::new(&[("d", DType::U64)]);
+        let d = ColumnData::U64((0..4000u64).map(|i| (i * 17) % 23).collect());
+        let t = Table::build(
+            schema,
+            &[d],
+            &[CompressionPolicy::Fixed("dict[codes=ns]".into())],
+            512,
+        )
+        .unwrap();
+        let b = QueryBuilder::scan(&t)
+            .filter_in("d", &[2, 3, 5, 7, 11])
+            .aggregate(&[Agg::Count]);
+        let push = b.execute().unwrap();
+        assert_eq!(push.rows, b.execute_naive().unwrap().rows);
+        assert!(push.stats.pushdown.code_granularity > 0, "{:?}", push.stats);
+        assert_eq!(push.stats.pushdown.row_granularity, 0, "{:?}", push.stats);
+    }
+
+    #[test]
+    fn run_structural_top_k_never_materializes_rows() {
+        // Run-heavy column under RLE: top-k folds run values with
+        // min(run length, k) multiplicity straight off the part columns.
+        let n = 8000u64;
+        let schema = TableSchema::new(&[("v", DType::U64)]);
+        let v = ColumnData::U64((0..n).map(|i| (i / 40) % 150).collect());
+        let t = Table::build(
+            schema,
+            &[v],
+            &[CompressionPolicy::Fixed("rle[values=ns,lengths=ns]".into())],
+            1000,
+        )
+        .unwrap();
+        for k in [1usize, 3, 75, 9000] {
+            let b = QueryBuilder::scan(&t).top_k("v", k);
+            let push = b.execute().unwrap();
+            assert_eq!(push.rows, b.execute_naive().unwrap().rows, "k={k}");
+            assert_eq!(push.stats.rows_materialized, 0, "k={k}: {:?}", push.stats);
+        }
+    }
+
+    #[test]
+    fn pure_count_fetches_no_payloads() {
+        let t = table(CompressionPolicy::Auto, 512);
+        let result = QueryBuilder::scan(&t)
+            .aggregate(&[Agg::Count])
+            .execute()
+            .unwrap();
+        assert_eq!(result.aggregates().unwrap(), &[Some(6000)]);
+        assert_eq!(result.stats.segments_loaded, 0, "{:?}", result.stats);
     }
 
     #[test]

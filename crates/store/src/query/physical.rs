@@ -1,14 +1,20 @@
 //! Physical plans: segment-granular operators over compressed columns.
 //!
-//! A [`PhysicalPlan`] is the compiled form of a [`super::QueryBuilder`]
-//! logical plan: resolved column indices, an ordered conjunction of
-//! filter steps, and exactly one sink operator. Execution walks the
-//! table one segment at a time; for each segment the filter conjunction
-//! is evaluated at the cheapest granularity that decides it, and the
-//! sink consumes the surviving selection — structurally off the
-//! compressed form where the scheme allows, by materialising rows only
-//! as the last resort. Segments are independent, so the same per-segment
-//! pipeline drives both the sequential and the parallel executors.
+//! A [`PhysicalPlan`] is the compiled form of a [`super::QuerySpec`]
+//! logical plan: resolved column indices, an ordered CNF of filter
+//! clauses (each a disjunction of per-column predicates), and exactly
+//! one sink operator. Execution walks the table one segment at a time
+//! through its [`crate::source::SegmentSource`] handles: every
+//! zone-map decision is made on resident [`crate::source::SegmentMeta`]
+//! alone, and a segment's payload is *fetched* — possibly from disk,
+//! for lazily-backed tables — only when some tier actually has to
+//! touch bytes ([`QueryStats::segments_loaded`] counts those fetches).
+//! The filter CNF is evaluated at the cheapest granularity that decides
+//! it, and the sink consumes the surviving selection — structurally off
+//! the compressed form where the scheme allows, by materialising rows
+//! only as the last resort. Segments are independent, so the same
+//! per-segment pipeline drives both the sequential and the parallel
+//! executors.
 
 use crate::agg::{aggregate_plain, aggregate_segment, AggKind, AggResult};
 use crate::predicate::{Predicate, PushdownStats};
@@ -21,6 +27,7 @@ use lcdc_core::ColumnData;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Counters describing how a query executed, unified across every
 /// operator the planner can run.
@@ -35,6 +42,10 @@ pub struct QueryStats {
     /// Segments answered from part columns alone (run values, dictionary
     /// entries, ...) with no row materialisation.
     pub segments_structural: usize,
+    /// Segment payloads fetched from their source — the unit of I/O for
+    /// lazily-backed tables. Counted once per `(column, segment)` pair
+    /// per visit; zone-map-pruned segments fetch nothing.
+    pub segments_loaded: usize,
     /// Rows decompressed to feed the sink — or, in naive mode, to
     /// evaluate filters. Counted per *row*, once per segment, even when
     /// several columns of that segment materialise. Decompression spent
@@ -44,18 +55,25 @@ pub struct QueryStats {
     /// Values fed to the sink operator — run/dictionary/part entries on
     /// the structural paths, decompressed rows otherwise.
     pub values_processed: usize,
+    /// Queries answered from the catalog's result cache instead of
+    /// executing (0 or 1 per [`crate::Catalog::execute`] call; stats
+    /// from the original execution are replaced by this marker).
+    pub result_cache_hits: usize,
     /// Which predicate-evaluation tier fired, per filter step.
     pub pushdown: PushdownStats,
 }
 
 impl QueryStats {
-    /// Merge another stats record into this one (parallel partials).
+    /// Merge another stats record into this one (parallel partials and
+    /// shard fan-in).
     pub fn absorb(&mut self, other: &QueryStats) {
         self.segments += other.segments;
         self.segments_pruned += other.segments_pruned;
         self.segments_structural += other.segments_structural;
+        self.segments_loaded += other.segments_loaded;
         self.rows_materialized += other.rows_materialized;
         self.values_processed += other.values_processed;
+        self.result_cache_hits += other.result_cache_hits;
         self.pushdown.absorb(&other.pushdown);
     }
 }
@@ -126,7 +144,8 @@ impl GroupAcc {
     }
 }
 
-/// Running sink state; merged associatively across parallel partials.
+/// Running sink state; merged associatively across parallel partials
+/// and across shards.
 #[derive(Debug, Clone)]
 pub(crate) enum SinkState {
     Aggregate {
@@ -146,7 +165,7 @@ pub(crate) enum SinkState {
 }
 
 impl SinkState {
-    fn for_sink(sink: &Sink) -> SinkState {
+    pub(crate) fn for_sink(sink: &Sink) -> SinkState {
         match sink {
             Sink::Aggregate { cols, .. } => SinkState::Aggregate {
                 acc: GroupAcc::new(cols.len()),
@@ -165,7 +184,7 @@ impl SinkState {
         }
     }
 
-    fn merge(&mut self, other: SinkState) {
+    pub(crate) fn merge(&mut self, other: SinkState) {
         match (self, other) {
             (SinkState::Aggregate { acc }, SinkState::Aggregate { acc: o }) => acc.merge(&o),
             (SinkState::Groups { groups, cols }, SinkState::Groups { groups: o, .. }) => {
@@ -207,12 +226,25 @@ enum Selection {
     Mask(Bitmap),
 }
 
-/// Decompresses columns for one segment *visit*, with two jobs:
+/// What one CNF clause decided for one segment.
+enum ClauseOutcome {
+    /// Every row satisfies the clause.
+    AllRows,
+    /// No row does: the segment is out.
+    Empty,
+    /// The satisfying rows.
+    Mask(Bitmap),
+}
+
+/// Fetches and decompresses columns for one segment *visit*, with three
+/// jobs:
 ///
+/// * **Fetch each segment payload at most once per visit** — the source
+///   may be disk-backed; `segments_loaded` counts one fetch per
+///   `(column, segment)` pair.
 /// * **Charge `rows_materialized` once per visit** — rows are counted
 ///   per row, not per (column, row) pair, so a second column of the
-///   same segment does not re-count the same rows (the accounting fix
-///   over the old executors).
+///   same segment does not re-count the same rows.
 /// * **Decompress each column at most once** — when the row-granularity
 ///   predicate tier already decompressed a column, the sink reuses that
 ///   plain form instead of decompressing the segment again. Filter-tier
@@ -222,7 +254,9 @@ enum Selection {
 struct Materializer {
     n: usize,
     charged: bool,
-    /// `(column index, plain rows)` — a handful of entries at most.
+    /// `(column index, fetched segment)` — a handful of entries at most.
+    segs: Vec<(usize, Arc<Segment>)>,
+    /// `(column index, plain rows)` — ditto.
     cache: Vec<(usize, Rc<ColumnData>)>,
 }
 
@@ -231,6 +265,7 @@ impl Materializer {
         Materializer {
             n,
             charged: false,
+            segs: Vec::new(),
             cache: Vec::new(),
         }
     }
@@ -271,13 +306,14 @@ impl Materializer {
     }
 }
 
-/// A compiled query: resolved columns, filter conjunction, one sink.
+/// A compiled query: resolved columns, filter CNF, one sink.
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan<'t> {
     pub(crate) table: &'t Table,
-    /// `(column index, column name, predicate)` — evaluated in order,
-    /// short-circuiting per segment.
-    pub(crate) filters: Vec<(usize, String, Predicate)>,
+    /// CNF clauses, each `(column index, column name, predicate)`
+    /// leaves ORed together — evaluated in order, short-circuiting per
+    /// segment.
+    pub(crate) filters: Vec<Vec<(usize, String, Predicate)>>,
     pub(crate) sink: Sink,
     /// Naive mode decompresses everything and evaluates row-at-a-time —
     /// the baseline the pushdown tiers are measured against.
@@ -298,10 +334,19 @@ impl<'t> PhysicalPlan<'t> {
                 ""
             },
         );
-        for (_, name, pred) in &self.filters {
-            out.push_str(&format!(
-                "\n  filter {name}: {pred:?} (zone-map -> run/code granularity -> rows)"
-            ));
+        for clause in &self.filters {
+            let leaves: Vec<String> = clause
+                .iter()
+                .map(|(_, name, pred)| format!("{name}: {pred:?}"))
+                .collect();
+            if clause.len() == 1 {
+                let (_, name, pred) = &clause[0];
+                out.push_str(&format!(
+                    "\n  filter {name}: {pred:?} (zone-map -> run/code granularity -> rows)"
+                ));
+            } else {
+                out.push_str(&format!("\n  filter any-of ({})", leaves.join(" OR ")));
+            }
         }
         let col_name = |idx: usize| self.table.schema().columns[idx].name.clone();
         let spec_text = |specs: &[AggSpec], cols: &[usize]| {
@@ -382,20 +427,42 @@ impl<'t> PhysicalPlan<'t> {
         Ok((state, stats))
     }
 
-    /// The order segments are visited in. Top-k visits best-max first so
-    /// the prune threshold tightens as early as possible; everything
-    /// else scans in position order.
+    /// The order segments are visited in. Top-k visits best-max first
+    /// (a metadata-only sort) so the prune threshold tightens as early
+    /// as possible; everything else scans in position order.
     fn segment_order(&self) -> Vec<usize> {
         let n = self.table.num_segments();
         let mut order: Vec<usize> = (0..n).collect();
         if let (false, Sink::TopK { col, .. }) = (self.naive, &self.sink) {
-            let segments = self.table.segments_at(*col);
-            order.sort_unstable_by_key(|&i| Reverse(segments[i].max));
+            order.sort_unstable_by_key(|&i| Reverse(self.table.meta_at(*col, i).max));
         }
         order
     }
 
     // -- per-segment pipeline -----------------------------------------
+
+    /// Rows in one segment (metadata only; columns share segmentation).
+    fn rows_at(&self, seg_idx: usize) -> usize {
+        self.table.meta_at(0, seg_idx).rows
+    }
+
+    /// Fetch one segment's payload through its source, at most once per
+    /// visit (the materializer keeps the handle), counting the fetch.
+    fn fetch(
+        &self,
+        col: usize,
+        seg_idx: usize,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<Arc<Segment>> {
+        if let Some((_, seg)) = mat.segs.iter().find(|(c, _)| *c == col) {
+            return Ok(Arc::clone(seg));
+        }
+        let seg = self.table.source_at(col).segment(seg_idx)?;
+        stats.segments_loaded += 1;
+        mat.segs.push((col, Arc::clone(&seg)));
+        Ok(seg)
+    }
 
     fn execute_segment(
         &self,
@@ -404,13 +471,13 @@ impl<'t> PhysicalPlan<'t> {
         stats: &mut QueryStats,
     ) -> Result<()> {
         stats.segments += 1;
-        let n = self.any_segment(seg_idx).num_rows();
+        let n = self.rows_at(seg_idx);
         if n == 0 {
             stats.segments_pruned += 1;
             return Ok(());
         }
         // Top-k threshold pruning consults only the zone map — before
-        // the filters, before any decompression. The naive baseline
+        // the filters, before any payload fetch. The naive baseline
         // scans everything.
         if let (false, Sink::TopK { col, k }, SinkState::TopK { heap, .. }) =
             (self.naive, &self.sink, &mut *state)
@@ -421,7 +488,7 @@ impl<'t> PhysicalPlan<'t> {
             }
             if heap.len() == *k {
                 let Reverse(threshold) = *heap.peek().expect("heap holds k values");
-                if self.table.segments_at(*col)[seg_idx].max <= threshold {
+                if self.table.meta_at(*col, seg_idx).max <= threshold {
                     stats.segments_pruned += 1;
                     return Ok(());
                 }
@@ -445,16 +512,101 @@ impl<'t> PhysicalPlan<'t> {
                 self.sink_group_by(seg_idx, n, &selection, *key, cols, groups, &mut mat, stats)
             }
             (Sink::TopK { col, k }, SinkState::TopK { heap, .. }) => {
-                self.sink_top_k(seg_idx, &selection, *col, *k, heap, &mut mat, stats)
+                self.sink_top_k(seg_idx, n, &selection, *col, *k, heap, &mut mat, stats)
             }
             (Sink::Distinct { col }, SinkState::Distinct { set }) => {
-                self.sink_distinct(seg_idx, &selection, *col, set, &mut mat, stats)
+                self.sink_distinct(seg_idx, n, &selection, *col, set, &mut mat, stats)
             }
             _ => unreachable!("sink/state mismatch"),
         }
     }
 
-    /// Evaluate the filter conjunction with every pushdown tier.
+    /// One leaf's bitmap at the cheapest non-zone tier (the zone map
+    /// was consulted by the caller). A column an earlier leaf's row
+    /// tier already decompressed this visit is tested on that plain
+    /// form; a fresh row-tier decompression is kept for later leaves
+    /// and the sink to reuse.
+    fn eval_leaf(
+        &self,
+        col: usize,
+        seg_idx: usize,
+        predicate: &Predicate,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<Bitmap> {
+        if let Some(plain) = mat.get(col) {
+            return Ok(predicate.eval_plain(&plain));
+        }
+        let seg = self.fetch(col, seg_idx, mat, stats)?;
+        let mut plain_out = None;
+        let step =
+            predicate.eval_segment_caching(&seg, Some(&mut stats.pushdown), &mut plain_out)?;
+        if let Some(plain) = plain_out {
+            mat.put(col, plain);
+        }
+        Ok(step)
+    }
+
+    /// Evaluate one CNF clause (a disjunction of leaves) for one
+    /// segment. Zone maps run first across the alternatives: any leaf
+    /// proven all-matching settles the clause without touching bytes,
+    /// and leaves proven empty drop out of the union.
+    fn eval_clause(
+        &self,
+        clause: &[(usize, String, Predicate)],
+        seg_idx: usize,
+        n: usize,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<ClauseOutcome> {
+        // Pass 1 — zone maps across *all* alternatives before any
+        // payload work: one leaf proven all-matching settles the clause
+        // even if an earlier leaf would have needed a fetch.
+        let mut undecided = Vec::with_capacity(clause.len());
+        for leaf in clause {
+            let (col, _, predicate) = leaf;
+            let meta = self.table.meta_at(*col, seg_idx);
+            match predicate.zone_decides(meta.min, meta.max) {
+                Some(true) => {
+                    stats.pushdown.zonemap_hits += 1;
+                    return Ok(ClauseOutcome::AllRows);
+                }
+                Some(false) => {
+                    stats.pushdown.zonemap_hits += 1;
+                }
+                None => undecided.push(leaf),
+            }
+        }
+        // Pass 2 — evaluate the survivors at the cheapest data tier.
+        let mut union: Option<Bitmap> = None;
+        for (col, _, predicate) in undecided {
+            let step = self.eval_leaf(*col, seg_idx, predicate, mat, stats)?;
+            if step.count_ones() == n {
+                return Ok(ClauseOutcome::AllRows);
+            }
+            let combined = match union {
+                None => step,
+                Some(u) => u.or(&step),
+            };
+            // Leaves can cover the segment jointly (e.g. complementary
+            // ranges): once the union is total, later alternatives must
+            // not cost fetches or decompression.
+            if combined.count_ones() == n {
+                return Ok(ClauseOutcome::AllRows);
+            }
+            union = Some(combined);
+        }
+        // A total union already returned AllRows inside the loop; what
+        // remains is empty (no leaf selected anything) or a strict
+        // subset.
+        Ok(match union {
+            None => ClauseOutcome::Empty,
+            Some(u) if u.count_ones() == 0 => ClauseOutcome::Empty,
+            Some(u) => ClauseOutcome::Mask(u),
+        })
+    }
+
+    /// Evaluate the filter CNF with every pushdown tier.
     /// `None` means the segment is out entirely.
     fn eval_filters_pushdown(
         &self,
@@ -464,52 +616,12 @@ impl<'t> PhysicalPlan<'t> {
         stats: &mut QueryStats,
     ) -> Result<Option<Selection>> {
         let mut mask: Option<Bitmap> = None;
-        for (col, _, predicate) in &self.filters {
-            let seg = &self.table.segments_at(*col)[seg_idx];
-            // Tier 1: the zone map may decide the whole segment.
-            match predicate.bounds() {
-                None => {
-                    stats.pushdown.zonemap_hits += 1;
-                    continue;
-                }
-                Some((lo, hi)) => {
-                    if seg.prunable(lo, hi) {
-                        stats.pushdown.zonemap_hits += 1;
-                        return Ok(None);
-                    }
-                    if seg.fully_inside(lo, hi) {
-                        stats.pushdown.zonemap_hits += 1;
-                        continue;
-                    }
-                }
-            }
-            // Tiers 2-4: run / code / row granularity, per the scheme.
-            // A column an earlier conjunct's row tier already
-            // decompressed this visit is tested on that plain form; a
-            // fresh row-tier decompression is kept for later conjuncts
-            // and the sink to reuse.
-            let step = match mat.get(*col) {
-                Some(plain) => predicate.eval_plain(&plain),
-                None => {
-                    let mut plain_out = None;
-                    let step = predicate.eval_segment_caching(
-                        seg,
-                        Some(&mut stats.pushdown),
-                        &mut plain_out,
-                    )?;
-                    if let Some(plain) = plain_out {
-                        mat.put(*col, plain);
-                    }
-                    step
-                }
+        for clause in &self.filters {
+            let step = match self.eval_clause(clause, seg_idx, n, mat, stats)? {
+                ClauseOutcome::Empty => return Ok(None),
+                ClauseOutcome::AllRows => continue,
+                ClauseOutcome::Mask(step) => step,
             };
-            let selected = step.count_ones();
-            if selected == 0 {
-                return Ok(None);
-            }
-            if selected == n {
-                continue;
-            }
             mask = Some(match mask {
                 None => step,
                 Some(m) => {
@@ -539,10 +651,18 @@ impl<'t> PhysicalPlan<'t> {
             return Ok(Some(Selection::All));
         }
         let mut mask: Option<Bitmap> = None;
-        for (col, _, predicate) in &self.filters {
-            let seg = &self.table.segments_at(*col)[seg_idx];
-            let plain = mat.decompress(*col, seg, stats)?;
-            let step = predicate.eval_plain(&plain);
+        for clause in &self.filters {
+            let mut union: Option<Bitmap> = None;
+            for (col, _, predicate) in clause {
+                let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                let plain = mat.decompress(*col, &seg, stats)?;
+                let step = predicate.eval_plain(&plain);
+                union = Some(match union {
+                    None => step,
+                    Some(u) => u.or(&step),
+                });
+            }
+            let step = union.expect("clauses are non-empty");
             mask = Some(match mask {
                 None => step,
                 Some(m) => m.and(&step),
@@ -581,9 +701,9 @@ impl<'t> PhysicalPlan<'t> {
                 // convention for its no-value-columns case.
                 let mut structural = true;
                 for (slot, col) in cols.iter().enumerate() {
-                    let seg = &self.table.segments_at(*col)[seg_idx];
+                    let seg = self.fetch(*col, seg_idx, mat, stats)?;
                     let before = stats.rows_materialized;
-                    let part = self.aggregate_whole_segment(*col, seg, n, mat, stats)?;
+                    let part = self.aggregate_whole_segment(*col, &seg, n, mat, stats)?;
                     structural &= stats.rows_materialized == before;
                     acc.per_col[slot].merge(&part);
                 }
@@ -594,8 +714,8 @@ impl<'t> PhysicalPlan<'t> {
             }
             Selection::All => {
                 for (slot, col) in cols.iter().enumerate() {
-                    let seg = &self.table.segments_at(*col)[seg_idx];
-                    let plain = mat.decompress(*col, seg, stats)?;
+                    let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                    let plain = mat.decompress(*col, &seg, stats)?;
                     stats.values_processed += plain.len();
                     acc.per_col[slot].merge(&aggregate_plain(&plain, None));
                 }
@@ -603,8 +723,8 @@ impl<'t> PhysicalPlan<'t> {
             }
             Selection::Mask(mask) => {
                 for (slot, col) in cols.iter().enumerate() {
-                    let seg = &self.table.segments_at(*col)[seg_idx];
-                    let plain = mat.decompress(*col, seg, stats)?;
+                    let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                    let plain = mat.decompress(*col, &seg, stats)?;
                     stats.values_processed += mask.count_ones();
                     acc.per_col[slot].merge(&aggregate_plain(&plain, Some(mask)));
                 }
@@ -652,7 +772,7 @@ impl<'t> PhysicalPlan<'t> {
         mat: &mut Materializer,
         stats: &mut QueryStats,
     ) -> Result<()> {
-        let kseg = &self.table.segments_at(key)[seg_idx];
+        let kseg = self.fetch(key, seg_idx, mat, stats)?;
         // Run-structured keys + full selection: probe the hash table
         // once per run, not once per row.
         if matches!(selection, Selection::All) && !self.naive {
@@ -663,7 +783,10 @@ impl<'t> PhysicalPlan<'t> {
                 }
                 let plains: Vec<Rc<ColumnData>> = cols
                     .iter()
-                    .map(|col| mat.decompress(*col, &self.table.segments_at(*col)[seg_idx], stats))
+                    .map(|col| {
+                        let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                        mat.decompress(*col, &seg, stats)
+                    })
                     .collect::<Result<_>>()?;
                 let mut start = 0usize;
                 for (run, &run_end) in run_ends.iter().enumerate().take(run_values.len()) {
@@ -683,10 +806,13 @@ impl<'t> PhysicalPlan<'t> {
             }
         }
         // Fallback: hash per selected row.
-        let keys = mat.decompress(key, kseg, stats)?;
+        let keys = mat.decompress(key, &kseg, stats)?;
         let plains: Vec<Rc<ColumnData>> = cols
             .iter()
-            .map(|col| mat.decompress(*col, &self.table.segments_at(*col)[seg_idx], stats))
+            .map(|col| {
+                let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                mat.decompress(*col, &seg, stats)
+            })
             .collect::<Result<_>>()?;
         let mut fold = |i: usize| {
             let acc = groups
@@ -714,6 +840,7 @@ impl<'t> PhysicalPlan<'t> {
     fn sink_top_k(
         &self,
         seg_idx: usize,
+        n: usize,
         selection: &Selection,
         col: usize,
         k: usize,
@@ -721,9 +848,28 @@ impl<'t> PhysicalPlan<'t> {
         mat: &mut Materializer,
         stats: &mut QueryStats,
     ) -> Result<()> {
-        let seg = &self.table.segments_at(col)[seg_idx];
-        let n = seg.num_rows();
-        let plain = mat.decompress(col, seg, stats)?;
+        let seg = self.fetch(col, seg_idx, mat, stats)?;
+        // Run-structural top-k: RLE/RPE segments fold one value per
+        // *run*, weighted by `min(run length, k)` — a run longer than k
+        // can contribute at most k copies — instead of decompressing
+        // rows. Partial decompression of the part columns only.
+        if matches!(selection, Selection::All) && !self.naive {
+            if let Some((values, ends)) = seg.run_structure()? {
+                stats.values_processed += values.len();
+                stats.segments_structural += 1;
+                let mut start = 0usize;
+                for run in 0..values.len() {
+                    let end = (ends.get(run).copied().unwrap_or(n as u64) as usize).min(n);
+                    let v = values.get_numeric(run).expect("in range");
+                    for _ in 0..(end - start).min(k) {
+                        push_topk(heap, k, v);
+                    }
+                    start = end;
+                }
+                return Ok(());
+            }
+        }
+        let plain = mat.decompress(col, &seg, stats)?;
         match selection {
             Selection::All => {
                 stats.values_processed += n;
@@ -741,21 +887,22 @@ impl<'t> PhysicalPlan<'t> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn sink_distinct(
         &self,
         seg_idx: usize,
+        n: usize,
         selection: &Selection,
         col: usize,
         set: &mut HashSet<i128>,
         mat: &mut Materializer,
         stats: &mut QueryStats,
     ) -> Result<()> {
-        let seg = &self.table.segments_at(col)[seg_idx];
-        let n = seg.num_rows();
+        let seg = self.fetch(col, seg_idx, mat, stats)?;
         // Full selection: several schemes *store* the distinct structure
         // outright — the part column suffices, no rows touched.
         if matches!(selection, Selection::All) && !self.naive {
-            if let Some(roles) = distinct_part_roles(seg) {
+            if let Some(roles) = distinct_part_roles(&seg) {
                 stats.segments_structural += 1;
                 let scheme = seg.scheme()?;
                 for role in roles {
@@ -768,7 +915,7 @@ impl<'t> PhysicalPlan<'t> {
                 return Ok(());
             }
         }
-        let plain = mat.decompress(col, seg, stats)?;
+        let plain = mat.decompress(col, &seg, stats)?;
         match selection {
             Selection::All => {
                 stats.values_processed += n;
@@ -784,24 +931,6 @@ impl<'t> PhysicalPlan<'t> {
             }
         }
         Ok(())
-    }
-
-    // -- helpers ------------------------------------------------------
-
-    fn any_segment(&self, seg_idx: usize) -> &Segment {
-        let col = match &self.sink {
-            Sink::Aggregate { .. } | Sink::GroupBy { .. } => self
-                .filters
-                .first()
-                .map(|(c, _, _)| *c)
-                .unwrap_or_else(|| match &self.sink {
-                    Sink::GroupBy { key, .. } => *key,
-                    Sink::Aggregate { cols, .. } => cols.first().copied().unwrap_or(0),
-                    _ => 0,
-                }),
-            Sink::TopK { col, .. } | Sink::Distinct { col } => *col,
-        };
-        &self.table.segments_at(col)[seg_idx]
     }
 }
 

@@ -98,16 +98,6 @@ impl Segment {
         Ok(None)
     }
 
-    /// Whether the zone map proves the segment disjoint from `[lo, hi]`.
-    pub fn prunable(&self, lo: i128, hi: i128) -> bool {
-        self.num_rows() == 0 || hi < self.min || lo > self.max
-    }
-
-    /// Whether the zone map proves every row inside `[lo, hi]`.
-    pub fn fully_inside(&self, lo: i128, hi: i128) -> bool {
-        self.num_rows() > 0 && lo <= self.min && self.max <= hi
-    }
-
     /// Internal consistency check used by table assembly.
     pub fn check_rows(&self, expected: usize) -> Result<()> {
         if self.num_rows() == expected {
@@ -160,21 +150,18 @@ mod tests {
     }
 
     #[test]
-    fn zone_map_pruning() {
+    fn zone_map_decides_from_min_max() {
+        // The zone map lives on the segment; the decision logic is
+        // predicate-shaped (`Predicate::zone_decides`).
+        use crate::predicate::Predicate;
         let s = Segment::build(&rows(), &CompressionPolicy::Auto).unwrap();
         assert_eq!((s.min, s.max), (1000, 1039));
-        assert!(s.prunable(0, 999));
-        assert!(s.prunable(1040, 99999));
-        assert!(!s.prunable(1039, 1039));
-        assert!(s.fully_inside(1000, 1039));
-        assert!(!s.fully_inside(1001, 1039));
-    }
-
-    #[test]
-    fn empty_segment_always_prunable() {
-        let s = Segment::build(&ColumnData::U64(vec![]), &CompressionPolicy::None).unwrap();
-        assert!(s.prunable(i128::MIN, i128::MAX));
-        assert!(!s.fully_inside(i128::MIN, i128::MAX));
+        let range = |lo, hi| Predicate::Range { lo, hi };
+        assert_eq!(range(0, 999).zone_decides(s.min, s.max), Some(false));
+        assert_eq!(range(1040, 99999).zone_decides(s.min, s.max), Some(false));
+        assert_eq!(range(1039, 1039).zone_decides(s.min, s.max), None);
+        assert_eq!(range(1000, 1039).zone_decides(s.min, s.max), Some(true));
+        assert_eq!(range(1001, 1039).zone_decides(s.min, s.max), None);
     }
 
     #[test]

@@ -63,20 +63,40 @@ pub struct GatherStats {
 }
 
 /// Evaluate `predicate` over `column` (with every pushdown tier) and
-/// collect the selected positions.
+/// collect the selected positions. Zone maps are consulted on segment
+/// *metadata*, so a lazily-backed table only fetches the frames its
+/// zone maps cannot decide.
 pub fn select(
     table: &Table,
     column: &str,
     predicate: &Predicate,
 ) -> Result<(SelVec, PushdownStats)> {
-    let segments = table.column_segments(column)?;
+    let source = table.source(column)?;
     let mut stats = PushdownStats::default();
     let mut positions = Vec::new();
     let mut base = 0u64;
-    for seg in segments {
-        let mask = predicate.eval_segment(seg, Some(&mut stats))?;
-        positions.extend(mask.iter_ones().map(|i| base + i as u64));
-        base += seg.num_rows() as u64;
+    for idx in 0..source.num_segments() {
+        let meta = source.meta(idx);
+        let n = meta.rows as u64;
+        if n == 0 {
+            stats.zonemap_hits += 1;
+            continue;
+        }
+        match predicate.zone_decides(meta.min, meta.max) {
+            Some(true) => {
+                stats.zonemap_hits += 1;
+                positions.extend(base..base + n);
+            }
+            Some(false) => {
+                stats.zonemap_hits += 1;
+            }
+            None => {
+                let seg = source.segment(idx)?;
+                let mask = predicate.eval_segment(&seg, Some(&mut stats))?;
+                positions.extend(mask.iter_ones().map(|i| base + i as u64));
+            }
+        }
+        base += n;
     }
     Ok((
         SelVec {
@@ -100,26 +120,55 @@ pub fn select_and(
     if conjuncts.is_empty() {
         return Err(StoreError::Shape("empty conjunction".into()));
     }
-    let columns: Vec<&[crate::segment::Segment]> = conjuncts
+    let sources: Vec<&dyn crate::source::SegmentSource> = conjuncts
         .iter()
-        .map(|(col, _)| table.column_segments(col))
+        .map(|(col, _)| table.source(col))
         .collect::<Result<_>>()?;
-    let num_segments = columns[0].len();
+    let num_segments = sources[0].num_segments();
     let mut stats = PushdownStats::default();
     let mut positions = Vec::new();
     let mut base = 0u64;
     for seg_idx in 0..num_segments {
-        let first = &columns[0][seg_idx];
-        let mut mask = conjuncts[0].1.eval_segment(first, Some(&mut stats))?;
-        for (col_segments, (_, pred)) in columns[1..].iter().zip(&conjuncts[1..]) {
-            if mask.count_ones() == 0 {
-                break; // short-circuit: nothing left to narrow
+        let n = sources[0].meta(seg_idx).rows as u64;
+        // `None` = all rows still selected (no bitmap materialised yet).
+        let mut mask: Option<lcdc_colops::Bitmap> = None;
+        let mut emptied = false;
+        for (source, (_, pred)) in sources.iter().zip(conjuncts) {
+            if n == 0 {
+                emptied = true;
+                break;
             }
-            let next = pred.eval_segment(&col_segments[seg_idx], Some(&mut stats))?;
-            mask = mask.and(&next);
+            let meta = source.meta(seg_idx);
+            match pred.zone_decides(meta.min, meta.max) {
+                Some(true) => {
+                    stats.zonemap_hits += 1;
+                    continue;
+                }
+                Some(false) => {
+                    stats.zonemap_hits += 1;
+                    emptied = true;
+                    break; // short-circuit: later columns never touched
+                }
+                None => {}
+            }
+            let seg = source.segment(seg_idx)?;
+            let step = pred.eval_segment(&seg, Some(&mut stats))?;
+            mask = Some(match mask {
+                None => step,
+                Some(m) => m.and(&step),
+            });
+            if mask.as_ref().expect("just set").count_ones() == 0 {
+                emptied = true;
+                break;
+            }
         }
-        positions.extend(mask.iter_ones().map(|i| base + i as u64));
-        base += first.num_rows() as u64;
+        if !emptied {
+            match &mask {
+                None => positions.extend(base..base + n),
+                Some(m) => positions.extend(m.iter_ones().map(|i| base + i as u64)),
+            }
+        }
+        base += n;
     }
     Ok((
         SelVec {
@@ -134,7 +183,7 @@ pub fn select_and(
 pub fn gather_early(table: &Table, column: &str, sel: &SelVec) -> Result<ColumnData> {
     check_shape(table, sel)?;
     let segments = table.column_segments(column)?;
-    let seg_rows = table.seg_rows();
+    let ends = meta_ends(table.source(column)?);
     let mut numeric = Vec::with_capacity(sel.len());
     let mut cache: Vec<Option<ColumnData>> = vec![None; segments.len()];
     // Decompress everything up front — the early-materialisation
@@ -143,7 +192,7 @@ pub fn gather_early(table: &Table, column: &str, sel: &SelVec) -> Result<ColumnD
         cache[i] = Some(seg.decompress()?);
     }
     for &pos in &sel.positions {
-        let (seg_idx, off) = locate(pos, seg_rows);
+        let (seg_idx, off) = locate(pos, &ends);
         let col = cache[seg_idx].as_ref().expect("all segments decompressed");
         numeric
             .push(col.get_numeric(off).ok_or_else(|| {
@@ -156,19 +205,27 @@ pub fn gather_early(table: &Table, column: &str, sel: &SelVec) -> Result<ColumnD
 
 /// Late materialisation: per selected position, answer from the
 /// compressed form where an access path exists; decompress a segment
-/// (once, cached) only when it does not.
+/// (once, cached) only when it does not. Only the segments actually
+/// holding selected positions are fetched — on a lazily-backed table,
+/// untouched segments cost no I/O.
 pub fn gather_late(table: &Table, column: &str, sel: &SelVec) -> Result<(ColumnData, GatherStats)> {
     check_shape(table, sel)?;
-    let segments = table.column_segments(column)?;
-    let seg_rows = table.seg_rows();
+    let source = table.source(column)?;
+    let ends = meta_ends(source);
     let mut stats = GatherStats::default();
     let mut numeric = Vec::with_capacity(sel.len());
-    let mut cache: Vec<Option<ColumnData>> = vec![None; segments.len()];
+    let mut fetched: Vec<Option<std::sync::Arc<crate::segment::Segment>>> =
+        vec![None; source.num_segments()];
+    let mut cache: Vec<Option<ColumnData>> = vec![None; source.num_segments()];
     for &pos in &sel.positions {
-        let (seg_idx, off) = locate(pos, seg_rows);
-        let seg = segments
-            .get(seg_idx)
-            .ok_or_else(|| StoreError::Shape(format!("position {pos} past table end")))?;
+        let (seg_idx, off) = locate(pos, &ends);
+        if seg_idx >= fetched.len() {
+            return Err(StoreError::Shape(format!("position {pos} past table end")));
+        }
+        if fetched[seg_idx].is_none() {
+            fetched[seg_idx] = Some(source.segment(seg_idx)?);
+        }
+        let seg = fetched[seg_idx].as_ref().expect("just fetched");
         if let Some(plain) = &cache[seg_idx] {
             stats.via_decompress += 1;
             numeric.push(plain.get_numeric(off).ok_or_else(|| {
@@ -197,8 +254,24 @@ pub fn gather_late(table: &Table, column: &str, sel: &SelVec) -> Result<(ColumnD
     Ok((out, stats))
 }
 
-fn locate(pos: u64, seg_rows: usize) -> (usize, usize) {
-    ((pos as usize) / seg_rows, (pos as usize) % seg_rows)
+/// Exclusive cumulative row ends, one per segment — positions map to
+/// segments through these rather than a uniform `seg_rows` division,
+/// so non-uniform segmentations ([`Table::from_sources`]) stay correct.
+/// Computed from metadata: no payload access.
+fn meta_ends(source: &dyn crate::source::SegmentSource) -> Vec<u64> {
+    let mut ends = Vec::with_capacity(source.num_segments());
+    let mut total = 0u64;
+    for idx in 0..source.num_segments() {
+        total += source.meta(idx).rows as u64;
+        ends.push(total);
+    }
+    ends
+}
+
+fn locate(pos: u64, ends: &[u64]) -> (usize, usize) {
+    let seg_idx = ends.partition_point(|&end| end <= pos);
+    let start = if seg_idx == 0 { 0 } else { ends[seg_idx - 1] };
+    (seg_idx, (pos - start) as usize)
 }
 
 fn check_shape(table: &Table, sel: &SelVec) -> Result<()> {
@@ -379,6 +452,62 @@ mod tests {
         // Every hit was a zone-map prune on the first column only.
         assert_eq!(stats.total(), stats.zonemap_hits);
         assert!(select_and(&t, &[]).is_err());
+    }
+
+    #[test]
+    fn lazy_select_and_gather_only_fetch_needed_frames() {
+        let t = table("for(l=128)");
+        let dir = std::env::temp_dir().join(format!("lcdc_selvec_lazy_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::file::save_table(&t, &dir).unwrap();
+        let lazy = crate::file::open_table_lazy(&dir, 8).unwrap();
+        // Disjoint predicate: every segment zone-pruned, zero I/O.
+        let (none, _) = select(&lazy, "f", &Predicate::Range { lo: -10, hi: -1 }).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(lazy.io_reads(), 0, "pruned select must not read frames");
+        // Narrow selection: only the touched frames are read.
+        let (sel, _) = select(&lazy, "f", &Predicate::Range { lo: 10, hi: 19 }).unwrap();
+        let (late, _) = gather_late(&lazy, "p", &sel).unwrap();
+        assert_eq!(late, reference(&lazy, &sel));
+        let total_frames = lazy.num_segments() * lazy.schema().width();
+        assert!(
+            lazy.io_reads() < total_frames,
+            "{} of {total_frames} frames read",
+            lazy.io_reads()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gather_respects_non_uniform_segmentation() {
+        use crate::source::{ResidentSource, SegmentSource};
+        use std::sync::Arc;
+        // Segments of [30, 10] rows with seg_rows=20: a uniform
+        // pos/seg_rows division would mislocate every position >= 20.
+        let seg = |vals: std::ops::Range<u64>| {
+            crate::segment::Segment::build(
+                &ColumnData::U64(vals.collect()),
+                &CompressionPolicy::None,
+            )
+            .unwrap()
+        };
+        let t = Table::from_sources(
+            crate::schema::TableSchema::new(&[("a", lcdc_core::DType::U64)]),
+            vec![Arc::new(ResidentSource::new(vec![seg(0..30), seg(30..40)]))
+                as Arc<dyn SegmentSource>],
+            40,
+            20,
+        )
+        .unwrap();
+        let sel = SelVec {
+            positions: vec![0, 19, 25, 29, 30, 39],
+            total_rows: 40,
+        };
+        let early = gather_early(&t, "a", &sel).unwrap();
+        let (late, _) = gather_late(&t, "a", &sel).unwrap();
+        let want = ColumnData::U64(vec![0, 19, 25, 29, 30, 39]);
+        assert_eq!(early, want);
+        assert_eq!(late, want);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn sort_column_compressed(table: &Table, column: &str) -> Result<(ColumnData
     let segments = table.column_segments(column)?;
     let mut stats = SortStats::default();
     let mut runs: Vec<(i128, u64)> = Vec::new();
-    for seg in segments {
+    for seg in &segments {
         stats.rows += seg.num_rows();
         collect_runs(seg, &mut runs, &mut stats)?;
     }

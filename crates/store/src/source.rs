@@ -1,0 +1,428 @@
+//! Segment sources: where a column's segments live and how they are
+//! fetched.
+//!
+//! The planner never holds a `&[Segment]` anymore — it plans against
+//! [`SegmentMeta`] (zone map, row count, scheme tag: everything a
+//! pushdown-tier decision needs, resident by construction) and fetches
+//! payloads one segment at a time through [`SegmentSource::segment`]
+//! only when a tier actually has to touch bytes. That seam is what lets
+//! one physical plan run unchanged over:
+//!
+//! * [`ResidentSource`] — today's fully in-memory segments;
+//! * [`FileSource`] — lazy per-segment loads from the on-disk column
+//!   file (see [`crate::file`]), behind a small LRU cache, so a
+//!   zone-map-pruned segment's frame is *never read from disk*.
+//!
+//! Sources are `Send + Sync`: the parallel executor shares one source
+//! across workers, and the LRU cache takes an internal lock only on the
+//! fetch path.
+
+use crate::segment::Segment;
+use crate::{Result, StoreError};
+use lcdc_core::DType;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-segment metadata the planner can consult without loading the
+/// segment payload: the zone map, the row count, the compressed size,
+/// and the scheme expression that produced the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Rows in the segment.
+    pub rows: usize,
+    /// Numeric minimum over the segment (zone map).
+    pub min: i128,
+    /// Numeric maximum over the segment (zone map).
+    pub max: i128,
+    /// Compressed payload size in bytes.
+    pub bytes: usize,
+    /// The scheme expression the segment was compressed under.
+    pub expr: String,
+}
+
+impl SegmentMeta {
+    /// Metadata of an in-memory segment.
+    pub fn of(segment: &Segment) -> SegmentMeta {
+        SegmentMeta {
+            rows: segment.num_rows(),
+            min: segment.min,
+            max: segment.max,
+            bytes: segment.compressed_bytes(),
+            expr: segment.expr.clone(),
+        }
+    }
+}
+
+/// One column's segments, wherever they live.
+///
+/// Metadata access is always cheap and in-memory; [`Self::segment`] is
+/// the only call that may touch the backing store.
+pub trait SegmentSource: std::fmt::Debug + Send + Sync {
+    /// Number of segments.
+    fn num_segments(&self) -> usize;
+
+    /// Planner-visible metadata of one segment (no payload access).
+    fn meta(&self, idx: usize) -> &SegmentMeta;
+
+    /// The segment payload, fetched (and possibly cached) on demand.
+    fn segment(&self, idx: usize) -> Result<Arc<Segment>>;
+
+    /// Payload fetches that actually hit the backing store so far — 0
+    /// forever for resident sources, cache *misses* for lazy ones.
+    fn io_reads(&self) -> usize {
+        0
+    }
+}
+
+/// All segments held in memory — the source behind [`crate::Table::build`].
+#[derive(Debug)]
+pub struct ResidentSource {
+    segments: Vec<Arc<Segment>>,
+    metas: Vec<SegmentMeta>,
+}
+
+impl ResidentSource {
+    /// Wrap already-compressed in-memory segments.
+    pub fn new(segments: Vec<Segment>) -> ResidentSource {
+        ResidentSource::from_arcs(segments.into_iter().map(Arc::new).collect())
+    }
+
+    /// Wrap shared segment handles without copying payloads — the
+    /// zero-copy path [`crate::catalog::shard_table`] uses to split a
+    /// table along segment boundaries.
+    pub fn from_arcs(segments: Vec<Arc<Segment>>) -> ResidentSource {
+        let metas = segments.iter().map(|s| SegmentMeta::of(s)).collect();
+        ResidentSource { segments, metas }
+    }
+}
+
+impl SegmentSource for ResidentSource {
+    fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn meta(&self, idx: usize) -> &SegmentMeta {
+        &self.metas[idx]
+    }
+
+    fn segment(&self, idx: usize) -> Result<Arc<Segment>> {
+        Ok(Arc::clone(&self.segments[idx]))
+    }
+}
+
+/// Where one segment's record sits inside its column file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLocation {
+    /// Byte offset of the record (header + frame) in the column file.
+    pub offset: u64,
+    /// Total record length in bytes.
+    pub len: u64,
+}
+
+/// Lazily loads segments from a `.col` file written by
+/// [`crate::file::save_table`], one frame per request, behind a small
+/// LRU cache. Zone maps and scheme tags come from the table manifest,
+/// so planning never touches the file.
+pub struct FileSource {
+    path: PathBuf,
+    column: String,
+    dtype: DType,
+    metas: Vec<SegmentMeta>,
+    locations: Vec<FrameLocation>,
+    cache: Mutex<LruCache<usize, Arc<Segment>>>,
+    /// Opened on the first fetch, then reused — cache misses pay a
+    /// positioned read, not an open+seek+read+close cycle. Unix-only:
+    /// other targets lack positioned reads and reopen per miss.
+    #[cfg(unix)]
+    handle: Mutex<Option<Arc<fs::File>>>,
+    io_reads: AtomicUsize,
+}
+
+impl std::fmt::Debug for FileSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSource")
+            .field("path", &self.path)
+            .field("column", &self.column)
+            .field("segments", &self.metas.len())
+            .field("io_reads", &self.io_reads())
+            .finish()
+    }
+}
+
+impl FileSource {
+    /// A lazy source over one persisted column. `metas` and `locations`
+    /// come from the table manifest; `cache_capacity` bounds how many
+    /// decoded segments stay resident (minimum 1).
+    pub fn new(
+        path: PathBuf,
+        column: &str,
+        dtype: DType,
+        metas: Vec<SegmentMeta>,
+        locations: Vec<FrameLocation>,
+        cache_capacity: usize,
+    ) -> Result<FileSource> {
+        if metas.len() != locations.len() {
+            return Err(StoreError::Shape(format!(
+                "column {column}: {} segment metas, {} frame locations",
+                metas.len(),
+                locations.len()
+            )));
+        }
+        // Every frame must fit the file — checked up front with
+        // overflow-safe arithmetic, so no later fetch can attempt a
+        // manifest-length-sized allocation past the file's end.
+        let file_len = fs::metadata(&path)?.len();
+        for (idx, loc) in locations.iter().enumerate() {
+            if loc
+                .offset
+                .checked_add(loc.len)
+                .is_none_or(|end| end > file_len)
+            {
+                return Err(StoreError::CorruptFile(format!(
+                    "{column}: segment {idx} extends past end of file"
+                )));
+            }
+        }
+        Ok(FileSource {
+            path,
+            column: column.to_string(),
+            dtype,
+            metas,
+            locations,
+            cache: Mutex::new(LruCache::new(cache_capacity.max(1))),
+            #[cfg(unix)]
+            handle: Mutex::new(None),
+            io_reads: AtomicUsize::new(0),
+        })
+    }
+
+    /// The shared column-file handle, opened on first use.
+    #[cfg(unix)]
+    fn file(&self) -> Result<Arc<fs::File>> {
+        let mut guard = self.handle.lock().expect("handle lock");
+        if let Some(file) = &*guard {
+            return Ok(Arc::clone(file));
+        }
+        let file = Arc::new(fs::File::open(&self.path)?);
+        *guard = Some(Arc::clone(&file));
+        Ok(file)
+    }
+
+    /// Read one frame's record bytes. Positioned reads on Unix keep
+    /// concurrent misses seek-free on one shared handle; elsewhere each
+    /// read reopens and seeks. Only a short read is reported as
+    /// truncation — transient I/O failures stay `StoreError::Io`.
+    fn read_record(&self, idx: usize, loc: FrameLocation) -> Result<Vec<u8>> {
+        let mut record = vec![0u8; loc.len as usize];
+        let read_failed = |e: std::io::Error| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::CorruptFile(format!(
+                    "{}: segment {idx} truncated (wanted {} bytes at offset {})",
+                    self.column, loc.len, loc.offset
+                ))
+            } else {
+                StoreError::Io(e)
+            }
+        };
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file()?
+                .read_exact_at(&mut record, loc.offset)
+                .map_err(read_failed)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = fs::File::open(&self.path)?;
+            file.seek(SeekFrom::Start(loc.offset))?;
+            file.read_exact(&mut record).map_err(read_failed)?;
+        }
+        Ok(record)
+    }
+
+    /// Read and decode one frame from disk, verifying its checksum and
+    /// dtype against the schema.
+    fn load(&self, idx: usize) -> Result<Segment> {
+        let loc = self.locations[idx];
+        let record = self.read_record(idx, loc)?;
+        let segment = crate::file::decode_segment_record(&record, &self.column)?;
+        if segment.compressed.dtype != self.dtype {
+            return Err(StoreError::Shape(format!(
+                "column {} segment {idx} is {:?}, schema says {:?}",
+                self.column, segment.compressed.dtype, self.dtype
+            )));
+        }
+        let meta = &self.metas[idx];
+        if segment.num_rows() != meta.rows {
+            return Err(StoreError::CorruptFile(format!(
+                "column {} segment {idx} holds {} rows, manifest says {}",
+                self.column,
+                segment.num_rows(),
+                meta.rows
+            )));
+        }
+        // The planner already pruned on the manifest's zone map; if the
+        // frame header disagrees, one of the two is corrupt — refuse
+        // rather than mix inconsistent metadata into one answer.
+        if (segment.min, segment.max) != (meta.min, meta.max) || segment.expr != meta.expr {
+            return Err(StoreError::CorruptFile(format!(
+                "column {} segment {idx}: frame metadata disagrees with manifest",
+                self.column
+            )));
+        }
+        Ok(segment)
+    }
+}
+
+impl SegmentSource for FileSource {
+    fn num_segments(&self) -> usize {
+        self.metas.len()
+    }
+
+    fn meta(&self, idx: usize) -> &SegmentMeta {
+        &self.metas[idx]
+    }
+
+    fn segment(&self, idx: usize) -> Result<Arc<Segment>> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&idx) {
+            return Ok(hit);
+        }
+        // Load outside the lock: concurrent misses may read the same
+        // frame twice, but never block each other on disk I/O.
+        let loaded = Arc::new(self.load(idx)?);
+        self.io_reads.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .put(idx, Arc::clone(&loaded));
+        Ok(loaded)
+    }
+
+    fn io_reads(&self) -> usize {
+        self.io_reads.load(Ordering::Relaxed)
+    }
+}
+
+/// Tiny exact LRU over `(key, value)` pairs — most-recently-used at
+/// the back. Capacities are small (tens to hundreds), so a `Vec` scan
+/// beats a linked hash map. Shared by the per-column segment cache
+/// (`usize -> Arc<Segment>`) and the catalog's result cache.
+#[derive(Debug)]
+pub(crate) struct LruCache<K: PartialEq, V: Clone> {
+    capacity: usize,
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V: Clone> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (0 caches
+    /// nothing).
+    pub(crate) fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The cached value for `key`, if any, marking it most recent.
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = entry.1.clone();
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    /// Insert (or refresh) `key`, evicting the least recent entry at
+    /// capacity.
+    pub(crate) fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == &key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, value));
+    }
+
+    /// Drop every entry whose key fails `keep`.
+    pub(crate) fn retain(&mut self, keep: impl Fn(&K) -> bool) {
+        self.entries.retain(|(k, _)| keep(k));
+    }
+
+    /// Remove one entry, if present.
+    pub(crate) fn remove(&mut self, key: &K) {
+        self.entries.retain(|(k, _)| k != key);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::CompressionPolicy;
+    use lcdc_core::ColumnData;
+
+    fn segments() -> Vec<Segment> {
+        (0..4)
+            .map(|s| {
+                let col = ColumnData::U64((0..100u64).map(|i| s * 1000 + i).collect());
+                Segment::build(&col, &CompressionPolicy::Auto).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resident_source_round_trips() {
+        let segs = segments();
+        let want: Vec<ColumnData> = segs.iter().map(|s| s.decompress().unwrap()).collect();
+        let src = ResidentSource::new(segs);
+        assert_eq!(src.num_segments(), 4);
+        assert_eq!(src.io_reads(), 0);
+        for (i, plain) in want.iter().enumerate() {
+            assert_eq!(src.meta(i).rows, 100);
+            assert_eq!(src.meta(i).min, i as i128 * 1000);
+            assert_eq!(&src.segment(i).unwrap().decompress().unwrap(), plain);
+        }
+        assert_eq!(src.io_reads(), 0, "resident fetches are never I/O");
+    }
+
+    #[test]
+    fn meta_of_mirrors_segment() {
+        let col = ColumnData::U64(vec![5, 9, 7, 6]);
+        let seg = Segment::build(&col, &CompressionPolicy::Auto).unwrap();
+        let m = SegmentMeta::of(&seg);
+        assert_eq!(m.rows, 4);
+        assert_eq!((m.min, m.max), (5, 9));
+        assert_eq!(m.bytes, seg.compressed_bytes());
+        assert_eq!(m.expr, seg.expr);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let segs = segments();
+        let arcs: Vec<Arc<Segment>> = segs.into_iter().map(Arc::new).collect();
+        let mut lru = LruCache::new(2);
+        lru.put(0usize, Arc::clone(&arcs[0]));
+        lru.put(1, Arc::clone(&arcs[1]));
+        assert!(lru.get(&0).is_some()); // 0 now most recent
+        lru.put(2, Arc::clone(&arcs[2])); // evicts 1
+        assert!(lru.get(&1).is_none());
+        assert!(lru.get(&0).is_some());
+        assert!(lru.get(&2).is_some());
+        lru.put(0, Arc::clone(&arcs[3])); // overwrite, no growth
+        assert_eq!(lru.len(), 2);
+        lru.remove(&0);
+        assert!(lru.get(&0).is_none());
+        lru.retain(|_| false);
+        assert_eq!(lru.len(), 0);
+    }
+}

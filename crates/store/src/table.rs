@@ -1,20 +1,30 @@
-//! Tables: per-column lists of compressed segments.
+//! Tables: a schema plus, per column, a [`SegmentSource`] handle.
+//!
+//! Since the storage redesign a `Table` does not own its data — it owns
+//! *handles*. A column's segments may be fully resident
+//! ([`ResidentSource`], what [`Table::build`] produces) or lazily
+//! loaded from disk ([`crate::source::FileSource`], what
+//! [`crate::file::open_table_lazy`] produces); the planner sees the
+//! same surface either way and only pays I/O for segments its pushdown
+//! tiers actually touch.
 
 use crate::schema::TableSchema;
 use crate::segment::{CompressionPolicy, Segment};
+use crate::source::{ResidentSource, SegmentMeta, SegmentSource};
 use crate::{Result, StoreError};
 use lcdc_core::ColumnData;
+use std::sync::Arc;
 
 /// Default rows per segment (matches common vector/block sizes).
 pub const DEFAULT_SEG_ROWS: usize = 16_384;
 
-/// A columnar table: a schema plus, per column, equal-height compressed
-/// segments.
-#[derive(Debug)]
+/// A columnar table: a schema plus, per column, a segment source of
+/// equal-height compressed segments.
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    /// `segments[col][seg]`.
-    segments: Vec<Vec<Segment>>,
+    /// `sources[col]`, aligned with `schema.columns`.
+    sources: Vec<Arc<dyn SegmentSource>>,
     num_rows: usize,
     seg_rows: usize,
 }
@@ -56,7 +66,7 @@ impl Table {
                 )));
             }
         }
-        let mut segments = Vec::with_capacity(columns.len());
+        let mut sources: Vec<Arc<dyn SegmentSource>> = Vec::with_capacity(columns.len());
         for (col, policy) in columns.iter().zip(policies) {
             let mut col_segments = Vec::with_capacity(num_rows.div_ceil(seg_rows));
             for start in (0..num_rows).step_by(seg_rows) {
@@ -66,20 +76,20 @@ impl Table {
                 segment.check_rows(end - start)?;
                 col_segments.push(segment);
             }
-            segments.push(col_segments);
+            sources.push(Arc::new(ResidentSource::new(col_segments)));
         }
         Ok(Table {
             schema,
-            segments,
+            sources,
             num_rows,
             seg_rows,
         })
     }
 
     /// Assemble a table from already-compressed segments (the
-    /// persistence layer's load path). Validates that every column has
-    /// the same total row count and that non-final segments are exactly
-    /// `seg_rows` tall.
+    /// persistence layer's eager load path). Validates that every column
+    /// has the same total row count and that non-final segments are
+    /// exactly `seg_rows` tall.
     pub fn from_segments(
         schema: TableSchema,
         segments: Vec<Vec<Segment>>,
@@ -119,9 +129,70 @@ impl Table {
                 }
             }
         }
+        let sources = segments
+            .into_iter()
+            .map(|col| Arc::new(ResidentSource::new(col)) as Arc<dyn SegmentSource>)
+            .collect();
         Ok(Table {
             schema,
-            segments,
+            sources,
+            num_rows,
+            seg_rows,
+        })
+    }
+
+    /// Assemble a table directly from per-column sources (the lazy load
+    /// path and custom backends). Sources must agree on segment count
+    /// and per-segment row counts; `num_rows`/`seg_rows` describe the
+    /// shared segmentation.
+    pub fn from_sources(
+        schema: TableSchema,
+        sources: Vec<Arc<dyn SegmentSource>>,
+        num_rows: usize,
+        seg_rows: usize,
+    ) -> Result<Table> {
+        if sources.len() != schema.width() {
+            return Err(StoreError::Shape(format!(
+                "{} sources, {} schema columns",
+                sources.len(),
+                schema.width()
+            )));
+        }
+        let seg_rows = seg_rows.max(1);
+        let num_segments = sources.first().map_or(0, |s| s.num_segments());
+        for (i, source) in sources.iter().enumerate() {
+            if source.num_segments() != num_segments {
+                return Err(StoreError::Shape(format!(
+                    "column {} has {} segments, expected {num_segments}",
+                    schema.columns[i].name,
+                    source.num_segments()
+                )));
+            }
+            let mut total = 0usize;
+            for j in 0..num_segments {
+                let rows = source.meta(j).rows;
+                // The planner reads per-segment row counts off column 0
+                // and applies one selection bitmap across columns, so
+                // segmentation must align exactly, not just in total.
+                let expected = sources[0].meta(j).rows;
+                if rows != expected {
+                    return Err(StoreError::Shape(format!(
+                        "column {} segment {j} holds {rows} rows, column {} holds {expected}",
+                        schema.columns[i].name, schema.columns[0].name
+                    )));
+                }
+                total += rows;
+            }
+            if total != num_rows {
+                return Err(StoreError::Shape(format!(
+                    "column {} holds {total} rows, expected {num_rows}",
+                    schema.columns[i].name
+                )));
+            }
+        }
+        Ok(Table {
+            schema,
+            sources,
             num_rows,
             seg_rows,
         })
@@ -155,49 +226,70 @@ impl Table {
 
     /// Number of segments per column.
     pub fn num_segments(&self) -> usize {
-        self.segments.first().map_or(0, Vec::len)
+        self.sources.first().map_or(0, |s| s.num_segments())
     }
 
-    /// The segments of a column by schema index (planner-internal: the
-    /// physical plan resolves names once, at compile time).
-    pub(crate) fn segments_at(&self, idx: usize) -> &[Segment] {
-        &self.segments[idx]
+    /// The segment source of a column by schema index (planner-internal:
+    /// the physical plan resolves names once, at compile time).
+    pub(crate) fn source_at(&self, idx: usize) -> &dyn SegmentSource {
+        self.sources[idx].as_ref()
     }
 
-    /// The segments of a named column.
-    pub fn column_segments(&self, name: &str) -> Result<&[Segment]> {
-        let idx = self
-            .schema
-            .index_of(name)
-            .ok_or_else(|| StoreError::NoSuchColumn(name.to_string()))?;
-        Ok(&self.segments[idx])
+    /// The segment source of a named column.
+    pub fn source(&self, name: &str) -> Result<&dyn SegmentSource> {
+        Ok(self.source_at(self.resolve(name)?))
+    }
+
+    /// Planner metadata of one segment of a column by schema index.
+    pub(crate) fn meta_at(&self, idx: usize, seg_idx: usize) -> &SegmentMeta {
+        self.sources[idx].meta(seg_idx)
+    }
+
+    /// Fetch every segment of a named column (loads lazily-backed
+    /// columns in full — whole-column operators only).
+    pub fn column_segments(&self, name: &str) -> Result<Vec<Arc<Segment>>> {
+        let source = self.source(name)?;
+        (0..source.num_segments())
+            .map(|i| source.segment(i))
+            .collect()
+    }
+
+    /// Payload fetches that hit the backing store so far, summed over
+    /// all columns — 0 for fully resident tables.
+    pub fn io_reads(&self) -> usize {
+        self.sources.iter().map(|s| s.io_reads()).sum()
     }
 
     /// Fully decompress a named column.
     pub fn materialize(&self, name: &str) -> Result<ColumnData> {
-        let segments = self.column_segments(name)?;
-        let dtype = self.schema.columns[self.schema.index_of(name).expect("checked")].dtype;
+        let idx = self.resolve(name)?;
+        let source = self.source_at(idx);
+        let dtype = self.schema.columns[idx].dtype;
         let mut transport = Vec::with_capacity(self.num_rows);
-        for segment in segments {
-            transport.extend(segment.decompress()?.to_transport());
+        for seg_idx in 0..source.num_segments() {
+            transport.extend(source.segment(seg_idx)?.decompress()?.to_transport());
         }
         Ok(ColumnData::from_transport(dtype, transport))
     }
 
-    /// Total compressed bytes of a column.
+    /// Total compressed bytes of a column (from segment metadata; no
+    /// payload access).
     pub fn column_compressed_bytes(&self, name: &str) -> Result<usize> {
-        Ok(self
-            .column_segments(name)?
-            .iter()
-            .map(Segment::compressed_bytes)
+        let source = self.source(name)?;
+        Ok((0..source.num_segments())
+            .map(|i| source.meta(i).bytes)
             .sum())
     }
 
-    /// Total compressed bytes of the table.
+    /// Total compressed bytes of the table (from segment metadata).
     pub fn compressed_bytes(&self) -> usize {
-        self.segments
+        self.sources
             .iter()
-            .flat_map(|col| col.iter().map(Segment::compressed_bytes))
+            .map(|s| {
+                (0..s.num_segments())
+                    .map(|i| s.meta(i).bytes)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -208,6 +300,12 @@ impl Table {
             .iter()
             .map(|c| self.num_rows * c.dtype.bytes())
             .sum()
+    }
+
+    fn resolve(&self, name: &str) -> Result<usize> {
+        self.schema
+            .index_of(name)
+            .ok_or_else(|| StoreError::NoSuchColumn(name.to_string()))
     }
 }
 
@@ -246,6 +344,7 @@ mod tests {
         let date = t.materialize("date").unwrap();
         assert_eq!(date.len(), 1000);
         assert_eq!(date.get_numeric(999), Some(20180110));
+        assert_eq!(t.io_reads(), 0, "resident tables never touch a store");
     }
 
     #[test]
@@ -254,6 +353,16 @@ mod tests {
         assert!(t.compressed_bytes() * 4 < t.uncompressed_bytes());
         let date_bytes = t.column_compressed_bytes("date").unwrap();
         assert!(date_bytes * 20 < 8000, "dates are runs; got {date_bytes}");
+    }
+
+    #[test]
+    fn source_metadata_matches_segments() {
+        let t = small_table();
+        let source = t.source("qty").unwrap();
+        for i in 0..source.num_segments() {
+            let seg = source.segment(i).unwrap();
+            assert_eq!(source.meta(i), &crate::source::SegmentMeta::of(&seg));
+        }
     }
 
     #[test]
@@ -282,6 +391,7 @@ mod tests {
         let t = small_table();
         assert!(t.materialize("nope").is_err());
         assert!(t.column_segments("nope").is_err());
+        assert!(t.source("nope").is_err());
     }
 
     #[test]
@@ -319,5 +429,53 @@ mod tests {
             .unwrap()
             .iter()
             .all(|s| s.expr.starts_with("delta")));
+    }
+
+    #[test]
+    fn from_sources_validates_alignment() {
+        let t = small_table();
+        let schema = t.schema().clone();
+        let date = crate::source::ResidentSource::new(
+            t.column_segments("date")
+                .unwrap()
+                .iter()
+                .map(|s| (**s).clone())
+                .collect(),
+        );
+        // One source for a two-column schema: rejected.
+        assert!(Table::from_sources(
+            schema.clone(),
+            vec![Arc::new(date) as Arc<dyn SegmentSource>],
+            1000,
+            256
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_sources_rejects_misaligned_segmentation() {
+        use crate::source::ResidentSource;
+        // Equal segment counts and equal totals, but different splits:
+        // column A is [10, 20] rows, column B is [20, 10].
+        let schema = TableSchema::new(&[("a", DType::U32), ("b", DType::U32)]);
+        let seg = |n: usize| {
+            Segment::build(
+                &ColumnData::U32((0..n as u32).collect()),
+                &CompressionPolicy::None,
+            )
+            .unwrap()
+        };
+        let a = ResidentSource::new(vec![seg(10), seg(20)]);
+        let b = ResidentSource::new(vec![seg(20), seg(10)]);
+        let err = Table::from_sources(
+            schema,
+            vec![
+                Arc::new(a) as Arc<dyn SegmentSource>,
+                Arc::new(b) as Arc<dyn SegmentSource>,
+            ],
+            30,
+            20,
+        );
+        assert!(err.is_err(), "misaligned splits must be rejected");
     }
 }

@@ -5,9 +5,12 @@
 //! selection whose predicate bound is *discovered during execution*: the
 //! running k-th largest value. The planner's top-k sink visits segments
 //! best-max first and skips — without decompressing a single row — every
-//! segment whose zone-map maximum cannot beat that bound. These free
-//! functions keep the original signatures; new code should use
-//! [`crate::QueryBuilder::top_k`], which also composes with filters.
+//! segment whose zone-map maximum cannot beat that bound; RLE/RPE
+//! segments that do survive are folded *run-structurally* (one value
+//! per run, `min(run length, k)` multiplicity) instead of being
+//! decompressed. These free functions keep the original signatures; new
+//! code should use [`crate::QueryBuilder::top_k`], which also composes
+//! with filters.
 
 use crate::query::QueryBuilder;
 use crate::table::Table;
@@ -119,5 +122,27 @@ mod tests {
     fn missing_column_errors() {
         let t = skewed_table();
         assert!(top_k_pruned(&t, "nope", 3).is_err());
+    }
+
+    #[test]
+    fn rle_top_k_is_run_structural() {
+        // Runs under RLE: the adapter's pruned path decompresses zero
+        // rows (run values folded with min(run length, k) multiplicity)
+        // yet agrees with naive, duplicates included.
+        let col = ColumnData::U64((0..6000u64).map(|i| (i / 30) % 97).collect());
+        let schema = crate::schema::TableSchema::new(&[("v", lcdc_core::DType::U64)]);
+        let t = Table::build(
+            schema,
+            &[col],
+            &[CompressionPolicy::Fixed("rle[values=ns,lengths=ns]".into())],
+            600,
+        )
+        .unwrap();
+        for k in [5usize, 40, 7000] {
+            let naive = top_k_naive(&t, "v", k).unwrap();
+            let (pruned, stats) = top_k_pruned(&t, "v", k).unwrap();
+            assert_eq!(pruned, naive, "k={k}");
+            assert_eq!(stats.rows_materialized, 0, "k={k}");
+        }
     }
 }

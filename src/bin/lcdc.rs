@@ -9,17 +9,29 @@
 //! lcdc decompress <in.lcdc> -o <out.bin>
 //! lcdc info       <in.lcdc>
 //! lcdc choose     <in.bin> --dtype u64
-//! lcdc query      <table-dir> [--filter c=lo..hi]... [--sum c] [--count]
+//! lcdc shard      <table-dir> -o <catalog-dir> --table NAME --shards N
+//! lcdc query      <dir> [--table NAME] [--lazy] [--cache N] [--repeat N]
+//!                 [--filter c=lo..hi | c=value | c=in:v1,v2,..]...
+//!                 [--any c=..,c=..] [--sum c] [--count]
 //!                 [--group-by c | --top-k c:k | --distinct c]
 //!                 [--naive] [--threads N] [--explain]
 //! ```
 //!
 //! Without `--scheme`, `compress` runs the chooser and records its pick.
-//! `query` runs a logical plan (see `lcdc::store::QueryBuilder`) against
-//! a table directory written by `lcdc::store::save_table`.
+//! `query` runs a logical plan against a table directory written by
+//! `lcdc::store::save_table` — or, with `--table NAME`, against the
+//! named (possibly sharded) table under a catalog directory written by
+//! `lcdc shard`, routed through `lcdc::store::Catalog` (result cache,
+//! shard fan-in). `--lazy` opens columns as lazy `FileSource`s so only
+//! the segments the plan touches are read from disk; `--repeat 2`
+//! demonstrates the result cache on the second run.
 
 use lcdc::core::{bytes, chooser, parse_scheme, ColumnData, DType};
-use lcdc::store::{load_table, Agg, Predicate, QueryBuilder, Rows};
+use lcdc::store::{
+    load_table, open_table_lazy, save_table, shard_table, Agg, Catalog, Predicate, QuerySpec, Rows,
+    Table,
+};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -41,7 +53,10 @@ usage:
   lcdc decompress <in.lcdc> -o <out.bin>
   lcdc info       <in.lcdc>
   lcdc choose     <in.bin> --dtype <u32|u64|i32|i64>
-  lcdc query      <table-dir> [--filter col=lo..hi | --filter col=value]...
+  lcdc shard      <table-dir> -o <catalog-dir> --table NAME --shards N
+  lcdc query      <dir> [--table NAME] [--lazy] [--cache N] [--repeat N]
+                  [--filter col=lo..hi | col=value | col=in:v1,v2,..]...
+                  [--any col=spec,col=spec]
                   [--sum col] [--min col] [--max col] [--count]
                   [--group-by col | --top-k col:k | --distinct col]
                   [--naive] [--threads N] [--explain]
@@ -59,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "decompress" => decompress(rest),
         "info" => info(rest),
         "choose" => choose(rest),
+        "shard" => shard(rest),
         "query" => query(rest),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -264,31 +280,162 @@ enum CliAgg {
     Count,
 }
 
+/// One filter spec: `col=lo..hi`, `col=value`, or `col=in:v1,v2,..`.
 fn parse_predicate(spec: &str) -> Result<(String, Predicate), String> {
-    let (column, rest) = spec
-        .split_once('=')
-        .ok_or_else(|| format!("--filter wants col=lo..hi or col=value, got {spec:?}"))?;
-    let predicate = match rest.split_once("..") {
-        Some((lo, hi)) => Predicate::Range {
+    let (column, rest) = spec.split_once('=').ok_or_else(|| {
+        format!("--filter wants col=lo..hi, col=value or col=in:v1,v2, got {spec:?}")
+    })?;
+    let predicate = if let Some(list) = rest.strip_prefix("in:") {
+        let values: Vec<i128> = list
+            .split(',')
+            .map(|v| v.trim().parse().map_err(|_| format!("bad value {v:?}")))
+            .collect::<Result<_, String>>()?;
+        Predicate::in_list(&values)
+    } else if let Some((lo, hi)) = rest.split_once("..") {
+        Predicate::Range {
             lo: lo.trim().parse().map_err(|_| format!("bad bound {lo:?}"))?,
             hi: hi.trim().parse().map_err(|_| format!("bad bound {hi:?}"))?,
-        },
-        None => Predicate::Eq(
+        }
+    } else {
+        Predicate::Eq(
             rest.trim()
                 .parse()
                 .map_err(|_| format!("bad value {rest:?}"))?,
-        ),
+        )
     };
     Ok((column.to_string(), predicate))
 }
 
+/// A disjunction spec for `--any`: comma-separated filter specs (the
+/// `in:` form is rejected up front — its commas would be ambiguous with
+/// the alternative separator).
+fn parse_disjunction(spec: &str) -> Result<Vec<(String, Predicate)>, String> {
+    if spec.contains("=in:") {
+        return Err(format!(
+            "--any cannot contain an in: filter (ambiguous commas) — \
+             use a separate --filter col=in:.. conjunct instead, got {spec:?}"
+        ));
+    }
+    spec.split(',').map(parse_predicate).collect()
+}
+
+/// Split one saved table into a sharded catalog entry:
+/// `<catalog-dir>/<NAME>.shard<i>`, one saved table per shard.
+fn shard(args: &[String]) -> Result<(), String> {
+    let mut input = None;
+    let mut output = None;
+    let mut name = None;
+    let mut shards = 2usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "-o" | "--output" => output = Some(value("-o")?),
+            "--table" => name = Some(value("--table")?),
+            "--shards" => shards = value("--shards")?.parse().map_err(|_| "bad --shards")?,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if input.replace(positional.to_string()).is_some() {
+                    return Err("more than one table directory given".into());
+                }
+            }
+        }
+    }
+    let input = input.ok_or("missing table directory")?;
+    let output = output.ok_or("shard requires -o <catalog-dir>")?;
+    let name = name.ok_or("shard requires --table NAME")?;
+    let table = load_table(Path::new(&input)).map_err(|e| e.to_string())?;
+    let pieces = shard_table(&table, shards).map_err(|e| e.to_string())?;
+    // Remove stale shard dirs from a previous run first: leftovers with
+    // indices >= the new count would pass table_dirs' contiguity check
+    // and silently duplicate rows at query time.
+    let out_root = PathBuf::from(&output);
+    if let Ok(entries) = std::fs::read_dir(&out_root) {
+        let prefix = format!("{name}.shard");
+        for entry in entries.flatten() {
+            let stale = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix(&prefix))
+                .is_some_and(|i| i.parse::<usize>().is_ok());
+            if stale {
+                std::fs::remove_dir_all(entry.path()).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    // Highest index first: a run killed partway leaves a shard set that
+    // does NOT start at index 0, so table_dirs' contiguity check rejects
+    // it instead of silently querying a truncated table.
+    for (i, piece) in pieces.iter().enumerate().rev() {
+        let dir = out_root.join(format!("{name}.shard{i}"));
+        save_table(piece, &dir).map_err(|e| e.to_string())?;
+        eprintln!(
+            "shard {i}: {} rows, {} segments -> {}",
+            piece.num_rows(),
+            piece.num_segments(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// Locate a named table under a catalog root: either a single saved
+/// table at `<root>/<name>` or shard directories `<root>/<name>.shard<i>`.
+/// Shard indices must be contiguous from 0 — a gap means a lost shard,
+/// and silently querying a partial table would be silently wrong.
+fn table_dirs(root: &Path, name: &str) -> Result<Vec<PathBuf>, String> {
+    let single = root.join(name);
+    if single.join("MANIFEST.lcdc").exists() {
+        return Ok(vec![single]);
+    }
+    let prefix = format!("{name}.shard");
+    let mut indices: Vec<usize> = Vec::new();
+    for entry in std::fs::read_dir(root).map_err(|e| format!("{}: {e}", root.display()))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let file_name = entry.file_name();
+        let Some(idx) = file_name
+            .to_str()
+            .and_then(|n| n.strip_prefix(&prefix))
+            .and_then(|i| i.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if entry.path().join("MANIFEST.lcdc").exists() {
+            indices.push(idx);
+        }
+    }
+    if indices.is_empty() {
+        return Err(format!(
+            "no table {name:?} under {} (expected {name}/ or {name}.shard0/)",
+            root.display()
+        ));
+    }
+    indices.sort_unstable();
+    indices.dedup();
+    if indices[0] != 0 || *indices.last().expect("non-empty") != indices.len() - 1 {
+        return Err(format!(
+            "table {name:?} has a shard gap: found indices {indices:?} (expected 0..{})",
+            indices.len()
+        ));
+    }
+    Ok(indices
+        .iter()
+        .map(|i| root.join(format!("{prefix}{i}")))
+        .collect())
+}
+
 fn query(args: &[String]) -> Result<(), String> {
     let mut dir = None;
-    let mut filters: Vec<(String, Predicate)> = Vec::new();
+    let mut table_name: Option<String> = None;
+    let mut lazy = false;
+    let mut cache = lcdc::store::file::DEFAULT_SEGMENT_CACHE;
+    let mut repeat = 1usize;
+    let mut spec = QuerySpec::new();
     let mut aggs: Vec<CliAgg> = Vec::new();
-    let mut group_by = None;
-    let mut top_k: Option<(String, usize)> = None;
-    let mut distinct = None;
     let mut naive = false;
     let mut explain = false;
     let mut threads = 1usize;
@@ -301,23 +448,35 @@ fn query(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
-            "--filter" => filters.push(parse_predicate(&value("--filter")?)?),
+            "--filter" => {
+                let (column, predicate) = parse_predicate(&value("--filter")?)?;
+                spec = spec.filter(&column, predicate);
+            }
+            "--any" => {
+                let leaves = parse_disjunction(&value("--any")?)?;
+                let borrowed: Vec<(&str, Predicate)> = leaves
+                    .iter()
+                    .map(|(c, p)| (c.as_str(), p.clone()))
+                    .collect();
+                spec = spec.filter_any(&borrowed);
+            }
             "--sum" => aggs.push(CliAgg::Sum(value("--sum")?)),
             "--min" => aggs.push(CliAgg::Min(value("--min")?)),
             "--max" => aggs.push(CliAgg::Max(value("--max")?)),
             "--count" => aggs.push(CliAgg::Count),
-            "--group-by" => group_by = Some(value("--group-by")?),
-            "--distinct" => distinct = Some(value("--distinct")?),
+            "--group-by" => spec = spec.group_by(&value("--group-by")?),
+            "--distinct" => spec = spec.distinct(&value("--distinct")?),
             "--top-k" => {
-                let spec = value("--top-k")?;
-                let (column, k) = spec
+                let top = value("--top-k")?;
+                let (column, k) = top
                     .split_once(':')
-                    .ok_or_else(|| format!("--top-k wants col:k, got {spec:?}"))?;
-                top_k = Some((
-                    column.to_string(),
-                    k.parse().map_err(|_| format!("bad k {k:?}"))?,
-                ));
+                    .ok_or_else(|| format!("--top-k wants col:k, got {top:?}"))?;
+                spec = spec.top_k(column, k.parse().map_err(|_| format!("bad k {k:?}"))?);
             }
+            "--table" => table_name = Some(value("--table")?),
+            "--lazy" => lazy = true,
+            "--cache" => cache = value("--cache")?.parse().map_err(|_| "bad --cache")?,
+            "--repeat" => repeat = value("--repeat")?.parse().map_err(|_| "bad --repeat")?,
             "--threads" => {
                 threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
             }
@@ -332,21 +491,8 @@ fn query(args: &[String]) -> Result<(), String> {
         }
     }
     let dir = dir.ok_or("missing table directory")?;
-    let table = load_table(std::path::Path::new(&dir)).map_err(|e| e.to_string())?;
+    let root = Path::new(&dir);
 
-    let mut builder = QueryBuilder::scan(&table);
-    for (column, predicate) in &filters {
-        builder = builder.filter(column, *predicate);
-    }
-    if let Some(column) = &group_by {
-        builder = builder.group_by(column);
-    }
-    if let Some((column, k)) = &top_k {
-        builder = builder.top_k(column, *k);
-    }
-    if let Some(column) = &distinct {
-        builder = builder.distinct(column);
-    }
     let labels: Vec<String> = aggs
         .iter()
         .map(|a| match a {
@@ -366,22 +512,83 @@ fn query(args: &[String]) -> Result<(), String> {
         })
         .collect();
     if !borrowed.is_empty() {
-        builder = builder.aggregate(&borrowed);
+        spec = spec.aggregate(&borrowed);
     }
 
-    if explain {
-        println!("{}", builder.explain().map_err(|e| e.to_string())?);
-        println!();
-    }
-    let result = if naive {
-        builder.execute_naive()
-    } else if threads > 1 {
-        builder.execute_parallel(threads)
-    } else {
-        builder.execute()
-    }
-    .map_err(|e| e.to_string())?;
+    let open = |dir: &Path| -> Result<Table, String> {
+        if lazy {
+            open_table_lazy(dir, cache).map_err(|e| e.to_string())
+        } else {
+            load_table(dir).map_err(|e| e.to_string())
+        }
+    };
 
+    match &table_name {
+        None => {
+            // Direct mode: the positional path *is* the table directory.
+            let table = open(root)?;
+            let builder = spec.bind(&table);
+            if explain {
+                println!("{}", builder.explain().map_err(|e| e.to_string())?);
+                println!();
+            }
+            for _ in 0..repeat.max(1) {
+                let result = if naive {
+                    builder.execute_naive()
+                } else if threads > 1 {
+                    builder.execute_parallel(threads)
+                } else {
+                    builder.execute()
+                }
+                .map_err(|e| e.to_string())?;
+                print_result(&result, &labels);
+                print_stats(&result, table.io_reads());
+            }
+        }
+        Some(name) => {
+            // Catalog mode: the positional path is a catalog root
+            // holding `<name>/` or `<name>.shard<i>/` table dirs.
+            if naive {
+                return Err("--naive applies to direct table queries only".into());
+            }
+            let dirs = table_dirs(root, name)?;
+            let shards: Vec<Table> = dirs
+                .iter()
+                .map(|d| open(d))
+                .collect::<Result<_, String>>()?;
+            if explain {
+                // Shards share a schema, so shard 0's compiled plan
+                // shows the same operators every shard runs.
+                println!(
+                    "{}",
+                    spec.bind(&shards[0]).explain().map_err(|e| e.to_string())?
+                );
+                println!("fingerprint: {:#018x}", spec.fingerprint());
+                println!();
+            }
+            let catalog = Catalog::new();
+            catalog
+                .register_sharded(name, shards)
+                .map_err(|e| e.to_string())?;
+            let (handle, version) = catalog.get(name).expect("just registered");
+            eprintln!(
+                "-- table {name:?} v{version}: {} shards, {} rows",
+                handle.shard_count(),
+                handle.num_rows()
+            );
+            for _ in 0..repeat.max(1) {
+                let result = catalog
+                    .execute_parallel(name, &spec, threads)
+                    .map_err(|e| e.to_string())?;
+                print_result(&result, &labels);
+                print_stats(&result, handle.io_reads());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_result(result: &lcdc::store::QueryResult, labels: &[String]) {
     let show = |v: &Option<i128>| v.map_or("null".to_string(), |x| x.to_string());
     match &result.rows {
         Rows::Aggregates(values) => {
@@ -402,12 +609,24 @@ fn query(args: &[String]) -> Result<(), String> {
             }
         }
     }
+}
+
+fn print_stats(result: &lcdc::store::QueryResult, io_reads: usize) {
     let s = &result.stats;
+    if s.result_cache_hits > 0 {
+        eprintln!("-- served from result cache");
+        return;
+    }
     eprintln!(
-        "-- {} segments ({} pruned, {} structural), {} rows materialized, tiers {:?}",
-        s.segments, s.segments_pruned, s.segments_structural, s.rows_materialized, s.pushdown
+        "-- {} segments ({} pruned, {} structural), {} loaded ({io_reads} from disk so far), \
+         {} rows materialized, tiers {:?}",
+        s.segments,
+        s.segments_pruned,
+        s.segments_structural,
+        s.segments_loaded,
+        s.rows_materialized,
+        s.pushdown
     );
-    Ok(())
 }
 
 fn choose(args: &[String]) -> Result<(), String> {
@@ -518,8 +737,19 @@ mod tests {
             parse_predicate("qty=-3").unwrap(),
             ("qty".to_string(), Predicate::Eq(-3))
         );
+        assert_eq!(
+            parse_predicate("day=in:1, 5,9").unwrap(),
+            ("day".to_string(), Predicate::in_list(&[1, 5, 9]))
+        );
         assert!(parse_predicate("no-equals").is_err());
         assert!(parse_predicate("day=x..9").is_err());
+        assert!(parse_predicate("day=in:1,x").is_err());
+        let any = parse_disjunction("day=1..5,qty=7").unwrap();
+        assert_eq!(any.len(), 2);
+        assert_eq!(any[1], ("qty".to_string(), Predicate::Eq(7)));
+        // in: inside --any is ambiguous and rejected with a clear error.
+        let err = parse_disjunction("day=in:1,5,qty=7").unwrap_err();
+        assert!(err.contains("--any cannot contain an in:"), "{err}");
     }
 
     #[test]
@@ -560,10 +790,92 @@ mod tests {
         // Top-k and distinct sinks.
         query(&[d.clone(), s("--top-k"), s("qty:5")]).unwrap();
         query(&[d.clone(), s("--distinct"), s("day")]).unwrap();
+        // IN and OR filters, lazily opened.
+        query(&[
+            d.clone(),
+            s("--lazy"),
+            s("--filter"),
+            s("day=in:3,5,9"),
+            s("--any"),
+            s("day=1..2,qty=7"),
+            s("--count"),
+        ])
+        .unwrap();
         // Errors surface instead of panicking.
         assert!(query(&[d.clone(), s("--sum"), s("nope")]).is_err());
         assert!(query(std::slice::from_ref(&d)).is_err()); // no sink
         assert!(query(&[s("--sum"), s("qty")]).is_err()); // no table dir
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_and_catalog_query_end_to_end() {
+        use lcdc::store::{CompressionPolicy, Table, TableSchema};
+
+        let root = std::env::temp_dir().join(format!("lcdc_cli_catalog_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let plain_dir = root.join("orders_plain");
+        let schema = TableSchema::new(&[("day", DType::U64), ("qty", DType::U64)]);
+        let day = ColumnData::U64((0..4000u64).map(|i| 1 + i / 100).collect());
+        let qty = ColumnData::U64((0..4000u64).map(|i| 1 + i % 7).collect());
+        let table = Table::build(
+            schema,
+            &[day, qty],
+            &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+            256,
+        )
+        .unwrap();
+        save_table(&table, &plain_dir).unwrap();
+
+        let s = |t: &str| t.to_string();
+        let r = root.to_str().unwrap().to_string();
+        // Split into 3 shard dirs under the catalog root.
+        run(&[
+            s("shard"),
+            plain_dir.to_str().unwrap().to_string(),
+            s("-o"),
+            r.clone(),
+            s("--table"),
+            s("orders"),
+            s("--shards"),
+            s("3"),
+        ])
+        .unwrap();
+        assert!(root.join("orders.shard0/MANIFEST.lcdc").exists());
+        assert!(root.join("orders.shard2/MANIFEST.lcdc").exists());
+        // Query the sharded table through the catalog, lazily, twice
+        // (the second run hits the result cache).
+        query(&[
+            r.clone(),
+            s("--table"),
+            s("orders"),
+            s("--lazy"),
+            s("--repeat"),
+            s("2"),
+            s("--threads"),
+            s("3"),
+            s("--filter"),
+            s("day=5..9"),
+            s("--sum"),
+            s("qty"),
+            s("--count"),
+            s("--explain"),
+        ])
+        .unwrap();
+        // A missing middle shard is a hard error, never a silently
+        // partial answer.
+        std::fs::remove_dir_all(root.join("orders.shard1")).unwrap();
+        assert!(query(&[r.clone(), s("--table"), s("orders"), s("--count")]).is_err());
+        // Unknown table errors; --naive is direct-mode only.
+        assert!(query(&[r.clone(), s("--table"), s("nope"), s("--count")]).is_err());
+        assert!(query(&[
+            r.clone(),
+            s("--table"),
+            s("orders"),
+            s("--naive"),
+            s("--count")
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -47,7 +47,7 @@ fn executors_agree_across_policies() {
                 Predicate::Eq(19_920_120),
                 Predicate::Eq(25),
             ] {
-                let q = Query::new(filter, pred, agg);
+                let q = Query::new(filter, pred.clone(), agg);
                 let naive = q.run_naive(&table).expect("naive runs");
                 let push = q.run_pushdown(&table).expect("pushdown runs");
                 assert_eq!(naive.agg, push.agg, "{policy:?} {filter}/{agg} {pred:?}");
