@@ -1,15 +1,17 @@
 //! E7 — selection pushdown: naive decompress-then-filter vs zone-map /
 //! run-granularity pushdown, across selectivities on the lineitem-like
 //! table — plus the storage surfaces the same plan runs on since the
-//! catalog redesign: sharded fan-in, lazy file-backed scans, and the
-//! plan-fingerprint result cache.
+//! catalog redesign (sharded fan-in, lazy file-backed scans, the
+//! plan-fingerprint result cache), the morsel-driven executor against
+//! its static-partition baseline on a skew-tiered table, and
+//! I/O-overlapped prefetch on a lazy table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcdc_bench::lineitem;
 use lcdc_core::{ColumnData, DType};
 use lcdc_store::{
-    open_table_lazy, save_table, shard_table, Agg, Catalog, CompressionPolicy, Predicate, Query,
-    QuerySpec, Table, TableSchema,
+    open_table_lazy, save_table, shard_table, Agg, Catalog, CompressionPolicy, ExecOptions,
+    Predicate, Query, QuerySpec, Table, TableSchema,
 };
 use std::hint::black_box;
 
@@ -121,5 +123,168 @@ fn bench_storage_surfaces(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_query, bench_storage_surfaces);
+/// Morsel-driven executor vs the static contiguous partitioner on a
+/// table whose pushdown tiers are *skewed*: the first 12 of 16 segments
+/// zone-prune for free, the last 4 are noise that must decompress at
+/// the row tier. A static 4-way split hands all 4 expensive segments to
+/// one worker (they are contiguous) — the whole query waits on it —
+/// while the shared morsel queue spreads them across whoever is idle.
+/// The morsel executor also refuses to oversubscribe the hardware
+/// (workers are capped at `available_parallelism`), so on small
+/// machines the static baseline additionally pays for threads that can
+/// never run concurrently.
+fn bench_morsel_skew(c: &mut Criterion) {
+    const SEG_ROWS: usize = 16_384;
+    const SEGMENTS: usize = 16;
+    const CHEAP: usize = 12;
+    let n = SEG_ROWS * SEGMENTS;
+    let key: Vec<u64> = (0..n)
+        .map(|i| {
+            if i / SEG_ROWS < CHEAP {
+                5 // constant: the filter's zone check settles the segment
+            } else {
+                1000 + ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 43) % 1000
+            }
+        })
+        .collect();
+    let val: Vec<u64> = (0..n)
+        .map(|i| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95) >> 40)
+        .collect();
+    let schema = TableSchema::new(&[("key", DType::U64), ("val", DType::U64)]);
+    let table = Table::build(
+        schema,
+        &[ColumnData::U64(key), ColumnData::U64(val)],
+        &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+        SEG_ROWS,
+    )
+    .unwrap();
+    // Half the noise range: undecidable from the zone map, so the last
+    // four segments pay row-tier filtering plus the aggregate.
+    let builder = QuerySpec::new()
+        .filter("key", Predicate::Range { lo: 1000, hi: 1499 })
+        .aggregate(&[Agg::Sum("val"), Agg::Count])
+        .bind(&table);
+
+    // All schedules must agree before anything is timed.
+    let want = builder.execute().unwrap();
+    for threads in [2usize, 4, 8] {
+        assert_eq!(builder.execute_parallel(threads).unwrap().rows, want.rows);
+        assert_eq!(
+            builder.execute_parallel_static(threads).unwrap().rows,
+            want.rows
+        );
+    }
+
+    let mut group = c.benchmark_group("e7/morsel_skew");
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(&builder).execute().unwrap())
+    });
+    for threads in [4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("static", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(&builder)
+                        .execute_parallel_static(threads)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("morsel", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(&builder).execute_parallel(threads).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// I/O-overlapped prefetch on a lazily-backed table: every segment of
+/// both columns is undecidable from the zone map, so a full pass
+/// fetches every frame; the per-column LRU (capacity 16 of 32 frames)
+/// guarantees each pass re-reads everything. With prefetch, a
+/// background fetcher decodes frame N+1..N+4 while the scan filters
+/// frame N — same reads, overlapped instead of serial.
+fn bench_prefetch(c: &mut Criterion) {
+    const SEG_ROWS: usize = 8_192;
+    const SEGMENTS: usize = 32;
+    let n = SEG_ROWS * SEGMENTS;
+    let key: Vec<u64> = (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 43) % 1000)
+        .collect();
+    let val: Vec<u64> = (0..n)
+        .map(|i| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95) >> 40)
+        .collect();
+    let schema = TableSchema::new(&[("key", DType::U64), ("val", DType::U64)]);
+    let table = Table::build(
+        schema,
+        &[ColumnData::U64(key), ColumnData::U64(val)],
+        &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+        SEG_ROWS,
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("lcdc_e7_prefetch_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_table(&table, &dir).unwrap();
+
+    let spec = QuerySpec::new()
+        .filter("key", Predicate::Range { lo: 0, hi: 499 })
+        .aggregate(&[Agg::Sum("val"), Agg::Count]);
+    let want = spec.bind(&table).execute().unwrap();
+
+    // One fresh lazy instance per mode: identical frame reads, with the
+    // overlap visible only in wall clock and the prefetch counters. The
+    // per-column cache (16 of 32 frames) is deliberately smaller than a
+    // full pass, so every pass re-reads every frame, while leaving the
+    // prefetch window (4 morsels ahead) comfortable eviction headroom.
+    let plain = open_table_lazy(&dir, 16).unwrap();
+    let warmed = open_table_lazy(&dir, 16).unwrap();
+    let no_prefetch = spec.bind(&plain).execute().unwrap();
+    let frames_read = plain.io_reads();
+    let with_prefetch = spec
+        .bind(&warmed)
+        .execute_opts(&ExecOptions::threads(1).with_prefetch(4))
+        .unwrap();
+    assert_eq!(no_prefetch.rows, want.rows);
+    assert_eq!(with_prefetch.rows, want.rows);
+    assert!(
+        with_prefetch.stats.prefetch_hits > 0,
+        "prefetch must overlap: {:?}",
+        with_prefetch.stats
+    );
+    assert_eq!(
+        warmed.io_reads(),
+        frames_read,
+        "prefetch must not change what is read, only when: {:?}",
+        with_prefetch.stats
+    );
+    println!(
+        "  [prefetch overlap: {} frames read either way, {} served from warmed cache, \
+         {} wasted]",
+        frames_read, with_prefetch.stats.prefetch_hits, with_prefetch.stats.prefetch_wasted
+    );
+
+    let mut group = c.benchmark_group("e7/prefetch");
+    group.bench_function("lazy_no_prefetch", |b| {
+        b.iter(|| spec.bind(black_box(&plain)).execute().unwrap())
+    });
+    group.bench_function("lazy_prefetch4", |b| {
+        b.iter(|| {
+            spec.bind(black_box(&warmed))
+                .execute_opts(&ExecOptions::threads(1).with_prefetch(4))
+                .unwrap()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_query,
+    bench_storage_surfaces,
+    bench_morsel_skew,
+    bench_prefetch
+);
 criterion_main!(benches);

@@ -8,11 +8,14 @@
 //!   register, replace, [`Catalog::add_shard`], drop — stamps the entry
 //!   with a fresh value of one catalog-wide monotonic version counter.
 //! * **Scan fan-in** — a [`crate::QuerySpec`] executed against a
-//!   sharded table runs the same compiled plan over every shard (shards
-//!   in parallel, each shard's segments optionally parallel too) and
-//!   merges the per-shard sink states and [`QueryStats`] associatively
-//!   — the same merge the intra-table parallel executor uses, one
-//!   level up.
+//!   sharded table first *prunes whole shards* whose per-column key
+//!   ranges the spec's bounds exclude (no source touched, visible as
+//!   [`QueryStats::shards_pruned`]), then runs the same compiled plan
+//!   over every surviving shard through **one shared morsel pool** —
+//!   all shards' segments in a single work queue, all workers pulling
+//!   from it — and merges the per-shard sink states and [`QueryStats`]
+//!   associatively: the same merge the intra-table parallel executor
+//!   uses, one level up.
 //! * **Result caching** — results are cached under
 //!   `(table name, plan fingerprint)` and validated against the entry's
 //!   version: a version bump silently invalidates every cached result
@@ -23,7 +26,7 @@
 //! Tables may mix backends freely: resident shards, lazily-backed
 //! shards ([`crate::file::open_table_lazy`]), or both.
 
-use crate::query::{QueryResult, QuerySpec, QueryStats, SinkState};
+use crate::query::{run_plans, ExecOptions, QueryResult, QuerySpec, QueryStats, SinkState};
 use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::{Result, StoreError};
@@ -91,45 +94,56 @@ impl ShardedTable {
         self.shards.iter().map(|s| s.io_reads()).sum()
     }
 
-    /// Run `spec` over every shard and merge — shards in parallel when
-    /// `threads > 1`. Each worker takes whole shards; once `threads`
-    /// reaches a whole multiple of the shard count the surplus
-    /// parallelises *within* shards (`threads / shards` workers each —
-    /// never oversubscribed). `QueryStats` are the sum over shards,
-    /// exactly as parallel partials merge within one table.
+    /// Run `spec` over the shards with one shared worker pool: every
+    /// live shard's segments become morsels in a single queue that all
+    /// `threads` workers pull from, so a slow shard borrows the idle
+    /// shards' workers instead of tail-blocking its own. Before any
+    /// source is touched, **shard pruning** intersects the spec's
+    /// bounds with each shard's per-column key range (resident segment
+    /// metadata): a shard the bounds exclude contributes its segment
+    /// count to `segments` / `segments_pruned` (and bumps
+    /// [`QueryStats::shards_pruned`]) but is never visited or read —
+    /// nor compiled, except shard 0 when *every* shard is pruned, which
+    /// compiles once purely to shape the empty result.
+    /// `QueryStats` are otherwise the sum over shards, exactly
+    /// as parallel partials merge within one table.
     pub fn execute_parallel(&self, spec: &QuerySpec, threads: usize) -> Result<QueryResult> {
-        let threads = threads.max(1);
-        let workers = threads.clamp(1, self.shards.len());
-        let inner_threads = (threads / workers).max(1);
+        self.execute_opts(spec, &ExecOptions::threads(threads))
+    }
 
-        let (state, stats) = if workers == 1 {
-            // Sequential fan-in runs inline — no thread spawn on the
-            // hot single-threaded query path.
-            run_shards(&self.shards, spec, inner_threads)?
-                .ok_or_else(|| StoreError::Shape("a sharded table needs a shard".into()))?
-        } else {
-            let chunk = self.shards.len().div_ceil(workers);
-            let partials: Vec<Result<Option<(SinkState, QueryStats)>>> =
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(workers);
-                    for piece in self.shards.chunks(chunk) {
-                        handles.push(scope.spawn(move || run_shards(piece, spec, inner_threads)));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard worker panicked"))
-                        .collect()
-                });
-            let mut merged: Option<(SinkState, QueryStats)> = None;
-            for partial in partials {
-                merged = merge_partial(merged, partial?);
+    /// [`Self::execute_parallel`] with explicit [`ExecOptions`]
+    /// (worker count plus prefetch depth for lazily-backed shards).
+    pub fn execute_opts(&self, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult> {
+        let mut pruned = QueryStats::default();
+        let mut live: Vec<&Arc<Table>> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            if shard_excluded(shard, spec) {
+                pruned.shards_pruned += 1;
+                pruned.segments += shard.num_segments();
+                pruned.segments_pruned += shard.num_segments();
+            } else {
+                live.push(shard);
             }
-            merged.expect("at least one shard")
+        }
+        // Shards share a schema, so any shard's compiled plan shapes
+        // the result: the first live plan does double duty, and only an
+        // all-pruned fan-in compiles (against shard 0, purely for the
+        // sink shape) without executing.
+        let (shape, state, mut stats) = if live.is_empty() {
+            let shape = spec.compile_mode(&self.shards[0], false)?;
+            let state = SinkState::for_sink(&shape.sink);
+            (shape, state, QueryStats::default())
+        } else {
+            let plans = live
+                .iter()
+                .map(|shard| spec.compile_mode(shard, false))
+                .collect::<Result<Vec<_>>>()?;
+            let (state, stats) = run_plans(&plans, opts)?;
+            let shape = plans.into_iter().next().expect("live is non-empty");
+            (shape, state, stats)
         };
-        // All shards share a schema, so any shard's compiled plan
-        // shapes the result identically.
-        let plan = spec.compile_mode(&self.shards[0], false)?;
-        QueryResult::from_state(&plan, state, stats)
+        stats.absorb(&pruned);
+        QueryResult::from_state(&shape, state, stats)
     }
 
     /// Sequential [`Self::execute_parallel`].
@@ -138,40 +152,24 @@ impl ShardedTable {
     }
 }
 
-/// Run `spec` over a slice of shards, merging sink states and stats.
-/// `None` only for an empty slice.
-fn run_shards(
-    shards: &[Arc<Table>],
-    spec: &QuerySpec,
-    inner_threads: usize,
-) -> Result<Option<(SinkState, QueryStats)>> {
-    let mut merged: Option<(SinkState, QueryStats)> = None;
-    for shard in shards {
-        let plan = spec.compile_mode(shard, false)?;
-        let partial = if inner_threads > 1 {
-            plan.run_parallel(inner_threads)?
-        } else {
-            plan.run()?
-        };
-        merged = merge_partial(merged, Some(partial));
-    }
-    Ok(merged)
-}
-
-/// Associatively fold one partial `(sink state, stats)` into another.
-fn merge_partial(
-    acc: Option<(SinkState, QueryStats)>,
-    partial: Option<(SinkState, QueryStats)>,
-) -> Option<(SinkState, QueryStats)> {
-    match (acc, partial) {
-        (acc, None) => acc,
-        (None, partial) => partial,
-        (Some((mut state, mut stats)), Some((s, st))) => {
-            state.merge(s);
-            stats.absorb(&st);
-            Some((state, stats))
-        }
-    }
+/// Whether `spec`'s bounds prove `shard` holds no matching row, from
+/// the shard's per-column `[min, max]` alone — a table-level zone map.
+/// A CNF excludes the shard when any clause does; a (possibly
+/// disjunctive) clause excludes it only when *every* leaf is disjoint
+/// from its column's shard range. Unknown columns never prune here —
+/// compilation reports them properly.
+fn shard_excluded(shard: &Table, spec: &QuerySpec) -> bool {
+    spec.clauses.iter().any(|clause| {
+        !clause.is_empty()
+            && clause.iter().all(|(column, predicate)| {
+                shard
+                    .schema()
+                    .index_of(column)
+                    .and_then(|idx| shard.column_range(idx))
+                    .map(|(lo, hi)| predicate.zone_decides(lo, hi) == Some(false))
+                    .unwrap_or(false)
+            })
+    })
 }
 
 /// Split a table into `shards` row-disjoint tables along contiguous
@@ -262,18 +260,14 @@ impl CatalogTable {
         }
     }
 
-    fn execute_parallel(&self, spec: &QuerySpec, threads: usize) -> Result<QueryResult> {
+    fn execute_opts(&self, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult> {
         match self {
             CatalogTable::Single(t) => {
                 let plan = spec.compile_mode(t, false)?;
-                let (state, stats) = if threads > 1 {
-                    plan.run_parallel(threads)?
-                } else {
-                    plan.run()?
-                };
+                let (state, stats) = run_plans(std::slice::from_ref(&plan), opts)?;
                 QueryResult::from_state(&plan, state, stats)
             }
-            CatalogTable::Sharded(s) => s.execute_parallel(spec, threads),
+            CatalogTable::Sharded(s) => s.execute_opts(spec, opts),
         }
     }
 }
@@ -480,13 +474,24 @@ impl Catalog {
         self.execute_parallel(name, spec, 1)
     }
 
-    /// [`Self::execute`] with `threads` workers (shards fan out first;
-    /// leftover parallelism goes intra-shard).
+    /// [`Self::execute`] with `threads` workers pulling from one shared
+    /// morsel queue across all shards.
     pub fn execute_parallel(
         &self,
         name: &str,
         spec: &QuerySpec,
         threads: usize,
+    ) -> Result<QueryResult> {
+        self.execute_opts(name, spec, &ExecOptions::threads(threads))
+    }
+
+    /// [`Self::execute`] under explicit [`ExecOptions`] — worker count
+    /// plus prefetch depth for lazily-backed shards.
+    pub fn execute_opts(
+        &self,
+        name: &str,
+        spec: &QuerySpec,
+        opts: &ExecOptions,
     ) -> Result<QueryResult> {
         let (table, version) = self
             .get(name)
@@ -509,7 +514,7 @@ impl Catalog {
                 },
             });
         }
-        let result = table.execute_parallel(spec, threads)?;
+        let result = table.execute_opts(spec, opts)?;
         if self.cache_capacity > 0 {
             // Clones happen outside the lock too.
             let entry = Arc::new(CachedResult {
@@ -699,8 +704,11 @@ mod tests {
 
     #[test]
     fn sharded_matches_builder_stats_shape() {
-        // Sharding must not change *what* is measured: the summed
-        // QueryStats over disjoint shards equals the single-table run.
+        // Sharding must not change *what* is measured: segment and row
+        // accounting summed over disjoint shards equals the
+        // single-table run. (Pushdown tier counters may be *lower*:
+        // shard pruning answers whole shards from table-level ranges
+        // without consulting each segment's zone map.)
         let table = orders(4000, 1);
         let sharded = ShardedTable::new(shard_table(&table, 4).unwrap()).unwrap();
         let single = QueryBuilder::scan(&table)
@@ -709,6 +717,61 @@ mod tests {
             .execute()
             .unwrap();
         let fanned = sharded.execute(&spec()).unwrap();
-        assert_eq!(fanned.stats, single.stats);
+        assert_eq!(fanned.rows, single.rows);
+        assert_eq!(fanned.stats.segments, single.stats.segments);
+        assert_eq!(fanned.stats.segments_pruned, single.stats.segments_pruned);
+        assert_eq!(fanned.stats.segments_loaded, single.stats.segments_loaded);
+        assert_eq!(
+            fanned.stats.rows_materialized,
+            single.stats.rows_materialized
+        );
+        assert_eq!(fanned.stats.values_processed, single.stats.values_processed);
+        assert!(
+            fanned.stats.pushdown.zonemap_hits <= single.stats.pushdown.zonemap_hits,
+            "shard pruning replaces per-segment zone checks, never adds them"
+        );
+    }
+
+    #[test]
+    fn out_of_range_shards_are_pruned_before_any_source_access() {
+        // Days 1..=20 in shard 0, 1001..=1020 in shard 1.
+        let near = orders(2000, 1);
+        let far = orders(2000, 1001);
+        let sharded = ShardedTable::new(vec![near, far]).unwrap();
+        let per_shard_segments = sharded.shards()[0].num_segments();
+
+        // Bounds inside shard 0's range exclude shard 1 wholesale.
+        let got = sharded.execute(&spec()).unwrap();
+        assert_eq!(got.stats.shards_pruned, 1, "{:?}", got.stats);
+        // The pruned shard's segments count as visited-and-pruned, so
+        // fan-in accounting still covers the whole table...
+        assert_eq!(
+            got.stats.segments,
+            sharded.shards().iter().map(|s| s.num_segments()).sum()
+        );
+        assert!(got.stats.segments_pruned >= per_shard_segments);
+        // ...and the answer only reflects shard 0.
+        let want = spec().bind(&sharded.shards()[0]).execute().unwrap();
+        assert_eq!(got.rows, want.rows);
+
+        // A disjunctive clause prunes only when *every* leaf misses.
+        let half_in = QuerySpec::new()
+            .filter_any(&[
+                ("day", Predicate::Range { lo: 5, hi: 14 }),
+                ("day", Predicate::Range { lo: 1005, hi: 1014 }),
+            ])
+            .aggregate(&[Agg::Count]);
+        let both = sharded.execute(&half_in).unwrap();
+        assert_eq!(both.stats.shards_pruned, 0, "{:?}", both.stats);
+
+        // Bounds that miss every shard prune everything; the answer is
+        // a well-formed zero row.
+        let nowhere = QuerySpec::new()
+            .filter("day", Predicate::Range { lo: 5000, hi: 6000 })
+            .aggregate(&[Agg::Sum("qty"), Agg::Count]);
+        let empty = sharded.execute(&nowhere).unwrap();
+        assert_eq!(empty.stats.shards_pruned, 2);
+        assert_eq!(empty.stats.segments_loaded, 0);
+        assert_eq!(empty.aggregates().unwrap(), &[Some(0), Some(0)]);
     }
 }

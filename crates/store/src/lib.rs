@@ -96,7 +96,9 @@ pub use file::{load_table, open_table_lazy, read_segment, save_table};
 pub use join::{join_count_compressed, join_count_naive};
 pub use par::{par_materialize, run_pushdown_parallel};
 pub use predicate::{InList, Predicate, PushdownStats};
-pub use query::{Agg, PhysicalPlan, QueryBuilder, QueryResult, QuerySpec, QueryStats, Rows};
+pub use query::{
+    Agg, ExecOptions, PhysicalPlan, QueryBuilder, QueryResult, QuerySpec, QueryStats, Rows,
+};
 pub use schema::{ColumnSchema, TableSchema};
 pub use segment::{CompressionPolicy, Segment};
 pub use selvec::{gather_early, gather_late, select, select_and, GatherStats, SelVec};

@@ -2,14 +2,28 @@
 //!
 //! Segments are independent — per-segment scheme choice made them the
 //! unit of compression, and the same boundary makes them the unit of
-//! parallelism: each worker runs the identical per-segment physical-plan
-//! pipeline over a contiguous slice of the plan's segment visit order,
-//! and the partial sink states merge associatively. Because the planner
-//! executes *every* operator per segment, this parallelises filtered
-//! aggregates, group-bys, top-k, and distinct alike — see
-//! [`crate::QueryBuilder::execute_parallel`]. Built on
-//! `std::thread::scope`; no work stealing (segments are equal-height, so
-//! static partitioning balances except at the tail).
+//! parallelism: the *morsel* a worker pulls from the shared queue is
+//! one segment of the plan's visit order. Because the planner executes
+//! *every* operator per segment, this parallelises filtered aggregates,
+//! group-bys, top-k, and distinct alike — see
+//! [`crate::QueryBuilder::execute_parallel`] and
+//! [`crate::query::ExecOptions`] for prefetch-overlapped execution.
+//!
+//! Workers are *not* statically partitioned anymore: equal-height
+//! segments do **not** cost equally — one zone-prunes for free while
+//! its neighbour decompresses a cache-cold row tier — so the old
+//! contiguous split could leave one worker holding every expensive
+//! segment. The shared queue makes work-stealing implicit: whoever
+//! finishes early pulls the next morsel, wherever it lives (including
+//! other shards of a [`crate::ShardedTable`], which share one pool).
+//! The static partitioner survives only as a benchmark baseline
+//! ([`crate::QueryBuilder::execute_parallel_static`]).
+//!
+//! [`par_materialize`] keeps static contiguous ranges deliberately:
+//! full decompression touches every row of every segment, so costs
+//! *are* uniform — and contiguity lets each worker write into a
+//! disjoint slice of the single output allocation, sized up front from
+//! resident segment metadata.
 
 use crate::exec::{Query, QueryOutput};
 use crate::table::Table;
@@ -22,44 +36,70 @@ pub fn run_pushdown_parallel(query: &Query, table: &Table, threads: usize) -> Re
     query.run_parallel(table, threads)
 }
 
-/// Decompress a column with `threads` workers, one contiguous segment
-/// range each, and concatenate.
+/// Decompress a column with `threads` workers into one pre-sized
+/// allocation: per-segment row counts come from resident metadata, so
+/// each worker writes its contiguous segment range into a disjoint
+/// output slice — no per-worker buffers, no final concatenation copy.
 pub fn par_materialize(table: &Table, column: &str, threads: usize) -> Result<ColumnData> {
-    let segments = table.column_segments(column)?;
+    let source = table.source(column)?;
     let dtype = table.schema().dtype_of(column)?;
-    if segments.is_empty() {
+    let num_segments = source.num_segments();
+    if num_segments == 0 {
         return Ok(ColumnData::empty(dtype));
     }
-    let threads = threads.clamp(1, segments.len());
-    let chunk = segments.len().div_ceil(threads);
+    // Row offsets per segment, from metadata alone (no payload access).
+    let mut offsets = Vec::with_capacity(num_segments + 1);
+    offsets.push(0usize);
+    for seg_idx in 0..num_segments {
+        offsets.push(offsets[seg_idx] + source.meta(seg_idx).rows);
+    }
+    let total = *offsets.last().expect("non-empty");
+    if total != table.num_rows() {
+        return Err(StoreError::Shape(format!(
+            "column {column} metadata holds {total} rows, table says {}",
+            table.num_rows()
+        )));
+    }
 
-    let pieces: Vec<Result<Vec<u64>>> = std::thread::scope(|scope| {
+    let threads = threads.clamp(1, num_segments);
+    let chunk = num_segments.div_ceil(threads);
+    let mut transport: Vec<u64> = vec![0; total];
+
+    let results: Vec<Result<()>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for seg_chunk in segments.chunks(chunk) {
+        let mut rest: &mut [u64] = &mut transport;
+        let mut start = 0usize;
+        while start < num_segments {
+            let end = (start + chunk).min(num_segments);
+            let (mine, tail) = rest.split_at_mut(offsets[end] - offsets[start]);
+            rest = tail;
+            let offsets = &offsets;
             handles.push(scope.spawn(move || {
-                let mut out: Vec<u64> = Vec::new();
-                for seg in seg_chunk {
-                    out.extend(seg.decompress()?.to_transport());
+                let mut written = 0usize;
+                for seg_idx in start..end {
+                    let rows = offsets[seg_idx + 1] - offsets[seg_idx];
+                    let plain = source.segment(seg_idx)?.decompress()?.to_transport();
+                    if plain.len() != rows {
+                        return Err(StoreError::Shape(format!(
+                            "column {column} segment {seg_idx} decompressed to {} rows, \
+                             metadata says {rows}",
+                            plain.len()
+                        )));
+                    }
+                    mine[written..written + rows].copy_from_slice(&plain);
+                    written += rows;
                 }
-                Ok(out)
+                Ok(())
             }));
+            start = end;
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("decompress worker panicked"))
             .collect()
     });
-
-    let mut transport = Vec::with_capacity(table.num_rows());
-    for piece in pieces {
-        transport.extend(piece?);
-    }
-    if transport.len() != table.num_rows() {
-        return Err(StoreError::Shape(format!(
-            "parallel materialise produced {} rows, expected {}",
-            transport.len(),
-            table.num_rows()
-        )));
+    for result in results {
+        result?;
     }
     Ok(ColumnData::from_transport(dtype, transport))
 }

@@ -10,7 +10,7 @@
 //! * [`QueryBuilder`] — the familiar fluent builder: a `QuerySpec`
 //!   under construction plus the table it will run against.
 
-use super::physical::{resolve, AggSpec, PhysicalPlan, Sink};
+use super::physical::{clause_zone, resolve, AggSpec, ClauseZone, Leaf, PhysicalPlan, Sink};
 use super::result::QueryResult;
 use crate::agg::AggKind;
 use crate::fnv::Fnv;
@@ -71,6 +71,10 @@ pub struct QuerySpec {
     aggs: Vec<OwnedAgg>,
     pub(crate) top: Option<(String, usize)>,
     pub(crate) distinct_col: Option<String>,
+    /// Evaluate filter clauses exactly in the order given instead of
+    /// letting the planner reorder them by estimated selectivity (see
+    /// [`QuerySpec::keep_filter_order`]).
+    pub(crate) ordered_filters: bool,
 }
 
 impl QuerySpec {
@@ -80,8 +84,10 @@ impl QuerySpec {
     }
 
     /// Add one conjunct: rows must satisfy `predicate` on `column`.
-    /// Clauses are evaluated in the given order with per-segment
-    /// short-circuiting — put the most selective clause first.
+    /// The planner reorders clauses by estimated selectivity at compile
+    /// time (cheapest, most-pruning first) unless
+    /// [`keep_filter_order`](Self::keep_filter_order) pins the order
+    /// given here.
     pub fn filter(mut self, column: &str, predicate: Predicate) -> Self {
         self.clauses.push(vec![(column.to_string(), predicate)]);
         self
@@ -133,6 +139,16 @@ impl QuerySpec {
     /// Collect the distinct selected values of `column` (ascending).
     pub fn distinct(mut self, column: &str) -> Self {
         self.distinct_col = Some(column.to_string());
+        self
+    }
+
+    /// Force filter clauses to evaluate in exactly the order they were
+    /// added, disabling the planner's cost-based reordering — the
+    /// pre-reordering behaviour, kept for comparisons and for callers
+    /// who know their data better than the zone maps do. Answers are
+    /// identical either way; only evaluation cost differs.
+    pub fn keep_filter_order(mut self) -> Self {
+        self.ordered_filters = true;
         self
     }
 
@@ -201,11 +217,19 @@ impl QuerySpec {
         }
         h.tag(b'D');
         h.opt_str(self.distinct_col.as_deref());
+        // Plan-shaping options ride along so the result cache never
+        // thrashes between two specs that differ only here.
+        h.tag(b'O');
+        h.tag(u8::from(self.ordered_filters));
         h.finish()
     }
 
     /// Resolve names and operators against `table` into a
-    /// [`PhysicalPlan`].
+    /// [`PhysicalPlan`]. Unless [`Self::keep_filter_order`] pinned the
+    /// caller's order (or the plan is the naive baseline), the filter
+    /// CNF is reordered here — a pure plan-time decision from resident
+    /// [`crate::source::SegmentMeta`] alone, visible in
+    /// [`PhysicalPlan::display`].
     pub(crate) fn compile_mode<'t>(
         &self,
         table: &'t Table,
@@ -224,12 +248,25 @@ impl QuerySpec {
             }
             clauses.push(leaves);
         }
+        let mut reordered = false;
+        if !naive && !self.ordered_filters && clauses.len() > 1 {
+            let order = cost_based_clause_order(table, &clauses);
+            if order.iter().enumerate().any(|(i, &o)| i != o) {
+                let mut by_cost = Vec::with_capacity(clauses.len());
+                for &idx in &order {
+                    by_cost.push(std::mem::take(&mut clauses[idx]));
+                }
+                clauses = by_cost;
+                reordered = true;
+            }
+        }
         let sink = self.compile_sink(table)?;
         Ok(PhysicalPlan {
             table,
             filters: clauses,
             sink,
             naive,
+            reordered,
         })
     }
 
@@ -298,6 +335,58 @@ impl QuerySpec {
             }),
             None => Ok(Sink::Aggregate { specs, cols }),
         }
+    }
+}
+
+/// Sequence CNF clauses by what resident zone maps prove about them:
+/// the clause that prunes the most segments outright goes first (a
+/// pruned segment pays for *no* later clause), ties broken by the
+/// estimated cost of evaluating the clause where the zone map cannot
+/// decide (scheme-aware: run/code-granular leaves are cheap, row-tier
+/// leaves dear), then by caller order. Answers are order-independent —
+/// this is purely a cost decision, made once at plan time from
+/// metadata alone.
+fn cost_based_clause_order(table: &Table, clauses: &[Vec<Leaf>]) -> Vec<usize> {
+    let segments = table.num_segments();
+    let mut prunes = vec![0usize; clauses.len()];
+    let mut costs = vec![0u64; clauses.len()];
+    for (idx, clause) in clauses.iter().enumerate() {
+        for seg in 0..segments {
+            // The same zone walk the executor and prefetcher run —
+            // the estimate can never drift from the evaluation.
+            match clause_zone(table, clause, seg, || ()) {
+                ClauseZone::Empty => prunes[idx] += 1,
+                ClauseZone::AllRows => {}
+                ClauseZone::Undecided(leaves) => {
+                    costs[idx] += leaves
+                        .iter()
+                        .map(|(col, _, _)| scheme_leaf_cost(&table.meta_at(*col, seg).expr))
+                        .sum::<u64>();
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..clauses.len()).collect();
+    order.sort_by(|&a, &b| {
+        prunes[b]
+            .cmp(&prunes[a])
+            .then(costs[a].cmp(&costs[b]))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Relative cost of deciding one predicate leaf on a segment the zone
+/// map left undecided, by the segment's compression scheme: the tiers
+/// of [`Predicate::eval_segment`], cheapest first.
+fn scheme_leaf_cost(expr: &str) -> u64 {
+    let base = expr.split(['(', '[']).next().unwrap_or(expr);
+    match base {
+        "const" => 1,
+        "rle" | "rpe" | "sparse" => 2, // run-granular bitmap painting
+        "dict" => 3,                   // code-granular membership
+        "for" | "step" | "vstep" => 6, // model algebra, partial decompress
+        _ => 8,                        // ns / delta / raw: full row tier
     }
 }
 
@@ -370,6 +459,13 @@ impl<'t> QueryBuilder<'t> {
         self
     }
 
+    /// Pin the filter clauses to the order they were added (see
+    /// [`QuerySpec::keep_filter_order`]).
+    pub fn keep_filter_order(mut self) -> Self {
+        self.spec = self.spec.keep_filter_order();
+        self
+    }
+
     /// The table-free logical plan built so far.
     pub fn spec(&self) -> &QuerySpec {
         &self.spec
@@ -404,13 +500,31 @@ impl<'t> QueryBuilder<'t> {
         QueryResult::from_state(&plan, state, stats)
     }
 
-    /// Compile and run the pushdown plan with `threads` workers, one
-    /// contiguous slice of segments each. Answers are identical to
-    /// [`execute`](Self::execute); top-k prune counters may differ
-    /// (each worker tightens its own threshold).
+    /// Compile and run the pushdown plan with `threads` workers pulling
+    /// single segments from one shared morsel queue. Answers are
+    /// identical to [`execute`](Self::execute); top-k prune counters
+    /// may differ (each worker tightens its own threshold).
     pub fn execute_parallel(&self, threads: usize) -> Result<QueryResult> {
+        self.execute_opts(&super::ExecOptions::threads(threads))
+    }
+
+    /// Compile and run under explicit [`super::ExecOptions`] — worker
+    /// count plus I/O prefetch depth for lazily-backed tables. Answers
+    /// are identical to [`execute`](Self::execute) for every option
+    /// combination.
+    pub fn execute_opts(&self, opts: &super::ExecOptions) -> Result<QueryResult> {
         let plan = self.compile()?;
-        let (state, stats) = plan.run_parallel(threads)?;
+        let (state, stats) = super::run_plans(std::slice::from_ref(&plan), opts)?;
+        QueryResult::from_state(&plan, state, stats)
+    }
+
+    /// Compile and run with the pre-morsel static partitioner: each of
+    /// `threads` workers is bound up front to one contiguous slice of
+    /// the visit order. The measured baseline for the morsel executor
+    /// (benchmarks only — skewed segment costs tail-block it).
+    pub fn execute_parallel_static(&self, threads: usize) -> Result<QueryResult> {
+        let plan = self.compile()?;
+        let (state, stats) = plan.run_parallel_static(threads)?;
         QueryResult::from_state(&plan, state, stats)
     }
 

@@ -52,13 +52,16 @@
 //! ```
 
 mod logical;
+mod morsel;
 mod physical;
 mod result;
 
 pub use logical::{Agg, QueryBuilder, QuerySpec};
+pub use morsel::ExecOptions;
 pub use physical::{PhysicalPlan, QueryStats};
 pub use result::{QueryResult, Rows};
 
+pub(crate) use morsel::run_plans;
 pub(crate) use physical::SinkState;
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! Morsel-driven parallel execution with I/O-overlapped prefetch.
+//!
+//! The unit of work is one segment of one plan — a *morsel*. All
+//! workers pull from a single shared cursor over the concatenated
+//! segment visit orders of every plan in the batch (one plan for a
+//! single table, one per live shard for a sharded fan-in), so:
+//!
+//! * **Work steals itself.** A worker that drew cheap, zone-pruned
+//!   segments immediately pulls more; a cache-cold or row-tier segment
+//!   never tail-blocks the whole query the way the old contiguous
+//!   static partition did ([`PhysicalPlan::run_parallel_static`] keeps
+//!   that baseline measurable).
+//! * **Shards share one pool.** A sharded table's fan-in no longer
+//!   spawns per shard: every shard's segments are morsels in the same
+//!   queue, drained by the same `threads` workers.
+//!
+//! With [`ExecOptions::prefetch`] `> 0`, a background fetcher walks the
+//! published visit order ahead of the scan cursor and warms the next N
+//! morsels' un-pruned `(column, segment)` frames in each source's LRU
+//! ([`crate::source::SegmentSource::prefetch`]). Frame loads are
+//! single-flight, so the prefetcher never duplicates a read the scan
+//! already issued — total I/O is unchanged, it just stops blocking the
+//! scan. [`QueryStats::prefetch_hits`] / [`QueryStats::prefetch_wasted`]
+//! account for the overlap.
+//!
+//! Answers and (for non-top-k sinks) segment/row accounting are
+//! bit-identical to sequential execution under any worker count and any
+//! prefetch depth: every morsel is executed exactly once by the
+//! identical per-segment pipeline, and partial sink states and counters
+//! merge associatively. Top-k prune counters may differ, as each worker
+//! tightens its own threshold.
+
+use super::physical::{PhysicalPlan, QueryStats, SinkState};
+use crate::Result;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// How a compiled plan should be driven: worker count and prefetch
+/// depth. Execution options never change a query's answer — only how
+/// the same per-segment pipeline is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads pulling morsels (clamped to `[1, morsel count]`;
+    /// `1` runs inline on the calling thread when prefetch is off).
+    pub threads: usize,
+    /// How many morsels ahead of the scan cursor the background
+    /// fetcher keeps warm (`0` disables prefetch — no fetcher thread is
+    /// spawned). Only lazily-backed sources do real work; keep this
+    /// below each `FileSource`'s cache capacity or the prefetcher
+    /// evicts frames before the scan reads them.
+    pub prefetch: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            prefetch: 0,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with `threads` workers and prefetch off.
+    pub fn threads(threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads,
+            prefetch: 0,
+        }
+    }
+
+    /// Set the prefetch depth.
+    pub fn with_prefetch(mut self, depth: usize) -> ExecOptions {
+        self.prefetch = depth;
+        self
+    }
+}
+
+/// One unit of work: `(plan index, segment index)`.
+type Morsel = (usize, usize);
+
+/// Run a batch of plans sharing one sink shape (a single table's plan,
+/// or one compiled plan per live shard) and merge every partial into
+/// one `(SinkState, QueryStats)`.
+pub(crate) fn run_plans(
+    plans: &[PhysicalPlan<'_>],
+    opts: &ExecOptions,
+) -> Result<(SinkState, QueryStats)> {
+    let sink = &plans
+        .first()
+        .expect("run_plans needs at least one plan")
+        .sink;
+    let morsels: Vec<Morsel> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(p, plan)| plan.segment_order().into_iter().map(move |s| (p, s)))
+        .collect();
+
+    // Never oversubscribe: more workers than hardware threads cannot
+    // run concurrently and only pay spawn/switch overhead (the static
+    // baseline spawns exactly what it is told, and loses exactly this
+    // margin on small machines). Requested counts above the morsel
+    // count are likewise pointless.
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(usize::MAX);
+    let threads = opts
+        .threads
+        .clamp(1, morsels.len().max(1))
+        .min(hardware.max(1));
+
+    if threads <= 1 && opts.prefetch == 0 {
+        // Pure sequential: no threads at all — the reference path every
+        // parallel/prefetch configuration must reproduce bit-for-bit.
+        let mut state = SinkState::for_sink(sink);
+        let mut stats = QueryStats::default();
+        for &(p, s) in &morsels {
+            plans[p].execute_segment(s, &mut state, &mut stats)?;
+        }
+        return Ok((state, stats));
+    }
+    let cursor = AtomicUsize::new(0); // next unclaimed morsel
+    let abort = AtomicBool::new(false); // a worker hit an error
+    let stop_prefetch = AtomicBool::new(false);
+
+    let partials: Vec<Result<(SinkState, QueryStats)>> = std::thread::scope(|scope| {
+        let fetcher = (opts.prefetch > 0).then(|| {
+            let entries = prefetch_entries(plans, &morsels);
+            let (cursor, stop) = (&cursor, &stop_prefetch);
+            let depth = opts.prefetch;
+            scope.spawn(move || prefetch_ahead(plans, &entries, cursor, stop, depth))
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (cursor, abort, morsels) = (&cursor, &abort, &morsels);
+            handles.push(scope.spawn(move || {
+                let mut state = SinkState::for_sink(sink);
+                let mut stats = QueryStats::default();
+                while !abort.load(Ordering::Relaxed) {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(p, s)) = morsels.get(i) else { break };
+                    if let Err(e) = plans[p].execute_segment(s, &mut state, &mut stats) {
+                        abort.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+                Ok((state, stats))
+            }));
+        }
+        // Collect worker joins *before* propagating any panic: the
+        // prefetcher only exits on the stop flag (its cursor view
+        // freezes when workers die), so the flag must be set — and the
+        // fetcher joined — even when a worker panicked, or the scope
+        // would hang joining it.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        stop_prefetch.store(true, Ordering::Relaxed);
+        if let Some(handle) = fetcher {
+            handle.join().expect("prefetcher panicked");
+        }
+        joined
+            .into_iter()
+            .map(|j| j.expect("morsel worker panicked"))
+            .collect()
+    });
+
+    let mut state = SinkState::for_sink(sink);
+    let mut stats = QueryStats::default();
+    let mut first_err = None;
+    for partial in partials {
+        match partial {
+            Ok((part_state, part_stats)) => {
+                state.merge(part_state);
+                stats.absorb(&part_stats);
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if opts.prefetch > 0 {
+        // Drain even when a worker failed: stale prefetched marks left
+        // in a source would otherwise leak into the next query's
+        // hit/wasted ledger.
+        for plan in plans {
+            for col in plan.touched_columns() {
+                let (hits, wasted) = plan.table.source_at(col).take_prefetch_counters();
+                stats.prefetch_hits += hits;
+                stats.prefetch_wasted += wasted;
+            }
+        }
+    }
+    match first_err {
+        None => Ok((state, stats)),
+        Some(e) => Err(e),
+    }
+}
+
+/// The frames the plans are expected to fetch, in morsel order:
+/// `(morsel position, plan, column, segment)`. Zone-pruned segments
+/// contribute nothing — the planner publishes only work that survives
+/// its metadata-resident pruning pass.
+fn prefetch_entries(
+    plans: &[PhysicalPlan<'_>],
+    morsels: &[Morsel],
+) -> Vec<(usize, usize, usize, usize)> {
+    let mut entries = Vec::new();
+    let mut cols: Vec<usize> = Vec::new();
+    for (pos, &(p, s)) in morsels.iter().enumerate() {
+        plans[p].expected_fetches(s, &mut cols);
+        for &col in &cols {
+            entries.push((pos, p, col, s));
+        }
+    }
+    entries
+}
+
+/// The background fetcher: warm each entry's frame once its morsel
+/// falls inside the `depth`-wide window ahead of the scan cursor.
+/// Entries whose morsel the scan already claimed are skipped — the
+/// scan's own (single-flight) fetch covers them.
+fn prefetch_ahead(
+    plans: &[PhysicalPlan<'_>],
+    entries: &[(usize, usize, usize, usize)],
+    cursor: &AtomicUsize,
+    stop: &AtomicBool,
+    depth: usize,
+) {
+    let mut i = 0;
+    while i < entries.len() && !stop.load(Ordering::Relaxed) {
+        let (pos, p, col, seg) = entries[i];
+        let scanned = cursor.load(Ordering::Relaxed);
+        if pos < scanned {
+            i += 1;
+            continue;
+        }
+        if pos >= scanned.saturating_add(depth) {
+            std::thread::sleep(Duration::from_micros(20));
+            continue;
+        }
+        plans[p].table.source_at(col).prefetch(seg);
+        i += 1;
+    }
+}

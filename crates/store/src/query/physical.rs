@@ -59,6 +59,19 @@ pub struct QueryStats {
     /// executing (0 or 1 per [`crate::Catalog::execute`] call; stats
     /// from the original execution are replaced by this marker).
     pub result_cache_hits: usize,
+    /// Payload fetches served from a frame the background prefetcher
+    /// had already warmed — the proof that I/O overlapped the scan.
+    /// Only lazily-backed sources ever report these.
+    pub prefetch_hits: usize,
+    /// Frames the prefetcher loaded that no fetch consumed (the segment
+    /// turned out pruned at a data tier, or a top-k threshold outbid
+    /// it). The cost side of the overlap ledger.
+    pub prefetch_wasted: usize,
+    /// Whole shards skipped before any source was touched because the
+    /// plan's bounds exclude the shard's key range. Their segments are
+    /// counted under `segments` / `segments_pruned`, but nothing —
+    /// metadata walk aside — was executed for them.
+    pub shards_pruned: usize,
     /// Which predicate-evaluation tier fired, per filter step.
     pub pushdown: PushdownStats,
 }
@@ -74,6 +87,9 @@ impl QueryStats {
         self.rows_materialized += other.rows_materialized;
         self.values_processed += other.values_processed;
         self.result_cache_hits += other.result_cache_hits;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_wasted += other.prefetch_wasted;
+        self.shards_pruned += other.shards_pruned;
         self.pushdown.absorb(&other.pushdown);
     }
 }
@@ -236,6 +252,54 @@ enum ClauseOutcome {
     Mask(Bitmap),
 }
 
+/// One resolved CNF leaf: `(column index, column name, predicate)`.
+pub(crate) type Leaf = (usize, String, Predicate);
+
+/// What resident zone maps alone decide about one clause on one
+/// segment.
+pub(crate) enum ClauseZone<'c> {
+    /// Some leaf is proven all-matching: the clause costs nothing.
+    AllRows,
+    /// Every leaf is proven empty: the segment is out.
+    Empty,
+    /// The leaves the zone map could not decide, in clause order.
+    Undecided(Vec<&'c Leaf>),
+}
+
+/// Walk one clause's leaves against a segment's zone maps — the single
+/// decision procedure shared by the executor's zone pass
+/// (`eval_clause`), the prefetcher's fetch prediction
+/// ([`PhysicalPlan::expected_fetches`]), and the planner's cost model
+/// (`cost_based_clause_order`), so the three can never drift apart.
+/// `on_decided` fires once per leaf the zone map settles (the
+/// executor's `zonemap_hits` accounting); leaves after a decided-true
+/// leaf are not examined, exactly like the evaluation short-circuit.
+pub(crate) fn clause_zone<'c>(
+    table: &Table,
+    clause: &'c [Leaf],
+    seg_idx: usize,
+    mut on_decided: impl FnMut(),
+) -> ClauseZone<'c> {
+    let mut undecided = Vec::new();
+    for leaf in clause {
+        let (col, _, predicate) = leaf;
+        let meta = table.meta_at(*col, seg_idx);
+        match predicate.zone_decides(meta.min, meta.max) {
+            Some(true) => {
+                on_decided();
+                return ClauseZone::AllRows;
+            }
+            Some(false) => on_decided(),
+            None => undecided.push(leaf),
+        }
+    }
+    if undecided.is_empty() {
+        ClauseZone::Empty
+    } else {
+        ClauseZone::Undecided(undecided)
+    }
+}
+
 /// Fetches and decompresses columns for one segment *visit*, with three
 /// jobs:
 ///
@@ -313,11 +377,14 @@ pub struct PhysicalPlan<'t> {
     /// CNF clauses, each `(column index, column name, predicate)`
     /// leaves ORed together — evaluated in order, short-circuiting per
     /// segment.
-    pub(crate) filters: Vec<Vec<(usize, String, Predicate)>>,
+    pub(crate) filters: Vec<Vec<Leaf>>,
     pub(crate) sink: Sink,
     /// Naive mode decompresses everything and evaluates row-at-a-time —
     /// the baseline the pushdown tiers are measured against.
     pub(crate) naive: bool,
+    /// Whether the planner reordered the filter CNF away from the
+    /// caller's order (cost-based, from zone-map selectivity estimates).
+    pub(crate) reordered: bool,
 }
 
 impl<'t> PhysicalPlan<'t> {
@@ -334,6 +401,12 @@ impl<'t> PhysicalPlan<'t> {
                 ""
             },
         );
+        if self.reordered {
+            out.push_str(
+                "\n  filter order: cost-based (zone-map selectivity x scheme leaf cost; \
+                 clauses shown in evaluation order)",
+            );
+        }
         for clause in &self.filters {
             let leaves: Vec<String> = clause
                 .iter()
@@ -390,11 +463,26 @@ impl<'t> PhysicalPlan<'t> {
         Ok((state, stats))
     }
 
-    /// Run with `threads` workers, each executing the identical
-    /// per-segment pipeline over a contiguous slice of the segment
-    /// visit order; partial sink states and counters merge
-    /// associatively.
+    /// Run with `threads` workers pulling single segments from one
+    /// shared queue over the visit order (morsel-driven: skewed
+    /// per-segment costs rebalance automatically); partial sink states
+    /// and counters merge associatively.
     pub(crate) fn run_parallel(&self, threads: usize) -> Result<(SinkState, QueryStats)> {
+        super::morsel::run_plans(
+            std::slice::from_ref(self),
+            &super::morsel::ExecOptions {
+                threads,
+                prefetch: 0,
+            },
+        )
+    }
+
+    /// The pre-morsel parallel executor: `threads` workers, each bound
+    /// up front to one *contiguous* slice of the visit order. Kept as
+    /// the measured baseline the morsel executor is compared against
+    /// (see the E7 `morsel_skew` bench) — a skewed tier distribution
+    /// tail-blocks this one.
+    pub(crate) fn run_parallel_static(&self, threads: usize) -> Result<(SinkState, QueryStats)> {
         let order = self.segment_order();
         let threads = threads.clamp(1, order.len().max(1));
         let chunk = order.len().div_ceil(threads).max(1);
@@ -430,7 +518,7 @@ impl<'t> PhysicalPlan<'t> {
     /// The order segments are visited in. Top-k visits best-max first
     /// (a metadata-only sort) so the prune threshold tightens as early
     /// as possible; everything else scans in position order.
-    fn segment_order(&self) -> Vec<usize> {
+    pub(crate) fn segment_order(&self) -> Vec<usize> {
         let n = self.table.num_segments();
         let mut order: Vec<usize> = (0..n).collect();
         if let (false, Sink::TopK { col, .. }) = (self.naive, &self.sink) {
@@ -464,7 +552,82 @@ impl<'t> PhysicalPlan<'t> {
         Ok(seg)
     }
 
-    fn execute_segment(
+    /// The columns whose frames the plan's filter clauses and sink can
+    /// fetch for one segment — exactly the fetches `execute_segment`
+    /// would issue, minus data-tier outcomes that cannot be known from
+    /// metadata (a clause emptied at a data tier still skips the sink
+    /// fetches; a prefetched frame for it is counted *wasted*).
+    /// Zone-settled leaves fetch nothing; a segment any clause
+    /// zone-proves empty fetches nothing at all. Naive plans fetch
+    /// every leaf and sink column.
+    pub(crate) fn expected_fetches(&self, seg_idx: usize, out: &mut Vec<usize>) {
+        out.clear();
+        if self.rows_at(seg_idx) == 0 {
+            return;
+        }
+        let push = |col: usize, out: &mut Vec<usize>| {
+            if !out.contains(&col) {
+                out.push(col);
+            }
+        };
+        for clause in &self.filters {
+            if self.naive {
+                // The baseline fetches every leaf regardless.
+                for (col, _, _) in clause {
+                    push(*col, out);
+                }
+                continue;
+            }
+            match clause_zone(self.table, clause, seg_idx, || ()) {
+                ClauseZone::AllRows => {}
+                ClauseZone::Empty => {
+                    // Clause zone-proves the segment empty: no fetch at
+                    // all, for this clause or anything after it.
+                    out.clear();
+                    return;
+                }
+                ClauseZone::Undecided(leaves) => {
+                    for (col, _, _) in leaves {
+                        push(*col, out);
+                    }
+                }
+            }
+        }
+        self.for_each_sink_column(|col| push(col, out));
+    }
+
+    /// Visit each sink column once (the group-by key first).
+    pub(crate) fn for_each_sink_column(&self, mut f: impl FnMut(usize)) {
+        match &self.sink {
+            Sink::Aggregate { cols, .. } => cols.iter().copied().for_each(&mut f),
+            Sink::GroupBy { key, cols, .. } => {
+                f(*key);
+                cols.iter().copied().for_each(&mut f);
+            }
+            Sink::TopK { col, .. } | Sink::Distinct { col } => f(*col),
+        }
+    }
+
+    /// Every column the plan can touch (filter leaves + sink columns),
+    /// deduplicated — the set whose sources the executor drains
+    /// prefetch counters from.
+    pub(crate) fn touched_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = Vec::new();
+        let push = |col: usize, cols: &mut Vec<usize>| {
+            if !cols.contains(&col) {
+                cols.push(col);
+            }
+        };
+        for clause in &self.filters {
+            for (col, _, _) in clause {
+                push(*col, &mut cols);
+            }
+        }
+        self.for_each_sink_column(|col| push(col, &mut cols));
+        cols
+    }
+
+    pub(crate) fn execute_segment(
         &self,
         seg_idx: usize,
         state: &mut SinkState,
@@ -553,7 +716,7 @@ impl<'t> PhysicalPlan<'t> {
     /// and leaves proven empty drop out of the union.
     fn eval_clause(
         &self,
-        clause: &[(usize, String, Predicate)],
+        clause: &[Leaf],
         seg_idx: usize,
         n: usize,
         mat: &mut Materializer,
@@ -562,21 +725,13 @@ impl<'t> PhysicalPlan<'t> {
         // Pass 1 — zone maps across *all* alternatives before any
         // payload work: one leaf proven all-matching settles the clause
         // even if an earlier leaf would have needed a fetch.
-        let mut undecided = Vec::with_capacity(clause.len());
-        for leaf in clause {
-            let (col, _, predicate) = leaf;
-            let meta = self.table.meta_at(*col, seg_idx);
-            match predicate.zone_decides(meta.min, meta.max) {
-                Some(true) => {
-                    stats.pushdown.zonemap_hits += 1;
-                    return Ok(ClauseOutcome::AllRows);
-                }
-                Some(false) => {
-                    stats.pushdown.zonemap_hits += 1;
-                }
-                None => undecided.push(leaf),
-            }
-        }
+        let undecided = match clause_zone(self.table, clause, seg_idx, || {
+            stats.pushdown.zonemap_hits += 1
+        }) {
+            ClauseZone::AllRows => return Ok(ClauseOutcome::AllRows),
+            ClauseZone::Empty => Vec::new(),
+            ClauseZone::Undecided(leaves) => leaves,
+        };
         // Pass 2 — evaluate the survivors at the cheapest data tier.
         let mut union: Option<Bitmap> = None;
         for (col, _, predicate) in undecided {

@@ -15,15 +15,19 @@
 //!
 //! Sources are `Send + Sync`: the parallel executor shares one source
 //! across workers, and the LRU cache takes an internal lock only on the
-//! fetch path.
+//! fetch path. Fetches are *single-flight* — concurrent misses on one
+//! frame coalesce into one read — which lets the executor's background
+//! prefetcher ([`SegmentSource::prefetch`]) warm the cache ahead of the
+//! scan without ever duplicating I/O.
 
 use crate::segment::Segment;
 use crate::{Result, StoreError};
 use lcdc_core::DType;
+use std::collections::HashSet;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Per-segment metadata the planner can consult without loading the
 /// segment payload: the zone map, the row count, the compressed size,
@@ -73,6 +77,26 @@ pub trait SegmentSource: std::fmt::Debug + Send + Sync {
     /// forever for resident sources, cache *misses* for lazy ones.
     fn io_reads(&self) -> usize {
         0
+    }
+
+    /// Hint that `idx` will be fetched soon: warm whatever cache the
+    /// source keeps. Returns `true` only when the hint did real work
+    /// (the frame was fetched from the backing store by this call).
+    /// Best-effort — I/O errors are swallowed here and resurface on the
+    /// real [`SegmentSource::segment`] fetch. The default (resident
+    /// sources) is a no-op.
+    fn prefetch(&self, _idx: usize) -> bool {
+        false
+    }
+
+    /// Drain the `(prefetch hits, prefetch wasted)` counters accumulated
+    /// since the last drain: hits are fetches served from a frame a
+    /// [`SegmentSource::prefetch`] call loaded, wasted are frames
+    /// prefetch loaded that no fetch ever consumed. The executor drains
+    /// once per query; concurrent queries over one source share the
+    /// counters (they describe the source, not a single plan).
+    fn take_prefetch_counters(&self) -> (usize, usize) {
+        (0, 0)
     }
 }
 
@@ -138,6 +162,16 @@ pub struct FileSource {
     #[cfg(unix)]
     handle: Mutex<Option<Arc<fs::File>>>,
     io_reads: AtomicUsize,
+    /// Single-flight guard: frame indices currently being loaded.
+    /// Fetchers of an in-flight frame wait on the condvar instead of
+    /// issuing a duplicate read — that keeps `io_reads` identical with
+    /// and without a prefetcher racing the scan.
+    inflight: Mutex<HashSet<usize>>,
+    loaded: Condvar,
+    /// Frames loaded by [`SegmentSource::prefetch`] and not yet consumed
+    /// by a fetch; drained by `take_prefetch_counters`.
+    prefetched: Mutex<HashSet<usize>>,
+    prefetch_hits: AtomicUsize,
 }
 
 impl std::fmt::Debug for FileSource {
@@ -195,7 +229,60 @@ impl FileSource {
             #[cfg(unix)]
             handle: Mutex::new(None),
             io_reads: AtomicUsize::new(0),
+            inflight: Mutex::new(HashSet::new()),
+            loaded: Condvar::new(),
+            prefetched: Mutex::new(HashSet::new()),
+            prefetch_hits: AtomicUsize::new(0),
         })
+    }
+
+    /// Serve `idx` from the cache if present, counting a prefetch hit
+    /// when the cached frame came from a prefetch and was not yet
+    /// consumed.
+    fn cached(&self, idx: usize) -> Option<Arc<Segment>> {
+        let hit = self.cache.lock().expect("cache lock").get(&idx)?;
+        if self
+            .prefetched
+            .lock()
+            .expect("prefetched lock")
+            .remove(&idx)
+        {
+            self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(hit)
+    }
+
+    /// Release the single-flight claim on `idx` and wake waiters.
+    fn release(&self, idx: usize) {
+        self.inflight.lock().expect("inflight lock").remove(&idx);
+        self.loaded.notify_all();
+    }
+
+    /// Load `idx` under a held single-flight claim, publishing to the
+    /// cache on success. Always releases the claim. With
+    /// `mark_prefetched`, the frame joins the `prefetched` set *before*
+    /// it becomes visible in the cache — a concurrent fetch can never
+    /// observe the frame without its mark, so the hits/wasted ledger
+    /// stays exact even when prefetch and scan race on one frame.
+    fn load_claimed(&self, idx: usize, mark_prefetched: bool) -> Result<Arc<Segment>> {
+        let result = self.load(idx);
+        let out = match result {
+            Ok(segment) => {
+                let loaded = Arc::new(segment);
+                self.io_reads.fetch_add(1, Ordering::Relaxed);
+                if mark_prefetched {
+                    self.prefetched.lock().expect("prefetched lock").insert(idx);
+                }
+                self.cache
+                    .lock()
+                    .expect("cache lock")
+                    .put(idx, Arc::clone(&loaded));
+                Ok(loaded)
+            }
+            Err(e) => Err(e),
+        };
+        self.release(idx);
+        out
     }
 
     /// The shared column-file handle, opened on first use.
@@ -287,22 +374,66 @@ impl SegmentSource for FileSource {
     }
 
     fn segment(&self, idx: usize) -> Result<Arc<Segment>> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&idx) {
-            return Ok(hit);
+        loop {
+            if let Some(hit) = self.cached(idx) {
+                return Ok(hit);
+            }
+            // Miss: either claim the load or wait for whoever holds it
+            // (I/O happens outside every lock; waiters re-check the
+            // cache on wake, so a loader's failure just hands the claim
+            // to the next fetcher).
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            if inflight.insert(idx) {
+                drop(inflight);
+                // Re-probe before reading: the previous claim holder
+                // may have published the frame between our cache miss
+                // and winning this claim — loading again would break
+                // the one-read-per-frame invariant.
+                if let Some(hit) = self.cached(idx) {
+                    self.release(idx);
+                    return Ok(hit);
+                }
+                return self.load_claimed(idx, false);
+            }
+            let _waited = self.loaded.wait(inflight).expect("inflight lock poisoned");
         }
-        // Load outside the lock: concurrent misses may read the same
-        // frame twice, but never block each other on disk I/O.
-        let loaded = Arc::new(self.load(idx)?);
-        self.io_reads.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .put(idx, Arc::clone(&loaded));
-        Ok(loaded)
     }
 
     fn io_reads(&self) -> usize {
         self.io_reads.load(Ordering::Relaxed)
+    }
+
+    fn prefetch(&self, idx: usize) -> bool {
+        if idx >= self.metas.len() || self.cache.lock().expect("cache lock").contains(&idx) {
+            return false;
+        }
+        {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            if !inflight.insert(idx) {
+                // Someone (the scan, most likely) is already loading it;
+                // adding a second read would defeat the overlap.
+                return false;
+            }
+        }
+        // Re-probe before reading (same race as in `segment`): a claim
+        // holder may have published the frame since the probe above.
+        if self.cache.lock().expect("cache lock").contains(&idx) {
+            self.release(idx);
+            return false;
+        }
+        // The prefetched mark is set by `load_claimed` before the frame
+        // is published, so even a fetch racing this load counts as a
+        // hit, never as waste. A failed load warms nothing and stays
+        // silent — the scan's own fetch will surface the error.
+        self.load_claimed(idx, true).is_ok()
+    }
+
+    fn take_prefetch_counters(&self) -> (usize, usize) {
+        let hits = self.prefetch_hits.swap(0, Ordering::Relaxed);
+        let mut pending = self.prefetched.lock().expect("prefetched lock");
+        let wasted = pending.len();
+        pending.clear();
+        (hits, wasted)
     }
 }
 
@@ -324,6 +455,12 @@ impl<K: PartialEq, V: Clone> LruCache<K, V> {
             capacity,
             entries: Vec::with_capacity(capacity),
         }
+    }
+
+    /// Whether `key` is cached, *without* touching recency — probe used
+    /// by the prefetcher, which must not distort the scan's LRU order.
+    pub(crate) fn contains(&self, key: &K) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
     }
 
     /// The cached value for `key`, if any, marking it most recent.
@@ -404,6 +541,43 @@ mod tests {
         assert_eq!((m.min, m.max), (5, 9));
         assert_eq!(m.bytes, seg.compressed_bytes());
         assert_eq!(m.expr, seg.expr);
+    }
+
+    #[test]
+    fn prefetch_warms_hits_and_counts_waste() {
+        let dir = std::env::temp_dir().join(format!("lcdc_src_prefetch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = crate::schema::TableSchema::new(&[("v", lcdc_core::DType::U64)]);
+        let v = ColumnData::U64((0..1000u64).collect());
+        let table =
+            crate::table::Table::build(schema, &[v], &[CompressionPolicy::Auto], 100).unwrap();
+        crate::file::save_table(&table, &dir).unwrap();
+        let lazy = crate::file::open_table_lazy(&dir, 8).unwrap();
+        let source = lazy.source("v").unwrap();
+
+        // Prefetch two frames: both are real reads.
+        assert!(source.prefetch(0));
+        assert!(source.prefetch(1));
+        assert!(!source.prefetch(1), "already cached: no second read");
+        assert!(!source.prefetch(99), "out of range is a no-op");
+        assert_eq!(source.io_reads(), 2);
+
+        // Consuming one is a hit; fetching an unprefetched frame is not.
+        source.segment(0).unwrap();
+        source.segment(5).unwrap();
+        assert_eq!(source.io_reads(), 3, "frame 0 came from the cache");
+        let (hits, wasted) = source.take_prefetch_counters();
+        assert_eq!((hits, wasted), (1, 1), "frame 1 was warmed for nothing");
+        // Drained: the next drain starts from zero.
+        assert_eq!(source.take_prefetch_counters(), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_prefetch_is_a_no_op() {
+        let src = ResidentSource::new(segments());
+        assert!(!src.prefetch(0));
+        assert_eq!(src.take_prefetch_counters(), (0, 0));
     }
 
     #[test]

@@ -245,6 +245,25 @@ impl Table {
         self.sources[idx].meta(seg_idx)
     }
 
+    /// A column's table-wide `[min, max]` from resident segment
+    /// metadata — the table-level zone map shard pruning intersects
+    /// query bounds against. `None` when no non-empty segment exists.
+    pub(crate) fn column_range(&self, idx: usize) -> Option<(i128, i128)> {
+        let source = &self.sources[idx];
+        let mut range: Option<(i128, i128)> = None;
+        for seg_idx in 0..source.num_segments() {
+            let meta = source.meta(seg_idx);
+            if meta.rows == 0 {
+                continue;
+            }
+            range = Some(match range {
+                None => (meta.min, meta.max),
+                Some((lo, hi)) => (lo.min(meta.min), hi.max(meta.max)),
+            });
+        }
+        range
+    }
+
     /// Fetch every segment of a named column (loads lazily-backed
     /// columns in full — whole-column operators only).
     pub fn column_segments(&self, name: &str) -> Result<Vec<Arc<Segment>>> {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Record the benchmark baseline: run the E7 pushdown and E9 query-ops
+# suites in release mode and assemble their medians into a JSON file
+# (default BENCH_e7.json) keyed by stable bench names, so the perf
+# trajectory accumulates one snapshot per PR.
+#
+# Usage:  scripts/bench_baseline.sh [out.json]
+#   CRITERION_QUICK=1 scripts/bench_baseline.sh   # CI smoke: one short
+#                                                 # sample per bench,
+#                                                 # every assert still runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_e7.json}"
+jsonl="$(mktemp)"
+trap 'rm -f "$jsonl"' EXIT
+
+BENCH_JSONL="$jsonl" cargo bench --bench e7_pushdown --bench e9_query_ops
+
+if [ ! -s "$jsonl" ]; then
+  echo "bench_baseline: no measurements emitted" >&2
+  exit 1
+fi
+
+# Mirror the criterion shim's parse: empty, "0", and "false" (any
+# case) all mean a full-sampling run.
+case "${CRITERION_QUICK:-}" in
+"" | 0 | [Ff][Aa][Ll][Ss][Ee]) quick=false ;;
+*) quick=true ;;
+esac
+
+{
+  printf '{\n'
+  printf '  "suite": "e7_pushdown+e9_query_ops",\n'
+  printf '  "host_parallelism": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+  printf '  "quick": %s,\n' "$quick"
+  printf '  "benches": [\n'
+  awk 'NR > 1 { printf ",\n" } { printf "    %s", $0 }' "$jsonl"
+  printf '\n  ]\n}\n'
+} >"$out"
+
+echo "bench_baseline: wrote $(grep -c '"name"' "$out") medians to $out"

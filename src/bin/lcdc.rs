@@ -14,7 +14,8 @@
 //!                 [--filter c=lo..hi | c=value | c=in:v1,v2,..]...
 //!                 [--any c=..,c=..] [--sum c] [--count]
 //!                 [--group-by c | --top-k c:k | --distinct c]
-//!                 [--naive] [--threads N] [--explain]
+//!                 [--naive] [--threads N] [--prefetch N]
+//!                 [--ordered-filters] [--explain]
 //! ```
 //!
 //! Without `--scheme`, `compress` runs the chooser and records its pick.
@@ -28,8 +29,8 @@
 
 use lcdc::core::{bytes, chooser, parse_scheme, ColumnData, DType};
 use lcdc::store::{
-    load_table, open_table_lazy, save_table, shard_table, Agg, Catalog, Predicate, QuerySpec, Rows,
-    Table,
+    load_table, open_table_lazy, save_table, shard_table, Agg, Catalog, ExecOptions, Predicate,
+    QuerySpec, Rows, Table,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -59,7 +60,8 @@ usage:
                   [--any col=spec,col=spec]
                   [--sum col] [--min col] [--max col] [--count]
                   [--group-by col | --top-k col:k | --distinct col]
-                  [--naive] [--threads N] [--explain]
+                  [--naive] [--threads N] [--prefetch N]
+                  [--ordered-filters] [--explain]
 
 scheme expressions: e.g. 'rle[values=delta[deltas=ns_zz],lengths=ns]',
 'for(l=128)[offsets=ns]', 'vstep(w=8)[offsets=ns]', 'sparse', ...";
@@ -439,6 +441,7 @@ fn query(args: &[String]) -> Result<(), String> {
     let mut naive = false;
     let mut explain = false;
     let mut threads = 1usize;
+    let mut prefetch = 0usize;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -480,6 +483,10 @@ fn query(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
             }
+            "--prefetch" => {
+                prefetch = value("--prefetch")?.parse().map_err(|_| "bad --prefetch")?;
+            }
+            "--ordered-filters" => spec = spec.keep_filter_order(),
             "--naive" => naive = true,
             "--explain" => explain = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
@@ -532,13 +539,12 @@ fn query(args: &[String]) -> Result<(), String> {
                 println!("{}", builder.explain().map_err(|e| e.to_string())?);
                 println!();
             }
+            let opts = ExecOptions::threads(threads).with_prefetch(prefetch);
             for _ in 0..repeat.max(1) {
                 let result = if naive {
                     builder.execute_naive()
-                } else if threads > 1 {
-                    builder.execute_parallel(threads)
                 } else {
-                    builder.execute()
+                    builder.execute_opts(&opts)
                 }
                 .map_err(|e| e.to_string())?;
                 print_result(&result, &labels);
@@ -576,9 +582,10 @@ fn query(args: &[String]) -> Result<(), String> {
                 handle.shard_count(),
                 handle.num_rows()
             );
+            let opts = ExecOptions::threads(threads).with_prefetch(prefetch);
             for _ in 0..repeat.max(1) {
                 let result = catalog
-                    .execute_parallel(name, &spec, threads)
+                    .execute_opts(name, &spec, &opts)
                     .map_err(|e| e.to_string())?;
                 print_result(&result, &labels);
                 print_stats(&result, handle.io_reads());
@@ -617,9 +624,22 @@ fn print_stats(result: &lcdc::store::QueryResult, io_reads: usize) {
         eprintln!("-- served from result cache");
         return;
     }
+    let shards = if s.shards_pruned > 0 {
+        format!(", {} whole shards pruned", s.shards_pruned)
+    } else {
+        String::new()
+    };
+    let prefetch = if s.prefetch_hits > 0 || s.prefetch_wasted > 0 {
+        format!(
+            ", prefetch {} hits / {} wasted",
+            s.prefetch_hits, s.prefetch_wasted
+        )
+    } else {
+        String::new()
+    };
     eprintln!(
-        "-- {} segments ({} pruned, {} structural), {} loaded ({io_reads} from disk so far), \
-         {} rows materialized, tiers {:?}",
+        "-- {} segments ({} pruned, {} structural{shards}), {} loaded \
+         ({io_reads} from disk so far{prefetch}), {} rows materialized, tiers {:?}",
         s.segments,
         s.segments_pruned,
         s.segments_structural,
@@ -772,7 +792,18 @@ mod tests {
         let s = |t: &str| t.to_string();
         let d = dir.to_str().unwrap().to_string();
         // Filtered grouped aggregate, explained, sequential and parallel.
-        for extra in [vec![], vec![s("--naive")], vec![s("--threads"), s("4")]] {
+        for extra in [
+            vec![],
+            vec![s("--naive")],
+            vec![s("--threads"), s("4")],
+            vec![
+                s("--threads"),
+                s("2"),
+                s("--prefetch"),
+                s("4"),
+                s("--ordered-filters"),
+            ],
+        ] {
             let mut args = vec![
                 d.clone(),
                 s("--filter"),
@@ -854,6 +885,8 @@ mod tests {
             s("2"),
             s("--threads"),
             s("3"),
+            s("--prefetch"),
+            s("4"),
             s("--filter"),
             s("day=5..9"),
             s("--sum"),

@@ -1,0 +1,196 @@
+//! Cost-based CNF clause reordering is *only* a cost decision: for any
+//! permutation of a query's filter clauses — and for the planner's
+//! cost-based order, and for the pinned caller order — the answer is
+//! identical, across random tables, range/equality/IN leaves, and
+//! disjunctive (`filter_any`) clauses. The chosen order itself is a
+//! plan-time artifact, visible in `PhysicalPlan::display()`.
+
+use lcdc::core::{ColumnData, DType};
+use lcdc::store::{Agg, CompressionPolicy, Predicate, QueryBuilder, QuerySpec, Table, TableSchema};
+use proptest::prelude::*;
+
+/// Three columns with different statistical structure so the Auto
+/// chooser exercises different schemes (and therefore different
+/// estimated leaf costs) per column.
+fn build_table(seed: u64, n: usize, seg_rows: usize) -> Table {
+    let schema = TableSchema::new(&[
+        ("runs", DType::U64),
+        ("steps", DType::U64),
+        ("noise", DType::U64),
+    ]);
+    let runs = ColumnData::U64(lcdc::datagen::runs::runs_over_domain(n, 60, 40, seed));
+    let steps = ColumnData::U64(lcdc::datagen::step_column(n, 64, 2000, 16, seed ^ 0xA5));
+    let noise = ColumnData::U64(lcdc::datagen::uniform(n, 500, seed ^ 0x5A));
+    Table::build(
+        schema,
+        &[runs, steps, noise],
+        &[
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+            CompressionPolicy::Auto,
+        ],
+        seg_rows,
+    )
+    .expect("table builds")
+}
+
+const COLUMNS: [&str; 3] = ["runs", "steps", "noise"];
+
+/// One random clause: a range, equality, or IN conjunct — or, for
+/// `kind % 4 == 3`, a two-leaf disjunction across two columns.
+fn add_clause(spec: QuerySpec, col: usize, kind: usize, lo: i128, width: i128) -> QuerySpec {
+    let column = COLUMNS[col % 3];
+    match kind % 4 {
+        0 => spec.filter(column, Predicate::Range { lo, hi: lo + width }),
+        1 => spec.filter(column, Predicate::Eq(lo)),
+        2 => spec.filter_in(column, &[lo, lo + width / 2, lo + width, 7]),
+        _ => spec.filter_any(&[
+            (column, Predicate::Range { lo, hi: lo + width }),
+            (COLUMNS[(col + 1) % 3], Predicate::Eq(lo / 2)),
+        ]),
+    }
+}
+
+/// All permutations of `0..n` for the tiny n this test uses.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    match n {
+        0 => vec![vec![]],
+        _ => {
+            let mut out = Vec::new();
+            for sub in permutations(n - 1) {
+                for pos in 0..=sub.len() {
+                    let mut perm = sub.clone();
+                    perm.insert(pos, n - 1);
+                    out.push(perm);
+                }
+            }
+            out
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn every_clause_permutation_answers_identically(
+        seed in any::<u64>(),
+        seg_rows in 128usize..1024,
+        clauses in prop::collection::vec(
+            (0usize..3, 0usize..4, 0i128..2100, 0i128..700), 1..4),
+    ) {
+        let table = build_table(seed, 3000, seg_rows);
+        let mut reference: Option<lcdc::store::QueryResult> = None;
+        for perm in permutations(clauses.len()) {
+            let mut spec = QuerySpec::new();
+            for &idx in &perm {
+                let (col, kind, lo, width) = clauses[idx];
+                spec = add_clause(spec, col, kind, lo, width);
+            }
+            let spec = spec.aggregate(&[Agg::Sum("noise"), Agg::Min("steps"), Agg::Count]);
+            // Cost-based order (the default), the pinned caller order,
+            // and the naive baseline must all agree — for every
+            // permutation of the caller's clauses.
+            let reordered = spec.bind(&table).execute().expect("cost-based runs");
+            let pinned = spec
+                .clone()
+                .keep_filter_order()
+                .bind(&table)
+                .execute()
+                .expect("pinned runs");
+            let naive = spec.bind(&table).execute_naive().expect("naive runs");
+            prop_assert_eq!(&reordered.rows, &pinned.rows, "perm {:?}", &perm);
+            prop_assert_eq!(&reordered.rows, &naive.rows, "perm {:?}", &perm);
+            match &reference {
+                None => reference = Some(reordered),
+                Some(want) => {
+                    prop_assert_eq!(&reordered.rows, &want.rows, "perm {:?}", &perm);
+                }
+            }
+        }
+    }
+}
+
+/// The chosen order is a pure plan-time decision: `display()` shows it,
+/// and the builder flag reproduces the caller's order exactly.
+#[test]
+fn display_shows_cost_based_order_and_flag_pins_it() {
+    let table = build_table(7, 3000, 256);
+    // Clause on `noise` is expensive (row tier, prunes nothing); the
+    // clause on `runs` is added *second* but prunes most segments from
+    // the zone map alone — the planner must hoist it.
+    let build = || {
+        QueryBuilder::scan(&table)
+            .filter("noise", Predicate::Range { lo: 100, hi: 400 })
+            .filter("runs", Predicate::Range { lo: 0, hi: 3 })
+            .aggregate(&[Agg::Count])
+    };
+    let filter_lines = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.trim_start().starts_with("filter ") && !l.contains("filter order"))
+            .map(|l| l.trim().to_string())
+            .collect()
+    };
+
+    let chosen = build().explain().expect("explains");
+    assert!(
+        chosen.contains("filter order: cost-based"),
+        "reordered plan must say so:\n{chosen}"
+    );
+    let lines = filter_lines(&chosen);
+    assert!(
+        lines[0].starts_with("filter runs"),
+        "most-pruning clause first: {lines:?}"
+    );
+
+    let pinned = build().keep_filter_order().explain().expect("explains");
+    assert!(
+        !pinned.contains("filter order: cost-based"),
+        "pinned plan keeps the caller's order:\n{pinned}"
+    );
+    let lines = filter_lines(&pinned);
+    assert!(
+        lines[0].starts_with("filter noise"),
+        "caller order preserved: {lines:?}"
+    );
+
+    // Same answer either way, but the reordered plan does less work.
+    let fast = build().execute().expect("runs");
+    let slow = build().keep_filter_order().execute().expect("runs");
+    assert_eq!(fast.rows, slow.rows);
+    assert!(
+        fast.stats.segments_loaded <= slow.stats.segments_loaded,
+        "hoisting the pruning clause never loads more: {} vs {}",
+        fast.stats.segments_loaded,
+        slow.stats.segments_loaded
+    );
+}
+
+/// Reordering changes neither the fingerprint-keyed cache identity nor
+/// the single-clause fast path.
+#[test]
+fn pinning_is_part_of_the_plan_identity() {
+    let base = QuerySpec::new()
+        .filter("runs", Predicate::Range { lo: 0, hi: 9 })
+        .filter("noise", Predicate::Eq(3))
+        .aggregate(&[Agg::Count]);
+    let pinned = base.clone().keep_filter_order();
+    assert_ne!(
+        base.fingerprint(),
+        pinned.fingerprint(),
+        "pinned and reorderable plans must not share a cache slot"
+    );
+    // A single clause has nothing to reorder: identical plan text.
+    let table = build_table(3, 1000, 256);
+    let one = QuerySpec::new()
+        .filter("runs", Predicate::Eq(1))
+        .aggregate(&[Agg::Count]);
+    let a = one.bind(&table).explain().unwrap();
+    let b = one
+        .clone()
+        .keep_filter_order()
+        .bind(&table)
+        .explain()
+        .unwrap();
+    assert_eq!(a, b);
+}
