@@ -11,7 +11,7 @@ use lcdc_bench::lineitem;
 use lcdc_core::{ColumnData, DType};
 use lcdc_store::{
     open_table_lazy, save_table, shard_table, Agg, Catalog, CompressionPolicy, ExecOptions,
-    Predicate, Query, QuerySpec, Table, TableSchema,
+    Predicate, Query, QuerySpec, ShardedTable, Table, TableSchema,
 };
 use std::hint::black_box;
 
@@ -280,11 +280,99 @@ fn bench_prefetch(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The write path: encode-and-append throughput for a resident table
+/// and a key-routed two-shard table (the batch spans the shard
+/// boundary, so every iteration pays the split), plus the post-ingest
+/// scan next to the pre-ingest scan of the same plan — appended
+/// segments carry zone maps and scheme tags exactly like built ones,
+/// so a grown table must prune (and therefore scan) like the original.
+fn bench_ingest(c: &mut Criterion) {
+    const BATCH: u64 = 8_192;
+    let table = build_table();
+    let d0 = 19_920_101i128;
+    let spec = QuerySpec::new()
+        .filter(
+            "shipdate",
+            Predicate::Range {
+                lo: d0,
+                hi: d0 + 39,
+            },
+        )
+        .aggregate(&[Agg::Sum("price")]);
+
+    // New rows dated past the existing data, as a real ingest would be.
+    let batch = vec![
+        ColumnData::U64((0..BATCH).map(|i| 19_990_101 + i / 250).collect()),
+        ColumnData::U64((0..BATCH).map(|i| 900 + (i * 13) % 1000).collect()),
+    ];
+    // Append must neither disturb the existing answer nor lose rows,
+    // before anything is timed.
+    let want = spec.bind(&table).execute().unwrap();
+    let grown = table.append(&batch).unwrap();
+    assert_eq!(grown.num_rows(), table.num_rows() + BATCH as usize);
+    assert_eq!(spec.bind(&grown).execute().unwrap().rows, want.rows);
+
+    // A keyed two-shard split of the same rows at a date boundary.
+    let ship = table.materialize("shipdate").unwrap().to_numeric();
+    let price = table.materialize("price").unwrap().to_numeric();
+    assert!(ship.windows(2).all(|w| w[0] <= w[1]), "shipdate is sorted");
+    let split = ship.partition_point(|&d| d <= ship[ship.len() / 2]);
+    let build_shard = |range: std::ops::Range<usize>| {
+        Table::build(
+            TableSchema::new(&[("shipdate", DType::U64), ("price", DType::U64)]),
+            &[
+                ColumnData::from_numeric(DType::U64, &ship[range.clone()]).unwrap(),
+                ColumnData::from_numeric(DType::U64, &price[range]).unwrap(),
+            ],
+            &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+            8192,
+        )
+        .unwrap()
+    };
+    let sharded = ShardedTable::with_key(
+        vec![build_shard(0..split), build_shard(split..ship.len())],
+        "shipdate",
+    )
+    .unwrap();
+    // Half the batch keys inside shard 0's range, half past shard 1's.
+    let spanning = vec![
+        ColumnData::U64(
+            (0..BATCH)
+                .map(|i| if i % 2 == 0 { 19_920_103 } else { 19_990_101 })
+                .collect(),
+        ),
+        ColumnData::U64((0..BATCH).map(|i| 900 + (i * 13) % 1000).collect()),
+    ];
+    let routed = sharded.append_batch(&spanning).unwrap();
+    assert_eq!(routed.num_rows(), sharded.num_rows() + BATCH as usize);
+    assert_eq!(
+        routed.shards()[0].num_rows(),
+        sharded.shards()[0].num_rows() + BATCH as usize / 2,
+        "even keys land in shard 0"
+    );
+
+    let mut group = c.benchmark_group("e7/ingest");
+    group.bench_function("append_resident", |b| {
+        b.iter(|| black_box(table.append(black_box(&batch)).unwrap()))
+    });
+    group.bench_function("route_and_append_sharded_x2", |b| {
+        b.iter(|| black_box(sharded.append_batch(black_box(&spanning)).unwrap()))
+    });
+    group.bench_function("scan_pre_ingest", |b| {
+        b.iter(|| spec.bind(black_box(&table)).execute().unwrap())
+    });
+    group.bench_function("scan_post_ingest", |b| {
+        b.iter(|| spec.bind(black_box(&grown)).execute().unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_query,
     bench_storage_surfaces,
     bench_morsel_skew,
-    bench_prefetch
+    bench_prefetch,
+    bench_ingest
 );
 criterion_main!(benches);

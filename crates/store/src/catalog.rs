@@ -23,6 +23,17 @@
 //!   [`QueryStats::result_cache_hits`] `== 1` (a hit's other counters
 //!   are zero — nothing executed).
 //!
+//! * **Ingest** — [`Catalog::ingest`] is the write path: a row batch is
+//!   encoded into fresh compressed segments (per-column scheme choice,
+//!   zone maps and scheme tags exactly like built data), routed to the
+//!   owning shard by key range when the table was registered with a
+//!   routing key ([`Catalog::register_sharded_keyed`] /
+//!   [`ShardedTable::with_key`]; a batch spanning ranges is split), and
+//!   published atomically under **one** version bump — in-flight
+//!   queries keep their pre-ingest snapshot, every cached result for
+//!   the table stops being served, and the next identical query
+//!   re-executes over the new rows.
+//!
 //! Tables may mix backends freely: resident shards, lazily-backed
 //! shards ([`crate::file::open_table_lazy`]), or both.
 
@@ -30,6 +41,7 @@ use crate::query::{run_plans, ExecOptions, QueryResult, QuerySpec, QueryStats, S
 use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::{Result, StoreError};
+use lcdc_core::ColumnData;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -37,15 +49,53 @@ use std::sync::{Arc, Mutex, RwLock};
 /// Default number of cached query results per catalog.
 pub const DEFAULT_RESULT_CACHE: usize = 128;
 
+/// Write-time placement for a sharded table: the routing key column
+/// and the ordered key boundaries between shards. Shard `i` owns every
+/// key `<=` `uppers[i]` (and above shard `i-1`'s bound); the last
+/// shard owns everything past the last bound — so a key exactly *on* a
+/// boundary lands in the lower shard, and keys outside every observed
+/// range still have exactly one owner. Derived from the shards'
+/// per-column key ranges at registration
+/// ([`ShardedTable::with_key`]), which must ascend without overlapping
+/// (touching at a boundary value is fine): the same table-level zone
+/// maps read-time shard pruning intersects, now steering writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouting {
+    key: String,
+    /// One boundary per adjacent shard pair (`shards - 1` entries).
+    uppers: Vec<i128>,
+}
+
+impl ShardRouting {
+    /// The routing key column.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The key boundaries between adjacent shards.
+    pub fn uppers(&self) -> &[i128] {
+        &self.uppers
+    }
+
+    /// The shard owning `key`: the first whose upper bound is not
+    /// below it, else the last.
+    pub fn shard_of(&self, key: i128) -> usize {
+        self.uppers.partition_point(|&upper| upper < key)
+    }
+}
+
 /// N tables sharing one schema, queried as one. Shards are typically
 /// row-disjoint horizontal partitions (see [`shard_table`]), but the
 /// catalog only requires schema agreement — each shard answers for its
-/// own rows and the fan-in merges.
+/// own rows and the fan-in merges. Registering with a routing key
+/// ([`ShardedTable::with_key`]) additionally gives the table write-time
+/// placement: ingested batches are split along the shard key ranges.
 #[derive(Debug, Clone)]
 pub struct ShardedTable {
     schema: TableSchema,
     shards: Vec<Arc<Table>>,
     num_rows: usize,
+    routing: Option<ShardRouting>,
 }
 
 impl ShardedTable {
@@ -71,7 +121,95 @@ impl ShardedTable {
             schema,
             shards: arcs,
             num_rows,
+            routing: None,
         })
+    }
+
+    /// Assemble like [`ShardedTable::new`] *and* derive write-time
+    /// routing from `key`: each shard's `[min, max]` over the key
+    /// column (resident metadata) must ascend in shard order without
+    /// overlapping (ranges may touch at a boundary value — the shared
+    /// key routes to the lower shard), and the boundaries between them
+    /// become the batch splitter [`Catalog::ingest`] routes by.
+    pub fn with_key(shards: Vec<Table>, key: &str) -> Result<ShardedTable> {
+        let mut sharded = ShardedTable::new(shards)?;
+        sharded.routing = Some(derive_routing(&sharded.shards, key)?);
+        Ok(sharded)
+    }
+
+    /// The write-time placement policy, if one was derived at assembly.
+    pub fn routing(&self) -> Option<&ShardRouting> {
+        self.routing.as_ref()
+    }
+
+    /// Split a row batch (columns aligned with the schema) into one
+    /// per-shard batch along the routing key's shard boundaries. Parts
+    /// come back in shard order; a shard the batch does not touch gets
+    /// empty columns. Errors when the table has no routing key or the
+    /// batch does not match the schema.
+    pub fn partition_batch(&self, columns: &[ColumnData]) -> Result<Vec<Vec<ColumnData>>> {
+        let routing = self.routing.as_ref().ok_or_else(|| {
+            StoreError::Shape(
+                "table has no routing key: register with ShardedTable::with_key \
+                 (or Catalog::register_sharded_keyed) to route ingest batches"
+                    .into(),
+            )
+        })?;
+        if columns.len() != self.schema.width() {
+            return Err(StoreError::Shape(format!(
+                "ingest batch has {} columns, schema has {}",
+                columns.len(),
+                self.schema.width()
+            )));
+        }
+        let rows = columns.first().map_or(0, ColumnData::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(StoreError::Shape(format!(
+                    "ingest column {} has {} rows, expected {rows}",
+                    self.schema.columns[i].name,
+                    col.len()
+                )));
+            }
+            if col.dtype() != self.schema.columns[i].dtype {
+                return Err(StoreError::Shape(format!(
+                    "ingest column {} is {:?}, schema says {:?}",
+                    self.schema.columns[i].name,
+                    col.dtype(),
+                    self.schema.columns[i].dtype
+                )));
+            }
+        }
+        let key_idx = self
+            .schema
+            .index_of(&routing.key)
+            .ok_or_else(|| StoreError::NoSuchColumn(routing.key.clone()))?;
+        // One bucketing pass over the rows, gathering every column's
+        // transport value into the owning shard's buckets — dtypes
+        // survive the round-trip exactly, and the cost stays
+        // O(rows x columns) no matter how many shards there are.
+        let mut buckets: Vec<Vec<Vec<u64>>> =
+            vec![vec![Vec::new(); columns.len()]; self.shards.len()];
+        for row in 0..rows {
+            let target = routing.shard_of(
+                columns[key_idx]
+                    .get_numeric(row)
+                    .expect("row index in range"),
+            );
+            for (slot, col) in columns.iter().enumerate() {
+                buckets[target][slot].push(col.get_transport(row).expect("row index in range"));
+            }
+        }
+        Ok(buckets
+            .into_iter()
+            .map(|shard_cols| {
+                shard_cols
+                    .into_iter()
+                    .zip(columns)
+                    .map(|(picked, col)| ColumnData::from_transport(col.dtype(), picked))
+                    .collect()
+            })
+            .collect())
     }
 
     /// The shared schema.
@@ -150,6 +288,77 @@ impl ShardedTable {
     pub fn execute(&self, spec: &QuerySpec) -> Result<QueryResult> {
         self.execute_parallel(spec, 1)
     }
+
+    /// A new sharded table with `columns` appended: split along the
+    /// routing key's shard boundaries when the table has one
+    /// ([`Self::partition_batch`]), appended whole to the *last* shard
+    /// otherwise (log-style placement — the only shard whose key range
+    /// growing upward cannot overlap a neighbour). Untouched shards
+    /// share their `Arc` handles; nothing is re-encoded.
+    pub fn append_batch(&self, columns: &[ColumnData]) -> Result<ShardedTable> {
+        let rows = columns.first().map_or(0, ColumnData::len);
+        let mut shards: Vec<Arc<Table>> = Vec::with_capacity(self.shards.len());
+        if self.routing.is_some() {
+            let parts = self.partition_batch(columns)?;
+            for (shard, part) in self.shards.iter().zip(&parts) {
+                if part.first().map_or(0, ColumnData::len) == 0 {
+                    shards.push(Arc::clone(shard));
+                } else {
+                    shards.push(Arc::new(shard.append(part)?));
+                }
+            }
+        } else {
+            let (last, head) = self.shards.split_last().expect("at least one shard");
+            shards.extend(head.iter().cloned());
+            shards.push(Arc::new(last.append(columns)?));
+        }
+        Ok(ShardedTable {
+            schema: self.schema.clone(),
+            shards,
+            num_rows: self.num_rows + rows,
+            routing: self.routing.clone(),
+        })
+    }
+}
+
+/// Derive [`ShardRouting`] over `key` from the shards' per-column key
+/// ranges: every shard must hold rows (an empty shard has no range to
+/// own), and the ranges must ascend in shard order without
+/// overlapping. Ranges that *touch* at a boundary value are accepted —
+/// a table split on segment boundaries (see [`shard_table`]) routinely
+/// has one key straddling the cut — and the shared key routes to the
+/// lower shard, consistent with [`ShardRouting::shard_of`].
+fn derive_routing(shards: &[Arc<Table>], key: &str) -> Result<ShardRouting> {
+    let idx = shards[0]
+        .schema()
+        .index_of(key)
+        .ok_or_else(|| StoreError::NoSuchColumn(key.to_string()))?;
+    let mut ranges = Vec::with_capacity(shards.len());
+    for (i, shard) in shards.iter().enumerate() {
+        let range = shard.column_range(idx).ok_or_else(|| {
+            StoreError::Shape(format!(
+                "shard {i} holds no rows: cannot derive a key range to route by"
+            ))
+        })?;
+        ranges.push(range);
+    }
+    for (i, window) in ranges.windows(2).enumerate() {
+        let ((_, hi), (lo, _)) = (window[0], window[1]);
+        if hi > lo {
+            return Err(StoreError::Shape(format!(
+                "shard {i} key range ends at {hi} but shard {} starts at {lo}: \
+                 key ranges must ascend without overlapping to route writes",
+                i + 1
+            )));
+        }
+    }
+    Ok(ShardRouting {
+        key: key.to_string(),
+        uppers: ranges[..ranges.len() - 1]
+            .iter()
+            .map(|&(_, hi)| hi)
+            .collect(),
+    })
 }
 
 /// Whether `spec`'s bounds prove `shard` holds no matching row, from
@@ -333,6 +542,30 @@ impl ResultCache {
 /// Named tables with versions and a result cache. All methods take
 /// `&self`: the catalog is internally synchronised and meant to be
 /// shared (`Arc<Catalog>`) across query threads.
+///
+/// ```
+/// use lcdc_core::{ColumnData, DType};
+/// use lcdc_store::{Agg, Catalog, CompressionPolicy, QuerySpec, Table, TableSchema};
+///
+/// let table = Table::build(
+///     TableSchema::new(&[("qty", DType::U64)]),
+///     &[ColumnData::U64((0..2000).map(|i| 1 + i % 50).collect())],
+///     &[CompressionPolicy::Auto],
+///     256,
+/// )
+/// .unwrap();
+/// let catalog = Catalog::new();
+/// catalog.register("orders", table);
+///
+/// let spec = QuerySpec::new().aggregate(&[Agg::Sum("qty")]);
+/// let first = catalog.execute("orders", &spec).unwrap();
+/// assert_eq!(first.stats.result_cache_hits, 0);
+/// // The identical plan against the same table version is a cache hit:
+/// // nothing executes, the rows come back verbatim.
+/// let again = catalog.execute("orders", &spec).unwrap();
+/// assert_eq!(again.stats.result_cache_hits, 1);
+/// assert_eq!(again.rows, first.rows);
+/// ```
 #[derive(Debug)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Entry>>,
@@ -383,6 +616,127 @@ impl Catalog {
         Ok(self.install(name, CatalogTable::Sharded(Arc::new(sharded))))
     }
 
+    /// Register (or replace) a sharded table with a routing key
+    /// ([`ShardedTable::with_key`]): reads prune shards by the key
+    /// ranges, and [`Catalog::ingest`] batches split along them.
+    /// Returns the entry's new version.
+    pub fn register_sharded_keyed(&self, name: &str, shards: Vec<Table>, key: &str) -> Result<u64> {
+        let sharded = ShardedTable::with_key(shards, key)?;
+        Ok(self.install(name, CatalogTable::Sharded(Arc::new(sharded))))
+    }
+
+    /// Ingest a row batch into the named table — the write path.
+    ///
+    /// The batch (columns aligned with the table's schema, exactly as
+    /// in [`Table::build`]) is encoded into fresh compressed segments
+    /// through the per-column scheme chooser, routed to the owning
+    /// shard(s) by key range when the table is sharded with a routing
+    /// key (a batch spanning ranges is split; an unrouted sharded
+    /// table appends log-style to its last shard), and published
+    /// atomically under **one** version bump regardless of how many
+    /// shards the batch touched. Queries that already fetched their
+    /// snapshot keep reading the pre-ingest tables; every cached
+    /// result for `name` stops being served the moment the bump lands,
+    /// so a repeated query re-executes over the new rows. An empty
+    /// batch is a no-op: nothing changes, nothing is invalidated, and
+    /// the current version comes back.
+    ///
+    /// Encoding runs under the catalog's table lock, so concurrent
+    /// catalog *mutations* serialize, and a query arriving mid-ingest
+    /// waits on its initial snapshot fetch until the encode finishes.
+    /// Queries that already fetched their snapshot are unaffected —
+    /// they execute on cloned handles, outside every catalog lock.
+    /// (Moving the encode outside the lock is a noted follow-on for
+    /// when ingest concurrency matters.)
+    ///
+    /// Returns the entry's post-ingest version.
+    ///
+    /// ```
+    /// use lcdc_core::{ColumnData, DType};
+    /// use lcdc_store::{Agg, Catalog, CompressionPolicy, Predicate, QuerySpec, Table, TableSchema};
+    ///
+    /// let build = |days: std::ops::Range<u64>| {
+    ///     Table::build(
+    ///         TableSchema::new(&[("day", DType::U64)]),
+    ///         &[ColumnData::U64(days.collect())],
+    ///         &[CompressionPolicy::Auto],
+    ///         64,
+    ///     )
+    ///     .unwrap()
+    /// };
+    /// let catalog = Catalog::new();
+    /// let v1 = catalog
+    ///     .register_sharded_keyed("orders", vec![build(0..100), build(100..200)], "day")
+    ///     .unwrap();
+    ///
+    /// let spec = QuerySpec::new()
+    ///     .filter("day", Predicate::Range { lo: 0, hi: 1000 })
+    ///     .aggregate(&[Agg::Count]);
+    /// assert_eq!(
+    ///     catalog.execute("orders", &spec).unwrap().aggregates().unwrap(),
+    ///     &[Some(200)]
+    /// );
+    ///
+    /// // The batch spans both shard key ranges; the version bumps once
+    /// // and the repeated query re-executes instead of serving the
+    /// // cached 200.
+    /// let v2 = catalog
+    ///     .ingest("orders", &[ColumnData::U64(vec![50, 150])])
+    ///     .unwrap();
+    /// assert_eq!(v2, v1 + 1);
+    /// let after = catalog.execute("orders", &spec).unwrap();
+    /// assert_eq!(after.stats.result_cache_hits, 0);
+    /// assert_eq!(after.aggregates().unwrap(), &[Some(202)]);
+    /// ```
+    pub fn ingest(&self, name: &str, columns: &[ColumnData]) -> Result<u64> {
+        let mut tables = self.tables.write().expect("catalog lock");
+        let entry = tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        let schema = entry.table.schema();
+        if columns.len() != schema.width() {
+            return Err(StoreError::Shape(format!(
+                "ingest batch has {} columns, table {name} has {}",
+                columns.len(),
+                schema.width()
+            )));
+        }
+        // Validate shape *before* the empty-batch early return: a
+        // ragged batch whose first column happens to be empty must be
+        // an error, never a silent no-op that drops the other columns'
+        // rows.
+        let rows = columns.first().map_or(0, ColumnData::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(StoreError::Shape(format!(
+                    "ingest column {} has {} rows, expected {rows}",
+                    schema.columns[i].name,
+                    col.len()
+                )));
+            }
+            if col.dtype() != schema.columns[i].dtype {
+                return Err(StoreError::Shape(format!(
+                    "ingest column {} is {:?}, schema says {:?}",
+                    schema.columns[i].name,
+                    col.dtype(),
+                    schema.columns[i].dtype
+                )));
+            }
+        }
+        if rows == 0 {
+            return Ok(entry.version);
+        }
+        entry.table = match &entry.table {
+            CatalogTable::Single(t) => CatalogTable::Single(Arc::new(t.append(columns)?)),
+            CatalogTable::Sharded(s) => CatalogTable::Sharded(Arc::new(s.append_batch(columns)?)),
+        };
+        entry.version = self.bump();
+        let version = entry.version;
+        drop(tables);
+        self.cache.lock().expect("cache lock").purge_table(name);
+        Ok(version)
+    }
+
     fn install(&self, name: &str, table: CatalogTable) -> u64 {
         let version = self.bump();
         self.tables
@@ -413,10 +767,21 @@ impl Catalog {
         }
         shards.push(Arc::new(shard));
         let num_rows = shards.iter().map(|s| s.num_rows()).sum();
+        // A routed table stays routed: the grown shard list must still
+        // carry disjoint ascending key ranges, or the mutation is
+        // rejected before anything is published.
+        let routing = match &entry.table {
+            CatalogTable::Sharded(s) => match s.routing() {
+                Some(r) => Some(derive_routing(&shards, r.key())?),
+                None => None,
+            },
+            CatalogTable::Single(_) => None,
+        };
         entry.table = CatalogTable::Sharded(Arc::new(ShardedTable {
             schema,
             shards,
             num_rows,
+            routing,
         }));
         entry.version = self.bump();
         let version = entry.version;
@@ -730,6 +1095,190 @@ mod tests {
             fanned.stats.pushdown.zonemap_hits <= single.stats.pushdown.zonemap_hits,
             "shard pruning replaces per-segment zone checks, never adds them"
         );
+    }
+
+    #[test]
+    fn routing_derivation_and_boundaries() {
+        // Shard 0 holds days 1..=20, shard 1 holds days 1001..=1020.
+        let sharded =
+            ShardedTable::with_key(vec![orders(2000, 1), orders(2000, 1001)], "day").unwrap();
+        let routing = sharded.routing().unwrap();
+        assert_eq!(routing.key(), "day");
+        assert_eq!(routing.uppers(), &[20]);
+        // On-boundary keys belong to the lower shard; everything past
+        // the last bound belongs to the last shard.
+        assert_eq!(routing.shard_of(0), 0);
+        assert_eq!(routing.shard_of(20), 0, "boundary key stays low");
+        assert_eq!(routing.shard_of(21), 1);
+        assert_eq!(routing.shard_of(99_999), 1);
+
+        // Overlapping or unordered key ranges are rejected.
+        assert!(ShardedTable::with_key(vec![orders(2000, 1), orders(2000, 10)], "day").is_err());
+        assert!(ShardedTable::with_key(vec![orders(2000, 1001), orders(2000, 1)], "day").is_err());
+        // Ranges touching at one boundary value are fine (a table split
+        // on segment boundaries has a key straddling the cut): the
+        // shared key routes low.
+        let touching =
+            ShardedTable::with_key(vec![orders(2000, 1), orders(2000, 20)], "day").unwrap();
+        assert_eq!(touching.routing().unwrap().uppers(), &[20]);
+        assert_eq!(touching.routing().unwrap().shard_of(20), 0);
+        // Unknown key column is rejected.
+        assert!(ShardedTable::with_key(vec![orders(2000, 1), orders(2000, 1001)], "nope").is_err());
+        // An unkeyed assembly carries no routing.
+        assert!(ShardedTable::new(vec![orders(2000, 1)])
+            .unwrap()
+            .routing()
+            .is_none());
+    }
+
+    #[test]
+    fn partition_batch_splits_along_key_ranges() {
+        let sharded =
+            ShardedTable::with_key(vec![orders(2000, 1), orders(2000, 1001)], "day").unwrap();
+        let day = ColumnData::U64(vec![5, 1010, 20, 21, 1020]);
+        let qty = ColumnData::U64(vec![1, 2, 3, 4, 5]);
+        let parts = sharded.partition_batch(&[day, qty]).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0][0], ColumnData::U64(vec![5, 20]));
+        assert_eq!(parts[0][1], ColumnData::U64(vec![1, 3]));
+        assert_eq!(parts[1][0], ColumnData::U64(vec![1010, 21, 1020]));
+        assert_eq!(parts[1][1], ColumnData::U64(vec![2, 4, 5]));
+        // Shape errors surface before any row moves.
+        assert!(sharded
+            .partition_batch(&[ColumnData::U64(vec![1])])
+            .is_err());
+        assert!(sharded
+            .partition_batch(&[ColumnData::U64(vec![1]), ColumnData::I64(vec![1])])
+            .is_err());
+        // No routing key: partitioning refuses.
+        let unkeyed = ShardedTable::new(vec![orders(2000, 1)]).unwrap();
+        assert!(unkeyed
+            .partition_batch(&[ColumnData::U64(vec![1]), ColumnData::U64(vec![1])])
+            .is_err());
+    }
+
+    #[test]
+    fn ingest_routes_bumps_once_and_invalidates() {
+        let catalog = Catalog::new();
+        let v1 = catalog
+            .register_sharded_keyed("orders", vec![orders(2000, 1), orders(2000, 1001)], "day")
+            .unwrap();
+        let cached = catalog.execute("orders", &spec()).unwrap();
+        assert_eq!(
+            catalog
+                .execute("orders", &spec())
+                .unwrap()
+                .stats
+                .result_cache_hits,
+            1
+        );
+
+        // The batch spans both shard ranges: days 5..=14 (shard 0, in
+        // the queried window) and 1010 (shard 1).
+        let day = ColumnData::U64(vec![5, 1010, 14]);
+        let qty = ColumnData::U64(vec![100, 7, 100]);
+        let v2 = catalog.ingest("orders", &[day, qty]).unwrap();
+        assert_eq!(v2, v1 + 1, "one bump for a batch spanning two shards");
+
+        let (table, _) = catalog.get("orders").unwrap();
+        let CatalogTable::Sharded(sharded) = &table else {
+            panic!("stays sharded")
+        };
+        assert_eq!(sharded.shards()[0].num_rows(), 2002);
+        assert_eq!(sharded.shards()[1].num_rows(), 2001);
+        assert!(sharded.routing().is_some(), "routing survives ingest");
+
+        // The stale cached result is not served; the re-execution sees
+        // the two new in-window rows.
+        let after = catalog.execute("orders", &spec()).unwrap();
+        assert_eq!(after.stats.result_cache_hits, 0);
+        let before_vals = cached.aggregates().unwrap();
+        let after_vals = after.aggregates().unwrap();
+        assert_eq!(after_vals[1], before_vals[1].map(|c| c + 2));
+        assert_eq!(after_vals[0], before_vals[0].map(|s| s + 200));
+    }
+
+    #[test]
+    fn ingest_single_table_and_empty_batch() {
+        let catalog = Catalog::new();
+        let v1 = catalog.register("t", orders(1000, 1));
+        // Empty batch: no bump, cache untouched.
+        let first = catalog.execute("t", &spec()).unwrap();
+        let same = catalog
+            .ingest("t", &[ColumnData::U64(vec![]), ColumnData::U64(vec![])])
+            .unwrap();
+        assert_eq!(same, v1);
+        assert_eq!(
+            catalog
+                .execute("t", &spec())
+                .unwrap()
+                .stats
+                .result_cache_hits,
+            1,
+            "empty ingest keeps serving the cache"
+        );
+        // A real batch into a single (unsharded) table appends in place.
+        let v2 = catalog
+            .ingest("t", &[ColumnData::U64(vec![7]), ColumnData::U64(vec![9])])
+            .unwrap();
+        assert!(v2 > v1);
+        let (table, _) = catalog.get("t").unwrap();
+        assert!(matches!(table, CatalogTable::Single(_)), "stays single");
+        assert_eq!(table.num_rows(), 1001);
+        let after = catalog.execute("t", &spec()).unwrap();
+        assert_eq!(after.stats.result_cache_hits, 0);
+        assert_ne!(after.rows, first.rows);
+        // Errors: unknown table, wrong width.
+        assert!(catalog.ingest("nope", &[]).is_err());
+        assert!(catalog.ingest("t", &[ColumnData::U64(vec![1])]).is_err());
+        // A ragged batch whose *first* column is empty must error, not
+        // silently drop the other columns' rows as an empty no-op.
+        assert!(catalog
+            .ingest("t", &[ColumnData::U64(vec![]), ColumnData::U64(vec![1, 2])])
+            .is_err());
+        // Wrong dtype is caught even for an all-empty batch.
+        assert!(catalog
+            .ingest("t", &[ColumnData::U64(vec![]), ColumnData::I64(vec![])])
+            .is_err());
+        assert_eq!(
+            catalog.get("t").unwrap().0.num_rows(),
+            1001,
+            "rejected batches change nothing"
+        );
+    }
+
+    #[test]
+    fn unkeyed_sharded_ingest_appends_log_style() {
+        let catalog = Catalog::new();
+        catalog
+            .register_sharded("t", vec![orders(1000, 1), orders(1000, 1)])
+            .unwrap();
+        catalog
+            .ingest("t", &[ColumnData::U64(vec![50]), ColumnData::U64(vec![1])])
+            .unwrap();
+        let (table, _) = catalog.get("t").unwrap();
+        let CatalogTable::Sharded(sharded) = &table else {
+            panic!("stays sharded")
+        };
+        assert_eq!(sharded.shards()[0].num_rows(), 1000, "head untouched");
+        assert_eq!(sharded.shards()[1].num_rows(), 1001, "tail takes the batch");
+    }
+
+    #[test]
+    fn add_shard_preserves_or_rejects_routing() {
+        let catalog = Catalog::new();
+        catalog
+            .register_sharded_keyed("t", vec![orders(2000, 1), orders(2000, 1001)], "day")
+            .unwrap();
+        // A shard extending the key order re-derives routing.
+        catalog.add_shard("t", orders(2000, 5001)).unwrap();
+        let (table, _) = catalog.get("t").unwrap();
+        let CatalogTable::Sharded(sharded) = &table else {
+            panic!("sharded")
+        };
+        assert_eq!(sharded.routing().unwrap().uppers(), &[20, 1020]);
+        // A shard overlapping existing ranges is rejected outright.
+        assert!(catalog.add_shard("t", orders(2000, 1)).is_err());
     }
 
     #[test]

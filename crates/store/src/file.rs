@@ -31,7 +31,7 @@ use crate::segment::Segment;
 use crate::source::{FileSource, FrameLocation, SegmentMeta, SegmentSource};
 use crate::table::Table;
 use crate::{Result, StoreError};
-use lcdc_core::{bytes, DType};
+use lcdc_core::{bytes, ColumnData, DType};
 use std::fs;
 use std::path::Path;
 use std::sync::Arc;
@@ -52,53 +52,195 @@ struct ColumnManifest {
     locations: Vec<FrameLocation>,
 }
 
-/// Write `table` into `dir` (created if absent; existing table files are
-/// overwritten). Loads lazily-backed columns in full.
-pub fn save_table(table: &Table, dir: &Path) -> Result<()> {
-    fs::create_dir_all(dir)?;
+/// One segment's on-disk record: header (frame length, checksum, expr,
+/// zone map) followed by the frame bytes. Shared by the full write and
+/// the append paths so the record format has one home.
+fn encode_segment_record(seg: &Segment) -> Vec<u8> {
+    let frame = bytes::to_bytes(&seg.compressed);
+    let mut record = Vec::with_capacity(frame.len() + 64);
+    put_u64(&mut record, frame.len() as u64);
+    put_u64(&mut record, fnv1a64(&frame));
+    put_str(&mut record, &seg.expr);
+    put_i128(&mut record, seg.min);
+    put_i128(&mut record, seg.max);
+    record.extend_from_slice(&frame);
+    record
+}
+
+/// Serialize and install the manifest. The body is written to a
+/// sibling temp file and *renamed* over `MANIFEST.lcdc`, and its
+/// trailing FNV-1a checksum is the last bytes serialized — so a torn
+/// write leaves either the old manifest (appended frames past its
+/// recorded end are invisible) or a checksum-failing file that
+/// [`read_manifest`] rejects on open. Never a silently truncated view.
+fn write_manifest(
+    dir: &Path,
+    seg_rows: usize,
+    num_rows: usize,
+    columns: &[ColumnManifest],
+) -> Result<()> {
     let mut manifest = Vec::with_capacity(256);
     manifest.extend_from_slice(MAGIC);
     put_u16(&mut manifest, VERSION);
-    put_u64(&mut manifest, table.seg_rows() as u64);
-    put_u64(&mut manifest, table.num_rows() as u64);
-    put_u16(&mut manifest, table.schema().width() as u16);
-    for col in &table.schema().columns {
-        put_str(&mut manifest, &col.name);
-        manifest.push(dtype_tag(col.dtype));
-        let segments = table.column_segments(&col.name)?;
-        put_u64(&mut manifest, segments.len() as u64);
-
-        let mut file = Vec::new();
-        for seg in &segments {
-            let offset = file.len() as u64;
-            let frame = bytes::to_bytes(&seg.compressed);
-            put_u64(&mut file, frame.len() as u64);
-            put_u64(&mut file, fnv1a64(&frame));
-            put_str(&mut file, &seg.expr);
-            put_i128(&mut file, seg.min);
-            put_i128(&mut file, seg.max);
-            file.extend_from_slice(&frame);
-            // The segment's manifest record: where its frame sits plus
-            // everything the planner needs without reading it. Row
-            // counts are persisted, not inferred from seg_rows, so
-            // non-uniform segmentations survive a lazy reopen.
-            put_u64(&mut manifest, offset);
-            put_u64(&mut manifest, file.len() as u64 - offset);
-            put_u64(&mut manifest, seg.compressed_bytes() as u64);
-            put_u64(&mut manifest, seg.num_rows() as u64);
-            put_i128(&mut manifest, seg.min);
-            put_i128(&mut manifest, seg.max);
-            put_str(&mut manifest, &seg.expr);
+    put_u64(&mut manifest, seg_rows as u64);
+    put_u64(&mut manifest, num_rows as u64);
+    put_u16(&mut manifest, columns.len() as u16);
+    for col in columns {
+        put_str(&mut manifest, &col.schema.name);
+        manifest.push(dtype_tag(col.schema.dtype));
+        put_u64(&mut manifest, col.metas.len() as u64);
+        // Each record: where the frame sits plus everything the
+        // planner needs without reading it. Row counts are persisted,
+        // not inferred from seg_rows, so non-uniform segmentations
+        // (from_sources assemblies, appended tails) survive a reopen.
+        for (meta, loc) in col.metas.iter().zip(&col.locations) {
+            put_u64(&mut manifest, loc.offset);
+            put_u64(&mut manifest, loc.len);
+            put_u64(&mut manifest, meta.bytes as u64);
+            put_u64(&mut manifest, meta.rows as u64);
+            put_i128(&mut manifest, meta.min);
+            put_i128(&mut manifest, meta.max);
+            put_str(&mut manifest, &meta.expr);
         }
-        fs::write(dir.join(column_file(&col.name)), file)?;
     }
     // Trailing FNV-1a over the manifest body: zone maps steer lazy
     // pruning without ever reading frames, so manifest corruption must
     // be *detected*, not silently turned into wrong answers.
     let checksum = fnv1a64(&manifest);
     put_u64(&mut manifest, checksum);
-    fs::write(dir.join(MANIFEST), manifest)?;
+    let tmp = dir.join(format!("{MANIFEST}.tmp"));
+    {
+        use std::io::Write;
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&manifest)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(MANIFEST))?;
     Ok(())
+}
+
+/// Write `table` into `dir` (created if absent; existing table files are
+/// overwritten). Loads lazily-backed columns in full.
+pub fn save_table(table: &Table, dir: &Path) -> Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut columns = Vec::with_capacity(table.schema().width());
+    for col in &table.schema().columns {
+        let segments = table.column_segments(&col.name)?;
+        let mut file = Vec::new();
+        let mut metas = Vec::with_capacity(segments.len());
+        let mut locations = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            let offset = file.len() as u64;
+            let record = encode_segment_record(seg);
+            file.extend_from_slice(&record);
+            metas.push(SegmentMeta::of(seg));
+            locations.push(FrameLocation {
+                offset,
+                len: record.len() as u64,
+            });
+        }
+        fs::write(dir.join(column_file(&col.name)), file)?;
+        columns.push(ColumnManifest {
+            schema: col.clone(),
+            metas,
+            locations,
+        });
+    }
+    write_manifest(dir, table.seg_rows(), table.num_rows(), &columns)
+}
+
+/// Append a row batch to a saved table **without rewriting any
+/// existing frame**: the batch is chunked by the table's segment
+/// height, compressed per column under `policies` (align them with the
+/// schema; [`crate::CompressionPolicy::Auto`] re-runs the scheme chooser per
+/// segment), the new records are appended to each `<name>.col` file,
+/// and the manifest is rewritten last — temp file, rename, checksum
+/// trailing — so a write torn *anywhere* leaves a directory that
+/// either opens as the pre-append snapshot or is rejected on open,
+/// never one that silently serves a truncated table. Trailing bytes a
+/// previous torn append left past the manifest's recorded end are
+/// truncated away before the new frames land.
+///
+/// Returns the table's new total row count. The on-disk counterpart of
+/// [`Table::append`]; `lcdc ingest` is its CLI face.
+pub fn append_table(
+    dir: &Path,
+    columns: &[ColumnData],
+    policies: &[crate::segment::CompressionPolicy],
+) -> Result<usize> {
+    use std::io::{Seek, SeekFrom, Write};
+    let (mut manifest_cols, seg_rows, num_rows) = read_manifest(dir)?;
+    if columns.len() != manifest_cols.len() || policies.len() != manifest_cols.len() {
+        return Err(StoreError::Shape(format!(
+            "append batch has {} columns, {} policies; table has {}",
+            columns.len(),
+            policies.len(),
+            manifest_cols.len()
+        )));
+    }
+    let batch_rows = columns.first().map_or(0, ColumnData::len);
+    for (col, m) in columns.iter().zip(&manifest_cols) {
+        if col.len() != batch_rows {
+            return Err(StoreError::Shape(format!(
+                "append column {} has {} rows, expected {batch_rows}",
+                m.schema.name,
+                col.len()
+            )));
+        }
+        if col.dtype() != m.schema.dtype {
+            return Err(StoreError::Shape(format!(
+                "append column {} is {:?}, schema says {:?}",
+                m.schema.name,
+                col.dtype(),
+                m.schema.dtype
+            )));
+        }
+    }
+    if batch_rows == 0 {
+        return Ok(num_rows);
+    }
+    for (idx, (col, manifest_col)) in columns.iter().zip(manifest_cols.iter_mut()).enumerate() {
+        let path = dir.join(column_file(&manifest_col.schema.name));
+        let expected: u64 = manifest_col
+            .locations
+            .iter()
+            .map(|loc| loc.offset + loc.len)
+            .max()
+            .unwrap_or(0);
+        let mut file = fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        let actual = file.metadata()?.len();
+        if actual < expected {
+            return Err(StoreError::CorruptFile(format!(
+                "{}: file holds {actual} bytes, manifest records {expected}",
+                manifest_col.schema.name
+            )));
+        }
+        if actual > expected {
+            // A previous append died between frame write and manifest
+            // rename: the bytes past `expected` belong to no manifest.
+            file.set_len(expected)?;
+        }
+        file.seek(SeekFrom::Start(expected))?;
+        let mut offset = expected;
+        for start in (0..batch_rows).step_by(seg_rows) {
+            let end = (start + seg_rows).min(batch_rows);
+            let chunk = crate::table::slice_column(col, start, end);
+            let segment = Segment::build(&chunk, &policies[idx])?;
+            let record = encode_segment_record(&segment);
+            file.write_all(&record)?;
+            manifest_col.metas.push(SegmentMeta::of(&segment));
+            manifest_col.locations.push(FrameLocation {
+                offset,
+                len: record.len() as u64,
+            });
+            offset += record.len() as u64;
+        }
+        // Frames durable before the manifest that references them.
+        file.sync_all()?;
+    }
+    let total = num_rows + batch_rows;
+    write_manifest(dir, seg_rows, total, &manifest_cols)?;
+    Ok(total)
 }
 
 /// Load a whole table from `dir` into memory, verifying every frame
@@ -658,6 +800,131 @@ mod tests {
             Err(StoreError::CorruptFile(_))
         ));
         assert!(matches!(load_table(&dir), Err(StoreError::CorruptFile(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_table_round_trips_without_rewriting_frames() {
+        let dir = tmpdir("append");
+        let table = sample_table();
+        save_table(&table, &dir).unwrap();
+        let date_before = fs::read(dir.join("date.col")).unwrap();
+
+        let extra_date = ColumnData::U64((0..900u64).map(|i| 20_190_101 + i / 40).collect());
+        let extra_delta = ColumnData::I64((0..900i64).map(|i| i % 100).collect());
+        let policies = [CompressionPolicy::Auto, CompressionPolicy::Auto];
+        let total =
+            append_table(&dir, &[extra_date.clone(), extra_delta.clone()], &policies).unwrap();
+        assert_eq!(total, 5900);
+
+        // Existing frame bytes are untouched — strictly appended after.
+        let date_after = fs::read(dir.join("date.col")).unwrap();
+        assert!(date_after.len() > date_before.len());
+        assert_eq!(&date_after[..date_before.len()], &date_before[..]);
+
+        // Both open paths see the appended rows, and they agree with an
+        // in-memory append of the same batch.
+        let want = table
+            .append(&[extra_date.clone(), extra_delta.clone()])
+            .unwrap();
+        for reopened in [load_table(&dir).unwrap(), open_table_lazy(&dir, 4).unwrap()] {
+            assert_eq!(reopened.num_rows(), 5900);
+            for col in ["date", "delta"] {
+                assert_eq!(
+                    reopened.materialize(col).unwrap(),
+                    want.materialize(col).unwrap(),
+                    "{col}"
+                );
+            }
+        }
+
+        // A second append stacks (non-uniform tail heights are fine).
+        let total = append_table(
+            &dir,
+            &[ColumnData::U64(vec![20_200_101]), ColumnData::I64(vec![-1])],
+            &policies,
+        )
+        .unwrap();
+        assert_eq!(total, 5901);
+        assert_eq!(load_table(&dir).unwrap().num_rows(), 5901);
+
+        // Shape errors: wrong width, wrong dtype, short column.
+        assert!(append_table(&dir, std::slice::from_ref(&extra_date), &policies[..1]).is_err());
+        assert!(
+            append_table(&dir, &[extra_delta.clone(), extra_delta.clone()], &policies).is_err()
+        );
+        // Empty batch: a no-op that reports the current total.
+        assert_eq!(
+            append_table(
+                &dir,
+                &[ColumnData::empty(DType::U64), ColumnData::empty(DType::I64)],
+                &policies
+            )
+            .unwrap(),
+            5901
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_append_is_rejected_or_recovered_never_truncated_silently() {
+        let dir = tmpdir("torn");
+        let table = sample_table();
+        save_table(&table, &dir).unwrap();
+
+        // Simulate an append that died after writing frames but before
+        // the manifest rename: garbage past the manifest's recorded end.
+        let path = dir.join("date.col");
+        let clean = fs::read(&path).unwrap();
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&[0xAB; 37]);
+        fs::write(&path, &torn).unwrap();
+
+        // The lazy open serves the pre-append snapshot (offsets ignore
+        // the trailing garbage); the eager open rejects loudly rather
+        // than guessing — and a *recorded* frame going missing is
+        // rejected by both.
+        let lazy = open_table_lazy(&dir, 4).unwrap();
+        assert_eq!(
+            lazy.materialize("date").unwrap(),
+            table.materialize("date").unwrap()
+        );
+        assert!(matches!(load_table(&dir), Err(StoreError::CorruptFile(_))));
+
+        // The next append heals the tear: garbage is truncated away
+        // before the new frames land, and both opens agree again.
+        let policies = [CompressionPolicy::Auto, CompressionPolicy::Auto];
+        append_table(
+            &dir,
+            &[
+                ColumnData::U64(vec![20_190_101, 20_190_102]),
+                ColumnData::I64(vec![1, 2]),
+            ],
+            &policies,
+        )
+        .unwrap();
+        let eager = load_table(&dir).unwrap();
+        assert_eq!(eager.num_rows(), 5002);
+        assert_eq!(
+            eager.materialize("date").unwrap(),
+            open_table_lazy(&dir, 4)
+                .unwrap()
+                .materialize("date")
+                .unwrap()
+        );
+
+        // A file *shorter* than the manifest records is unrecoverable
+        // and must refuse the append.
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 10]).unwrap();
+        assert!(matches!(
+            append_table(
+                &dir,
+                &[ColumnData::U64(vec![1]), ColumnData::I64(vec![1])],
+                &policies
+            ),
+            Err(StoreError::CorruptFile(_))
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

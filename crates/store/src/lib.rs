@@ -57,6 +57,19 @@
 //! `(plan fingerprint, table version)` via the stable
 //! [`QuerySpec::fingerprint`].
 //!
+//! ## The write path
+//!
+//! Tables are immutable values; *growth* happens by appending:
+//! [`Table::append`] encodes a row batch into fresh compressed
+//! segments (per-segment scheme choice, zone maps and scheme tags like
+//! built data) chained after the existing — possibly lazily-backed —
+//! segments, [`Catalog::ingest`] routes a batch to the owning shards
+//! by key range ([`Catalog::register_sharded_keyed`]) and publishes it
+//! under one version bump so cached results self-invalidate, and
+//! [`file::append_table`] is the on-disk counterpart: new frames
+//! appended to the column files without rewriting existing ones, the
+//! manifest rewritten last so torn writes are rejected on open.
+//!
 //! The pre-planner entry points — [`Query`] (filter + aggregate),
 //! [`groupby`](mod@groupby), [`topk`](mod@topk),
 //! [`distinct`](mod@distinct), [`run_pushdown_parallel`] — survive as
@@ -66,6 +79,12 @@
 //! Deliberately small: no transactions, no SQL — the paper's claims are
 //! about scans over compressed columns, and that is what is here, built
 //! on the same `lcdc-colops` kernels the decompression plans use.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the layer map
+//! (segment → source → table → catalog → plans → executor) and the
+//! version / cache-invalidation contract the write path relies on.
+
+#![warn(missing_docs)]
 
 pub mod agg;
 pub mod approx;
@@ -89,10 +108,10 @@ pub mod topk;
 
 pub use agg::{AggKind, AggResult};
 pub use approx::{approximate_aggregate, AggInterval, GradualAggregate};
-pub use catalog::{shard_table, Catalog, CatalogTable, ShardedTable};
+pub use catalog::{shard_table, Catalog, CatalogTable, ShardRouting, ShardedTable};
 pub use distinct::{distinct_compressed, distinct_naive, DistinctStats};
 pub use exec::{Query, QueryOutput};
-pub use file::{load_table, open_table_lazy, read_segment, save_table};
+pub use file::{append_table, load_table, open_table_lazy, read_segment, save_table};
 pub use join::{join_count_compressed, join_count_naive};
 pub use par::{par_materialize, run_pushdown_parallel};
 pub use predicate::{InList, Predicate, PushdownStats};
@@ -103,7 +122,7 @@ pub use schema::{ColumnSchema, TableSchema};
 pub use segment::{CompressionPolicy, Segment};
 pub use selvec::{gather_early, gather_late, select, select_and, GatherStats, SelVec};
 pub use sort::{sort_column_compressed, sort_column_naive, SortStats};
-pub use source::{FileSource, ResidentSource, SegmentMeta, SegmentSource};
+pub use source::{ChainedSource, FileSource, ResidentSource, SegmentMeta, SegmentSource};
 pub use table::Table;
 pub use topk::{top_k_naive, top_k_pruned, TopKStats};
 

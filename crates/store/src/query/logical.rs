@@ -397,6 +397,33 @@ fn scheme_leaf_cost(expr: &str) -> u64 {
 /// Compilation ([`QueryBuilder::compile`]) resolves column names and
 /// picks the physical operators; nothing touches the data until one of
 /// the `execute*` methods runs the plan.
+///
+/// ```
+/// use lcdc_core::{ColumnData, DType};
+/// use lcdc_store::{Agg, CompressionPolicy, Predicate, QueryBuilder, Table, TableSchema};
+///
+/// let table = Table::build(
+///     TableSchema::new(&[("day", DType::U64), ("qty", DType::U64)]),
+///     &[
+///         ColumnData::U64((0..3000).map(|i| 1 + i / 100).collect()),
+///         ColumnData::U64((0..3000).map(|i| 1 + i % 50).collect()),
+///     ],
+///     &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+///     512,
+/// )
+/// .unwrap();
+/// let result = QueryBuilder::scan(&table)
+///     .filter("day", Predicate::Range { lo: 10, hi: 19 })
+///     .aggregate(&[Agg::Sum("qty"), Agg::Count])
+///     .execute()
+///     .unwrap();
+/// assert_eq!(result.aggregates().unwrap()[1], Some(1000));
+/// assert!(
+///     result.stats.segments_pruned > 0,
+///     "zone maps pruned the out-of-range segments: {:?}",
+///     result.stats
+/// );
+/// ```
 #[derive(Debug, Clone)]
 pub struct QueryBuilder<'t> {
     table: &'t Table,

@@ -38,6 +38,29 @@ use std::time::Duration;
 /// How a compiled plan should be driven: worker count and prefetch
 /// depth. Execution options never change a query's answer — only how
 /// the same per-segment pipeline is scheduled.
+///
+/// ```
+/// use lcdc_core::{ColumnData, DType};
+/// use lcdc_store::{Agg, CompressionPolicy, ExecOptions, QueryBuilder, Table, TableSchema};
+///
+/// let table = Table::build(
+///     TableSchema::new(&[("v", DType::U64)]),
+///     &[ColumnData::U64((0..4000).collect())],
+///     &[CompressionPolicy::Auto],
+///     512,
+/// )
+/// .unwrap();
+/// let opts = ExecOptions::threads(4).with_prefetch(6);
+/// let parallel = QueryBuilder::scan(&table)
+///     .aggregate(&[Agg::Sum("v"), Agg::Count])
+///     .execute_opts(&opts)
+///     .unwrap();
+/// let sequential = QueryBuilder::scan(&table)
+///     .aggregate(&[Agg::Sum("v"), Agg::Count])
+///     .execute()
+///     .unwrap();
+/// assert_eq!(parallel.rows, sequential.rows, "options never change answers");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Worker threads pulling morsels (clamped to `[1, morsel count]`;
@@ -45,9 +68,19 @@ pub struct ExecOptions {
     pub threads: usize,
     /// How many morsels ahead of the scan cursor the background
     /// fetcher keeps warm (`0` disables prefetch — no fetcher thread is
-    /// spawned). Only lazily-backed sources do real work; keep this
-    /// below each `FileSource`'s cache capacity or the prefetcher
-    /// evicts frames before the scan reads them.
+    /// spawned). Only lazily-backed sources do real work.
+    ///
+    /// **Invariant:** the effective window plus the frame under the
+    /// scan cursor always fit inside every touched source's
+    /// decoded-segment cache ([`crate::SegmentSource::cache_capacity`]).
+    /// A deeper window lets the prefetcher evict a warmed frame before
+    /// the scan reaches it (the scan's fetch of the *current* frame
+    /// marks it most-recent, leaving the next-needed warmed frame as
+    /// the LRU victim) — each eviction a wasted read *plus* a re-read,
+    /// strictly worse than no prefetch. The executor enforces this by
+    /// clamping: ask for any depth, and a plan over a `FileSource` with
+    /// an `N`-frame cache prefetches at most `N - 2` ahead (caches of
+    /// one or two frames disable prefetch outright).
     pub prefetch: usize,
 }
 
@@ -109,7 +142,26 @@ pub(crate) fn run_plans(
         .clamp(1, morsels.len().max(1))
         .min(hardware.max(1));
 
-    if threads <= 1 && opts.prefetch == 0 {
+    // Clamp the prefetch window so it fits every touched source's
+    // decoded-segment cache *alongside the frame under the scan
+    // cursor*: a deeper window lets the prefetcher evict a warmed frame
+    // before the scan consumes it (the scan's fetch of the current
+    // frame bumps its recency, leaving the next-needed warmed frame as
+    // the LRU victim) — every such eviction is a wasted read plus a
+    // re-read, strictly worse than no prefetch (see
+    // [`ExecOptions::prefetch`]).
+    let mut prefetch = opts.prefetch;
+    if prefetch > 0 {
+        for plan in plans {
+            for col in plan.touched_columns() {
+                if let Some(capacity) = plan.table.source_at(col).cache_capacity() {
+                    prefetch = prefetch.min(capacity.saturating_sub(2));
+                }
+            }
+        }
+    }
+
+    if threads <= 1 && prefetch == 0 {
         // Pure sequential: no threads at all — the reference path every
         // parallel/prefetch configuration must reproduce bit-for-bit.
         let mut state = SinkState::for_sink(sink);
@@ -124,10 +176,10 @@ pub(crate) fn run_plans(
     let stop_prefetch = AtomicBool::new(false);
 
     let partials: Vec<Result<(SinkState, QueryStats)>> = std::thread::scope(|scope| {
-        let fetcher = (opts.prefetch > 0).then(|| {
+        let fetcher = (prefetch > 0).then(|| {
             let entries = prefetch_entries(plans, &morsels);
             let (cursor, stop) = (&cursor, &stop_prefetch);
-            let depth = opts.prefetch;
+            let depth = prefetch;
             scope.spawn(move || prefetch_ahead(plans, &entries, cursor, stop, depth))
         });
         let mut handles = Vec::with_capacity(threads);
@@ -175,7 +227,7 @@ pub(crate) fn run_plans(
             Err(e) => first_err = first_err.or(Some(e)),
         }
     }
-    if opts.prefetch > 0 {
+    if prefetch > 0 {
         // Drain even when a worker failed: stale prefetched marks left
         // in a source would otherwise leak into the next query's
         // hit/wasted ledger.

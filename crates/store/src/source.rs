@@ -98,6 +98,15 @@ pub trait SegmentSource: std::fmt::Debug + Send + Sync {
     fn take_prefetch_counters(&self) -> (usize, usize) {
         (0, 0)
     }
+
+    /// How many decoded segments this source can keep resident at once,
+    /// or `None` when fetches are free (fully resident sources). The
+    /// executor clamps its prefetch window *below* this bound so the
+    /// prefetcher can never evict a frame before the scan consumes it
+    /// (see [`crate::ExecOptions::prefetch`]).
+    fn cache_capacity(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// All segments held in memory — the source behind [`crate::Table::build`].
@@ -155,6 +164,7 @@ pub struct FileSource {
     dtype: DType,
     metas: Vec<SegmentMeta>,
     locations: Vec<FrameLocation>,
+    cache_capacity: usize,
     cache: Mutex<LruCache<usize, Arc<Segment>>>,
     /// Opened on the first fetch, then reused — cache misses pay a
     /// positioned read, not an open+seek+read+close cycle. Unix-only:
@@ -225,6 +235,7 @@ impl FileSource {
             dtype,
             metas,
             locations,
+            cache_capacity: cache_capacity.max(1),
             cache: Mutex::new(LruCache::new(cache_capacity.max(1))),
             #[cfg(unix)]
             handle: Mutex::new(None),
@@ -238,9 +249,18 @@ impl FileSource {
 
     /// Serve `idx` from the cache if present, counting a prefetch hit
     /// when the cached frame came from a prefetch and was not yet
-    /// consumed.
+    /// consumed. Consuming a *prefetched* frame deliberately does not
+    /// bump its recency: warmed frames then age out of the cache in
+    /// warm order, consumed-first — if the hit bumped instead, a few
+    /// consumed frames would sit at the recent end and the next
+    /// eviction would take the oldest *unconsumed* warmed frame, the
+    /// exact one the scan needs next. Scan-initiated fetches (never
+    /// warmed) keep normal LRU recency.
     fn cached(&self, idx: usize) -> Option<Arc<Segment>> {
-        let hit = self.cache.lock().expect("cache lock").get(&idx)?;
+        // The cache guard drops at the end of each statement: the
+        // prefetched lock is never taken while holding it (the load
+        // path acquires them in the opposite order).
+        let hit = self.cache.lock().expect("cache lock").peek(&idx)?;
         if self
             .prefetched
             .lock()
@@ -248,6 +268,8 @@ impl FileSource {
             .remove(&idx)
         {
             self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache.lock().expect("cache lock").touch(&idx);
         }
         Some(hit)
     }
@@ -435,6 +457,72 @@ impl SegmentSource for FileSource {
         pending.clear();
         (hits, wasted)
     }
+
+    fn cache_capacity(&self) -> Option<usize> {
+        Some(self.cache_capacity)
+    }
+}
+
+/// An existing source's segments followed by appended resident
+/// segments — the zero-rewrite append path behind
+/// [`crate::Table::append`]. The base keeps whatever backend it had
+/// (a lazily-backed column stays lazy; only the appended tail is
+/// resident), and repeated appends nest: each one wraps the previous
+/// table's source, so no segment payload is ever copied or re-encoded.
+#[derive(Debug)]
+pub struct ChainedSource {
+    base: Arc<dyn SegmentSource>,
+    tail: ResidentSource,
+}
+
+impl ChainedSource {
+    /// Chain `tail` segments after every segment of `base`.
+    pub fn new(base: Arc<dyn SegmentSource>, tail: Vec<Segment>) -> ChainedSource {
+        ChainedSource {
+            base,
+            tail: ResidentSource::new(tail),
+        }
+    }
+}
+
+impl SegmentSource for ChainedSource {
+    fn num_segments(&self) -> usize {
+        self.base.num_segments() + self.tail.num_segments()
+    }
+
+    fn meta(&self, idx: usize) -> &SegmentMeta {
+        let n = self.base.num_segments();
+        if idx < n {
+            self.base.meta(idx)
+        } else {
+            self.tail.meta(idx - n)
+        }
+    }
+
+    fn segment(&self, idx: usize) -> Result<Arc<Segment>> {
+        let n = self.base.num_segments();
+        if idx < n {
+            self.base.segment(idx)
+        } else {
+            self.tail.segment(idx - n)
+        }
+    }
+
+    fn io_reads(&self) -> usize {
+        self.base.io_reads()
+    }
+
+    fn prefetch(&self, idx: usize) -> bool {
+        idx < self.base.num_segments() && self.base.prefetch(idx)
+    }
+
+    fn take_prefetch_counters(&self) -> (usize, usize) {
+        self.base.take_prefetch_counters()
+    }
+
+    fn cache_capacity(&self) -> Option<usize> {
+        self.base.cache_capacity()
+    }
 }
 
 /// Tiny exact LRU over `(key, value)` pairs — most-recently-used at
@@ -461,6 +549,23 @@ impl<K: PartialEq, V: Clone> LruCache<K, V> {
     /// by the prefetcher, which must not distort the scan's LRU order.
     pub(crate) fn contains(&self, key: &K) -> bool {
         self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// The cached value for `key`, if any, *without* touching recency.
+    pub(crate) fn peek(&self, key: &K) -> Option<V> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Mark `key` most recent if present (the bump half of
+    /// [`Self::get`], for callers that decided on a [`Self::peek`]).
+    pub(crate) fn touch(&mut self, key: &K) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+        }
     }
 
     /// The cached value for `key`, if any, marking it most recent.
@@ -578,6 +683,43 @@ mod tests {
         let src = ResidentSource::new(segments());
         assert!(!src.prefetch(0));
         assert_eq!(src.take_prefetch_counters(), (0, 0));
+    }
+
+    #[test]
+    fn chained_source_splices_base_and_tail() {
+        let dir = std::env::temp_dir().join(format!("lcdc_src_chain_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = crate::schema::TableSchema::new(&[("v", lcdc_core::DType::U64)]);
+        let v = ColumnData::U64((0..400u64).collect());
+        let table =
+            crate::table::Table::build(schema, &[v], &[CompressionPolicy::Auto], 100).unwrap();
+        crate::file::save_table(&table, &dir).unwrap();
+        let lazy = crate::file::open_table_lazy(&dir, 2).unwrap();
+        // Appending to a lazy table chains a resident tail after the
+        // FileSource base.
+        let grown = lazy.append(&[ColumnData::U64(vec![400, 401])]).unwrap();
+        let chained = grown.source("v").unwrap();
+        assert_eq!(chained.num_segments(), 5);
+        assert_eq!(chained.meta(4).rows, 2);
+        assert_eq!((chained.meta(4).min, chained.meta(4).max), (400, 401));
+        // Base fetches go through the lazy file source and count I/O...
+        assert_eq!(chained.io_reads(), 0);
+        assert_eq!(
+            chained.segment(0).unwrap().decompress().unwrap(),
+            ColumnData::U64((0..100).collect())
+        );
+        assert_eq!(chained.io_reads(), 1);
+        // ...tail fetches are resident and free.
+        assert_eq!(
+            chained.segment(4).unwrap().decompress().unwrap(),
+            ColumnData::U64(vec![400, 401])
+        );
+        assert_eq!(chained.io_reads(), 1);
+        // Prefetch routes to the base only; capacity is the base's.
+        assert!(!chained.prefetch(4), "resident tail: nothing to warm");
+        assert!(chained.prefetch(1));
+        assert_eq!(chained.cache_capacity(), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

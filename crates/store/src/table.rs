@@ -10,7 +10,7 @@
 
 use crate::schema::TableSchema;
 use crate::segment::{CompressionPolicy, Segment};
-use crate::source::{ResidentSource, SegmentMeta, SegmentSource};
+use crate::source::{ChainedSource, ResidentSource, SegmentMeta, SegmentSource};
 use crate::{Result, StoreError};
 use lcdc_core::ColumnData;
 use std::sync::Arc;
@@ -198,6 +198,101 @@ impl Table {
         })
     }
 
+    /// Append a batch of rows, returning a new table that shares every
+    /// existing segment handle and adds freshly compressed segments at
+    /// the end — the write path's encode step. Columns must align with
+    /// the schema exactly as in [`Table::build`]. The batch is chunked
+    /// by this table's segment height and each chunk goes through the
+    /// per-column scheme chooser ([`CompressionPolicy::Auto`]), so
+    /// appended segments carry zone maps and scheme tags exactly like
+    /// built ones; use [`Table::append_with`] to pin policies.
+    ///
+    /// Tables are immutable values: the append is visible only through
+    /// the returned table, which is what lets [`crate::Catalog::ingest`]
+    /// publish it atomically under a version bump while in-flight
+    /// queries keep reading the old snapshot. A lazily-backed table
+    /// stays lazy — only the appended tail is resident
+    /// ([`ChainedSource`]).
+    ///
+    /// ```
+    /// use lcdc_core::{ColumnData, DType};
+    /// use lcdc_store::{CompressionPolicy, Table, TableSchema};
+    ///
+    /// let schema = TableSchema::new(&[("day", DType::U64)]);
+    /// let table = Table::build(
+    ///     schema,
+    ///     &[ColumnData::U64((0..100).collect())],
+    ///     &[CompressionPolicy::Auto],
+    ///     64,
+    /// )
+    /// .unwrap();
+    /// let grown = table.append(&[ColumnData::U64((100..150).collect())]).unwrap();
+    /// assert_eq!(grown.num_rows(), 150);
+    /// assert_eq!(table.num_rows(), 100, "the original is untouched");
+    /// ```
+    pub fn append(&self, columns: &[ColumnData]) -> Result<Table> {
+        let policies = vec![CompressionPolicy::Auto; self.schema.width()];
+        self.append_with(columns, &policies)
+    }
+
+    /// [`Table::append`] with explicit per-column compression policies.
+    pub fn append_with(
+        &self,
+        columns: &[ColumnData],
+        policies: &[CompressionPolicy],
+    ) -> Result<Table> {
+        if columns.len() != self.schema.width() || policies.len() != self.schema.width() {
+            return Err(StoreError::Shape(format!(
+                "append batch has {} columns, {} policies; schema has {}",
+                columns.len(),
+                policies.len(),
+                self.schema.width()
+            )));
+        }
+        let batch_rows = columns.first().map_or(0, ColumnData::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != batch_rows {
+                return Err(StoreError::Shape(format!(
+                    "append column {} has {} rows, expected {batch_rows}",
+                    self.schema.columns[i].name,
+                    col.len()
+                )));
+            }
+            if col.dtype() != self.schema.columns[i].dtype {
+                return Err(StoreError::Shape(format!(
+                    "append column {} is {:?}, schema says {:?}",
+                    self.schema.columns[i].name,
+                    col.dtype(),
+                    self.schema.columns[i].dtype
+                )));
+            }
+        }
+        if batch_rows == 0 {
+            return Ok(self.clone());
+        }
+        let mut sources: Vec<Arc<dyn SegmentSource>> = Vec::with_capacity(columns.len());
+        for (idx, (col, policy)) in columns.iter().zip(policies).enumerate() {
+            let mut tail = Vec::with_capacity(batch_rows.div_ceil(self.seg_rows));
+            for start in (0..batch_rows).step_by(self.seg_rows) {
+                let end = (start + self.seg_rows).min(batch_rows);
+                let chunk = slice_column(col, start, end);
+                let segment = Segment::build(&chunk, policy)?;
+                segment.check_rows(end - start)?;
+                tail.push(segment);
+            }
+            sources.push(Arc::new(ChainedSource::new(
+                Arc::clone(&self.sources[idx]),
+                tail,
+            )));
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            sources,
+            num_rows: self.num_rows + batch_rows,
+            seg_rows: self.seg_rows,
+        })
+    }
+
     /// Convenience: build with one shared policy and default segment
     /// height.
     pub fn build_uniform(
@@ -328,7 +423,9 @@ impl Table {
     }
 }
 
-fn slice_column(col: &ColumnData, start: usize, end: usize) -> ColumnData {
+/// Copy `col[start..end]` out as an owned column (segment chunking for
+/// the build and append paths, here and in [`crate::file::append_table`]).
+pub(crate) fn slice_column(col: &ColumnData, start: usize, end: usize) -> ColumnData {
     match col {
         ColumnData::U32(v) => ColumnData::U32(v[start..end].to_vec()),
         ColumnData::U64(v) => ColumnData::U64(v[start..end].to_vec()),
@@ -448,6 +545,78 @@ mod tests {
             .unwrap()
             .iter()
             .all(|s| s.expr.starts_with("delta")));
+    }
+
+    #[test]
+    fn append_grows_without_touching_the_original() {
+        let t = small_table();
+        let date = ColumnData::U64((0..300u64).map(|i| 20180201 + i / 100).collect());
+        let qty = ColumnData::U64((0..300u64).map(|i| 1 + i % 50).collect());
+        let grown = t.append(&[date.clone(), qty.clone()]).unwrap();
+        assert_eq!(grown.num_rows(), 1300);
+        // 1000 rows / 256 seg_rows = 4 base segments, + 300/256 = 2 new.
+        assert_eq!(grown.num_segments(), 6);
+        assert_eq!(t.num_rows(), 1000, "original untouched");
+        assert_eq!(t.num_segments(), 4);
+        // The appended rows materialize at the tail, byte for byte.
+        let all = grown.materialize("date").unwrap();
+        assert_eq!(all.len(), 1300);
+        assert_eq!(all.get_numeric(1000), Some(20180201));
+        assert_eq!(all.get_numeric(1299), Some(20180203));
+        // Appended segments carry zone maps and scheme tags.
+        let source = grown.source("date").unwrap();
+        let tail_meta = source.meta(4);
+        assert_eq!(tail_meta.rows, 256);
+        assert_eq!((tail_meta.min, tail_meta.max), (20180201, 20180203));
+        assert!(!tail_meta.expr.is_empty());
+        // Base segments are shared handles, not copies.
+        let base = t.source("date").unwrap().segment(0).unwrap();
+        let via_grown = source.segment(0).unwrap();
+        assert!(Arc::ptr_eq(&base, &via_grown));
+    }
+
+    #[test]
+    fn append_validates_like_build() {
+        let t = small_table();
+        // Wrong width.
+        assert!(t.append(&[ColumnData::U64(vec![1])]).is_err());
+        // Unequal lengths.
+        assert!(t
+            .append(&[ColumnData::U64(vec![1, 2]), ColumnData::U64(vec![1])])
+            .is_err());
+        // Wrong dtype.
+        assert!(t
+            .append(&[ColumnData::I64(vec![1]), ColumnData::U64(vec![1])])
+            .is_err());
+        // Empty batch: a clone of the original, same segments.
+        let same = t
+            .append(&[ColumnData::U64(vec![]), ColumnData::U64(vec![])])
+            .unwrap();
+        assert_eq!(same.num_rows(), 1000);
+        assert_eq!(same.num_segments(), 4);
+    }
+
+    #[test]
+    fn repeated_appends_nest_and_query_correctly() {
+        let mut t = small_table();
+        for round in 0..3u64 {
+            let date = ColumnData::U64(vec![30_000_000 + round; 100]);
+            let qty = ColumnData::U64(vec![7; 100]);
+            t = t.append(&[date, qty]).unwrap();
+        }
+        assert_eq!(t.num_rows(), 1300);
+        let result = crate::QueryBuilder::scan(&t)
+            .filter(
+                "date",
+                crate::Predicate::Range {
+                    lo: 30_000_000,
+                    hi: 30_000_002,
+                },
+            )
+            .aggregate(&[crate::Agg::Sum("qty"), crate::Agg::Count])
+            .execute()
+            .unwrap();
+        assert_eq!(result.aggregates().unwrap(), &[Some(2100), Some(300)]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Quickstart: compress a column, compose schemes, inspect the
 //! decompression plan — then query a compressed table through the
-//! logical-plan builder.
+//! logical-plan builder, and walk the full table lifecycle:
+//! create → ingest → query → re-ingest → query.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,8 +10,8 @@
 use lcdc::core::scheme::decompress_via_plan;
 use lcdc::core::{chooser, parse_scheme, ColumnData, DType};
 use lcdc::store::{
-    shard_table, Agg, Catalog, CompressionPolicy, Predicate, QueryBuilder, QuerySpec, Table,
-    TableSchema,
+    shard_table, Agg, Catalog, CatalogTable, CompressionPolicy, Predicate, QueryBuilder, QuerySpec,
+    Table, TableSchema,
 };
 
 fn main() {
@@ -129,5 +130,95 @@ fn main() {
     let again = catalog.execute("orders", &spec).expect("repeats");
     assert_eq!(again.stats.result_cache_hits, 1);
     assert_eq!(again.rows, result.rows);
-    println!("repeat of the identical plan served from the result cache ✓");
+    println!("repeat of the identical plan served from the result cache ✓\n");
+
+    // 7. The write path: the full create → ingest → query → re-ingest
+    //    → query lifecycle. Register two shards with a routing *key* —
+    //    each shard owns a date range — and ingest row batches:
+    //    a batch is compressed into fresh segments (per-segment scheme
+    //    choice, zone maps, scheme tags, just like built data), split
+    //    along the shard key ranges, and published under exactly one
+    //    version bump, so every cached result self-invalidates and the
+    //    next identical query re-executes over the new rows.
+    let day_table = |first: u64, days: u64| {
+        let day = ColumnData::U64((0..days * 50).map(|i| first + i / 50).collect());
+        let qty = ColumnData::U64((0..days * 50).map(|i| 1 + i % 50).collect());
+        Table::build(
+            TableSchema::new(&[("day", DType::U64), ("qty", DType::U64)]),
+            &[day, qty],
+            &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+            1024,
+        )
+        .expect("shard builds")
+    };
+    // Create: January in shard 0, February in shard 1.
+    let v1 = catalog
+        .register_sharded_keyed(
+            "sales",
+            vec![day_table(20_180_101, 31), day_table(20_180_201, 28)],
+            "day",
+        )
+        .expect("registers keyed");
+    let totals = QuerySpec::new()
+        .filter(
+            "day",
+            Predicate::Range {
+                lo: 20_180_101,
+                hi: 20_180_301,
+            },
+        )
+        .aggregate(&[Agg::Sum("qty"), Agg::Count]);
+    let created = catalog.execute("sales", &totals).expect("queries");
+    println!(
+        "lifecycle: \"sales\" v{v1} created, count {}",
+        created.aggregates().expect("agg")[1].expect("count")
+    );
+
+    // Ingest: a batch spanning both shard key ranges splits at the
+    // boundary and bumps the version once.
+    let v2 = catalog
+        .ingest(
+            "sales",
+            &[
+                ColumnData::U64(vec![20_180_115, 20_180_215, 20_180_131]),
+                ColumnData::U64(vec![40, 40, 40]),
+            ],
+        )
+        .expect("ingests");
+    assert_eq!(v2, v1 + 1, "one version bump for the whole batch");
+    let (sales, _) = catalog.get("sales").expect("registered");
+    if let CatalogTable::Sharded(sharded) = &sales {
+        println!(
+            "ingest: v{v1} -> v{v2}, shard rows now {:?} (batch split at the key boundary)",
+            sharded
+                .shards()
+                .iter()
+                .map(|s| s.num_rows())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // Query: the cached v1 result is *not* served — the plan re-runs
+    // and sees all three new rows.
+    let after = catalog.execute("sales", &totals).expect("re-queries");
+    assert_eq!(after.stats.result_cache_hits, 0, "stale cache dropped");
+    assert_eq!(
+        after.aggregates().expect("agg")[1],
+        created.aggregates().expect("agg")[1].map(|c| c + 3)
+    );
+
+    // Re-ingest and query again: same contract, every round.
+    let v3 = catalog
+        .ingest(
+            "sales",
+            &[ColumnData::U64(vec![20_180_102]), ColumnData::U64(vec![9])],
+        )
+        .expect("re-ingests");
+    let last = catalog.execute("sales", &totals).expect("queries again");
+    assert_eq!(last.stats.result_cache_hits, 0);
+    assert_eq!(
+        last.aggregates().expect("agg")[1],
+        created.aggregates().expect("agg")[1].map(|c| c + 4)
+    );
+    println!("re-ingest: v{v2} -> v{v3}, repeated query re-executed and sees every batch ✓");
 }

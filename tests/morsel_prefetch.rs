@@ -212,3 +212,61 @@ fn excluded_shard_is_never_loaded() {
     assert_eq!(result.rows, want.rows);
     std::fs::remove_dir_all(&root).ok();
 }
+
+/// The prefetch-depth clamp: a window that does not fit the
+/// `FileSource` cache alongside the frame under the scan cursor lets
+/// the prefetcher evict warmed frames before the scan reaches them —
+/// each one a wasted read plus a re-read. The executor clamps the
+/// window to `capacity - 2`, so even an absurd requested depth reads
+/// each frame exactly once; caches of one or two frames disable
+/// prefetch outright.
+#[test]
+fn prefetch_depth_is_clamped_below_cache_capacity() {
+    let root = std::env::temp_dir().join(format!("lcdc_prefetch_clamp_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let table = build_table(7, 6000, 300);
+    let dir = root.join("t");
+    save_table(&table, &dir).expect("saves");
+
+    // Half the noise domain: undecidable from every zone map, never
+    // empty at the data tier — every frame of both touched columns is
+    // read on every pass, so read counts compare exactly.
+    let spec = QuerySpec::new()
+        .filter("noise", Predicate::Range { lo: 0, hi: 249 })
+        .aggregate(&[Agg::Sum("steps"), Agg::Count]);
+
+    let plain = open_table_lazy(&dir, 4).expect("opens");
+    let want = spec.bind(&plain).execute().expect("no-prefetch reference");
+    let frames = plain.io_reads();
+    assert!(frames > 0);
+
+    // Requested depth 64 against 4-frame caches: clamped to 2, and the
+    // warmed frames actually get consumed.
+    let deep = open_table_lazy(&dir, 4).expect("opens");
+    let got = spec
+        .bind(&deep)
+        .execute_opts(&ExecOptions::threads(1).with_prefetch(64))
+        .expect("clamped run");
+    assert_eq!(got.rows, want.rows);
+    assert_eq!(
+        deep.io_reads(),
+        frames,
+        "clamped prefetch never evicts ahead of the scan: {:?}",
+        got.stats
+    );
+
+    // Capacity 2 clamps the window to 0: no fetcher runs at all.
+    let tiny = open_table_lazy(&dir, 2).expect("opens");
+    let got = spec
+        .bind(&tiny)
+        .execute_opts(&ExecOptions::threads(1).with_prefetch(64))
+        .expect("disabled run");
+    assert_eq!(got.rows, want.rows);
+    assert_eq!(tiny.io_reads(), frames);
+    assert_eq!(
+        (got.stats.prefetch_hits, got.stats.prefetch_wasted),
+        (0, 0),
+        "prefetch disabled outright"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
