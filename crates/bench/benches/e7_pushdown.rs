@@ -367,12 +367,179 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Decompression-avoiding group-by: a high-cardinality DICT key column
+/// (509 distinct values in pseudo-random order — no runs for the RLE
+/// tier to lean on) and a skewed Zipf key column, each grouped with a
+/// sum. The decoded baseline materialises the key column and probes a
+/// hash table per row; the code-space tier aggregates straight on the
+/// dictionary codes into a dense per-code accumulator and decodes each
+/// distinct key exactly once at merge time. Same answers, and the
+/// `rows_undecoded` / `groups_folded` counters prove the key column
+/// was never decompressed.
+fn bench_groupby_dict(c: &mut Criterion) {
+    const SEG_ROWS: usize = 8_192;
+    const N: usize = SEG_ROWS * 24;
+    let schema = TableSchema::new(&[("key", DType::U64), ("val", DType::U64)]);
+    let build = |key: Vec<u64>| {
+        let val: Vec<u64> = (0..N)
+            .map(|i| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95) >> 40)
+            .collect();
+        Table::build(
+            schema.clone(),
+            &[ColumnData::U64(key), ColumnData::U64(val)],
+            &[
+                CompressionPolicy::Fixed("dict[codes=ns]".into()),
+                CompressionPolicy::Auto,
+            ],
+            SEG_ROWS,
+        )
+        .unwrap()
+    };
+    // High cardinality, no runs: 509 distinct keys, scrambled.
+    let high_card = build(
+        (0..N)
+            .map(|i| (i as u64).wrapping_mul(7919) % 509)
+            .collect(),
+    );
+    // Skewed: Zipf(1.1) over 256 keys — a few groups dominate.
+    let skewed = build(lcdc_datagen::zipf::zipf_codes(N, 256, 1.1, 17));
+
+    let spec = QuerySpec::new()
+        .group_by("key")
+        .aggregate(&[Agg::Sum("val"), Agg::Count]);
+
+    let mut group = c.benchmark_group("e7/groupby_dict");
+    for (name, table) in [("high_card", &high_card), ("skewed_zipf", &skewed)] {
+        let builder = spec.bind(table);
+        let decoded = builder.execute_naive().unwrap();
+        let codes = builder.execute().unwrap();
+        // Equal answers, with the key column provably never decoded.
+        assert_eq!(codes.rows, decoded.rows, "{name}");
+        assert!(
+            codes.stats.rows_undecoded > 0,
+            "{name}: code-space tier must fire: {:?}",
+            codes.stats
+        );
+        assert_eq!(
+            codes.stats.rows_undecoded,
+            table.num_rows(),
+            "{name}: every key row aggregated in code space"
+        );
+        assert!(codes.stats.groups_folded > 0, "{name}: {:?}", codes.stats);
+        assert_eq!(decoded.stats.rows_undecoded, 0, "{name}: baseline decodes");
+
+        group.bench_function(BenchmarkId::new("decoded", name), |b| {
+            b.iter(|| spec.bind(black_box(table)).execute_naive().unwrap())
+        });
+        group.bench_function(BenchmarkId::new("dict_codes", name), |b| {
+            b.iter(|| spec.bind(black_box(table)).execute().unwrap())
+        });
+    }
+    // Bare group-by (count per key): fully structural — not a single
+    // payload row materialised.
+    let bare = QuerySpec::new().group_by("key");
+    let bare_result = bare.bind(&high_card).execute().unwrap();
+    assert_eq!(
+        bare_result.stats.rows_materialized, 0,
+        "{:?}",
+        bare_result.stats
+    );
+    group.bench_function(BenchmarkId::new("dict_codes", "bare_count"), |b| {
+        b.iter(|| bare.bind(black_box(&high_card)).execute().unwrap())
+    });
+    group.finish();
+}
+
+/// The shared top-k bound: one "hot" segment holds the entire top-k
+/// (its zone max dwarfs the rest), the other 15 segments are moderate
+/// noise whose maxima tie each other — so a worker's *own* heap, built
+/// from a moderate segment, can never prune its neighbours, while the
+/// bound published by whoever drew the hot segment prunes them all.
+/// Best-max-first visit order hands the hot segment out first; from
+/// then on every worker — and every later segment, under any worker
+/// count the hardware allows — skips on the shared bound
+/// (`topk_segments_skipped`). `--topk-shared-bound=off` is the
+/// per-worker-heaps-only baseline.
+fn bench_topk_shared_bound(c: &mut Criterion) {
+    const SEG_ROWS: usize = 16_384;
+    const SEGMENTS: usize = 16;
+    const K: usize = 64;
+    let n = SEG_ROWS * SEGMENTS;
+    let v: Vec<u64> = (0..n)
+        .map(|i| {
+            let noise = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54;
+            if i / SEG_ROWS == 0 {
+                2_000_000 + noise // the hot segment: all of the top-k
+            } else {
+                noise // moderate noise, max ~1023 in every segment
+            }
+        })
+        .collect();
+    let schema = TableSchema::new(&[("v", DType::U64)]);
+    let table = Table::build(
+        schema,
+        &[ColumnData::U64(v)],
+        &[CompressionPolicy::Auto],
+        SEG_ROWS,
+    )
+    .unwrap();
+    let spec = QuerySpec::new().top_k("v", K);
+    let shared = ExecOptions::threads(4);
+    let unshared = ExecOptions::threads(4).with_topk_shared_bound(false);
+
+    // All schedules agree; the shared bound provably skips segments.
+    // The exact-count assert runs on one worker (race-free under any
+    // core count: the queue is drained in best-max order, so the hot
+    // segment publishes before any moderate segment is considered);
+    // more workers can only race the publication, never over-skip.
+    let want = spec.bind(&table).execute().unwrap();
+    let single = spec
+        .bind(&table)
+        .execute_opts(&ExecOptions::threads(1))
+        .unwrap();
+    assert_eq!(single.rows, want.rows);
+    assert_eq!(
+        single.stats.topk_segments_skipped,
+        SEGMENTS - 1,
+        "the shared bound must skip every moderate segment: {:?}",
+        single.stats
+    );
+    let with_bound = spec.bind(&table).execute_opts(&shared).unwrap();
+    let without = spec.bind(&table).execute_opts(&unshared).unwrap();
+    assert_eq!(with_bound.rows, want.rows);
+    assert_eq!(without.rows, want.rows);
+    assert!(with_bound.stats.topk_segments_skipped < SEGMENTS);
+    assert_eq!(
+        without.stats.topk_segments_skipped, 0,
+        "disabled bound never reports skips: {:?}",
+        without.stats
+    );
+
+    let mut group = c.benchmark_group("e7/topk_shared_bound");
+    group.bench_function("sequential", |b| {
+        b.iter(|| spec.bind(black_box(&table)).execute().unwrap())
+    });
+    group.bench_function("shared_x4", |b| {
+        b.iter(|| spec.bind(black_box(&table)).execute_opts(&shared).unwrap())
+    });
+    group.bench_function("per_worker_x4", |b| {
+        b.iter(|| {
+            spec.bind(black_box(&table))
+                .execute_opts(&unshared)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_query,
     bench_storage_surfaces,
     bench_morsel_skew,
     bench_prefetch,
-    bench_ingest
+    bench_ingest,
+    bench_groupby_dict,
+    bench_topk_shared_bound
 );
 criterion_main!(benches);

@@ -49,6 +49,13 @@ use std::sync::{Arc, Mutex, RwLock};
 /// Default number of cached query results per catalog.
 pub const DEFAULT_RESULT_CACHE: usize = 128;
 
+/// Default byte budget for cached result payloads per catalog (32 MiB).
+/// Result sizes vary wildly between sinks — one high-cardinality
+/// group-by can outweigh thousands of single-row aggregates — so the
+/// cache is bounded by what the entries *hold*, not how many there are
+/// (see [`Catalog::with_cache_budget`]).
+pub const DEFAULT_RESULT_CACHE_BYTES: usize = 32 << 20;
+
 /// Write-time placement for a sharded table: the routing key column
 /// and the ordered key boundaries between shards. Shard `i` owns every
 /// key `<=` `uppers[i]` (and above shard `i-1`'s bound); the last
@@ -495,6 +502,9 @@ struct CachedResult {
     /// served after this spec compares equal to the query's.
     spec: QuerySpec,
     result: QueryResult,
+    /// The result's payload footprint, computed once at admission and
+    /// charged against the cache's byte budget.
+    bytes: usize,
 }
 
 /// Result cache over the shared [`crate::source`] LRU, keyed
@@ -502,9 +512,19 @@ struct CachedResult {
 /// the entry's table version and its full spec. Entries are behind an
 /// `Arc`, so a probe is an `Arc` bump — the (possibly large) rows are
 /// cloned only for validated hits.
+///
+/// Bounded twice: by entry count (the LRU's capacity) and by **total
+/// payload bytes** — result sizes vary wildly between aggregates,
+/// top-k, and high-cardinality group-bys, so admission evicts least
+/// recent entries until the new result fits the byte budget, and a
+/// result larger than the whole budget is simply not cached.
 #[derive(Debug)]
 struct ResultCache {
     lru: crate::source::LruCache<(String, u64), Arc<CachedResult>>,
+    /// Total payload bytes the cache may hold (0 disables caching).
+    budget: usize,
+    /// Payload bytes currently held.
+    held: usize,
 }
 
 impl ResultCache {
@@ -519,6 +539,7 @@ impl ResultCache {
         let cached = self.lru.get(key)?;
         if cached.version != version {
             // Stale: the table mutated since this was cached.
+            self.held = self.held.saturating_sub(cached.bytes);
             self.lru.remove(key);
             return None;
         }
@@ -531,11 +552,28 @@ impl ResultCache {
     }
 
     fn put(&mut self, key: (String, u64), entry: Arc<CachedResult>) {
+        if entry.bytes > self.budget {
+            // Larger than the whole budget: caching it would evict
+            // everything and still not fit.
+            return;
+        }
+        // Evict least recent until the newcomer's payload fits.
+        while self.held + entry.bytes > self.budget {
+            match self.lru.pop_lru() {
+                Some((_, dropped)) => self.held = self.held.saturating_sub(dropped.bytes),
+                None => break,
+            }
+        }
         self.lru.put(key, entry);
+        // Recount rather than increment: the LRU's own entry-count
+        // bound may have evicted, and a same-key put replaces silently.
+        // O(entries), with entries capped in the low hundreds.
+        self.held = self.lru.values().map(|e| e.bytes).sum();
     }
 
     fn purge_table(&mut self, name: &str) {
         self.lru.retain(|(table, _)| table != name);
+        self.held = self.lru.values().map(|e| e.bytes).sum();
     }
 }
 
@@ -571,6 +609,7 @@ pub struct Catalog {
     tables: RwLock<HashMap<String, Entry>>,
     cache: Mutex<ResultCache>,
     cache_capacity: usize,
+    cache_budget: usize,
     next_version: AtomicU64,
 }
 
@@ -581,22 +620,47 @@ impl Default for Catalog {
 }
 
 impl Catalog {
-    /// An empty catalog with the default result-cache capacity.
+    /// An empty catalog with the default result-cache bounds
+    /// ([`DEFAULT_RESULT_CACHE`] entries, [`DEFAULT_RESULT_CACHE_BYTES`]
+    /// of payload).
     pub fn new() -> Catalog {
-        Catalog::with_cache_capacity(DEFAULT_RESULT_CACHE)
+        Catalog::with_cache_bounds(DEFAULT_RESULT_CACHE, DEFAULT_RESULT_CACHE_BYTES)
     }
 
     /// An empty catalog caching at most `capacity` query results
-    /// (0 disables result caching).
+    /// (0 disables result caching), under the default byte budget.
     pub fn with_cache_capacity(capacity: usize) -> Catalog {
+        Catalog::with_cache_bounds(capacity, DEFAULT_RESULT_CACHE_BYTES)
+    }
+
+    /// An empty catalog whose result cache holds at most `budget` bytes
+    /// of cached row payloads (0 disables result caching), under the
+    /// default entry capacity. Admission evicts least recent results
+    /// until the newcomer fits; a single result larger than the whole
+    /// budget is never cached.
+    pub fn with_cache_budget(budget: usize) -> Catalog {
+        Catalog::with_cache_bounds(DEFAULT_RESULT_CACHE, budget)
+    }
+
+    /// An empty catalog with explicit entry and byte bounds on the
+    /// result cache (either at 0 disables caching).
+    pub fn with_cache_bounds(capacity: usize, budget: usize) -> Catalog {
         Catalog {
             tables: RwLock::new(HashMap::new()),
             cache_capacity: capacity,
+            cache_budget: budget,
             cache: Mutex::new(ResultCache {
                 lru: crate::source::LruCache::new(capacity),
+                budget,
+                held: 0,
             }),
             next_version: AtomicU64::new(1),
         }
+    }
+
+    /// The result cache's payload byte budget.
+    pub fn cache_budget(&self) -> usize {
+        self.cache_budget
     }
 
     fn bump(&self) -> u64 {
@@ -880,11 +944,12 @@ impl Catalog {
             });
         }
         let result = table.execute_opts(spec, opts)?;
-        if self.cache_capacity > 0 {
+        if self.cache_capacity > 0 && self.cache_budget > 0 {
             // Clones happen outside the lock too.
             let entry = Arc::new(CachedResult {
                 version,
                 spec: spec.clone(),
+                bytes: result.payload_bytes(),
                 result: result.clone(),
             });
             self.cache.lock().expect("cache lock").put(key, entry);
@@ -1019,6 +1084,61 @@ mod tests {
         let b = catalog.execute("t", &spec()).unwrap();
         assert_eq!(b.stats.result_cache_hits, 0);
         assert_ne!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn byte_budget_bounds_cached_payload_not_entry_count() {
+        // Each distinct top-k result holds k i128s = 16k bytes. A
+        // budget of ~2.5 results must keep the two most recent and
+        // evict the oldest, regardless of the (large) entry capacity.
+        let catalog = Catalog::with_cache_budget(40 * 16);
+        assert_eq!(catalog.cache_budget(), 640);
+        catalog.register("t", orders(4000, 1));
+        let specs: Vec<QuerySpec> = (14..=16)
+            .map(|k| QuerySpec::new().top_k("qty", k))
+            .collect();
+        for spec in &specs {
+            catalog.execute("t", spec).unwrap();
+        }
+        // 14+15+16 = 45 values > 40: the k=14 result was evicted to
+        // admit k=16; the newer two still fit (15+16 = 31).
+        assert_eq!(
+            catalog
+                .execute("t", &specs[0])
+                .unwrap()
+                .stats
+                .result_cache_hits,
+            0,
+            "oldest result evicted by the byte budget"
+        );
+        // (Re-running spec[0] cached it again, evicting the now-oldest
+        // k=15; k=16 survives as most recent before it.)
+        assert_eq!(
+            catalog
+                .execute("t", &specs[2])
+                .unwrap()
+                .stats
+                .result_cache_hits,
+            1,
+            "recent result retained under the budget"
+        );
+
+        // A result bigger than the whole budget is never admitted.
+        let tiny = Catalog::with_cache_budget(8);
+        tiny.register("t", orders(1000, 1));
+        let spec = QuerySpec::new().top_k("qty", 10);
+        tiny.execute("t", &spec).unwrap();
+        assert_eq!(
+            tiny.execute("t", &spec).unwrap().stats.result_cache_hits,
+            0,
+            "oversized result skipped caching"
+        );
+
+        // Budget 0 disables caching like capacity 0 does.
+        let off = Catalog::with_cache_budget(0);
+        off.register("t", orders(1000, 1));
+        off.execute("t", &spec).unwrap();
+        assert_eq!(off.execute("t", &spec).unwrap().stats.result_cache_hits, 0);
     }
 
     #[test]

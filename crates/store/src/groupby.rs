@@ -1,20 +1,27 @@
 //! Grouped aggregation over raw segment slices.
 //!
 //! `SELECT key, SUM(value) GROUP BY key` over a compressed key column:
-//! the naive path hashes every row; the run-aware path exploits the RLE
-//! family's structure — within a run the key is constant, so the hash
-//! table is probed once per *run* — through the same
-//! [`Segment::run_structure`] kernel the planner's
-//! group-by sink uses. These free functions keep the original
-//! segment-slice signatures (pairwise-aligned slices, no table needed,
-//! nothing cloned) for existing callers and benches; table-level code
-//! should use [`crate::QueryBuilder::group_by`], which adds filters,
-//! multiple aggregates, and parallel execution on top of the same
-//! kernel.
+//! the naive path hashes every row; the compressed path picks a
+//! *code-space* tier from the key segment's scheme —
+//!
+//! * **RLE/RPE**: within a run the key is constant, so the hash table
+//!   is probed once per *run*, through the same
+//!   [`Segment::run_structure`] kernel the planner's group-by sink
+//!   uses;
+//! * **DICT**: aggregation runs directly on the dictionary codes into
+//!   a dense per-code accumulator (no hash probe, no key decode per
+//!   row); each distinct key is decoded exactly once at merge time.
+//!
+//! These free functions keep the original segment-slice signatures
+//! (pairwise-aligned slices, no table needed, nothing cloned) for
+//! existing callers and benches; table-level code should use
+//! [`crate::QueryBuilder::group_by`], which adds filters, multiple
+//! aggregates, and parallel execution on top of the same kernels.
 
 use crate::agg::AggResult;
 use crate::segment::Segment;
 use crate::{Result, StoreError};
+use lcdc_core::schemes::dict;
 use std::collections::HashMap;
 
 /// Grouped aggregates keyed by the group value.
@@ -30,31 +37,57 @@ pub fn group_agg_naive(keys: &[Segment], values: &[Segment]) -> Result<Groups> {
     Ok(groups)
 }
 
-/// Run-aware grouped sum: RLE/RPE key segments probe the hash table once
-/// per run and fold the aligned value range in one pass; other key
-/// schemes fall back to per-row hashing.
+/// Compression-aware grouped sum: RLE/RPE key segments probe the hash
+/// table once per run and fold the aligned value range in one pass;
+/// DICT key segments aggregate on dictionary codes into a dense
+/// per-code accumulator, decoding each distinct key exactly once;
+/// other key schemes fall back to per-row hashing. The key column is
+/// never decompressed on the structural paths.
 pub fn group_agg_compressed(keys: &[Segment], values: &[Segment]) -> Result<Groups> {
     check_alignment(keys, values)?;
     let mut groups = Groups::new();
+    let mut scratch: Vec<AggResult> = Vec::new();
     for (kseg, vseg) in keys.iter().zip(values) {
-        match kseg.run_structure()? {
-            Some((run_values, run_ends)) => {
-                let v = vseg.decompress()?;
-                let v_numeric = v.to_numeric();
-                let mut start = 0usize;
-                for (run, &run_end) in run_ends.iter().enumerate().take(run_values.len()) {
-                    let end = (run_end as usize).min(v_numeric.len());
-                    let acc = groups
-                        .entry(run_values.get_numeric(run).expect("in range"))
-                        .or_default();
-                    for &value in &v_numeric[start..end] {
-                        acc.push(value);
-                    }
-                    start = end;
+        if let Some((run_values, run_ends)) = kseg.run_structure()? {
+            let v = vseg.decompress()?;
+            let v_numeric = v.to_numeric();
+            let mut start = 0usize;
+            for (run, &run_end) in run_ends.iter().enumerate().take(run_values.len()) {
+                let end = (run_end as usize).min(v_numeric.len());
+                let acc = groups
+                    .entry(run_values.get_numeric(run).expect("in range"))
+                    .or_default();
+                for &value in &v_numeric[start..end] {
+                    acc.push(value);
                 }
+                start = end;
             }
-            None => per_row(&kseg.decompress()?, &vseg.decompress()?, &mut groups),
+            continue;
         }
+        if kseg.scheme_base() == "dict" {
+            let scheme = kseg.scheme()?;
+            let dict_values = scheme.decompress_part(&kseg.compressed, dict::ROLE_DICT)?;
+            let codes = scheme.decompress_part(&kseg.compressed, dict::ROLE_CODES)?;
+            let codes = codes.to_transport();
+            let v = vseg.decompress()?;
+            let v_numeric = v.to_numeric();
+            scratch.clear();
+            scratch.resize(dict_values.len(), AggResult::default());
+            for (i, &value) in v_numeric.iter().enumerate() {
+                scratch[codes[i] as usize].push(value);
+            }
+            for (code, acc) in scratch.iter().enumerate() {
+                if acc.count == 0 {
+                    continue;
+                }
+                groups
+                    .entry(dict_values.get_numeric(code).expect("in range"))
+                    .or_default()
+                    .merge(acc);
+            }
+            continue;
+        }
+        per_row(&kseg.decompress()?, &vseg.decompress()?, &mut groups);
     }
     Ok(groups)
 }
@@ -139,7 +172,7 @@ mod tests {
     }
 
     #[test]
-    fn non_run_keys_fall_back() {
+    fn dict_keys_aggregate_in_code_space() {
         let k = ColumnData::U64((0..1000u64).map(|i| (i * 7919) % 8).collect());
         let v = ColumnData::U64((0..1000u64).collect());
         let keys = segs(&k, "dict[codes=ns]", 250);
@@ -148,6 +181,33 @@ mod tests {
         let fast = group_agg_compressed(&keys, &values).unwrap();
         assert_eq!(naive, fast);
         assert_eq!(naive.len(), 8);
+    }
+
+    #[test]
+    fn high_cardinality_dict_keys_match_naive() {
+        // 509 distinct keys in pseudo-random order: every segment's
+        // dictionary is large, codes are unordered, and the dense
+        // per-code accumulator must still reproduce the hashed answer.
+        let k = ColumnData::U64((0..6000u64).map(|i| (i * 7919) % 509).collect());
+        let v = ColumnData::I64((0..6000i64).map(|i| (i * 31) % 1009 - 500).collect());
+        let keys = segs(&k, "dict[codes=ns]", 750);
+        let values = segs(&v, "ns_zz", 750);
+        let naive = group_agg_naive(&keys, &values).unwrap();
+        let fast = group_agg_compressed(&keys, &values).unwrap();
+        assert_eq!(naive, fast);
+        assert_eq!(naive.len(), 509);
+    }
+
+    #[test]
+    fn non_structural_keys_fall_back() {
+        let k = ColumnData::U64((0..1000u64).map(|i| (i * 7919) % 997).collect());
+        let v = ColumnData::U64((0..1000u64).collect());
+        let keys = segs(&k, "ns", 250);
+        let values = segs(&v, "ns", 250);
+        assert_eq!(
+            group_agg_naive(&keys, &values).unwrap(),
+            group_agg_compressed(&keys, &values).unwrap()
+        );
     }
 
     #[test]

@@ -211,12 +211,11 @@ impl Predicate {
             stats.run_granularity += 1;
             return Ok(self.paint_runs(&values, &ends, n));
         }
-        let scheme_id = segment.compressed.scheme_id.as_str();
         // Tier 2b: order-preserving dictionaries — rewrite the value
         // range into a *code* range and test codes directly, never
         // materialising the gathered values (the classic dictionary
         // pushdown; another face of "executing on the compressed form").
-        if (scheme_id == "dict" || scheme_id.starts_with("dict[")) && self.bounds().is_some() {
+        if segment.scheme_base() == "dict" && self.bounds().is_some() {
             stats.code_granularity += 1;
             let scheme = segment.scheme()?;
             let dict =

@@ -115,6 +115,14 @@ impl QuerySpec {
     /// Group the selected rows by `column` (combine with
     /// [`aggregate`](Self::aggregate); a bare `group_by` counts rows per
     /// group).
+    ///
+    /// The physical plan picks an aggregation tier per key segment from
+    /// its scheme tag: DICT keys aggregate directly on dictionary codes
+    /// (dense, no hash, key decoded once per distinct value), RLE/RPE
+    /// keys fold whole runs, CONST segments fold in one probe — only
+    /// unstructured keys fall back to hashing decompressed rows. The
+    /// choice shows up in [`crate::QueryStats::groups_folded`] and
+    /// [`crate::QueryStats::rows_undecoded`].
     pub fn group_by(mut self, column: &str) -> Self {
         self.group_key = Some(column.to_string());
         self

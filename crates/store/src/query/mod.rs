@@ -19,7 +19,12 @@
 //!   segment* (zone-map prune on resident metadata — no payload fetch
 //!   at all — → run-granular predicate on RLE/RPE → code-granular on
 //!   DICT → segment-granular structural sink → materialise as the last
-//!   resort).
+//!   resort). Aggregation gets the same treatment: group-by keys fold
+//!   in code space (DICT) or run space (RLE/RPE/CONST) without
+//!   decompressing the key column ([`QueryStats::groups_folded`],
+//!   [`QueryStats::rows_undecoded`]), and parallel top-k shares one
+//!   discovered threshold across every worker and shard
+//!   ([`QueryStats::topk_segments_skipped`]).
 //!
 //! Execution is per segment end-to-end, which makes the segment the
 //! unit of parallelism for **every** operator

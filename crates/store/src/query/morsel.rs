@@ -30,9 +30,11 @@
 //! merge associatively. Top-k prune counters may differ, as each worker
 //! tightens its own threshold.
 
-use super::physical::{PhysicalPlan, QueryStats, SinkState};
+use super::physical::{PhysicalPlan, QueryStats, Sink, SinkState, TOPK_BOUND_UNSET};
+use crate::source::SegmentSource;
 use crate::Result;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How a compiled plan should be driven: worker count and prefetch
@@ -68,7 +70,9 @@ pub struct ExecOptions {
     pub threads: usize,
     /// How many morsels ahead of the scan cursor the background
     /// fetcher keeps warm (`0` disables prefetch — no fetcher thread is
-    /// spawned). Only lazily-backed sources do real work.
+    /// spawned — unless [`ExecOptions::prefetch_auto`] is set). Only
+    /// lazily-backed sources do real work. With `prefetch_auto` this is
+    /// the *cap* the self-tuning depth moves under, not a fixed value.
     ///
     /// **Invariant:** the effective window plus the frame under the
     /// scan cursor always fit inside every touched source's
@@ -82,6 +86,26 @@ pub struct ExecOptions {
     /// an `N`-frame cache prefetches at most `N - 2` ahead (caches of
     /// one or two frames disable prefetch outright).
     pub prefetch: usize,
+    /// Self-tune the prefetch depth at run time: every few completed
+    /// warms the fetcher samples the touched sources' hit/wasted
+    /// ledgers ([`crate::SegmentSource::prefetch_ledger`]) and shrinks
+    /// the window when warmed frames are being evicted before use, or
+    /// grows it back toward the cap while every warm turns into a hit.
+    /// [`ExecOptions::prefetch`] stays the hard cap (and the starting
+    /// depth); `prefetch == 0` with `prefetch_auto` starts from the
+    /// capacity clamp itself. Tuning never changes answers or total
+    /// I/O — only how far ahead of the scan the fetcher runs.
+    pub prefetch_auto: bool,
+    /// Share one top-k threshold across all morsel workers and all
+    /// shards of a fan-in (default `true`): each worker whose heap
+    /// holds `k` values publishes its k-th bound into a process-wide
+    /// atomic, and every worker checks that bound against a segment's
+    /// zone-map maximum before visiting it — so a late worker prunes
+    /// with an early worker's heap instead of only its own. Answers
+    /// are identical either way ([`QueryStats::topk_segments_skipped`]
+    /// counts the skips); `false` restores per-worker-only pruning for
+    /// A/B comparisons.
+    pub topk_shared_bound: bool,
 }
 
 impl Default for ExecOptions {
@@ -89,6 +113,8 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: 1,
             prefetch: 0,
+            prefetch_auto: false,
+            topk_shared_bound: true,
         }
     }
 }
@@ -98,13 +124,28 @@ impl ExecOptions {
     pub fn threads(threads: usize) -> ExecOptions {
         ExecOptions {
             threads,
-            prefetch: 0,
+            ..ExecOptions::default()
         }
     }
 
-    /// Set the prefetch depth.
+    /// Set the prefetch depth (the cap, under
+    /// [`ExecOptions::prefetch_auto`]).
     pub fn with_prefetch(mut self, depth: usize) -> ExecOptions {
         self.prefetch = depth;
+        self
+    }
+
+    /// Enable self-tuning prefetch depth (see
+    /// [`ExecOptions::prefetch_auto`]).
+    pub fn with_prefetch_auto(mut self) -> ExecOptions {
+        self.prefetch_auto = true;
+        self
+    }
+
+    /// Enable or disable the shared top-k bound (see
+    /// [`ExecOptions::topk_shared_bound`]).
+    pub fn with_topk_shared_bound(mut self, shared: bool) -> ExecOptions {
+        self.topk_shared_bound = shared;
         self
     }
 }
@@ -149,22 +190,42 @@ pub(crate) fn run_plans(
     // frame bumps its recency, leaving the next-needed warmed frame as
     // the LRU victim) — every such eviction is a wasted read plus a
     // re-read, strictly worse than no prefetch (see
-    // [`ExecOptions::prefetch`]).
-    let mut prefetch = opts.prefetch;
+    // [`ExecOptions::prefetch`]). With `prefetch_auto` and no explicit
+    // depth, the capacity clamp itself is the starting cap.
+    let mut prefetch = if opts.prefetch_auto && opts.prefetch == 0 {
+        usize::MAX
+    } else {
+        opts.prefetch
+    };
     if prefetch > 0 {
+        let mut lazily_backed = false;
         for plan in plans {
             for col in plan.touched_columns() {
                 if let Some(capacity) = plan.table.source_at(col).cache_capacity() {
                     prefetch = prefetch.min(capacity.saturating_sub(2));
+                    lazily_backed = true;
                 }
             }
         }
+        if !lazily_backed && opts.prefetch == 0 {
+            // Auto mode over fully resident sources: nothing to warm,
+            // spawn no fetcher.
+            prefetch = 0;
+        }
     }
+
+    // One shared top-k bound for the whole batch — every worker and
+    // every shard publishes into and prunes against the same atomic.
+    // Attached whenever the caller runs through ExecOptions (the
+    // sequential `QueryBuilder::execute` reference path never sees it,
+    // so its counters stay the baseline).
+    let shared_bound = (opts.topk_shared_bound && matches!(sink, Sink::TopK { .. }))
+        .then(|| Arc::new(AtomicI64::new(TOPK_BOUND_UNSET)));
 
     if threads <= 1 && prefetch == 0 {
         // Pure sequential: no threads at all — the reference path every
         // parallel/prefetch configuration must reproduce bit-for-bit.
-        let mut state = SinkState::for_sink(sink);
+        let mut state = SinkState::for_sink_shared(sink, shared_bound);
         let mut stats = QueryStats::default();
         for &(p, s) in &morsels {
             plans[p].execute_segment(s, &mut state, &mut stats)?;
@@ -180,13 +241,15 @@ pub(crate) fn run_plans(
             let entries = prefetch_entries(plans, &morsels);
             let (cursor, stop) = (&cursor, &stop_prefetch);
             let depth = prefetch;
-            scope.spawn(move || prefetch_ahead(plans, &entries, cursor, stop, depth))
+            let adaptive = opts.prefetch_auto;
+            scope.spawn(move || prefetch_ahead(plans, &entries, cursor, stop, depth, adaptive))
         });
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let (cursor, abort, morsels) = (&cursor, &abort, &morsels);
+            let bound = shared_bound.clone();
             handles.push(scope.spawn(move || {
-                let mut state = SinkState::for_sink(sink);
+                let mut state = SinkState::for_sink_shared(sink, bound);
                 let mut stats = QueryStats::default();
                 while !abort.load(Ordering::Relaxed) {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -230,19 +293,41 @@ pub(crate) fn run_plans(
     if prefetch > 0 {
         // Drain even when a worker failed: stale prefetched marks left
         // in a source would otherwise leak into the next query's
-        // hit/wasted ledger.
-        for plan in plans {
-            for col in plan.touched_columns() {
-                let (hits, wasted) = plan.table.source_at(col).take_prefetch_counters();
-                stats.prefetch_hits += hits;
-                stats.prefetch_wasted += wasted;
-            }
+        // hit/wasted ledger. Sources are deduplicated by identity
+        // before draining — a fan-in whose shards alias a source (e.g.
+        // the same cloned table registered as two shards, sharing its
+        // `Arc` handles) must drain each underlying ledger exactly
+        // once, not once per plan that references it.
+        for source in distinct_touched_sources(plans) {
+            let (hits, wasted) = source.take_prefetch_counters();
+            stats.prefetch_hits += hits;
+            stats.prefetch_wasted += wasted;
         }
     }
     match first_err {
         None => Ok((state, stats)),
         Some(e) => Err(e),
     }
+}
+
+/// Every source the plans' filter leaves and sink columns can touch,
+/// deduplicated by *identity* (data-pointer comparison): plans of a
+/// fan-in may alias a source — the same cloned `Table` registered as
+/// two shards shares its `Arc` handles — and both the per-query
+/// counter drain and the adaptive prefetcher's ledger sampling must
+/// see each underlying source exactly once.
+fn distinct_touched_sources<'p>(plans: &'p [PhysicalPlan<'_>]) -> Vec<&'p dyn SegmentSource> {
+    let mut sources: Vec<&dyn SegmentSource> = Vec::new();
+    let identity = |s: &dyn SegmentSource| s as *const dyn SegmentSource as *const u8;
+    for plan in plans {
+        for col in plan.touched_columns() {
+            let source = plan.table.source_at(col);
+            if !sources.iter().any(|s| identity(*s) == identity(source)) {
+                sources.push(source);
+            }
+        }
+    }
+    sources
 }
 
 /// The frames the plans are expected to fetch, in morsel order:
@@ -264,17 +349,46 @@ fn prefetch_entries(
     entries
 }
 
+/// How many *completed* warms the adaptive fetcher lets pass between
+/// depth re-tunes. Small enough to react within one cache-capacity's
+/// worth of frames, large enough that the ledger deltas mean something.
+const TUNE_EVERY: usize = 8;
+
 /// The background fetcher: warm each entry's frame once its morsel
 /// falls inside the `depth`-wide window ahead of the scan cursor.
 /// Entries whose morsel the scan already claimed are skipped — the
 /// scan's own (single-flight) fetch covers them.
+///
+/// With `adaptive`, the window re-tunes every [`TUNE_EVERY`] completed
+/// warms from the observed hit/wasted deltas of the touched sources'
+/// ledgers ([`crate::SegmentSource::prefetch_ledger`]): any
+/// evicted-before-use frame since the last sample halves the depth
+/// (the window outran the scan), a clean all-hits sample grows it one
+/// step back toward `cap`. The capacity−2 clamp already bounds `cap`,
+/// so tuning only ever moves *inside* the safe window — it exists to
+/// adapt to scan speed, not to re-litigate the eviction invariant.
 fn prefetch_ahead(
     plans: &[PhysicalPlan<'_>],
     entries: &[(usize, usize, usize, usize)],
     cursor: &AtomicUsize,
     stop: &AtomicBool,
-    depth: usize,
+    cap: usize,
+    adaptive: bool,
 ) {
+    let sources: Vec<&dyn SegmentSource> = if adaptive {
+        distinct_touched_sources(plans)
+    } else {
+        Vec::new()
+    };
+    let ledger = |sources: &[&dyn SegmentSource]| {
+        sources.iter().fold((0usize, 0usize), |(h, w), s| {
+            let (sh, sw) = s.prefetch_ledger();
+            (h + sh, w + sw)
+        })
+    };
+    let mut depth = cap;
+    let mut warmed_since_tune = 0usize;
+    let mut last_sample = ledger(&sources);
     let mut i = 0;
     while i < entries.len() && !stop.load(Ordering::Relaxed) {
         let (pos, p, col, seg) = entries[i];
@@ -287,7 +401,23 @@ fn prefetch_ahead(
             std::thread::sleep(Duration::from_micros(20));
             continue;
         }
-        plans[p].table.source_at(col).prefetch(seg);
+        if plans[p].table.source_at(col).prefetch(seg) {
+            warmed_since_tune += 1;
+        }
         i += 1;
+        if adaptive && warmed_since_tune >= TUNE_EVERY {
+            warmed_since_tune = 0;
+            let now = ledger(&sources);
+            // Saturating: a concurrent query draining the same source
+            // can only shrink the ledger, never corrupt the decision.
+            let hits = now.0.saturating_sub(last_sample.0);
+            let wasted = now.1.saturating_sub(last_sample.1);
+            last_sample = now;
+            if wasted > 0 {
+                depth = (depth / 2).max(1);
+            } else if hits > 0 {
+                depth = (depth + 1).min(cap);
+            }
+        }
     }
 }

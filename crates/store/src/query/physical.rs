@@ -27,7 +27,15 @@ use lcdc_core::ColumnData;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+
+/// The sentinel a shared top-k bound starts from: no worker has filled
+/// a k-heap yet, so nothing may be pruned against it. `i64::MIN` is
+/// also unreachable as a *published* bound (publication clamps down,
+/// never below the smallest real value), so the sentinel can never be
+/// confused with a real threshold that would wrongly prune.
+pub(crate) const TOPK_BOUND_UNSET: i64 = i64::MIN;
 
 /// Counters describing how a query executed, unified across every
 /// operator the planner can run.
@@ -72,6 +80,24 @@ pub struct QueryStats {
     /// counted under `segments` / `segments_pruned`, but nothing —
     /// metadata walk aside — was executed for them.
     pub shards_pruned: usize,
+    /// Group-key units the group-by sink folded *structurally* —
+    /// distinct dictionary codes aggregated in code space, RLE/RPE runs
+    /// folded with run-length multiplicity, constant segments folded
+    /// whole — instead of hashing one key per row. Each folded unit
+    /// decodes its key at most once, at merge time.
+    pub groups_folded: usize,
+    /// Rows whose group key was consumed by a code-space or
+    /// run-structural tier without ever decompressing the key column.
+    /// The decompression-avoidance ledger of the aggregation tier: a
+    /// decoded (naive) group-by always reports 0 here.
+    pub rows_undecoded: usize,
+    /// Segments skipped against the *shared* top-k bound — the
+    /// process-wide threshold morsel workers and shard fan-ins publish
+    /// into, letting late workers prune with early workers' heaps
+    /// (see [`crate::ExecOptions::topk_shared_bound`]). Sequential
+    /// [`crate::QueryBuilder::execute`] runs prune against the heap
+    /// directly and report 0 here.
+    pub topk_segments_skipped: usize,
     /// Which predicate-evaluation tier fired, per filter step.
     pub pushdown: PushdownStats,
 }
@@ -90,6 +116,9 @@ impl QueryStats {
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_wasted += other.prefetch_wasted;
         self.shards_pruned += other.shards_pruned;
+        self.groups_folded += other.groups_folded;
+        self.rows_undecoded += other.rows_undecoded;
+        self.topk_segments_skipped += other.topk_segments_skipped;
         self.pushdown.absorb(&other.pushdown);
     }
 }
@@ -152,12 +181,30 @@ impl GroupAcc {
         }
     }
 
+    /// Zero the accumulator in place, keeping its `per_col` allocation
+    /// (the dict tier's scratch reset between segments).
+    fn reset(&mut self) {
+        self.per_col.fill(AggResult::default());
+        self.rows = 0;
+    }
+
     fn merge(&mut self, other: &GroupAcc) {
         for (a, b) in self.per_col.iter_mut().zip(&other.per_col) {
             a.merge(b);
         }
         self.rows += other.rows;
     }
+}
+
+/// The group-by sink's working set for one segment visit: the
+/// destination hash table, the reusable dense code-space scratch, and
+/// the resolved key/value columns — bundled so the per-tier dispatch
+/// stays below clippy's argument budget.
+struct GroupBySink<'s> {
+    groups: &'s mut HashMap<i128, GroupAcc>,
+    scratch: &'s mut Vec<GroupAcc>,
+    key: usize,
+    cols: &'s [usize],
 }
 
 /// Running sink state; merged associatively across parallel partials
@@ -170,10 +217,22 @@ pub(crate) enum SinkState {
     Groups {
         groups: HashMap<i128, GroupAcc>,
         cols: usize,
+        /// Per-worker dense accumulator for the DICT code-space tier,
+        /// indexed by dictionary code. Reused across segments (cleared
+        /// and resized per dictionary) so the hot loop never allocates;
+        /// never merged across workers — its contents fold into
+        /// `groups` at the end of each segment visit.
+        scratch: Vec<GroupAcc>,
     },
     TopK {
         heap: BinaryHeap<Reverse<i128>>,
         k: usize,
+        /// The process-wide k-th bound shared across morsel workers and
+        /// shard fan-ins (`None` on sequential reference runs): every
+        /// worker whose heap holds `k` values publishes its threshold
+        /// here, and every worker consults it before visiting a
+        /// segment, so late workers prune with early workers' work.
+        shared: Option<Arc<AtomicI64>>,
     },
     Distinct {
         set: HashSet<i128>,
@@ -182,6 +241,13 @@ pub(crate) enum SinkState {
 
 impl SinkState {
     pub(crate) fn for_sink(sink: &Sink) -> SinkState {
+        SinkState::for_sink_shared(sink, None)
+    }
+
+    /// [`SinkState::for_sink`] with a shared top-k bound attached (the
+    /// morsel executor hands every worker the same `Arc`). Non-top-k
+    /// sinks ignore the bound.
+    pub(crate) fn for_sink_shared(sink: &Sink, bound: Option<Arc<AtomicI64>>) -> SinkState {
         match sink {
             Sink::Aggregate { cols, .. } => SinkState::Aggregate {
                 acc: GroupAcc::new(cols.len()),
@@ -189,10 +255,12 @@ impl SinkState {
             Sink::GroupBy { cols, .. } => SinkState::Groups {
                 groups: HashMap::new(),
                 cols: cols.len(),
+                scratch: Vec::new(),
             },
             Sink::TopK { k, .. } => SinkState::TopK {
                 heap: BinaryHeap::with_capacity(k + 1),
                 k: *k,
+                shared: bound,
             },
             Sink::Distinct { .. } => SinkState::Distinct {
                 set: HashSet::new(),
@@ -203,7 +271,7 @@ impl SinkState {
     pub(crate) fn merge(&mut self, other: SinkState) {
         match (self, other) {
             (SinkState::Aggregate { acc }, SinkState::Aggregate { acc: o }) => acc.merge(&o),
-            (SinkState::Groups { groups, cols }, SinkState::Groups { groups: o, .. }) => {
+            (SinkState::Groups { groups, cols, .. }, SinkState::Groups { groups: o, .. }) => {
                 for (key, g) in o {
                     groups
                         .entry(key)
@@ -211,7 +279,7 @@ impl SinkState {
                         .merge(&g);
                 }
             }
-            (SinkState::TopK { heap, k }, SinkState::TopK { heap: o, .. }) => {
+            (SinkState::TopK { heap, k, .. }, SinkState::TopK { heap: o, .. }) => {
                 for Reverse(v) in o {
                     push_topk(heap, *k, v);
                 }
@@ -470,10 +538,7 @@ impl<'t> PhysicalPlan<'t> {
     pub(crate) fn run_parallel(&self, threads: usize) -> Result<(SinkState, QueryStats)> {
         super::morsel::run_plans(
             std::slice::from_ref(self),
-            &super::morsel::ExecOptions {
-                threads,
-                prefetch: 0,
-            },
+            &super::morsel::ExecOptions::threads(threads),
         )
     }
 
@@ -640,21 +705,34 @@ impl<'t> PhysicalPlan<'t> {
             return Ok(());
         }
         // Top-k threshold pruning consults only the zone map — before
-        // the filters, before any payload fetch. The naive baseline
-        // scans everything.
-        if let (false, Sink::TopK { col, k }, SinkState::TopK { heap, .. }) =
+        // the filters, before any payload fetch. Two bounds apply: this
+        // worker's own k-heap, and the shared bound other workers (or
+        // other shards in a fan-in) have already published. The naive
+        // baseline scans everything.
+        if let (false, Sink::TopK { col, k }, SinkState::TopK { heap, shared, .. }) =
             (self.naive, &self.sink, &mut *state)
         {
             if *k == 0 {
                 stats.segments_pruned += 1;
                 return Ok(());
             }
-            if heap.len() == *k {
-                let Reverse(threshold) = *heap.peek().expect("heap holds k values");
-                if self.table.meta_at(*col, seg_idx).max <= threshold {
-                    stats.segments_pruned += 1;
-                    return Ok(());
-                }
+            let max = self.table.meta_at(*col, seg_idx).max;
+            let local_prunes = heap.len() == *k
+                && max
+                    <= heap
+                        .peek()
+                        .map(|&Reverse(threshold)| threshold)
+                        .expect("k > 0");
+            let shared_prunes = shared
+                .as_ref()
+                .map(|bound| bound.load(Ordering::Relaxed))
+                .is_some_and(|bound| bound != TOPK_BOUND_UNSET && max <= bound as i128);
+            if shared_prunes {
+                stats.topk_segments_skipped += 1;
+            }
+            if local_prunes || shared_prunes {
+                stats.segments_pruned += 1;
+                return Ok(());
             }
         }
         let mut mat = Materializer::new(n);
@@ -671,11 +749,33 @@ impl<'t> PhysicalPlan<'t> {
             (Sink::Aggregate { cols, .. }, SinkState::Aggregate { acc }) => {
                 self.sink_aggregate(seg_idx, n, &selection, cols, acc, &mut mat, stats)
             }
-            (Sink::GroupBy { key, cols, .. }, SinkState::Groups { groups, .. }) => {
-                self.sink_group_by(seg_idx, n, &selection, *key, cols, groups, &mut mat, stats)
+            (
+                Sink::GroupBy { key, cols, .. },
+                SinkState::Groups {
+                    groups, scratch, ..
+                },
+            ) => {
+                let sink = GroupBySink {
+                    groups,
+                    scratch,
+                    key: *key,
+                    cols,
+                };
+                self.sink_group_by(seg_idx, n, &selection, sink, &mut mat, stats)
             }
-            (Sink::TopK { col, k }, SinkState::TopK { heap, .. }) => {
-                self.sink_top_k(seg_idx, n, &selection, *col, *k, heap, &mut mat, stats)
+            (Sink::TopK { col, k }, SinkState::TopK { heap, shared, .. }) => {
+                self.sink_top_k(seg_idx, n, &selection, *col, *k, heap, &mut mat, stats)?;
+                // Publish this worker's tightened threshold so every
+                // other worker — and every other shard in a fan-in —
+                // can prune against it. `fetch_max` keeps the bound
+                // monotonic; clamping *down* to `i64::MAX` on overflow
+                // only weakens the bound, never wrongly prunes.
+                if let (Some(bound), Some(&Reverse(kth))) = (shared.as_ref(), heap.peek()) {
+                    if heap.len() == *k {
+                        bound.fetch_max(kth.min(i64::MAX as i128) as i64, Ordering::Relaxed);
+                    }
+                }
+                Ok(())
             }
             (Sink::Distinct { col }, SinkState::Distinct { set }) => {
                 self.sink_distinct(seg_idx, n, &selection, *col, set, &mut mat, stats)
@@ -915,52 +1015,181 @@ impl<'t> PhysicalPlan<'t> {
         Ok(aggregate_plain(&plain, None))
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// The group-by sink, tiered by the *key segment's* scheme tag —
+    /// the aggregation-pushdown mirror of the filter tiers:
+    ///
+    /// 1. **CONST**: the whole segment is one group; value columns fold
+    ///    through the structural whole-segment aggregator, the key is
+    ///    read off the zone map. One hash probe, zero key rows decoded.
+    /// 2. **DICT**: aggregate directly on dictionary codes into the
+    ///    worker's dense `scratch` vector (indexed by code — no hash
+    ///    probe, no key decode per row), then decode each *distinct*
+    ///    key exactly once when folding scratch into the hash table.
+    /// 3. **RLE/RPE** (full selection): probe the hash table once per
+    ///    run, folding the run's rows with run-length multiplicity.
+    /// 4. Fallback: decompress the key, hash per selected row.
+    ///
+    /// [`QueryStats::groups_folded`] counts the key units tiers 1–3
+    /// fold; [`QueryStats::rows_undecoded`] counts the rows whose key
+    /// those tiers never decompressed.
     fn sink_group_by(
         &self,
         seg_idx: usize,
         n: usize,
         selection: &Selection,
-        key: usize,
-        cols: &[usize],
-        groups: &mut HashMap<i128, GroupAcc>,
+        sink: GroupBySink<'_>,
         mat: &mut Materializer,
         stats: &mut QueryStats,
     ) -> Result<()> {
+        let GroupBySink {
+            groups,
+            scratch,
+            key,
+            cols,
+        } = sink;
         let kseg = self.fetch(key, seg_idx, mat, stats)?;
-        // Run-structured keys + full selection: probe the hash table
-        // once per run, not once per row.
-        if matches!(selection, Selection::All) && !self.naive {
-            if let Some((run_values, run_ends)) = kseg.run_structure()? {
-                stats.values_processed += run_values.len();
-                if cols.is_empty() {
-                    stats.segments_structural += 1;
-                }
-                let plains: Vec<Rc<ColumnData>> = cols
-                    .iter()
-                    .map(|col| {
-                        let seg = self.fetch(*col, seg_idx, mat, stats)?;
-                        mat.decompress(*col, &seg, stats)
-                    })
-                    .collect::<Result<_>>()?;
-                let mut start = 0usize;
-                for (run, &run_end) in run_ends.iter().enumerate().take(run_values.len()) {
-                    let end = (run_end as usize).min(n);
+        if !self.naive {
+            match kseg.scheme_base() {
+                // Tier 1 — CONST key: one group owns the whole segment.
+                // The key value is the zone map (min == max); under a
+                // full selection the value columns fold structurally.
+                "const" => {
+                    stats.values_processed += 1;
+                    stats.groups_folded += 1;
                     let acc = groups
-                        .entry(run_values.get_numeric(run).expect("in range"))
+                        .entry(kseg.min)
                         .or_insert_with(|| GroupAcc::new(cols.len()));
-                    acc.rows += end - start;
-                    for (slot, plain) in plains.iter().enumerate() {
-                        for i in start..end {
-                            acc.per_col[slot].push(plain.get_numeric(i).expect("in range"));
+                    match selection {
+                        Selection::All => {
+                            if cols.is_empty() {
+                                stats.segments_structural += 1;
+                            }
+                            for (slot, col) in cols.iter().enumerate() {
+                                let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                                let part =
+                                    self.aggregate_whole_segment(*col, &seg, n, mat, stats)?;
+                                acc.per_col[slot].merge(&part);
+                            }
+                            acc.rows += n;
+                            stats.rows_undecoded += n;
+                        }
+                        Selection::Mask(mask) => {
+                            if cols.is_empty() {
+                                stats.segments_structural += 1;
+                            }
+                            for (slot, col) in cols.iter().enumerate() {
+                                let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                                let plain = mat.decompress(*col, &seg, stats)?;
+                                acc.per_col[slot].merge(&aggregate_plain(&plain, Some(mask)));
+                            }
+                            acc.rows += mask.count_ones();
+                            stats.rows_undecoded += mask.count_ones();
                         }
                     }
-                    start = end;
+                    return Ok(());
                 }
-                return Ok(());
+                // Tier 2 — DICT key: dense code-space aggregation.
+                "dict" => {
+                    let scheme = kseg.scheme()?;
+                    let dict_values = scheme.decompress_part(&kseg.compressed, dict::ROLE_DICT)?;
+                    let codes = scheme.decompress_part(&kseg.compressed, dict::ROLE_CODES)?;
+                    let codes = codes.to_transport();
+                    // Reset the scratch in place when its shape still
+                    // fits (the common case: equal-height dictionaries
+                    // across segments) so the per-segment setup
+                    // allocates nothing; reshape only when the
+                    // dictionary size or aggregate count changed.
+                    let fits = scratch.len() == dict_values.len()
+                        && scratch
+                            .first()
+                            .is_none_or(|acc| acc.per_col.len() == cols.len());
+                    if fits {
+                        scratch.iter_mut().for_each(GroupAcc::reset);
+                    } else {
+                        scratch.clear();
+                        scratch.resize(dict_values.len(), GroupAcc::new(cols.len()));
+                    }
+                    let plains: Vec<Rc<ColumnData>> = cols
+                        .iter()
+                        .map(|col| {
+                            let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                            mat.decompress(*col, &seg, stats)
+                        })
+                        .collect::<Result<_>>()?;
+                    let mut fold = |i: usize| {
+                        let acc = &mut scratch[codes[i] as usize];
+                        acc.rows += 1;
+                        for (slot, plain) in plains.iter().enumerate() {
+                            acc.per_col[slot].push(plain.get_numeric(i).expect("in range"));
+                        }
+                    };
+                    match selection {
+                        Selection::All => {
+                            stats.values_processed += n;
+                            stats.rows_undecoded += n;
+                            (0..n).for_each(&mut fold);
+                        }
+                        Selection::Mask(mask) => {
+                            stats.values_processed += mask.count_ones();
+                            stats.rows_undecoded += mask.count_ones();
+                            mask.iter_ones().for_each(&mut fold);
+                        }
+                    }
+                    if cols.is_empty() {
+                        stats.segments_structural += 1;
+                    }
+                    // Merge: decode each *distinct* touched key exactly
+                    // once — the only place a dictionary entry is read.
+                    for (code, acc) in scratch.iter().enumerate() {
+                        if acc.rows == 0 {
+                            continue;
+                        }
+                        stats.groups_folded += 1;
+                        groups
+                            .entry(dict_values.get_numeric(code).expect("in range"))
+                            .or_insert_with(|| GroupAcc::new(cols.len()))
+                            .merge(acc);
+                    }
+                    return Ok(());
+                }
+                _ => {}
+            }
+            // Tier 3 — run-structured keys + full selection: probe the
+            // hash table once per run, not once per row.
+            if matches!(selection, Selection::All) {
+                if let Some((run_values, run_ends)) = kseg.run_structure()? {
+                    stats.values_processed += run_values.len();
+                    stats.groups_folded += run_values.len();
+                    stats.rows_undecoded += n;
+                    if cols.is_empty() {
+                        stats.segments_structural += 1;
+                    }
+                    let plains: Vec<Rc<ColumnData>> = cols
+                        .iter()
+                        .map(|col| {
+                            let seg = self.fetch(*col, seg_idx, mat, stats)?;
+                            mat.decompress(*col, &seg, stats)
+                        })
+                        .collect::<Result<_>>()?;
+                    let mut start = 0usize;
+                    for (run, &run_end) in run_ends.iter().enumerate().take(run_values.len()) {
+                        let end = (run_end as usize).min(n);
+                        let acc = groups
+                            .entry(run_values.get_numeric(run).expect("in range"))
+                            .or_insert_with(|| GroupAcc::new(cols.len()));
+                        acc.rows += end - start;
+                        for (slot, plain) in plains.iter().enumerate() {
+                            for i in start..end {
+                                acc.per_col[slot].push(plain.get_numeric(i).expect("in range"));
+                            }
+                        }
+                        start = end;
+                    }
+                    return Ok(());
+                }
             }
         }
-        // Fallback: hash per selected row.
+        // Tier 4 — fallback: hash per selected row.
         let keys = mat.decompress(key, &kseg, stats)?;
         let plains: Vec<Rc<ColumnData>> = cols
             .iter()
@@ -1091,9 +1320,7 @@ impl<'t> PhysicalPlan<'t> {
 
 /// Which part columns carry a segment's distinct candidates, per scheme.
 pub(crate) fn distinct_part_roles(seg: &Segment) -> Option<Vec<&'static str>> {
-    let scheme_id = seg.compressed.scheme_id.as_str();
-    let base = scheme_id.split(['(', '[']).next().unwrap_or(scheme_id);
-    match base {
+    match seg.scheme_base() {
         "dict" => Some(vec![dict::ROLE_DICT]),
         "rle" => Some(vec![rle::ROLE_VALUES]),
         "rpe" => Some(vec![rpe::ROLE_VALUES]),

@@ -63,6 +63,25 @@ impl QueryResult {
         }
     }
 
+    /// Approximate heap footprint of the produced rows, in bytes — what
+    /// the catalog's result cache charges against its byte budget.
+    /// Aggregates are a handful of values; a top-k is `k` values; a
+    /// high-cardinality group-by can be megabytes. Counting payload
+    /// instead of entries is what keeps one huge group-by from pinning
+    /// the cache while hundreds of tiny aggregates thrash.
+    pub fn payload_bytes(&self) -> usize {
+        const VALUE: usize = std::mem::size_of::<i128>();
+        const OPT: usize = std::mem::size_of::<AggValue>();
+        match &self.rows {
+            Rows::Aggregates(values) => values.len() * OPT,
+            Rows::Groups(groups) => groups
+                .iter()
+                .map(|(_, values)| VALUE + values.len() * OPT)
+                .sum(),
+            Rows::TopK(values) | Rows::Distinct(values) => values.len() * VALUE,
+        }
+    }
+
     pub(crate) fn from_state(
         plan: &PhysicalPlan<'_>,
         state: SinkState,

@@ -69,6 +69,15 @@ impl Segment {
         Ok(parse_scheme(&self.expr)?)
     }
 
+    /// The base name of the segment's scheme — `"dict"` for
+    /// `dict[codes=ns]`, `"for"` for `for(l=128)[offsets=ns]` — the
+    /// single tag every scheme-keyed tier dispatch (predicate pushdown,
+    /// code-space group-by, structural distinct) switches on.
+    pub fn scheme_base(&self) -> &str {
+        let id = self.compressed.scheme_id.as_str();
+        id.split(['(', '[']).next().unwrap_or(id)
+    }
+
     /// Fully decompress the segment.
     pub fn decompress(&self) -> Result<ColumnData> {
         Ok(self.scheme()?.decompress(&self.compressed)?)

@@ -92,10 +92,24 @@ pub trait SegmentSource: std::fmt::Debug + Send + Sync {
     /// Drain the `(prefetch hits, prefetch wasted)` counters accumulated
     /// since the last drain: hits are fetches served from a frame a
     /// [`SegmentSource::prefetch`] call loaded, wasted are frames
-    /// prefetch loaded that no fetch ever consumed. The executor drains
-    /// once per query; concurrent queries over one source share the
-    /// counters (they describe the source, not a single plan).
+    /// prefetch loaded that no fetch ever consumed — whether they were
+    /// evicted before the scan reached them (counted once per frame at
+    /// eviction, however many times the frame is re-warmed) or simply
+    /// left warm and untouched at the end. The executor drains once per
+    /// query, once per distinct source; concurrent queries over one
+    /// source share the counters (they describe the source, not a
+    /// single plan).
     fn take_prefetch_counters(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    /// A non-draining view of the prefetch ledger since the last drain:
+    /// `(hits so far, frames evicted before use so far)`. The adaptive
+    /// prefetcher samples this mid-query to tune its depth — unlike
+    /// [`SegmentSource::take_prefetch_counters`], frames still warm in
+    /// the cache are *not* counted wasted here, because the scan may
+    /// yet consume them.
+    fn prefetch_ledger(&self) -> (usize, usize) {
         (0, 0)
     }
 
@@ -181,6 +195,13 @@ pub struct FileSource {
     /// Frames loaded by [`SegmentSource::prefetch`] and not yet consumed
     /// by a fetch; drained by `take_prefetch_counters`.
     prefetched: Mutex<HashSet<usize>>,
+    /// Frames a prefetch warmed that the cache evicted *before* any
+    /// fetch consumed them — the definitive waste. A set, not a
+    /// counter: a frame re-warmed after such an eviction (a retry) and
+    /// evicted again still counts one wasted frame, and a retry that
+    /// finally gets consumed keeps its one recorded eviction (the read
+    /// it wasted really happened) alongside its hit.
+    wasted: Mutex<HashSet<usize>>,
     prefetch_hits: AtomicUsize,
 }
 
@@ -243,6 +264,7 @@ impl FileSource {
             inflight: Mutex::new(HashSet::new()),
             loaded: Condvar::new(),
             prefetched: Mutex::new(HashSet::new()),
+            wasted: Mutex::new(HashSet::new()),
             prefetch_hits: AtomicUsize::new(0),
         })
     }
@@ -295,10 +317,26 @@ impl FileSource {
                 if mark_prefetched {
                     self.prefetched.lock().expect("prefetched lock").insert(idx);
                 }
-                self.cache
+                let evicted = self
+                    .cache
                     .lock()
                     .expect("cache lock")
                     .put(idx, Arc::clone(&loaded));
+                // A warmed frame pushed out before any fetch consumed
+                // it is waste, settled here at eviction time — once per
+                // frame, no matter how many retries re-warm it. (The
+                // cache guard is already released; lock order stays
+                // cache → prefetched → wasted everywhere.)
+                if let Some((evicted_idx, _)) = evicted {
+                    if self
+                        .prefetched
+                        .lock()
+                        .expect("prefetched lock")
+                        .remove(&evicted_idx)
+                    {
+                        self.wasted.lock().expect("wasted lock").insert(evicted_idx);
+                    }
+                }
                 Ok(loaded)
             }
             Err(e) => Err(e),
@@ -452,10 +490,25 @@ impl SegmentSource for FileSource {
 
     fn take_prefetch_counters(&self) -> (usize, usize) {
         let hits = self.prefetch_hits.swap(0, Ordering::Relaxed);
-        let mut pending = self.prefetched.lock().expect("prefetched lock");
-        let wasted = pending.len();
-        pending.clear();
-        (hits, wasted)
+        // Wasted = frames evicted before use plus frames still warm and
+        // never consumed, as a *union*: a frame evicted, re-warmed, and
+        // left pending is one wasted frame, not two. Locks are taken
+        // one at a time, never nested.
+        let mut union: HashSet<usize> = self
+            .prefetched
+            .lock()
+            .expect("prefetched lock")
+            .drain()
+            .collect();
+        union.extend(self.wasted.lock().expect("wasted lock").drain());
+        (hits, union.len())
+    }
+
+    fn prefetch_ledger(&self) -> (usize, usize) {
+        (
+            self.prefetch_hits.load(Ordering::Relaxed),
+            self.wasted.lock().expect("wasted lock").len(),
+        )
     }
 
     fn cache_capacity(&self) -> Option<usize> {
@@ -520,6 +573,10 @@ impl SegmentSource for ChainedSource {
         self.base.take_prefetch_counters()
     }
 
+    fn prefetch_ledger(&self) -> (usize, usize) {
+        self.base.prefetch_ledger()
+    }
+
     fn cache_capacity(&self) -> Option<usize> {
         self.base.cache_capacity()
     }
@@ -578,17 +635,42 @@ impl<K: PartialEq, V: Clone> LruCache<K, V> {
     }
 
     /// Insert (or refresh) `key`, evicting the least recent entry at
-    /// capacity.
-    pub(crate) fn put(&mut self, key: K, value: V) {
+    /// capacity. Returns the entry evicted to make room (`None` when
+    /// there was room, when the put only refreshed an existing key, or
+    /// when a zero-capacity cache dropped the insert outright) so the
+    /// segment cache can move the victim's prefetch mark to the wasted
+    /// ledger. Note the `None`-on-refresh case: byte-budget accounting
+    /// cannot be settled from this return alone (a same-key replacement
+    /// swaps payloads invisibly), which is why the result cache recounts
+    /// via [`Self::values`] / evicts via [`Self::pop_lru`] instead.
+    pub(crate) fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
+        let mut evicted = None;
         if let Some(pos) = self.entries.iter().position(|(k, _)| k == &key) {
             self.entries.remove(pos);
         } else if self.entries.len() == self.capacity {
-            self.entries.remove(0);
+            evicted = Some(self.entries.remove(0));
         }
         self.entries.push((key, value));
+        evicted
+    }
+
+    /// Iterate the cached values, least recent first (byte-budget
+    /// recounts in the result cache).
+    pub(crate) fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Drop and return the least recent entry, if any (byte-budget
+    /// eviction in the result cache).
+    pub(crate) fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
     }
 
     /// Drop every entry whose key fails `keep`.
@@ -675,6 +757,43 @@ mod tests {
         assert_eq!((hits, wasted), (1, 1), "frame 1 was warmed for nothing");
         // Drained: the next drain starts from zero.
         assert_eq!(source.take_prefetch_counters(), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evicted_before_use_is_wasted_once_even_across_retries() {
+        let dir = std::env::temp_dir().join(format!("lcdc_src_evict_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = crate::schema::TableSchema::new(&[("v", lcdc_core::DType::U64)]);
+        let v = ColumnData::U64((0..1000u64).collect());
+        let table =
+            crate::table::Table::build(schema, &[v], &[CompressionPolicy::Auto], 100).unwrap();
+        crate::file::save_table(&table, &dir).unwrap();
+        // Two-frame cache: the third warm evicts the first.
+        let lazy = crate::file::open_table_lazy(&dir, 2).unwrap();
+        let source = lazy.source("v").unwrap();
+
+        assert!(source.prefetch(0));
+        assert!(source.prefetch(1));
+        assert!(source.prefetch(2), "evicts frame 0 before any use");
+        assert_eq!(source.prefetch_ledger(), (0, 1), "one eviction so far");
+        // Retry frame 0 (evicts 1), then actually consume it: the
+        // retry's read is a hit, the first read stays exactly one
+        // recorded waste — not zero (the eviction happened), not two.
+        assert!(source.prefetch(0));
+        source.segment(0).unwrap();
+        assert_eq!(
+            source.prefetch_ledger(),
+            (1, 2),
+            "frames 0 and 1 each evicted once"
+        );
+        let (hits, wasted) = source.take_prefetch_counters();
+        assert_eq!(hits, 1);
+        // Wasted union: {0, 1} evicted-before-use + {2} warmed and never
+        // consumed; frame 0's hit does not erase its wasted first read.
+        assert_eq!(wasted, 3);
+        assert_eq!(source.take_prefetch_counters(), (0, 0), "drained");
+        assert_eq!(source.prefetch_ledger(), (0, 0), "ledger drained too");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,9 +8,16 @@
 //! segment whose zone-map maximum cannot beat that bound; RLE/RPE
 //! segments that do survive are folded *run-structurally* (one value
 //! per run, `min(run length, k)` multiplicity) instead of being
-//! decompressed. These free functions keep the original signatures; new
-//! code should use [`crate::QueryBuilder::top_k`], which also composes
-//! with filters.
+//! decompressed. Under the morsel executor the discovered bound is
+//! additionally *shared*: every worker (and every shard of a fan-in)
+//! publishes its k-th value into one process-wide atomic and prunes
+//! against the tightest bound anyone found, so a late worker benefits
+//! from an early worker's heap
+//! ([`crate::ExecOptions::topk_shared_bound`],
+//! [`crate::query::QueryStats::topk_segments_skipped`]). These free
+//! functions keep the original signatures; new code should use
+//! [`crate::QueryBuilder::top_k`], which also composes with filters
+//! and the parallel executor.
 
 use crate::query::QueryBuilder;
 use crate::table::Table;

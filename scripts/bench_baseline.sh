@@ -4,14 +4,33 @@
 # (default BENCH_e7.json) keyed by stable bench names, so the perf
 # trajectory accumulates one snapshot per PR.
 #
-# Usage:  scripts/bench_baseline.sh [out.json]
+# Usage:
+#   scripts/bench_baseline.sh [out.json]
+#       record mode: write the fresh medians to out.json
+#   scripts/bench_baseline.sh --compare [out.json] [baseline.json]
+#       compare mode: run fresh into out.json (default
+#       BENCH_e7.fresh.json), then diff against the committed baseline
+#       (default BENCH_e7.json) and print per-bench deltas plus the
+#       per-group median delta — the per-PR perf trajectory at a
+#       glance. Exit status stays 0; the diff is informational.
+#
 #   CRITERION_QUICK=1 scripts/bench_baseline.sh   # CI smoke: one short
 #                                                 # sample per bench,
 #                                                 # every assert still runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_e7.json}"
+compare=false
+if [ "${1:-}" = "--compare" ]; then
+  compare=true
+  shift
+fi
+if $compare; then
+  out="${1:-BENCH_e7.fresh.json}"
+  baseline="${2:-BENCH_e7.json}"
+else
+  out="${1:-BENCH_e7.json}"
+fi
 jsonl="$(mktemp)"
 trap 'rm -f "$jsonl"' EXIT
 
@@ -40,3 +59,70 @@ esac
 } >"$out"
 
 echo "bench_baseline: wrote $(grep -c '"name"' "$out") medians to $out"
+
+if ! $compare; then
+  exit 0
+fi
+if [ ! -f "$baseline" ]; then
+  echo "bench_baseline: no baseline at $baseline to compare against" >&2
+  exit 0
+fi
+
+# Diff the fresh medians against the committed baseline: one line per
+# bench (delta% = fresh/base - 1; negative is faster), then the median
+# delta per criterion *group* (the first two name components, e.g.
+# "e7/filtered_sum"), which is what the per-PR trajectory reads.
+# Benches present on only one side are listed, not diffed.
+awk -v fresh="$out" -v base="$baseline" '
+function load(file, arr, order, n,    line, name, v) {
+  n = 0
+  while ((getline line < file) > 0) {
+    if (match(line, /"name":"[^"]+"/)) {
+      name = substr(line, RSTART + 8, RLENGTH - 9)
+      if (match(line, /"median_ns":[0-9.]+/)) {
+        v = substr(line, RSTART + 12, RLENGTH - 12) + 0
+        if (!(name in arr)) order[++n] = name
+        arr[name] = v
+      }
+    }
+  }
+  close(file)
+  return n
+}
+function median(values, n,    i, j, tmp) {
+  for (i = 2; i <= n; i++) {
+    tmp = values[i]
+    for (j = i - 1; j >= 1 && values[j] > tmp; j--) values[j + 1] = values[j]
+    values[j + 1] = tmp
+  }
+  if (n % 2) return values[(n + 1) / 2]
+  return (values[n / 2] + values[n / 2 + 1]) / 2
+}
+BEGIN {
+  nf = load(fresh, f, forder, 0)
+  nb = load(base, b, border, 0)
+  printf "\n== bench deltas vs %s (negative = faster) ==\n", base
+  for (i = 1; i <= nf; i++) {
+    name = forder[i]
+    if (!(name in b)) { printf "%-58s %12.1f ns  (new)\n", name, f[name]; continue }
+    delta = (f[name] / b[name] - 1) * 100
+    printf "%-58s %12.1f ns  %+7.1f%%\n", name, f[name], delta
+    # The criterion group is the first two name components
+    # ("e7/filtered_sum"); deeper ids are per-bench parameters.
+    split(name, parts, "/")
+    group = parts[1] "/" parts[2]
+    gdeltas[group, ++gcount[group]] = delta
+    if (!(group in seen)) { gorder[++ng] = group; seen[group] = 1 }
+  }
+  for (i = 1; i <= nb; i++) {
+    name = border[i]
+    if (!(name in f)) printf "%-58s %12s      (gone)\n", name, "-"
+  }
+  printf "\n== per-group median delta ==\n"
+  for (i = 1; i <= ng; i++) {
+    group = gorder[i]
+    n = gcount[group]
+    for (j = 1; j <= n; j++) tmp[j] = gdeltas[group, j]
+    printf "%-42s %+7.1f%%  (%d benches)\n", group, median(tmp, n), n
+  }
+}'

@@ -16,7 +16,8 @@
 //!                 [--filter c=lo..hi | c=value | c=in:v1,v2,..]...
 //!                 [--any c=..,c=..] [--sum c] [--count]
 //!                 [--group-by c | --top-k c:k | --distinct c]
-//!                 [--naive] [--threads N] [--prefetch N]
+//!                 [--naive] [--threads N] [--prefetch auto|N]
+//!                 [--topk-shared-bound on|off]
 //!                 [--ordered-filters] [--explain]
 //! ```
 //!
@@ -27,7 +28,11 @@
 //! `lcdc shard`, routed through `lcdc::store::Catalog` (result cache,
 //! shard fan-in). `--lazy` opens columns as lazy `FileSource`s so only
 //! the segments the plan touches are read from disk; `--repeat 2`
-//! demonstrates the result cache on the second run. `ingest` appends a
+//! demonstrates the result cache on the second run. `--prefetch auto`
+//! lets the background fetcher tune its own depth from observed
+//! hit/wasted ratios (a number pins the depth/cap instead), and
+//! `--topk-shared-bound=off` disables the cross-worker top-k threshold
+//! for A/B runs. `ingest` appends a
 //! row batch — one raw binary per column, in schema order — to a saved
 //! table without rewriting existing frames; against a *sharded* catalog
 //! table it routes the batch along the shards' `--key` ranges and
@@ -67,8 +72,8 @@ usage:
                   [--any col=spec,col=spec]
                   [--sum col] [--min col] [--max col] [--count]
                   [--group-by col | --top-k col:k | --distinct col]
-                  [--naive] [--threads N] [--prefetch N]
-                  [--ordered-filters] [--explain]
+                  [--naive] [--threads N] [--prefetch auto|N]
+                  [--topk-shared-bound on|off] [--ordered-filters] [--explain]
 
 scheme expressions: e.g. 'rle[values=delta[deltas=ns_zz],lengths=ns]',
 'for(l=128)[offsets=ns]', 'vstep(w=8)[offsets=ns]', 'sparse', ...";
@@ -560,7 +565,20 @@ fn query(args: &[String]) -> Result<(), String> {
     let mut explain = false;
     let mut threads = 1usize;
     let mut prefetch = 0usize;
+    let mut prefetch_auto = false;
+    let mut topk_shared_bound = true;
 
+    // Accept `--flag=value` as a spelling of `--flag value` (the A/B
+    // flags read naturally as `--topk-shared-bound=off`).
+    let args: Vec<String> = args
+        .iter()
+        .flat_map(
+            |arg| match arg.strip_prefix("--").and_then(|a| a.split_once('=')) {
+                Some((flag, value)) => vec![format!("--{flag}"), value.to_string()],
+                None => vec![arg.clone()],
+            },
+        )
+        .collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<String, String> {
@@ -602,7 +620,23 @@ fn query(args: &[String]) -> Result<(), String> {
                 threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
             }
             "--prefetch" => {
-                prefetch = value("--prefetch")?.parse().map_err(|_| "bad --prefetch")?;
+                let depth = value("--prefetch")?;
+                if depth == "auto" {
+                    // Self-tuning: cap at the capacity clamp, re-tuned
+                    // from observed hit/wasted ratios while running.
+                    prefetch_auto = true;
+                } else {
+                    prefetch = depth.parse().map_err(|_| "bad --prefetch (auto|N)")?;
+                }
+            }
+            "--topk-shared-bound" => {
+                topk_shared_bound = match value("--topk-shared-bound")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!("--topk-shared-bound wants on|off, got {other:?}"))
+                    }
+                };
             }
             "--ordered-filters" => spec = spec.keep_filter_order(),
             "--naive" => naive = true,
@@ -657,7 +691,12 @@ fn query(args: &[String]) -> Result<(), String> {
                 println!("{}", builder.explain().map_err(|e| e.to_string())?);
                 println!();
             }
-            let opts = ExecOptions::threads(threads).with_prefetch(prefetch);
+            let mut opts = ExecOptions::threads(threads)
+                .with_prefetch(prefetch)
+                .with_topk_shared_bound(topk_shared_bound);
+            if prefetch_auto {
+                opts = opts.with_prefetch_auto();
+            }
             for _ in 0..repeat.max(1) {
                 let result = if naive {
                     builder.execute_naive()
@@ -700,7 +739,12 @@ fn query(args: &[String]) -> Result<(), String> {
                 handle.shard_count(),
                 handle.num_rows()
             );
-            let opts = ExecOptions::threads(threads).with_prefetch(prefetch);
+            let mut opts = ExecOptions::threads(threads)
+                .with_prefetch(prefetch)
+                .with_topk_shared_bound(topk_shared_bound);
+            if prefetch_auto {
+                opts = opts.with_prefetch_auto();
+            }
             for _ in 0..repeat.max(1) {
                 let result = catalog
                     .execute_opts(name, &spec, &opts)
@@ -765,6 +809,18 @@ fn print_stats(result: &lcdc::store::QueryResult, io_reads: usize) {
         s.rows_materialized,
         s.pushdown
     );
+    if s.groups_folded > 0 || s.rows_undecoded > 0 {
+        eprintln!(
+            "-- code-space group-by: {} key units folded, {} rows undecoded",
+            s.groups_folded, s.rows_undecoded
+        );
+    }
+    if s.topk_segments_skipped > 0 {
+        eprintln!(
+            "-- shared top-k bound skipped {} segments",
+            s.topk_segments_skipped
+        );
+    }
 }
 
 fn choose(args: &[String]) -> Result<(), String> {
@@ -921,6 +977,7 @@ mod tests {
                 s("4"),
                 s("--ordered-filters"),
             ],
+            vec![s("--prefetch"), s("auto")],
         ] {
             let mut args = vec![
                 d.clone(),
@@ -936,8 +993,32 @@ mod tests {
             args.extend(extra);
             query(&args).unwrap();
         }
-        // Top-k and distinct sinks.
+        // Top-k and distinct sinks; the shared-bound A/B flag in both
+        // spellings, and the = spelling of an ordinary flag.
         query(&[d.clone(), s("--top-k"), s("qty:5")]).unwrap();
+        query(&[
+            d.clone(),
+            s("--top-k"),
+            s("qty:5"),
+            s("--threads"),
+            s("4"),
+            s("--topk-shared-bound=off"),
+        ])
+        .unwrap();
+        query(&[
+            d.clone(),
+            s("--top-k=qty:5"),
+            s("--topk-shared-bound"),
+            s("on"),
+        ])
+        .unwrap();
+        assert!(query(&[
+            d.clone(),
+            s("--top-k"),
+            s("qty:5"),
+            s("--topk-shared-bound=maybe")
+        ])
+        .is_err());
         query(&[d.clone(), s("--distinct"), s("day")]).unwrap();
         // IN and OR filters, lazily opened.
         query(&[

@@ -1,0 +1,257 @@
+//! The aggregation-pushdown tier's contract, property-tested:
+//!
+//! * **Code-space group-by** — for DICT / RLE / auto-chosen key
+//!   columns, under random filters, the structural group-by (dense
+//!   per-code accumulators, run folding) must produce exactly the
+//!   decoded (naive) group-by's answer, while never decompressing the
+//!   key column on the structural paths
+//!   (`QueryStats::rows_undecoded`).
+//! * **Shared-threshold top-k** — with the cross-worker bound on or
+//!   off, under every worker count and over sharded catalogs, parallel
+//!   top-k must equal the sequential reference, values and
+//!   multiplicities included.
+
+use lcdc::core::{ColumnData, DType};
+use lcdc::store::{
+    shard_table, Agg, Catalog, CompressionPolicy, ExecOptions, Predicate, QueryBuilder, QuerySpec,
+    Table, TableSchema,
+};
+use proptest::prelude::*;
+
+/// A two-column table whose key column is built under an explicit
+/// policy: 0 = DICT codes, 1 = RLE runs, 2 = chooser's pick. Key values
+/// are scrambled over `domain` (no runs) for DICT/auto, runny for RLE —
+/// each the shape its tier targets.
+fn keyed_table(seed: u64, n: usize, seg_rows: usize, domain: u64, key_policy: usize) -> Table {
+    let domain = domain.max(1);
+    let keys: Vec<u64> = match key_policy {
+        1 => lcdc::datagen::runs::runs_over_domain(n, 40, domain, seed),
+        _ => (0..n as u64)
+            .map(|i| i.wrapping_mul(seed | 1).wrapping_add(seed >> 3) % domain)
+            .collect(),
+    };
+    let vals = lcdc::datagen::uniform(n, 1000, seed ^ 0xC0FFEE);
+    let key_policy = match key_policy {
+        0 => CompressionPolicy::Fixed("dict[codes=ns]".into()),
+        1 => CompressionPolicy::Fixed("rle[values=ns,lengths=ns]".into()),
+        _ => CompressionPolicy::Auto,
+    };
+    Table::build(
+        TableSchema::new(&[("key", DType::U64), ("val", DType::U64)]),
+        &[ColumnData::U64(keys), ColumnData::U64(vals)],
+        &[key_policy, CompressionPolicy::Auto],
+        seg_rows,
+    )
+    .expect("table builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// DICT/RLE code-space group-by ≡ decoded group-by, with and
+    /// without filters, for every key policy.
+    #[test]
+    fn code_space_group_by_equals_decoded(
+        seed in any::<u64>(),
+        seg_rows in 128usize..900,
+        domain in 1u64..300,
+        key_policy in 0usize..3,
+        filter in (any::<bool>(), 0u64..1000, 0u64..600),
+    ) {
+        let table = keyed_table(seed, 3000, seg_rows, domain, key_policy);
+        let mut builder = QueryBuilder::scan(&table);
+        let (filtered, lo, width) = filter;
+        if filtered {
+            builder = builder.filter("val", Predicate::Range {
+                lo: lo as i128,
+                hi: (lo + width) as i128,
+            });
+        }
+        let builder = builder
+            .group_by("key")
+            .aggregate(&[Agg::Sum("val"), Agg::Min("val"), Agg::Count]);
+        let push = builder.execute().expect("code-space runs");
+        let naive = builder.execute_naive().expect("decoded runs");
+        prop_assert_eq!(&push.rows, &naive.rows);
+        prop_assert_eq!(naive.stats.rows_undecoded, 0, "the baseline decodes keys");
+        // Forced structural key schemes never decode a selected key
+        // row: the DICT tier composes with filter masks, the RLE tier
+        // fires under full selections (a filtered RLE segment may fall
+        // back, so its exact ledger is asserted unfiltered only).
+        let selected: usize = push.groups().expect("group rows")
+            .iter()
+            .map(|(_, values)| values[2].expect("count") as usize)
+            .sum();
+        if key_policy == 0 || (key_policy == 1 && !filtered) {
+            prop_assert_eq!(
+                push.stats.rows_undecoded, selected,
+                "every selected key row stayed in code/run space: {:?}", push.stats
+            );
+            prop_assert!(push.stats.groups_folded > 0 || selected == 0);
+        }
+        // Parallel execution folds the same tiers per segment.
+        let parallel = builder.execute_parallel(4).expect("parallel runs");
+        prop_assert_eq!(&parallel.rows, &push.rows);
+        prop_assert_eq!(parallel.stats.rows_undecoded, push.stats.rows_undecoded);
+    }
+
+    /// Shared-threshold parallel top-k ≡ sequential top-k for worker
+    /// counts 1/2/4/64, bound on and off, including sharded catalogs.
+    #[test]
+    fn shared_bound_top_k_equals_sequential(
+        seed in any::<u64>(),
+        seg_rows in 128usize..900,
+        k in 1usize..200,
+        shards in 1usize..5,
+        filter in (any::<bool>(), 0u64..1000, 0u64..600),
+    ) {
+        let table = keyed_table(seed, 3000, seg_rows, 300, 2);
+        let mut spec = QuerySpec::new();
+        let (filtered, lo, width) = filter;
+        if filtered {
+            spec = spec.filter("val", Predicate::Range {
+                lo: lo as i128,
+                hi: (lo + width) as i128,
+            });
+        }
+        let spec = spec.top_k("val", k);
+        let want = spec.bind(&table).execute().expect("sequential reference");
+
+        for threads in [1usize, 2, 4, 64] {
+            for bound in [true, false] {
+                let opts = ExecOptions::threads(threads).with_topk_shared_bound(bound);
+                let got = spec.bind(&table).execute_opts(&opts).expect("parallel runs");
+                prop_assert_eq!(
+                    &got.rows, &want.rows,
+                    "threads {} bound {}", threads, bound
+                );
+                if !bound {
+                    prop_assert_eq!(got.stats.topk_segments_skipped, 0);
+                }
+            }
+        }
+
+        // The same spec over a sharded catalog: the bound spans shards.
+        let catalog = Catalog::with_cache_capacity(0);
+        catalog
+            .register_sharded("t", shard_table(&table, shards).expect("shards"))
+            .expect("registers");
+        for threads in [1usize, 4, 64] {
+            let got = catalog
+                .execute_parallel("t", &spec, threads)
+                .expect("sharded runs");
+            prop_assert_eq!(&got.rows, &want.rows, "sharded x{}", threads);
+        }
+    }
+}
+
+/// Deterministic acceptance scenario for the shared bound: one hot
+/// segment holds the whole top-k, the other segments' maxima tie each
+/// other — only the published bound (not a moderate segment's own heap)
+/// can prune them. Best-max-first order guarantees the hot segment is
+/// drawn first, so the skip count is exact under any worker count the
+/// hardware allows.
+#[test]
+fn shared_bound_skips_moderate_segments() {
+    const SEG_ROWS: usize = 512;
+    const SEGMENTS: usize = 12;
+    let v: Vec<u64> = (0..SEG_ROWS * SEGMENTS)
+        .map(|i| {
+            let noise = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54;
+            if i / SEG_ROWS == 0 {
+                1_000_000 + noise
+            } else {
+                noise
+            }
+        })
+        .collect();
+    let table = Table::build(
+        TableSchema::new(&[("v", DType::U64)]),
+        &[ColumnData::U64(v)],
+        &[CompressionPolicy::Auto],
+        SEG_ROWS,
+    )
+    .unwrap();
+    let spec = QuerySpec::new().top_k("v", 32);
+    let want = spec.bind(&table).execute().unwrap();
+    assert_eq!(want.stats.topk_segments_skipped, 0, "no bound sequentially");
+
+    // One worker drains the queue in best-max order: the hot segment
+    // fills the heap, publishes, and every moderate segment is skipped
+    // against the published bound — an exact, race-free count.
+    let shared = spec
+        .bind(&table)
+        .execute_opts(&ExecOptions::threads(1))
+        .unwrap();
+    assert_eq!(shared.rows, want.rows);
+    assert_eq!(
+        shared.stats.topk_segments_skipped,
+        SEGMENTS - 1,
+        "every moderate segment skipped on the published bound: {:?}",
+        shared.stats
+    );
+
+    // More workers can only *race* the publication, never over-skip —
+    // and the answer never moves.
+    let racy = spec
+        .bind(&table)
+        .execute_opts(&ExecOptions::threads(4))
+        .unwrap();
+    assert_eq!(racy.rows, want.rows);
+    assert!(racy.stats.topk_segments_skipped < SEGMENTS);
+
+    let unshared = spec
+        .bind(&table)
+        .execute_opts(&ExecOptions::threads(4).with_topk_shared_bound(false))
+        .unwrap();
+    assert_eq!(unshared.rows, want.rows);
+    assert_eq!(unshared.stats.topk_segments_skipped, 0);
+}
+
+/// The adaptive prefetcher never changes answers or total I/O — it only
+/// moves the same reads earlier. Run over a lazy table whose every
+/// frame survives zone pruning, so read counts compare exactly.
+#[test]
+fn adaptive_prefetch_preserves_answers_and_reads() {
+    let root = std::env::temp_dir().join(format!("lcdc_auto_prefetch_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let table = keyed_table(23, 6000, 250, 300, 2);
+    lcdc::store::save_table(&table, &root).unwrap();
+
+    let spec = QuerySpec::new()
+        .filter("val", Predicate::Range { lo: 0, hi: 499 })
+        .aggregate(&[Agg::Sum("val"), Agg::Count]);
+    let plain = lcdc::store::open_table_lazy(&root, 6).unwrap();
+    let want = spec.bind(&plain).execute().unwrap();
+    let frames = plain.io_reads();
+    assert!(frames > 0);
+
+    // `--prefetch auto` equivalent: cap from the capacity clamp, depth
+    // re-tuned from the hit/wasted ledger while running.
+    let auto = lcdc::store::open_table_lazy(&root, 6).unwrap();
+    let got = spec
+        .bind(&auto)
+        .execute_opts(&ExecOptions::threads(1).with_prefetch_auto())
+        .unwrap();
+    assert_eq!(got.rows, want.rows);
+    assert_eq!(
+        auto.io_reads(),
+        frames,
+        "tuning moves reads earlier, never adds any: {:?}",
+        got.stats
+    );
+
+    // Auto under an explicit cap behaves the same.
+    let capped = lcdc::store::open_table_lazy(&root, 6).unwrap();
+    let got = spec
+        .bind(&capped)
+        .execute_opts(
+            &ExecOptions::threads(2)
+                .with_prefetch(3)
+                .with_prefetch_auto(),
+        )
+        .unwrap();
+    assert_eq!(got.rows, want.rows);
+    assert_eq!(capped.io_reads(), frames);
+    std::fs::remove_dir_all(&root).ok();
+}
