@@ -10,10 +10,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcdc_bench::lineitem;
 use lcdc_core::{ColumnData, DType};
 use lcdc_store::{
-    open_table_lazy, save_table, shard_table, Agg, Catalog, CompressionPolicy, ExecOptions,
-    Predicate, Query, QuerySpec, ShardedTable, Table, TableSchema,
+    open_table_lazy, save_table, shard_table, Agg, Catalog, Client, CompressionPolicy, ExecOptions,
+    Predicate, Query, QuerySpec, Response, Server, ServerConfig, ShardedTable, Table, TableSchema,
 };
 use std::hint::black_box;
+use std::sync::{Arc, Mutex};
 
 fn build_table() -> Table {
     let t = lineitem(400, 250);
@@ -532,6 +533,102 @@ fn bench_topk_shared_bound(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving layer: N wire clients against one `Server`, concurrent
+/// vs the same N requests down one connection sequentially. The result
+/// cache is disabled so every request really executes, and the shared
+/// worker pool — not per-query thread spawning — is what absorbs the
+/// concurrency: in-bench asserts pin the pool's peak lease count at or
+/// below its configured width and require zero admission rejections.
+/// Measured per *round* of N requests; the concurrent number includes
+/// the client-side thread scatter/gather, which a real fan-in client
+/// would pay too.
+fn bench_serve(c: &mut Criterion) {
+    const CLIENTS: usize = 4;
+    const POOL_THREADS: usize = 2;
+    let catalog = Catalog::with_cache_capacity(0);
+    catalog.register("lineitem", build_table());
+    let catalog = Arc::new(catalog);
+    let server = Server::start(
+        Arc::clone(&catalog),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: POOL_THREADS,
+            max_inflight: 64,
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let flags: Vec<String> = [
+        "--filter",
+        "shipdate=19920101..19920140",
+        "--sum",
+        "price",
+        "--count",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let ask = |client: &mut Client| match client.query("lineitem", &flags).unwrap() {
+        Response::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    };
+
+    // Every wire answer must equal the direct in-process execution of
+    // the same catalog before anything is timed.
+    let spec = QuerySpec::new()
+        .filter(
+            "shipdate",
+            Predicate::Range {
+                lo: 19_920_101,
+                hi: 19_920_140,
+            },
+        )
+        .aggregate(&[Agg::Sum("price"), Agg::Count]);
+    let want = catalog.execute("lineitem", &spec).unwrap().rows;
+    let mut sequential = Client::connect(addr.as_str()).unwrap();
+    assert_eq!(ask(&mut sequential), want);
+    let concurrent: Vec<Mutex<Client>> = (0..CLIENTS)
+        .map(|_| Mutex::new(Client::connect(addr.as_str()).unwrap()))
+        .collect();
+    std::thread::scope(|scope| {
+        for client in &concurrent {
+            scope.spawn(|| assert_eq!(ask(&mut client.lock().unwrap()), want));
+        }
+    });
+
+    let mut group = c.benchmark_group("e7/serve");
+    group.bench_function(BenchmarkId::new("sequential", CLIENTS), |b| {
+        b.iter(|| {
+            for _ in 0..CLIENTS {
+                black_box(ask(&mut sequential));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("concurrent", CLIENTS), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for client in &concurrent {
+                    scope.spawn(|| black_box(ask(&mut client.lock().unwrap())));
+                }
+            })
+        })
+    });
+    group.finish();
+
+    // The pool held its width the whole time and admitted everything.
+    let report = sequential.stats().unwrap();
+    assert_eq!(report.pool_threads, POOL_THREADS as u64);
+    assert!(
+        report.peak_leases <= POOL_THREADS as u64,
+        "pool overshot its width: {report}"
+    );
+    assert_eq!(report.rejected, 0, "{report}");
+    drop(sequential);
+    drop(concurrent);
+    server.shutdown();
+}
+
 criterion_group!(
     benches,
     bench_query,
@@ -540,6 +637,7 @@ criterion_group!(
     bench_prefetch,
     bench_ingest,
     bench_groupby_dict,
-    bench_topk_shared_bound
+    bench_topk_shared_bound,
+    bench_serve
 );
 criterion_main!(benches);

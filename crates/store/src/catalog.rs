@@ -374,7 +374,7 @@ fn derive_routing(shards: &[Arc<Table>], key: &str) -> Result<ShardRouting> {
 /// disjunctive) clause excludes it only when *every* leaf is disjoint
 /// from its column's shard range. Unknown columns never prune here —
 /// compilation reports them properly.
-fn shard_excluded(shard: &Table, spec: &QuerySpec) -> bool {
+pub(crate) fn shard_excluded(shard: &Table, spec: &QuerySpec) -> bool {
     spec.clauses.iter().any(|clause| {
         !clause.is_empty()
             && clause.iter().all(|(column, predicate)| {
@@ -476,7 +476,12 @@ impl CatalogTable {
         }
     }
 
-    fn execute_opts(&self, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult> {
+    /// Run `spec` against this snapshot with explicit [`ExecOptions`]
+    /// — the execution half of [`Catalog::execute_versioned_with`]'s
+    /// seam: the catalog hands a closure this handle, and the closure
+    /// decides how to execute against it (here, or on a server's
+    /// shared worker pool).
+    pub fn execute_opts(&self, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult> {
         match self {
             CatalogTable::Single(t) => {
                 let plan = spec.compile_mode(t, false)?;
@@ -922,6 +927,35 @@ impl Catalog {
         spec: &QuerySpec,
         opts: &ExecOptions,
     ) -> Result<QueryResult> {
+        self.execute_versioned_with(name, spec, |table| table.execute_opts(spec, opts))
+            .map(|(result, _)| result)
+    }
+
+    /// The cache-wrapping core of [`Self::execute_opts`], with the
+    /// execution strategy injected and the **table version the answer
+    /// was computed against** returned alongside the result — the
+    /// snapshot tag a serving layer stamps on every wire response, so a
+    /// client racing [`Self::ingest`] can tell exactly which version it
+    /// read.
+    ///
+    /// `run` receives the snapshot [`CatalogTable`] captured *before*
+    /// the cache probe and is only called on a miss; its result is
+    /// admitted to the cache under that same captured version, so a
+    /// concurrent ingest landing mid-execution can never cause the
+    /// stale answer to be served against the new version. The injected
+    /// strategy is how `lcdc serve` routes executions onto its shared
+    /// worker pool while keeping this cache/version contract — the
+    /// in-process path injects plain
+    /// [`CatalogTable::execute_opts`]-style execution.
+    pub fn execute_versioned_with<F>(
+        &self,
+        name: &str,
+        spec: &QuerySpec,
+        run: F,
+    ) -> Result<(QueryResult, u64)>
+    where
+        F: FnOnce(&CatalogTable) -> Result<QueryResult>,
+    {
         let (table, version) = self
             .get(name)
             .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
@@ -935,15 +969,18 @@ impl Catalog {
             .expect("cache lock")
             .get(&key, spec, version);
         if let Some(cached) = hit {
-            return Ok(QueryResult {
-                rows: cached.result.rows.clone(),
-                stats: QueryStats {
-                    result_cache_hits: 1,
-                    ..QueryStats::default()
+            return Ok((
+                QueryResult {
+                    rows: cached.result.rows.clone(),
+                    stats: QueryStats {
+                        result_cache_hits: 1,
+                        ..QueryStats::default()
+                    },
                 },
-            });
+                version,
+            ));
         }
-        let result = table.execute_opts(spec, opts)?;
+        let result = run(&table)?;
         if self.cache_capacity > 0 && self.cache_budget > 0 {
             // Clones happen outside the lock too.
             let entry = Arc::new(CachedResult {
@@ -954,7 +991,7 @@ impl Catalog {
             });
             self.cache.lock().expect("cache lock").put(key, entry);
         }
-        Ok(result)
+        Ok((result, version))
     }
 }
 

@@ -101,6 +101,7 @@ pub mod query;
 pub mod schema;
 pub mod segment;
 pub mod selvec;
+pub mod server;
 pub mod sort;
 pub mod source;
 pub mod table;
@@ -116,11 +117,13 @@ pub use join::{join_count_compressed, join_count_naive};
 pub use par::{par_materialize, run_pushdown_parallel};
 pub use predicate::{InList, Predicate, PushdownStats};
 pub use query::{
-    Agg, ExecOptions, PhysicalPlan, QueryBuilder, QueryResult, QuerySpec, QueryStats, Rows,
+    Agg, ExecOptions, PhysicalPlan, QueryArgs, QueryBuilder, QueryResult, QuerySpec, QueryStats,
+    Rows,
 };
 pub use schema::{ColumnSchema, TableSchema};
 pub use segment::{CompressionPolicy, Segment};
 pub use selvec::{gather_early, gather_late, select, select_and, GatherStats, SelVec};
+pub use server::{Client, EndpointStats, Request, Response, Server, ServerConfig, StatsReport};
 pub use sort::{sort_column_compressed, sort_column_naive, SortStats};
 pub use source::{ChainedSource, FileSource, ResidentSource, SegmentMeta, SegmentSource};
 pub use table::Table;

@@ -56,18 +56,20 @@
 //! assert_eq!(result.groups().unwrap().len(), 10);
 //! ```
 
+pub mod args;
 mod logical;
 mod morsel;
 mod physical;
 mod result;
 
+pub use args::QueryArgs;
 pub use logical::{Agg, QueryBuilder, QuerySpec};
 pub use morsel::ExecOptions;
 pub use physical::{PhysicalPlan, QueryStats};
 pub use result::{QueryResult, Rows};
 
 pub(crate) use morsel::run_plans;
-pub(crate) use physical::SinkState;
+pub(crate) use physical::{Sink, SinkState, TOPK_BOUND_UNSET};
 
 #[cfg(test)]
 mod tests {

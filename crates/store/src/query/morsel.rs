@@ -21,7 +21,10 @@
 //! single-flight, so the prefetcher never duplicates a read the scan
 //! already issued — total I/O is unchanged, it just stops blocking the
 //! scan. [`QueryStats::prefetch_hits`] / [`QueryStats::prefetch_wasted`]
-//! account for the overlap.
+//! account for the overlap. On shared-bound top-k runs the fetcher
+//! re-checks each queued warm against the published bound and drops
+//! warms for segments the bound already outbids —
+//! [`QueryStats::prefetch_cancelled`] counts the loads saved.
 //!
 //! Answers and (for non-top-k sinks) segment/row accounting are
 //! bit-identical to sequential execution under any worker count and any
@@ -235,6 +238,7 @@ pub(crate) fn run_plans(
     let cursor = AtomicUsize::new(0); // next unclaimed morsel
     let abort = AtomicBool::new(false); // a worker hit an error
     let stop_prefetch = AtomicBool::new(false);
+    let cancelled = AtomicUsize::new(0); // warms dropped against the bound
 
     let partials: Vec<Result<(SinkState, QueryStats)>> = std::thread::scope(|scope| {
         let fetcher = (prefetch > 0).then(|| {
@@ -242,7 +246,12 @@ pub(crate) fn run_plans(
             let (cursor, stop) = (&cursor, &stop_prefetch);
             let depth = prefetch;
             let adaptive = opts.prefetch_auto;
-            scope.spawn(move || prefetch_ahead(plans, &entries, cursor, stop, depth, adaptive))
+            let (bound, cancelled) = (shared_bound.as_deref(), &cancelled);
+            scope.spawn(move || {
+                prefetch_ahead(
+                    plans, &entries, cursor, stop, depth, adaptive, bound, cancelled,
+                )
+            })
         });
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -259,6 +268,9 @@ pub(crate) fn run_plans(
                         return Err(e);
                     }
                 }
+                // Queue exhausted: hand any improvement publication
+                // batching held back to the workers still running.
+                state.flush_topk_bound();
                 Ok((state, stats))
             }));
         }
@@ -303,6 +315,7 @@ pub(crate) fn run_plans(
             stats.prefetch_hits += hits;
             stats.prefetch_wasted += wasted;
         }
+        stats.prefetch_cancelled += cancelled.load(Ordering::Relaxed);
     }
     match first_err {
         None => Ok((state, stats)),
@@ -367,6 +380,16 @@ const TUNE_EVERY: usize = 8;
 /// step back toward `cap`. The capacity−2 clamp already bounds `cap`,
 /// so tuning only ever moves *inside* the safe window — it exists to
 /// adapt to scan speed, not to re-litigate the eviction invariant.
+///
+/// On shared-bound top-k runs (`bound` is `Some`), each entry is
+/// re-checked against the *current* published bound just before its
+/// warm: a segment the bound already outbids is dropped instead of
+/// loaded — its visit will zone-prune anyway, so the frame could only
+/// ever be a wasted read. Dropped warms count into `cancelled` (the
+/// prefetch ledger's third column); they are deliberately *not* fed to
+/// the adaptive tuner, which reasons about window-vs-scan pacing, not
+/// about work the bound removed.
+#[allow(clippy::too_many_arguments)]
 fn prefetch_ahead(
     plans: &[PhysicalPlan<'_>],
     entries: &[(usize, usize, usize, usize)],
@@ -374,6 +397,8 @@ fn prefetch_ahead(
     stop: &AtomicBool,
     cap: usize,
     adaptive: bool,
+    bound: Option<&AtomicI64>,
+    cancelled: &AtomicUsize,
 ) {
     let sources: Vec<&dyn SegmentSource> = if adaptive {
         distinct_touched_sources(plans)
@@ -401,6 +426,13 @@ fn prefetch_ahead(
             std::thread::sleep(Duration::from_micros(20));
             continue;
         }
+        if let Some(bound) = bound {
+            if plans[p].topk_shared_prunes(seg, bound) {
+                cancelled.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+                continue;
+            }
+        }
         if plans[p].table.source_at(col).prefetch(seg) {
             warmed_since_tune += 1;
         }
@@ -419,5 +451,105 @@ fn prefetch_ahead(
                 depth = (depth + 1).min(cap);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QuerySpec;
+    use crate::schema::TableSchema;
+    use crate::segment::CompressionPolicy;
+    use crate::table::Table;
+    use lcdc_core::{ColumnData, DType};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Four segments with strictly descending zone-map maxima.
+    fn descending_table() -> Table {
+        let v: Vec<u64> = (0..256u64)
+            .map(|i| 1000 - (i / 64) * 100 - i % 64)
+            .collect();
+        Table::build(
+            TableSchema::new(&[("v", DType::U64)]),
+            &[ColumnData::U64(v)],
+            &[CompressionPolicy::Auto],
+            64,
+        )
+        .expect("builds")
+    }
+
+    /// The fetcher consults the shared bound per queued warm: with a
+    /// bound that outbids every segment, every warm is dropped and
+    /// counted; with no publication yet, none are.
+    #[test]
+    fn fetcher_drops_warms_the_bound_outbids() {
+        let table = descending_table();
+        let spec = QuerySpec::new().top_k("v", 3);
+        let plan = spec.compile_mode(&table, false).expect("compiles");
+        let morsels: Vec<Morsel> = plan.segment_order().into_iter().map(|s| (0, s)).collect();
+        let entries = prefetch_entries(std::slice::from_ref(&plan), &morsels);
+        assert!(!entries.is_empty());
+
+        let run = |published: i64| {
+            let bound = AtomicI64::new(published);
+            let cursor = AtomicUsize::new(0);
+            let stop = AtomicBool::new(false);
+            let cancelled = AtomicUsize::new(0);
+            prefetch_ahead(
+                std::slice::from_ref(&plan),
+                &entries,
+                &cursor,
+                &stop,
+                entries.len() + 1, // whole queue inside the window
+                false,
+                Some(&bound),
+                &cancelled,
+            );
+            cancelled.load(Ordering::Relaxed)
+        };
+        assert_eq!(run(5000), entries.len(), "bound outbids every segment");
+        assert_eq!(
+            run(TOPK_BOUND_UNSET),
+            0,
+            "nothing published, nothing dropped"
+        );
+        assert_eq!(run(850), 2, "only the two segments with max <= 850 drop");
+    }
+
+    /// `flush_topk_bound` publishes a batched-but-unpublished threshold
+    /// improvement — and nothing else.
+    #[test]
+    fn flush_publishes_held_back_improvements() {
+        let bound = Arc::new(AtomicI64::new(5));
+        let mut state = SinkState::TopK {
+            heap: BinaryHeap::from([Reverse(10), Reverse(20)]),
+            k: 2,
+            shared: Some(Arc::clone(&bound)),
+            published: 5,
+            pending_publish: 3,
+        };
+        state.flush_topk_bound();
+        assert_eq!(
+            bound.load(Ordering::Relaxed),
+            10,
+            "held-back k-th published"
+        );
+
+        // Already current: flushing again writes nothing new.
+        state.flush_topk_bound();
+        assert_eq!(bound.load(Ordering::Relaxed), 10);
+
+        // A partially filled heap never publishes (its k-th is not a
+        // bound yet).
+        let mut partial = SinkState::TopK {
+            heap: BinaryHeap::from([Reverse(40)]),
+            k: 2,
+            shared: Some(Arc::clone(&bound)),
+            published: TOPK_BOUND_UNSET,
+            pending_publish: 0,
+        };
+        partial.flush_topk_bound();
+        assert_eq!(bound.load(Ordering::Relaxed), 10);
     }
 }

@@ -37,6 +37,18 @@ use std::sync::Arc;
 /// confused with a real threshold that would wrongly prune.
 pub(crate) const TOPK_BOUND_UNSET: i64 = i64::MIN;
 
+/// How many *improved* k-th thresholds a worker accumulates before
+/// publishing into the shared top-k bound again. The very first fill of
+/// a worker's heap publishes immediately — that is the transition from
+/// "no bound exists, nothing can be pruned" to "every moderate segment
+/// is prunable", and delaying it would cost real skips — but each
+/// subsequent improvement only tightens an already-useful bound, so
+/// those batch: one `fetch_max` per `TOPK_PUBLISH_BATCH` improved
+/// visits instead of one per visit, cutting the cross-core atomic
+/// write traffic on the hot path. Purely a publication cadence:
+/// answers and correctness never depend on the bound at all.
+pub(crate) const TOPK_PUBLISH_BATCH: usize = 8;
+
 /// Counters describing how a query executed, unified across every
 /// operator the planner can run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,6 +87,13 @@ pub struct QueryStats {
     /// turned out pruned at a data tier, or a top-k threshold outbid
     /// it). The cost side of the overlap ledger.
     pub prefetch_wasted: usize,
+    /// Queued prefetch warms the fetcher *dropped before loading*
+    /// because the shared top-k bound had already outbid the segment —
+    /// the zone test the executor would run at visit time, applied at
+    /// warm time. Each cancellation is I/O that `prefetch_wasted` would
+    /// otherwise have charged; the bound is monotonic, so a segment
+    /// prunable at warm time is still prunable at visit time.
+    pub prefetch_cancelled: usize,
     /// Whole shards skipped before any source was touched because the
     /// plan's bounds exclude the shard's key range. Their segments are
     /// counted under `segments` / `segments_pruned`, but nothing —
@@ -115,6 +134,7 @@ impl QueryStats {
         self.result_cache_hits += other.result_cache_hits;
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_wasted += other.prefetch_wasted;
+        self.prefetch_cancelled += other.prefetch_cancelled;
         self.shards_pruned += other.shards_pruned;
         self.groups_folded += other.groups_folded;
         self.rows_undecoded += other.rows_undecoded;
@@ -233,6 +253,14 @@ pub(crate) enum SinkState {
         /// here, and every worker consults it before visiting a
         /// segment, so late workers prune with early workers' work.
         shared: Option<Arc<AtomicI64>>,
+        /// The threshold this worker last wrote into `shared`
+        /// ([`TOPK_BOUND_UNSET`] before the first publication) —
+        /// the reference point publication batching measures
+        /// improvements against.
+        published: i64,
+        /// Improved-threshold visits accumulated since the last
+        /// publication; flushes every [`TOPK_PUBLISH_BATCH`].
+        pending_publish: usize,
     },
     Distinct {
         set: HashSet<i128>,
@@ -261,6 +289,8 @@ impl SinkState {
                 heap: BinaryHeap::with_capacity(k + 1),
                 k: *k,
                 shared: bound,
+                published: TOPK_BOUND_UNSET,
+                pending_publish: 0,
             },
             Sink::Distinct { .. } => SinkState::Distinct {
                 set: HashSet::new(),
@@ -286,6 +316,32 @@ impl SinkState {
             }
             (SinkState::Distinct { set }, SinkState::Distinct { set: o }) => set.extend(o),
             _ => unreachable!("mismatched sink states"),
+        }
+    }
+
+    /// Publish any batched-but-unpublished top-k threshold improvement
+    /// into the shared bound. Workers call this when they stop drawing
+    /// morsels (end of queue, end of a scheduler lease) so an
+    /// improvement held back by publication batching still reaches the
+    /// workers that keep running. No-op for non-top-k sinks, unshared
+    /// runs, and workers whose last publication is already current.
+    pub(crate) fn flush_topk_bound(&mut self) {
+        if let SinkState::TopK {
+            heap,
+            k,
+            shared: Some(bound),
+            published,
+            pending_publish,
+        } = self
+        {
+            if let Some(&Reverse(kth)) = heap.peek() {
+                let kth = kth.min(i64::MAX as i128) as i64;
+                if heap.len() == *k && kth > *published {
+                    bound.fetch_max(kth, Ordering::Relaxed);
+                    *published = kth;
+                    *pending_publish = 0;
+                }
+            }
         }
     }
 }
@@ -592,6 +648,24 @@ impl<'t> PhysicalPlan<'t> {
         order
     }
 
+    /// Whether the published shared top-k bound already proves
+    /// `seg_idx` prunable — the same zone test `execute_segment` runs
+    /// before fetching, exposed so the prefetcher can cancel a queued
+    /// warm instead of loading a frame no visit will consume. The
+    /// bound only ever tightens, so a segment outbid at warm time is
+    /// still outbid at visit time; `false` is always safe (the warm
+    /// merely risks being wasted).
+    pub(crate) fn topk_shared_prunes(&self, seg_idx: usize, bound: &AtomicI64) -> bool {
+        if self.naive {
+            return false;
+        }
+        let Sink::TopK { col, .. } = &self.sink else {
+            return false;
+        };
+        let published = bound.load(Ordering::Relaxed);
+        published != TOPK_BOUND_UNSET && self.table.meta_at(*col, seg_idx).max <= published as i128
+    }
+
     // -- per-segment pipeline -----------------------------------------
 
     /// Rows in one segment (metadata only; columns share segmentation).
@@ -763,16 +837,41 @@ impl<'t> PhysicalPlan<'t> {
                 };
                 self.sink_group_by(seg_idx, n, &selection, sink, &mut mat, stats)
             }
-            (Sink::TopK { col, k }, SinkState::TopK { heap, shared, .. }) => {
+            (
+                Sink::TopK { col, k },
+                SinkState::TopK {
+                    heap,
+                    shared,
+                    published,
+                    pending_publish,
+                    ..
+                },
+            ) => {
                 self.sink_top_k(seg_idx, n, &selection, *col, *k, heap, &mut mat, stats)?;
                 // Publish this worker's tightened threshold so every
                 // other worker — and every other shard in a fan-in —
                 // can prune against it. `fetch_max` keeps the bound
                 // monotonic; clamping *down* to `i64::MAX` on overflow
-                // only weakens the bound, never wrongly prunes.
+                // only weakens the bound, never wrongly prunes. The
+                // first fill of the heap publishes immediately (it
+                // creates the bound); later improvements batch, one
+                // write per [`TOPK_PUBLISH_BATCH`] improved visits,
+                // with [`SinkState::flush_topk_bound`] draining the
+                // remainder when a worker runs out of segments.
                 if let (Some(bound), Some(&Reverse(kth))) = (shared.as_ref(), heap.peek()) {
                     if heap.len() == *k {
-                        bound.fetch_max(kth.min(i64::MAX as i128) as i64, Ordering::Relaxed);
+                        let kth = kth.min(i64::MAX as i128) as i64;
+                        if *published == TOPK_BOUND_UNSET {
+                            bound.fetch_max(kth, Ordering::Relaxed);
+                            *published = kth;
+                        } else if kth > *published {
+                            *pending_publish += 1;
+                            if *pending_publish >= TOPK_PUBLISH_BATCH {
+                                bound.fetch_max(kth, Ordering::Relaxed);
+                                *published = kth;
+                                *pending_publish = 0;
+                            }
+                        }
                     }
                 }
                 Ok(())

@@ -1,0 +1,94 @@
+//! A blocking client for the `lcdc serve` wire protocol.
+//!
+//! One [`Client`] wraps one connection and speaks strict
+//! request/response: every call writes one frame and blocks for the
+//! answer. The typed entry points ([`Client::query`],
+//! [`Client::ingest`]) return the raw [`Response`] so callers can tell
+//! a [`Response::Busy`] rejection from an error and react — back off,
+//! retry, or fail — instead of losing the distinction in a stringly
+//! error. `lcdc client` is a thin veneer over this type, and the e2e
+//! tests drive servers through it.
+
+use super::metrics::StatsReport;
+use super::protocol::{Request, Response};
+use crate::{Result, StoreError};
+use lcdc_core::ColumnData;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to an `lcdc serve` instance.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a serving address (e.g. `127.0.0.1:7878`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and block for its response. A connection the
+    /// server closed without answering is an error — responses are
+    /// never silently dropped.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        request.write_to(&mut self.stream)?;
+        Response::read_from(&mut self.stream)?.ok_or_else(|| {
+            StoreError::CorruptFile("server closed the connection mid-request".into())
+        })
+    }
+
+    /// Run a query: `args` is an `lcdc query`-style flag vector
+    /// (filters, sink, execution knobs). Returns the raw response —
+    /// [`Response::Rows`] on success, [`Response::Busy`] when admission
+    /// control refused, [`Response::Error`] otherwise.
+    pub fn query(&mut self, table: &str, args: &[String]) -> Result<Response> {
+        self.request(&Request::Query {
+            table: table.to_string(),
+            args: args.to_vec(),
+        })
+    }
+
+    /// Append a row batch (one column per schema column, schema order).
+    /// Returns [`Response::Ingested`] with the published version, a
+    /// [`Response::Busy`], or a [`Response::Error`].
+    pub fn ingest(&mut self, table: &str, columns: Vec<ColumnData>) -> Result<Response> {
+        self.request(&Request::Ingest {
+            table: table.to_string(),
+            columns,
+        })
+    }
+
+    /// Fetch the server-wide metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("ping", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (drain, then exit). The
+    /// server acknowledges before it starts draining.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> StoreError {
+    StoreError::Shape(match got {
+        Response::Error { message } => format!("{what} failed: {message}"),
+        other => format!("unexpected response to {what}: {other:?}"),
+    })
+}

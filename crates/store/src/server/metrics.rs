@@ -1,0 +1,356 @@
+//! Per-endpoint observability for `lcdc serve`.
+//!
+//! Every request updates two ledgers: the **connection's** (a plain
+//! [`ConnectionStats`] owned by its session thread, summarised to
+//! stderr when the client disconnects) and the **server-wide**
+//! [`ServerMetrics`] (one mutex-held accumulator shared by every
+//! session). The server-wide ledger snapshots into a [`StatsReport`] —
+//! the payload of the `stats` wire request, and what the server prints
+//! on graceful shutdown.
+//!
+//! Latency is tracked per endpoint (`query`, `ingest`, `stats`, `ping`)
+//! in a bounded reservoir of microsecond samples; p50/p99 are computed
+//! at snapshot time, so the per-request cost is one push under a mutex
+//! already taken for the counters. Query executions additionally fold
+//! their full [`QueryStats`] into one server-wide ledger — cache hits,
+//! `rows_undecoded`, prefetch cancellations and the rest stay
+//! observable per *server*, exactly as `-- stats` lines expose them per
+//! *query*.
+
+use super::protocol::{put_stats, put_str, put_u32, put_u64, take_stats, Cursor};
+use crate::query::QueryStats;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latency samples kept per endpoint. Old samples are overwritten
+/// ring-style once the reservoir is full, so percentiles track recent
+/// behaviour and memory stays bounded no matter how long the server
+/// runs.
+const LATENCY_RESERVOIR: usize = 4096;
+
+/// One endpoint's aggregated counters in a [`StatsReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Endpoint name: `query`, `ingest`, `stats`, or `ping`.
+    pub endpoint: String,
+    /// Requests that reached the endpoint (admitted or not).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// A server-wide metrics snapshot: what the `stats` wire request
+/// returns and the server prints on shutdown.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReport {
+    /// Workers in the shared morsel pool (fixed at startup).
+    pub pool_threads: u64,
+    /// Most pool leases ever executing at once — never exceeds
+    /// `pool_threads`, the proof the pool is the only execution lane.
+    pub peak_leases: u64,
+    /// Requests admitted and answered (any endpoint).
+    pub served: u64,
+    /// Requests refused by admission control with a typed `Busy`.
+    pub rejected: u64,
+    /// Connections accepted since startup.
+    pub connections_opened: u64,
+    /// Connections that have ended.
+    pub connections_closed: u64,
+    /// Per-endpoint request/error/latency breakdown, sorted by name.
+    pub endpoints: Vec<EndpointStats>,
+    /// Every served query's [`QueryStats`], absorbed into one ledger.
+    pub query_stats: QueryStats,
+}
+
+impl StatsReport {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.pool_threads);
+        put_u64(out, self.peak_leases);
+        put_u64(out, self.served);
+        put_u64(out, self.rejected);
+        put_u64(out, self.connections_opened);
+        put_u64(out, self.connections_closed);
+        put_u32(out, self.endpoints.len() as u32);
+        for e in &self.endpoints {
+            put_str(out, &e.endpoint);
+            put_u64(out, e.requests);
+            put_u64(out, e.errors);
+            put_u64(out, e.p50_us);
+            put_u64(out, e.p99_us);
+        }
+        put_stats(out, &self.query_stats);
+    }
+
+    pub(crate) fn decode(cur: &mut Cursor<'_>) -> Result<StatsReport> {
+        let mut report = StatsReport {
+            pool_threads: cur.take_u64()?,
+            peak_leases: cur.take_u64()?,
+            served: cur.take_u64()?,
+            rejected: cur.take_u64()?,
+            connections_opened: cur.take_u64()?,
+            connections_closed: cur.take_u64()?,
+            ..StatsReport::default()
+        };
+        let n = cur.take_u32()? as usize;
+        for _ in 0..n {
+            report.endpoints.push(EndpointStats {
+                endpoint: cur.take_str()?,
+                requests: cur.take_u64()?,
+                errors: cur.take_u64()?,
+                p50_us: cur.take_u64()?,
+                p99_us: cur.take_u64()?,
+            });
+        }
+        report.query_stats = take_stats(cur)?;
+        Ok(report)
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} / rejected {} requests over {} connections \
+             ({} still open), pool {} workers (peak {} leases in flight)",
+            self.served,
+            self.rejected,
+            self.connections_closed + (self.connections_opened - self.connections_closed),
+            self.connections_opened - self.connections_closed,
+            self.pool_threads,
+            self.peak_leases,
+        )?;
+        for e in &self.endpoints {
+            writeln!(
+                f,
+                "  {:<7} {:>6} requests, {:>4} errors, p50 {:>7}us, p99 {:>7}us",
+                e.endpoint, e.requests, e.errors, e.p50_us, e.p99_us
+            )?;
+        }
+        let q = &self.query_stats;
+        write!(
+            f,
+            "  queries: {} segments ({} pruned), {} result-cache hits, \
+             {} rows undecoded, prefetch {}/{}/{} hit/wasted/cancelled",
+            q.segments,
+            q.segments_pruned,
+            q.result_cache_hits,
+            q.rows_undecoded,
+            q.prefetch_hits,
+            q.prefetch_wasted,
+            q.prefetch_cancelled
+        )
+    }
+}
+
+/// One connection's tally, owned by its session thread — no locking.
+#[derive(Debug, Default)]
+pub(crate) struct ConnectionStats {
+    pub(crate) requests: u64,
+    pub(crate) errors: u64,
+    pub(crate) rejected: u64,
+    pub(crate) query_stats: QueryStats,
+}
+
+impl ConnectionStats {
+    /// The one-line disconnect summary.
+    pub(crate) fn summary(&self, peer: &str) -> String {
+        format!(
+            "-- {peer}: {} requests ({} errors, {} busy-rejected), \
+             {} segments scanned, {} cache hits",
+            self.requests,
+            self.errors,
+            self.rejected,
+            self.query_stats.segments,
+            self.query_stats.result_cache_hits
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointAcc {
+    requests: u64,
+    errors: u64,
+    /// Microsecond samples, ring-overwritten past the reservoir cap.
+    latencies_us: Vec<u64>,
+    next_slot: usize,
+}
+
+impl EndpointAcc {
+    fn record(&mut self, latency: Duration, ok: bool) {
+        self.requests += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        if self.latencies_us.len() < LATENCY_RESERVOIR {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.next_slot] = us;
+            self.next_slot = (self.next_slot + 1) % LATENCY_RESERVOIR;
+        }
+    }
+
+    fn percentiles(&self) -> (u64, u64) {
+        if self.latencies_us.is_empty() {
+            return (0, 0);
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let at = |p: usize| sorted[(sorted.len() - 1) * p / 100];
+        (at(50), at(99))
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    served: u64,
+    rejected: u64,
+    connections_opened: u64,
+    connections_closed: u64,
+    query_stats: QueryStats,
+    endpoints: BTreeMap<&'static str, EndpointAcc>,
+}
+
+/// The server-wide accumulator every session records into.
+#[derive(Debug, Default)]
+pub(crate) struct ServerMetrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl ServerMetrics {
+    pub(crate) fn connection_opened(&self) {
+        self.lock().connections_opened += 1;
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.lock().connections_closed += 1;
+    }
+
+    /// Record one admitted request's outcome.
+    pub(crate) fn served(
+        &self,
+        endpoint: &'static str,
+        latency: Duration,
+        ok: bool,
+        query_stats: Option<&QueryStats>,
+    ) {
+        let mut inner = self.lock();
+        inner.served += 1;
+        if let Some(stats) = query_stats {
+            inner.query_stats.absorb(stats);
+        }
+        inner
+            .endpoints
+            .entry(endpoint)
+            .or_default()
+            .record(latency, ok);
+    }
+
+    /// Record one admission-control rejection.
+    pub(crate) fn rejected(&self, endpoint: &'static str, latency: Duration) {
+        let mut inner = self.lock();
+        inner.rejected += 1;
+        inner
+            .endpoints
+            .entry(endpoint)
+            .or_default()
+            .record(latency, true);
+    }
+
+    /// Snapshot everything into a wire-encodable report. Pool facts are
+    /// passed in — the pool owns them.
+    pub(crate) fn report(&self, pool_threads: usize, peak_leases: usize) -> StatsReport {
+        let inner = self.lock();
+        StatsReport {
+            pool_threads: pool_threads as u64,
+            peak_leases: peak_leases as u64,
+            served: inner.served,
+            rejected: inner.rejected,
+            connections_opened: inner.connections_opened,
+            connections_closed: inner.connections_closed,
+            endpoints: inner
+                .endpoints
+                .iter()
+                .map(|(name, acc)| {
+                    let (p50_us, p99_us) = acc.percentiles();
+                    EndpointStats {
+                        endpoint: (*name).to_string(),
+                        requests: acc.requests,
+                        errors: acc.errors,
+                        p50_us,
+                        p99_us,
+                    }
+                })
+                .collect(),
+            query_stats: inner.query_stats,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
+        self.inner.lock().expect("metrics lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_per_endpoint() {
+        let metrics = ServerMetrics::default();
+        metrics.connection_opened();
+        let qs = QueryStats {
+            segments: 5,
+            result_cache_hits: 1,
+            ..QueryStats::default()
+        };
+        metrics.served("query", Duration::from_micros(100), true, Some(&qs));
+        metrics.served("query", Duration::from_micros(300), false, Some(&qs));
+        metrics.served("ping", Duration::from_micros(10), true, None);
+        metrics.rejected("query", Duration::from_micros(5));
+        metrics.connection_closed();
+
+        let report = metrics.report(3, 2);
+        assert_eq!(report.pool_threads, 3);
+        assert_eq!(report.peak_leases, 2);
+        assert_eq!(report.served, 3);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.connections_opened, 1);
+        assert_eq!(report.connections_closed, 1);
+        assert_eq!(report.query_stats.segments, 10);
+        assert_eq!(report.query_stats.result_cache_hits, 2);
+        let names: Vec<&str> = report
+            .endpoints
+            .iter()
+            .map(|e| e.endpoint.as_str())
+            .collect();
+        assert_eq!(names, ["ping", "query"], "sorted by endpoint");
+        let query = &report.endpoints[1];
+        assert_eq!(query.requests, 3, "rejections count as requests");
+        assert_eq!(query.errors, 1);
+        assert!(query.p50_us <= query.p99_us);
+        // And the report survives the wire.
+        let mut wire = Vec::new();
+        report.encode(&mut wire);
+        let back = StatsReport::decode(&mut Cursor::new(&wire)).expect("decodes");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded() {
+        let mut acc = EndpointAcc::default();
+        for i in 0..(LATENCY_RESERVOIR as u64 * 3) {
+            acc.record(Duration::from_micros(i), true);
+        }
+        assert_eq!(acc.latencies_us.len(), LATENCY_RESERVOIR);
+        assert_eq!(acc.requests, LATENCY_RESERVOIR as u64 * 3);
+        let (p50, p99) = acc.percentiles();
+        assert!(p50 <= p99);
+    }
+}

@@ -1,0 +1,753 @@
+//! The `lcdc serve` wire protocol: length-prefixed, checksummed frames
+//! over a byte stream.
+//!
+//! A frame is `[len: u32 LE] [kind: u8] [payload] [fnv: u64 LE]`, where
+//! `len` counts everything after itself (kind + payload + checksum) and
+//! `fnv` is [FNV-1a] over kind + payload — the same hash the persistence
+//! layer and [`crate::QuerySpec::fingerprint`] use, so a torn or
+//! corrupted frame is rejected loudly instead of decoded into garbage.
+//! Frames larger than [`MAX_FRAME`] are refused before any allocation;
+//! a stream that ends cleanly *between* frames is an orderly close, a
+//! stream that ends inside one is a [`StoreError::CorruptFile`].
+//!
+//! Payloads reuse the store's existing vocabularies instead of
+//! inventing parallel ones:
+//!
+//! * a [`Request::Query`] carries the table name and the *verbatim
+//!   `lcdc query` flag vector* — parsed server-side by
+//!   [`crate::QueryArgs::parse`], so anything a script can say to the
+//!   CLI it can say to a server, and the grammar can never drift
+//!   between the two front doors;
+//! * a [`Request::Ingest`] batch ships each column as its
+//!   [`lcdc_core::DType`] tag plus [`ColumnData::to_transport`] values;
+//! * a [`Response::Rows`] carries the [`Rows`] shape, the full
+//!   [`QueryStats`] ledger, and the **catalog version the answer was
+//!   computed against** — the snapshot tag that lets a client racing
+//!   ingests pin each answer to one table version.
+//!
+//! All integers are little-endian; `i128` values travel as two `u64`
+//! halves. Every encode/decode pair round-trips bit-exactly (see the
+//! tests at the bottom).
+//!
+//! [FNV-1a]: https://en.wikipedia.org/wiki/Fowler%E2%80%93Noll%E2%80%93Vo_hash_function
+
+use super::metrics::StatsReport;
+use crate::fnv::fnv1a64;
+use crate::query::{QueryStats, Rows};
+use crate::{PushdownStats, Result, StoreError};
+use lcdc_core::{ColumnData, DType};
+use std::io::{Read, Write};
+
+/// Hard ceiling on one frame's post-length bytes (64 MiB): large enough
+/// for any realistic ingest batch or group-by result, small enough that
+/// a corrupted length prefix cannot OOM the peer.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// What a client asks of a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a query against a named catalog table. `args` is an
+    /// `lcdc query`-style flag vector (filters, sink, execution knobs)
+    /// — storage-mode flags are rejected server-side, by name.
+    Query {
+        /// The catalog table to query.
+        table: String,
+        /// Verbatim `lcdc query` flags describing plan and options.
+        args: Vec<String>,
+    },
+    /// Append a row batch to a named catalog table (the wire form of
+    /// [`crate::Catalog::ingest`]: one version bump, routed to the
+    /// owning shards).
+    Ingest {
+        /// The catalog table to append to.
+        table: String,
+        /// The batch, one column per schema column, in schema order.
+        columns: Vec<ColumnData>,
+    },
+    /// Fetch the server-wide [`StatsReport`].
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to shut down gracefully: stop admitting, drain
+    /// in-flight queries, then exit.
+    Shutdown,
+}
+
+/// What a server answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A finished query: the rows, the execution ledger, and the
+    /// catalog version the answer was computed against.
+    Rows {
+        /// Table version this answer is a snapshot of.
+        version: u64,
+        /// The produced rows.
+        rows: Rows,
+        /// The execution accounting.
+        stats: QueryStats,
+    },
+    /// Admission control refused the request: the server already holds
+    /// its configured maximum of in-flight requests. Typed — a client
+    /// can tell overload from failure and back off.
+    Busy {
+        /// In-flight requests at the moment of rejection.
+        in_flight: u64,
+        /// The configured admission limit.
+        max: u64,
+    },
+    /// The request failed (parse error, unknown table, rejected flag,
+    /// execution error); the message says why.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// The server-wide metrics snapshot.
+    Stats(StatsReport),
+    /// Liveness answer.
+    Pong,
+    /// An ingest landed: the post-ingest table version and the row
+    /// count appended.
+    Ingested {
+        /// Version the batch was published under.
+        version: u64,
+        /// Rows appended.
+        rows: u64,
+    },
+    /// The server is draining and no longer admits requests.
+    ShuttingDown,
+}
+
+// -- primitive encoders -----------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i128(out: &mut Vec<u8>, v: i128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_i128(out: &mut Vec<u8>, v: Option<i128>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_i128(out, v);
+        }
+    }
+}
+
+/// A bounds-checked reader over one frame's payload. Every `take_*`
+/// fails with [`StoreError::CorruptFile`] instead of panicking when the
+/// frame is shorter than its tags claim.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or_else(|| truncated("payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn take_i128(&mut self) -> Result<i128> {
+        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::CorruptFile("frame string is not UTF-8".into()))
+    }
+
+    fn take_opt_i128(&mut self) -> Result<Option<i128>> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_i128()?)),
+            t => Err(bad_tag("optional value", t)),
+        }
+    }
+
+    /// The whole payload must have been consumed — trailing bytes mean
+    /// the peers disagree about the encoding and nothing can be
+    /// trusted.
+    fn finish(self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(StoreError::CorruptFile(format!(
+                "frame carries {} undecoded trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn truncated(what: &str) -> StoreError {
+    StoreError::CorruptFile(format!("frame truncated inside {what}"))
+}
+
+fn bad_tag(what: &str, tag: u8) -> StoreError {
+    StoreError::CorruptFile(format!("unknown {what} tag {tag}"))
+}
+
+// -- framing ----------------------------------------------------------
+
+/// Write one frame: length prefix, kind, payload, FNV-1a checksum.
+pub(crate) fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<()> {
+    let len = 1 + payload.len() + 8;
+    if len > MAX_FRAME {
+        return Err(StoreError::Shape(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte wire limit"
+        )));
+    }
+    let mut body = Vec::with_capacity(4 + len);
+    put_u32(&mut body, len as u32);
+    body.push(kind);
+    body.extend_from_slice(payload);
+    let sum = fnv1a64(&body[4..]);
+    put_u64(&mut body, sum);
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream *between*
+/// frames; inside a frame, EOF and checksum mismatches are
+/// [`StoreError::CorruptFile`].
+pub(crate) fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(truncated("length prefix")),
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if !(9..=MAX_FRAME).contains(&len) {
+        return Err(StoreError::CorruptFile(format!(
+            "frame length {len} outside [9, {MAX_FRAME}]"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|_| truncated("frame body"))?;
+    let (content, sum_bytes) = body.split_at(len - 8);
+    let want = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    if fnv1a64(content) != want {
+        return Err(StoreError::CorruptFile(
+            "frame checksum mismatch".to_string(),
+        ));
+    }
+    let kind = content[0];
+    Ok(Some((kind, content[1..].to_vec())))
+}
+
+// -- compound encoders ------------------------------------------------
+
+fn dtype_tag(dtype: DType) -> u8 {
+    match dtype {
+        DType::U32 => 0,
+        DType::U64 => 1,
+        DType::I32 => 2,
+        DType::I64 => 3,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DType> {
+    Ok(match tag {
+        0 => DType::U32,
+        1 => DType::U64,
+        2 => DType::I32,
+        3 => DType::I64,
+        t => return Err(bad_tag("dtype", t)),
+    })
+}
+
+fn put_column(out: &mut Vec<u8>, col: &ColumnData) {
+    out.push(dtype_tag(col.dtype()));
+    let transport = col.to_transport();
+    put_u64(out, transport.len() as u64);
+    for v in transport {
+        put_u64(out, v);
+    }
+}
+
+fn take_column(cur: &mut Cursor<'_>) -> Result<ColumnData> {
+    let dtype = dtype_from_tag(cur.take_u8()?)?;
+    let len = cur.take_u64()? as usize;
+    if len.saturating_mul(8) > MAX_FRAME {
+        return Err(StoreError::CorruptFile(format!(
+            "column of {len} values cannot fit one frame"
+        )));
+    }
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(cur.take_u64()?);
+    }
+    Ok(ColumnData::from_transport(dtype, values))
+}
+
+/// [`QueryStats`] as a fixed-order run of `u64` counters. Encoder and
+/// decoder enumerate every field by name, so adding a counter to the
+/// struct without extending the wire form is a compile error here, not
+/// a silent truncation.
+pub(crate) fn put_stats(out: &mut Vec<u8>, s: &QueryStats) {
+    let QueryStats {
+        segments,
+        segments_pruned,
+        segments_structural,
+        segments_loaded,
+        rows_materialized,
+        values_processed,
+        result_cache_hits,
+        prefetch_hits,
+        prefetch_wasted,
+        prefetch_cancelled,
+        shards_pruned,
+        groups_folded,
+        rows_undecoded,
+        topk_segments_skipped,
+        pushdown:
+            PushdownStats {
+                zonemap_hits,
+                run_granularity,
+                code_granularity,
+                row_granularity,
+            },
+    } = *s;
+    for v in [
+        segments,
+        segments_pruned,
+        segments_structural,
+        segments_loaded,
+        rows_materialized,
+        values_processed,
+        result_cache_hits,
+        prefetch_hits,
+        prefetch_wasted,
+        prefetch_cancelled,
+        shards_pruned,
+        groups_folded,
+        rows_undecoded,
+        topk_segments_skipped,
+        zonemap_hits,
+        run_granularity,
+        code_granularity,
+        row_granularity,
+    ] {
+        put_u64(out, v as u64);
+    }
+}
+
+/// Inverse of [`put_stats`].
+pub(crate) fn take_stats(cur: &mut Cursor<'_>) -> Result<QueryStats> {
+    let mut s = QueryStats::default();
+    for field in [
+        &mut s.segments,
+        &mut s.segments_pruned,
+        &mut s.segments_structural,
+        &mut s.segments_loaded,
+        &mut s.rows_materialized,
+        &mut s.values_processed,
+        &mut s.result_cache_hits,
+        &mut s.prefetch_hits,
+        &mut s.prefetch_wasted,
+        &mut s.prefetch_cancelled,
+        &mut s.shards_pruned,
+        &mut s.groups_folded,
+        &mut s.rows_undecoded,
+        &mut s.topk_segments_skipped,
+        &mut s.pushdown.zonemap_hits,
+        &mut s.pushdown.run_granularity,
+        &mut s.pushdown.code_granularity,
+        &mut s.pushdown.row_granularity,
+    ] {
+        *field = cur.take_u64()? as usize;
+    }
+    Ok(s)
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &Rows) {
+    match rows {
+        Rows::Aggregates(values) => {
+            out.push(0);
+            put_u32(out, values.len() as u32);
+            for &v in values {
+                put_opt_i128(out, v);
+            }
+        }
+        Rows::Groups(groups) => {
+            out.push(1);
+            put_u32(out, groups.len() as u32);
+            for (key, values) in groups {
+                put_i128(out, *key);
+                put_u32(out, values.len() as u32);
+                for &v in values {
+                    put_opt_i128(out, v);
+                }
+            }
+        }
+        Rows::TopK(values) => {
+            out.push(2);
+            put_u32(out, values.len() as u32);
+            for &v in values {
+                put_i128(out, v);
+            }
+        }
+        Rows::Distinct(values) => {
+            out.push(3);
+            put_u32(out, values.len() as u32);
+            for &v in values {
+                put_i128(out, v);
+            }
+        }
+    }
+}
+
+fn take_rows(cur: &mut Cursor<'_>) -> Result<Rows> {
+    let tag = cur.take_u8()?;
+    let n = cur.take_u32()? as usize;
+    Ok(match tag {
+        0 => {
+            let mut values = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                values.push(cur.take_opt_i128()?);
+            }
+            Rows::Aggregates(values)
+        }
+        1 => {
+            let mut groups = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let key = cur.take_i128()?;
+                let cols = cur.take_u32()? as usize;
+                let mut values = Vec::with_capacity(cols.min(1024));
+                for _ in 0..cols {
+                    values.push(cur.take_opt_i128()?);
+                }
+                groups.push((key, values));
+            }
+            Rows::Groups(groups)
+        }
+        2 | 3 => {
+            let mut values = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                values.push(cur.take_i128()?);
+            }
+            if tag == 2 {
+                Rows::TopK(values)
+            } else {
+                Rows::Distinct(values)
+            }
+        }
+        t => return Err(bad_tag("rows", t)),
+    })
+}
+
+// -- request / response -----------------------------------------------
+
+const REQ_QUERY: u8 = 1;
+const REQ_INGEST: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_PING: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+const RESP_ROWS: u8 = 1;
+const RESP_BUSY: u8 = 2;
+const RESP_ERROR: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_PONG: u8 = 5;
+const RESP_INGESTED: u8 = 6;
+const RESP_SHUTTING_DOWN: u8 = 7;
+
+impl Request {
+    /// Write this request as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        let mut payload = Vec::new();
+        let kind = match self {
+            Request::Query { table, args } => {
+                put_str(&mut payload, table);
+                put_u32(&mut payload, args.len() as u32);
+                for arg in args {
+                    put_str(&mut payload, arg);
+                }
+                REQ_QUERY
+            }
+            Request::Ingest { table, columns } => {
+                put_str(&mut payload, table);
+                put_u32(&mut payload, columns.len() as u32);
+                for col in columns {
+                    put_column(&mut payload, col);
+                }
+                REQ_INGEST
+            }
+            Request::Stats => REQ_STATS,
+            Request::Ping => REQ_PING,
+            Request::Shutdown => REQ_SHUTDOWN,
+        };
+        write_frame(w, kind, &payload)
+    }
+
+    /// Read one request frame; `Ok(None)` is a clean end-of-stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Request>> {
+        let Some((kind, payload)) = read_frame(r)? else {
+            return Ok(None);
+        };
+        let mut cur = Cursor::new(&payload);
+        let request = match kind {
+            REQ_QUERY => {
+                let table = cur.take_str()?;
+                let n = cur.take_u32()? as usize;
+                let mut args = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    args.push(cur.take_str()?);
+                }
+                Request::Query { table, args }
+            }
+            REQ_INGEST => {
+                let table = cur.take_str()?;
+                let n = cur.take_u32()? as usize;
+                let mut columns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    columns.push(take_column(&mut cur)?);
+                }
+                Request::Ingest { table, columns }
+            }
+            REQ_STATS => Request::Stats,
+            REQ_PING => Request::Ping,
+            REQ_SHUTDOWN => Request::Shutdown,
+            t => return Err(bad_tag("request", t)),
+        };
+        cur.finish()?;
+        Ok(Some(request))
+    }
+}
+
+impl Response {
+    /// Write this response as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        let mut payload = Vec::new();
+        let kind = match self {
+            Response::Rows {
+                version,
+                rows,
+                stats,
+            } => {
+                put_u64(&mut payload, *version);
+                put_rows(&mut payload, rows);
+                put_stats(&mut payload, stats);
+                RESP_ROWS
+            }
+            Response::Busy { in_flight, max } => {
+                put_u64(&mut payload, *in_flight);
+                put_u64(&mut payload, *max);
+                RESP_BUSY
+            }
+            Response::Error { message } => {
+                put_str(&mut payload, message);
+                RESP_ERROR
+            }
+            Response::Stats(report) => {
+                report.encode(&mut payload);
+                RESP_STATS
+            }
+            Response::Pong => RESP_PONG,
+            Response::Ingested { version, rows } => {
+                put_u64(&mut payload, *version);
+                put_u64(&mut payload, *rows);
+                RESP_INGESTED
+            }
+            Response::ShuttingDown => RESP_SHUTTING_DOWN,
+        };
+        write_frame(w, kind, &payload)
+    }
+
+    /// Read one response frame; `Ok(None)` is a clean end-of-stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Response>> {
+        let Some((kind, payload)) = read_frame(r)? else {
+            return Ok(None);
+        };
+        let mut cur = Cursor::new(&payload);
+        let response = match kind {
+            RESP_ROWS => Response::Rows {
+                version: cur.take_u64()?,
+                rows: take_rows(&mut cur)?,
+                stats: take_stats(&mut cur)?,
+            },
+            RESP_BUSY => Response::Busy {
+                in_flight: cur.take_u64()?,
+                max: cur.take_u64()?,
+            },
+            RESP_ERROR => Response::Error {
+                message: cur.take_str()?,
+            },
+            RESP_STATS => Response::Stats(StatsReport::decode(&mut cur)?),
+            RESP_PONG => Response::Pong,
+            RESP_INGESTED => Response::Ingested {
+                version: cur.take_u64()?,
+                rows: cur.take_u64()?,
+            },
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            t => return Err(bad_tag("response", t)),
+        };
+        cur.finish()?;
+        Ok(Some(response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::metrics::EndpointStats;
+    use super::*;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).expect("encodes");
+        Request::read_from(&mut wire.as_slice())
+            .expect("decodes")
+            .expect("one frame")
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).expect("encodes");
+        Response::read_from(&mut wire.as_slice())
+            .expect("decodes")
+            .expect("one frame")
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Query {
+                table: "orders".into(),
+                args: vec!["--filter".into(), "day=1..9".into(), "--count".into()],
+            },
+            Request::Ingest {
+                table: "orders".into(),
+                columns: vec![
+                    ColumnData::U64(vec![1, 2, u64::MAX]),
+                    ColumnData::I32(vec![-5, 0, 5]),
+                ],
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            assert_eq!(&roundtrip_request(req), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let mut stats = QueryStats {
+            segments: 12,
+            prefetch_cancelled: 3,
+            ..QueryStats::default()
+        };
+        stats.pushdown.zonemap_hits = 7;
+        let mut report = StatsReport {
+            pool_threads: 4,
+            served: 10,
+            rejected: 2,
+            ..StatsReport::default()
+        };
+        report.endpoints.push(EndpointStats {
+            endpoint: "query".into(),
+            requests: 10,
+            errors: 1,
+            p50_us: 120,
+            p99_us: 900,
+        });
+        let resps = [
+            Response::Rows {
+                version: 7,
+                rows: Rows::Groups(vec![(i128::MIN, vec![Some(3), None]), (9, vec![Some(1)])]),
+                stats,
+            },
+            Response::Rows {
+                version: 1,
+                rows: Rows::Aggregates(vec![None, Some(-42)]),
+                stats: QueryStats::default(),
+            },
+            Response::Rows {
+                version: 2,
+                rows: Rows::TopK(vec![i128::MAX, 0, i128::MIN]),
+                stats: QueryStats::default(),
+            },
+            Response::Rows {
+                version: 3,
+                rows: Rows::Distinct(vec![-1, 0, 1]),
+                stats: QueryStats::default(),
+            },
+            Response::Busy {
+                in_flight: 8,
+                max: 8,
+            },
+            Response::Error {
+                message: "no such table \"orders\"".into(),
+            },
+            Response::Stats(report),
+            Response::Pong,
+            Response::Ingested {
+                version: 9,
+                rows: 4096,
+            },
+            Response::ShuttingDown,
+        ];
+        for resp in &resps {
+            assert_eq!(&roundtrip_response(resp), resp);
+        }
+    }
+
+    #[test]
+    fn corruption_is_loud() {
+        let mut wire = Vec::new();
+        Request::Ping.write_to(&mut wire).unwrap();
+        // Flip one payload byte: checksum mismatch.
+        let mut flipped = wire.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        assert!(Request::read_from(&mut flipped.as_slice()).is_err());
+        // Truncate mid-frame: corrupt, not clean EOF.
+        let cut = &wire[..wire.len() - 3];
+        assert!(Request::read_from(&mut &cut[..]).is_err());
+        // Absurd length prefix: refused before allocation.
+        let huge = [0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert!(Request::read_from(&mut &huge[..]).is_err());
+        // Clean EOF between frames: None.
+        assert!(Request::read_from(&mut [].as_slice()).unwrap().is_none());
+    }
+}

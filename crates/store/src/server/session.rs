@@ -1,0 +1,207 @@
+//! One connection's request loop.
+//!
+//! A session is a thread that owns one [`TcpStream`]: it reads request
+//! frames, answers them in order, and keeps a private
+//! [`ConnectionStats`] ledger it summarises to stderr on disconnect.
+//! Between frames the socket is polled with a short read timeout so the
+//! session notices a server shutdown within a beat even when the client
+//! is idle; once the first byte of a frame shows up, the read switches
+//! to a patient timeout and pulls the frame whole.
+//!
+//! Admission control happens here, *before* any catalog or pool work:
+//! `query` and `ingest` requests take an in-flight slot or get a typed
+//! [`Response::Busy`] carrying the observed load. `stats` and `ping`
+//! bypass admission — they exist to observe a saturated server, which
+//! they could not do from inside its queue.
+
+use super::metrics::ConnectionStats;
+use super::protocol::{Request, Response};
+use super::Shared;
+use crate::query::QueryArgs;
+use std::io::ErrorKind;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Idle poll period — how quickly an idle session notices shutdown.
+const POLL_TIMEOUT: Duration = Duration::from_millis(200);
+/// Patience for the rest of a frame once its first byte arrived.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+pub(super) fn run(shared: &Shared, stream: TcpStream, peer: &str) {
+    shared.metrics.connection_opened();
+    let mut conn = ConnectionStats::default();
+    serve_requests(shared, &stream, &mut conn);
+    shared.metrics.connection_closed();
+    eprintln!("{}", conn.summary(peer));
+}
+
+fn serve_requests(shared: &Shared, mut stream: &TcpStream, conn: &mut ConnectionStats) {
+    loop {
+        // Idle poll: wait for a first byte, watching the shutdown flag.
+        if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() {
+            return;
+        }
+        match stream.peek(&mut [0u8; 1]) {
+            Ok(0) => return, // clean disconnect
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame is arriving: read it whole, patiently.
+        if stream.set_read_timeout(Some(FRAME_TIMEOUT)).is_err() {
+            return;
+        }
+        let request = match Request::read_from(&mut stream) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) => {
+                // A malformed frame poisons the stream — answer once,
+                // loudly, and hang up.
+                conn.errors += 1;
+                let _ = Response::Error {
+                    message: format!("malformed request: {e}"),
+                }
+                .write_to(&mut stream);
+                return;
+            }
+        };
+        conn.requests += 1;
+        let started = Instant::now();
+        let (response, hang_up) = answer(shared, conn, request, started);
+        match &response {
+            Response::Error { .. } => conn.errors += 1,
+            Response::Busy { .. } => conn.rejected += 1,
+            _ => {}
+        }
+        if response.write_to(&mut stream).is_err() || hang_up {
+            return;
+        }
+    }
+}
+
+/// Answer one request; the bool asks the caller to close the connection
+/// after writing.
+fn answer(
+    shared: &Shared,
+    conn: &mut ConnectionStats,
+    request: Request,
+    started: Instant,
+) -> (Response, bool) {
+    match request {
+        Request::Ping => {
+            shared.metrics.served("ping", started.elapsed(), true, None);
+            (Response::Pong, false)
+        }
+        Request::Stats => {
+            let report = shared.report();
+            shared
+                .metrics
+                .served("stats", started.elapsed(), true, None);
+            (Response::Stats(report), false)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            shared
+                .metrics
+                .served("shutdown", started.elapsed(), true, None);
+            (Response::ShuttingDown, true)
+        }
+        Request::Query { table, args } => (query(shared, conn, &table, &args, started), false),
+        Request::Ingest { table, columns } => {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return (Response::ShuttingDown, false);
+            }
+            let Some(_slot) = shared.try_admit() else {
+                shared.metrics.rejected("ingest", started.elapsed());
+                return (busy(shared), false);
+            };
+            let rows = columns.first().map_or(0, |c| c.len()) as u64;
+            let response = match shared.catalog.ingest(&table, &columns) {
+                Ok(version) => Response::Ingested { version, rows },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            };
+            let ok = !matches!(response, Response::Error { .. });
+            shared.metrics.served("ingest", started.elapsed(), ok, None);
+            (response, false)
+        }
+    }
+}
+
+fn query(
+    shared: &Shared,
+    conn: &mut ConnectionStats,
+    table: &str,
+    args: &[String],
+    started: Instant,
+) -> Response {
+    // Parse with the CLI's own grammar, then refuse the flags that only
+    // make sense against local storage — by name, not silently.
+    let parsed = match QueryArgs::parse(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            shared
+                .metrics
+                .served("query", started.elapsed(), false, None);
+            return Response::Error { message };
+        }
+    };
+    if let Some(flag) = parsed.storage_flag() {
+        shared
+            .metrics
+            .served("query", started.elapsed(), false, None);
+        return Response::Error {
+            message: format!("{flag} is a local-storage flag; the server owns storage"),
+        };
+    }
+    if shared.shutdown.load(Ordering::Relaxed) {
+        return Response::ShuttingDown;
+    }
+    let Some(_slot) = shared.try_admit() else {
+        shared.metrics.rejected("query", started.elapsed());
+        return busy(shared);
+    };
+    // The serving-layer seam: cache probe + version capture in the
+    // catalog, execution on the shared pool. `opts.threads` caps this
+    // client's pool leases; `opts.prefetch` never spawns server threads.
+    let outcome = shared
+        .catalog
+        .execute_versioned_with(table, &parsed.spec, |t| {
+            shared.pool.execute(t, &parsed.spec, &parsed.opts)
+        });
+    match outcome {
+        Ok((result, version)) => {
+            conn.query_stats.absorb(&result.stats);
+            shared
+                .metrics
+                .served("query", started.elapsed(), true, Some(&result.stats));
+            Response::Rows {
+                version,
+                rows: result.rows,
+                stats: result.stats,
+            }
+        }
+        Err(e) => {
+            shared
+                .metrics
+                .served("query", started.elapsed(), false, None);
+            Response::Error {
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn busy(shared: &Shared) -> Response {
+    Response::Busy {
+        in_flight: shared.in_flight.load(Ordering::Relaxed) as u64,
+        max: shared.max_inflight as u64,
+    }
+}

@@ -68,6 +68,26 @@ if [ ! -f "$baseline" ]; then
   exit 0
 fi
 
+# A baseline recorded on different hardware parallelism is not a perf
+# trajectory — every parallel bench (morsel, fan-out, shared-bound
+# top-k, serve) scales with cores. Warn loudly; the diff still prints.
+base_par="$(sed -n 's/.*"host_parallelism": *\([0-9][0-9]*\).*/\1/p' "$baseline" | head -n1)"
+here_par="$(nproc 2>/dev/null || echo 1)"
+if [ -n "$base_par" ] && [ "$base_par" != "$here_par" ]; then
+  {
+    echo ""
+    echo "!!! ============================================================ !!!"
+    echo "!!! bench_baseline: HOST PARALLELISM MISMATCH                    !!!"
+    echo "!!! baseline $baseline was recorded with host_parallelism=$base_par,"
+    echo "!!! this machine has $here_par. Deltas on parallel benches below are"
+    echo "!!! hardware deltas, NOT code deltas — do not read them as a"
+    echo "!!! regression or a win. Re-record the baseline on this machine"
+    echo "!!! (scripts/bench_baseline.sh) before trusting the numbers."
+    echo "!!! ============================================================ !!!"
+    echo ""
+  } >&2
+fi
+
 # Diff the fresh medians against the committed baseline: one line per
 # bench (delta% = fresh/base - 1; negative is faster), then the median
 # delta per criterion *group* (the first two name components, e.g.

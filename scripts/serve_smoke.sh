@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving layer from the outside: generate a
+# deterministic sharded catalog, start `lcdc serve` as a real separate
+# process, drive it with scripted `lcdc client` invocations — including
+# one deterministic BUSY rejection against a --max-inflight 0 server —
+# and diff a client answer against single-process `lcdc query` on the
+# same data. Everything a human would type, verified end to end.
+#
+# Usage: scripts/serve_smoke.sh
+#   (builds the release binary if needed; cleans up after itself)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LCDC=target/release/lcdc
+[ -x "$LCDC" ] || cargo build --release
+
+dir="$(mktemp -d)"
+serve_out="$dir/serve.out"
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# A deterministic catalog: one sharded table, one single-dir table.
+"$LCDC" gen "$dir/cat" --table orders --rows 60000 --shards 3 --seed 7
+"$LCDC" gen "$dir/cat" --table events --rows 5000 --seed 7
+
+# --- serve on an ephemeral port; the first stdout line names it -----
+"$LCDC" serve "$dir/cat" --addr 127.0.0.1:0 --threads 2 --max-inflight 8 \
+  >"$serve_out" 2>"$dir/serve.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$serve_out")"
+  [ -n "$addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || {
+    cat "$dir/serve.err" >&2
+    fail "server exited before listening"
+  }
+  sleep 0.1
+done
+[ -n "$addr" ] || fail "server never announced its address"
+echo "serve_smoke: server at $addr"
+
+"$LCDC" client --addr "$addr" --ping | grep -qx pong || fail "ping"
+
+# --- scripted queries, diffed against single-process lcdc query -----
+# Identical flags through both front doors; stdout (the rows) must be
+# byte-identical. Stats/commentary go to stderr on both sides.
+queries=(
+  "--filter day=5..9 --sum qty --count"
+  "--group-by day --sum price --filter day=1..4"
+  "--top-k price:5"
+  "--filter qty=1..3 --distinct day"
+)
+for q in "${queries[@]}"; do
+  # shellcheck disable=SC2086  # $q is a flag list, split on purpose
+  "$LCDC" client --addr "$addr" --table orders $q >"$dir/wire.txt" 2>/dev/null \
+    || fail "client query failed: $q"
+  "$LCDC" query "$dir/cat" --table orders $q >"$dir/local.txt" 2>/dev/null \
+    || fail "local query failed: $q"
+  diff -u "$dir/local.txt" "$dir/wire.txt" \
+    || fail "wire answer diverges from lcdc query: $q"
+  echo "serve_smoke: wire == local for: $q"
+done
+
+# The second registered table answers too.
+"$LCDC" client --addr "$addr" --table events --count >/dev/null 2>&1 \
+  || fail "second table not served"
+
+# Storage flags must be refused by the server, loudly.
+if "$LCDC" client --addr "$addr" --table orders --lazy --count \
+  >/dev/null 2>"$dir/refuse.err"; then
+  fail "server accepted a storage flag"
+fi
+grep -q -- --lazy "$dir/refuse.err" || fail "refusal does not name the flag"
+
+# The stats report is fetchable over the wire and accounts for traffic.
+"$LCDC" client --addr "$addr" --stats >"$dir/stats.txt" 2>/dev/null
+grep -q "served" "$dir/stats.txt" || fail "stats report missing"
+echo "serve_smoke: stats report fetched"
+
+# --- graceful shutdown: drain, final report on stderr ---------------
+"$LCDC" client --addr "$addr" --shutdown 2>/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$serve_pid" 2>/dev/null && fail "server did not exit after shutdown"
+serve_pid=""
+grep -q "served" "$dir/serve.err" || fail "no final report printed"
+
+# --- deterministic BUSY: a --max-inflight 0 server rejects queries --
+"$LCDC" serve "$dir/cat" --addr 127.0.0.1:0 --max-inflight 0 \
+  >"$serve_out" 2>"$dir/serve2.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$serve_out")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || fail "busy server never announced its address"
+if "$LCDC" client --addr "$addr" --table orders --count \
+  >/dev/null 2>"$dir/busy.err"; then
+  fail "query admitted past max-inflight 0"
+fi
+grep -qi "busy" "$dir/busy.err" || fail "rejection is not a typed BUSY"
+# ...while ping still answers: saturation stays observable.
+"$LCDC" client --addr "$addr" --ping | grep -qx pong || fail "ping under busy"
+"$LCDC" client --addr "$addr" --shutdown 2>/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+serve_pid=""
+
+echo "serve_smoke: OK"
