@@ -1,0 +1,456 @@
+//! A hand-rolled, lossless-enough Rust lexer.
+//!
+//! The rule engine needs exactly four guarantees from this pass, and
+//! nothing resembling a full grammar:
+//!
+//! 1. text inside **string literals** (plain, raw `r#"…"#`, byte) is
+//!    never mistaken for code — `"unwrap()"` in an error message is not
+//!    a finding;
+//! 2. text inside **comments** (line, doc, nested block) is never
+//!    mistaken for code, while the comment *text* stays available for
+//!    annotation scanning (`// lint: allow(...)`, `// ordering: …`);
+//! 3. **char literals vs lifetimes** are told apart (`'a'` is a
+//!    literal, `<'a>` is not the start of one), so a stray quote cannot
+//!    desynchronise the rest of the file;
+//! 4. every token knows its **line**, so findings are clickable.
+//!
+//! Everything else (keywords vs identifiers, number grammar subtleties)
+//! is left to the rules, which work on identifier/punctuation shapes.
+
+/// What a token is, at the resolution the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`unwrap`, `fn`, `Ordering`, …).
+    Ident,
+    /// One punctuation character (`.`, `[`, `::` arrives as two `:`).
+    Punct,
+    /// Numeric literal, suffix included.
+    Num,
+    /// String literal of any flavour; `text` is the raw source slice.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`) — kept distinct so it is never a `Char`.
+    Lifetime,
+    /// Line or block comment, text preserved verbatim.
+    Comment,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based line numbers.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's class.
+    pub kind: Kind,
+    /// The verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line the token ends on (differs for block comments and
+    /// multi-line strings).
+    pub end_line: u32,
+}
+
+impl Token {
+    fn at(kind: Kind, text: impl Into<String>, line: u32) -> Token {
+        let text = text.into();
+        Token {
+            kind,
+            end_line: line,
+            text,
+            line,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens. Never fails: malformed input (unterminated
+/// string, lone quote) degrades into best-effort tokens rather than an
+/// error, because a linter must keep walking the rest of the file.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                '\'' => self.char_or_lifetime(),
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let c = match self.bump() {
+                        Some(c) => c,
+                        None => break,
+                    };
+                    self.out.push(Token::at(Kind::Punct, c.to_string(), line));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.push(Token::at(Kind::Comment, text, line));
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let mut tok = Token::at(Kind::Comment, text, line);
+        tok.end_line = self.line;
+        self.out.push(tok);
+    }
+
+    /// A `"`-delimited string with `\`-escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        if let Some(c) = self.bump() {
+            text.push(c); // opening quote
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        let mut tok = Token::at(Kind::Str, text, line);
+        tok.end_line = self.line;
+        self.out.push(tok);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns true
+    /// if it consumed a literal; false means the `r`/`b` begins a plain
+    /// identifier and the caller should lex it as one.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let mut ahead = 1; // past the r/b
+        let first = self.peek(0);
+        if first == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if first == Some('b') && self.peek(1) == Some('\'') {
+            // byte char literal b'x'
+            let line = self.line;
+            let mut text = String::new();
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+            self.char_literal_into(&mut text);
+            self.out.push(Token::at(Kind::Char, text, line));
+            return true;
+        }
+        let mut hashes = 0;
+        while self.peek(ahead) == Some('#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false; // an identifier like `rows` or `bound`
+        }
+        let line = self.line;
+        let mut text = String::new();
+        for _ in 0..(ahead + 1) {
+            if let Some(c) = self.bump() {
+                text.push(c); // prefix, hashes, opening quote
+            }
+        }
+        let closer: String = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        let mut tail = String::new();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            tail.push(c);
+            if tail.ends_with(&closer) {
+                break;
+            }
+        }
+        let mut tok = Token::at(Kind::Str, text, line);
+        tok.end_line = self.line;
+        self.out.push(tok);
+        true
+    }
+
+    /// Past an opening `'`: decide lifetime vs char literal. A lifetime
+    /// is `'ident` NOT followed by another `'`; everything else that
+    /// closes with `'` is a char literal.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // 'a', '\n', '\'', '\\', '\u{1F600}' are chars; 'a or 'static
+        // (ident not closed by ') are lifetimes.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => {
+                // scan the identifier; lifetime iff not closed by '
+                let mut ahead = 2;
+                while self.peek(ahead).is_some_and(is_ident_continue) {
+                    ahead += 1;
+                }
+                self.peek(ahead) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::new();
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+            while self.peek(0).is_some_and(is_ident_continue) {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            self.out.push(Token::at(Kind::Lifetime, text, line));
+        } else {
+            let mut text = String::new();
+            self.char_literal_into(&mut text);
+            self.out.push(Token::at(Kind::Char, text, line));
+        }
+    }
+
+    /// Consume a `'…'` literal (opening quote still pending) into
+    /// `text`, honouring `\`-escapes.
+    fn char_literal_into(&mut self, text: &mut String) {
+        if let Some(c) = self.bump() {
+            text.push(c); // opening '
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        self.out.push(Token::at(Kind::Ident, text, line));
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && !text.contains('.')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // 1.5 is one number; 1..9 and 1.max(2) are not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.out.push(Token::at(Kind::Num, text, line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `unwrap` inside a string must not surface as an identifier.
+        let src = r#"let msg = "please unwrap() me"; x.real();"#;
+        assert_eq!(idents(src), ["let", "msg", "x", "real"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a \" quoted \\" ; tail();"#;
+        let toks = kinds(src);
+        let strings: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strings, [r#""a \" quoted \\""#]);
+        assert!(idents(src).contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"inner "quote" unwrap()"# ; done();"###;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && t.contains("inner")));
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ live();";
+        assert_eq!(idents(src), ["live"]);
+        let comments: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Comment)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].contains("inner"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == Kind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape_keeps_sync() {
+        // A desynchronised lexer would swallow `hidden` into a string.
+        let src = "let a = '\\''; hidden(); let b = \"x\";";
+        assert!(idents(src).contains(&"hidden".to_string()));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b'x'; let s = b\"bytes\"; let r = br#\"raw\"#; end();";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == Kind::Char).count(),
+            1,
+            "{toks:?}"
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Str).count(), 2);
+        assert!(idents(src).contains(&"end".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a();\n/* two\nlines */\nb();";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").expect("b lexed");
+        assert_eq!(b.line, 4);
+        let c = toks.iter().find(|t| t.kind == Kind::Comment).expect("c");
+        assert_eq!((c.line, c.end_line), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "let r = 1..9; let f = 1.5; let m = 2.max(3); let h = 0xFF;";
+        let nums: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, ["1", "9", "1.5", "2", "3", "0xFF"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// call .unwrap() freely here\nfn ok() {}";
+        assert_eq!(idents(src), ["fn", "ok"]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: escape hatches are themselves checked.
+
+pub fn reasonless(opt: Option<u8>) -> u8 {
+    // lint: allow(panic)
+    opt.unwrap()
+}
+
+pub fn unknown_rule() {
+    // lint: allow(warp) — no such rule exists.
+}

@@ -1,0 +1,18 @@
+//! Fixture: the `counters` rule — every field in every site.
+
+pub struct Stats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl Stats {
+    pub fn absorb(&mut self, other: &Stats) {
+        self.hits += other.hits;
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} hits, {} misses", self.hits, self.misses)
+    }
+}

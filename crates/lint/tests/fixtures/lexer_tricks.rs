@@ -1,0 +1,16 @@
+//! Fixture: literals and comments never produce findings.
+
+/* block comment mentioning .unwrap() and v[0]
+   /* nested block comment with panic! inside */
+   still one comment */
+pub fn tricky() -> usize {
+    let s = "contains .unwrap() and panic! and v[0]";
+    let r = r#"raw "string" with .expect("x") inside"#;
+    let c = '[';
+    let named: &'static str = "lifetime, not a char literal";
+    s.len() + r.len() + (c as usize) + named.len()
+}
+
+pub fn real(opt: Option<u8>) -> u8 {
+    opt.unwrap()
+}

@@ -1,0 +1,25 @@
+//! Fixture: the `locks` rule — pair order and condvar waits.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+
+pub fn right_order(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let a = alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = beta.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+pub fn wrong_order(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let b = beta.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+pub fn waits(gamma: &Mutex<bool>, cond: &Condvar, ready: &Condvar) {
+    let mut g = gamma.lock().unwrap_or_else(PoisonError::into_inner);
+    while !*g {
+        g = cond.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    while !*g {
+        g = ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: the `ordering` and `seqcst` rules.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn annotated(c: &AtomicUsize) -> usize {
+    // ordering: advisory counter, fixture-grade justification.
+    c.load(Ordering::Relaxed)
+}
+
+pub fn unannotated(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn strongest_blessed(c: &AtomicUsize) -> usize {
+    // ordering: fixture exercises the SeqCst path.
+    // lint: allow(seqcst) — fixture-blessed strongest ordering.
+    c.load(Ordering::SeqCst)
+}
+
+pub fn strongest_unblessed(c: &AtomicUsize) -> usize {
+    // ordering: justified, but SeqCst still needs its own allow.
+    c.load(Ordering::SeqCst)
+}

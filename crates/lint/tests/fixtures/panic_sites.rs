@@ -1,0 +1,21 @@
+//! Fixture: the `panic` rule on a wire-surface file.
+
+pub fn bad(v: &[u8], opt: Option<u8>) -> u8 {
+    let first = v[0];
+    let second = opt.unwrap();
+    let third = opt.expect("present");
+    if first > 9 {
+        panic!("boom");
+    }
+    first + second + third
+}
+
+pub fn guarded(opt: Option<u8>) -> u8 {
+    // lint: allow(panic) — fixture-blessed: the caller always passes Some.
+    opt.unwrap()
+}
+
+pub fn fine(v: &[u8]) -> u8 {
+    let arr = [0u8; 4];
+    v.first().copied().unwrap_or(arr.len() as u8)
+}

@@ -1,0 +1,7 @@
+//! Fixture: the `protocol` rule — wire facts live in one file.
+
+pub const REQ_PING: u8 = 9;
+
+pub fn cap() -> usize {
+    42 << 10
+}

@@ -1,0 +1,16 @@
+//! Fixture: `#[cfg(test)]` regions are invisible to every rule.
+
+pub fn live() -> usize {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hidden() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(v.first().copied().unwrap_or(0), v[0]);
+        Option::<u8>::None.unwrap();
+        panic!("never linted");
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: the protocol home file itself may define wire facts.
+
+pub const REQ_PING: u8 = 9;
+pub const REQ_CAP: usize = 42 << 10;

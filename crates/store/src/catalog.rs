@@ -669,6 +669,8 @@ impl Catalog {
     }
 
     fn bump(&self) -> u64 {
+        // ordering: unique-ticket counter; the version becomes visible
+        // to readers via the tables lock, not via this atomic.
         self.next_version.fetch_add(1, Ordering::Relaxed)
     }
 

@@ -260,10 +260,17 @@ pub(crate) fn run_plans(
             handles.push(scope.spawn(move || {
                 let mut state = SinkState::for_sink_shared(sink, bound);
                 let mut stats = QueryStats::default();
+                // ordering: advisory abort flag — a worker that misses
+                // it runs at most one extra segment; the error still
+                // wins at join time.
                 while !abort.load(Ordering::Relaxed) {
+                    // ordering: the cursor only hands out distinct
+                    // indexes (fetch_add is atomic); workers share no
+                    // memory through it.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&(p, s)) = morsels.get(i) else { break };
                     if let Err(e) = plans[p].execute_segment(s, &mut state, &mut stats) {
+                        // ordering: advisory abort flag, as above.
                         abort.store(true, Ordering::Relaxed);
                         return Err(e);
                     }
@@ -280,6 +287,8 @@ pub(crate) fn run_plans(
         // fetcher joined — even when a worker panicked, or the scope
         // would hang joining it.
         let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        // ordering: advisory stop flag for the prefetcher; its join
+        // below is the actual synchronization point.
         stop_prefetch.store(true, Ordering::Relaxed);
         if let Some(handle) = fetcher {
             handle.join().expect("prefetcher panicked");
@@ -315,6 +324,8 @@ pub(crate) fn run_plans(
             stats.prefetch_hits += hits;
             stats.prefetch_wasted += wasted;
         }
+        // ordering: counter read after the scope joined every thread
+        // that wrote it (join publishes all their writes).
         stats.prefetch_cancelled += cancelled.load(Ordering::Relaxed);
     }
     match first_err {
@@ -415,8 +426,11 @@ fn prefetch_ahead(
     let mut warmed_since_tune = 0usize;
     let mut last_sample = ledger(&sources);
     let mut i = 0;
+    // ordering: advisory stop flag poll; the owner joins this thread.
     while i < entries.len() && !stop.load(Ordering::Relaxed) {
         let (pos, p, col, seg) = entries[i];
+        // ordering: a stale cursor read only mis-sizes the warm-ahead
+        // window for one iteration; the cache itself is lock-guarded.
         let scanned = cursor.load(Ordering::Relaxed);
         if pos < scanned {
             i += 1;
@@ -428,6 +442,7 @@ fn prefetch_ahead(
         }
         if let Some(bound) = bound {
             if plans[p].topk_shared_prunes(seg, bound) {
+                // ordering: statistics counter, read only after join.
                 cancelled.fetch_add(1, Ordering::Relaxed);
                 i += 1;
                 continue;

@@ -337,6 +337,9 @@ impl SinkState {
             if let Some(&Reverse(kth)) = heap.peek() {
                 let kth = kth.min(i64::MAX as i128) as i64;
                 if heap.len() == *k && kth > *published {
+                    // ordering: the shared top-k bound is a monotonic
+                    // hint — fetch_max keeps it tightening, and a
+                    // reader acting on a stale value only prunes less.
                     bound.fetch_max(kth, Ordering::Relaxed);
                     *published = kth;
                     *pending_publish = 0;
@@ -662,6 +665,8 @@ impl<'t> PhysicalPlan<'t> {
         let Sink::TopK { col, .. } = &self.sink else {
             return false;
         };
+        // ordering: monotonic-hint read — a stale bound can only be
+        // looser than current, so it never wrongly prunes.
         let published = bound.load(Ordering::Relaxed);
         published != TOPK_BOUND_UNSET && self.table.meta_at(*col, seg_idx).max <= published as i128
     }
@@ -799,6 +804,7 @@ impl<'t> PhysicalPlan<'t> {
                         .expect("k > 0");
             let shared_prunes = shared
                 .as_ref()
+                // ordering: monotonic-hint read; stale is just looser.
                 .map(|bound| bound.load(Ordering::Relaxed))
                 .is_some_and(|bound| bound != TOPK_BOUND_UNSET && max <= bound as i128);
             if shared_prunes {
@@ -862,11 +868,15 @@ impl<'t> PhysicalPlan<'t> {
                     if heap.len() == *k {
                         let kth = kth.min(i64::MAX as i128) as i64;
                         if *published == TOPK_BOUND_UNSET {
+                            // ordering: monotonic bound publication;
+                            // fetch_max commutes with racing publishes
+                            // and readers tolerate staleness.
                             bound.fetch_max(kth, Ordering::Relaxed);
                             *published = kth;
                         } else if kth > *published {
                             *pending_publish += 1;
                             if *pending_publish >= TOPK_PUBLISH_BATCH {
+                                // ordering: as above.
                                 bound.fetch_max(kth, Ordering::Relaxed);
                                 *published = kth;
                                 *pending_publish = 0;

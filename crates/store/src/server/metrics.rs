@@ -190,8 +190,8 @@ impl EndpointAcc {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         if self.latencies_us.len() < LATENCY_RESERVOIR {
             self.latencies_us.push(us);
-        } else {
-            self.latencies_us[self.next_slot] = us;
+        } else if let Some(slot) = self.latencies_us.get_mut(self.next_slot) {
+            *slot = us;
             self.next_slot = (self.next_slot + 1) % LATENCY_RESERVOIR;
         }
     }
@@ -202,7 +202,12 @@ impl EndpointAcc {
         }
         let mut sorted = self.latencies_us.clone();
         sorted.sort_unstable();
-        let at = |p: usize| sorted[(sorted.len() - 1) * p / 100];
+        // `(len - 1) * p / 100 < len` for p <= 100, so the lookup
+        // always hits; `unwrap_or` keeps the proof local.
+        let at = |p: usize| {
+            let rank = (sorted.len() - 1) * p / 100;
+            sorted.get(rank).copied().unwrap_or(0)
+        };
         (at(50), at(99))
     }
 }
@@ -293,7 +298,13 @@ impl ServerMetrics {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
-        self.inner.lock().expect("metrics lock")
+        // The ledger is counters and sample vectors, all valid after
+        // every individual store — a poisoned guard still holds a
+        // consistent snapshot, so recover it rather than panic a
+        // session.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

@@ -73,7 +73,7 @@ use crate::Result;
 use pool::WorkerPool;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -117,16 +117,22 @@ impl Shared {
     /// Claim an in-flight slot, or `None` when the server is at its
     /// admission limit. The slot releases when the guard drops.
     pub(crate) fn try_admit(&self) -> Option<AdmitSlot<'_>> {
+        // ordering: the counter is only an admission gauge — the CAS
+        // below re-reads it, and no other memory is published through
+        // an admit.
         let mut current = self.in_flight.load(Ordering::Relaxed);
         loop {
             if current >= self.max_inflight {
                 return None;
             }
+            // ordering: same gauge; a stale failure just re-loops with
+            // the observed value, and over-admission is impossible
+            // because the CAS is atomic.
             match self.in_flight.compare_exchange(
                 current,
                 current + 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // ordering: gauge CAS, see above
+                Ordering::Relaxed, // ordering: failure re-reads the gauge
             ) {
                 Ok(_) => return Some(AdmitSlot(self)),
                 Err(observed) => current = observed,
@@ -145,6 +151,8 @@ pub(crate) struct AdmitSlot<'a>(&'a Shared);
 
 impl Drop for AdmitSlot<'_> {
     fn drop(&mut self) {
+        // ordering: releases the admission gauge claimed in
+        // `try_admit`; nothing reads memory "through" the counter.
         self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -169,7 +177,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             catalog,
-            pool: WorkerPool::new(config.threads),
+            pool: WorkerPool::new(config.threads)?,
             metrics: metrics::ServerMetrics::default(),
             shutdown: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -177,11 +185,19 @@ impl Server {
         });
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let accept = {
-            let (shared, sessions) = (Arc::clone(&shared), Arc::clone(&sessions));
-            std::thread::Builder::new()
+            let (accept_shared, sessions) = (Arc::clone(&shared), Arc::clone(&sessions));
+            let spawned = std::thread::Builder::new()
                 .name("lcdc-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &sessions))
-                .expect("accept thread spawns")
+                .spawn(move || accept_loop(&listener, &accept_shared, &sessions));
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    // No accept loop means no server: tear the pool
+                    // back down and report the spawn failure.
+                    shared.pool.stop();
+                    return Err(e.into());
+                }
+            }
         };
         Ok(Server {
             shared,
@@ -204,6 +220,8 @@ impl Server {
     /// True once a shutdown was requested (wire `shutdown` request or
     /// [`Server::shutdown`]).
     pub fn is_shutting_down(&self) -> bool {
+        // ordering: advisory stop flag, polled; no data is published
+        // through it (sessions finish via join, not via this load).
         self.shared.shutdown.load(Ordering::Relaxed)
     }
 
@@ -219,13 +237,23 @@ impl Server {
     /// in-flight request and disconnect, drain the worker pool, and
     /// return the final metrics report.
     pub fn shutdown(mut self) -> StatsReport {
+        // ordering: advisory stop flag; every thread re-checks it on
+        // its own poll cadence and the joins below are the real
+        // synchronization points.
         self.shared.shutdown.store(true, Ordering::Relaxed);
         if let Some(accept) = self.accept.take() {
-            accept.join().expect("accept thread panicked");
+            if accept.join().is_err() {
+                eprintln!("lcdc server: accept thread panicked; continuing shutdown");
+            }
         }
-        let sessions = std::mem::take(&mut *self.sessions.lock().expect("sessions lock"));
+        let sessions =
+            std::mem::take(&mut *self.sessions.lock().unwrap_or_else(PoisonError::into_inner));
         for session in sessions {
-            session.join().expect("session thread panicked");
+            // A panicked session already lost its connection; the
+            // remaining sessions still deserve a clean drain.
+            if session.join().is_err() {
+                eprintln!("lcdc server: a session thread panicked; continuing shutdown");
+            }
         }
         self.shared.pool.stop();
         self.shared.report()
@@ -237,6 +265,8 @@ fn accept_loop(
     shared: &Arc<Shared>,
     sessions: &Mutex<Vec<JoinHandle<()>>>,
 ) {
+    // ordering: advisory stop flag poll; joining the accept thread is
+    // what actually orders shutdown.
     while !shared.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, peer)) => {
@@ -246,12 +276,19 @@ fn accept_loop(
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
-                let shared = Arc::clone(shared);
-                let session = std::thread::Builder::new()
+                let session_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
                     .name("lcdc-session".into())
-                    .spawn(move || run_session(&shared, stream, peer))
-                    .expect("session thread spawns");
-                sessions.lock().expect("sessions lock").push(session);
+                    .spawn(move || run_session(&session_shared, stream, peer));
+                match spawned {
+                    Ok(session) => sessions
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(session),
+                    // Out of threads: drop the connection (the stream
+                    // closes) and keep serving existing sessions.
+                    Err(e) => eprintln!("lcdc server: cannot spawn session thread: {e}"),
+                }
             }
             Err(_) => std::thread::sleep(ACCEPT_POLL),
         }

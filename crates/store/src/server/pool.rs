@@ -47,7 +47,7 @@ use crate::{Result, StoreError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// Segments one lease claims at a time. Small enough that queries
@@ -121,8 +121,10 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn `threads` workers (clamped to at least 1).
-    pub(crate) fn new(threads: usize) -> WorkerPool {
+    /// Spawn `threads` workers (clamped to at least 1). Spawning can
+    /// fail under OS thread exhaustion; a partial pool is torn down and
+    /// the error surfaced so the server never runs under-width.
+    pub(crate) fn new(threads: usize) -> Result<WorkerPool> {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
@@ -133,20 +135,30 @@ impl WorkerPool {
             active_leases: AtomicUsize::new(0),
             peak_leases: AtomicUsize::new(0),
         });
-        let workers = (0..threads)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("lcdc-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("pool worker spawns")
-            })
-            .collect();
-        WorkerPool {
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("lcdc-pool-{i}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    let pool = WorkerPool {
+                        threads,
+                        shared,
+                        workers: Mutex::new(workers),
+                    };
+                    pool.stop();
+                    return Err(StoreError::Io(e));
+                }
+            }
+        }
+        Ok(WorkerPool {
             threads,
             shared,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// The configured worker count.
@@ -157,6 +169,8 @@ impl WorkerPool {
     /// Most leases ever executing at once across all jobs — bounded by
     /// [`Self::threads`] by construction (only workers execute leases).
     pub(crate) fn peak_leases(&self) -> usize {
+        // ordering: advisory high-water mark read after the fact; no
+        // other memory is published through it.
         self.shared.peak_leases.load(Ordering::Relaxed)
     }
 
@@ -197,7 +211,9 @@ impl WorkerPool {
         // (unknown columns error here, before anything queues) and
         // publishes the morsel list. The plans borrow `tables`, so they
         // drop before the job takes ownership; leases re-compile.
-        let shape_table = tables.first().unwrap_or(&all[0]);
+        let Some(shape_table) = tables.first().or_else(|| all.first()) else {
+            return Err(StoreError::Shape("table has no shards".into()));
+        };
         let mut morsels = Vec::new();
         let sink = {
             let plans = tables
@@ -248,7 +264,14 @@ impl WorkerPool {
         debug_assert_eq!(job.morsels.len(), total);
 
         {
-            let mut state = self.shared.state.lock().expect("pool lock");
+            // A poisoned pool lock means a worker panicked mid-scan;
+            // the queue itself is valid at every step, so recover the
+            // guard and keep serving.
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if state.stopping {
                 return Err(StoreError::Shape("worker pool is shutting down".into()));
             }
@@ -271,13 +294,23 @@ impl WorkerPool {
     /// are refused.
     pub(crate) fn stop(&self) {
         {
-            let mut state = self.shared.state.lock().expect("pool lock");
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             state.stopping = true;
         }
         self.shared.work_ready.notify_all();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        let workers =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
         for handle in workers {
-            handle.join().expect("pool worker panicked");
+            // A worker that panicked already delivered its job an error
+            // (or abandoned it to the drain); shutdown proceeds either
+            // way.
+            if handle.join().is_err() {
+                eprintln!("lcdc server: a pool worker panicked; continuing shutdown");
+            }
         }
     }
 }
@@ -295,7 +328,7 @@ enum Claim {
 }
 
 fn claim(job: &Job) -> Claim {
-    let mut inner = job.inner.lock().expect("job lock");
+    let mut inner = job.inner.lock().unwrap_or_else(PoisonError::into_inner);
     if inner.error.is_some() || inner.next >= job.morsels.len() {
         return Claim::Drop;
     }
@@ -306,9 +339,11 @@ fn claim(job: &Job) -> Claim {
     let end = (start + LEASE_MORSELS).min(job.morsels.len());
     inner.next = end;
     inner.active_leases += 1;
+    // ordering: advisory per-job high-water mark; the load/store pair
+    // is serialized by `job.inner`, which every claim holds here.
     let peak = job.peak_leases.load(Ordering::Relaxed);
     job.peak_leases
-        .store(peak.max(inner.active_leases), Ordering::Relaxed);
+        .store(peak.max(inner.active_leases), Ordering::Relaxed); // ordering: as above
     Claim::Lease { start, end }
 }
 
@@ -318,17 +353,27 @@ fn worker_loop(shared: &PoolShared) {
         // scan itself.
         let mut leased = None;
         {
-            let mut state = shared.state.lock().expect("pool lock");
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 let mut rotations = 0;
                 while rotations < state.queue.len() {
-                    let job = state.queue.pop_front().expect("non-empty queue");
+                    let Some(job) = state.queue.pop_front() else {
+                        // Unreachable given the loop bound, but an empty
+                        // queue simply ends the scan.
+                        break;
+                    };
                     match claim(&job) {
                         Claim::Lease { start, end } => {
                             // Unclaimed segments remain: keep the job
                             // rotating so other workers (and later
                             // visits) interleave it with its peers.
-                            if job.inner.lock().expect("job lock").next < job.morsels.len() {
+                            let unclaimed = job
+                                .inner
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .next
+                                < job.morsels.len();
+                            if unclaimed {
                                 state.queue.push_back(Arc::clone(&job));
                             }
                             leased = Some((job, start, end));
@@ -350,10 +395,17 @@ fn worker_loop(shared: &PoolShared) {
                 if state.queue.is_empty() && state.stopping {
                     return;
                 }
-                state = shared.work_ready.wait(state).expect("pool lock");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
-        let (job, start, end) = leased.expect("a lease was taken");
+        let Some((job, start, end)) = leased else {
+            // Only reachable if the scan loop is broken out of without
+            // a lease; re-scan rather than crash the worker.
+            continue;
+        };
         run_lease(shared, &job, start, end);
         // A finished lease may unblock a capped sibling or finish the
         // drain another worker is waiting on.
@@ -362,21 +414,30 @@ fn worker_loop(shared: &PoolShared) {
 }
 
 fn run_lease(shared: &PoolShared, job: &Job, start: usize, end: usize) {
+    // ordering: advisory concurrency gauge; correctness of lease
+    // accounting lives in `job.inner`, not in these counters.
     let active = shared.active_leases.fetch_add(1, Ordering::Relaxed) + 1;
+    // ordering: monotonic high-water mark folded from the gauge above;
+    // readers only ever see it after joining or stopping the pool.
     shared.peak_leases.fetch_max(active, Ordering::Relaxed);
 
     let mut state = SinkState::for_sink_shared(&job.sink, job.bound.clone());
     let mut stats = QueryStats::default();
     let mut plans: Vec<Option<PhysicalPlan<'_>>> = job.tables.iter().map(|_| None).collect();
     let mut error = None;
-    for &(p, s) in &job.morsels[start..end] {
-        let plan = match &plans[p] {
+    for &(p, s) in job.morsels.get(start..end).unwrap_or_default() {
+        let (Some(slot), Some(table)) = (plans.get_mut(p), job.tables.get(p)) else {
+            // Morsels are built as indexes into `job.tables`, so this
+            // is internal corruption — fail the job, not the process.
+            error = Some(StoreError::Shape(format!(
+                "lease morsel names unknown shard {p}"
+            )));
+            break;
+        };
+        let plan = match slot {
             Some(plan) => plan,
-            None => match job.spec.compile_mode(&job.tables[p], false) {
-                Ok(plan) => {
-                    plans[p] = Some(plan);
-                    plans[p].as_ref().expect("just set")
-                }
+            None => match job.spec.compile_mode(table, false) {
+                Ok(plan) => slot.insert(plan),
                 Err(e) => {
                     error = Some(e);
                     break;
@@ -391,9 +452,11 @@ fn run_lease(shared: &PoolShared, job: &Job, start: usize, end: usize) {
     // Lease over: publish any batched top-k improvement to the leases
     // still running.
     state.flush_topk_bound();
+    // ordering: advisory gauge decrement, paired with the fetch_add
+    // above; never synchronizes data.
     shared.active_leases.fetch_sub(1, Ordering::Relaxed);
 
-    let mut inner = job.inner.lock().expect("job lock");
+    let mut inner = job.inner.lock().unwrap_or_else(PoisonError::into_inner);
     inner.active_leases -= 1;
     match error {
         Some(e) => {
@@ -416,11 +479,13 @@ fn run_lease(shared: &PoolShared, job: &Job, start: usize, end: usize) {
         inner.active_leases == 0 && (inner.error.is_some() || inner.completed == job.morsels.len());
     if finished {
         if let Some(done) = inner.done.take() {
-            let outcome = match inner.error.take() {
-                Some(e) => Err(e),
-                None => Ok((
-                    inner.merged.take().expect("completed job has a state"),
-                    inner.stats,
+            let outcome = match (inner.error.take(), inner.merged.take()) {
+                (Some(e), _) => Err(e),
+                (None, Some(merged)) => Ok((merged, inner.stats)),
+                // `completed == morsels.len()` with a non-empty morsel
+                // list guarantees at least one merge; guard anyway.
+                (None, None) => Err(StoreError::Shape(
+                    "job completed without a merged state".into(),
                 )),
             };
             // The submitter may have given up (stopping server); a dead
@@ -477,7 +542,7 @@ mod tests {
         let sharded = CatalogTable::Sharded(Arc::new(
             ShardedTable::new(shard_table(&table, 3).unwrap()).unwrap(),
         ));
-        let pool = WorkerPool::new(3);
+        let pool = WorkerPool::new(3).unwrap();
         for spec in specs() {
             let want = spec.bind(&table).execute().unwrap();
             for handle in [&single, &sharded] {
@@ -497,7 +562,7 @@ mod tests {
     fn concurrent_jobs_interleave_and_all_finish() {
         let table = Arc::new(orders(20_000));
         let handle = CatalogTable::Single(Arc::clone(&table));
-        let pool = Arc::new(WorkerPool::new(2));
+        let pool = Arc::new(WorkerPool::new(2).unwrap());
         let all = specs();
         let answers: Vec<_> = all
             .iter()
@@ -524,7 +589,7 @@ mod tests {
     fn client_thread_cap_bounds_a_jobs_leases() {
         let table = orders(50_000);
         let handle = CatalogTable::Single(Arc::new(table));
-        let pool = WorkerPool::new(4);
+        let pool = WorkerPool::new(4).unwrap();
         let spec = QuerySpec::new()
             .filter("qty", Predicate::Range { lo: 0, hi: 49 })
             .group_by("day")
@@ -544,7 +609,7 @@ mod tests {
     fn errors_deliver_and_pool_survives() {
         let table = orders(3000);
         let handle = CatalogTable::Single(Arc::new(table.clone()));
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2).unwrap();
         // Unknown column: rejected at submit-time compile.
         let bad = QuerySpec::new().aggregate(&[Agg::Sum("nope")]);
         assert!(pool
@@ -568,7 +633,7 @@ mod tests {
         let handle = CatalogTable::Sharded(Arc::new(
             ShardedTable::new(shard_table(&table, 2).unwrap()).unwrap(),
         ));
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2).unwrap();
         let spec = QuerySpec::new()
             .filter("day", Predicate::Range { lo: 900, hi: 999 })
             .aggregate(&[Agg::Sum("qty"), Agg::Count]);

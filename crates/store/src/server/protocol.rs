@@ -32,7 +32,7 @@
 //! [FNV-1a]: https://en.wikipedia.org/wiki/Fowler%E2%80%93Noll%E2%80%93Vo_hash_function
 
 use super::metrics::StatsReport;
-use crate::fnv::fnv1a64;
+use crate::fnv::{fnv1a64, Fnv};
 use crate::query::{QueryStats, Rows};
 use crate::{PushdownStats, Result, StoreError};
 use lcdc_core::{ColumnData, DType};
@@ -42,6 +42,18 @@ use std::io::{Read, Write};
 /// for any realistic ingest batch or group-by result, small enough that
 /// a corrupted length prefix cannot OOM the peer.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Bytes in the little-endian length prefix that precedes every frame.
+pub(crate) const LEN_PREFIX_BYTES: usize = 4;
+
+/// Bytes of frame-kind tag at the start of every frame body.
+pub(crate) const KIND_BYTES: usize = 1;
+
+/// Bytes of trailing FNV-1a checksum at the end of every frame body.
+pub(crate) const CHECKSUM_BYTES: usize = 8;
+
+/// Smallest legal frame body: a bare kind tag plus its checksum.
+pub(crate) const MIN_FRAME: usize = KIND_BYTES + CHECKSUM_BYTES;
 
 /// What a client asks of a server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,25 +174,43 @@ impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         let end = end.ok_or_else(|| truncated("payload"))?;
-        let slice = &self.buf[self.pos..end];
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| truncated("payload"))?;
         self.pos = end;
         Ok(slice)
     }
 
+    /// Take exactly `N` bytes as an array. The zip bounds both sides of
+    /// the copy, so a short take surfaces as `truncated` (via `take`)
+    /// rather than any indexing.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let src = self.take(N)?;
+        let mut out = [0u8; N];
+        for (dst, byte) in out.iter_mut().zip(src) {
+            *dst = *byte;
+        }
+        Ok(out)
+    }
+
     pub(crate) fn take_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| truncated("u8"))
     }
 
     pub(crate) fn take_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn take_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn take_i128(&mut self) -> Result<i128> {
-        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        Ok(i128::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn take_str(&mut self) -> Result<String> {
@@ -225,18 +255,24 @@ fn bad_tag(what: &str, tag: u8) -> StoreError {
 
 /// Write one frame: length prefix, kind, payload, FNV-1a checksum.
 pub(crate) fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<()> {
-    let len = 1 + payload.len() + 8;
+    let len = KIND_BYTES + payload.len() + CHECKSUM_BYTES;
     if len > MAX_FRAME {
         return Err(StoreError::Shape(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME}-byte wire limit"
         )));
     }
-    let mut body = Vec::with_capacity(4 + len);
+    // Stream the checksum over kind + payload so the frame can be
+    // assembled without re-slicing the buffer past the length prefix.
+    let mut sum = Fnv::new();
+    sum.byte(kind);
+    for &b in payload {
+        sum.byte(b);
+    }
+    let mut body = Vec::with_capacity(LEN_PREFIX_BYTES + len);
     put_u32(&mut body, len as u32);
     body.push(kind);
     body.extend_from_slice(payload);
-    let sum = fnv1a64(&body[4..]);
-    put_u64(&mut body, sum);
+    put_u64(&mut body, sum.finish());
     w.write_all(&body)?;
     w.flush()?;
     Ok(())
@@ -246,33 +282,46 @@ pub(crate) fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Resul
 /// frames; inside a frame, EOF and checksum mismatches are
 /// [`StoreError::CorruptFile`].
 pub(crate) fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
-    let mut len_bytes = [0u8; 4];
+    let mut len_bytes = [0u8; LEN_PREFIX_BYTES];
     let mut got = 0;
-    while got < 4 {
-        match r.read(&mut len_bytes[got..])? {
+    while got < LEN_PREFIX_BYTES {
+        let Some(rest) = len_bytes.get_mut(got..) else {
+            return Err(truncated("length prefix"));
+        };
+        match r.read(rest)? {
             0 if got == 0 => return Ok(None),
             0 => return Err(truncated("length prefix")),
             n => got += n,
         }
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
-    if !(9..=MAX_FRAME).contains(&len) {
+    if !(MIN_FRAME..=MAX_FRAME).contains(&len) {
         return Err(StoreError::CorruptFile(format!(
-            "frame length {len} outside [9, {MAX_FRAME}]"
+            "frame length {len} outside [{MIN_FRAME}, {MAX_FRAME}]"
         )));
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)
         .map_err(|_| truncated("frame body"))?;
-    let (content, sum_bytes) = body.split_at(len - 8);
-    let want = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let Some((content, sum_bytes)) = body.split_at_checked(len - CHECKSUM_BYTES) else {
+        return Err(truncated("frame checksum"));
+    };
+    let mut want_bytes = [0u8; CHECKSUM_BYTES];
+    for (dst, byte) in want_bytes.iter_mut().zip(sum_bytes) {
+        *dst = *byte;
+    }
+    let want = u64::from_le_bytes(want_bytes);
     if fnv1a64(content) != want {
         return Err(StoreError::CorruptFile(
             "frame checksum mismatch".to_string(),
         ));
     }
-    let kind = content[0];
-    Ok(Some((kind, content[1..].to_vec())))
+    let kind = content
+        .first()
+        .copied()
+        .ok_or_else(|| truncated("frame kind"))?;
+    let payload = content.get(KIND_BYTES..).unwrap_or_default().to_vec();
+    Ok(Some((kind, payload)))
 }
 
 // -- compound encoders ------------------------------------------------

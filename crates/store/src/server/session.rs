@@ -46,6 +46,8 @@ fn serve_requests(shared: &Shared, mut stream: &TcpStream, conn: &mut Connection
             Ok(0) => return, // clean disconnect
             Ok(_) => {}
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // ordering: advisory stop flag poll between requests;
+                // no data is read through it.
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
@@ -106,6 +108,8 @@ fn answer(
             (Response::Stats(report), false)
         }
         Request::Shutdown => {
+            // ordering: advisory stop flag; every loop observes it on
+            // its own poll and the server's joins do the real ordering.
             shared.shutdown.store(true, Ordering::Relaxed);
             shared
                 .metrics
@@ -114,6 +118,8 @@ fn answer(
         }
         Request::Query { table, args } => (query(shared, conn, &table, &args, started), false),
         Request::Ingest { table, columns } => {
+            // ordering: advisory stop flag; a racing shutdown is
+            // answered on the next request either way.
             if shared.shutdown.load(Ordering::Relaxed) {
                 return (Response::ShuttingDown, false);
             }
@@ -161,6 +167,8 @@ fn query(
             message: format!("{flag} is a local-storage flag; the server owns storage"),
         };
     }
+    // ordering: advisory stop flag; a racing shutdown is answered on
+    // the next request either way.
     if shared.shutdown.load(Ordering::Relaxed) {
         return Response::ShuttingDown;
     }
@@ -201,6 +209,8 @@ fn query(
 
 fn busy(shared: &Shared) -> Response {
     Response::Busy {
+        // ordering: load-only snapshot of the admission gauge for the
+        // Busy payload; approximate by design.
         in_flight: shared.in_flight.load(Ordering::Relaxed) as u64,
         max: shared.max_inflight as u64,
     }

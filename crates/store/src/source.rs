@@ -289,8 +289,13 @@ impl FileSource {
             .expect("prefetched lock")
             .remove(&idx)
         {
+            // ordering: statistics counter; drained via swap and read
+            // after the consuming scan joined its workers.
             self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
         } else {
+            // lint: allow(locks) — the cache guard from the probe above
+            // was already dropped; this is a sequential re-acquisition
+            // for the LRU touch, never nested inside `prefetched`.
             self.cache.lock().expect("cache lock").touch(&idx);
         }
         Some(hit)
@@ -313,13 +318,18 @@ impl FileSource {
         let out = match result {
             Ok(segment) => {
                 let loaded = Arc::new(segment);
+                // ordering: statistics counter, read by tests after the
+                // loading threads are joined.
                 self.io_reads.fetch_add(1, Ordering::Relaxed);
                 if mark_prefetched {
                     self.prefetched.lock().expect("prefetched lock").insert(idx);
                 }
+                // The mark-then-publish sequence is deliberate (see the
+                // doc comment); the prefetched guard is already dropped,
+                // so the two locks never nest.
                 let evicted = self
                     .cache
-                    .lock()
+                    .lock() // lint: allow(locks) — sequential after prefetched, never nested
                     .expect("cache lock")
                     .put(idx, Arc::clone(&loaded));
                 // A warmed frame pushed out before any fetch consumed
@@ -460,6 +470,8 @@ impl SegmentSource for FileSource {
     }
 
     fn io_reads(&self) -> usize {
+        // ordering: statistics read; callers only compare totals after
+        // the threads that loaded have been joined.
         self.io_reads.load(Ordering::Relaxed)
     }
 
@@ -477,6 +489,9 @@ impl SegmentSource for FileSource {
         }
         // Re-probe before reading (same race as in `segment`): a claim
         // holder may have published the frame since the probe above.
+        // lint: allow(locks) — the inflight guard was dropped at the
+        // end of the claim block; cache is re-probed sequentially, not
+        // nested under inflight.
         if self.cache.lock().expect("cache lock").contains(&idx) {
             self.release(idx);
             return false;
@@ -489,6 +504,8 @@ impl SegmentSource for FileSource {
     }
 
     fn take_prefetch_counters(&self) -> (usize, usize) {
+        // ordering: drain of a statistics counter; exactness per frame
+        // comes from the prefetched-mark protocol, not the atomic.
         let hits = self.prefetch_hits.swap(0, Ordering::Relaxed);
         // Wasted = frames evicted before use plus frames still warm and
         // never consumed, as a *union*: a frame evicted, re-warmed, and
@@ -506,6 +523,8 @@ impl SegmentSource for FileSource {
 
     fn prefetch_ledger(&self) -> (usize, usize) {
         (
+            // ordering: advisory sample for the prefetcher's
+            // self-tuning loop; staleness only delays a depth change.
             self.prefetch_hits.load(Ordering::Relaxed),
             self.wasted.lock().expect("wasted lock").len(),
         )

@@ -971,12 +971,14 @@ fn print_stats(result: &lcdc::store::QueryResult, io_reads: usize) {
     };
     eprintln!(
         "-- {} segments ({} pruned, {} structural{shards}), {} loaded \
-         ({io_reads} from disk so far{prefetch}), {} rows materialized, tiers {:?}",
+         ({io_reads} from disk so far{prefetch}), {} rows materialized, \
+         {} values processed, tiers {:?}",
         s.segments,
         s.segments_pruned,
         s.segments_structural,
         s.segments_loaded,
         s.rows_materialized,
+        s.values_processed,
         s.pushdown
     );
     if s.groups_folded > 0 || s.rows_undecoded > 0 {
