@@ -554,6 +554,7 @@ fn bench_serve(c: &mut Criterion) {
         ServerConfig {
             threads: POOL_THREADS,
             max_inflight: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

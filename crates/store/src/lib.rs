@@ -91,6 +91,7 @@ pub mod approx;
 pub mod catalog;
 pub mod distinct;
 pub mod exec;
+pub mod fault;
 pub mod file;
 pub(crate) mod fnv;
 pub mod groupby;
@@ -112,6 +113,7 @@ pub use approx::{approximate_aggregate, AggInterval, GradualAggregate};
 pub use catalog::{shard_table, Catalog, CatalogTable, ShardRouting, ShardedTable};
 pub use distinct::{distinct_compressed, distinct_naive, DistinctStats};
 pub use exec::{Query, QueryOutput};
+pub use fault::{FaultPlan, FaultSite};
 pub use file::{append_table, load_table, open_table_lazy, read_segment, save_table};
 pub use join::{join_count_compressed, join_count_naive};
 pub use par::{par_materialize, run_pushdown_parallel};
@@ -123,7 +125,9 @@ pub use query::{
 pub use schema::{ColumnSchema, TableSchema};
 pub use segment::{CompressionPolicy, Segment};
 pub use selvec::{gather_early, gather_late, select, select_and, GatherStats, SelVec};
-pub use server::{Client, EndpointStats, Request, Response, Server, ServerConfig, StatsReport};
+pub use server::{
+    Client, EndpointStats, Request, Response, RetryPolicy, Server, ServerConfig, StatsReport,
+};
 pub use sort::{sort_column_compressed, sort_column_naive, SortStats};
 pub use source::{ChainedSource, FileSource, ResidentSource, SegmentMeta, SegmentSource};
 pub use table::Table;
@@ -144,6 +148,15 @@ pub enum StoreError {
     Io(std::io::Error),
     /// A persisted file is malformed or fails its checksum.
     CorruptFile(String),
+    /// A request's deadline expired before its query finished; the
+    /// worker pool abandoned the query's unclaimed morsels.
+    DeadlineExceeded {
+        /// The deadline that expired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The request was cancelled before completion — typically because
+    /// the server observed the client's disconnect mid-query.
+    Cancelled,
 }
 
 impl std::fmt::Display for StoreError {
@@ -155,6 +168,10 @@ impl std::fmt::Display for StoreError {
             StoreError::Shape(msg) => write!(f, "shape error: {msg}"),
             StoreError::Io(e) => write!(f, "io: {e}"),
             StoreError::CorruptFile(msg) => write!(f, "corrupt file: {msg}"),
+            StoreError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms}ms exceeded")
+            }
+            StoreError::Cancelled => write!(f, "request cancelled"),
         }
     }
 }

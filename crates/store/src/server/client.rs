@@ -8,25 +8,128 @@
 //! retry, or fail — instead of losing the distinction in a stringly
 //! error. `lcdc client` is a thin veneer over this type, and the e2e
 //! tests drive servers through it.
+//!
+//! The client owns the retry discipline: a [`RetryPolicy`] arms capped
+//! exponential backoff with seeded jitter, applied to the two failures
+//! that are *expected* under load — a connect refused while the server
+//! is still binding, and a typed [`Response::Busy`]. A `Busy` carries
+//! the server's own `retry_after_ms` drain estimate, which floors the
+//! backoff so clients wait at least as long as the server thinks one
+//! slot takes to free. Retries and abandonments are counted on the
+//! client ([`Client::retries`], [`Client::gave_up`]) so chaos tests
+//! can assert the discipline actually engaged.
 
 use super::metrics::StatsReport;
 use super::protocol::{Request, Response};
+use crate::fault::splitmix64;
 use crate::{Result, StoreError};
 use lcdc_core::ColumnData;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Backoff discipline for [`Client::connect_with`] and the
+/// busy-retrying request paths. The default policy never retries —
+/// opt in with a nonzero `max_retries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Most retries per operation; `0` disables retrying entirely.
+    pub max_retries: u32,
+    /// First backoff step, milliseconds; doubles each retry.
+    pub base_ms: u64,
+    /// Ceiling on one backoff sleep, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed — the same seed replays the same sleep schedule,
+    /// which chaos tests rely on.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_ms: 25,
+            cap_ms: 2000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based): exponential
+    /// from `base_ms`, capped at `cap_ms`, floored by the server's
+    /// `hint_ms` drain estimate, then jittered into the upper half of
+    /// the window so synchronized clients fan out. Never zero.
+    fn backoff(&self, attempt: u32, hint_ms: u64) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cap_ms);
+        let full = exp.max(hint_ms).max(1);
+        let jittered = full / 2 + splitmix64(self.seed ^ u64::from(attempt)) % (full / 2 + 1);
+        Duration::from_millis(jittered.max(1))
+    }
+}
 
 /// One connection to an `lcdc serve` instance.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    policy: RetryPolicy,
+    deadline_ms: Option<u64>,
+    retries: u64,
+    gave_up: u64,
 }
 
 impl Client {
     /// Connect to a serving address (e.g. `127.0.0.1:7878`).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connect with a retry policy: a refused connection (the server
+    /// still binding, or briefly gone) is retried up to
+    /// `policy.max_retries` times with backoff before surfacing.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> Result<Client> {
+        let mut attempt = 0u32;
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::ConnectionRefused
+                        && attempt < policy.max_retries =>
+                {
+                    std::thread::sleep(policy.backoff(attempt, 0));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            policy,
+            deadline_ms: None,
+            retries: u64::from(attempt),
+            gave_up: 0,
+        })
+    }
+
+    /// Deadline attached to every subsequent [`Client::query`], in
+    /// milliseconds of server-side patience. `None` defers to the
+    /// server's configured default.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Backoff sleeps taken so far (busy retries and connect retries).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Operations that exhausted their retries and surfaced the final
+    /// [`Response::Busy`] to the caller.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
     }
 
     /// Send one request and block for its response. A connection the
@@ -39,22 +142,49 @@ impl Client {
         })
     }
 
+    /// Send a request, retrying typed [`Response::Busy`] answers with
+    /// backoff (floored by the server's `retry_after_ms` hint) until
+    /// the policy's retries run out; the final `Busy` is then returned
+    /// and counted in [`Client::gave_up`].
+    fn request_retrying(&mut self, request: &Request) -> Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let response = self.request(request)?;
+            let Response::Busy { retry_after_ms, .. } = response else {
+                return Ok(response);
+            };
+            if attempt >= self.policy.max_retries {
+                if self.policy.max_retries > 0 {
+                    self.gave_up += 1;
+                }
+                return Ok(response);
+            }
+            std::thread::sleep(self.policy.backoff(attempt, retry_after_ms));
+            self.retries += 1;
+            attempt += 1;
+        }
+    }
+
     /// Run a query: `args` is an `lcdc query`-style flag vector
     /// (filters, sink, execution knobs). Returns the raw response —
     /// [`Response::Rows`] on success, [`Response::Busy`] when admission
-    /// control refused, [`Response::Error`] otherwise.
+    /// control refused past the retry budget, [`Response::Deadline`] /
+    /// [`Response::Cancelled`] when the server aborted the query,
+    /// [`Response::Error`] otherwise.
     pub fn query(&mut self, table: &str, args: &[String]) -> Result<Response> {
-        self.request(&Request::Query {
+        self.request_retrying(&Request::Query {
             table: table.to_string(),
             args: args.to_vec(),
+            deadline_ms: self.deadline_ms,
         })
     }
 
     /// Append a row batch (one column per schema column, schema order).
     /// Returns [`Response::Ingested`] with the published version, a
-    /// [`Response::Busy`], or a [`Response::Error`].
+    /// [`Response::Busy`] (after the retry budget), or a
+    /// [`Response::Error`].
     pub fn ingest(&mut self, table: &str, columns: Vec<ColumnData>) -> Result<Response> {
-        self.request(&Request::Ingest {
+        self.request_retrying(&Request::Ingest {
             table: table.to_string(),
             columns,
         })
@@ -91,4 +221,33 @@ fn unexpected(what: &str, got: &Response) -> StoreError {
         Response::Error { message } => format!("{what} failed: {message}"),
         other => format!("unexpected response to {what}: {other:?}"),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_floored_and_deterministic() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_ms: 10,
+            cap_ms: 100,
+            seed: 42,
+        };
+        for attempt in 0..8 {
+            let a = policy.backoff(attempt, 0);
+            let b = policy.backoff(attempt, 0);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert!(a >= Duration::from_millis(1));
+            // Window: [full/2, full] where full <= cap floored by hint.
+            assert!(a <= Duration::from_millis(100));
+        }
+        // The hint floors the window even when the exponent is tiny.
+        let hinted = policy.backoff(0, 500);
+        assert!(hinted >= Duration::from_millis(250));
+        assert!(hinted <= Duration::from_millis(500));
+        // Huge attempts don't overflow the shift.
+        let _ = policy.backoff(u32::MAX, 0);
+    }
 }

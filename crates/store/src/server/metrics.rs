@@ -39,6 +39,13 @@ pub struct EndpointStats {
     pub requests: u64,
     /// Requests answered with an error.
     pub errors: u64,
+    /// Requests answered with a typed deadline-expiry response.
+    pub deadline_exceeded: u64,
+    /// Requests cancelled mid-flight (client disconnect observed).
+    pub cancelled: u64,
+    /// Errors whose root cause was an I/O failure (including injected
+    /// faults) — a subset of `errors`.
+    pub io_faults: u64,
     /// Median request latency, microseconds.
     pub p50_us: u64,
     /// 99th-percentile request latency, microseconds.
@@ -81,6 +88,9 @@ impl StatsReport {
             put_str(out, &e.endpoint);
             put_u64(out, e.requests);
             put_u64(out, e.errors);
+            put_u64(out, e.deadline_exceeded);
+            put_u64(out, e.cancelled);
+            put_u64(out, e.io_faults);
             put_u64(out, e.p50_us);
             put_u64(out, e.p99_us);
         }
@@ -103,6 +113,9 @@ impl StatsReport {
                 endpoint: cur.take_str()?,
                 requests: cur.take_u64()?,
                 errors: cur.take_u64()?,
+                deadline_exceeded: cur.take_u64()?,
+                cancelled: cur.take_u64()?,
+                io_faults: cur.take_u64()?,
                 p50_us: cur.take_u64()?,
                 p99_us: cur.take_u64()?,
             });
@@ -128,8 +141,16 @@ impl std::fmt::Display for StatsReport {
         for e in &self.endpoints {
             writeln!(
                 f,
-                "  {:<7} {:>6} requests, {:>4} errors, p50 {:>7}us, p99 {:>7}us",
-                e.endpoint, e.requests, e.errors, e.p50_us, e.p99_us
+                "  {:<7} {:>6} requests, {:>4} errors ({} io-fault), \
+                 {} deadline, {} cancelled, p50 {:>7}us, p99 {:>7}us",
+                e.endpoint,
+                e.requests,
+                e.errors,
+                e.io_faults,
+                e.deadline_exceeded,
+                e.cancelled,
+                e.p50_us,
+                e.p99_us
             )?;
         }
         let q = &self.query_stats;
@@ -154,6 +175,8 @@ pub(crate) struct ConnectionStats {
     pub(crate) requests: u64,
     pub(crate) errors: u64,
     pub(crate) rejected: u64,
+    pub(crate) deadline_exceeded: u64,
+    pub(crate) cancelled: u64,
     pub(crate) query_stats: QueryStats,
 }
 
@@ -161,31 +184,62 @@ impl ConnectionStats {
     /// The one-line disconnect summary.
     pub(crate) fn summary(&self, peer: &str) -> String {
         format!(
-            "-- {peer}: {} requests ({} errors, {} busy-rejected), \
+            "-- {peer}: {} requests ({} errors, {} busy-rejected, \
+             {} deadline-expired, {} cancelled), \
              {} segments scanned, {} cache hits",
             self.requests,
             self.errors,
             self.rejected,
+            self.deadline_exceeded,
+            self.cancelled,
             self.query_stats.segments,
             self.query_stats.result_cache_hits
         )
     }
 }
 
+/// How an admitted request ended, for the per-endpoint ledgers. More
+/// than ok/error because overload triage needs the *kind* of failure:
+/// deadline expiries and cancellations are the client's (or the
+/// clock's) doing, I/O faults are the storage layer's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    /// Answered successfully.
+    Ok,
+    /// Answered with a generic typed error.
+    Error,
+    /// Answered with a typed error rooted in an I/O failure.
+    IoFault,
+    /// The request's deadline expired mid-flight.
+    Deadline,
+    /// The request was cancelled mid-flight.
+    Cancelled,
+}
+
 #[derive(Debug, Default)]
 struct EndpointAcc {
     requests: u64,
     errors: u64,
+    deadline_exceeded: u64,
+    cancelled: u64,
+    io_faults: u64,
     /// Microsecond samples, ring-overwritten past the reservoir cap.
     latencies_us: Vec<u64>,
     next_slot: usize,
 }
 
 impl EndpointAcc {
-    fn record(&mut self, latency: Duration, ok: bool) {
+    fn record(&mut self, latency: Duration, outcome: Outcome) {
         self.requests += 1;
-        if !ok {
-            self.errors += 1;
+        match outcome {
+            Outcome::Ok => {}
+            Outcome::Error => self.errors += 1,
+            Outcome::IoFault => {
+                self.errors += 1;
+                self.io_faults += 1;
+            }
+            Outcome::Deadline => self.deadline_exceeded += 1,
+            Outcome::Cancelled => self.cancelled += 1,
         }
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         if self.latencies_us.len() < LATENCY_RESERVOIR {
@@ -242,7 +296,7 @@ impl ServerMetrics {
         &self,
         endpoint: &'static str,
         latency: Duration,
-        ok: bool,
+        outcome: Outcome,
         query_stats: Option<&QueryStats>,
     ) {
         let mut inner = self.lock();
@@ -254,7 +308,7 @@ impl ServerMetrics {
             .endpoints
             .entry(endpoint)
             .or_default()
-            .record(latency, ok);
+            .record(latency, outcome);
     }
 
     /// Record one admission-control rejection.
@@ -265,7 +319,7 @@ impl ServerMetrics {
             .endpoints
             .entry(endpoint)
             .or_default()
-            .record(latency, true);
+            .record(latency, Outcome::Ok);
     }
 
     /// Snapshot everything into a wire-encodable report. Pool facts are
@@ -288,6 +342,9 @@ impl ServerMetrics {
                         endpoint: (*name).to_string(),
                         requests: acc.requests,
                         errors: acc.errors,
+                        deadline_exceeded: acc.deadline_exceeded,
+                        cancelled: acc.cancelled,
+                        io_faults: acc.io_faults,
                         p50_us,
                         p99_us,
                     }
@@ -295,6 +352,23 @@ impl ServerMetrics {
                 .collect(),
             query_stats: inner.query_stats,
         }
+    }
+
+    /// The `Busy` backoff hint: with `max_inflight` slots draining at
+    /// the observed median work-endpoint latency, roughly one slot
+    /// frees every `p50 / max_inflight`. Clamped to `[1, 10_000]` ms —
+    /// never 0, so a hinted client always waits at least a tick, and
+    /// never absurd when the reservoir holds one slow outlier.
+    pub(crate) fn retry_after_ms(&self, max_inflight: usize) -> u64 {
+        let inner = self.lock();
+        let p50_us = ["query", "ingest"]
+            .iter()
+            .filter_map(|name| inner.endpoints.get(name))
+            .map(|acc| acc.percentiles().0)
+            .max()
+            .unwrap_or(0);
+        let per_slot_us = p50_us / max_inflight.max(1) as u64;
+        per_slot_us.div_ceil(1000).clamp(1, 10_000)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
@@ -321,16 +395,28 @@ mod tests {
             result_cache_hits: 1,
             ..QueryStats::default()
         };
-        metrics.served("query", Duration::from_micros(100), true, Some(&qs));
-        metrics.served("query", Duration::from_micros(300), false, Some(&qs));
-        metrics.served("ping", Duration::from_micros(10), true, None);
+        metrics.served("query", Duration::from_micros(100), Outcome::Ok, Some(&qs));
+        metrics.served(
+            "query",
+            Duration::from_micros(300),
+            Outcome::IoFault,
+            Some(&qs),
+        );
+        metrics.served("ping", Duration::from_micros(10), Outcome::Ok, None);
+        metrics.served("query", Duration::from_micros(200), Outcome::Deadline, None);
+        metrics.served(
+            "query",
+            Duration::from_micros(200),
+            Outcome::Cancelled,
+            None,
+        );
         metrics.rejected("query", Duration::from_micros(5));
         metrics.connection_closed();
 
         let report = metrics.report(3, 2);
         assert_eq!(report.pool_threads, 3);
         assert_eq!(report.peak_leases, 2);
-        assert_eq!(report.served, 3);
+        assert_eq!(report.served, 5);
         assert_eq!(report.rejected, 1);
         assert_eq!(report.connections_opened, 1);
         assert_eq!(report.connections_closed, 1);
@@ -343,8 +429,11 @@ mod tests {
             .collect();
         assert_eq!(names, ["ping", "query"], "sorted by endpoint");
         let query = &report.endpoints[1];
-        assert_eq!(query.requests, 3, "rejections count as requests");
+        assert_eq!(query.requests, 5, "rejections count as requests");
         assert_eq!(query.errors, 1);
+        assert_eq!(query.deadline_exceeded, 1);
+        assert_eq!(query.cancelled, 1);
+        assert_eq!(query.io_faults, 1, "io faults are a subset of errors");
         assert!(query.p50_us <= query.p99_us);
         // And the report survives the wire.
         let mut wire = Vec::new();
@@ -354,10 +443,26 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_hint_tracks_drain_rate() {
+        let metrics = ServerMetrics::default();
+        // No samples yet: the 1ms floor, never zero.
+        assert_eq!(metrics.retry_after_ms(4), 1);
+        for _ in 0..3 {
+            metrics.served("query", Duration::from_millis(80), Outcome::Ok, None);
+        }
+        assert_eq!(metrics.retry_after_ms(4), 20, "p50 80ms over 4 slots");
+        assert_eq!(
+            metrics.retry_after_ms(0),
+            80,
+            "zero slots clamps to one slot"
+        );
+    }
+
+    #[test]
     fn latency_reservoir_is_bounded() {
         let mut acc = EndpointAcc::default();
         for i in 0..(LATENCY_RESERVOIR as u64 * 3) {
-            acc.record(Duration::from_micros(i), true);
+            acc.record(Duration::from_micros(i), Outcome::Ok);
         }
         assert_eq!(acc.latencies_us.len(), LATENCY_RESERVOIR);
         assert_eq!(acc.requests, LATENCY_RESERVOIR as u64 * 3);

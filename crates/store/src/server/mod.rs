@@ -58,17 +58,19 @@
 //! assert_eq!(report.served, 1);
 //! ```
 
+mod cancel;
 mod client;
 mod metrics;
 mod pool;
 mod protocol;
 mod session;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use metrics::{EndpointStats, StatsReport};
 pub use protocol::{Request, Response, MAX_FRAME};
 
 use crate::catalog::Catalog;
+use crate::fault::FaultPlan;
 use crate::Result;
 use pool::WorkerPool;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -91,6 +93,19 @@ pub struct ServerConfig {
     /// Most query/ingest requests in flight at once; the next is
     /// refused with a typed [`Response::Busy`]. Defaults to 32.
     pub max_inflight: usize,
+    /// Socket read/write timeout armed on every session: a peer that
+    /// stalls mid-frame longer than this is disconnected rather than
+    /// pinning its session thread. Defaults to 10 s.
+    pub session_timeout: Duration,
+    /// Deadline applied to queries that do not carry their own
+    /// `deadline_ms` on the wire. `None` (the default) means no
+    /// server-imposed deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// An armed fault-injection plan for the session I/O layer (and,
+    /// via `lcdc serve --faults`, the storage layer). `None` — the
+    /// default and the production setting — is zero-cost: one
+    /// `Option` check per seam.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +113,9 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             max_inflight: 32,
+            session_timeout: Duration::from_secs(10),
+            default_deadline_ms: None,
+            faults: None,
         }
     }
 }
@@ -111,6 +129,9 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     pub(crate) in_flight: AtomicUsize,
     pub(crate) max_inflight: usize,
+    pub(crate) session_timeout: Duration,
+    pub(crate) default_deadline_ms: Option<u64>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -182,6 +203,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             max_inflight: config.max_inflight,
+            session_timeout: config.session_timeout,
+            default_deadline_ms: config.default_deadline_ms,
+            faults: config.faults,
         });
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let accept = {
@@ -400,12 +424,16 @@ mod tests {
         let (server, _catalog) = serve_orders(500, config);
         let mut client = Client::connect(server.addr()).unwrap();
         // max_inflight 0: every query is deterministically refused...
-        let Response::Busy { in_flight, max } =
-            client.query("orders", &args(&["--count"])).unwrap()
+        let Response::Busy {
+            in_flight,
+            max,
+            retry_after_ms,
+        } = client.query("orders", &args(&["--count"])).unwrap()
         else {
             panic!("expected busy");
         };
         assert_eq!((in_flight, max), (0, 0));
+        assert!(retry_after_ms >= 1, "hint is never zero");
         // ...but stats still answer, and count the rejection.
         let report = client.stats().unwrap();
         assert_eq!(report.rejected, 1);

@@ -37,6 +37,7 @@
 //! [`crate::Catalog::ingest`] publishing new versions never invalidates
 //! an executing lease.
 
+use super::cancel::CancelToken;
 use crate::catalog::{shard_excluded, CatalogTable};
 use crate::query::{
     ExecOptions, PhysicalPlan, QueryResult, QuerySpec, QueryStats, Sink, SinkState,
@@ -46,14 +47,20 @@ use crate::table::Table;
 use crate::{Result, StoreError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Segments one lease claims at a time. Small enough that queries
 /// interleave finely (a worker revisits the queue every few segments),
 /// large enough that queue locking stays off the per-segment path.
 const LEASE_MORSELS: usize = 8;
+
+/// How often [`PendingQuery::wait_while`] wakes its caller between
+/// deliveries — the cadence at which a session notices an expired
+/// deadline or a vanished client while its query executes.
+const WAIT_TICK: Duration = Duration::from_millis(25);
 
 /// One queued query: the spec, its snapshot's live shards, and the
 /// claim/merge bookkeeping every lease goes through.
@@ -74,6 +81,10 @@ struct Job {
     max_leases: usize,
     /// Most leases ever executing at once, for tests and metrics.
     peak_leases: AtomicUsize,
+    /// The request's cancellation token: checked at every lease claim
+    /// and between morsels, so a fired token abandons all unclaimed
+    /// work within one lease.
+    cancel: Arc<CancelToken>,
     inner: Mutex<JobInner>,
 }
 
@@ -112,7 +123,7 @@ struct PoolShared {
 
 /// The fixed-width worker pool. Construct once per server
 /// ([`WorkerPool::new`] spawns the workers immediately), submit
-/// queries from any thread with [`WorkerPool::execute`], and
+/// queries from any thread with [`WorkerPool::submit`], and
 /// [`WorkerPool::stop`] drains and joins on shutdown.
 pub(crate) struct WorkerPool {
     threads: usize,
@@ -175,7 +186,23 @@ impl WorkerPool {
     }
 
     /// Execute `spec` against a catalog snapshot on the shared pool,
-    /// blocking until the merged result is ready. Semantically
+    /// blocking until the merged result is ready — [`Self::submit`]
+    /// plus an uninterruptible wait, for tests with no connection to
+    /// watch. (Sessions use `submit` + [`PendingQuery::wait_while`].)
+    #[cfg(test)]
+    pub(crate) fn execute(
+        &self,
+        table: &CatalogTable,
+        spec: &QuerySpec,
+        opts: &ExecOptions,
+        cancel: Arc<CancelToken>,
+    ) -> Result<QueryResult> {
+        self.submit(table, spec, opts, cancel)?
+            .wait_while(|| Ok(()))
+    }
+
+    /// Queue `spec` against a catalog snapshot on the shared pool and
+    /// return a [`PendingQuery`] the caller waits on. Semantically
     /// identical to [`crate::Catalog::execute_opts`]'s execution
     /// strategy: shard pruning first, then every live shard's segments
     /// through the standard per-segment pipeline — just scheduled onto
@@ -183,12 +210,19 @@ impl WorkerPool {
     /// `opts.threads` caps this job's concurrent leases;
     /// `opts.prefetch` is ignored (the pool spawns no per-query fetcher
     /// threads — its width is the server's whole execution budget).
-    pub(crate) fn execute(
+    ///
+    /// `cancel` is checked here (an already-expired deadline queues
+    /// nothing), at every lease claim, and between morsels; a fired
+    /// token surfaces through the delivered outcome as the typed
+    /// deadline/cancelled error.
+    pub(crate) fn submit(
         &self,
         table: &CatalogTable,
         spec: &QuerySpec,
         opts: &ExecOptions,
-    ) -> Result<QueryResult> {
+        cancel: Arc<CancelToken>,
+    ) -> Result<PendingQuery> {
+        cancel.check()?;
         // Shard pruning, exactly as the in-process sharded fan-in does:
         // an excluded shard is counted, never compiled or read.
         let mut pruned = QueryStats::default();
@@ -230,10 +264,19 @@ impl WorkerPool {
                 morsels.extend(plan.segment_order().into_iter().map(|s| (p, s)));
             }
             if morsels.is_empty() {
-                let state = SinkState::for_sink(&shape.sink);
-                let mut result = QueryResult::from_state(shape, state, QueryStats::default())?;
-                result.stats.absorb(&pruned);
-                return Ok(result);
+                // Nothing to queue: deliver the empty sink state
+                // immediately; the normal wait path shapes it.
+                let (done, recv) = sync_channel(1);
+                let _ = done.send(Ok((
+                    SinkState::for_sink(&shape.sink),
+                    QueryStats::default(),
+                )));
+                return Ok(PendingQuery {
+                    recv,
+                    shape_table: Arc::clone(shape_table),
+                    spec: spec.clone(),
+                    pruned,
+                });
             }
             shape.sink.clone()
         };
@@ -251,6 +294,7 @@ impl WorkerPool {
             morsels,
             max_leases: opts.threads.clamp(1, self.threads),
             peak_leases: AtomicUsize::new(0),
+            cancel,
             inner: Mutex::new(JobInner {
                 next: 0,
                 completed: 0,
@@ -278,15 +322,12 @@ impl WorkerPool {
             state.queue.push_back(Arc::clone(&job));
         }
         self.shared.work_ready.notify_all();
-
-        let (state, mut stats) = recv
-            .recv()
-            .map_err(|_| StoreError::Shape("worker pool stopped mid-query".into()))??;
-        // Shape the merged state on the caller's thread; any live
-        // shard's plan shapes identically (shared schema).
-        let shape = spec.compile_mode(&shape_table, false)?;
-        stats.absorb(&pruned);
-        QueryResult::from_state(&shape, state, stats)
+        Ok(PendingQuery {
+            recv,
+            shape_table,
+            spec: spec.clone(),
+            pruned,
+        })
     }
 
     /// Drain queued jobs, then stop and join every worker. Queued and
@@ -315,6 +356,43 @@ impl WorkerPool {
     }
 }
 
+/// A submitted query the caller has not collected yet: the delivery
+/// channel plus everything needed to shape the merged sink state into
+/// a [`QueryResult`] on the caller's thread.
+pub(crate) struct PendingQuery {
+    recv: Receiver<Result<(SinkState, QueryStats)>>,
+    shape_table: Arc<Table>,
+    spec: QuerySpec,
+    pruned: QueryStats,
+}
+
+impl PendingQuery {
+    /// Block until the pool delivers, calling `tick` roughly every
+    /// [`WAIT_TICK`] — the session's chance to poll its connection and
+    /// fire the job's [`CancelToken`]. A `tick` error abandons the
+    /// wait immediately with that error: the job's token is expected to
+    /// be fired too, so the pool drops its unclaimed morsels at the
+    /// next claim and delivers to a dead receiver (harmless — the
+    /// sync channel holds one outcome without a reader).
+    pub(crate) fn wait_while(self, mut tick: impl FnMut() -> Result<()>) -> Result<QueryResult> {
+        let outcome = loop {
+            match self.recv.recv_timeout(WAIT_TICK) {
+                Ok(outcome) => break outcome?,
+                Err(RecvTimeoutError::Timeout) => tick()?,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(StoreError::Shape("worker pool stopped mid-query".into()))
+                }
+            }
+        };
+        let (state, mut stats) = outcome;
+        // Shape the merged state on the caller's thread; any live
+        // shard's plan shapes identically (shared schema).
+        let shape = self.spec.compile_mode(&self.shape_table, false)?;
+        stats.absorb(&self.pruned);
+        QueryResult::from_state(&shape, state, stats)
+    }
+}
+
 /// What a worker decided to do with the job at the queue front.
 enum Claim {
     /// Execute `morsels[start..end]`.
@@ -330,6 +408,18 @@ enum Claim {
 fn claim(job: &Job) -> Claim {
     let mut inner = job.inner.lock().unwrap_or_else(PoisonError::into_inner);
     if inner.error.is_some() || inner.next >= job.morsels.len() {
+        return Claim::Drop;
+    }
+    // A fired token abandons every unclaimed morsel right here — the
+    // next worker to even look at the job drops it. With no lease in
+    // flight this claim is the job's last observer, so it also
+    // delivers; otherwise the last finishing lease does.
+    if let Err(e) = job.cancel.check() {
+        inner.error = Some(e);
+        inner.next = job.morsels.len();
+        if inner.active_leases == 0 {
+            deliver(&mut inner, job.morsels.len());
+        }
         return Claim::Drop;
     }
     if inner.active_leases >= job.max_leases {
@@ -426,6 +516,13 @@ fn run_lease(shared: &PoolShared, job: &Job, start: usize, end: usize) {
     let mut plans: Vec<Option<PhysicalPlan<'_>>> = job.tables.iter().map(|_| None).collect();
     let mut error = None;
     for &(p, s) in job.morsels.get(start..end).unwrap_or_default() {
+        // Morsel-granular cancellation: a deadline that expires (or a
+        // client that vanishes) mid-lease stops this lease at the next
+        // segment boundary instead of finishing its whole claim.
+        if let Err(e) = job.cancel.check() {
+            error = Some(e);
+            break;
+        }
         let (Some(slot), Some(table)) = (plans.get_mut(p), job.tables.get(p)) else {
             // Morsels are built as indexes into `job.tables`, so this
             // is internal corruption — fail the job, not the process.
@@ -478,20 +575,29 @@ fn run_lease(shared: &PoolShared, job: &Job, start: usize, end: usize) {
     let finished =
         inner.active_leases == 0 && (inner.error.is_some() || inner.completed == job.morsels.len());
     if finished {
-        if let Some(done) = inner.done.take() {
-            let outcome = match (inner.error.take(), inner.merged.take()) {
-                (Some(e), _) => Err(e),
-                (None, Some(merged)) => Ok((merged, inner.stats)),
-                // `completed == morsels.len()` with a non-empty morsel
-                // list guarantees at least one merge; guard anyway.
-                (None, None) => Err(StoreError::Shape(
-                    "job completed without a merged state".into(),
-                )),
-            };
-            // The submitter may have given up (stopping server); a dead
-            // receiver is not the worker's problem.
-            let _ = done.send(outcome);
-        }
+        deliver(&mut inner, job.morsels.len());
+    }
+}
+
+/// Deliver a finished job's outcome to its submitter. Callers hold the
+/// job's `inner` lock and have established that no lease is active and
+/// the job is done (error recorded or every morsel merged).
+fn deliver(inner: &mut JobInner, total: usize) {
+    if let Some(done) = inner.done.take() {
+        let outcome = match (inner.error.take(), inner.merged.take()) {
+            (Some(e), _) => Err(e),
+            (None, Some(merged)) => Ok((merged, inner.stats)),
+            // `completed == total` with a non-empty morsel list
+            // guarantees at least one merge; guard anyway.
+            (None, None) => Err(StoreError::Shape(format!(
+                "job completed {} of {total} morsels without a merged state",
+                inner.completed
+            ))),
+        };
+        // The submitter may have given up (deadline answered early,
+        // stopping server); a dead receiver is not the worker's
+        // problem.
+        let _ = done.send(outcome);
     }
 }
 
@@ -517,6 +623,10 @@ mod tests {
             256,
         )
         .unwrap()
+    }
+
+    fn nocancel() -> Arc<CancelToken> {
+        Arc::new(CancelToken::unbounded())
     }
 
     fn specs() -> Vec<QuerySpec> {
@@ -548,7 +658,7 @@ mod tests {
             for handle in [&single, &sharded] {
                 for threads in [1usize, 2, 8] {
                     let got = pool
-                        .execute(handle, &spec, &ExecOptions::threads(threads))
+                        .execute(handle, &spec, &ExecOptions::threads(threads), nocancel())
                         .unwrap();
                     assert_eq!(got.rows, want.rows, "{spec:?} x{threads}");
                 }
@@ -574,7 +684,12 @@ mod tests {
                     let (pool, handle) = (Arc::clone(&pool), handle.clone());
                     scope.spawn(move || {
                         let got = pool
-                            .execute(&handle, spec, &ExecOptions::threads(1 + round % 4))
+                            .execute(
+                                &handle,
+                                spec,
+                                &ExecOptions::threads(1 + round % 4),
+                                nocancel(),
+                            )
                             .unwrap();
                         assert_eq!(got.rows, want.rows);
                     });
@@ -599,7 +714,7 @@ mod tests {
         // which `execute` does not expose — so drive the internals the
         // way `execute` does, with a cap of 1.
         let got = pool
-            .execute(&handle, &spec, &ExecOptions::threads(1))
+            .execute(&handle, &spec, &ExecOptions::threads(1), nocancel())
             .unwrap();
         assert!(got.stats.segments > 0);
         pool.stop();
@@ -613,17 +728,65 @@ mod tests {
         // Unknown column: rejected at submit-time compile.
         let bad = QuerySpec::new().aggregate(&[Agg::Sum("nope")]);
         assert!(pool
-            .execute(&handle, &bad, &ExecOptions::threads(2))
+            .execute(&handle, &bad, &ExecOptions::threads(2), nocancel())
             .is_err());
         // The pool still works afterwards.
         let spec = QuerySpec::new().aggregate(&[Agg::Count]);
         let got = pool
-            .execute(&handle, &spec, &ExecOptions::threads(2))
+            .execute(&handle, &spec, &ExecOptions::threads(2), nocancel())
             .unwrap();
         assert_eq!(
             got.aggregates().unwrap(),
             spec.bind(&table).execute().unwrap().aggregates().unwrap()
         );
+        pool.stop();
+    }
+
+    #[test]
+    fn pre_cancelled_token_rejects_at_submit_and_pool_survives() {
+        let table = orders(3000);
+        let handle = CatalogTable::Single(Arc::new(table.clone()));
+        let pool = WorkerPool::new(2).unwrap();
+        let token = nocancel();
+        token.cancel();
+        let spec = QuerySpec::new().aggregate(&[Agg::Count]);
+        assert!(matches!(
+            pool.execute(&handle, &spec, &ExecOptions::threads(2), token),
+            Err(StoreError::Cancelled)
+        ));
+        // The pool keeps answering healthy requests afterwards.
+        let got = pool
+            .execute(&handle, &spec, &ExecOptions::threads(2), nocancel())
+            .unwrap();
+        assert_eq!(
+            got.aggregates().unwrap(),
+            spec.bind(&table).execute().unwrap().aggregates().unwrap()
+        );
+        pool.stop();
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_typed_and_aborts_morsels() {
+        let table = orders(20_000);
+        let handle = CatalogTable::Single(Arc::new(table));
+        let pool = WorkerPool::new(2).unwrap();
+        let spec = QuerySpec::new()
+            .filter("qty", Predicate::Range { lo: 0, hi: 49 })
+            .group_by("day")
+            .aggregate(&[Agg::Sum("qty")]);
+        // deadline_ms = 0 is expired before submit: the typed error
+        // comes back without executing a single morsel.
+        let token = Arc::new(CancelToken::with_deadline_ms(0));
+        assert!(matches!(
+            pool.execute(&handle, &spec, &ExecOptions::threads(2), token),
+            Err(StoreError::DeadlineExceeded { deadline_ms: 0 })
+        ));
+        // A generous deadline executes normally.
+        let token = Arc::new(CancelToken::with_deadline_ms(60_000));
+        let got = pool
+            .execute(&handle, &spec, &ExecOptions::threads(2), token)
+            .unwrap();
+        assert!(got.stats.segments > 0);
         pool.stop();
     }
 
@@ -638,7 +801,7 @@ mod tests {
             .filter("day", Predicate::Range { lo: 900, hi: 999 })
             .aggregate(&[Agg::Sum("qty"), Agg::Count]);
         let got = pool
-            .execute(&handle, &spec, &ExecOptions::threads(2))
+            .execute(&handle, &spec, &ExecOptions::threads(2), nocancel())
             .unwrap();
         assert_eq!(got.aggregates().unwrap(), &[Some(0), Some(0)]);
         assert_eq!(got.stats.shards_pruned, 2);

@@ -66,6 +66,10 @@ pub enum Request {
         table: String,
         /// Verbatim `lcdc query` flags describing plan and options.
         args: Vec<String>,
+        /// Milliseconds the client is willing to wait, measured from
+        /// the server's receipt. `None` defers to the server's
+        /// configured default; expiry answers [`Response::Deadline`].
+        deadline_ms: Option<u64>,
     },
     /// Append a row batch to a named catalog table (the wire form of
     /// [`crate::Catalog::ingest`]: one version bump, routed to the
@@ -106,6 +110,11 @@ pub enum Response {
         in_flight: u64,
         /// The configured admission limit.
         max: u64,
+        /// The server's backoff hint: roughly how long, in
+        /// milliseconds, until one in-flight slot is expected to
+        /// drain. Always at least 1 — clients multiply it into their
+        /// backoff schedule.
+        retry_after_ms: u64,
     },
     /// The request failed (parse error, unknown table, rejected flag,
     /// execution error); the message says why.
@@ -127,6 +136,15 @@ pub enum Response {
     },
     /// The server is draining and no longer admits requests.
     ShuttingDown,
+    /// The request's deadline expired before its query finished; the
+    /// query's remaining work was abandoned.
+    Deadline {
+        /// The millisecond budget that expired.
+        deadline_ms: u64,
+    },
+    /// The request was cancelled before completion (the server
+    /// observed this client's disconnect, or an explicit abort).
+    Cancelled,
 }
 
 // -- primitive encoders -----------------------------------------------
@@ -154,6 +172,16 @@ fn put_opt_i128(out: &mut Vec<u8>, v: Option<i128>) {
         Some(v) => {
             out.push(1);
             put_i128(out, v);
+        }
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
         }
     }
 }
@@ -224,6 +252,14 @@ impl<'a> Cursor<'a> {
         match self.take_u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.take_i128()?)),
+            t => Err(bad_tag("optional value", t)),
+        }
+    }
+
+    fn take_opt_u64(&mut self) -> Result<Option<u64>> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u64()?)),
             t => Err(bad_tag("optional value", t)),
         }
     }
@@ -540,18 +576,25 @@ const RESP_STATS: u8 = 4;
 const RESP_PONG: u8 = 5;
 const RESP_INGESTED: u8 = 6;
 const RESP_SHUTTING_DOWN: u8 = 7;
+const RESP_DEADLINE: u8 = 8;
+const RESP_CANCELLED: u8 = 9;
 
 impl Request {
     /// Write this request as one frame.
     pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
         let mut payload = Vec::new();
         let kind = match self {
-            Request::Query { table, args } => {
+            Request::Query {
+                table,
+                args,
+                deadline_ms,
+            } => {
                 put_str(&mut payload, table);
                 put_u32(&mut payload, args.len() as u32);
                 for arg in args {
                     put_str(&mut payload, arg);
                 }
+                put_opt_u64(&mut payload, *deadline_ms);
                 REQ_QUERY
             }
             Request::Ingest { table, columns } => {
@@ -583,7 +626,12 @@ impl Request {
                 for _ in 0..n {
                     args.push(cur.take_str()?);
                 }
-                Request::Query { table, args }
+                let deadline_ms = cur.take_opt_u64()?;
+                Request::Query {
+                    table,
+                    args,
+                    deadline_ms,
+                }
             }
             REQ_INGEST => {
                 let table = cur.take_str()?;
@@ -619,9 +667,14 @@ impl Response {
                 put_stats(&mut payload, stats);
                 RESP_ROWS
             }
-            Response::Busy { in_flight, max } => {
+            Response::Busy {
+                in_flight,
+                max,
+                retry_after_ms,
+            } => {
                 put_u64(&mut payload, *in_flight);
                 put_u64(&mut payload, *max);
+                put_u64(&mut payload, *retry_after_ms);
                 RESP_BUSY
             }
             Response::Error { message } => {
@@ -639,6 +692,11 @@ impl Response {
                 RESP_INGESTED
             }
             Response::ShuttingDown => RESP_SHUTTING_DOWN,
+            Response::Deadline { deadline_ms } => {
+                put_u64(&mut payload, *deadline_ms);
+                RESP_DEADLINE
+            }
+            Response::Cancelled => RESP_CANCELLED,
         };
         write_frame(w, kind, &payload)
     }
@@ -658,6 +716,7 @@ impl Response {
             RESP_BUSY => Response::Busy {
                 in_flight: cur.take_u64()?,
                 max: cur.take_u64()?,
+                retry_after_ms: cur.take_u64()?,
             },
             RESP_ERROR => Response::Error {
                 message: cur.take_str()?,
@@ -669,6 +728,10 @@ impl Response {
                 rows: cur.take_u64()?,
             },
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_DEADLINE => Response::Deadline {
+                deadline_ms: cur.take_u64()?,
+            },
+            RESP_CANCELLED => Response::Cancelled,
             t => return Err(bad_tag("response", t)),
         };
         cur.finish()?;
@@ -703,6 +766,12 @@ mod tests {
             Request::Query {
                 table: "orders".into(),
                 args: vec!["--filter".into(), "day=1..9".into(), "--count".into()],
+                deadline_ms: None,
+            },
+            Request::Query {
+                table: "orders".into(),
+                args: vec!["--count".into()],
+                deadline_ms: Some(1500),
             },
             Request::Ingest {
                 table: "orders".into(),
@@ -738,6 +807,9 @@ mod tests {
             endpoint: "query".into(),
             requests: 10,
             errors: 1,
+            deadline_exceeded: 2,
+            cancelled: 1,
+            io_faults: 3,
             p50_us: 120,
             p99_us: 900,
         });
@@ -765,6 +837,7 @@ mod tests {
             Response::Busy {
                 in_flight: 8,
                 max: 8,
+                retry_after_ms: 40,
             },
             Response::Error {
                 message: "no such table \"orders\"".into(),
@@ -776,6 +849,8 @@ mod tests {
                 rows: 4096,
             },
             Response::ShuttingDown,
+            Response::Deadline { deadline_ms: 250 },
+            Response::Cancelled,
         ];
         for resp in &resps {
             assert_eq!(&roundtrip_response(resp), resp);

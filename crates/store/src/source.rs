@@ -20,6 +20,7 @@
 //! prefetcher ([`SegmentSource::prefetch`]) warm the cache ahead of the
 //! scan without ever duplicating I/O.
 
+use crate::fault::FaultPlan;
 use crate::segment::Segment;
 use crate::{Result, StoreError};
 use lcdc_core::DType;
@@ -27,7 +28,7 @@ use std::collections::HashSet;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Per-segment metadata the planner can consult without loading the
 /// segment payload: the zone map, the row count, the compressed size,
@@ -121,6 +122,12 @@ pub trait SegmentSource: std::fmt::Debug + Send + Sync {
     fn cache_capacity(&self) -> Option<usize> {
         None
     }
+
+    /// Arm a [`FaultPlan`] on this source: subsequent backing-store
+    /// reads run through the plan's `io_read`/`io_stall` rules. The
+    /// default is a no-op — resident sources never touch a backing
+    /// store, so there is nothing to fail.
+    fn inject_faults(&self, _plan: &Arc<FaultPlan>) {}
 }
 
 /// All segments held in memory — the source behind [`crate::Table::build`].
@@ -203,6 +210,9 @@ pub struct FileSource {
     /// it wasted really happened) alongside its hit.
     wasted: Mutex<HashSet<usize>>,
     prefetch_hits: AtomicUsize,
+    /// Armed once (before serving) by [`SegmentSource::inject_faults`];
+    /// the read path pays one pointer load when no plan is set.
+    faults: OnceLock<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for FileSource {
@@ -266,6 +276,7 @@ impl FileSource {
             prefetched: Mutex::new(HashSet::new()),
             wasted: Mutex::new(HashSet::new()),
             prefetch_hits: AtomicUsize::new(0),
+            faults: OnceLock::new(),
         })
     }
 
@@ -372,6 +383,11 @@ impl FileSource {
     /// read reopens and seeks. Only a short read is reported as
     /// truncation — transient I/O failures stay `StoreError::Io`.
     fn read_record(&self, idx: usize, loc: FrameLocation) -> Result<Vec<u8>> {
+        // The chaos seam: an armed plan may stall this read or fail it
+        // with a typed injected error before any bytes move.
+        if let Some(plan) = self.faults.get() {
+            plan.on_io_read(&self.column)?;
+        }
         let mut record = vec![0u8; loc.len as usize];
         let read_failed = |e: std::io::Error| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -533,6 +549,12 @@ impl SegmentSource for FileSource {
     fn cache_capacity(&self) -> Option<usize> {
         Some(self.cache_capacity)
     }
+
+    fn inject_faults(&self, plan: &Arc<FaultPlan>) {
+        // First plan wins; re-arming is a startup-configuration error,
+        // not a runtime hazard, so it is simply ignored.
+        let _ = self.faults.set(Arc::clone(plan));
+    }
 }
 
 /// An existing source's segments followed by appended resident
@@ -598,6 +620,12 @@ impl SegmentSource for ChainedSource {
 
     fn cache_capacity(&self) -> Option<usize> {
         self.base.cache_capacity()
+    }
+
+    fn inject_faults(&self, plan: &Arc<FaultPlan>) {
+        // Only the base can touch a backing store; the resident tail
+        // has no reads to fail.
+        self.base.inject_faults(plan);
     }
 }
 

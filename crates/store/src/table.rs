@@ -374,6 +374,15 @@ impl Table {
         self.sources.iter().map(|s| s.io_reads()).sum()
     }
 
+    /// Arm a [`crate::FaultPlan`] on every column's segment source, so
+    /// lazily-backed reads run through its `io_read`/`io_stall` rules
+    /// (chaos testing; a no-op for fully resident tables).
+    pub fn inject_faults(&self, plan: &std::sync::Arc<crate::FaultPlan>) {
+        for source in &self.sources {
+            source.inject_faults(plan);
+        }
+    }
+
     /// Fully decompress a named column.
     pub fn materialize(&self, name: &str) -> Result<ColumnData> {
         let idx = self.resolve(name)?;

@@ -6,10 +6,19 @@
 # and diff a client answer against single-process `lcdc query` on the
 # same data. Everything a human would type, verified end to end.
 #
-# Usage: scripts/serve_smoke.sh
+# Usage: scripts/serve_smoke.sh [--chaos]
 #   (builds the release binary if needed; cleans up after itself)
+#
+# --chaos additionally runs the fault-injection scenario: a server
+# armed with --faults (stalled reads, injected read errors, response
+# stalls, torn frames) is hammered by scripted clients; every failure
+# must be a typed answer or a clean connection error — never a hang —
+# and the server must still drain within 10 seconds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHAOS=0
+[ "${1:-}" = "--chaos" ] && CHAOS=1
 
 LCDC=target/release/lcdc
 [ -x "$LCDC" ] || cargo build --release
@@ -113,6 +122,10 @@ if "$LCDC" client --addr "$addr" --table orders --count \
   fail "query admitted past max-inflight 0"
 fi
 grep -qi "busy" "$dir/busy.err" || fail "rejection is not a typed BUSY"
+# The rejection carries the server's drain estimate, and it is never
+# zero — a client that sleeps 0ms would hammer the admission gate.
+grep -Eq "retry after [1-9][0-9]*ms" "$dir/busy.err" \
+  || fail "BUSY does not carry a nonzero retry-after hint"
 # ...while ping still answers: saturation stays observable.
 "$LCDC" client --addr "$addr" --ping | grep -qx pong || fail "ping under busy"
 "$LCDC" client --addr "$addr" --shutdown 2>/dev/null
@@ -121,5 +134,85 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 serve_pid=""
+
+# --- chaos: a fault-armed server survives scripted abuse ------------
+if [ "$CHAOS" = 1 ]; then
+  echo "serve_smoke: chaos scenario"
+  # Lazy storage keeps disk reads (and their injected faults) on the
+  # query path; the seeded plan mixes stalled reads, occasional read
+  # errors, response stalls, and torn response frames.
+  "$LCDC" serve "$dir/cat" --addr 127.0.0.1:0 --threads 2 --max-inflight 8 \
+    --lazy --cache 2 --session-timeout-ms 2000 \
+    --faults "io_read:every=97; io_stall:ms=1,every=1; stall:ms=2,every=5; frame_truncate:p=0.04" \
+    --fault-seed 7 >"$serve_out" 2>"$dir/serve3.err" &
+  serve_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_out")"
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || {
+      cat "$dir/serve3.err" >&2
+      fail "chaos server exited before listening"
+    }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || fail "chaos server never announced its address"
+  grep -q "fault injection armed" "$dir/serve3.err" \
+    || fail "server did not announce its fault plan"
+
+  # Hammer it. Typed errors and torn-frame connection errors are
+  # expected; hangs and a dead server are not. Most queries must still
+  # answer.
+  ok=0
+  for i in $(seq 1 30); do
+    if "$LCDC" client --addr "$addr" --table orders --retries 2 \
+      --filter "day=$i..$((i + 40))" --sum qty --count \
+      >/dev/null 2>"$dir/chaos_q.err"; then
+      ok=$((ok + 1))
+    else
+      kill -0 "$serve_pid" 2>/dev/null || {
+        cat "$dir/serve3.err" >&2
+        fail "chaos server died on query $i"
+      }
+    fi
+  done
+  echo "serve_smoke: chaos answered $ok/30 queries through the faults"
+  [ "$ok" -ge 5 ] || fail "chaos server answered too few queries ($ok/30)"
+
+  # A 1ms deadline expires against stalled reads: the refusal must be
+  # the typed deadline answer, not a generic error or a hang.
+  if "$LCDC" client --addr "$addr" --table orders --deadline-ms 1 \
+    --filter day=7..49 --count >/dev/null 2>"$dir/chaos_dl.err"; then
+    fail "1ms deadline query succeeded against stalled reads"
+  fi
+  grep -qi "deadline" "$dir/chaos_dl.err" \
+    || fail "deadline expiry is not a typed answer: $(cat "$dir/chaos_dl.err")"
+
+  # The stats report stays fetchable (retrying past torn frames).
+  stats_ok=0
+  for _ in $(seq 1 5); do
+    if "$LCDC" client --addr "$addr" --stats >"$dir/stats3.txt" 2>/dev/null \
+      && grep -q "deadline" "$dir/stats3.txt"; then
+      stats_ok=1
+      break
+    fi
+  done
+  [ "$stats_ok" = 1 ] || fail "stats report unavailable under chaos"
+
+  # Drain under 10s: shutdown may race a torn frame (ignore the client
+  # exit), but the server must still exit promptly and cleanly.
+  "$LCDC" client --addr "$addr" --shutdown >/dev/null 2>&1 || true
+  drained=0
+  for _ in $(seq 1 100); do
+    kill -0 "$serve_pid" 2>/dev/null || {
+      drained=1
+      break
+    }
+    sleep 0.1
+  done
+  [ "$drained" = 1 ] || fail "chaos server did not drain within 10s"
+  serve_pid=""
+  echo "serve_smoke: chaos server drained cleanly"
+fi
 
 echo "serve_smoke: OK"

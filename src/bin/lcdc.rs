@@ -23,7 +23,10 @@
 //!                 [--seg-rows N] [--seed N]
 //! lcdc serve      <dir> [--addr HOST:PORT] [--threads N]
 //!                 [--max-inflight N] [--lazy] [--cache N]
-//! lcdc client     --addr HOST:PORT (--ping | --stats | --shutdown |
+//!                 [--session-timeout-ms N] [--deadline-ms N]
+//!                 [--faults SPEC] [--fault-seed N]
+//! lcdc client     --addr HOST:PORT [--deadline-ms N] [--retries N]
+//!                 (--ping | --stats | --shutdown |
 //!                 --table NAME <query flags...>)
 //! ```
 //!
@@ -58,7 +61,8 @@
 use lcdc::core::{bytes, chooser, parse_scheme, ColumnData, DType};
 use lcdc::store::{
     load_table, open_table_lazy, save_table, shard_table, Catalog, Client, CompressionPolicy,
-    QueryArgs, QueryResult, Response, Rows, Server, ServerConfig, ShardedTable, Table, TableSchema,
+    FaultPlan, QueryArgs, QueryResult, Response, RetryPolicy, Rows, Server, ServerConfig,
+    ShardedTable, Table, TableSchema,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -94,8 +98,10 @@ usage:
                   [--topk-shared-bound on|off] [--ordered-filters] [--explain]
   lcdc gen        <dir> [--table NAME] [--rows N] [--shards N] [--seg-rows N] [--seed N]
   lcdc serve      <dir> [--addr HOST:PORT] [--threads N] [--max-inflight N]
-                  [--lazy] [--cache N]
-  lcdc client     --addr HOST:PORT (--ping | --stats | --shutdown |
+                  [--lazy] [--cache N] [--session-timeout-ms N] [--deadline-ms N]
+                  [--faults SPEC] [--fault-seed N]
+  lcdc client     --addr HOST:PORT [--deadline-ms N] [--retries N]
+                  (--ping | --stats | --shutdown |
                   --table NAME <query flags...>)
 
 scheme expressions: e.g. 'rle[values=delta[deltas=ns_zz],lengths=ns]',
@@ -740,6 +746,8 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::default();
     let mut lazy = false;
     let mut cache = lcdc::store::file::DEFAULT_SEGMENT_CACHE;
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed = 0u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<String, String> {
@@ -759,6 +767,25 @@ fn serve(args: &[String]) -> Result<(), String> {
             }
             "--lazy" => lazy = true,
             "--cache" => cache = value("--cache")?.parse().map_err(|_| "bad --cache")?,
+            "--session-timeout-ms" => {
+                let ms: u64 = value("--session-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --session-timeout-ms")?;
+                config.session_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms")?,
+                );
+            }
+            "--faults" => fault_spec = Some(value("--faults")?),
+            "--fault-seed" => {
+                fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|_| "bad --fault-seed")?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             positional => {
                 if root.replace(positional.to_string()).is_some() {
@@ -767,6 +794,13 @@ fn serve(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    let faults = match fault_spec {
+        Some(spec) => Some(Arc::new(
+            FaultPlan::parse(&spec, fault_seed).map_err(|e| format!("bad --faults: {e}"))?,
+        )),
+        None => None,
+    };
+    config.faults = faults.clone();
     let root = PathBuf::from(root.ok_or("serve wants a catalog directory")?);
     let tables = discover_tables(&root)?;
     if tables.is_empty() {
@@ -788,6 +822,11 @@ fn serve(args: &[String]) -> Result<(), String> {
             .iter()
             .map(|d| open(d))
             .collect::<Result<_, String>>()?;
+        if let Some(plan) = &faults {
+            for shard in &shards {
+                shard.inject_faults(plan);
+            }
+        }
         let single = shards.len() == 1 && dirs[0] == root.join(name);
         if single {
             let table = shards.into_iter().next().expect("one table");
@@ -803,6 +842,9 @@ fn serve(args: &[String]) -> Result<(), String> {
                 .register_sharded(name, shards)
                 .map_err(|e| e.to_string())?;
         }
+    }
+    if let Some(plan) = &faults {
+        eprintln!("-- fault injection armed: {}", plan.describe());
     }
     let server = Server::start(catalog, &addr, config).map_err(|e| e.to_string())?;
     // Scripts block on this exact line to learn the (possibly
@@ -828,6 +870,8 @@ struct ClientArgs {
     addr: String,
     table: Option<String>,
     action: Option<&'static str>,
+    deadline_ms: Option<u64>,
+    retries: u32,
     forward: Vec<String>,
 }
 
@@ -835,12 +879,29 @@ fn split_client_args(args: &[String]) -> Result<ClientArgs, String> {
     let mut addr = None;
     let mut table = None;
     let mut action = None;
+    let mut deadline_ms = None;
+    let mut retries = 0u32;
     let mut forward = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = Some(it.next().ok_or("--addr needs HOST:PORT")?.clone()),
             "--table" => table = Some(it.next().ok_or("--table needs a name")?.clone()),
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms")?,
+                );
+            }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --retries")?;
+            }
             "--ping" | "--stats" | "--shutdown" => {
                 if action.replace(&arg.as_str()[2..]).is_some() {
                     return Err("pick one of --ping / --stats / --shutdown".into());
@@ -860,6 +921,8 @@ fn split_client_args(args: &[String]) -> Result<ClientArgs, String> {
         addr: addr.ok_or("client requires --addr HOST:PORT")?,
         table,
         action,
+        deadline_ms,
+        retries,
         forward,
     })
 }
@@ -870,7 +933,12 @@ fn split_client_args(args: &[String]) -> Result<ClientArgs, String> {
 /// become nonzero exits with typed messages.
 fn client(args: &[String]) -> Result<(), String> {
     let parsed = split_client_args(args)?;
-    let mut client = Client::connect(&parsed.addr).map_err(|e| e.to_string())?;
+    let policy = RetryPolicy {
+        max_retries: parsed.retries,
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with(&parsed.addr, policy).map_err(|e| e.to_string())?;
+    client.set_deadline_ms(parsed.deadline_ms);
     match parsed.action {
         Some("ping") => {
             client.ping().map_err(|e| e.to_string())?;
@@ -918,9 +986,15 @@ fn client(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        Response::Busy { in_flight, max } => Err(format!(
-            "server busy: {in_flight}/{max} requests in flight — try again"
+        Response::Busy {
+            in_flight,
+            max,
+            retry_after_ms,
+        } => Err(format!(
+            "server busy: {in_flight}/{max} requests in flight — retry after {retry_after_ms}ms"
         )),
+        Response::Deadline { deadline_ms } => Err(format!("deadline of {deadline_ms}ms exceeded")),
+        Response::Cancelled => Err("request cancelled by the server".into()),
         Response::ShuttingDown => Err("server is shutting down".into()),
         Response::Error { message } => Err(message),
         other => Err(format!("unexpected response: {other:?}")),

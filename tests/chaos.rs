@@ -1,0 +1,549 @@
+//! Chaos matrix for `lcdc serve`: seeded fault injection (disk read
+//! errors, torn response frames, injected stalls), mid-query client
+//! disconnects, and deadline expiry — racing real TCP clients against
+//! the real server.
+//!
+//! Every test runs under a watchdog: the absence of hangs is itself an
+//! assertion. The seeded [`FaultPlan`] keeps per-site fired counters,
+//! so the exact-accounting tests can compare the server's
+//! `deadline_exceeded` / `cancelled` / `io_faults` ledger against the
+//! number of faults actually injected.
+
+use lcdc::core::{ColumnData, DType};
+use lcdc::store::{
+    load_table, open_table_lazy, save_table, Catalog, Client, CompressionPolicy, FaultPlan,
+    FaultSite, QueryArgs, Request, Response, RetryPolicy, Server, ServerConfig, Table, TableSchema,
+};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run `f` on a helper thread and panic if it does not finish within
+/// `secs` — the no-hang guarantee every chaos scenario must uphold.
+fn with_timeout<T: Send + 'static>(
+    secs: u64,
+    name: &'static str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(v) => {
+            let _ = handle.join();
+            v
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(panic) => std::panic::resume_unwind(panic),
+            Ok(_) => panic!("{name}: worker exited without reporting"),
+        },
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{name}: hung past {secs}s — cancellation failed to drain")
+        }
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcdc_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build the deterministic orders table (day clustered, qty cycling
+/// 1..=50 so qty filters never prune), save it, and return the
+/// in-memory copy — the fault-free oracle every answer is checked
+/// against.
+fn saved_orders(dir: &Path, rows: u64, seg_rows: usize) -> Table {
+    let schema = TableSchema::new(&[("day", DType::U64), ("qty", DType::U64)]);
+    let day = ColumnData::U64((0..rows).map(|i| 1 + i / 100).collect());
+    let qty = ColumnData::U64((0..rows).map(|i| 1 + i % 50).collect());
+    let table = Table::build(
+        schema,
+        &[day, qty],
+        &[CompressionPolicy::Auto, CompressionPolicy::Auto],
+        seg_rows,
+    )
+    .unwrap();
+    save_table(&table, dir).unwrap();
+    table
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// A qty sum+count query whose filter range varies with `i`: distinct
+/// fingerprints (no result-cache hits) but identical scan shapes (the
+/// qty zone maps span 1..=50 everywhere, so nothing prunes).
+fn qty_query(i: u64) -> Vec<String> {
+    args(&[
+        "--filter",
+        &format!("qty={}..{}", 1 + i % 5, 30 + i % 20),
+        "--sum",
+        "qty",
+        "--count",
+    ])
+}
+
+/// The fault-free answer for a query, computed on the resident oracle.
+fn oracle(table: &Table, query: &[String]) -> lcdc::store::Rows {
+    let spec = QueryArgs::parse(query).unwrap().spec;
+    spec.bind(table).execute().unwrap().rows
+}
+
+/// Register the saved table as a lazy catalog table with `plan` armed
+/// on its file sources, and start a server over it.
+fn serve_faulty(
+    dir: &Path,
+    cache: usize,
+    plan: &Arc<FaultPlan>,
+    config: ServerConfig,
+) -> (Server, Arc<Catalog>) {
+    let lazy = open_table_lazy(dir, cache).unwrap();
+    lazy.inject_faults(plan);
+    let catalog = Arc::new(Catalog::new());
+    catalog.register("orders", lazy);
+    let server = Server::start(Arc::clone(&catalog), "127.0.0.1:0", config).unwrap();
+    (server, catalog)
+}
+
+/// The endpoint row for `query` out of a stats report.
+fn query_endpoint(report: &lcdc::store::StatsReport) -> lcdc::store::EndpointStats {
+    report
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == "query")
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// Acceptance, part 1: with a read fault injected every 7th disk read
+/// and a single-worker pool serving one sequential client, every
+/// injected fault surfaces as exactly one typed error answer — and the
+/// server's `io_faults` counter matches the plan's fired count
+/// exactly. Healthy queries keep answering correctly between faults.
+#[test]
+fn injected_read_faults_surface_typed_and_count_exactly() {
+    with_timeout(60, "read-fault accounting", || {
+        let dir = fresh_dir("io");
+        let resident = saved_orders(&dir, 3000, 256);
+        let plan = Arc::new(FaultPlan::parse("io_read:every=7", 42).unwrap());
+        let (server, _catalog) = serve_faulty(
+            &dir,
+            1, // single-segment cache: every query re-reads from disk
+            &plan,
+            ServerConfig {
+                threads: 1,
+                max_inflight: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = Client::connect(server.addr()).unwrap();
+        let mut error_answers = 0u64;
+        for i in 0..30 {
+            let query = qty_query(i);
+            match client.query("orders", &query).unwrap() {
+                Response::Rows { rows, .. } => {
+                    assert_eq!(rows, oracle(&resident, &query), "query {i}");
+                }
+                Response::Error { message } => {
+                    assert!(
+                        message.contains("injected read fault"),
+                        "query {i}: only injected faults may error, got {message:?}"
+                    );
+                    error_answers += 1;
+                }
+                other => panic!("query {i}: unexpected {other:?}"),
+            }
+        }
+        let injected = plan.injected(FaultSite::IoRead);
+        assert!(injected > 0, "30 cold scans must trip every=7");
+        assert_eq!(error_answers, injected, "one typed error per fault");
+        let q = query_endpoint(&server.report());
+        assert_eq!(q.io_faults, injected, "server ledger matches the plan");
+        assert_eq!(q.deadline_exceeded + q.cancelled, 0);
+        assert_eq!(
+            q.deadline_exceeded + q.cancelled + q.io_faults,
+            injected,
+            "typed-outcome counters account for every injected fault"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+/// Acceptance, part 2: a query whose deadline expires while it waits
+/// behind a heavy query (a) answers a typed DEADLINE well before the
+/// heavy query finishes, (b) frees its in-flight slot (a follow-up
+/// query is admitted against `max_inflight: 2` while the heavy one
+/// still runs), and (c) abandons its unclaimed morsels — proven by the
+/// stall-site fired counter: the expired query contributes *zero*
+/// disk reads.
+#[test]
+fn deadline_expiry_frees_slot_and_abandons_queued_morsels() {
+    with_timeout(60, "deadline expiry", || {
+        let dir = fresh_dir("deadline");
+        let resident = saved_orders(&dir, 1536, 256);
+        // Every disk read sleeps 40ms: queries are deterministically
+        // slow, and the fired counter is a disk-read counter.
+        let plan = Arc::new(FaultPlan::parse("io_stall:ms=40,every=1", 0).unwrap());
+        let (server, _catalog) = serve_faulty(
+            &dir,
+            1,
+            &plan,
+            ServerConfig {
+                threads: 1,
+                max_inflight: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let addr = server.addr();
+
+        // Touch both columns so every query reads 2 columns x 6
+        // segments — slow enough that a 120ms deadline expires with a
+        // wide margin while the heavy query still runs. The day filter
+        // never prunes (days span 1..=16); varying qty ranges keep the
+        // fingerprints distinct.
+        let two_col_query = |i: u64| {
+            args(&[
+                "--filter",
+                "day=1..100",
+                "--filter",
+                &format!("qty={}..{}", 1 + i % 5, 30 + i % 20),
+                "--sum",
+                "qty",
+                "--count",
+            ])
+        };
+
+        // Calibrate: one full query costs `reads_per_query` stalled
+        // reads (identical scan shape for every two_col_query).
+        let calibrate = two_col_query(0);
+        let mut c0 = Client::connect(addr).unwrap();
+        match c0.query("orders", &calibrate).unwrap() {
+            Response::Rows { rows, .. } => assert_eq!(rows, oracle(&resident, &calibrate)),
+            other => panic!("calibration: {other:?}"),
+        }
+        let reads_per_query = plan.injected(FaultSite::IoStall);
+        assert!(reads_per_query >= 6, "6 segments x 2 columns read cold");
+
+        // An immediately-expired deadline is refused before any work.
+        let mut d = Client::connect(addr).unwrap();
+        d.set_deadline_ms(Some(0));
+        match d.query("orders", &two_col_query(1)).unwrap() {
+            Response::Deadline { deadline_ms } => assert_eq!(deadline_ms, 0),
+            other => panic!("deadline 0: {other:?}"),
+        }
+
+        // Heavy query A occupies the single worker...
+        let heavy = two_col_query(2);
+        let heavy_oracle = oracle(&resident, &heavy);
+        let a = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.query("orders", &heavy).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+
+        // ...B queues behind it with a 120ms deadline: typed answer,
+        // long before A's ~`reads_per_query * 40ms` finish line.
+        let mut b = Client::connect(addr).unwrap();
+        b.set_deadline_ms(Some(120));
+        let asked = Instant::now();
+        match b.query("orders", &two_col_query(3)).unwrap() {
+            Response::Deadline { deadline_ms } => assert_eq!(deadline_ms, 120),
+            other => panic!("deadline 120: {other:?}"),
+        }
+        let waited = asked.elapsed();
+        assert!(
+            waited < Duration::from_millis(reads_per_query * 40 * 3 / 4),
+            "typed deadline answer must not wait for the heavy query ({waited:?})"
+        );
+
+        // B's slot is free: C is admitted (max_inflight 2, A still
+        // holds one slot) and answers correctly once A drains.
+        let query_c = two_col_query(4);
+        let mut c = Client::connect(addr).unwrap();
+        match c.query("orders", &query_c).unwrap() {
+            Response::Rows { rows, .. } => assert_eq!(rows, oracle(&resident, &query_c)),
+            other => panic!("post-deadline query: {other:?}"),
+        }
+        match a.join().unwrap() {
+            Response::Rows { rows, .. } => assert_eq!(rows, heavy_oracle),
+            other => panic!("heavy query: {other:?}"),
+        }
+
+        // Morsel abandonment, exactly: calibration + A + C read;
+        // the zero-deadline and expired-deadline queries read nothing.
+        assert_eq!(
+            plan.injected(FaultSite::IoStall),
+            3 * reads_per_query,
+            "expired queries must execute zero morsels"
+        );
+        let q = query_endpoint(&server.report());
+        assert_eq!(q.deadline_exceeded, 2, "deadline 0 + deadline 120");
+        assert_eq!(q.cancelled + q.io_faults, 0);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+/// A client that vanishes mid-query is detected by the session's wait
+/// tick: the query is cancelled (typed, counted), its morsels are
+/// abandoned, and the server keeps answering healthy requests.
+#[test]
+fn mid_query_disconnect_cancels_and_counts_exactly() {
+    with_timeout(60, "mid-query disconnect", || {
+        let dir = fresh_dir("disconnect");
+        let resident = saved_orders(&dir, 1536, 256);
+        let plan = Arc::new(FaultPlan::parse("io_stall:ms=40,every=1", 0).unwrap());
+        let (server, _catalog) = serve_faulty(
+            &dir,
+            1,
+            &plan,
+            ServerConfig {
+                threads: 1,
+                max_inflight: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let addr = server.addr();
+
+        // Heavy query A holds the single worker.
+        let heavy = qty_query(10);
+        let heavy_oracle = oracle(&resident, &heavy);
+        let a = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.query("orders", &heavy).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+
+        // Two raw connections send a query frame and hang up at once:
+        // their sessions must notice, cancel, and account — without a
+        // worker ever executing their morsels.
+        for i in 0..2u64 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            Request::Query {
+                table: "orders".into(),
+                args: qty_query(20 + i),
+                deadline_ms: None,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            drop(stream);
+        }
+
+        // The cancellations land on the sessions' wait ticks; poll the
+        // ledger (the watchdog bounds this loop).
+        loop {
+            let q = query_endpoint(&server.report());
+            if q.cancelled == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        match a.join().unwrap() {
+            Response::Rows { rows, .. } => assert_eq!(rows, heavy_oracle),
+            other => panic!("heavy query: {other:?}"),
+        }
+        let q = query_endpoint(&server.report());
+        assert_eq!(q.cancelled, 2, "both abandoned queries counted");
+        assert_eq!(q.deadline_exceeded + q.io_faults, 0);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+/// The full matrix: 8 clients race a 3-worker server through injected
+/// disk faults, universal read stalls, torn response frames, and
+/// mid-query disconnects. Healthy clients retry past every typed
+/// fault and reconnect past every torn frame — and every answer they
+/// accept must be exactly correct. The pool must never execute wider
+/// than configured, and the server must still drain cleanly.
+#[test]
+fn eight_clients_race_the_fault_matrix() {
+    with_timeout(120, "fault matrix", || {
+        const HEALTHY: u64 = 6;
+        const DISCONNECTORS: u64 = 2;
+        const QUERIES_EACH: u64 = 8;
+
+        let dir = fresh_dir("matrix");
+        let resident = Arc::new(saved_orders(&dir, 4000, 256));
+        let plan = Arc::new(
+            FaultPlan::parse(
+                "io_read:every=7; io_stall:ms=3,every=1; frame_truncate:p=0.05",
+                1234,
+            )
+            .unwrap(),
+        );
+        let (server, _catalog) = serve_faulty(
+            &dir,
+            2,
+            &plan,
+            ServerConfig {
+                threads: 3,
+                max_inflight: 8,
+                faults: Some(Arc::clone(&plan)),
+                ..ServerConfig::default()
+            },
+        );
+        let addr = server.addr();
+
+        std::thread::scope(|scope| {
+            for client_id in 0..HEALTHY {
+                let resident = Arc::clone(&resident);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for i in 0..QUERIES_EACH {
+                        let query = qty_query(client_id * 100 + i);
+                        let want = oracle(&resident, &query);
+                        let mut attempts = 0;
+                        loop {
+                            attempts += 1;
+                            assert!(
+                                attempts <= 50,
+                                "client {client_id} query {i}: no answer after 50 attempts"
+                            );
+                            match client.query("orders", &query) {
+                                Ok(Response::Rows { rows, .. }) => {
+                                    assert_eq!(rows, want, "client {client_id} query {i}");
+                                    break;
+                                }
+                                Ok(Response::Error { message }) => {
+                                    // Typed injected fault: retry.
+                                    assert!(
+                                        message.contains("injected"),
+                                        "client {client_id}: non-injected error {message:?}"
+                                    );
+                                }
+                                Ok(Response::Busy { retry_after_ms, .. }) => {
+                                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                                }
+                                Ok(other) => {
+                                    panic!("client {client_id}: unexpected {other:?}")
+                                }
+                                Err(_) => {
+                                    // Torn frame or dropped connection:
+                                    // reconnect and retry.
+                                    client = Client::connect(addr).unwrap();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for d in 0..DISCONNECTORS {
+                scope.spawn(move || {
+                    for round in 0..3u64 {
+                        let Ok(mut stream) = TcpStream::connect(addr) else {
+                            continue;
+                        };
+                        let _ = Request::Query {
+                            table: "orders".into(),
+                            args: qty_query(1000 + d * 10 + round),
+                            deadline_ms: None,
+                        }
+                        .write_to(&mut stream);
+                        std::thread::sleep(Duration::from_millis(30));
+                        drop(stream);
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                });
+            }
+        });
+
+        let report = server.shutdown();
+        assert!(
+            report.peak_leases <= 3,
+            "pool never executes wider than its 3 workers under chaos"
+        );
+        let q = query_endpoint(&report);
+        assert!(
+            q.io_faults >= 1,
+            "every=7 across hundreds of cold reads must fire"
+        );
+        assert!(
+            q.cancelled >= 1,
+            "mid-query disconnects must surface as cancellations"
+        );
+        // Unlike the single-worker accounting test, exactness is not
+        // promised here: with 3 workers racing, leases in flight after
+        // the first error may consume further fired faults for the
+        // same query. The ledger must stay within the injected count.
+        assert!(
+            q.io_faults <= plan.injected(FaultSite::IoRead),
+            "the ledger never invents faults ({} counted, {} injected)",
+            q.io_faults,
+            plan.injected(FaultSite::IoRead)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+/// Busy answers carry a nonzero drain hint, and the client's retry
+/// policy spends its budget on them before surfacing the rejection —
+/// with the retries/gave-up counters proving the discipline ran.
+#[test]
+fn busy_retries_with_backoff_then_gives_up() {
+    with_timeout(60, "busy retry", || {
+        let dir = fresh_dir("busy");
+        let _resident = saved_orders(&dir, 500, 256);
+        let catalog = Arc::new(Catalog::new());
+        catalog.register("orders", load_table(&dir).unwrap());
+        let server = Server::start(
+            catalog,
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 1,
+                max_inflight: 0, // deterministically busy
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_ms: 1,
+            cap_ms: 4,
+            seed: 9,
+        };
+        let mut client = Client::connect_with(server.addr(), policy).unwrap();
+        match client.query("orders", &qty_query(0)).unwrap() {
+            Response::Busy { retry_after_ms, .. } => {
+                assert!(retry_after_ms >= 1, "hint is never zero");
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 3, "the whole retry budget was spent");
+        assert_eq!(client.gave_up(), 1, "then the rejection surfaced");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+/// A refused connection is retried under the policy; against a port
+/// nobody listens on, the connect still fails typed (and promptly)
+/// once the budget is spent.
+#[test]
+fn connect_refused_retries_then_surfaces() {
+    with_timeout(60, "connect refused", || {
+        // Bind and immediately drop: the port is real but closed.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_ms: 1,
+            cap_ms: 2,
+            seed: 3,
+        };
+        let started = Instant::now();
+        assert!(Client::connect_with(addr, policy).is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "refused connects must fail fast, not hang"
+        );
+    });
+}

@@ -71,6 +71,7 @@ fn concurrent_clients_race_wire_ingest_with_snapshot_answers() {
             // Deep enough that this test never trips admission — BUSY
             // determinism is its own test below.
             max_inflight: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -204,6 +205,7 @@ fn admission_rejections_are_typed_and_counted() {
         ServerConfig {
             threads: 2,
             max_inflight: 0,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -212,7 +214,7 @@ fn admission_rejections_are_typed_and_counted() {
     let mut client = Client::connect(server.addr()).unwrap();
     for _ in 0..REJECTIONS {
         match client.query("orders", &args(&["--count"])).unwrap() {
-            Response::Busy { in_flight, max } => assert_eq!((in_flight, max), (0, 0)),
+            Response::Busy { in_flight, max, .. } => assert_eq!((in_flight, max), (0, 0)),
             other => panic!("expected busy, got {other:?}"),
         }
     }
@@ -252,6 +254,7 @@ fn busy_window_closes_after_drain() {
         ServerConfig {
             threads: 1,
             max_inflight: 1,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

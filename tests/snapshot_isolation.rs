@@ -223,6 +223,7 @@ fn server_and_direct_writers_stay_snapshot_isolated() {
         ServerConfig {
             threads: 2,
             max_inflight: 32,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
