@@ -451,6 +451,106 @@ fn bench_groupby_dict(c: &mut Criterion) {
     group.finish();
 }
 
+/// Compressed-domain equi-join vs the decoded nested-loop baseline, on
+/// the two key distributions that stress opposite ends of the DICT⋈DICT
+/// tier: a high-cardinality scrambled key (509 distinct values — every
+/// left segment's dictionary translates into the right's code space,
+/// runs are useless) and a Zipf(1.1) key (a few heavy hitters dominate
+/// both sides, so per-code counts fold millions of row pairs each).
+/// The decoded baseline materialises both key columns and probes row by
+/// row; the code-space tier folds histogram×histogram per live segment
+/// pair. Same `(key, pairs)` ledgers, and the in-bench asserts pin the
+/// proof counters: `join_rows_undecoded` covers every key row on both
+/// sides, `join_code_translations` fires once per live DICT⋈DICT pair,
+/// and the baseline reports zeros across the board.
+fn bench_join(c: &mut Criterion) {
+    const SEG_ROWS: usize = 8_192;
+    const LEFT_N: usize = SEG_ROWS * 16;
+    const RIGHT_N: usize = SEG_ROWS * 4;
+    let schema = TableSchema::new(&[("key", DType::U64), ("val", DType::U64)]);
+    let build = |key: Vec<u64>| {
+        let n = key.len();
+        let val: Vec<u64> = (0..n)
+            .map(|i| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95) >> 40)
+            .collect();
+        Table::build(
+            schema.clone(),
+            &[ColumnData::U64(key), ColumnData::U64(val)],
+            &[
+                CompressionPolicy::Fixed("dict[codes=ns]".into()),
+                CompressionPolicy::Auto,
+            ],
+            SEG_ROWS,
+        )
+        .unwrap()
+    };
+    // High cardinality, scrambled: distinct multipliers keep the two
+    // sides' dictionaries (and hence code spaces) different, so the
+    // join cannot shortcut through identical code assignments.
+    let high_card = (
+        build(
+            (0..LEFT_N)
+                .map(|i| (i as u64).wrapping_mul(7919) % 509)
+                .collect(),
+        ),
+        build(
+            (0..RIGHT_N)
+                .map(|i| (i as u64).wrapping_mul(104_729) % 509)
+                .collect(),
+        ),
+    );
+    // Skewed: Zipf(1.1) over 256 keys on both sides, different seeds.
+    let skewed = (
+        build(lcdc_datagen::zipf::zipf_codes(LEFT_N, 256, 1.1, 17)),
+        build(lcdc_datagen::zipf::zipf_codes(RIGHT_N, 256, 1.1, 91)),
+    );
+
+    let spec = QuerySpec::new();
+    let mut group = c.benchmark_group("e7/join");
+    for (name, (left, right)) in [("high_card", &high_card), ("skewed_zipf", &skewed)] {
+        let right = Arc::new(right.clone());
+        let builder = spec.bind(left).join("r", Arc::clone(&right), "key");
+        let decoded = builder.execute_naive().unwrap();
+        let codes = builder.execute().unwrap();
+        // Equal pair ledgers, with neither key column ever decoded.
+        assert_eq!(codes.rows, decoded.rows, "{name}");
+        assert_eq!(
+            codes.stats.join_rows_undecoded,
+            left.num_rows() + right.num_rows(),
+            "{name}: every key row on both sides stays compressed: {:?}",
+            codes.stats
+        );
+        assert!(
+            codes.stats.join_code_translations > 0,
+            "{name}: DICT⋈DICT pairs must translate code spaces: {:?}",
+            codes.stats
+        );
+        assert_eq!(
+            decoded.stats.join_rows_undecoded, 0,
+            "{name}: baseline decodes"
+        );
+        assert_eq!(decoded.stats.join_code_translations, 0, "{name}");
+
+        group.bench_function(BenchmarkId::new("decoded", name), |b| {
+            b.iter(|| {
+                spec.bind(black_box(left))
+                    .join("r", Arc::clone(&right), "key")
+                    .execute_naive()
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("code_space", name), |b| {
+            b.iter(|| {
+                spec.bind(black_box(left))
+                    .join("r", Arc::clone(&right), "key")
+                    .execute()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The shared top-k bound: one "hot" segment holds the entire top-k
 /// (its zone max dwarfs the rest), the other 15 segments are moderate
 /// noise whose maxima tie each other — so a worker's *own* heap, built
@@ -638,6 +738,7 @@ criterion_group!(
     bench_prefetch,
     bench_ingest,
     bench_groupby_dict,
+    bench_join,
     bench_topk_shared_bound,
     bench_serve
 );

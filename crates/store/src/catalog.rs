@@ -37,7 +37,9 @@
 //! Tables may mix backends freely: resident shards, lazily-backed
 //! shards ([`crate::file::open_table_lazy`]), or both.
 
-use crate::query::{run_plans, ExecOptions, QueryResult, QuerySpec, QueryStats, SinkState};
+use crate::query::{
+    run_plans, ExecOptions, JoinRight, QueryResult, QuerySpec, QueryStats, SinkState,
+};
 use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::{Result, StoreError};
@@ -259,6 +261,19 @@ impl ShardedTable {
     /// [`Self::execute_parallel`] with explicit [`ExecOptions`]
     /// (worker count plus prefetch depth for lazily-backed shards).
     pub fn execute_opts(&self, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult> {
+        self.execute_opts_join(spec, opts, None)
+    }
+
+    /// [`Self::execute_opts`] with a join's right side already resolved
+    /// — every live shard's plan carries the same shared right-side
+    /// handle, so shard-to-shard join work interleaves in the one
+    /// morsel queue like any other sink.
+    pub(crate) fn execute_opts_join(
+        &self,
+        spec: &QuerySpec,
+        opts: &ExecOptions,
+        right: Option<&Arc<JoinRight>>,
+    ) -> Result<QueryResult> {
         let mut pruned = QueryStats::default();
         let mut live: Vec<&Arc<Table>> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
@@ -275,13 +290,13 @@ impl ShardedTable {
         // all-pruned fan-in compiles (against shard 0, purely for the
         // sink shape) without executing.
         let (shape, state, mut stats) = if live.is_empty() {
-            let shape = spec.compile_mode(&self.shards[0], false)?;
+            let shape = spec.compile_join(&self.shards[0], false, right)?;
             let state = SinkState::for_sink(&shape.sink);
             (shape, state, QueryStats::default())
         } else {
             let plans = live
                 .iter()
-                .map(|shard| spec.compile_mode(shard, false))
+                .map(|shard| spec.compile_join(shard, false, right))
                 .collect::<Result<Vec<_>>>()?;
             let (state, stats) = run_plans(&plans, opts)?;
             let shape = plans.into_iter().next().expect("live is non-empty");
@@ -480,17 +495,66 @@ impl CatalogTable {
     /// — the execution half of [`Catalog::execute_versioned_with`]'s
     /// seam: the catalog hands a closure this handle, and the closure
     /// decides how to execute against it (here, or on a server's
-    /// shared worker pool).
+    /// shared worker pool). A spec carrying a join must go through
+    /// [`Self::execute_opts_join`] (the catalog resolves the right
+    /// side); without one this is identical.
     pub fn execute_opts(&self, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult> {
+        self.execute_opts_join(spec, opts, None)
+    }
+
+    /// [`Self::execute_opts`] with the join's right side resolved — the
+    /// two-table entry point [`Catalog::execute_versioned_with`] hands
+    /// its closure when the spec carries a [`crate::JoinSpec`].
+    pub fn execute_opts_join(
+        &self,
+        spec: &QuerySpec,
+        opts: &ExecOptions,
+        join: Option<&ResolvedJoin>,
+    ) -> Result<QueryResult> {
+        let right = join.map(|j| &j.right);
         match self {
             CatalogTable::Single(t) => {
-                let plan = spec.compile_mode(t, false)?;
+                let plan = spec.compile_join(t, false, right)?;
                 let (state, stats) = run_plans(std::slice::from_ref(&plan), opts)?;
                 QueryResult::from_state(&plan, state, stats)
             }
-            CatalogTable::Sharded(s) => s.execute_opts(spec, opts),
+            CatalogTable::Sharded(s) => s.execute_opts_join(spec, opts, right),
         }
     }
+}
+
+/// A join's right side, resolved against the same catalog snapshot as
+/// the left table: the right entry's shards (one for a single table)
+/// plus the version the capture saw. The version is what the result
+/// cache validates alongside the left table's, so a cached join stops
+/// being served the moment *either* table mutates.
+#[derive(Debug, Clone)]
+pub struct ResolvedJoin {
+    pub(crate) right: Arc<JoinRight>,
+    version: u64,
+}
+
+impl ResolvedJoin {
+    /// The right table's catalog version at resolution time.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Resolve `on` against the right table and capture its shard handles.
+fn resolve_join(table: &CatalogTable, on: &str, version: u64) -> Result<ResolvedJoin> {
+    let key = table
+        .schema()
+        .index_of(on)
+        .ok_or_else(|| StoreError::NoSuchColumn(on.to_string()))?;
+    let shards = match table {
+        CatalogTable::Single(t) => vec![Arc::clone(t)],
+        CatalogTable::Sharded(s) => s.shards().to_vec(),
+    };
+    Ok(ResolvedJoin {
+        right: Arc::new(JoinRight { shards, key }),
+        version,
+    })
 }
 
 #[derive(Debug, Clone)]
@@ -502,6 +566,11 @@ struct Entry {
 #[derive(Debug, Clone)]
 struct CachedResult {
     version: u64,
+    /// The join's right-table version at execution, when the plan
+    /// joined: a cached join must be validated against *both* tables,
+    /// or an ingest into the right side would keep serving stale pairs
+    /// (the left entry's version never moved).
+    join_version: Option<u64>,
     /// The exact plan that produced `result`. The fingerprint indexes
     /// the cache, but 64-bit FNV is not collision-free — a hit is only
     /// served after this spec compares equal to the query's.
@@ -540,10 +609,12 @@ impl ResultCache {
         key: &(String, u64),
         spec: &QuerySpec,
         version: u64,
+        join_version: Option<u64>,
     ) -> Option<Arc<CachedResult>> {
         let cached = self.lru.get(key)?;
-        if cached.version != version {
-            // Stale: the table mutated since this was cached.
+        if cached.version != version || cached.join_version != join_version {
+            // Stale: the table (or a join's right table) mutated since
+            // this was cached.
             self.held = self.held.saturating_sub(cached.bytes);
             self.lru.remove(key);
             return None;
@@ -929,8 +1000,10 @@ impl Catalog {
         spec: &QuerySpec,
         opts: &ExecOptions,
     ) -> Result<QueryResult> {
-        self.execute_versioned_with(name, spec, |table| table.execute_opts(spec, opts))
-            .map(|(result, _)| result)
+        self.execute_versioned_with(name, spec, |table, join| {
+            table.execute_opts_join(spec, opts, join)
+        })
+        .map(|(result, _)| result)
     }
 
     /// The cache-wrapping core of [`Self::execute_opts`], with the
@@ -941,14 +1014,17 @@ impl Catalog {
     /// read.
     ///
     /// `run` receives the snapshot [`CatalogTable`] captured *before*
-    /// the cache probe and is only called on a miss; its result is
-    /// admitted to the cache under that same captured version, so a
-    /// concurrent ingest landing mid-execution can never cause the
-    /// stale answer to be served against the new version. The injected
-    /// strategy is how `lcdc serve` routes executions onto its shared
-    /// worker pool while keeping this cache/version contract — the
-    /// in-process path injects plain
-    /// [`CatalogTable::execute_opts`]-style execution.
+    /// the cache probe — plus the join's right side when the spec
+    /// carries one, resolved against the **same** snapshot (one pass
+    /// under the tables lock, so a join never pairs a pre-ingest left
+    /// with a post-ingest right) — and is only called on a miss; its
+    /// result is admitted to the cache under that same captured
+    /// version pair, so a concurrent ingest landing mid-execution can
+    /// never cause the stale answer to be served against the new
+    /// version. The injected strategy is how `lcdc serve` routes
+    /// executions onto its shared worker pool while keeping this
+    /// cache/version contract — the in-process path injects plain
+    /// [`CatalogTable::execute_opts_join`]-style execution.
     pub fn execute_versioned_with<F>(
         &self,
         name: &str,
@@ -956,11 +1032,28 @@ impl Catalog {
         run: F,
     ) -> Result<(QueryResult, u64)>
     where
-        F: FnOnce(&CatalogTable) -> Result<QueryResult>,
+        F: FnOnce(&CatalogTable, Option<&ResolvedJoin>) -> Result<QueryResult>,
     {
-        let (table, version) = self
-            .get(name)
-            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        // Left entry and join right side come from one pass under the
+        // tables read lock: the snapshot the closure executes against
+        // is a consistent cut across both tables.
+        let (table, version, join) = {
+            let tables = self.tables.read().expect("catalog lock");
+            let entry = tables
+                .get(name)
+                .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+            let join = match spec.join_spec() {
+                Some(js) => {
+                    let rentry = tables
+                        .get(&js.table)
+                        .ok_or_else(|| StoreError::NoSuchTable(js.table.clone()))?;
+                    Some(resolve_join(&rentry.table, &js.on, rentry.version)?)
+                }
+                None => None,
+            };
+            (entry.table.clone(), entry.version, join)
+        };
+        let join_version = join.as_ref().map(ResolvedJoin::version);
         let key = (name.to_string(), spec.fingerprint());
         // Hold the cache lock only for validation; clone the (possibly
         // large) rows after releasing it so other queries never wait
@@ -969,7 +1062,7 @@ impl Catalog {
             .cache
             .lock()
             .expect("cache lock")
-            .get(&key, spec, version);
+            .get(&key, spec, version, join_version);
         if let Some(cached) = hit {
             return Ok((
                 QueryResult {
@@ -982,11 +1075,12 @@ impl Catalog {
                 version,
             ));
         }
-        let result = run(&table)?;
+        let result = run(&table, join.as_ref())?;
         if self.cache_capacity > 0 && self.cache_budget > 0 {
             // Clones happen outside the lock too.
             let entry = Arc::new(CachedResult {
                 version,
+                join_version,
                 spec: spec.clone(),
                 bytes: result.payload_bytes(),
                 result: result.clone(),

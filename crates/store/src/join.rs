@@ -13,12 +13,49 @@
 
 use crate::segment::Segment;
 use crate::Result;
-use lcdc_core::schemes::{rle, rpe};
+use lcdc_core::schemes::{dict, rle, rpe};
 use lcdc_core::ColumnData;
 use std::collections::HashMap;
 
 /// Value -> total row count, the histogram both join paths reduce to.
 type Histogram = HashMap<i128, u64>;
+
+/// One segment's join build side at the best structural granularity —
+/// what the planner's join sink caches per `(shard, segment)` and the
+/// standalone cardinality kernels below fold together.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SegmentHistogram {
+    /// value -> row count.
+    pub(crate) hist: Histogram,
+    /// The dictionary side when the segment is DICT-compressed:
+    /// `(value -> code, per-code row counts)` — what the join sink's
+    /// code→code translation tier probes instead of `hist`.
+    pub(crate) dict: Option<(HashMap<i128, usize>, Vec<u64>)>,
+    /// Rows consumed without decompressing the row form (the whole
+    /// segment for const/dict/rle/rpe; 0 for the decoded fallback).
+    pub(crate) undecoded_rows: usize,
+}
+
+impl SegmentHistogram {
+    /// The CONST build side: one value, `rows` copies — constructible
+    /// from a zone map alone, with no payload in hand.
+    pub(crate) fn constant(value: i128, rows: usize) -> SegmentHistogram {
+        SegmentHistogram {
+            hist: Histogram::from([(value, rows as u64)]),
+            dict: None,
+            undecoded_rows: rows,
+        }
+    }
+
+    /// The fully-decoded build side (the naive baseline's only tier).
+    pub(crate) fn decoded(col: &ColumnData) -> SegmentHistogram {
+        SegmentHistogram {
+            hist: histogram_plain(col),
+            dict: None,
+            undecoded_rows: 0,
+        }
+    }
+}
 
 fn histogram_plain(col: &ColumnData) -> Histogram {
     let mut h = Histogram::new();
@@ -28,9 +65,41 @@ fn histogram_plain(col: &ColumnData) -> Histogram {
     h
 }
 
-/// Histogram of a compressed segment at the best available granularity:
-/// one hash update per *run* for the RLE family, per row otherwise.
-pub fn histogram_segment(segment: &Segment) -> Result<Histogram> {
+/// Histogram one compressed segment at the best structural tier: CONST
+/// from its zone map, DICT by counting codes (each distinct value
+/// decoded once, with the dictionary side kept for code→code joins),
+/// RLE/RPE one entry per run with run-length weights, full row
+/// decompression only as the last resort.
+pub(crate) fn segment_histogram(segment: &Segment) -> Result<SegmentHistogram> {
+    let n = segment.num_rows();
+    match segment.scheme_base() {
+        "const" => return Ok(SegmentHistogram::constant(segment.min, n)),
+        "dict" => {
+            let scheme = segment.scheme()?;
+            let values = scheme.decompress_part(&segment.compressed, dict::ROLE_DICT)?;
+            let codes = scheme.decompress_part(&segment.compressed, dict::ROLE_CODES)?;
+            let codes = codes.to_transport();
+            let mut counts = vec![0u64; values.len()];
+            for i in 0..n {
+                counts[codes[i] as usize] += 1;
+            }
+            let mut hist = Histogram::with_capacity(values.len());
+            let mut value_to_code = HashMap::with_capacity(values.len());
+            for (code, &count) in counts.iter().enumerate() {
+                let value = values.get_numeric(code).expect("in range");
+                value_to_code.insert(value, code);
+                if count > 0 {
+                    *hist.entry(value).or_insert(0) += count;
+                }
+            }
+            return Ok(SegmentHistogram {
+                hist,
+                dict: Some((value_to_code, counts)),
+                undecoded_rows: n,
+            });
+        }
+        _ => {}
+    }
     let scheme_id = segment.compressed.scheme_id.as_str();
     let run_parts = if scheme_id == "rle" || scheme_id.starts_with("rle[") {
         let scheme = segment.scheme()?;
@@ -57,15 +126,30 @@ pub fn histogram_segment(segment: &Segment) -> Result<Histogram> {
     };
     match run_parts {
         Some((values, weights)) => {
-            let mut h = Histogram::with_capacity(values.len());
+            let mut hist = Histogram::with_capacity(values.len());
             for (i, &w) in weights.iter().enumerate() {
-                *h.entry(values.get_numeric(i).expect("in range"))
+                *hist
+                    .entry(values.get_numeric(i).expect("in range"))
                     .or_insert(0) += w;
             }
-            Ok(h)
+            Ok(SegmentHistogram {
+                hist,
+                dict: None,
+                undecoded_rows: n,
+            })
         }
-        None => Ok(histogram_plain(&segment.decompress()?)),
+        None => Ok(SegmentHistogram::decoded(&segment.decompress()?)),
     }
+}
+
+/// Histogram of a compressed segment at the best available granularity:
+/// zone-map probe for CONST, per-code counting for DICT, one hash
+/// update per *run* for the RLE family, per row otherwise. The
+/// planner's join sink builds on the same kernel
+/// (`segment_histogram`), so the standalone cardinality identity
+/// below regression-tests the operator's build side.
+pub fn histogram_segment(segment: &Segment) -> Result<Histogram> {
+    Ok(segment_histogram(segment)?.hist)
 }
 
 fn merge(into: &mut Histogram, from: Histogram) {
@@ -199,5 +283,26 @@ mod tests {
         let sa = segments(&a, "rle[values=id,lengths=ns]");
         let sb = segments(&b, "id");
         assert_eq!(join_count_compressed(&sa, &sb).unwrap(), 2 + 2);
+    }
+
+    #[test]
+    fn dict_and_const_sides_are_structural() {
+        let a = ColumnData::U64(vec![5; 40]);
+        let b = ColumnData::U64((0..40).map(|i| 3 + i % 4).collect());
+        let sa = segments(&a, "const");
+        let sb = segments(&b, "dict[codes=ns]");
+        assert_eq!(
+            join_count_naive(&sa, &sb).unwrap(),
+            join_count_compressed(&sa, &sb).unwrap()
+        );
+        // value 5 appears 40x left, 10x right.
+        assert_eq!(join_count_compressed(&sa, &sb).unwrap(), 400);
+        let built = segment_histogram(&sa[0]).unwrap();
+        assert_eq!(built.undecoded_rows, 40, "const side never decodes");
+        let built = segment_histogram(&sb[0]).unwrap();
+        assert_eq!(built.undecoded_rows, 40, "dict side counts codes");
+        let (value_to_code, counts) = built.dict.expect("dict side kept");
+        assert_eq!(value_to_code.len(), 4);
+        assert_eq!(counts.iter().sum::<u64>(), 40);
     }
 }

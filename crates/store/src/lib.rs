@@ -110,7 +110,7 @@ pub mod topk;
 
 pub use agg::{AggKind, AggResult};
 pub use approx::{approximate_aggregate, AggInterval, GradualAggregate};
-pub use catalog::{shard_table, Catalog, CatalogTable, ShardRouting, ShardedTable};
+pub use catalog::{shard_table, Catalog, CatalogTable, ResolvedJoin, ShardRouting, ShardedTable};
 pub use distinct::{distinct_compressed, distinct_naive, DistinctStats};
 pub use exec::{Query, QueryOutput};
 pub use fault::{FaultPlan, FaultSite};
@@ -119,8 +119,8 @@ pub use join::{join_count_compressed, join_count_naive};
 pub use par::{par_materialize, run_pushdown_parallel};
 pub use predicate::{InList, Predicate, PushdownStats};
 pub use query::{
-    Agg, ExecOptions, PhysicalPlan, QueryArgs, QueryBuilder, QueryResult, QuerySpec, QueryStats,
-    Rows,
+    Agg, ExecOptions, JoinSpec, PhysicalPlan, QueryArgs, QueryBuilder, QueryResult, QuerySpec,
+    QueryStats, Rows,
 };
 pub use schema::{ColumnSchema, TableSchema};
 pub use segment::{CompressionPolicy, Segment};

@@ -5,8 +5,10 @@
 //! the *same* flag vector out of a wire request — so anything a script
 //! can say to the CLI it can say, verbatim, to a server. Filters are
 //! `col=lo..hi`, `col=value`, or `col=in:v1,v2,..`; sinks are
-//! `--sum/--min/--max/--count`, `--group-by`, `--top-k col:k`, or
-//! `--distinct`; execution knobs map onto [`ExecOptions`].
+//! `--sum/--min/--max/--count`, `--group-by`, `--top-k col:k`,
+//! `--distinct`, or `--join TABLE --on COL` (an equi-join against
+//! another catalog table — catalog mode only, since someone must
+//! resolve the right name); execution knobs map onto [`ExecOptions`].
 //!
 //! Flags that describe *local storage* rather than the query itself
 //! (`--lazy`, `--cache`, the positional directory, ...) are parsed but
@@ -63,6 +65,8 @@ impl QueryArgs {
             opts: ExecOptions::default(),
         };
         let mut aggs: Vec<(u8, String)> = Vec::new(); // (kind, column)
+        let mut join_table: Option<String> = None;
+        let mut join_on: Option<String> = None;
 
         // Accept `--flag=value` as a spelling of `--flag value` (the
         // A/B flags read naturally as `--topk-shared-bound=off`).
@@ -110,6 +114,8 @@ impl QueryArgs {
                         .spec
                         .top_k(column, k.parse().map_err(|_| format!("bad k {k:?}"))?);
                 }
+                "--join" => join_table = Some(value("--join")?),
+                "--on" => join_on = Some(value("--on")?),
                 "--table" => out.table = Some(value("--table")?),
                 "--lazy" => out.lazy = true,
                 "--cache" => {
@@ -172,6 +178,12 @@ impl QueryArgs {
                 })
                 .collect();
             out.spec = out.spec.aggregate(&borrowed);
+        }
+        match (join_table, join_on) {
+            (Some(table), Some(on)) => out.spec = out.spec.join(&table, &on),
+            (Some(_), None) => return Err("--join needs --on COL for the key column".into()),
+            (None, Some(_)) => return Err("--on needs --join TABLE for the right side".into()),
+            (None, None) => {}
         }
         Ok(out)
     }
@@ -312,5 +324,24 @@ mod tests {
         assert!(QueryArgs::parse(&strs(&["--wat"])).is_err());
         assert!(QueryArgs::parse(&strs(&["--top-k", "nocolon"])).is_err());
         assert!(QueryArgs::parse(&strs(&["--topk-shared-bound", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn join_flags_parse_and_require_each_other() {
+        let q = QueryArgs::parse(&strs(&[
+            "--filter", "qty=1..9", "--join", "items", "--on", "day",
+        ]))
+        .unwrap();
+        assert_eq!(
+            q.spec,
+            QuerySpec::new()
+                .filter("qty", Predicate::Range { lo: 1, hi: 9 })
+                .join("items", "day")
+        );
+        // A join is part of the plan, not a storage flag: valid in a
+        // wire request (the server resolves the right table).
+        assert_eq!(q.storage_flag(), None);
+        assert!(QueryArgs::parse(&strs(&["--join", "items"])).is_err());
+        assert!(QueryArgs::parse(&strs(&["--on", "day"])).is_err());
     }
 }

@@ -10,13 +10,16 @@
 //! * [`QueryBuilder`] — the familiar fluent builder: a `QuerySpec`
 //!   under construction plus the table it will run against.
 
-use super::physical::{clause_zone, resolve, AggSpec, ClauseZone, Leaf, PhysicalPlan, Sink};
+use super::physical::{
+    clause_zone, resolve, AggSpec, ClauseZone, JoinRight, Leaf, PhysicalPlan, Sink,
+};
 use super::result::QueryResult;
 use crate::agg::AggKind;
 use crate::fnv::Fnv;
 use crate::predicate::Predicate;
 use crate::table::Table;
 use crate::{Result, StoreError};
+use std::sync::Arc;
 
 /// One requested aggregate, named over the builder's borrowed strings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +62,21 @@ struct OwnedAgg {
 /// single-leaf clause is the ordinary conjunct.
 pub(crate) type Clause = Vec<(String, Predicate)>;
 
+/// An equi-join request on a [`QuerySpec`]: the right (build-side)
+/// table's catalog name and the shared key column both sides join on.
+/// Owned and table-free like the rest of the spec, so it fingerprints
+/// into the result-cache key; the right table itself is resolved at
+/// execution time — by [`crate::Catalog`] under the same lock
+/// acquisition that snapshots the left table, or by
+/// [`QueryBuilder::join`] for direct execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// The right table's catalog name.
+    pub table: String,
+    /// The join key column name, present in both schemas.
+    pub on: String,
+}
+
 /// An owned, table-free logical query: a conjunction of (possibly
 /// disjunctive) filter clauses and exactly one sink. Bind it to a table
 /// with [`QuerySpec::bind`], or hand it to
@@ -71,6 +89,7 @@ pub struct QuerySpec {
     aggs: Vec<OwnedAgg>,
     pub(crate) top: Option<(String, usize)>,
     pub(crate) distinct_col: Option<String>,
+    pub(crate) join: Option<JoinSpec>,
     /// Evaluate filter clauses exactly in the order given instead of
     /// letting the planner reorder them by estimated selectivity (see
     /// [`QuerySpec::keep_filter_order`]).
@@ -150,6 +169,34 @@ impl QuerySpec {
         self
     }
 
+    /// Equi-join the selected rows against catalog table `table` on the
+    /// shared key column `on`, producing one `(key, pair count)` row
+    /// per matching key (ascending). A sink like the others — combine
+    /// with filters (they apply to the *left* side), not with another
+    /// sink.
+    ///
+    /// The physical plan picks a tier per `(left segment, right
+    /// segment)` pair from the scheme tags: zone maps prune
+    /// non-overlapping pairs before any payload fetch, DICT⋈DICT pairs
+    /// fold through a code→code translation of the two dictionaries,
+    /// RLE/RPE keys fold run-at-a-time with run multiplicities, CONST
+    /// segments resolve in one probe. The tiers show up in
+    /// [`crate::QueryStats::join_pairs_pruned`],
+    /// [`crate::QueryStats::join_rows_undecoded`], and
+    /// [`crate::QueryStats::join_code_translations`].
+    pub fn join(mut self, table: &str, on: &str) -> Self {
+        self.join = Some(JoinSpec {
+            table: table.to_string(),
+            on: on.to_string(),
+        });
+        self
+    }
+
+    /// The join request, if this spec is a join.
+    pub fn join_spec(&self) -> Option<&JoinSpec> {
+        self.join.as_ref()
+    }
+
     /// Force filter clauses to evaluate in exactly the order they were
     /// added, disabling the planner's cost-based reordering — the
     /// pre-reordering behaviour, kept for comparisons and for callers
@@ -160,11 +207,15 @@ impl QuerySpec {
         self
     }
 
-    /// Bind this spec to a table for execution.
+    /// Bind this spec to a table for execution. A spec carrying a join
+    /// also needs the right table in hand — rebind it with
+    /// [`QueryBuilder::join`], or execute through a [`crate::Catalog`]
+    /// which resolves the right side by name.
     pub fn bind<'t>(&self, table: &'t Table) -> QueryBuilder<'t> {
         QueryBuilder {
             table,
             spec: self.clone(),
+            right: None,
         }
     }
 
@@ -225,6 +276,15 @@ impl QuerySpec {
         }
         h.tag(b'D');
         h.opt_str(self.distinct_col.as_deref());
+        h.tag(b'J');
+        match &self.join {
+            Some(join) => {
+                h.tag(b'+');
+                h.str(&join.table);
+                h.str(&join.on);
+            }
+            None => h.tag(b'-'),
+        }
         // Plan-shaping options ride along so the result cache never
         // thrashes between two specs that differ only here.
         h.tag(b'O');
@@ -238,10 +298,17 @@ impl QuerySpec {
     /// CNF is reordered here — a pure plan-time decision from resident
     /// [`crate::source::SegmentMeta`] alone, visible in
     /// [`PhysicalPlan::display`].
-    pub(crate) fn compile_mode<'t>(
+    ///
+    /// `right` is the join's resolved right side, supplied by the
+    /// executors that carry one (catalog execution, the worker pool,
+    /// [`QueryBuilder::join`]). A spec with a join and no right side
+    /// fails in `compile_sink` — the right table can only come from
+    /// whoever holds the catalog snapshot.
+    pub(crate) fn compile_join<'t>(
         &self,
         table: &'t Table,
         naive: bool,
+        right: Option<&Arc<JoinRight>>,
     ) -> Result<PhysicalPlan<'t>> {
         let mut clauses = Vec::with_capacity(self.clauses.len());
         for clause in &self.clauses {
@@ -268,7 +335,7 @@ impl QuerySpec {
                 reordered = true;
             }
         }
-        let sink = self.compile_sink(table)?;
+        let sink = self.compile_sink(table, right)?;
         Ok(PhysicalPlan {
             table,
             filters: clauses,
@@ -278,15 +345,29 @@ impl QuerySpec {
         })
     }
 
-    fn compile_sink(&self, table: &Table) -> Result<Sink> {
+    fn compile_sink(&self, table: &Table, right: Option<&Arc<JoinRight>>) -> Result<Sink> {
         let wants_agg = !self.aggs.is_empty() || self.group_key.is_some();
         let sinks_requested = usize::from(wants_agg)
             + usize::from(self.top.is_some())
-            + usize::from(self.distinct_col.is_some());
+            + usize::from(self.distinct_col.is_some())
+            + usize::from(self.join.is_some());
         if sinks_requested > 1 {
             return Err(StoreError::Shape(
-                "a query takes one sink: aggregate/group_by, top_k, or distinct".into(),
+                "a query takes one sink: aggregate/group_by, top_k, distinct, or join".into(),
             ));
+        }
+        if let Some(join) = &self.join {
+            let Some(right) = right else {
+                return Err(StoreError::Shape(format!(
+                    "join against '{}' needs its right side resolved: execute through a \
+                     Catalog (or QueryBuilder::join for an in-hand table)",
+                    join.table
+                )));
+            };
+            return Ok(Sink::Join {
+                key: resolve(table, &join.on)?,
+                right: Arc::clone(right),
+            });
         }
         if let Some((column, k)) = &self.top {
             return Ok(Sink::TopK {
@@ -301,7 +382,8 @@ impl QuerySpec {
         }
         if !wants_agg {
             return Err(StoreError::Shape(
-                "a query needs a sink: aggregate(..), group_by(..), top_k(..), or distinct(..)"
+                "a query needs a sink: aggregate(..), group_by(..), top_k(..), distinct(..), \
+                 or join(..)"
                     .into(),
             ));
         }
@@ -436,6 +518,10 @@ fn scheme_leaf_cost(expr: &str) -> u64 {
 pub struct QueryBuilder<'t> {
     table: &'t Table,
     spec: QuerySpec,
+    /// The in-hand right table of a [`QueryBuilder::join`], resolved
+    /// into the sink at compile time. Catalog execution resolves the
+    /// right side by name instead and never goes through here.
+    right: Option<Arc<Table>>,
 }
 
 impl<'t> QueryBuilder<'t> {
@@ -444,6 +530,7 @@ impl<'t> QueryBuilder<'t> {
         QueryBuilder {
             table,
             spec: QuerySpec::new(),
+            right: None,
         }
     }
 
@@ -494,6 +581,18 @@ impl<'t> QueryBuilder<'t> {
         self
     }
 
+    /// Equi-join against an in-hand right table on the shared key
+    /// column `on` (see [`QuerySpec::join`]); `name` is the label the
+    /// spec's fingerprint and explain output carry. For catalog tables
+    /// prefer [`crate::Catalog::execute`] with a [`QuerySpec::join`]
+    /// spec — the catalog snapshots both tables consistently and
+    /// handles sharded right sides.
+    pub fn join(mut self, name: &str, right: Arc<Table>, on: &str) -> Self {
+        self.spec = self.spec.join(name, on);
+        self.right = Some(right);
+        self
+    }
+
     /// Pin the filter clauses to the order they were added (see
     /// [`QuerySpec::keep_filter_order`]).
     pub fn keep_filter_order(mut self) -> Self {
@@ -513,12 +612,27 @@ impl<'t> QueryBuilder<'t> {
 
     /// Resolve names and operators into a [`PhysicalPlan`].
     pub fn compile(&self) -> Result<PhysicalPlan<'t>> {
-        self.spec.compile_mode(self.table, false)
+        self.spec
+            .compile_join(self.table, false, self.resolved_right()?.as_ref())
     }
 
     /// Compile to the decompress-everything baseline plan.
     pub fn compile_naive(&self) -> Result<PhysicalPlan<'t>> {
-        self.spec.compile_mode(self.table, true)
+        self.spec
+            .compile_join(self.table, true, self.resolved_right()?.as_ref())
+    }
+
+    /// The sink's build side when this builder carries a join: the
+    /// in-hand right table with the key column resolved against its
+    /// schema.
+    fn resolved_right(&self) -> Result<Option<Arc<JoinRight>>> {
+        match (&self.spec.join, &self.right) {
+            (Some(join), Some(table)) => Ok(Some(Arc::new(JoinRight {
+                key: resolve(table, &join.on)?,
+                shards: vec![Arc::clone(table)],
+            }))),
+            _ => Ok(None),
+        }
     }
 
     /// Compile and run with every pushdown tier enabled.
@@ -607,6 +721,9 @@ mod tests {
             QuerySpec::new().top_k("day", 3),
             QuerySpec::new().top_k("day", 4),
             QuerySpec::new().distinct("day"),
+            QuerySpec::new().join("items", "day"),
+            QuerySpec::new().join("items2", "day"),
+            QuerySpec::new().join("items", "qty"),
         ];
         let mut prints: Vec<u64> = variants.iter().map(QuerySpec::fingerprint).collect();
         prints.push(base().fingerprint());

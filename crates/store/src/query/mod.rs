@@ -10,7 +10,9 @@
 //!   filter clauses (`.filter(column, predicate)` conjuncts,
 //!   `.filter_any(..)` disjunctions, `.filter_in(..)` membership),
 //!   closed by one sink — `.aggregate(..)`,
-//!   `.group_by(..).aggregate(..)`, `.top_k(..)`, or `.distinct(..)`.
+//!   `.group_by(..).aggregate(..)`, `.top_k(..)`, `.distinct(..)`, or
+//!   `.join(..)` (an equi-join against a second table, executed in the
+//!   compressed domain with zone-map pair pruning).
 //!   A `QuerySpec` is table-free and owned: bindable to any table or
 //!   shard, and stably hashable ([`QuerySpec::fingerprint`]) for the
 //!   catalog's result cache.
@@ -63,13 +65,13 @@ mod physical;
 mod result;
 
 pub use args::QueryArgs;
-pub use logical::{Agg, QueryBuilder, QuerySpec};
+pub use logical::{Agg, JoinSpec, QueryBuilder, QuerySpec};
 pub use morsel::ExecOptions;
 pub use physical::{PhysicalPlan, QueryStats};
 pub use result::{QueryResult, Rows};
 
 pub(crate) use morsel::run_plans;
-pub(crate) use physical::{Sink, SinkState, TOPK_BOUND_UNSET};
+pub(crate) use physical::{JoinRight, Sink, SinkState, TOPK_BOUND_UNSET};
 
 #[cfg(test)]
 mod tests {
@@ -229,6 +231,32 @@ mod tests {
             for threads in [1usize, 2, 7, 64] {
                 let parallel = b.execute_parallel(threads).unwrap();
                 assert_eq!(parallel.rows, sequential.rows, "sink {i} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_builder_matches_naive_and_parallelizes() {
+        use std::sync::Arc;
+        for policy in policies() {
+            let left = table(policy.clone(), 300);
+            let right = Arc::new(table(policy.clone(), 700));
+            let b = QueryBuilder::scan(&left)
+                .filter("qty", Predicate::Range { lo: 1, hi: 25 })
+                .join("right", Arc::clone(&right), "day");
+            let push = b.execute().unwrap();
+            let naive = b.execute_naive().unwrap();
+            assert_eq!(push.rows, naive.rows, "{policy:?}");
+            assert_eq!(
+                naive.stats.join_rows_undecoded, 0,
+                "naive never goes structural: {policy:?}"
+            );
+            for threads in [2usize, 7] {
+                assert_eq!(
+                    b.execute_parallel(threads).unwrap().rows,
+                    push.rows,
+                    "{policy:?} x{threads}"
+                );
             }
         }
     }

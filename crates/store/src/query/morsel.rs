@@ -501,7 +501,7 @@ mod tests {
     fn fetcher_drops_warms_the_bound_outbids() {
         let table = descending_table();
         let spec = QuerySpec::new().top_k("v", 3);
-        let plan = spec.compile_mode(&table, false).expect("compiles");
+        let plan = spec.compile_join(&table, false, None).expect("compiles");
         let morsels: Vec<Morsel> = plan.segment_order().into_iter().map(|s| (0, s)).collect();
         let entries = prefetch_entries(std::slice::from_ref(&plan), &morsels);
         assert!(!entries.is_empty());

@@ -117,6 +117,24 @@ pub struct QueryStats {
     /// [`crate::QueryBuilder::execute`] runs prune against the heap
     /// directly and report 0 here.
     pub topk_segments_skipped: usize,
+    /// `(left segment, right segment)` pairs a join dismissed from
+    /// resident zone maps alone — the key ranges don't overlap, so the
+    /// pair contributes nothing and neither side's payload is fetched
+    /// for it. Counted per visited non-empty left segment against every
+    /// non-empty right segment; the naive join never prunes (0 here).
+    pub join_pairs_pruned: usize,
+    /// Rows a join side consumed through a structural tier — dictionary
+    /// codes, RLE/RPE runs, const segments — without decompressing the
+    /// key column: the selected rows of each structural left build plus
+    /// the whole rows of each structural right build (once per worker).
+    /// The decompression-avoidance ledger of the join sink: a naive
+    /// (decoded) join always reports 0 here.
+    pub join_rows_undecoded: usize,
+    /// DICT⋈DICT segment pairs the join folded through a code→code
+    /// translation of the two dictionaries — left codes that translate
+    /// multiply counts in code space; codes with no translation drop
+    /// without decoding — instead of a value-space hash probe per key.
+    pub join_code_translations: usize,
     /// Which predicate-evaluation tier fired, per filter step.
     pub pushdown: PushdownStats,
 }
@@ -139,6 +157,9 @@ impl QueryStats {
         self.groups_folded += other.groups_folded;
         self.rows_undecoded += other.rows_undecoded;
         self.topk_segments_skipped += other.topk_segments_skipped;
+        self.join_pairs_pruned += other.join_pairs_pruned;
+        self.join_rows_undecoded += other.join_rows_undecoded;
+        self.join_code_translations += other.join_code_translations;
         self.pushdown.absorb(&other.pushdown);
     }
 }
@@ -151,6 +172,36 @@ pub(crate) struct AggSpec {
     /// Index into the sink's agg-column list; `None` for `Count`.
     pub slot: Option<usize>,
 }
+
+/// The resolved build side of an equi-join sink: snapshot `Arc` handles
+/// to the right table's shards (a racing ingest swaps the catalog
+/// entry, never these handles, so a running plan keeps a consistent
+/// right side) plus the join key's column index in the *right* schema.
+/// One `Arc<JoinRight>` is shared by every shard plan and worker of a
+/// join, so equality is identity: two sinks are the same join only when
+/// they hold the same resolved snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinRight {
+    /// The right table's shards, in registration order (one entry for
+    /// an unsharded table).
+    pub(crate) shards: Vec<Arc<Table>>,
+    /// The join key column, resolved against the right schema.
+    pub(crate) key: usize,
+}
+
+impl PartialEq for JoinRight {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+            && self.shards.len() == other.shards.len()
+            && self
+                .shards
+                .iter()
+                .zip(&other.shards)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+    }
+}
+
+impl Eq for JoinRight {}
 
 /// The terminal operator of a plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -182,6 +233,14 @@ pub(crate) enum Sink {
     Distinct {
         /// The collected column.
         col: usize,
+    },
+    /// Equi-join the selected left rows against a second table's rows
+    /// on a shared key column, producing `(key, pair count)` rows.
+    Join {
+        /// The join key column in the *left* (probe) table.
+        key: usize,
+        /// The resolved right (build) side.
+        right: Arc<JoinRight>,
     },
 }
 
@@ -265,6 +324,16 @@ pub(crate) enum SinkState {
     Distinct {
         set: HashSet<i128>,
     },
+    Join {
+        /// key value → number of joined `(left row, right row)` pairs.
+        pairs: HashMap<i128, i128>,
+        /// Per-worker build-side cache: `(right shard, right segment)` →
+        /// its histogram at the best structural granularity, built once
+        /// per worker and reused across every left segment the worker
+        /// visits. Never merged across workers — only `pairs` is the
+        /// answer.
+        cache: HashMap<(usize, usize), crate::join::SegmentHistogram>,
+    },
 }
 
 impl SinkState {
@@ -295,6 +364,10 @@ impl SinkState {
             Sink::Distinct { .. } => SinkState::Distinct {
                 set: HashSet::new(),
             },
+            Sink::Join { .. } => SinkState::Join {
+                pairs: HashMap::new(),
+                cache: HashMap::new(),
+            },
         }
     }
 
@@ -315,6 +388,13 @@ impl SinkState {
                 }
             }
             (SinkState::Distinct { set }, SinkState::Distinct { set: o }) => set.extend(o),
+            (SinkState::Join { pairs, .. }, SinkState::Join { pairs: o, .. }) => {
+                // Fan-in merges only the answer; the other worker's
+                // build-side cache is scratch and drops here.
+                for (key, count) in o {
+                    *pairs.entry(key).or_insert(0) += count;
+                }
+            }
             _ => unreachable!("mismatched sink states"),
         }
     }
@@ -576,6 +656,13 @@ impl<'t> PhysicalPlan<'t> {
                 "\n  distinct {} (structural: dict/rle/rpe/const/sparse part columns)",
                 col_name(*col)
             ),
+            Sink::Join { key, right } => format!(
+                "\n  join on {} ({} right shard{}; zone pair pruning, \
+                 dict code-translation / run / const tiers)",
+                col_name(*key),
+                right.shards.len(),
+                if right.shards.len() == 1 { "" } else { "s" },
+            ),
         });
         out
     }
@@ -709,6 +796,14 @@ impl<'t> PhysicalPlan<'t> {
         if self.rows_at(seg_idx) == 0 {
             return;
         }
+        if let Sink::Join { key, right } = &self.sink {
+            if !self.naive && self.join_pair_scan(seg_idx, *key, right).0.is_empty() {
+                // Every right segment is zone-pruned against this left
+                // segment: the visit returns before fetching anything
+                // on either side.
+                return;
+            }
+        }
         let push = |col: usize, out: &mut Vec<usize>| {
             if !out.contains(&col) {
                 out.push(col);
@@ -749,6 +844,7 @@ impl<'t> PhysicalPlan<'t> {
                 cols.iter().copied().for_each(&mut f);
             }
             Sink::TopK { col, .. } | Sink::Distinct { col } => f(*col),
+            Sink::Join { key, .. } => f(*key),
         }
     }
 
@@ -782,6 +878,11 @@ impl<'t> PhysicalPlan<'t> {
         if n == 0 {
             stats.segments_pruned += 1;
             return Ok(());
+        }
+        // The join sink runs its own pipeline: zone pair pruning first,
+        // then the shared filter evaluation, then the per-pair tiers.
+        if let Sink::Join { key, right } = &self.sink {
+            return self.sink_join(seg_idx, n, *key, right, state, stats);
         }
         // Top-k threshold pruning consults only the zone map — before
         // the filters, before any payload fetch. Two bounds apply: this
@@ -1425,6 +1526,281 @@ impl<'t> PhysicalPlan<'t> {
         }
         Ok(())
     }
+
+    /// Walk the right side's segment metadata against one left
+    /// segment's key zone: overlapping `(shard, segment)` pairs are
+    /// live, the rest are pruned (counted). Resident metadata only —
+    /// no payload is fetched on either side. Empty right segments are
+    /// neither live nor pruned; the naive baseline never prunes.
+    fn join_pair_scan(
+        &self,
+        seg_idx: usize,
+        key: usize,
+        right: &JoinRight,
+    ) -> (Vec<(usize, usize)>, usize) {
+        let lmeta = self.table.meta_at(key, seg_idx);
+        let mut live = Vec::new();
+        let mut pruned = 0usize;
+        for (shard_idx, shard) in right.shards.iter().enumerate() {
+            for rseg in 0..shard.num_segments() {
+                let rmeta = shard.meta_at(right.key, rseg);
+                if rmeta.rows == 0 {
+                    continue;
+                }
+                if self.naive || (lmeta.min <= rmeta.max && rmeta.min <= lmeta.max) {
+                    live.push((shard_idx, rseg));
+                } else {
+                    pruned += 1;
+                }
+            }
+        }
+        (live, pruned)
+    }
+
+    /// The equi-join sink for one left segment, the join mirror of the
+    /// filter/aggregation tiers:
+    ///
+    /// 1. **Zone pair pruning** — before the filters and before any
+    ///    payload fetch, every `(left segment, right segment)` pair
+    ///    whose key zones don't overlap is dismissed
+    ///    ([`QueryStats::join_pairs_pruned`]); a left segment with no
+    ///    surviving pair never fetches anything at all.
+    /// 2. **Left build at the best structural tier** — CONST keys read
+    ///    the zone map, DICT keys count selected rows per dictionary
+    ///    code, RLE/RPE keys (full selection) fold runs; only
+    ///    unstructured keys decompress
+    ///    ([`QueryStats::join_rows_undecoded`]).
+    /// 3. **Per-pair fold** — each surviving right segment's build side
+    ///    is histogrammed once per worker (cached across left
+    ///    segments); DICT⋈DICT pairs fold through a code→code
+    ///    translation ([`QueryStats::join_code_translations`]), all
+    ///    other pairs probe value histograms. Per key, the pair count
+    ///    is `left count × right count`.
+    ///
+    /// The naive baseline decompresses both sides row-wise, prunes
+    /// nothing, and reports 0 on all three join counters — the in-plan
+    /// oracle the differential harness compares against.
+    fn sink_join(
+        &self,
+        seg_idx: usize,
+        n: usize,
+        key: usize,
+        right: &JoinRight,
+        state: &mut SinkState,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        let SinkState::Join { pairs, cache } = state else {
+            unreachable!("sink/state mismatch")
+        };
+        let (live, pruned) = self.join_pair_scan(seg_idx, key, right);
+        stats.join_pairs_pruned += pruned;
+        if live.is_empty() {
+            stats.segments_pruned += 1;
+            return Ok(());
+        }
+        let mut mat = Materializer::new(n);
+        let selection = if self.naive {
+            self.eval_filters_naive(seg_idx, n, &mut mat, stats)?
+        } else {
+            self.eval_filters_pushdown(seg_idx, n, &mut mat, stats)?
+        };
+        let Some(selection) = selection else {
+            stats.segments_pruned += 1;
+            return Ok(());
+        };
+        let left = self.join_left_side(seg_idx, n, key, &selection, &mut mat, stats)?;
+        for (shard_idx, rseg) in live {
+            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry((shard_idx, rseg))
+            {
+                slot.insert(self.join_right_side(right, shard_idx, rseg, stats)?);
+            }
+            let build = &cache[&(shard_idx, rseg)];
+            if let (false, Some((lvals, lcounts)), Some((v2c, rcounts))) =
+                (self.naive, &left.codes, &build.dict)
+            {
+                // DICT⋈DICT: translate left codes into the right
+                // dictionary and multiply counts in code space. A left
+                // code with no entry in the right dictionary drops
+                // here, without either side decoding a row.
+                stats.join_code_translations += 1;
+                for (code, &lc) in lcounts.iter().enumerate() {
+                    if lc == 0 {
+                        continue;
+                    }
+                    let v = lvals.get_numeric(code).expect("in range");
+                    if let Some(&rcode) = v2c.get(&v) {
+                        let rc = rcounts[rcode];
+                        if rc > 0 {
+                            *pairs.entry(v).or_insert(0) += lc as i128 * rc as i128;
+                        }
+                    }
+                }
+                continue;
+            }
+            for (&v, &lc) in &left.hist {
+                if let Some(&rc) = build.hist.get(&v) {
+                    *pairs.entry(v).or_insert(0) += lc as i128 * rc as i128;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Histogram the selected left keys of one segment at the best
+    /// structural tier (see [`Self::sink_join`] for the tier list).
+    fn join_left_side(
+        &self,
+        seg_idx: usize,
+        n: usize,
+        key: usize,
+        selection: &Selection,
+        mat: &mut Materializer,
+        stats: &mut QueryStats,
+    ) -> Result<JoinLeft> {
+        let kseg = self.fetch(key, seg_idx, mat, stats)?;
+        if !self.naive {
+            match kseg.scheme_base() {
+                // CONST key: the zone map is the histogram.
+                "const" => {
+                    let selected = match selection {
+                        Selection::All => n,
+                        Selection::Mask(mask) => mask.count_ones(),
+                    };
+                    stats.join_rows_undecoded += selected;
+                    stats.values_processed += 1;
+                    let mut hist = HashMap::new();
+                    hist.insert(kseg.min, selected as u64);
+                    return Ok(JoinLeft { hist, codes: None });
+                }
+                // DICT key: count selected rows per dictionary code;
+                // each *distinct* selected key decodes exactly once,
+                // into the value histogram non-dict rights probe.
+                "dict" => {
+                    let scheme = kseg.scheme()?;
+                    let dict_values = scheme.decompress_part(&kseg.compressed, dict::ROLE_DICT)?;
+                    let codes = scheme.decompress_part(&kseg.compressed, dict::ROLE_CODES)?;
+                    let codes = codes.to_transport();
+                    let mut counts = vec![0u64; dict_values.len()];
+                    let selected = match selection {
+                        Selection::All => {
+                            for i in 0..n {
+                                counts[codes[i] as usize] += 1;
+                            }
+                            n
+                        }
+                        Selection::Mask(mask) => {
+                            for i in mask.iter_ones() {
+                                counts[codes[i] as usize] += 1;
+                            }
+                            mask.count_ones()
+                        }
+                    };
+                    stats.join_rows_undecoded += selected;
+                    stats.values_processed += selected;
+                    let mut hist = HashMap::new();
+                    for (code, &c) in counts.iter().enumerate() {
+                        if c > 0 {
+                            *hist
+                                .entry(dict_values.get_numeric(code).expect("in range"))
+                                .or_insert(0u64) += c;
+                        }
+                    }
+                    return Ok(JoinLeft {
+                        hist,
+                        codes: Some((dict_values, counts)),
+                    });
+                }
+                _ => {}
+            }
+            // RLE/RPE key + full selection: one histogram entry per run.
+            if matches!(selection, Selection::All) {
+                if let Some((values, ends)) = kseg.run_structure()? {
+                    stats.join_rows_undecoded += n;
+                    stats.values_processed += values.len();
+                    let mut hist = HashMap::with_capacity(values.len());
+                    let mut start = 0usize;
+                    for run in 0..values.len() {
+                        let end = (ends.get(run).copied().unwrap_or(n as u64) as usize).min(n);
+                        *hist
+                            .entry(values.get_numeric(run).expect("in range"))
+                            .or_insert(0u64) += (end - start) as u64;
+                        start = end;
+                    }
+                    return Ok(JoinLeft { hist, codes: None });
+                }
+            }
+        }
+        // Fallback (and the whole naive baseline): decompress the key,
+        // hash one selected row at a time.
+        let plain = mat.decompress(key, &kseg, stats)?;
+        let mut hist: HashMap<i128, u64> = HashMap::new();
+        let mut add = |i: usize| {
+            *hist
+                .entry(plain.get_numeric(i).expect("in range"))
+                .or_insert(0) += 1;
+        };
+        match selection {
+            Selection::All => {
+                stats.values_processed += n;
+                (0..n).for_each(&mut add);
+            }
+            Selection::Mask(mask) => {
+                stats.values_processed += mask.count_ones();
+                mask.iter_ones().for_each(&mut add);
+            }
+        }
+        Ok(JoinLeft { hist, codes: None })
+    }
+
+    /// Build (once per worker, cached by the caller) the build side of
+    /// one right segment. CONST segments build from resident metadata
+    /// alone — no payload fetch, so a lazily-backed shard's `io_reads`
+    /// stays untouched; every other scheme fetches the payload and
+    /// histograms it at the best granularity
+    /// ([`crate::join::segment_histogram`]). The naive baseline always
+    /// fetches and decompresses row-wise.
+    fn join_right_side(
+        &self,
+        right: &JoinRight,
+        shard_idx: usize,
+        rseg: usize,
+        stats: &mut QueryStats,
+    ) -> Result<crate::join::SegmentHistogram> {
+        let shard = &right.shards[shard_idx];
+        if !self.naive {
+            let rmeta = shard.meta_at(right.key, rseg);
+            let base = rmeta.expr.split(['(', '[']).next().unwrap_or(&rmeta.expr);
+            if base == "const" {
+                stats.join_rows_undecoded += rmeta.rows;
+                return Ok(crate::join::SegmentHistogram::constant(
+                    rmeta.min, rmeta.rows,
+                ));
+            }
+        }
+        let seg = shard.source_at(right.key).segment(rseg)?;
+        stats.segments_loaded += 1;
+        if self.naive {
+            let plain = seg.decompress()?;
+            stats.rows_materialized += plain.len();
+            return Ok(crate::join::SegmentHistogram::decoded(&plain));
+        }
+        let built = crate::join::segment_histogram(&seg)?;
+        if built.undecoded_rows == 0 {
+            // The decoded fallback materialised the segment's rows.
+            stats.rows_materialized += shard.meta_at(right.key, rseg).rows;
+        }
+        stats.join_rows_undecoded += built.undecoded_rows;
+        Ok(built)
+    }
+}
+
+/// The probe side of one left-segment join visit: a value→count
+/// histogram of the selected keys plus — for DICT key segments — the
+/// dictionary part and per-code selected counts that the code→code
+/// translation tier folds without decoding.
+struct JoinLeft {
+    hist: HashMap<i128, u64>,
+    codes: Option<(ColumnData, Vec<u64>)>,
 }
 
 /// Which part columns carry a segment's distinct candidates, per scheme.

@@ -19,6 +19,9 @@ pub enum Rows {
     TopK(Vec<i128>),
     /// Distinct values, ascending.
     Distinct(Vec<i128>),
+    /// `(join key, pair count)` rows of an equi-join, ascending by key;
+    /// keys with no match on either side are absent.
+    Joined(Vec<(i128, i128)>),
 }
 
 /// A finished query: rows plus execution accounting.
@@ -63,6 +66,14 @@ impl QueryResult {
         }
     }
 
+    /// The `(key, pair count)` rows, if this was a `join` query.
+    pub fn joined(&self) -> Option<&[(i128, i128)]> {
+        match &self.rows {
+            Rows::Joined(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Approximate heap footprint of the produced rows, in bytes — what
     /// the catalog's result cache charges against its byte budget.
     /// Aggregates are a handful of values; a top-k is `k` values; a
@@ -79,6 +90,7 @@ impl QueryResult {
                 .map(|(_, values)| VALUE + values.len() * OPT)
                 .sum(),
             Rows::TopK(values) | Rows::Distinct(values) => values.len() * VALUE,
+            Rows::Joined(pairs) => pairs.len() * 2 * VALUE,
         }
     }
 
@@ -118,6 +130,11 @@ impl QueryResult {
                 let mut values: Vec<i128> = set.into_iter().collect();
                 values.sort_unstable();
                 Rows::Distinct(values)
+            }
+            (SinkState::Join { pairs, .. }, Sink::Join { .. }) => {
+                let mut out: Vec<(i128, i128)> = pairs.into_iter().collect();
+                out.sort_unstable_by_key(|&(key, _)| key);
+                Rows::Joined(out)
             }
             _ => unreachable!("sink/state mismatch"),
         };

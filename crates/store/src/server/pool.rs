@@ -38,9 +38,9 @@
 //! an executing lease.
 
 use super::cancel::CancelToken;
-use crate::catalog::{shard_excluded, CatalogTable};
+use crate::catalog::{shard_excluded, CatalogTable, ResolvedJoin};
 use crate::query::{
-    ExecOptions, PhysicalPlan, QueryResult, QuerySpec, QueryStats, Sink, SinkState,
+    ExecOptions, JoinRight, PhysicalPlan, QueryResult, QuerySpec, QueryStats, Sink, SinkState,
     TOPK_BOUND_UNSET,
 };
 use crate::table::Table;
@@ -85,6 +85,10 @@ struct Job {
     /// and between morsels, so a fired token abandons all unclaimed
     /// work within one lease.
     cancel: Arc<CancelToken>,
+    /// The join's resolved right side when the spec carries one —
+    /// shared by every lease's re-compiled plan, so all leases probe
+    /// the same right-table snapshot.
+    right: Option<Arc<JoinRight>>,
     inner: Mutex<JobInner>,
 }
 
@@ -197,7 +201,7 @@ impl WorkerPool {
         opts: &ExecOptions,
         cancel: Arc<CancelToken>,
     ) -> Result<QueryResult> {
-        self.submit(table, spec, opts, cancel)?
+        self.submit(table, spec, opts, cancel, None)?
             .wait_while(|| Ok(()))
     }
 
@@ -215,14 +219,20 @@ impl WorkerPool {
     /// nothing), at every lease claim, and between morsels; a fired
     /// token surfaces through the delivered outcome as the typed
     /// deadline/cancelled error.
+    ///
+    /// `join` is the spec's right side, resolved by the catalog against
+    /// the same snapshot as `table` — required when the spec joins,
+    /// ignored otherwise.
     pub(crate) fn submit(
         &self,
         table: &CatalogTable,
         spec: &QuerySpec,
         opts: &ExecOptions,
         cancel: Arc<CancelToken>,
+        join: Option<&ResolvedJoin>,
     ) -> Result<PendingQuery> {
         cancel.check()?;
+        let right = join.map(|j| Arc::clone(&j.right));
         // Shard pruning, exactly as the in-process sharded fan-in does:
         // an excluded shard is counted, never compiled or read.
         let mut pruned = QueryStats::default();
@@ -252,13 +262,13 @@ impl WorkerPool {
         let sink = {
             let plans = tables
                 .iter()
-                .map(|t| spec.compile_mode(t, false))
+                .map(|t| spec.compile_join(t, false, right.as_ref()))
                 .collect::<Result<Vec<_>>>()?;
             let shape = match plans.first() {
                 Some(plan) => plan,
                 // Every shard pruned: compile purely for the sink
                 // shape, like the in-process fan-in.
-                None => &spec.compile_mode(shape_table, false)?,
+                None => &spec.compile_join(shape_table, false, right.as_ref())?,
             };
             for (p, plan) in plans.iter().enumerate() {
                 morsels.extend(plan.segment_order().into_iter().map(|s| (p, s)));
@@ -276,6 +286,7 @@ impl WorkerPool {
                     shape_table: Arc::clone(shape_table),
                     spec: spec.clone(),
                     pruned,
+                    right,
                 });
             }
             shape.sink.clone()
@@ -295,6 +306,7 @@ impl WorkerPool {
             max_leases: opts.threads.clamp(1, self.threads),
             peak_leases: AtomicUsize::new(0),
             cancel,
+            right: right.clone(),
             inner: Mutex::new(JobInner {
                 next: 0,
                 completed: 0,
@@ -327,6 +339,7 @@ impl WorkerPool {
             shape_table,
             spec: spec.clone(),
             pruned,
+            right,
         })
     }
 
@@ -364,6 +377,9 @@ pub(crate) struct PendingQuery {
     shape_table: Arc<Table>,
     spec: QuerySpec,
     pruned: QueryStats,
+    /// The join's right side, carried so the shaping re-compile on the
+    /// caller's thread can rebuild the same plan.
+    right: Option<Arc<JoinRight>>,
 }
 
 impl PendingQuery {
@@ -387,7 +403,9 @@ impl PendingQuery {
         let (state, mut stats) = outcome;
         // Shape the merged state on the caller's thread; any live
         // shard's plan shapes identically (shared schema).
-        let shape = self.spec.compile_mode(&self.shape_table, false)?;
+        let shape = self
+            .spec
+            .compile_join(&self.shape_table, false, self.right.as_ref())?;
         stats.absorb(&self.pruned);
         QueryResult::from_state(&shape, state, stats)
     }
@@ -533,7 +551,7 @@ fn run_lease(shared: &PoolShared, job: &Job, start: usize, end: usize) {
         };
         let plan = match slot {
             Some(plan) => plan,
-            None => match job.spec.compile_mode(table, false) {
+            None => match job.spec.compile_join(table, false, job.right.as_ref()) {
                 Ok(plan) => slot.insert(plan),
                 Err(e) => {
                     error = Some(e);

@@ -425,6 +425,9 @@ pub(crate) fn put_stats(out: &mut Vec<u8>, s: &QueryStats) {
         groups_folded,
         rows_undecoded,
         topk_segments_skipped,
+        join_pairs_pruned,
+        join_rows_undecoded,
+        join_code_translations,
         pushdown:
             PushdownStats {
                 zonemap_hits,
@@ -448,6 +451,9 @@ pub(crate) fn put_stats(out: &mut Vec<u8>, s: &QueryStats) {
         groups_folded,
         rows_undecoded,
         topk_segments_skipped,
+        join_pairs_pruned,
+        join_rows_undecoded,
+        join_code_translations,
         zonemap_hits,
         run_granularity,
         code_granularity,
@@ -475,6 +481,9 @@ pub(crate) fn take_stats(cur: &mut Cursor<'_>) -> Result<QueryStats> {
         &mut s.groups_folded,
         &mut s.rows_undecoded,
         &mut s.topk_segments_skipped,
+        &mut s.join_pairs_pruned,
+        &mut s.join_rows_undecoded,
+        &mut s.join_code_translations,
         &mut s.pushdown.zonemap_hits,
         &mut s.pushdown.run_granularity,
         &mut s.pushdown.code_granularity,
@@ -519,6 +528,14 @@ fn put_rows(out: &mut Vec<u8>, rows: &Rows) {
                 put_i128(out, v);
             }
         }
+        Rows::Joined(pairs) => {
+            out.push(4);
+            put_u32(out, pairs.len() as u32);
+            for &(key, count) in pairs {
+                put_i128(out, key);
+                put_i128(out, count);
+            }
+        }
     }
 }
 
@@ -556,6 +573,15 @@ fn take_rows(cur: &mut Cursor<'_>) -> Result<Rows> {
             } else {
                 Rows::Distinct(values)
             }
+        }
+        4 => {
+            let mut pairs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let key = cur.take_i128()?;
+                let count = cur.take_i128()?;
+                pairs.push((key, count));
+            }
+            Rows::Joined(pairs)
         }
         t => return Err(bad_tag("rows", t)),
     })
@@ -833,6 +859,16 @@ mod tests {
                 version: 3,
                 rows: Rows::Distinct(vec![-1, 0, 1]),
                 stats: QueryStats::default(),
+            },
+            Response::Rows {
+                version: 4,
+                rows: Rows::Joined(vec![(i128::MIN, 3), (0, i128::MAX), (77, 1)]),
+                stats: QueryStats {
+                    join_pairs_pruned: 5,
+                    join_rows_undecoded: 4096,
+                    join_code_translations: 9,
+                    ..QueryStats::default()
+                },
             },
             Response::Busy {
                 in_flight: 8,

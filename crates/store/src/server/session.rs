@@ -264,10 +264,11 @@ fn query(
     // query's unclaimed morsels at its next token check.
     let outcome = shared
         .catalog
-        .execute_versioned_with(table, &parsed.spec, |t| {
-            let pending = shared
-                .pool
-                .submit(t, &parsed.spec, &parsed.opts, Arc::clone(token))?;
+        .execute_versioned_with(table, &parsed.spec, |t, join| {
+            let pending =
+                shared
+                    .pool
+                    .submit(t, &parsed.spec, &parsed.opts, Arc::clone(token), join)?;
             pending.wait_while(|| {
                 token.check()?;
                 if client_vanished(stream) {

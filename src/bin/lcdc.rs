@@ -16,6 +16,7 @@
 //!                 [--filter c=lo..hi | c=value | c=in:v1,v2,..]...
 //!                 [--any c=..,c=..] [--sum c] [--count]
 //!                 [--group-by c | --top-k c:k | --distinct c]
+//!                 [--join TABLE --on COL]
 //!                 [--naive] [--threads N] [--prefetch auto|N]
 //!                 [--topk-shared-bound on|off]
 //!                 [--ordered-filters] [--explain]
@@ -94,6 +95,7 @@ usage:
                   [--any col=spec,col=spec]
                   [--sum col] [--min col] [--max col] [--count]
                   [--group-by col | --top-k col:k | --distinct col]
+                  [--join TABLE --on COL]
                   [--naive] [--threads N] [--prefetch auto|N]
                   [--topk-shared-bound on|off] [--ordered-filters] [--explain]
   lcdc gen        <dir> [--table NAME] [--rows N] [--shards N] [--seg-rows N] [--seed N]
@@ -556,6 +558,13 @@ fn query(args: &[String]) -> Result<(), String> {
     match &q.table {
         None => {
             // Direct mode: the positional path *is* the table directory.
+            if let Some(join) = spec.join_spec() {
+                return Err(format!(
+                    "--join {:?} needs catalog mode (--table NAME): the right \
+                     side is resolved by name against the catalog root",
+                    join.table
+                ));
+            }
             let table = open(root)?;
             let builder = spec.bind(&table);
             if q.explain {
@@ -586,11 +595,18 @@ fn query(args: &[String]) -> Result<(), String> {
                 .collect::<Result<_, String>>()?;
             if q.explain {
                 // Shards share a schema, so shard 0's compiled plan
-                // shows the same operators every shard runs.
-                println!(
-                    "{}",
-                    spec.bind(&shards[0]).explain().map_err(|e| e.to_string())?
-                );
+                // shows the same operators every shard runs. A join
+                // plan needs a right side to bind — shard 0 of the
+                // right table stands in for the shape.
+                let builder = match spec.join_spec() {
+                    Some(join) => {
+                        let rdir = table_dirs(root, &join.table)?.remove(0);
+                        spec.bind(&shards[0])
+                            .join(&join.table, Arc::new(open(&rdir)?), &join.on)
+                    }
+                    None => spec.bind(&shards[0]),
+                };
+                println!("{}", builder.explain().map_err(|e| e.to_string())?);
                 println!("fingerprint: {:#018x}", spec.fingerprint());
                 println!();
             }
@@ -598,6 +614,20 @@ fn query(args: &[String]) -> Result<(), String> {
             catalog
                 .register_sharded(name, shards)
                 .map_err(|e| e.to_string())?;
+            // A join names its right side; it must exist in the same
+            // catalog, so resolve and register it alongside the left.
+            if let Some(join) = spec.join_spec() {
+                if join.table != *name {
+                    let rdirs = table_dirs(root, &join.table)?;
+                    let rshards: Vec<Table> = rdirs
+                        .iter()
+                        .map(|d| open(d))
+                        .collect::<Result<_, String>>()?;
+                    catalog
+                        .register_sharded(&join.table, rshards)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
             let (handle, version) = catalog.get(name).expect("just registered");
             eprintln!(
                 "-- table {name:?} v{version}: {} shards, {} rows",
@@ -984,6 +1014,14 @@ fn client(args: &[String]) -> Result<(), String> {
                     s.segments, s.segments_pruned, s.rows_materialized
                 );
             }
+            if s.join_pairs_pruned > 0 || s.join_rows_undecoded > 0 || s.join_code_translations > 0
+            {
+                eprintln!(
+                    "-- join: {} segment pairs pruned, {} rows undecoded, \
+                     {} code-space translations",
+                    s.join_pairs_pruned, s.join_rows_undecoded, s.join_code_translations
+                );
+            }
             Ok(())
         }
         Response::Busy {
@@ -1019,6 +1057,12 @@ fn print_result(result: &lcdc::store::QueryResult, labels: &[String]) {
         Rows::TopK(values) | Rows::Distinct(values) => {
             for v in values {
                 println!("{v}");
+            }
+        }
+        Rows::Joined(pairs) => {
+            println!("{:<16} pairs", "key");
+            for (key, count) in pairs {
+                println!("{key:<16} {count}");
             }
         }
     }
@@ -1065,6 +1109,13 @@ fn print_stats(result: &lcdc::store::QueryResult, io_reads: usize) {
         eprintln!(
             "-- shared top-k bound skipped {} segments",
             s.topk_segments_skipped
+        );
+    }
+    if s.join_pairs_pruned > 0 || s.join_rows_undecoded > 0 || s.join_code_translations > 0 {
+        eprintln!(
+            "-- join: {} segment pairs pruned, {} rows undecoded, \
+             {} code-space translations",
+            s.join_pairs_pruned, s.join_rows_undecoded, s.join_code_translations
         );
     }
 }
@@ -1546,6 +1597,44 @@ mod tests {
             s("--explain"),
         ])
         .unwrap();
+        // Equi-join through the catalog: sharded left, single right
+        // (the unsharded source doubles as the right table), explained.
+        query(&[
+            r.clone(),
+            s("--table"),
+            s("orders"),
+            s("--join"),
+            s("orders_plain"),
+            s("--on"),
+            s("day"),
+            s("--filter"),
+            s("day=5..9"),
+            s("--lazy"),
+            s("--explain"),
+        ])
+        .unwrap();
+        // Self-join resolves the same catalog entry on both sides.
+        query(&[
+            r.clone(),
+            s("--table"),
+            s("orders"),
+            s("--join"),
+            s("orders"),
+            s("--on"),
+            s("day"),
+        ])
+        .unwrap();
+        // Direct mode refuses --join: the right side is a catalog name
+        // and there is no catalog to resolve it against.
+        let err = query(&[
+            plain_dir.to_str().unwrap().to_string(),
+            s("--join"),
+            s("orders"),
+            s("--on"),
+            s("day"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("catalog mode"), "{err}");
         // A missing middle shard is a hard error, never a silently
         // partial answer.
         std::fs::remove_dir_all(root.join("orders.shard1")).unwrap();

@@ -5,7 +5,8 @@
 
 use lcdc::core::{ColumnData, DType};
 use lcdc::store::{
-    Catalog, Client, CompressionPolicy, Response, Rows, Server, ServerConfig, Table, TableSchema,
+    open_table_lazy, save_table, Catalog, Client, CompressionPolicy, FaultPlan, Response, Rows,
+    Server, ServerConfig, Table, TableSchema,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -190,6 +191,222 @@ fn concurrent_clients_race_wire_ingest_with_snapshot_answers() {
         final_report.connections_opened,
         final_report.connections_closed
     );
+}
+
+/// Concurrent *join* queries over the wire, racing wire ingest into
+/// the join's **right** table. The left table never changes, so the
+/// version tag on every answer stays constant — correctness rests on
+/// the catalog snapshotting both tables under one lock and keying the
+/// result cache on the version *pair*. Every answer's pair count must
+/// be an exact whole number of committed right-side batches,
+/// non-decreasing per client; `Rows::Joined` and the three join
+/// counters must survive the wire round trip.
+#[test]
+fn concurrent_join_queries_race_right_side_ingest() {
+    const CLIENTS: u64 = 4;
+    const QUERIES_PER_CLIENT: u64 = 20;
+    // base_table: 100 rows at day 1, each pairing with every ingested
+    // day-1 right row.
+    const UNIT: i128 = 100 * BATCH_ROWS as i128;
+
+    let catalog = Arc::new(Catalog::new());
+    catalog.register("orders", base_table());
+    // The right side starts disjoint from every left day, so batch
+    // zero joins to nothing.
+    catalog.register(
+        "days",
+        Table::build(
+            TableSchema::new(&[("day", DType::U64)]),
+            &[ColumnData::U64(vec![9999; 256])],
+            &[CompressionPolicy::Auto],
+            256,
+        )
+        .unwrap(),
+    );
+    let v0 = catalog.version("orders").unwrap();
+    let dv0 = catalog.version("days").unwrap();
+    let server = Server::start(
+        Arc::clone(&catalog),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 3,
+            max_inflight: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let committed_of = |rows: &Rows| -> i128 {
+        match rows {
+            Rows::Joined(pairs) => match pairs.as_slice() {
+                [] => 0,
+                [(1, n)] => {
+                    assert_eq!(n % UNIT, 0, "a torn right batch leaked into the join");
+                    n / UNIT
+                }
+                other => panic!("unexpected join rows {other:?}"),
+            },
+            other => panic!("expected joined rows, got {other:?}"),
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let join = args(&[
+                    "--join",
+                    "days",
+                    "--on",
+                    "day",
+                    "--threads",
+                    &(1 + c % 3).to_string(),
+                ]);
+                let mut last = 0i128;
+                for _ in 0..QUERIES_PER_CLIENT {
+                    match client.query("orders", &join).unwrap() {
+                        Response::Rows { version, rows, .. } => {
+                            assert_eq!(version, v0, "the left table never bumps");
+                            let committed = committed_of(&rows);
+                            assert!((0..=BATCHES as i128).contains(&committed));
+                            assert!(committed >= last, "right versions ran backwards");
+                            last = committed;
+                        }
+                        other => panic!("expected rows, got {other:?}"),
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut client = Client::connect(addr).unwrap();
+            for b in 0..BATCHES {
+                std::thread::sleep(std::time::Duration::from_millis(4));
+                match client
+                    .ingest("days", vec![ColumnData::U64(vec![1; BATCH_ROWS as usize])])
+                    .unwrap()
+                {
+                    Response::Ingested { version, rows } => {
+                        assert_eq!(rows, BATCH_ROWS);
+                        assert_eq!(version, dv0 + b + 1, "one right-side bump per batch");
+                    }
+                    other => panic!("expected ingested, got {other:?}"),
+                }
+            }
+        });
+    });
+
+    // Post-race: the wire answer equals the in-process answer, sees
+    // every batch, and carries the join ledger — CONST right segments
+    // histogram from metadata (undecoded rows) and the disjoint
+    // initial right segment zone-prunes against every left segment.
+    let mut client = Client::connect(addr).unwrap();
+    let Response::Rows { rows, stats, .. } = client
+        .query("orders", &args(&["--join", "days", "--on", "day"]))
+        .unwrap()
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(committed_of(&rows), BATCHES as i128, "all batches visible");
+    let spec = lcdc::store::QuerySpec::new().join("days", "day");
+    assert_eq!(rows, catalog.execute("orders", &spec).unwrap().rows);
+    if stats.result_cache_hits == 0 {
+        assert!(stats.join_rows_undecoded > 0, "{stats:?}");
+        assert!(stats.join_pairs_pruned > 0, "{stats:?}");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.served, CLIENTS * QUERIES_PER_CLIENT + BATCHES + 1);
+}
+
+/// Joins compose with the serving controls: a full server answers a
+/// join with a typed BUSY, an expired deadline mid-join answers a
+/// typed DEADLINE (the abandoned work drains at the next lease
+/// boundary), and the freed slot then serves the same join to
+/// completion.
+#[test]
+fn join_queries_face_admission_and_deadlines() {
+    let join_args = args(&["--join", "days", "--on", "day"]);
+    let days_table = || {
+        Table::build(
+            TableSchema::new(&[("day", DType::U64)]),
+            &[ColumnData::U64((0..1024u64).map(|i| 1 + i / 26).collect())],
+            &[CompressionPolicy::Auto],
+            256,
+        )
+        .unwrap()
+    };
+
+    // Admission: joins take an in-flight slot like any query.
+    let full = Arc::new(Catalog::new());
+    full.register("orders", base_table());
+    full.register("days", days_table());
+    let server = Server::start(
+        Arc::clone(&full),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            max_inflight: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.query("orders", &join_args).unwrap() {
+        Response::Busy { .. } => {}
+        other => panic!("a join must face admission, got {other:?}"),
+    }
+    server.shutdown();
+
+    // Deadlines: lazy tables whose every disk read stalls 30ms make
+    // the join deterministically slower than a 100ms deadline.
+    let dir = std::env::temp_dir().join(format!("lcdc_join_deadline_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_table(&base_table(), &dir.join("orders")).unwrap();
+    save_table(&days_table(), &dir.join("days")).unwrap();
+    let plan = Arc::new(FaultPlan::parse("io_stall:ms=30,every=1", 0).unwrap());
+    let catalog = Arc::new(Catalog::new());
+    for name in ["orders", "days"] {
+        let table = open_table_lazy(&dir.join(name), 4).unwrap();
+        table.inject_faults(&plan);
+        catalog.register(name, table);
+    }
+    let server = Server::start(
+        Arc::clone(&catalog),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 1,
+            max_inflight: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.set_deadline_ms(Some(100));
+    match client.query("orders", &join_args).unwrap() {
+        Response::Deadline { deadline_ms } => assert_eq!(deadline_ms, 100),
+        other => panic!("expected a typed deadline, got {other:?}"),
+    }
+    // The expired join freed its slot; without a deadline the same
+    // join runs to completion through every stalled read.
+    client.set_deadline_ms(None);
+    match client.query("orders", &join_args).unwrap() {
+        Response::Rows { rows, stats, .. } => {
+            let Rows::Joined(pairs) = &rows else {
+                panic!("expected joined rows, got {rows:?}");
+            };
+            assert!(!pairs.is_empty(), "days 1..=40 overlap");
+            assert!(stats.join_pairs_pruned > 0, "narrow left zones prune");
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+    let report = server.shutdown();
+    let query_endpoint = report
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == "query")
+        .expect("query endpoint present");
+    assert_eq!(query_endpoint.deadline_exceeded, 1);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Admission control, deterministically: a `max_inflight = 0` server

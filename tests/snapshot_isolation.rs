@@ -78,7 +78,9 @@ fn direct_queries_see_exactly_one_version() {
                 let mut last_version = v0;
                 for _ in 0..60 {
                     let (result, version) = catalog
-                        .execute_versioned_with("orders", spec, |t| t.execute_opts(spec, &opts))
+                        .execute_versioned_with("orders", spec, |t, join| {
+                            t.execute_opts_join(spec, &opts, join)
+                        })
                         .unwrap();
                     let committed = version - v0;
                     assert!(committed <= BATCHES);
@@ -141,8 +143,8 @@ fn sharded_ingest_publishes_all_shards_atomically() {
             scope.spawn(move || {
                 for _ in 0..50 {
                     let (result, version) = catalog
-                        .execute_versioned_with("orders", spec, |t| {
-                            t.execute_opts(spec, &ExecOptions::threads(2))
+                        .execute_versioned_with("orders", spec, |t, join| {
+                            t.execute_opts_join(spec, &ExecOptions::threads(2), join)
                         })
                         .unwrap();
                     let committed = (version - v0) as i128;
@@ -180,8 +182,8 @@ fn result_cache_never_crosses_version_bumps() {
                 let mut hits = 0u32;
                 for _ in 0..80 {
                     let (result, version) = catalog
-                        .execute_versioned_with("orders", spec, |t| {
-                            t.execute_opts(spec, &ExecOptions::threads(1))
+                        .execute_versioned_with("orders", spec, |t, join| {
+                            t.execute_opts_join(spec, &ExecOptions::threads(1), join)
                         })
                         .unwrap();
                     if result.stats.result_cache_hits > 0 {
@@ -206,6 +208,87 @@ fn result_cache_never_crosses_version_bumps() {
             }
         });
     });
+}
+
+/// The join-specific cache hazard: a join's classic cache key —
+/// `(fingerprint, left version)` — never moves when only the *right*
+/// table is ingested into. Isolation then rests entirely on the cached
+/// entry's right-table version. Readers race a right-side writer: every
+/// answer's pair count must be an exact whole number of committed
+/// batches, non-decreasing per reader, and the post-race probe must see
+/// all of them — a stale cached join would stay frozen at batch zero.
+#[test]
+fn join_results_track_the_right_tables_version() {
+    const LEFT_DAY1_ROWS: i128 = 100; // base_table: 100 rows per day
+    let unit = LEFT_DAY1_ROWS * BATCH_ROWS as i128;
+    let catalog = Arc::new(Catalog::new());
+    catalog.register("orders", base_table(256)); // left: never written again
+                                                 // The right side starts fully disjoint from the left's day range,
+                                                 // so batch zero joins to nothing.
+    catalog.register(
+        "days",
+        Table::build(
+            TableSchema::new(&[("day", DType::U64)]),
+            &[ColumnData::U64(vec![9999; 512])],
+            &[CompressionPolicy::Auto],
+            256,
+        )
+        .unwrap(),
+    );
+    let v0 = catalog.version("orders").unwrap();
+    let spec = QuerySpec::new().join("days", "day");
+    let committed_of = |result: &lcdc::store::QueryResult| -> i128 {
+        match result.joined().unwrap() {
+            [] => 0,
+            [(1, pairs)] => {
+                assert_eq!(pairs % unit, 0, "a torn batch leaked into the join");
+                pairs / unit
+            }
+            other => panic!("unexpected join rows {other:?}"),
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let (catalog, spec) = (&catalog, &spec);
+            scope.spawn(move || {
+                let mut last = 0i128;
+                for _ in 0..60 {
+                    let (result, version) = catalog
+                        .execute_versioned_with("orders", spec, |t, join| {
+                            t.execute_opts_join(spec, &ExecOptions::threads(2), join)
+                        })
+                        .unwrap();
+                    assert_eq!(version, v0, "the left table never bumps");
+                    let committed = committed_of(&result);
+                    assert!((0..=BATCHES as i128).contains(&committed));
+                    assert!(committed >= last, "right-table versions ran backwards");
+                    last = committed;
+                }
+            });
+        }
+        scope.spawn(|| {
+            for _ in 0..BATCHES {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                catalog
+                    .ingest("days", &[ColumnData::U64(vec![1; BATCH_ROWS as usize])])
+                    .unwrap();
+            }
+        });
+    });
+
+    // Deterministic staleness probe: the left version is still v0, so a
+    // cache keyed on the left version alone would happily serve the
+    // pre-ingest pairs here. Run twice — the second answer must be a
+    // cache hit *and* current.
+    let after = catalog.execute("orders", &spec).unwrap();
+    assert_eq!(committed_of(&after), BATCHES as i128, "all batches visible");
+    let cached = catalog.execute("orders", &spec).unwrap();
+    assert!(
+        cached.stats.result_cache_hits > 0,
+        "the probe re-used the cache"
+    );
+    assert_eq!(committed_of(&cached), BATCHES as i128);
 }
 
 /// The same isolation guarantee holds end to end through the server:
